@@ -1,0 +1,33 @@
+# Convenience targets; everything is plain dune underneath.
+
+.PHONY: all build test bench figures examples doc clean
+
+all: build
+
+build:
+	dune build @all
+
+test:
+	dune runtest
+
+# regenerate every figure of the paper's evaluation + micro/ablation benches
+bench:
+	dune exec bench/main.exe
+
+figures:
+	dune exec bench/main.exe -- fig10 fig11 fig12 fig13
+
+examples:
+	dune exec examples/quickstart.exe
+	dune exec examples/gelu_fusion.exe
+	dune exec examples/mha_fusion.exe
+	dune exec examples/graph_partition.exe
+	dune exec examples/surface_patterns.exe
+	dune exec examples/machine_trace.exe
+	dune exec examples/equality_saturation.exe
+
+doc:
+	dune build @doc
+
+clean:
+	dune clean
