@@ -1,0 +1,392 @@
+(* The figure harness: regenerates every figure of the paper's evaluation
+   (section 4.1) against the simulated device and the synthetic zoos, plus
+   bechamel micro-benchmarks for the matcher implementations.
+
+     dune exec bench/main.exe            -- everything
+     dune exec bench/main.exe -- fig10   -- HuggingFace speedup histograms
+     dune exec bench/main.exe -- fig11   -- TorchVision speedup histograms
+     dune exec bench/main.exe -- fig12   -- HF matcher cost vs #matches
+     dune exec bench/main.exe -- fig13   -- TV matcher cost vs #matches
+     dune exec bench/main.exe -- micro   -- bechamel matcher micro-benches
+     dune exec bench/main.exe -- ablation -- pass/matcher design ablations *)
+
+open Pypm
+
+let device = Cost.a6000
+
+(* ------------------------------------------------------------------ *)
+(* Compile configurations (paper: four ways per model)                 *)
+(* ------------------------------------------------------------------ *)
+
+type opt_config = Baseline | Fmha_only | Epilog_only | Both
+
+let program_of sg = function
+  | Baseline -> Program.make ~sg []
+  | Fmha_only -> Corpus.fmha_program sg
+  | Epilog_only -> Corpus.epilog_program sg
+  | Both -> Corpus.both_program sg
+
+(* Build the model fresh, compile with [config], return simulated cost and
+   the pass stats. *)
+let compile_and_time (model : Zoo.model) config =
+  let env, g = model.Zoo.build () in
+  let prog = program_of env.Std_ops.sg config in
+  let stats = Pass.run prog g in
+  let errs = Graph.validate g in
+  if errs <> [] then (
+    List.iter prerr_endline errs;
+    failwith (model.Zoo.mname ^ ": invalid graph after rewriting"));
+  (Exec.graph_cost device g, stats)
+
+(* ------------------------------------------------------------------ *)
+(* Histogram rendering (figures 10 and 11 are speedup histograms)      *)
+(* ------------------------------------------------------------------ *)
+
+let histogram ~title values =
+  let buckets =
+    [ (1.00, 1.05); (1.05, 1.10); (1.10, 1.20); (1.20, 1.35); (1.35, 1.50);
+      (1.50, 1.75); (1.75, 2.00); (2.00, 99.0) ]
+  in
+  Printf.printf "  %s (n=%d)\n" title (List.length values);
+  List.iter
+    (fun (lo, hi) ->
+      let n =
+        List.length (List.filter (fun v -> v >= lo -. 1e-9 && v < hi) values)
+      in
+      let label =
+        if hi > 10. then Printf.sprintf ">= %.2fx      " lo
+        else Printf.sprintf "%.2fx - %.2fx" lo hi
+      in
+      Printf.printf "    %s | %-3d %s\n" label n (String.make n '#'))
+    buckets;
+  let mean =
+    List.fold_left ( +. ) 0. values /. float_of_int (List.length values)
+  in
+  let mx = List.fold_left Float.max 1.0 values in
+  Printf.printf "    mean %.3fx, max %.3fx\n" mean mx
+
+let speedup_figure ~figure ~suite models =
+  Printf.printf "== %s: %s relative-speedup histograms ==\n" figure suite;
+  Printf.printf
+    "   (speedup of each optimized compile vs the same model compiled\n";
+  Printf.printf "    with no PyPM rewrites, on the simulated %s)\n\n"
+    device.Cost.dname;
+  let rows =
+    List.map
+      (fun (m : Zoo.model) ->
+        let base, _ = compile_and_time m Baseline in
+        let per config =
+          let cost, stats = compile_and_time m config in
+          ( Exec.speedup ~baseline:base ~optimized:cost,
+            stats.Pass.total_rewrites )
+        in
+        let f, fr = per Fmha_only in
+        let e, er = per Epilog_only in
+        let b, br = per Both in
+        Printf.printf
+          "  %-16s fmha %.3fx (%d rw)   epilog %.3fx (%d rw)   both %.3fx \
+           (%d rw)\n"
+          m.Zoo.mname f fr e er b br;
+        (f, e, b))
+      models
+  in
+  print_newline ();
+  histogram ~title:"FMHA only" (List.map (fun (f, _, _) -> f) rows);
+  histogram ~title:"Epilog only" (List.map (fun (_, e, _) -> e) rows);
+  histogram ~title:"Both optimizations" (List.map (fun (_, _, b) -> b) rows);
+  print_newline ()
+
+let fig10 () =
+  speedup_figure ~figure:"FIG10" ~suite:"HuggingFace suite" (Zoo.hf ())
+
+let fig11 () =
+  speedup_figure ~figure:"FIG11" ~suite:"TorchVision suite" (Zoo.tv ())
+
+(* ------------------------------------------------------------------ *)
+(* Figures 12 / 13: matcher wall-clock vs number of matches            *)
+(* ------------------------------------------------------------------ *)
+
+let pattern_family_time stats =
+  List.fold_left
+    (fun (m, t) (ps : Pass.pattern_stats) ->
+      (m + ps.Pass.matches, t +. ps.Pass.match_time))
+    (0, 0.) stats.Pass.per_pattern
+
+let compile_cost_figure ~figure ~suite models =
+  Printf.printf "== %s: %s pattern-matching compile-time cost ==\n" figure
+    suite;
+  Printf.printf
+    "   model            nodes   MHA matches  MHA ms      Epilog matches  \
+     Epilog ms\n";
+  let acc_mha_t = ref 0. and acc_epi_t = ref 0. in
+  let zero_match_mha_t = ref 0. and zero_match_epi_t = ref 0. in
+  let zero_n = ref 0 in
+  let max_pass = ref 0. in
+  List.iter
+    (fun (m : Zoo.model) ->
+      let env, g = m.Zoo.build () in
+      let nodes = Graph.live_count g in
+      let mha_stats = Pass.match_only (Corpus.fmha_program env.Std_ops.sg) g in
+      let epi_stats =
+        Pass.match_only (Corpus.epilog_program env.Std_ops.sg) g
+      in
+      let mha_m, mha_t = pattern_family_time mha_stats in
+      let epi_m, epi_t = pattern_family_time epi_stats in
+      (* the paper's "< 3 s" bound is about the full rewrite pass *)
+      let _, full = compile_and_time m Both in
+      max_pass := Float.max !max_pass full.Pass.wall_time;
+      acc_mha_t := !acc_mha_t +. mha_t;
+      acc_epi_t := !acc_epi_t +. epi_t;
+      if mha_m = 0 then (
+        incr zero_n;
+        zero_match_mha_t := !zero_match_mha_t +. mha_t;
+        zero_match_epi_t := !zero_match_epi_t +. epi_t);
+      Printf.printf "   %-16s %-7d %-12d %-11.3f %-15d %.3f\n" m.Zoo.mname
+        nodes mha_m (mha_t *. 1e3) epi_m (epi_t *. 1e3))
+    models;
+  Printf.printf
+    "\n   total matcher time: MHA %.1f ms, Epilog %.1f ms (ratio %.1fx)\n"
+    (!acc_mha_t *. 1e3) (!acc_epi_t *. 1e3)
+    (if !acc_mha_t > 0. then !acc_epi_t /. !acc_mha_t else nan);
+  if !zero_n > 0 then
+    Printf.printf
+      "   QUAL1: on the %d models with zero MHA matches, Epilog matching \
+       cost\n\
+      \          %.1fx the MHA matching cost (paper: ~2 orders of magnitude)\n"
+      !zero_n
+      (if !zero_match_mha_t > 0. then !zero_match_epi_t /. !zero_match_mha_t
+       else nan);
+  Printf.printf
+    "   QUAL2: max full rewrite-pass time on any model: %.3f s (paper \
+     bound: < 3 s)\n\n"
+    !max_pass
+
+let fig12 () =
+  compile_cost_figure ~figure:"FIG12" ~suite:"HuggingFace" (Zoo.hf ())
+
+let fig13 () =
+  compile_cost_figure ~figure:"FIG13" ~suite:"TorchVision" (Zoo.tv ())
+
+(* ------------------------------------------------------------------ *)
+(* MM (extension): the multimodal models where all three optimization  *)
+(* families fire in one graph                                          *)
+(* ------------------------------------------------------------------ *)
+
+let mm () =
+  Printf.printf
+    "== MM (extension): CLIP-style multimodal models, full program ==\n";
+  List.iter
+    (fun (m : Zoo.model) ->
+      let env, g = m.Zoo.build () in
+      let base = Exec.graph_cost device g in
+      let stats = Pass.run (Corpus.full_program env.Std_ops.sg) g in
+      let after = Exec.graph_cost device g in
+      Printf.printf
+        "   %-12s %3d rewrites: fmha %d, conv-epilog %d, gemm-epilog %d, \
+         cublas-xyT %d; speedup %.3fx\n"
+        m.Zoo.mname stats.Pass.total_rewrites
+        (Graph.count_op g Std_ops.fmha)
+        (Graph.count_op g Std_ops.conv_bias_relu)
+        (Graph.count_op g Std_ops.gemm_bias_epilog_gelu
+        + Graph.count_op g Std_ops.gemm_bias_epilog_relu
+        + Graph.count_op g Std_ops.gemm_epilog_gelu
+        + Graph.count_op g Std_ops.gemm_epilog_relu)
+        (Graph.count_op g Std_ops.cublas_mm_xyt_f32)
+        (Exec.speedup ~baseline:base ~optimized:after))
+    (Zoo.mm ());
+  print_newline ()
+
+(* ------------------------------------------------------------------ *)
+(* Bechamel micro-benchmarks (MICRO): matcher internals & ablations    *)
+(* ------------------------------------------------------------------ *)
+
+let micro () =
+  let open Bechamel in
+  let interp : Guard.interp =
+    {
+      Guard.term_attr =
+        (fun a t -> if a = "size" then Some (Term.size t) else None);
+      sym_attr = (fun _ _ -> None);
+    }
+  in
+  (* a deep term and matching pattern *)
+  let rec deep_term n =
+    if n = 0 then Term.const "a" else Term.app "g" [ deep_term (n - 1) ]
+  in
+  let rec deep_pattern n =
+    if n = 0 then Pattern.var "x" else Pattern.app "g" [ deep_pattern (n - 1) ]
+  in
+  let t64 = deep_term 64 and p64 = deep_pattern 64 in
+  (* an alternate pile that forces backtracking: k wrong branches first *)
+  let alt_pattern k =
+    let wrong = Pattern.app "h" [ Pattern.var "x" ] in
+    Pattern.alts (List.init k (fun _ -> wrong) @ [ deep_pattern 8 ])
+  in
+  let t8 = deep_term 8 in
+  (* the recursive unary chain of figure 3 *)
+  let chain =
+    Pattern.mu "P" ~formals:[ "x"; "F" ] ~actuals:[ "x"; "F" ]
+      (Pattern.alt
+         (Pattern.fapp "F" [ Pattern.call "P" [ "x"; "F" ] ])
+         (Pattern.fapp "F" [ Pattern.var "x" ]))
+  in
+  (* naive equality ablation: structural equality without the memoized
+     hash/size shortcuts *)
+  let rec naive_equal (a : Term.t) (b : Term.t) =
+    Symbol.equal (Term.head a) (Term.head b)
+    && List.length (Term.args a) = List.length (Term.args b)
+    && List.for_all2 naive_equal (Term.args a) (Term.args b)
+  in
+  let t64' = deep_term 64 in
+  let run_matcher p t () =
+    ignore (Matcher.matches ~interp ~policy:Outcome.Policy.Backtrack p t)
+  in
+  let run_machine p t () =
+    ignore (Machine.run ~interp ~policy:Outcome.Policy.Backtrack p t)
+  in
+  let tests =
+    [
+      Test.make ~name:"matcher/deep-64" (Staged.stage (run_matcher p64 t64));
+      Test.make ~name:"machine/deep-64" (Staged.stage (run_machine p64 t64));
+      Test.make ~name:"matcher/alts-32-backtrack"
+        (Staged.stage (run_matcher (alt_pattern 32) t8));
+      Test.make ~name:"machine/alts-32-backtrack"
+        (Staged.stage (run_machine (alt_pattern 32) t8));
+      Test.make ~name:"matcher/mu-chain-64"
+        (Staged.stage (run_matcher chain t64));
+      Test.make ~name:"machine/mu-chain-64"
+        (Staged.stage (run_machine chain t64));
+      Test.make ~name:"term-equal/hashed"
+        (Staged.stage (fun () -> ignore (Term.equal t64 t64')));
+      Test.make ~name:"term-equal/naive"
+        (Staged.stage (fun () -> ignore (naive_equal t64 t64')));
+    ]
+  in
+  Printf.printf "== MICRO: matcher micro-benchmarks (bechamel) ==\n%!";
+  let cfg = Benchmark.cfg ~limit:1000 ~quota:(Time.second 0.25) () in
+  let instance = Toolkit.Instance.monotonic_clock in
+  List.iter
+    (fun test ->
+      let results = Benchmark.all cfg [ instance ] test in
+      Hashtbl.iter
+        (fun name raw ->
+          let ols =
+            Analyze.ols ~bootstrap:0 ~r_square:false
+              ~predictors:[| Measure.run |]
+          in
+          let est = Analyze.one ols instance raw in
+          match Analyze.OLS.estimates est with
+          | Some [ ns ] -> Printf.printf "   %-28s %12.1f ns/run\n%!" name ns
+          | _ -> Printf.printf "   %-28s (no estimate)\n%!" name)
+        results)
+    tests;
+  print_newline ()
+
+(* ------------------------------------------------------------------ *)
+(* ABLATION: design choices called out in DESIGN.md                    *)
+(* ------------------------------------------------------------------ *)
+
+let time_s f =
+  let t0 = Unix.gettimeofday () in
+  let r = f () in
+  (r, Unix.gettimeofday () -. t0)
+
+let ablation () =
+  Printf.printf "== ABLATION: pass and matcher design choices ==\n";
+  (* 1. root-head indexing: skip patterns whose root operator cannot match
+     the node (the paper's implementation tries every pattern at every
+     node). Same rewrites, less matcher work. *)
+  Printf.printf "\n-- root-head index (match_only over the full program) --\n";
+  List.iter
+    (fun name ->
+      let m = Option.get (Zoo.find name) in
+      let measure indexed =
+        let env, g = m.Zoo.build () in
+        let prog = Corpus.both_program env.Std_ops.sg in
+        (* warm, then time best of 3 *)
+        ignore (Pass.match_only ~indexed prog g);
+        let best = ref infinity in
+        for _ = 1 to 3 do
+          let _, t = time_s (fun () -> Pass.match_only ~indexed prog g) in
+          best := Float.min !best t
+        done;
+        let stats = Pass.match_only ~indexed prog g in
+        let attempts =
+          List.fold_left (fun a ps -> a + ps.Pass.attempts) 0 stats.Pass.per_pattern
+        in
+        (!best, attempts)
+      in
+      let t_naive, a_naive = measure false in
+      let t_idx, a_idx = measure true in
+      Printf.printf
+        "   %-14s naive %7.3f ms (%5d attempts)   indexed %7.3f ms (%5d attempts)  %4.1fx\n"
+        name (t_naive *. 1e3) a_naive (t_idx *. 1e3) a_idx
+        (t_naive /. t_idx))
+    [ "bert-base"; "gpt2-medium"; "resnet50-ish"; "vgg19-ish" ];
+  (* 2. rewrites are identical with and without the index *)
+  let m = Option.get (Zoo.find "bert-base") in
+  let run indexed =
+    let env, g = m.Zoo.build () in
+    let stats = Pass.run ~indexed (Corpus.both_program env.Std_ops.sg) g in
+    stats.Pass.total_rewrites
+  in
+  Printf.printf "   rewrites agree: naive %d, indexed %d\n" (run false) (run true);
+  (* 3. machine policy cost: Faithful vs Backtrack on the corpus patterns
+     over a model's term views (identical outcomes here, same cost) *)
+  Printf.printf "\n-- production matcher vs abstract machine on model terms --\n";
+  let env, g = (Option.get (Zoo.find "bert-mini")).Zoo.build () in
+  let view = Term_view.create g in
+  let interp = Term_view.interp view in
+  let prog = Corpus.both_program env.Std_ops.sg in
+  let terms = List.map (Term_view.term_of view) (Graph.live_nodes g) in
+  let time_impl name run_one =
+    let (), t =
+      time_s (fun () ->
+          List.iter
+            (fun (e : Program.entry) ->
+              List.iter (fun t -> ignore (run_one e.Program.pattern t)) terms)
+            prog.Program.entries)
+    in
+    Printf.printf "   %-18s %8.3f ms for %d pattern x node attempts\n" name
+      (t *. 1e3)
+      (List.length terms * List.length prog.Program.entries)
+  in
+  time_impl "matcher (CPS)" (fun p t ->
+      Matcher.matches ~interp ~policy:Outcome.Policy.Backtrack p t);
+  time_impl "abstract machine" (fun p t ->
+      Machine.run ~interp ~policy:Outcome.Policy.Backtrack p t);
+  (* 4. device sensitivity: relative speedups are a property of the graph
+     transformation, not of one device profile *)
+  Printf.printf "\n-- device sensitivity (speedup under both optimizations) --\n";
+  List.iter
+    (fun name ->
+      let m = Option.get (Zoo.find name) in
+      let speedup dev =
+        let env, g = m.Zoo.build () in
+        let base = Exec.graph_cost dev g in
+        ignore (Pass.run (Corpus.both_program env.Std_ops.sg) g);
+        Exec.speedup ~baseline:base ~optimized:(Exec.graph_cost dev g)
+      in
+      Printf.printf "   %-14s %s %.3fx   %s %.3fx\n" name
+        Cost.a6000.Cost.dname (speedup Cost.a6000) Cost.a100.Cost.dname
+        (speedup Cost.a100))
+    [ "bert-mini"; "gpt2-small"; "resnet18-ish"; "vgg16-ish" ];
+  print_newline ()
+
+(* ------------------------------------------------------------------ *)
+
+let () =
+  let which =
+    match Array.to_list Sys.argv with
+    | _ :: rest -> List.filter (fun a -> a <> "--") rest
+    | [] -> []
+  in
+  let all = which = [] || which = [ "all" ] in
+  let want name = all || List.mem name which in
+  if want "fig10" then fig10 ();
+  if want "fig11" then fig11 ();
+  if want "fig12" then fig12 ();
+  if want "fig13" then fig13 ();
+  if want "mm" then mm ();
+  if want "micro" then micro ();
+  if want "ablation" then ablation ()

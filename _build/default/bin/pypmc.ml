@@ -1,0 +1,427 @@
+(* pypmc: the PyPM command-line driver.
+
+   Mirrors the paper's toolchain shape: the frontend turns pattern source
+   into serialized pattern binaries ([compile]); the backend loads binaries
+   or source and runs the rewrite pass over models ([optimize]). The other
+   commands are developer conveniences: [parse] shows elaborated core
+   patterns, [match] runs the matcher on one term, [zoo] lists the
+   benchmark models, [partition] reports directed-graph-partitioning
+   regions. *)
+
+open Pypm
+open Cmdliner
+
+let read_file path =
+  let ic = open_in_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_in_noerr ic)
+    (fun () -> really_input_string ic (in_channel_length ic))
+
+(* Load a program from a .pypm source file or a .bin pattern binary,
+   against (and extending) the std signature. *)
+let load_program env path =
+  if Filename.check_suffix path ".bin" then
+    match Codec.decode_into ~sg:env.Std_ops.sg (read_file path) with
+    | Ok p -> Ok p
+    | Error e -> Error e
+  else
+    match Surface.load_file ~sg:env.Std_ops.sg path with
+    | Ok p -> Ok p
+    | Error e -> Error (Format.asprintf "%a" Surface.pp_error e)
+
+let or_die = function
+  | Ok v -> v
+  | Error msg ->
+      prerr_endline msg;
+      exit 1
+
+(* ------------------------------------------------------------------ *)
+(* parse                                                               *)
+(* ------------------------------------------------------------------ *)
+
+let parse_cmd =
+  let run path =
+    let env = Std_ops.make () in
+    let program = or_die (load_program env path) in
+    Format.printf "%a@." Program.pp program;
+    match Program.check program with
+    | [] -> ()
+    | diags ->
+        List.iter (Format.printf "%a@." Wf.pp_diagnostic) diags;
+        exit 1
+  in
+  let path =
+    Arg.(required & pos 0 (some file) None & info [] ~docv:"FILE"
+           ~doc:"Pattern source (.pypm) or pattern binary (.bin).")
+  in
+  Cmd.v
+    (Cmd.info "parse" ~doc:"Elaborate a pattern file and print its core form")
+    Term.(const run $ path)
+
+(* ------------------------------------------------------------------ *)
+(* compile                                                             *)
+(* ------------------------------------------------------------------ *)
+
+let compile_cmd =
+  let run path out =
+    let env = Std_ops.make () in
+    let program = or_die (load_program env path) in
+    Codec.to_file out program;
+    Printf.printf "wrote %s (%d pattern(s))\n" out
+      (List.length (Program.pattern_names program))
+  in
+  let path =
+    Arg.(required & pos 0 (some file) None & info [] ~docv:"FILE"
+           ~doc:"Pattern source (.pypm).")
+  in
+  let out =
+    Arg.(value & opt string "patterns.bin" & info [ "o"; "output" ]
+           ~docv:"OUT" ~doc:"Output pattern binary.")
+  in
+  Cmd.v
+    (Cmd.info "compile"
+       ~doc:"Serialize a pattern file to a portable pattern binary")
+    Term.(const run $ path $ out)
+
+(* ------------------------------------------------------------------ *)
+(* match                                                               *)
+(* ------------------------------------------------------------------ *)
+
+(* Ground pattern expressions are terms. *)
+let rec term_of_pexp = function
+  | Ast.Evar x -> Pypm.Term.const x
+  | Ast.Eapp (f, args) -> Pypm.Term.app f (List.map term_of_pexp args)
+  | Ast.Ealt _ ->
+      prerr_endline "ground terms cannot contain ||";
+      exit 1
+  | Ast.Elit v -> Pypm.Term.const (Graph.lit_symbol v)
+
+let match_cmd =
+  let run path pattern_name term_src trace =
+    let env = Std_ops.make () in
+    let program = or_die (load_program env path) in
+    let entry =
+      match Program.entry program pattern_name with
+      | Some e -> e
+      | None ->
+          Printf.eprintf "no pattern named %s (have: %s)\n" pattern_name
+            (String.concat ", " (Program.pattern_names program));
+          exit 1
+    in
+    let t =
+      try term_of_pexp (Parser.pexp term_src)
+      with Parser.Parse_error (pos, msg) ->
+        Format.eprintf "term syntax error at %a: %s@." Lexer.pp_pos pos msg;
+        exit 1
+    in
+    let interp = Attrs.structural ~sg:env.Std_ops.sg in
+    if trace then (
+      let rules, outcome =
+        Machine.run_trace ~interp ~policy:Outcome.Policy.Backtrack
+          entry.Program.pattern t
+      in
+      List.iteri
+        (fun i r -> Printf.printf "%4d  %s\n" (i + 1) (Machine.rule_name r))
+        rules;
+      Format.printf "%a@." Outcome.pp outcome)
+    else
+      match
+        Matcher.matches ~interp ~policy:Outcome.Policy.Backtrack
+          entry.Program.pattern t
+      with
+      | Outcome.Matched (theta, phi) ->
+          Format.printf "match: theta = %a, phi = %a@." Subst.pp theta
+            Fsubst.pp phi
+      | o ->
+          Format.printf "%a@." Outcome.pp o;
+          exit 1
+  in
+  let path =
+    Arg.(required & pos 0 (some file) None & info [] ~docv:"FILE"
+           ~doc:"Pattern source or binary.")
+  in
+  let pat =
+    Arg.(required & opt (some string) None & info [ "p"; "pattern" ]
+           ~docv:"NAME" ~doc:"Pattern to match.")
+  in
+  let term =
+    Arg.(required & opt (some string) None & info [ "t"; "term" ]
+           ~docv:"TERM" ~doc:"Ground term, e.g. 'MatMul(a, Trans(b))'.")
+  in
+  let trace =
+    Arg.(value & flag & info [ "trace" ]
+           ~doc:"Print the abstract machine's transition-rule trace.")
+  in
+  Cmd.v
+    (Cmd.info "match" ~doc:"Match one pattern against one term")
+    Term.(const run $ path $ pat $ term $ trace)
+
+(* ------------------------------------------------------------------ *)
+(* zoo                                                                 *)
+(* ------------------------------------------------------------------ *)
+
+let zoo_cmd =
+  let run () =
+    List.iter
+      (fun (m : Zoo.model) ->
+        let _, g = m.Zoo.build () in
+        Printf.printf "%-4s %-18s %4d nodes\n"
+          (match m.Zoo.family with `HF -> "HF" | `TV -> "TV" | `MM -> "MM")
+          m.Zoo.mname (Graph.live_count g))
+      (Zoo.all ())
+  in
+  Cmd.v (Cmd.info "zoo" ~doc:"List the benchmark model zoo") Term.(const run $ const ())
+
+(* ------------------------------------------------------------------ *)
+(* optimize                                                            *)
+(* ------------------------------------------------------------------ *)
+
+let build_model name =
+  match Zoo.find name with
+  | Some m -> m.Zoo.build ()
+  | None ->
+      Printf.eprintf "no model named %s; try `pypmc zoo`\n" name;
+      exit 1
+
+let optimize_cmd =
+  let run model opt patterns verbose dot debug =
+    if debug then (
+      Logs.set_reporter (Logs.format_reporter ());
+      Logs.Src.set_level Pass.log_src (Some Logs.Debug));
+    let env, g = build_model model in
+    let program =
+      match patterns with
+      | Some path -> or_die (load_program env path)
+      | None -> (
+          match opt with
+          | "none" -> Program.make ~sg:env.Std_ops.sg []
+          | "fmha" -> Corpus.fmha_program env.Std_ops.sg
+          | "epilog" -> Corpus.epilog_program env.Std_ops.sg
+          | "both" -> Corpus.both_program env.Std_ops.sg
+          | "full" -> Corpus.full_program env.Std_ops.sg
+          | other ->
+              Printf.eprintf
+                "unknown optimization set %s (none|fmha|epilog|both|full)\n"
+                other;
+              exit 1)
+    in
+    let before = Exec.graph_cost Cost.a6000 g in
+    let nodes_before = Graph.live_count g in
+    let stats = Pass.run program g in
+    (match Graph.validate g with
+    | [] -> ()
+    | errs ->
+        List.iter prerr_endline errs;
+        exit 1);
+    let after = Exec.graph_cost Cost.a6000 g in
+    Format.printf "%a@." Pass.pp_stats stats;
+    Printf.printf
+      "nodes: %d -> %d\nsimulated inference: %.4f ms -> %.4f ms (speedup %.3fx)\n"
+      nodes_before (Graph.live_count g) (before *. 1e3) (after *. 1e3)
+      (Exec.speedup ~baseline:before ~optimized:after);
+    if verbose then Format.printf "%a@." Graph.pp g;
+    match dot with
+    | Some path ->
+        Dot.write path g;
+        Printf.printf "wrote %s\n" path
+    | None -> ()
+  in
+  let model =
+    Arg.(required & opt (some string) None & info [ "m"; "model" ]
+           ~docv:"NAME" ~doc:"Zoo model to optimize.")
+  in
+  let opt =
+    Arg.(value & opt string "both" & info [ "opt" ] ~docv:"SET"
+           ~doc:"Optimization set: none, fmha, epilog, both, full.")
+  in
+  let patterns =
+    Arg.(value & opt (some file) None & info [ "patterns" ] ~docv:"FILE"
+           ~doc:"Use a pattern file/binary instead of a built-in set.")
+  in
+  let verbose =
+    Arg.(value & flag & info [ "v"; "verbose" ] ~doc:"Dump the final graph.")
+  in
+  let dot =
+    Arg.(value & opt (some string) None & info [ "dot" ] ~docv:"FILE"
+           ~doc:"Write the optimized graph as Graphviz DOT.")
+  in
+  let debug =
+    Arg.(value & flag & info [ "debug" ] ~doc:"Log each rule firing.")
+  in
+  Cmd.v
+    (Cmd.info "optimize" ~doc:"Run the rewrite pass over a zoo model")
+    Term.(const run $ model $ opt $ patterns $ verbose $ dot $ debug)
+
+(* ------------------------------------------------------------------ *)
+(* query                                                               *)
+(* ------------------------------------------------------------------ *)
+
+let query_cmd =
+  let run model path pattern_name =
+    let env, g = build_model model in
+    let program = or_die (load_program env path) in
+    let entry =
+      match Program.entry program pattern_name with
+      | Some e -> e
+      | None ->
+          Printf.eprintf "no pattern named %s (have: %s)\n" pattern_name
+            (String.concat ", " (Program.pattern_names program));
+          exit 1
+    in
+    let hits = Query.solve_rec_all g entry.Program.pattern in
+    Printf.printf "%d satisfying root(s) over %d node(s)\n" (List.length hits)
+      (Graph.live_count g);
+    List.iter
+      (fun ((n : Graph.node), env) ->
+        Format.printf "  %%%d (%s): %a@." n.Graph.id n.Graph.op Query.pp_env
+          env)
+      hits
+  in
+  let model =
+    Arg.(required & opt (some string) None & info [ "m"; "model" ]
+           ~docv:"NAME" ~doc:"Zoo model whose graph is the database.")
+  in
+  let path =
+    Arg.(required & pos 0 (some file) None & info [] ~docv:"FILE"
+           ~doc:"Pattern source or binary.")
+  in
+  let pat =
+    Arg.(required & opt (some string) None & info [ "p"; "pattern" ]
+           ~docv:"NAME" ~doc:"Pattern to evaluate as a query.")
+  in
+  Cmd.v
+    (Cmd.info "query"
+       ~doc:
+         "Evaluate a pattern as a database query over a model graph \
+          (recursive patterns via Datalog-style fixpoints)")
+    Term.(const run $ model $ path $ pat)
+
+(* ------------------------------------------------------------------ *)
+(* simplify                                                            *)
+(* ------------------------------------------------------------------ *)
+
+(* Convert an engine rule to a saturation rewrite when possible: simple
+   pattern, unguarded rule, attribute-free template. *)
+let saturate_rules_of_program (program : Program.t) =
+  let rec rhs_of = function
+    | Rule.Rvar x -> Some (Saturate.Tvar x)
+    | Rule.Rapp (op, rs) ->
+        Option.map (fun rs -> Saturate.Tapp (op, rs)) (rhs_list rs)
+    | Rule.Rfapp (f, rs) ->
+        Option.map (fun rs -> Saturate.Tfapp (f, rs)) (rhs_list rs)
+    | Rule.Rapp_attrs _ | Rule.Rcopy_attrs _ | Rule.Rlit _ -> None
+  and rhs_list rs =
+    let converted = List.filter_map rhs_of rs in
+    if List.length converted = List.length rs then Some converted else None
+  in
+  List.concat_map
+    (fun (e : Program.entry) ->
+      match Ematch.supported e.Program.pattern with
+      | Error _ -> []
+      | Ok () ->
+          List.filter_map
+            (fun (r : Rule.t) ->
+              if r.Rule.guard = Guard.True then
+                Option.map
+                  (fun rhs ->
+                    Saturate.rw ~name:r.Rule.rule_name e.Program.pattern rhs)
+                  (rhs_of r.Rule.rhs)
+              else None)
+            e.Program.rules)
+    program.Program.entries
+
+let simplify_cmd =
+  let run path term_src =
+    let env = Std_ops.make () in
+    let program = or_die (load_program env path) in
+    let t =
+      try term_of_pexp (Parser.pexp term_src)
+      with Parser.Parse_error (pos, msg) ->
+        Format.eprintf "term syntax error at %a: %s@." Lexer.pp_pos pos msg;
+        exit 1
+    in
+    let interp = Attrs.structural ~sg:env.Std_ops.sg in
+    Format.printf "input:     %a  (size %d)@." Pypm.Term.pp t (Pypm.Term.size t);
+    let inner, s1 = Term_rewrite.normalize ~interp program t in
+    Format.printf "innermost: %a  (%d step(s)%s)@." Pypm.Term.pp inner
+      s1.Term_rewrite.steps
+      (if s1.Term_rewrite.normal_form then "" else ", budget hit");
+    let outer, s2 =
+      Term_rewrite.normalize ~interp ~strategy:Term_rewrite.Outermost program t
+    in
+    Format.printf "outermost: %a  (%d step(s)%s)@." Pypm.Term.pp outer
+      s2.Term_rewrite.steps
+      (if s2.Term_rewrite.normal_form then "" else ", budget hit");
+    let rules = saturate_rules_of_program program in
+    if rules = [] then
+      print_endline
+        "saturation: skipped (no rule is expressible as a simple rewrite)"
+    else begin
+      let best, stats = Saturate.simplify ~rules t in
+      Format.printf "saturation: %a  (%a; %d of %d rule(s) usable)@."
+        Pypm.Term.pp best Saturate.pp_stats stats (List.length rules)
+        (List.fold_left
+           (fun acc (e : Program.entry) -> acc + List.length e.Program.rules)
+           0 program.Program.entries)
+    end
+  in
+  let path =
+    Arg.(required & pos 0 (some file) None & info [] ~docv:"FILE"
+           ~doc:"Pattern source or binary providing the rewrite rules.")
+  in
+  let term =
+    Arg.(required & opt (some string) None & info [ "t"; "term" ]
+           ~docv:"TERM" ~doc:"Ground term to simplify.")
+  in
+  Cmd.v
+    (Cmd.info "simplify"
+       ~doc:
+         "Normalize a term with greedy rewriting (both strategies) and with \
+          equality saturation")
+    Term.(const run $ path $ term)
+
+(* ------------------------------------------------------------------ *)
+(* partition                                                           *)
+(* ------------------------------------------------------------------ *)
+
+let partition_cmd =
+  let run model fuse =
+    let env, g = build_model model in
+    let program = Corpus.partition_program env.Std_ops.sg in
+    let regions = Partition.find program g in
+    Printf.printf "%d region(s)\n" (List.length regions);
+    List.iter (fun r -> Format.printf "  %a@." Partition.pp_region r) regions;
+    if fuse then (
+      let before = Exec.graph_cost Cost.a6000 g in
+      let fused =
+        Partition.fuse_all ~annotate:(fun interior -> Cost.fused_attrs g interior)
+          program g
+      in
+      let after = Exec.graph_cost Cost.a6000 g in
+      Printf.printf "fused %d region(s): %.4f ms -> %.4f ms (speedup %.3fx)\n"
+        (List.length fused) (before *. 1e3) (after *. 1e3)
+        (Exec.speedup ~baseline:before ~optimized:after))
+  in
+  let model =
+    Arg.(required & opt (some string) None & info [ "m"; "model" ]
+           ~docv:"NAME" ~doc:"Zoo model to partition.")
+  in
+  let fuse =
+    Arg.(value & flag & info [ "fuse" ]
+           ~doc:"Fuse the regions (simulated JIT compilation) and report cost.")
+  in
+  Cmd.v
+    (Cmd.info "partition"
+       ~doc:"Directed graph partitioning (paper, section 4.2)")
+    Term.(const run $ model $ fuse)
+
+(* ------------------------------------------------------------------ *)
+
+let () =
+  let default = Term.(ret (const (`Help (`Pager, None)))) in
+  exit
+    (Cmd.eval
+       (Cmd.group ~default
+          (Cmd.info "pypmc" ~version:"1.0.0"
+             ~doc:"PyPM pattern compiler and graph optimizer")
+          [ parse_cmd; compile_cmd; match_cmd; zoo_cmd; optimize_cmd; simplify_cmd; query_cmd; partition_cmd ]))

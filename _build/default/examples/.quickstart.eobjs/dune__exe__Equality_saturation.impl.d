@@ -1,0 +1,1 @@
+examples/equality_saturation.ml: Format List Pattern Pypm Saturate Signature Term

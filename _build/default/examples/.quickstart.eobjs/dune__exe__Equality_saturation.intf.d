@@ -1,0 +1,1 @@
+examples/equality_saturation.mli:

@@ -1,0 +1,1 @@
+examples/gelu_fusion.ml: Corpus Cost Exec Format Graph Option Pass Pattern Printf Program Pypm Std_ops Transformer

@@ -1,0 +1,1 @@
+examples/gelu_fusion.mli:

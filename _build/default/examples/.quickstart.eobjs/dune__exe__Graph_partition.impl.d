@@ -1,0 +1,1 @@
+examples/graph_partition.ml: Corpus Cost Exec Format Graph List Option Partition Printf Pypm Std_ops String Zoo

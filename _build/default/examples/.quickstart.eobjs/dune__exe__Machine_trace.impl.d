@@ -1,0 +1,1 @@
+examples/machine_trace.ml: Attrs Declarative Derivation Enumerate Format Guard List Machine Matcher Outcome Pattern Printf Pypm Signature Term

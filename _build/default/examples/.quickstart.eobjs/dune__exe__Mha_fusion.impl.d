@@ -1,0 +1,1 @@
+examples/mha_fusion.ml: Corpus Cost Exec Format Graph List Option Pass Printf Program Pypm Std_ops Zoo

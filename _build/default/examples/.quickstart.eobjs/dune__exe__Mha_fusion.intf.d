@@ -1,0 +1,1 @@
+examples/mha_fusion.mli:

@@ -1,0 +1,1 @@
+examples/quickstart.ml: Cost Dsl Dtype Elaborate Exec Format Graph List Pass Printf Program Pypm Std_ops Ty

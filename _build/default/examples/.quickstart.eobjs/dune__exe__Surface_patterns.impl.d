@@ -1,0 +1,1 @@
+examples/surface_patterns.ml: Codec Dtype Format Graph Pass Printf Program Pypm Std_ops String Surface Ty

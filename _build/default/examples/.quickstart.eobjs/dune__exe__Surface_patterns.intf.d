@@ -1,0 +1,1 @@
+examples/surface_patterns.mli:

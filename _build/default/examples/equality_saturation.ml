@@ -1,0 +1,77 @@
+(* Destructive vs nondestructive rewriting (paper, sections 1 and 5): PyPM
+   rewrites destructively and greedily — the first rule that fires wins and
+   the matched subgraph is gone. Equality-saturation engines in the egg
+   family instead *add* equalities and pick the best version at the end.
+   This example runs both on the classic ordering trap.
+
+     dune exec examples/equality_saturation.exe *)
+
+open Pypm
+module P = Pattern
+
+let () =
+  (* a tiny signature: f/2, g/1, constants *)
+  let sg = Signature.create () in
+  ignore (Signature.declare sg ~arity:2 "f");
+  ignore (Signature.declare sg ~arity:1 ~op_class:"unary_pointwise" "g");
+  ignore (Signature.declare sg ~arity:0 "a");
+  ignore (Signature.declare sg ~arity:0 "b");
+  let a = Term.const "a" and b = Term.const "b" in
+  let t = Term.app "g" [ Term.app "f" [ a; b ] ] in
+  Format.printf "input term: %a@.@." Term.pp t;
+
+  (* two rules with an ordering trap:
+       R1: f(x, b) -> g(x)       (fires inside, destroys R2's redex)
+       R2: g(f(x, b)) -> x       (the better, combined simplification) *)
+  Format.printf "R1: f(x, b) => g(x)@.R2: g(f(x, b)) => x@.@.";
+
+  (* destructive greedy (the PyPM pass): visiting nodes bottom-up, R1
+     matches at the inner f-node first and rewrites; the g(f(..)) shape is
+     gone before R2 is ever tried at the root *)
+  let greedy =
+    (* simulate on terms: innermost-first single-pass rewriting *)
+    let rec rewrite t =
+      let t = Term.app (Term.head t) (List.map rewrite (Term.args t)) in
+      match (Term.head t, Term.args t) with
+      | "f", [ x; cb ] when Term.equal cb b -> Term.app "g" [ x ]
+      | "g", [ inner ] when Term.head inner = "f" -> (
+          match Term.args inner with
+          | [ x; cb ] when Term.equal cb b -> x
+          | _ -> t)
+      | _ -> t
+    in
+    rewrite t
+  in
+  Format.printf "destructive greedy result: %a (size %d)@." Term.pp greedy
+    (Term.size greedy);
+
+  (* nondestructive: saturate an e-graph with both rules and extract *)
+  let rules =
+    [
+      Saturate.rw ~name:"R1"
+        (P.app "f" [ P.var "x"; P.const "b" ])
+        (Saturate.Tapp ("g", [ Saturate.Tvar "x" ]));
+      Saturate.rw ~name:"R2"
+        (P.app "g" [ P.app "f" [ P.var "x"; P.const "b" ] ])
+        (Saturate.Tvar "x");
+    ]
+  in
+  let best, stats = Saturate.simplify ~rules t in
+  Format.printf "equality saturation result:  %a (size %d)@." Term.pp best
+    (Term.size best);
+  Format.printf "  %a@.@." Saturate.pp_stats stats;
+
+  (* why PyPM still rewrites destructively: its rules replace subgraphs by
+     *opaque fused kernels* whose value equality is an article of faith,
+     not a syntactic equation — and compile time must stay bounded. The
+     trade is real and this pair of engines lets you measure it. *)
+  let rec tower n = if n = 0 then a else Term.app "g" [ tower (n - 1) ] in
+  let chain = tower 9 in
+  let gg_rule =
+    Saturate.rw ~name:"gg"
+      (P.app "g" [ P.app "g" [ P.var "x" ] ])
+      (Saturate.Tvar "x")
+  in
+  let best, stats = Saturate.simplify ~rules:[ gg_rule ] chain in
+  Format.printf "g-tower of 9 with g(g(x)) => x: %a, %a@." Term.pp best
+    Saturate.pp_stats stats

@@ -1,0 +1,48 @@
+(* Directed graph partitioning (section 4.2): when no hand-written
+   replacement exists, match-only patterns carve out regions known to be
+   fusable and hand them to a compiler that builds the kernel just in time
+   (here: simulated by collapsing the region into one fused node charged
+   one launch and boundary-only memory traffic).
+
+     dune exec examples/graph_partition.exe *)
+
+open Pypm
+
+let device = Cost.a6000
+
+let partition_model name =
+  let m = Option.get (Zoo.find name) in
+  let env, g = m.Zoo.build () in
+  let program = Corpus.partition_program env.Std_ops.sg in
+  let regions = Partition.find program g in
+  Printf.printf "%s: %d region(s)\n" name (List.length regions);
+  List.iter
+    (fun r ->
+      Format.printf "  %a; ops: %s@." Partition.pp_region r
+        (String.concat ", "
+           (List.map (fun n -> n.Graph.op) r.Partition.interior)))
+    regions;
+  let before = Exec.graph_cost device g in
+  let launches_before = (Exec.totals device g).Exec.launches in
+  let fused =
+    Partition.fuse_all
+      ~annotate:(fun interior -> Cost.fused_attrs g interior)
+      program g
+  in
+  let after = Exec.graph_cost device g in
+  let launches_after = (Exec.totals device g).Exec.launches in
+  (match Graph.validate g with
+  | [] -> ()
+  | errs -> List.iter prerr_endline errs);
+  Printf.printf
+    "  fused %d region(s): %.0f -> %.0f launches, %.4f -> %.4f ms (%.2fx)\n\n"
+    (List.length fused) launches_before launches_after (before *. 1e3)
+    (after *. 1e3)
+    (Exec.speedup ~baseline:before ~optimized:after)
+
+let () =
+  print_endline
+    "Figure 14's MatMulEpilog (extended with bias/scale links and conv\n\
+     leaves) partitions models into JIT-fusable regions:\n";
+  List.iter partition_model
+    [ "conv-nano"; "vgg11-ish"; "resnet18-ish"; "pico"; "bert-tiny" ]

@@ -1,0 +1,1 @@
+lib/dsl/ast.ml: Format List Printf String

@@ -1,0 +1,1 @@
+lib/dsl/dsl.ml: Ast Elaborate List String

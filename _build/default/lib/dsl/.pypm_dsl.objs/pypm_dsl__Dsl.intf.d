@@ -1,0 +1,1 @@
+lib/dsl/dsl.mli: Ast Elaborate Pypm_engine Pypm_term Signature

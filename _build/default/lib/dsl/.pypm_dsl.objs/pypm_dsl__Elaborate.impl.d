@@ -1,0 +1,1 @@
+lib/dsl/elaborate.ml: Ast Format Graph Guard Hashtbl List Map Pattern Printf Pypm_engine Pypm_graph Pypm_pattern Pypm_tensor Pypm_term Rule Set Signature String Wf

@@ -1,0 +1,1 @@
+lib/dsl/elaborate.mli: Ast Format Pypm_engine Pypm_pattern Pypm_term Signature

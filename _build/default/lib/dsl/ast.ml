@@ -1,0 +1,152 @@
+type pexp =
+  | Evar of string
+  | Eapp of string * pexp list
+  | Ealt of pexp * pexp
+  | Elit of float
+
+type gexp =
+  | Gint of int
+  | Gattr of string * string list
+  | Gdtype of string
+  | Gopclass of string
+  | Gadd of gexp * gexp
+  | Gsub of gexp * gexp
+  | Gmul of gexp * gexp
+  | Gmod of gexp * gexp
+
+type gform =
+  | Geq of gexp * gexp
+  | Gne of gexp * gexp
+  | Glt of gexp * gexp
+  | Gle of gexp * gexp
+  | Gand of gform * gform
+  | Gor of gform * gform
+  | Gnot of gform
+  | Gtrue
+  | Gfalse
+
+type stmt =
+  | Slocal of string
+  | Sopvar of string * int
+  | Salias of string * pexp
+  | Sassert of gform
+  | Sconstrain of string * pexp
+
+type pattern_def = {
+  pd_name : string;
+  pd_params : string list;
+  pd_stmts : stmt list;
+  pd_return : pexp;
+}
+
+type branch = { br_guard : gform option; br_return : pexp }
+
+type rule_def = {
+  rd_name : string;
+  rd_for : string;
+  rd_params : string list;
+  rd_asserts : gform list;
+  rd_branches : branch list;
+  rd_copy_attrs_from : string option;
+}
+
+type op_def = {
+  od_name : string;
+  od_arity : int;
+  od_output_arity : int;
+  od_class : string;
+}
+
+type program = {
+  ops : op_def list;
+  patterns : pattern_def list;
+  rules : rule_def list;
+}
+
+let empty_program = { ops = []; patterns = []; rules = [] }
+
+let rec pexp_vars = function
+  | Evar x -> [ x ]
+  | Eapp (_, args) -> List.concat_map pexp_vars args
+  | Ealt (a, b) -> pexp_vars a @ pexp_vars b
+  | Elit _ -> []
+
+let rec pp_pexp ppf = function
+  | Evar x -> Format.pp_print_string ppf x
+  | Eapp (f, []) -> Format.fprintf ppf "%s()" f
+  | Eapp (f, args) ->
+      Format.fprintf ppf "%s(%a)" f
+        (Format.pp_print_list
+           ~pp_sep:(fun ppf () -> Format.pp_print_string ppf ", ")
+           pp_pexp)
+        args
+  | Ealt (a, b) -> Format.fprintf ppf "(%a || %a)" pp_pexp a pp_pexp b
+  | Elit v -> Format.fprintf ppf "%g" v
+
+let rec pp_gexp ppf = function
+  | Gint n -> Format.pp_print_int ppf n
+  | Gattr (x, path) ->
+      Format.fprintf ppf "%s.%s" x (String.concat "." path)
+  | Gdtype d -> Format.pp_print_string ppf d
+  | Gopclass c -> Format.fprintf ppf "opclass(%S)" c
+  | Gadd (a, b) -> Format.fprintf ppf "(%a + %a)" pp_gexp a pp_gexp b
+  | Gsub (a, b) -> Format.fprintf ppf "(%a - %a)" pp_gexp a pp_gexp b
+  | Gmul (a, b) -> Format.fprintf ppf "(%a * %a)" pp_gexp a pp_gexp b
+  | Gmod (a, b) -> Format.fprintf ppf "(%a %% %a)" pp_gexp a pp_gexp b
+
+let rec pp_gform ppf = function
+  | Geq (a, b) -> Format.fprintf ppf "%a == %a" pp_gexp a pp_gexp b
+  | Gne (a, b) -> Format.fprintf ppf "%a != %a" pp_gexp a pp_gexp b
+  | Glt (a, b) -> Format.fprintf ppf "%a < %a" pp_gexp a pp_gexp b
+  | Gle (a, b) -> Format.fprintf ppf "%a <= %a" pp_gexp a pp_gexp b
+  | Gand (a, b) -> Format.fprintf ppf "(%a && %a)" pp_gform a pp_gform b
+  | Gor (a, b) -> Format.fprintf ppf "(%a || %a)" pp_gform a pp_gform b
+  | Gnot a -> Format.fprintf ppf "!(%a)" pp_gform a
+  | Gtrue -> Format.pp_print_string ppf "true"
+  | Gfalse -> Format.pp_print_string ppf "false"
+
+let pp_stmt ppf = function
+  | Slocal x -> Format.fprintf ppf "%s = var();" x
+  | Sopvar (x, n) -> Format.fprintf ppf "%s = Op(%d, 1);" x n
+  | Salias (x, e) -> Format.fprintf ppf "%s = %a;" x pp_pexp e
+  | Sassert g -> Format.fprintf ppf "assert %a;" pp_gform g
+  | Sconstrain (x, e) -> Format.fprintf ppf "%s <= %a;" x pp_pexp e
+
+let pp_pattern_def ppf pd =
+  Format.fprintf ppf "@[<v 2>pattern %s(%s) {" pd.pd_name
+    (String.concat ", " pd.pd_params);
+  List.iter (fun s -> Format.fprintf ppf "@,%a" pp_stmt s) pd.pd_stmts;
+  Format.fprintf ppf "@,return %a;@]@,}" pp_pexp pd.pd_return
+
+let pp_rule_def ppf rd =
+  Format.fprintf ppf "@[<v 2>rule %s for %s(%s) {" rd.rd_name rd.rd_for
+    (String.concat ", " rd.rd_params);
+  List.iter
+    (fun g -> Format.fprintf ppf "@,assert %a;" pp_gform g)
+    rd.rd_asserts;
+  List.iter
+    (fun br ->
+      match br.br_guard with
+      | None -> Format.fprintf ppf "@,return %a;" pp_pexp br.br_return
+      | Some g ->
+          Format.fprintf ppf "@,return %a when %a;" pp_pexp br.br_return
+            pp_gform g)
+    rd.rd_branches;
+  Format.fprintf ppf "@]@,}"
+
+let pp_program ppf p =
+  Format.fprintf ppf "@[<v>";
+  List.iter
+    (fun od ->
+      let params =
+        String.concat ", "
+          (List.init od.od_arity (fun i -> Printf.sprintf "a%d" i))
+      in
+      Format.fprintf ppf "op %s(%s)%s class %S;@," od.od_name params
+        (if od.od_output_arity = 1 then ""
+         else Printf.sprintf " -> %d" od.od_output_arity)
+        od.od_class)
+    p.ops;
+  List.iter (fun pd -> Format.fprintf ppf "%a@," pp_pattern_def pd) p.patterns;
+  List.iter (fun rd -> Format.fprintf ppf "%a@," pp_rule_def rd) p.rules;
+  Format.fprintf ppf "@]"

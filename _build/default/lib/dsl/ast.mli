@@ -1,0 +1,105 @@
+(** The frontend abstract syntax of PyPM programs.
+
+    Both frontends produce this AST: the OCaml combinator embedding
+    ({!Dsl}) and the textual surface language ({!Pypm_surface.Parser}).
+    It mirrors what PyPM's Python tracer collects from a decorated method
+    body before elaboration to the core calculus:
+
+    - operator declarations ([@op]);
+    - pattern definitions ([@pattern]) — a parameter list, a statement
+      sequence (local aliases, [var()] locals, operator-variable locals,
+      assertions, match constraints) and a returned pattern expression;
+      several definitions sharing a name are alternates;
+    - rule definitions ([@rule(Pat)]) — assertions plus one or more guarded
+      return branches (the [if eltType == f32: return ...] dispatch of
+      figure 1 becomes one branch per arm). *)
+
+(** Pattern-body expressions. Application heads are unresolved names; the
+    elaborator decides whether a head is an operator, a defined pattern
+    (call), or a function variable. *)
+type pexp =
+  | Evar of string  (** parameter, local, or alias reference *)
+  | Eapp of string * pexp list
+  | Ealt of pexp * pexp
+      (** inline alternation [p1 || p2]: the frontend analogue of Python
+          control flow in a pattern body, where the tracer "will execute
+          every branch" (paper, section 2.4) *)
+  | Elit of float  (** a scalar literal such as [2] or [0.5] *)
+
+(** Guard expressions, surface flavoured: attribute paths like
+    [x.shape.rank] keep their spelling and are normalized to core attribute
+    names during elaboration. *)
+type gexp =
+  | Gint of int
+  | Gattr of string * string list  (** [x.shape.rank] = [Gattr("x", ["shape"; "rank"])] *)
+  | Gdtype of string  (** [f32], [i8], ... *)
+  | Gopclass of string  (** [opclass("unary_pointwise")] *)
+  | Gadd of gexp * gexp
+  | Gsub of gexp * gexp
+  | Gmul of gexp * gexp
+  | Gmod of gexp * gexp
+
+type gform =
+  | Geq of gexp * gexp
+  | Gne of gexp * gexp
+  | Glt of gexp * gexp
+  | Gle of gexp * gexp
+  | Gand of gform * gform
+  | Gor of gform * gform
+  | Gnot of gform
+  | Gtrue
+  | Gfalse
+
+(** Pattern-body statements, in source order. *)
+type stmt =
+  | Slocal of string  (** [y = var()] *)
+  | Sopvar of string * int  (** [F = Op(1, 1)]: a local function variable of the given arity *)
+  | Salias of string * pexp  (** [yt = Trans(y)]: a pure alias, inlined *)
+  | Sassert of gform
+  | Sconstrain of string * pexp  (** [x <= p] *)
+
+type pattern_def = {
+  pd_name : string;
+  pd_params : string list;
+  pd_stmts : stmt list;
+  pd_return : pexp;
+}
+
+(** One rule branch: an optional extra guard and the replacement. *)
+type branch = { br_guard : gform option; br_return : pexp }
+
+type rule_def = {
+  rd_name : string;
+  rd_for : string;  (** the pattern this rule attaches to *)
+  rd_params : string list;
+  rd_asserts : gform list;
+  rd_branches : branch list;
+  rd_copy_attrs_from : string option;
+      (** when set, replacement nodes copy the matched node's attributes
+          from this variable (stride/pad propagation) *)
+}
+
+type op_def = {
+  od_name : string;
+  od_arity : int;
+  od_output_arity : int;
+  od_class : string;
+}
+
+type program = {
+  ops : op_def list;
+  patterns : pattern_def list;  (** in definition order; alternates interleave *)
+  rules : rule_def list;  (** in definition order *)
+}
+
+val empty_program : program
+
+(** Free names referenced by an expression (application heads excluded). *)
+val pexp_vars : pexp -> string list
+
+val pp_pexp : Format.formatter -> pexp -> unit
+val pp_gform : Format.formatter -> gform -> unit
+val pp_stmt : Format.formatter -> stmt -> unit
+val pp_pattern_def : Format.formatter -> pattern_def -> unit
+val pp_rule_def : Format.formatter -> rule_def -> unit
+val pp_program : Format.formatter -> program -> unit

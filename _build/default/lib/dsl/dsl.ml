@@ -1,0 +1,84 @@
+type t = {
+  mutable ops : Ast.op_def list; (* reverse order *)
+  mutable patterns : Ast.pattern_def list;
+  mutable rules : Ast.rule_def list;
+}
+
+let create () = { ops = []; patterns = []; rules = [] }
+
+let op t ?(output_arity = 1) ?(cls = "generic") ~arity name =
+  t.ops <-
+    {
+      Ast.od_name = name;
+      od_arity = arity;
+      od_output_arity = output_arity;
+      od_class = cls;
+    }
+    :: t.ops
+
+type body = { mutable stmts : Ast.stmt list (* reverse order *) }
+
+let pattern t name ~params f =
+  let b = { stmts = [] } in
+  let ret = f b in
+  t.patterns <-
+    {
+      Ast.pd_name = name;
+      pd_params = params;
+      pd_stmts = List.rev b.stmts;
+      pd_return = ret;
+    }
+    :: t.patterns
+
+let var_ b x =
+  b.stmts <- Ast.Slocal x :: b.stmts;
+  Ast.Evar x
+
+let opvar b x ~arity = b.stmts <- Ast.Sopvar (x, arity) :: b.stmts
+let assert_ b g = b.stmts <- Ast.Sassert g :: b.stmts
+let constrain b x p = b.stmts <- Ast.Sconstrain (x, p) :: b.stmts
+
+let v x = Ast.Evar x
+let app f args = Ast.Eapp (f, args)
+let lit x = Ast.Elit x
+let ( |. ) a b = Ast.Ealt (a, b)
+
+let attr x path = Ast.Gattr (x, String.split_on_char '.' path)
+let i n = Ast.Gint n
+let dtype d = Ast.Gdtype d
+let opclass c = Ast.Gopclass c
+let ( +. ) a b = Ast.Gadd (a, b)
+let ( -. ) a b = Ast.Gsub (a, b)
+let ( *. ) a b = Ast.Gmul (a, b)
+let ( %. ) a b = Ast.Gmod (a, b)
+let ( ==. ) a b = Ast.Geq (a, b)
+let ( !=. ) a b = Ast.Gne (a, b)
+let ( <. ) a b = Ast.Glt (a, b)
+let ( <=. ) a b = Ast.Gle (a, b)
+let ( &&. ) a b = Ast.Gand (a, b)
+let ( ||. ) a b = Ast.Gor (a, b)
+let not_ a = Ast.Gnot a
+
+let rule t name ~for_ ~params ?(asserts = []) ?copy_attrs_from branches =
+  t.rules <-
+    {
+      Ast.rd_name = name;
+      rd_for = for_;
+      rd_params = params;
+      rd_asserts = asserts;
+      rd_branches =
+        List.map
+          (fun (g, e) -> { Ast.br_guard = g; br_return = e })
+          branches;
+      rd_copy_attrs_from = copy_attrs_from;
+    }
+    :: t.rules
+
+let ast t =
+  {
+    Ast.ops = List.rev t.ops;
+    patterns = List.rev t.patterns;
+    rules = List.rev t.rules;
+  }
+
+let program t ~sg = Elaborate.program ~sg (ast t)

@@ -1,0 +1,108 @@
+(** The OCaml embedding of PyPM.
+
+    The combinator analogue of the Python decorators: a registry session
+    collects [op], [pattern] and [rule] definitions in order (defining a
+    pattern name twice appends an alternate, exactly like PyPM), and
+    [program] elaborates everything to an engine program.
+
+    A pattern body is a function from a {!body} handle to the returned
+    expression; the handle provides PyPM's imperative body forms —
+    [var_] for [y = var()], [opvar] for [F = Op(n, 1)], [assert_], and
+    [constrain] for [x <= p]:
+
+    {[
+      let s = Dsl.create () in
+      Dsl.op s ~arity:2 "MatMul";
+      Dsl.op s ~arity:1 "Trans";
+      Dsl.pattern s "MMxyT" ~params:[ "x"; "y" ] (fun b ->
+          Dsl.assert_ b Dsl.(attr "x" "rank" ==. i 2);
+          Dsl.assert_ b Dsl.(attr "y" "rank" ==. i 2);
+          let yt = Dsl.app "Trans" [ Dsl.v "y" ] in
+          Dsl.app "MatMul" [ Dsl.v "x"; yt ]);
+      Dsl.rule s "cublasrule" ~for_:"MMxyT" ~params:[ "x"; "y" ]
+        [ (Some Dsl.(attr "x" "eltType" ==. dtype "f32"),
+           Dsl.app "cublasMM_xyT_f32" [ Dsl.v "x"; Dsl.v "y" ]) ];
+    ]} *)
+
+open Pypm_term
+
+type t
+
+val create : unit -> t
+
+(** The [@op] decorator: declare an operator. *)
+val op :
+  t -> ?output_arity:int -> ?cls:string -> arity:int -> string -> unit
+
+(** {1 Pattern bodies} *)
+
+type body
+
+(** The [@pattern] decorator. Defining the same name again appends an
+    alternate; its parameter count must agree. *)
+val pattern : t -> string -> params:string list -> (body -> Ast.pexp) -> unit
+
+(** [var_ b "y"] is PyPM's [y = var()]: a fresh local, scoped to the
+    definition; returns the expression [y]. *)
+val var_ : body -> string -> Ast.pexp
+
+(** [opvar b "F" ~arity] is figure 14's [F = Op(arity, 1)]: a local
+    function variable. *)
+val opvar : body -> string -> arity:int -> unit
+
+val assert_ : body -> Ast.gform -> unit
+
+(** [constrain b "x" p] is PyPM's match constraint [x <= p]. *)
+val constrain : body -> string -> Ast.pexp -> unit
+
+(** {1 Expressions} *)
+
+val v : string -> Ast.pexp
+val app : string -> Ast.pexp list -> Ast.pexp
+val lit : float -> Ast.pexp
+
+(** Inline alternation [p1 || p2]. *)
+val ( |. ) : Ast.pexp -> Ast.pexp -> Ast.pexp
+
+(** {1 Guard expressions} *)
+
+val attr : string -> string -> Ast.gexp
+(** [attr "x" "shape.rank"] — the path is split on dots *)
+
+val i : int -> Ast.gexp
+val dtype : string -> Ast.gexp
+val opclass : string -> Ast.gexp
+val ( +. ) : Ast.gexp -> Ast.gexp -> Ast.gexp
+val ( -. ) : Ast.gexp -> Ast.gexp -> Ast.gexp
+val ( *. ) : Ast.gexp -> Ast.gexp -> Ast.gexp
+val ( %. ) : Ast.gexp -> Ast.gexp -> Ast.gexp
+val ( ==. ) : Ast.gexp -> Ast.gexp -> Ast.gform
+val ( !=. ) : Ast.gexp -> Ast.gexp -> Ast.gform
+val ( <. ) : Ast.gexp -> Ast.gexp -> Ast.gform
+val ( <=. ) : Ast.gexp -> Ast.gexp -> Ast.gform
+val ( &&. ) : Ast.gform -> Ast.gform -> Ast.gform
+val ( ||. ) : Ast.gform -> Ast.gform -> Ast.gform
+val not_ : Ast.gform -> Ast.gform
+
+(** {1 Rules} *)
+
+(** The [@rule(Pat)] decorator. [branches] are tried in order; the first
+    whose guard (conjoined with [asserts]) passes fires. *)
+val rule :
+  t ->
+  string ->
+  for_:string ->
+  params:string list ->
+  ?asserts:Ast.gform list ->
+  ?copy_attrs_from:string ->
+  (Ast.gform option * Ast.pexp) list ->
+  unit
+
+(** {1 Output} *)
+
+(** The collected AST, in definition order. *)
+val ast : t -> Ast.program
+
+(** Elaborate against (and extend) a signature. *)
+val program :
+  t -> sg:Signature.t -> (Pypm_engine.Program.t, Elaborate.error list) result

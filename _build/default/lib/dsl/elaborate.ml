@@ -1,0 +1,509 @@
+open Pypm_term
+open Pypm_pattern
+open Pypm_graph
+open Pypm_engine
+module P = Pattern
+module G = Guard
+
+type error = { context : string; message : string }
+
+let pp_error ppf e = Format.fprintf ppf "%s: %s" e.context e.message
+
+exception Elab of error
+
+let fail context fmt =
+  Format.kasprintf (fun message -> raise (Elab { context; message })) fmt
+
+let fresh_counter = ref 0
+
+let fresh base =
+  incr fresh_counter;
+  Printf.sprintf "%s$%d" base !fresh_counter
+
+module SMap = Map.Make (String)
+module SSet = Set.Make (String)
+
+(* ------------------------------------------------------------------ *)
+(* Guard lowering                                                      *)
+(* ------------------------------------------------------------------ *)
+
+(* Normalize attribute paths: [shape.rank] and [rank] both mean the core
+   attribute "rank"; [shape.dim0] means "dim0"; [value] means the constant
+   payload "value_x1000". *)
+let attr_of_path context path =
+  let path = match path with "shape" :: rest -> rest | p -> p in
+  match path with
+  | [ "rank" ] -> "rank"
+  | [ "eltType" ] -> "eltType"
+  | [ "nelems" ] -> "nelems"
+  | [ "bytes" ] -> "bytes"
+  | [ "size" ] -> "size"
+  | [ "depth" ] -> "depth"
+  | [ "op_class" ] -> "op_class"
+  | [ "arity" ] -> "arity"
+  | [ "output_arity" ] -> "output_arity"
+  | [ "value" ] -> "value_x1000"
+  | [ d ]
+    when String.length d = 4
+         && String.sub d 0 3 = "dim"
+         && d.[3] >= '0'
+         && d.[3] <= '9' ->
+      d
+  | _ -> fail context "unknown attribute .%s" (String.concat "." path)
+
+let lower_gexp ~context ~fvars e =
+  let rec go = function
+    | Ast.Gint n -> G.Const n
+    | Ast.Gattr (x, path) ->
+        let attr = attr_of_path context path in
+        if fvars x then G.Fvar_attr (x, attr) else G.Var_attr (x, attr)
+    | Ast.Gdtype d -> (
+        match Pypm_tensor.Dtype.of_string d with
+        | Some dt -> G.Const (Pypm_tensor.Dtype.code dt)
+        | None -> fail context "unknown element type %s" d)
+    | Ast.Gopclass c -> G.Const (Pypm_tensor.Attrs.class_code c)
+    | Ast.Gadd (a, b) -> G.Add (go a, go b)
+    | Ast.Gsub (a, b) -> G.Sub (go a, go b)
+    | Ast.Gmul (a, b) -> G.Mul (go a, go b)
+    | Ast.Gmod (a, b) -> G.Mod (go a, go b)
+  in
+  go e
+
+let lower_gform_exn ~context ~fvars g =
+  let e = lower_gexp ~context ~fvars in
+  let rec go = function
+    | Ast.Geq (a, b) -> G.Eq (e a, e b)
+    | Ast.Gne (a, b) -> G.Ne (e a, e b)
+    | Ast.Glt (a, b) -> G.Lt (e a, e b)
+    | Ast.Gle (a, b) -> G.Le (e a, e b)
+    | Ast.Gand (a, b) -> G.And (go a, go b)
+    | Ast.Gor (a, b) -> G.Or (go a, go b)
+    | Ast.Gnot a -> G.Not (go a)
+    | Ast.Gtrue -> G.True
+    | Ast.Gfalse -> G.False
+  in
+  go g
+
+let lower_gform ~fvars g =
+  match lower_gform_exn ~context:"guard" ~fvars:(fun x -> fvars x) g with
+  | g -> Ok g
+  | exception Elab e -> Error e.message
+
+(* ------------------------------------------------------------------ *)
+(* Pattern groups and recursion analysis                               *)
+(* ------------------------------------------------------------------ *)
+
+type group = {
+  gname : string;
+  params : string list;
+  defs : Ast.pattern_def list;  (** in definition order *)
+}
+
+let group_patterns (defs : Ast.pattern_def list) =
+  let order = ref [] in
+  let table = Hashtbl.create 16 in
+  List.iter
+    (fun (pd : Ast.pattern_def) ->
+      match Hashtbl.find_opt table pd.Ast.pd_name with
+      | None ->
+          order := pd.Ast.pd_name :: !order;
+          Hashtbl.replace table pd.Ast.pd_name
+            { gname = pd.Ast.pd_name; params = pd.Ast.pd_params; defs = [ pd ] }
+      | Some g ->
+          if List.length g.params <> List.length pd.Ast.pd_params then
+            fail pd.Ast.pd_name
+              "alternate has %d parameters but an earlier alternate has %d"
+              (List.length pd.Ast.pd_params)
+              (List.length g.params);
+          Hashtbl.replace table pd.Ast.pd_name { g with defs = g.defs @ [ pd ] })
+    defs;
+  (List.rev !order, table)
+
+(* Names of patterns called from a definition (heads that are pattern
+   names are only known with the table in hand). *)
+let rec calls_in_pexp table acc = function
+  | Ast.Evar _ | Ast.Elit _ -> acc
+  | Ast.Ealt (a, b) -> calls_in_pexp table (calls_in_pexp table acc a) b
+  | Ast.Eapp (head, args) ->
+      let acc = if Hashtbl.mem table head then SSet.add head acc else acc in
+      List.fold_left (calls_in_pexp table) acc args
+
+let calls_of_group table g =
+  List.fold_left
+    (fun acc (pd : Ast.pattern_def) ->
+      let acc =
+        List.fold_left
+          (fun acc -> function
+            | Ast.Sconstrain (_, e) | Ast.Salias (_, e) ->
+                calls_in_pexp table acc e
+            | Ast.Slocal _ | Ast.Sopvar _ | Ast.Sassert _ -> acc)
+          acc pd.Ast.pd_stmts
+      in
+      calls_in_pexp table acc pd.Ast.pd_return)
+    SSet.empty g.defs
+
+(* Reject mutual recursion: any cycle through >= 2 pattern names. *)
+let check_no_mutual_recursion order table =
+  let graph =
+    List.map
+      (fun name -> (name, calls_of_group table (Hashtbl.find table name)))
+      order
+  in
+  let edges name = try List.assoc name graph with Not_found -> SSet.empty in
+  let rec reachable seen from =
+    if SSet.mem from seen then seen
+    else
+      SSet.fold
+        (fun next seen -> reachable seen next)
+        (edges from) (SSet.add from seen)
+  in
+  List.iter
+    (fun (name, nexts) ->
+      (* a DFS from each callee other than self that finds its way back
+         means a mutual cycle *)
+      SSet.iter
+        (fun next ->
+          if next <> name && SSet.mem name (reachable SSet.empty next) then
+            fail name
+              "mutually recursive with %s; the core calculus supports only \
+               self-recursion (single mu)"
+              next)
+        nexts)
+    graph
+
+(* ------------------------------------------------------------------ *)
+(* Definition elaboration                                              *)
+(* ------------------------------------------------------------------ *)
+
+type ctx = {
+  sg : Signature.t;
+  table : (string, group) Hashtbl.t;
+  (* elaborated non-recursive groups, memoized *)
+  done_ : (string, P.t) Hashtbl.t;
+  mutable in_progress : SSet.t;
+}
+
+(* State while elaborating one definition body. *)
+type body_env = {
+  context : string;
+  params : SSet.t;
+  mutable locals : string list;  (* var() locals, reverse order *)
+  mutable opvars : (string * int) list;  (* function-variable locals *)
+  mutable extra_locals : string list;  (* fresh vars minted for call args *)
+  aliases : (string, Ast.pexp) Hashtbl.t;
+  mutable constraints : (string * P.t) list;  (* reverse order *)
+  mutable fvar_params : SSet.t;  (* params used in operator position *)
+  self : string option;  (* Some name when the group is self-recursive *)
+}
+
+let is_opvar env x = List.mem_assoc x env.opvars
+
+let rec elaborate_group ctx name =
+  match Hashtbl.find_opt ctx.done_ name with
+  | Some p -> p
+  | None ->
+      if SSet.mem name ctx.in_progress then
+        (* self-recursion handled by the caller via [self]; reaching here
+           means a call cycle the analysis should have rejected *)
+        fail name "unexpected recursion during elaboration";
+      ctx.in_progress <- SSet.add name ctx.in_progress;
+      let g = Hashtbl.find ctx.table name in
+      let self_recursive = SSet.mem name (calls_of_group ctx.table g) in
+      let self = if self_recursive then Some name else None in
+      let alts =
+        List.map (fun def -> elaborate_def ctx g ~self def) g.defs
+      in
+      let body = P.alts alts in
+      let pat =
+        if self_recursive then
+          P.mu name ~formals:g.params ~actuals:g.params body
+        else body
+      in
+      ctx.in_progress <- SSet.remove name ctx.in_progress;
+      Hashtbl.replace ctx.done_ name pat;
+      pat
+
+and elaborate_def ctx (g : group) ~self (def : Ast.pattern_def) =
+  let env =
+    {
+      context = Printf.sprintf "pattern %s" g.gname;
+      params = SSet.of_list def.Ast.pd_params;
+      locals = [];
+      opvars = [];
+      extra_locals = [];
+      aliases = Hashtbl.create 8;
+      constraints = [];
+      fvar_params = SSet.empty;
+      self;
+    }
+  in
+  (* First pass: collect locals / opvars / aliases so resolution during the
+     second pass sees them all (PyPM executes top to bottom, but aliases
+     may only be used after definition anyway). *)
+  let guards = ref [] in
+  List.iter
+    (fun stmt ->
+      match stmt with
+      | Ast.Slocal x -> env.locals <- x :: env.locals
+      | Ast.Sopvar (x, n) -> env.opvars <- (x, n) :: env.opvars
+      | Ast.Salias (x, e) ->
+          if Hashtbl.mem env.aliases x then
+            fail env.context "alias %s defined twice" x;
+          Hashtbl.replace env.aliases x e
+      | Ast.Sassert _ | Ast.Sconstrain _ -> ())
+    def.Ast.pd_stmts;
+  (* Second pass: lower constraints and asserts in order. *)
+  List.iter
+    (fun stmt ->
+      match stmt with
+      | Ast.Sconstrain (x, e) ->
+          if not (SSet.mem x env.params || List.mem x env.locals) then
+            fail env.context
+              "match constraint target %s is neither a parameter nor a local"
+              x;
+          let p = lower_pexp ctx env e in
+          env.constraints <- (x, p) :: env.constraints
+      | Ast.Sassert gf ->
+          guards :=
+            lower_gform_exn ~context:env.context
+              ~fvars:(fun x ->
+                is_opvar env x || SSet.mem x env.fvar_params)
+              gf
+            :: !guards
+      | _ -> ())
+    def.Ast.pd_stmts;
+  let base = lower_pexp ctx env def.Ast.pd_return in
+  (* constraints apply in source order: earliest is innermost *)
+  let with_constraints =
+    List.fold_left
+      (fun acc (x, p) -> P.constr acc p x)
+      base (List.rev env.constraints)
+  in
+  let with_guards = P.guarded with_constraints (List.rev !guards) in
+  let with_locals =
+    List.fold_left
+      (fun acc x -> P.exists x acc)
+      with_guards
+      (env.locals @ env.extra_locals)
+  in
+  List.fold_left
+    (fun acc (f, _arity) -> P.exists_f f acc)
+    with_locals env.opvars
+
+and lower_pexp ctx env (e : Ast.pexp) : P.t =
+  match e with
+  | Ast.Elit v ->
+      let sym = Graph.declare_lit ctx.sg v in
+      P.const sym
+  | Ast.Evar x -> (
+      match Hashtbl.find_opt env.aliases x with
+      | Some aliased -> lower_pexp ctx env aliased
+      | None ->
+          if SSet.mem x env.params || List.mem x env.locals
+             || List.mem x env.extra_locals
+          then P.var x
+          else if is_opvar env x then
+            fail env.context
+              "operator variable %s used in term position" x
+          else if Signature.arity ctx.sg x = Some 0 then P.const x
+          else fail env.context "unbound name %s" x)
+  | Ast.Ealt (a, b) -> P.alt (lower_pexp ctx env a) (lower_pexp ctx env b)
+  | Ast.Eapp (head, args) ->
+      if Hashtbl.mem env.aliases head then
+        fail env.context "alias %s cannot be applied" head;
+      if Some head = env.self then lower_self_call ctx env head args
+      else if Hashtbl.mem ctx.table head then lower_inline_call ctx env head args
+      else if is_opvar env head then (
+        let arity = List.assoc head env.opvars in
+        if arity <> List.length args then
+          fail env.context "operator variable %s has arity %d, applied to %d"
+            head arity (List.length args);
+        P.fapp head (List.map (lower_pexp ctx env) args))
+      else if SSet.mem head env.params then (
+        (* a parameter used as a function: a function-variable parameter,
+           like [f] in figure 3 *)
+        env.fvar_params <- SSet.add head env.fvar_params;
+        P.fapp head (List.map (lower_pexp ctx env) args))
+      else
+        match Signature.arity ctx.sg head with
+        | Some n ->
+            if n <> List.length args then
+              fail env.context "operator %s has arity %d, applied to %d" head
+                n (List.length args);
+            P.app head (List.map (lower_pexp ctx env) args)
+        | None -> fail env.context "unknown operator or pattern %s" head
+
+(* A call argument must be a variable in the core; non-variable arguments
+   get a fresh variable pinned by a match constraint. Returns the variable
+   together with an optional (pattern, var) constraint to wrap. *)
+and lower_call_arg ctx env e =
+  match e with
+  | Ast.Evar x
+    when SSet.mem x env.params || List.mem x env.locals
+         || List.mem x env.extra_locals || is_opvar env x
+         || SSet.mem x env.fvar_params ->
+      (x, None)
+  | _ ->
+      let z = fresh "arg" in
+      env.extra_locals <- z :: env.extra_locals;
+      let p = lower_pexp ctx env e in
+      (z, Some p)
+
+and lower_self_call ctx env name args =
+  let g = Hashtbl.find ctx.table name in
+  if List.length args <> List.length g.params then
+    fail env.context "recursive call %s expects %d arguments, got %d" name
+      (List.length g.params) (List.length args);
+  let vars_and_constraints = List.map (lower_call_arg ctx env) args in
+  let vars = List.map fst vars_and_constraints in
+  let base = P.call name vars in
+  List.fold_left
+    (fun acc (z, c) ->
+      match c with None -> acc | Some p -> P.constr acc p z)
+    base vars_and_constraints
+
+and lower_inline_call ctx env name args =
+  let g = Hashtbl.find ctx.table name in
+  if List.length args <> List.length g.params then
+    fail env.context "pattern call %s expects %d arguments, got %d" name
+      (List.length g.params) (List.length args);
+  let callee = elaborate_group ctx name in
+  let vars_and_constraints = List.map (lower_call_arg ctx env) args in
+  let vars = List.map fst vars_and_constraints in
+  (* Rename the callee's parameters to the argument variables and freshen
+     its binders so repeated inlinings cannot collide. *)
+  let renamed = P.rename (List.combine g.params vars) callee in
+  let inlined = P.freshen_binders renamed in
+  List.fold_left
+    (fun acc (z, c) ->
+      match c with None -> acc | Some p -> P.constr acc p z)
+    inlined vars_and_constraints
+
+(* ------------------------------------------------------------------ *)
+(* Rules                                                               *)
+(* ------------------------------------------------------------------ *)
+
+let lower_rhs ctx (rd : Ast.rule_def) e =
+  let context = Printf.sprintf "rule %s" rd.Ast.rd_name in
+  let params = SSet.of_list rd.Ast.rd_params in
+  let rec go ~top = function
+    | Ast.Evar x ->
+        if SSet.mem x params then Rule.Rvar x
+        else if Signature.arity ctx.sg x = Some 0 then Rule.Rapp (x, [])
+        else fail context "unbound name %s in replacement" x
+    | Ast.Elit v ->
+        ignore (Graph.declare_lit ctx.sg v);
+        Rule.Rlit v
+    | Ast.Ealt _ ->
+        fail context "replacements are deterministic; || is not allowed"
+    | Ast.Eapp (head, args) -> (
+        (* operators shadow pattern names in replacement position: rules
+           can only build operator nodes (a pattern named like its target
+           operator, as in figure 2's Gelu, is fine) *)
+        if Hashtbl.mem ctx.table head && Signature.arity ctx.sg head = None
+        then fail context "replacement cannot call pattern %s" head;
+        let lowered = List.map (go ~top:false) args in
+        match Signature.arity ctx.sg head with
+        | Some n ->
+            if n <> List.length args then
+              fail context "operator %s has arity %d, applied to %d" head n
+                (List.length args);
+            if top then
+              match rd.Ast.rd_copy_attrs_from with
+              | Some src -> Rule.Rcopy_attrs (head, lowered, src)
+              | None -> Rule.Rapp (head, lowered)
+            else Rule.Rapp (head, lowered)
+        | None ->
+            if SSet.mem head params then Rule.Rfapp (head, lowered)
+            else fail context "unknown operator %s in replacement" head)
+  in
+  go ~top:true e
+
+let lower_rule ctx (rd : Ast.rule_def) =
+  let context = Printf.sprintf "rule %s" rd.Ast.rd_name in
+  let fvars _ = false in
+  let shared =
+    List.map (lower_gform_exn ~context ~fvars) rd.Ast.rd_asserts
+  in
+  List.mapi
+    (fun i (br : Ast.branch) ->
+      let branch_guard =
+        match br.Ast.br_guard with
+        | None -> []
+        | Some g -> [ lower_gform_exn ~context ~fvars g ]
+      in
+      let guard = G.conj (shared @ branch_guard) in
+      let name =
+        if i = 0 then rd.Ast.rd_name
+        else Printf.sprintf "%s#%d" rd.Ast.rd_name (i + 1)
+      in
+      Rule.make ~guard ~name ~pattern:rd.Ast.rd_for
+        (lower_rhs ctx rd br.Ast.br_return))
+    rd.Ast.rd_branches
+
+(* ------------------------------------------------------------------ *)
+(* Whole programs                                                      *)
+(* ------------------------------------------------------------------ *)
+
+let declare_ops sg (ops : Ast.op_def list) =
+  List.iter
+    (fun (od : Ast.op_def) ->
+      try
+        ignore
+          (Signature.declare sg ~output_arity:od.Ast.od_output_arity
+             ~op_class:od.Ast.od_class ~arity:od.Ast.od_arity od.Ast.od_name)
+      with Invalid_argument msg ->
+        fail ("op " ^ od.Ast.od_name) "%s" msg)
+    ops
+
+let program_exn ~sg (ast : Ast.program) =
+  declare_ops sg ast.Ast.ops;
+  let order, table = group_patterns ast.Ast.patterns in
+  check_no_mutual_recursion order table;
+  let ctx = { sg; table; done_ = Hashtbl.create 16; in_progress = SSet.empty } in
+  let entries =
+    List.map
+      (fun name ->
+        let pattern = elaborate_group ctx name in
+        (match Wf.errors (Wf.check sg pattern) with
+        | [] -> ()
+        | ds ->
+            fail ("pattern " ^ name) "%s"
+              (Format.asprintf "%a"
+                 (Format.pp_print_list Wf.pp_diagnostic)
+                 ds));
+        let rules =
+          List.concat_map
+            (fun (rd : Ast.rule_def) ->
+              if String.equal rd.Ast.rd_for name then lower_rule ctx rd else [])
+            ast.Ast.rules
+        in
+        { Pypm_engine.Program.pname = name; pattern; rules })
+      order
+  in
+  (* every rule must reference a defined pattern *)
+  List.iter
+    (fun (rd : Ast.rule_def) ->
+      if not (Hashtbl.mem table rd.Ast.rd_for) then
+        fail ("rule " ^ rd.Ast.rd_name) "no pattern named %s" rd.Ast.rd_for)
+    ast.Ast.rules;
+  Pypm_engine.Program.make ~sg entries
+
+let program ~sg ast =
+  match program_exn ~sg ast with
+  | p -> Ok p
+  | exception Elab e -> Error [ e ]
+
+let pattern ~sg ast name =
+  match
+    let order, table = group_patterns ast.Ast.patterns in
+    check_no_mutual_recursion order table;
+    let ctx =
+      { sg; table; done_ = Hashtbl.create 16; in_progress = SSet.empty }
+    in
+    if not (Hashtbl.mem table name) then
+      fail name "no such pattern";
+    elaborate_group ctx name
+  with
+  | p -> Ok p
+  | exception Elab e -> Error [ e ]

@@ -1,0 +1,50 @@
+(** Elaboration: frontend AST to the core calculus.
+
+    This is the analogue of PyPM's Python-side symbolic execution (paper,
+    section 2.4): pattern definitions become CorePyPM patterns, alternates
+    fold into [||] in definition order, local aliases are inlined,
+    [var()] locals become existentials, [F = Op(n, 1)] locals become
+    function-variable existentials, [x <= p] becomes a match constraint,
+    and assertions become guards.
+
+    Pattern {e calls} elaborate as follows:
+
+    - a call to a {e non-recursive} pattern is inlined: the callee's
+      elaborated pattern has its parameters renamed to the call's argument
+      variables (a fresh variable plus a match constraint is introduced for
+      a non-variable argument), and its binders are freshened so repeated
+      inlinings cannot capture each other;
+    - a {e self-recursive} pattern group becomes a [mu], and self-calls
+      become recursive calls [P(ys)];
+    - {e mutual} recursion is rejected, matching the paper's core calculus
+      (single [mu]).
+
+    Rules lower to one {!Pypm_engine.Rule.t} per return branch, in order,
+    with the branch guard conjoined onto the shared assertions. *)
+
+open Pypm_term
+
+type error = { context : string; message : string }
+
+val pp_error : Format.formatter -> error -> unit
+
+(** [program ~sg ast] extends [sg] with the AST's operator declarations and
+    literal symbols, and produces the engine program. The signature is
+    mutated (operator registries are append-only); patterns are checked
+    for well-formedness as part of elaboration. *)
+val program :
+  sg:Signature.t -> Ast.program -> (Pypm_engine.Program.t, error list) result
+
+(** [pattern_of_def ~sg ~defs def] elaborates a single definition group
+    member; exposed for tests. [defs] supplies the other pattern groups
+    for call resolution. *)
+val pattern :
+  sg:Signature.t ->
+  Ast.program ->
+  string ->
+  (Pypm_pattern.Pattern.t, error list) result
+
+(** Lower a guard formula against the given variable classification
+    (variables used as function variables evaluate via [phi]). *)
+val lower_gform :
+  fvars:(string -> bool) -> Ast.gform -> (Pypm_pattern.Guard.t, string) result

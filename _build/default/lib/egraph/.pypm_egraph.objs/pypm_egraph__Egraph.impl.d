@@ -1,0 +1,1 @@
+lib/egraph/egraph.ml: Array Format Fun Hashtbl List Option Printf Pypm_term String Symbol Term

@@ -1,0 +1,1 @@
+lib/egraph/egraph.mli: Format Pypm_term Symbol Term

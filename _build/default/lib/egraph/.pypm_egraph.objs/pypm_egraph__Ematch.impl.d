@@ -1,0 +1,1 @@
+lib/egraph/ematch.ml: Egraph List Pattern Pypm_pattern Pypm_term Result Symbol

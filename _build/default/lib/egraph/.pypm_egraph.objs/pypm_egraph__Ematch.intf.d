@@ -1,0 +1,1 @@
+lib/egraph/ematch.mli: Egraph Pypm_pattern Pypm_term Symbol

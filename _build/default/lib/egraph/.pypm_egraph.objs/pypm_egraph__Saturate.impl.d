@@ -1,0 +1,1 @@
+lib/egraph/saturate.ml: Egraph Ematch Format List Pypm_pattern Pypm_term Symbol

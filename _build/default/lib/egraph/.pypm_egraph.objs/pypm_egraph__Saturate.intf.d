@@ -1,0 +1,1 @@
+lib/egraph/saturate.mli: Egraph Format Pypm_pattern Pypm_term Symbol Term

@@ -1,0 +1,201 @@
+open Pypm_term
+
+type id = int
+
+type enode = { op : Symbol.t; children : id list }
+
+type t = {
+  mutable parent : int array;  (* union-find *)
+  mutable n : int;
+  (* hashcons: canonical enode -> class id *)
+  memo : (enode, id) Hashtbl.t;
+  (* class id -> enodes (possibly stale children until rebuild) *)
+  members : (id, enode list) Hashtbl.t;
+  (* class id -> (parent enode, parent class) uses, for congruence repair *)
+  uses : (id, (enode * id) list) Hashtbl.t;
+  mutable dirty : id list;  (* classes whose uses need recanonicalizing *)
+}
+
+let create () =
+  {
+    parent = Array.make 16 0;
+    n = 0;
+    memo = Hashtbl.create 64;
+    members = Hashtbl.create 64;
+    uses = Hashtbl.create 64;
+    dirty = [];
+  }
+
+let rec find g x =
+  let p = g.parent.(x) in
+  if p = x then x
+  else (
+    let r = find g p in
+    g.parent.(x) <- r;
+    r)
+
+let canonicalize g (e : enode) =
+  { e with children = List.map (find g) e.children }
+
+let fresh_class g =
+  if g.n >= Array.length g.parent then (
+    let bigger = Array.make (2 * Array.length g.parent) 0 in
+    Array.blit g.parent 0 bigger 0 g.n;
+    g.parent <- bigger);
+  let id = g.n in
+  g.parent.(id) <- id;
+  g.n <- g.n + 1;
+  id
+
+let record_use g child use =
+  let existing = Option.value ~default:[] (Hashtbl.find_opt g.uses child) in
+  Hashtbl.replace g.uses child (use :: existing)
+
+let add g op children =
+  let e = canonicalize g { op; children } in
+  match Hashtbl.find_opt g.memo e with
+  | Some id -> find g id
+  | None ->
+      let id = fresh_class g in
+      Hashtbl.replace g.memo e id;
+      Hashtbl.replace g.members id [ e ];
+      List.iter (fun c -> record_use g c (e, id)) e.children;
+      id
+
+let rec add_term g t = add g (Term.head t) (List.map (add_term g) (Term.args t))
+
+let union g a b =
+  let a = find g a and b = find g b in
+  if a = b then (a, false)
+  else begin
+    (* keep the class with more uses as root (fewer re-canonicalizations) *)
+    let uses_len x =
+      List.length (Option.value ~default:[] (Hashtbl.find_opt g.uses x))
+    in
+    let root, child = if uses_len a >= uses_len b then (a, b) else (b, a) in
+    g.parent.(child) <- root;
+    (* merge member and use lists *)
+    let m_root = Option.value ~default:[] (Hashtbl.find_opt g.members root) in
+    let m_child = Option.value ~default:[] (Hashtbl.find_opt g.members child) in
+    Hashtbl.replace g.members root (m_child @ m_root);
+    Hashtbl.remove g.members child;
+    let u_root = Option.value ~default:[] (Hashtbl.find_opt g.uses root) in
+    let u_child = Option.value ~default:[] (Hashtbl.find_opt g.uses child) in
+    Hashtbl.replace g.uses root (u_child @ u_root);
+    Hashtbl.remove g.uses child;
+    g.dirty <- root :: g.dirty;
+    (root, true)
+  end
+
+(* Congruence repair: re-canonicalize the uses of merged classes; any two
+   uses that become the same enode force their classes to merge too. *)
+let rebuild g =
+  let merges = ref 0 in
+  let rec go () =
+    match g.dirty with
+    | [] -> ()
+    | cls :: rest ->
+        g.dirty <- rest;
+        let cls = find g cls in
+        let use_list = Option.value ~default:[] (Hashtbl.find_opt g.uses cls) in
+        let seen : (enode, id) Hashtbl.t = Hashtbl.create 16 in
+        let new_uses = ref [] in
+        List.iter
+          (fun (e, cid) ->
+            let e' = canonicalize g e in
+            let cid = find g cid in
+            (* repair the hashcons entry *)
+            (match Hashtbl.find_opt g.memo e' with
+            | Some other ->
+                let other = find g other in
+                if other <> cid then (
+                  let _, changed = union g other cid in
+                  if changed then incr merges)
+            | None -> Hashtbl.replace g.memo e' cid);
+            (match Hashtbl.find_opt seen e' with
+            | Some prev ->
+                let prev = find g prev in
+                let cid = find g cid in
+                if prev <> cid then (
+                  let _, changed = union g prev cid in
+                  if changed then incr merges)
+            | None -> Hashtbl.replace seen e' cid);
+            new_uses := (e', find g cid) :: !new_uses)
+          use_list;
+        Hashtbl.replace g.uses (find g cls) !new_uses;
+        go ()
+  in
+  go ();
+  !merges
+
+let equiv g a b = find g a = find g b
+
+let nodes_of g id =
+  let id = find g id in
+  Option.value ~default:[] (Hashtbl.find_opt g.members id)
+  |> List.map (fun e ->
+         let e = canonicalize g e in
+         (e.op, e.children))
+  |> List.sort_uniq compare
+
+let classes g =
+  List.init g.n Fun.id
+  |> List.filter (fun i -> find g i = i && Hashtbl.mem g.members i)
+
+let class_count g = List.length (classes g)
+
+let node_count g =
+  List.fold_left (fun acc c -> acc + List.length (nodes_of g c)) 0 (classes g)
+
+(* Bottom-up cost fixpoint, then top-down reconstruction. *)
+let extract g ~cost root =
+  let root = find g root in
+  let best : (id, float * (Symbol.t * id list)) Hashtbl.t = Hashtbl.create 32 in
+  let cost_of c = Option.map fst (Hashtbl.find_opt best (find g c)) in
+  let changed = ref true in
+  while !changed do
+    changed := false;
+    List.iter
+      (fun cls ->
+        List.iter
+          (fun (op, children) ->
+            let child_costs = List.map cost_of children in
+            if List.for_all Option.is_some child_costs then
+              let total =
+                cost op
+                +. List.fold_left (fun a c -> a +. Option.get c) 0. child_costs
+              in
+              match Hashtbl.find_opt best cls with
+              | Some (c, _) when c <= total -> ()
+              | _ ->
+                  Hashtbl.replace best cls (total, (op, children));
+                  changed := true)
+          (nodes_of g cls))
+      (classes g)
+  done;
+  let rec build cls =
+    match Hashtbl.find_opt best (find g cls) with
+    | None -> None
+    | Some (_, (op, children)) ->
+        let args = List.map build children in
+        if List.for_all Option.is_some args then
+          Some (Term.app op (List.map Option.get args))
+        else None
+  in
+  build root
+
+let size_cost _ = 1.
+
+let pp ppf g =
+  Format.fprintf ppf "@[<v>";
+  List.iter
+    (fun cls ->
+      Format.fprintf ppf "e%d:" cls;
+      List.iter
+        (fun (op, children) ->
+          Format.fprintf ppf " %s(%s)" op
+            (String.concat "," (List.map (Printf.sprintf "e%d") children)))
+        (nodes_of g cls);
+      Format.fprintf ppf "@,")
+    (classes g);
+  Format.fprintf ppf "@]"

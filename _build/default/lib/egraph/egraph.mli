@@ -1,0 +1,67 @@
+(** E-graphs: the nondestructive-rewriting baseline.
+
+    The paper positions PyPM against equality-saturation engines in the
+    egg family (sections 1 and 5): "with the more superficial distinctions
+    aside (destructive instead of nondestructive rewriting), there are two
+    main differences...". This module supplies that comparison point as a
+    real implementation: a congruence-closed e-graph over the same terms,
+    with hash-consed e-nodes, union-find over e-classes, and a rebuild
+    (congruence repair) step — enough to run {!Ematch} and {!Saturate}
+    against the greedy destructive pass and measure the trade.
+
+    The e-graph represents sets of equivalent terms compactly: an e-class
+    is a set of e-nodes; an e-node is an operator applied to e-class ids.
+    Adding is hash-consed (structurally equal terms land in the same
+    class); {!union} merges classes; {!rebuild} restores congruence
+    ([a ~ b] implies [f(a) ~ f(b)]) after unions. *)
+
+open Pypm_term
+
+type t
+
+(** E-class identifiers. Stable under unions up to {!find}. *)
+type id = int
+
+val create : unit -> t
+
+(** [add g op children] adds (or finds) the e-node [op(children)] and
+    returns its e-class. *)
+val add : t -> Symbol.t -> id list -> id
+
+(** [add_term g t] folds a whole term in. *)
+val add_term : t -> Term.t -> id
+
+(** Canonical representative of an e-class. *)
+val find : t -> id -> id
+
+(** [union g a b] merges two e-classes; returns the canonical id and
+    whether anything changed. Call {!rebuild} before matching again. *)
+val union : t -> id -> id -> id * bool
+
+(** Restore congruence after unions. Returns the number of upward merges
+    performed. *)
+val rebuild : t -> int
+
+(** [equiv g a b] after rebuild: do [a] and [b] denote the same class? *)
+val equiv : t -> id -> id -> bool
+
+(** E-nodes of a class (canonicalized): operator and child classes. *)
+val nodes_of : t -> id -> (Symbol.t * id list) list
+
+(** All canonical class ids. *)
+val classes : t -> id list
+
+(** Counts, for saturation stopping criteria and reporting. *)
+val class_count : t -> int
+
+val node_count : t -> int
+
+(** [extract g ~cost id] picks the cheapest term of the class: [cost op]
+    is the per-operator cost (children costs are added). Returns [None] if
+    the class has no finite-cost term (cyclic without base). *)
+val extract : t -> cost:(Symbol.t -> float) -> id -> Term.t option
+
+(** Uniform cost 1 per operator: extraction by term size. *)
+val size_cost : Symbol.t -> float
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,69 @@
+open Pypm_term
+open Pypm_pattern
+module P = Pattern
+
+type env = { classes : Egraph.id Symbol.Map.t; ops : Symbol.t Symbol.Map.t }
+
+let empty_env = { classes = Symbol.Map.empty; ops = Symbol.Map.empty }
+
+let rec supported (p : P.t) =
+  match p with
+  | P.Var _ -> Ok ()
+  | P.App (_, ps) | P.Fapp (_, ps) ->
+      List.fold_left
+        (fun acc q -> Result.bind acc (fun () -> supported q))
+        (Ok ()) ps
+  | P.Alt (a, b) -> Result.bind (supported a) (fun () -> supported b)
+  | P.Guarded _ -> Error "guards need a concrete witness term"
+  | P.Exists _ | P.Exists_f _ -> Error "existentials need a concrete witness"
+  | P.Constr _ -> Error "match constraints need a concrete witness"
+  | P.Mu _ | P.Call _ -> Error "recursive patterns are not e-matchable here"
+
+(* All-solutions backtracking, collecting assignments. *)
+let matches_in g p cls =
+  (match supported p with
+  | Ok () -> ()
+  | Error e -> invalid_arg ("Ematch: unsupported pattern: " ^ e));
+  let out = ref [] in
+  let rec go (p : P.t) cls env (sk : env -> unit) =
+    let cls = Egraph.find g cls in
+    match p with
+    | P.Var x -> (
+        match Symbol.Map.find_opt x env.classes with
+        | Some c -> if Egraph.find g c = cls then sk env
+        | None -> sk { env with classes = Symbol.Map.add x cls env.classes })
+    | P.App (f, ps) ->
+        List.iter
+          (fun (op, children) ->
+            if Symbol.equal op f && List.length children = List.length ps
+            then go_args ps children env sk)
+          (Egraph.nodes_of g cls)
+    | P.Fapp (fv, ps) ->
+        List.iter
+          (fun (op, children) ->
+            if List.length children = List.length ps then
+              match Symbol.Map.find_opt fv env.ops with
+              | Some s ->
+                  if Symbol.equal s op then go_args ps children env sk
+              | None ->
+                  go_args ps children
+                    { env with ops = Symbol.Map.add fv op env.ops }
+                    sk)
+          (Egraph.nodes_of g cls)
+    | P.Alt (a, b) ->
+        go a cls env sk;
+        go b cls env sk
+    | _ -> assert false
+  and go_args ps cs env sk =
+    match (ps, cs) with
+    | [], [] -> sk env
+    | p :: ps, c :: cs -> go p c env (fun env -> go_args ps cs env sk)
+    | _ -> ()
+  in
+  go p cls empty_env (fun env -> out := env :: !out);
+  List.rev !out
+
+let matches g p =
+  List.concat_map
+    (fun cls -> List.map (fun env -> (cls, env)) (matches_in g p cls))
+    (Egraph.classes g)

@@ -1,0 +1,33 @@
+(** E-matching: pattern matching over e-classes.
+
+    Matches the {e simple} pattern subset — variables, operator
+    applications, function variables, and alternates — against an e-graph,
+    binding variables to e-class ids (the paper's related-work comparison:
+    de Moura & Bjorner's E-matching is "a subset of PyPM's matching
+    algorithm"). Guards, existentials, match constraints and recursion are
+    rejected: those require a concrete witness term, which an e-class does
+    not determine. *)
+
+open Pypm_term
+
+(** Variable assignment: pattern variables to e-classes, function variables
+    to operators. *)
+type env = { classes : Egraph.id Symbol.Map.t; ops : Symbol.t Symbol.Map.t }
+
+val empty_env : env
+
+(** [supported p] is [Ok ()] for the simple subset, [Error reason]
+    otherwise. *)
+val supported : Pypm_pattern.Pattern.t -> (unit, string) result
+
+(** [matches_in g p cls] enumerates every assignment under which some term
+    of [cls] matches [p]. Nonlinear variables require e-class equality.
+    Raises [Invalid_argument] on unsupported patterns (check {!supported}
+    first). *)
+val matches_in :
+  Egraph.t -> Pypm_pattern.Pattern.t -> Egraph.id -> env list
+
+(** [matches g p] enumerates (class, assignment) pairs over the whole
+    e-graph. *)
+val matches :
+  Egraph.t -> Pypm_pattern.Pattern.t -> (Egraph.id * env) list

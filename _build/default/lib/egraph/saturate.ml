@@ -1,0 +1,83 @@
+open Pypm_term
+
+type rw = { rw_name : string; lhs : Pypm_pattern.Pattern.t; rhs : rhs }
+
+and rhs =
+  | Tvar of string
+  | Tapp of Symbol.t * rhs list
+  | Tfapp of string * rhs list
+
+let rw ~name lhs rhs =
+  (match Ematch.supported lhs with
+  | Ok () -> ()
+  | Error e -> invalid_arg ("Saturate.rw " ^ name ^ ": " ^ e));
+  { rw_name = name; lhs; rhs }
+
+type stats = {
+  iterations : int;
+  applications : int;
+  saturated : bool;
+  final_classes : int;
+  final_nodes : int;
+}
+
+let rec instantiate g (env : Ematch.env) = function
+  | Tvar x -> (
+      match Symbol.Map.find_opt x env.Ematch.classes with
+      | Some c -> c
+      | None -> invalid_arg ("Saturate: unbound template variable " ^ x))
+  | Tapp (op, args) ->
+      Egraph.add g op (List.map (instantiate g env) args)
+  | Tfapp (fv, args) -> (
+      match Symbol.Map.find_opt fv env.Ematch.ops with
+      | Some op -> Egraph.add g op (List.map (instantiate g env) args)
+      | None -> invalid_arg ("Saturate: unbound operator variable " ^ fv))
+
+let run g rules ?(iter_limit = 30) () =
+  let applications = ref 0 in
+  let rec loop i =
+    if i >= iter_limit then (i, false)
+    else begin
+      (* collect all matches first (matching against a mutating e-graph
+         would be order-dependent), then apply *)
+      let matches =
+        List.concat_map
+          (fun r -> List.map (fun (cls, env) -> (r, cls, env)) (Ematch.matches g r.lhs))
+          rules
+      in
+      let changed = ref false in
+      List.iter
+        (fun (r, cls, env) ->
+          let rhs_cls = instantiate g env r.rhs in
+          let _, merged = Egraph.union g cls rhs_cls in
+          if merged then (
+            incr applications;
+            changed := true))
+        matches;
+      ignore (Egraph.rebuild g);
+      if !changed then loop (i + 1) else (i + 1, true)
+    end
+  in
+  let iterations, saturated = loop 0 in
+  {
+    iterations;
+    applications = !applications;
+    saturated;
+    final_classes = Egraph.class_count g;
+    final_nodes = Egraph.node_count g;
+  }
+
+let simplify ~rules ?(cost = Egraph.size_cost) ?iter_limit t =
+  let g = Egraph.create () in
+  let root = Egraph.add_term g t in
+  let stats = run g rules ?iter_limit () in
+  match Egraph.extract g ~cost root with
+  | Some best -> (best, stats)
+  | None -> (t, stats)
+
+let pp_stats ppf s =
+  Format.fprintf ppf
+    "%d iteration(s), %d application(s), %s, %d classes / %d nodes"
+    s.iterations s.applications
+    (if s.saturated then "saturated" else "iteration limit")
+    s.final_classes s.final_nodes

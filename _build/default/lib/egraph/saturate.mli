@@ -1,0 +1,46 @@
+(** Equality saturation: the nondestructive rewriting loop.
+
+    Applies rewrite rules by {e adding} equalities to the e-graph instead
+    of replacing subgraphs, then extracts the cheapest equivalent term —
+    the egg-style baseline the paper contrasts PyPM with. Where the greedy
+    destructive pass commits to the first rule that fires (and can destroy
+    a redex a later rule needed), saturation keeps every version and lets
+    extraction choose. The ablation bench runs both on the same inputs. *)
+
+open Pypm_term
+
+(** A rewrite: a simple pattern (see {!Ematch.supported}) and a
+    term-template right-hand side over the pattern's variables. *)
+type rw = {
+  rw_name : string;
+  lhs : Pypm_pattern.Pattern.t;
+  rhs : rhs;
+}
+
+and rhs =
+  | Tvar of string  (** a matched e-class *)
+  | Tapp of Symbol.t * rhs list
+  | Tfapp of string * rhs list  (** apply the matched operator *)
+
+val rw : name:string -> Pypm_pattern.Pattern.t -> rhs -> rw
+
+type stats = {
+  iterations : int;
+  applications : int;  (** unions performed (new equalities) *)
+  saturated : bool;  (** no rule added anything new *)
+  final_classes : int;
+  final_nodes : int;
+}
+
+(** [run g rules ?iter_limit ()] saturates (or stops at [iter_limit],
+    default 30). Deterministic. *)
+val run : Egraph.t -> rw list -> ?iter_limit:int -> unit -> stats
+
+(** [simplify ~rules ?cost t] is the end-to-end convenience: build an
+    e-graph from [t], saturate, extract the cheapest equivalent (default
+    cost: term size). *)
+val simplify :
+  rules:rw list -> ?cost:(Symbol.t -> float) -> ?iter_limit:int -> Term.t ->
+  Term.t * stats
+
+val pp_stats : Format.formatter -> stats -> unit

@@ -1,0 +1,1 @@
+lib/engine/partition.ml: Format Graph Hashtbl List Matcher Outcome Printf Program Pypm_graph Pypm_pattern Pypm_semantics Pypm_term Signature Subst Symbol Term Term_view

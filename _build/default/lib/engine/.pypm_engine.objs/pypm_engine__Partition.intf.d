@@ -1,0 +1,1 @@
+lib/engine/partition.mli: Format Graph Program Pypm_graph Pypm_term Subst

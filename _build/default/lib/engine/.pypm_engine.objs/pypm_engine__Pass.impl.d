@@ -1,0 +1,1 @@
+lib/engine/pass.ml: Format Graph List Logs Matcher Option Outcome Printf Program Pypm_graph Pypm_pattern Pypm_semantics Pypm_tensor Pypm_term Rule String Term_view Unix

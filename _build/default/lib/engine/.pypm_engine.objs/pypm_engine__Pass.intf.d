@@ -1,0 +1,1 @@
+lib/engine/pass.mli: Format Fsubst Graph Logs Program Pypm_graph Pypm_term Subst

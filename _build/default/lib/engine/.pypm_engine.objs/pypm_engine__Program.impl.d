@@ -1,0 +1,1 @@
+lib/engine/program.ml: Format List Pattern Printf Pypm_pattern Pypm_term Rule Signature String Symbol Wf

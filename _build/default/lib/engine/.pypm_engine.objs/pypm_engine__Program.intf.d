@@ -1,0 +1,1 @@
+lib/engine/program.mli: Format Pattern Pypm_pattern Pypm_term Rule Signature

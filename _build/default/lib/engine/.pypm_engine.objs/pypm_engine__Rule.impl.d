@@ -1,0 +1,1 @@
+lib/engine/rule.ml: Format Fsubst Graph Guard List Printf Pypm_graph Pypm_pattern Pypm_term Result Subst Symbol Term_view

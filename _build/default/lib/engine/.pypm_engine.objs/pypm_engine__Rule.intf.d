@@ -1,0 +1,1 @@
+lib/engine/rule.mli: Format Fsubst Graph Guard Pypm_graph Pypm_pattern Pypm_term Subst Symbol Term_view

@@ -1,0 +1,1 @@
+lib/engine/term_rewrite.ml: Fsubst Guard List Matcher Outcome Printf Program Pypm_graph Pypm_pattern Pypm_semantics Pypm_term Result Rule Subst Term

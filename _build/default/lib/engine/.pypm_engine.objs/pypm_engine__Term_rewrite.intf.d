@@ -1,0 +1,1 @@
+lib/engine/term_rewrite.mli: Fsubst Guard Program Pypm_pattern Pypm_term Rule Subst Term

@@ -1,0 +1,189 @@
+open Pypm_term
+open Pypm_graph
+open Pypm_semantics
+
+type region = {
+  pattern_name : string;
+  root : Graph.node;
+  interior : Graph.node list;
+  inputs : Graph.node list;
+  theta : Subst.t;
+}
+
+(* The interior of a match at [root]: walk the graph from the root,
+   stopping at (and collecting as inputs) any node whose term is the
+   binding of a pattern variable. Leaves that are bound to no variable
+   (interned literals, for instance) count as interior. *)
+let carve view (pattern : Pypm_pattern.Pattern.t) root theta =
+  (* Only bindings of the pattern's *free* variables delimit the region;
+     existentials bound inside the pattern name interior nodes. The root
+     itself is always interior even when a free variable (the match root,
+     figure 14's [x]) is bound to it. *)
+  let free = Pypm_pattern.Pattern.free_vars pattern in
+  let boundary =
+    Subst.fold
+      (fun x t acc -> if Symbol.Set.mem x free then t :: acc else acc)
+      theta []
+  in
+  let sg = Graph.signature (Term_view.graph view) in
+  let is_graph_leaf n =
+    n.Graph.inputs = []
+    &&
+    match Signature.op_class sg n.Graph.op with
+    | Some ("input" | "opaque") -> true
+    | _ -> false
+  in
+  let is_boundary n =
+    n.Graph.id <> root.Graph.id
+    && (is_graph_leaf n
+       ||
+       let t = Term_view.term_of view n in
+       List.exists (Term.equal t) boundary)
+  in
+  let interior = ref [] and inputs = ref [] and seen = Hashtbl.create 16 in
+  let rec walk n =
+    if not (Hashtbl.mem seen n.Graph.id) then (
+      Hashtbl.replace seen n.Graph.id ();
+      if is_boundary n then inputs := n :: !inputs
+      else (
+        interior := n :: !interior;
+        List.iter walk n.Graph.inputs))
+  in
+  walk root;
+  (List.rev !interior, List.rev !inputs)
+
+let find ?(fuel = 200_000) (program : Program.t) g =
+  let view = Term_view.create g in
+  let interp = Term_view.interp view in
+  let claimed = Hashtbl.create 64 in
+  let regions = ref [] in
+  (* outputs-first: prefer the largest enclosing regions *)
+  let nodes_desc = List.rev (Graph.live_nodes g) in
+  List.iter
+    (fun node ->
+      if not (Hashtbl.mem claimed node.Graph.id) then
+        List.iter
+          (fun (entry : Program.entry) ->
+            if not (Hashtbl.mem claimed node.Graph.id) then
+              let t = Term_view.term_of view node in
+              match
+                Matcher.matches ~interp ~policy:Outcome.Policy.Backtrack ~fuel
+                  entry.Program.pattern t
+              with
+              | Outcome.Matched (theta, _phi) ->
+                  let interior, inputs =
+                    carve view entry.Program.pattern node theta
+                  in
+                  (* a region is only valid if none of its interior is
+                     already claimed, and it actually fuses something *)
+                  if
+                    List.length interior >= 2
+                    && List.for_all
+                         (fun n -> not (Hashtbl.mem claimed n.Graph.id))
+                         interior
+                  then (
+                    List.iter
+                      (fun n -> Hashtbl.replace claimed n.Graph.id ())
+                      interior;
+                    regions :=
+                      {
+                        pattern_name = entry.Program.pname;
+                        root = node;
+                        interior;
+                        inputs;
+                        theta;
+                      }
+                      :: !regions)
+              | _ -> ())
+          program.Program.entries)
+    nodes_desc;
+  List.rev !regions
+
+let fuse_counter = ref 0
+
+let fuse ?(annotate = fun _ -> []) g region =
+  incr fuse_counter;
+  let name =
+    Printf.sprintf "fused_%s_%d" region.pattern_name !fuse_counter
+  in
+  let sg = Graph.signature g in
+  ignore
+    (Signature.declare sg ~arity:(List.length region.inputs)
+       ~op_class:"fused" name);
+  let ty =
+    match region.root.Graph.ty with
+    | Some ty -> ty
+    | None -> invalid_arg "Partition.fuse: region root has no type"
+  in
+  let node =
+    Graph.add_with_ty g name
+      ~attrs:
+        (("fused_ops", List.length region.interior)
+        :: annotate region.interior)
+      ~ty region.inputs
+  in
+  Graph.replace g ~old_root:region.root ~new_root:node;
+  ignore (Graph.gc g);
+  node
+
+let fuse_all ?fuel ?annotate program g =
+  List.map (fuse ?annotate g) (find ?fuel program g)
+
+let extract_region g region =
+  let sub =
+    Graph.create ~sg:(Graph.signature g) ~infer:(Graph.inference g) ()
+  in
+  let mapping = Hashtbl.create 16 in
+  (* region inputs become fresh graph inputs of the same type *)
+  List.iter
+    (fun (n : Graph.node) ->
+      let ty =
+        match n.Graph.ty with
+        | Some ty -> ty
+        | None -> invalid_arg "Partition.extract_region: untyped region input"
+      in
+      Hashtbl.replace mapping n.Graph.id
+        (Graph.input sub ~name:("region_in_" ^ string_of_int n.Graph.id) ty))
+    region.inputs;
+  (* interior nodes in dependency order: a node's inputs are either mapped
+     already or themselves interior; walk the graph bottom-up *)
+  let interior_ids = Hashtbl.create 16 in
+  List.iter
+    (fun (n : Graph.node) -> Hashtbl.replace interior_ids n.Graph.id ())
+    region.interior;
+  let rec copy (n : Graph.node) =
+    match Hashtbl.find_opt mapping n.Graph.id with
+    | Some m -> m
+    | None ->
+        if not (Hashtbl.mem interior_ids n.Graph.id) then
+          invalid_arg
+            (Printf.sprintf
+               "Partition.extract_region: node %%%d is neither interior nor                 an input"
+               n.Graph.id);
+        let inputs = List.map copy n.Graph.inputs in
+        let m =
+          if n.Graph.inputs = [] then
+            (* interior leaf: a constant *)
+            match Graph.constant_value n with
+            | Some v -> Graph.constant sub v
+            | None ->
+                invalid_arg
+                  "Partition.extract_region: interior leaf is not a constant"
+          else Graph.add sub n.Graph.op ~attrs:n.Graph.attrs inputs
+        in
+        Hashtbl.replace mapping n.Graph.id m;
+        m
+  in
+  let root_copy = copy region.root in
+  Graph.set_outputs sub [ root_copy ];
+  (sub, root_copy)
+
+let compile_region ~compile g region =
+  let sub, _root = extract_region g region in
+  compile sub;
+  sub
+
+let pp_region ppf r =
+  Format.fprintf ppf "region %s @ node %%%d: %d interior node(s), %d input(s)"
+    r.pattern_name r.root.Graph.id (List.length r.interior)
+    (List.length r.inputs)

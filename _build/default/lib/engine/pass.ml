@@ -1,0 +1,221 @@
+open Pypm_graph
+open Pypm_semantics
+
+type pattern_stats = {
+  ps_name : string;
+  mutable attempts : int;
+  mutable skipped : int;
+  mutable matches : int;
+  mutable rewrites : int;
+  mutable match_time : float;
+}
+
+type stats = {
+  mutable iterations : int;
+  mutable nodes_visited : int;
+  mutable total_rewrites : int;
+  mutable type_rejections : int;
+  mutable collected : int;
+  mutable wall_time : float;
+  mutable reached_fixpoint : bool;
+  per_pattern : pattern_stats list;
+}
+
+let fresh_stats (program : Program.t) =
+  {
+    iterations = 0;
+    nodes_visited = 0;
+    total_rewrites = 0;
+    type_rejections = 0;
+    collected = 0;
+    wall_time = 0.;
+    reached_fixpoint = false;
+    per_pattern =
+      List.map
+        (fun (e : Program.entry) ->
+          {
+            ps_name = e.Program.pname;
+            attempts = 0;
+            skipped = 0;
+            matches = 0;
+            rewrites = 0;
+            match_time = 0.;
+          })
+        program.Program.entries;
+  }
+
+let find_pattern_stats stats name =
+  List.find_opt (fun ps -> String.equal ps.ps_name name) stats.per_pattern
+
+let log_src = Logs.Src.create "pypm.pass" ~doc:"PyPM rewrite pass"
+
+module Log = (val Logs.src_log log_src)
+
+let now = Unix.gettimeofday
+
+(* Root-head index: for each entry, the set of operator symbols its
+   pattern's root can have (None = anything). Computed once per pass. *)
+let head_index ~indexed (program : Program.t) =
+  if not indexed then fun _ _ -> false
+  else
+    let table =
+      List.map
+        (fun (e : Program.entry) ->
+          (e.Program.pname, Pypm_pattern.Pattern.root_heads e.Program.pattern))
+        program.Program.entries
+    in
+    fun (entry : Program.entry) (node : Graph.node) ->
+      match List.assoc entry.Program.pname table with
+      | Some heads -> not (Pypm_term.Symbol.Set.mem node.Graph.op heads)
+      | None -> false
+
+(* Try to match one pattern at one node; updates stats, returns witness. *)
+let try_match ~skip ~fuel stats view (entry : Program.entry) node =
+  let ps = Option.get (find_pattern_stats stats entry.Program.pname) in
+  if skip entry node then (
+    ps.skipped <- ps.skipped + 1;
+    None)
+  else begin
+  ps.attempts <- ps.attempts + 1;
+  let t = Term_view.term_of view node in
+  let interp = Term_view.interp view in
+  let t0 = now () in
+  let outcome =
+    Matcher.matches ~interp ~policy:Outcome.Policy.Backtrack ~fuel
+      entry.Program.pattern t
+  in
+  ps.match_time <- ps.match_time +. (now () -. t0);
+  match outcome with
+  | Outcome.Matched (theta, phi) ->
+      ps.matches <- ps.matches + 1;
+      Some (theta, phi)
+  | _ -> None
+  end
+
+(* A replacement must present the same tensor type to the rest of the
+   graph; opaque (untyped) nodes are accepted on either side. *)
+let types_compatible (old_root : Graph.node) (new_root : Graph.node) =
+  match (old_root.Graph.ty, new_root.Graph.ty) with
+  | Some a, Some b -> Pypm_tensor.Ty.equal a b
+  | _ -> true
+
+(* Fire the first rule whose guard passes. Returns true if a rewrite
+   happened. *)
+let fire ~check_types stats g view (entry : Program.entry) node theta phi =
+  let ps = Option.get (find_pattern_stats stats entry.Program.pname) in
+  let rec try_rules = function
+    | [] -> false
+    | (r : Rule.t) :: rest ->
+        if Rule.check_guard view theta phi r then (
+          match Rule.instantiate g view theta phi r.Rule.rhs with
+          | Ok new_root ->
+              if new_root.Graph.id = node.Graph.id then
+                (* identity rewrite: firing it forever would spin *)
+                try_rules rest
+              else if check_types && not (types_compatible node new_root)
+              then (
+                stats.type_rejections <- stats.type_rejections + 1;
+                Log.warn (fun m ->
+                    m
+                      "rule %s at node %%%d rejected: replacement type \
+                       differs from the matched root"
+                      r.Rule.rule_name node.Graph.id);
+                try_rules rest)
+              else (
+                Log.debug (fun m ->
+                    m "fired %s (pattern %s) at node %%%d -> %%%d (%s)"
+                      r.Rule.rule_name entry.Program.pname node.Graph.id
+                      new_root.Graph.id new_root.Graph.op);
+                Graph.replace g ~old_root:node ~new_root;
+                ps.rewrites <- ps.rewrites + 1;
+                stats.total_rewrites <- stats.total_rewrites + 1;
+                true)
+          | Error msg ->
+              invalid_arg
+                (Printf.sprintf "rule %s for %s failed to instantiate: %s"
+                   r.Rule.rule_name entry.Program.pname msg))
+        else try_rules rest
+  in
+  try_rules entry.Program.rules
+
+let run ?(indexed = false) ?(check_types = true) ?(fuel = 200_000)
+    ?(max_rewrites = 10_000) (program : Program.t) g =
+  let stats = fresh_stats program in
+  let skip = head_index ~indexed program in
+  let t_start = now () in
+  let rec traverse () =
+    stats.iterations <- stats.iterations + 1;
+    let view = Term_view.create g in
+    let rewrote =
+      List.exists
+        (fun node ->
+          stats.nodes_visited <- stats.nodes_visited + 1;
+          List.exists
+            (fun entry ->
+              match try_match ~skip ~fuel stats view entry node with
+              | Some (theta, phi) ->
+                  fire ~check_types stats g view entry node theta phi
+              | None -> false)
+            program.Program.entries)
+        (Graph.live_nodes g)
+    in
+    if rewrote then (
+      stats.collected <- stats.collected + Graph.gc g;
+      if stats.total_rewrites < max_rewrites then traverse ())
+    else stats.reached_fixpoint <- true
+  in
+  traverse ();
+  stats.wall_time <- now () -. t_start;
+  stats
+
+let match_only ?(indexed = false) ?(fuel = 200_000) (program : Program.t) g =
+  let stats = fresh_stats program in
+  let skip = head_index ~indexed program in
+  let t_start = now () in
+  stats.iterations <- 1;
+  let view = Term_view.create g in
+  List.iter
+    (fun node ->
+      stats.nodes_visited <- stats.nodes_visited + 1;
+      List.iter
+        (fun entry -> ignore (try_match ~skip ~fuel stats view entry node))
+        program.Program.entries)
+    (Graph.live_nodes g);
+  stats.reached_fixpoint <- true;
+  stats.wall_time <- now () -. t_start;
+  stats
+
+let matches_of ?(fuel = 200_000) (program : Program.t) g =
+  let view = Term_view.create g in
+  let interp = Term_view.interp view in
+  List.map
+    (fun (entry : Program.entry) ->
+      let hits =
+        List.filter_map
+          (fun node ->
+            let t = Term_view.term_of view node in
+            match
+              Matcher.matches ~interp ~policy:Outcome.Policy.Backtrack ~fuel
+                entry.Program.pattern t
+            with
+            | Outcome.Matched (theta, phi) ->
+                Some (node.Graph.id, theta, phi)
+            | _ -> None)
+          (Graph.live_nodes g)
+      in
+      (entry.Program.pname, hits))
+    program.Program.entries
+
+let pp_stats ppf s =
+  Format.fprintf ppf
+    "@[<v>pass: %d iteration(s), %d nodes visited, %d rewrites, %d collected, \
+     %.3f s%s@,"
+    s.iterations s.nodes_visited s.total_rewrites s.collected s.wall_time
+    (if s.reached_fixpoint then "" else " (max rewrites hit)");
+  List.iter
+    (fun ps ->
+      Format.fprintf ppf
+        "  %-24s attempts %-6d skipped %-6d matches %-5d rewrites %-5d %.4f s@,"
+        ps.ps_name ps.attempts ps.skipped ps.matches ps.rewrites ps.match_time)
+    s.per_pattern;
+  Format.fprintf ppf "@]"

@@ -1,0 +1,82 @@
+(** The greedy rewrite pass.
+
+    The paper's description (section 2.4): the compiler repeatedly traverses
+    the graph; at each node it tries to match the subtree rooted there
+    against each loaded pattern in order; on a match, the pattern's rules
+    run in order and the first whose assertions pass fires, destructively
+    replacing the root of the match; this repeats until no matches remain.
+
+    [run] implements exactly that, with instrumentation: per-pattern match
+    attempts, matches, rewrites, and matcher wall-clock time — the data
+    behind figures 12 and 13. *)
+
+open Pypm_term
+open Pypm_graph
+
+type pattern_stats = {
+  ps_name : string;
+  mutable attempts : int;  (** nodes the pattern was tried against *)
+  mutable skipped : int;
+      (** nodes skipped by the root-head index without running the matcher
+          (always 0 when the index is off) *)
+  mutable matches : int;  (** successful matches (rules may still not fire) *)
+  mutable rewrites : int;  (** rules fired *)
+  mutable match_time : float;  (** seconds inside the matcher *)
+}
+
+type stats = {
+  mutable iterations : int;  (** full traversals *)
+  mutable nodes_visited : int;
+  mutable total_rewrites : int;
+  mutable type_rejections : int;
+      (** rules whose replacement would have changed the matched node's
+          tensor type, rejected under [~check_types:true] *)
+  mutable collected : int;  (** garbage nodes removed *)
+  mutable wall_time : float;  (** whole pass, seconds *)
+  mutable reached_fixpoint : bool;
+  per_pattern : pattern_stats list;
+}
+
+val find_pattern_stats : stats -> string -> pattern_stats option
+
+(** The pass's log source ("pypm.pass"): [debug] on each rule firing,
+    [warn] on type-check rejections. Enable with
+    [Logs.Src.set_level Pass.log_src (Some Logs.Debug)]. *)
+val log_src : Logs.src
+
+(** [run ?indexed ?fuel ?max_rewrites program graph] rewrites [graph] to
+    fixpoint (or until [max_rewrites], default 10_000, as a divergence
+    backstop). [fuel] bounds each individual match (default 200_000
+    visits). [indexed] (default false: the paper's implementation tries
+    every pattern at every node) enables the root-head index: a pattern
+    whose {!Pypm_pattern.Pattern.root_heads} excludes the node's operator
+    is skipped without running the matcher. The MICRO bench ablates this
+    choice. [check_types] (default true) refuses to fire a rule whose
+    replacement node's tensor type differs from the matched root's — a
+    rewrite must preserve what the rest of the graph observes; rejected
+    firings are counted in [type_rejections] and the next rule is tried.
+    Replacements typed [None] (opaque) are always allowed. *)
+val run :
+  ?indexed:bool ->
+  ?check_types:bool ->
+  ?fuel:int ->
+  ?max_rewrites:int ->
+  Program.t ->
+  Graph.t ->
+  stats
+
+(** [match_only ?fuel program graph] runs the matching half only: counts
+    matches of every pattern at every node without firing any rule. Returns
+    the stats (rewrites stay 0). This is the figure 12/13 measurement: the
+    cost of running the matcher over a model. *)
+val match_only : ?indexed:bool -> ?fuel:int -> Program.t -> Graph.t -> stats
+
+(** [matches_of ?fuel program graph] lists, per pattern, the node ids whose
+    subtree matched, with the witness substitutions. No rewriting. *)
+val matches_of :
+  ?fuel:int ->
+  Program.t ->
+  Graph.t ->
+  (string * (int * Subst.t * Fsubst.t) list) list
+
+val pp_stats : Format.formatter -> stats -> unit

@@ -1,0 +1,64 @@
+open Pypm_term
+open Pypm_pattern
+
+type entry = { pname : string; pattern : Pattern.t; rules : Rule.t list }
+type t = { sg : Signature.t; entries : entry list }
+
+let make ~sg entries = { sg; entries }
+
+let entry t name =
+  List.find_opt (fun e -> String.equal e.pname name) t.entries
+
+let pattern_names t = List.map (fun e -> e.pname) t.entries
+
+let restrict t names =
+  { t with entries = List.filter (fun e -> List.mem e.pname names) t.entries }
+
+let check t =
+  List.concat_map
+    (fun e ->
+      let pattern_diags =
+        List.map
+          (fun (d : Wf.diagnostic) ->
+            {
+              d with
+              Wf.message = Printf.sprintf "pattern %s: %s" e.pname d.Wf.message;
+            })
+          (Wf.check t.sg e.pattern)
+      in
+      let pat_vars = Pattern.free_vars e.pattern in
+      let pat_fvars = Pattern.free_fvars e.pattern in
+      let rule_diags =
+        List.concat_map
+          (fun (r : Rule.t) ->
+            let vars, fvars = Rule.rhs_vars r.Rule.rhs in
+            let missing =
+              Symbol.Set.diff vars pat_vars |> Symbol.Set.elements
+            in
+            let missing_f =
+              Symbol.Set.diff fvars pat_fvars |> Symbol.Set.elements
+            in
+            List.map
+              (fun x ->
+                {
+                  Wf.severity = Wf.Error;
+                  message =
+                    Printf.sprintf
+                      "rule %s for %s uses variable %s not bound by the \
+                       pattern"
+                      r.Rule.rule_name e.pname x;
+                })
+              (missing @ missing_f))
+          e.rules
+      in
+      pattern_diags @ rule_diags)
+    t.entries
+
+let pp ppf t =
+  Format.fprintf ppf "@[<v>";
+  List.iter
+    (fun e ->
+      Format.fprintf ppf "pattern %s = %a@," e.pname Pattern.pp e.pattern;
+      List.iter (fun r -> Format.fprintf ppf "  %a@," Rule.pp r) e.rules)
+    t.entries;
+  Format.fprintf ppf "@]"

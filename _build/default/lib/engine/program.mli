@@ -1,0 +1,34 @@
+(** Pattern programs: the unit DLCB loads and runs.
+
+    A program is an ordered list of named patterns, each with its ordered
+    list of rules — the in-memory form of a serialized PyPM pattern binary.
+    Order matters twice: the pass tries patterns in their order of
+    appearance "in the original python file", and within a pattern, rules
+    fire first-guard-passes-wins (paper, sections 2 and 2.4). *)
+
+open Pypm_term
+open Pypm_pattern
+
+type entry = {
+  pname : string;
+  pattern : Pattern.t;
+      (** elaborated: alternates folded into [Alt], recursion into [Mu] *)
+  rules : Rule.t list;
+}
+
+type t = { sg : Signature.t; entries : entry list }
+
+val make : sg:Signature.t -> entry list -> t
+
+val entry : t -> string -> entry option
+val pattern_names : t -> string list
+
+(** [restrict t names] keeps only the listed patterns (in program order);
+    used to benchmark optimizations separately (FMHA only / Epilog only). *)
+val restrict : t -> string list -> t
+
+(** Well-formedness of every pattern, plus rule-level checks: each rule's
+    template variables must be free variables of its pattern. *)
+val check : t -> Pypm_pattern.Wf.diagnostic list
+
+val pp : Format.formatter -> t -> unit

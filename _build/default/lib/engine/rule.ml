@@ -1,0 +1,110 @@
+open Pypm_term
+open Pypm_graph
+open Pypm_pattern
+
+type rhs =
+  | Rvar of Subst.var
+  | Rapp of Symbol.t * rhs list
+  | Rapp_attrs of Symbol.t * rhs list * (string * int) list
+  | Rfapp of Fsubst.fvar * rhs list
+  | Rcopy_attrs of Symbol.t * rhs list * Subst.var
+  | Rlit of float
+
+type t = {
+  rule_name : string;
+  pattern_name : string;
+  guard : Guard.t;
+  rhs : rhs;
+}
+
+let make ?(guard = Guard.True) ~name ~pattern rhs =
+  { rule_name = name; pattern_name = pattern; guard; rhs }
+
+let rhs_vars rhs =
+  let vars = ref Symbol.Set.empty and fvars = ref Symbol.Set.empty in
+  let rec go = function
+    | Rvar x -> vars := Symbol.Set.add x !vars
+    | Rapp (_, rs) | Rapp_attrs (_, rs, _) -> List.iter go rs
+    | Rcopy_attrs (_, rs, x) ->
+        vars := Symbol.Set.add x !vars;
+        List.iter go rs
+    | Rfapp (f, rs) ->
+        fvars := Symbol.Set.add f !fvars;
+        List.iter go rs
+    | Rlit _ -> ()
+  in
+  go rhs;
+  (!vars, !fvars)
+
+let ( let* ) = Result.bind
+
+let rec map_result f = function
+  | [] -> Ok []
+  | x :: xs ->
+      let* y = f x in
+      let* ys = map_result f xs in
+      Ok (y :: ys)
+
+let instantiate g view theta phi rhs =
+  let rec go = function
+    | Rvar x -> (
+        match Subst.find x theta with
+        | None -> Error (Printf.sprintf "rule variable %s is unbound" x)
+        | Some t -> (
+            match Term_view.node_of view t with
+            | Some n -> Ok n
+            | None ->
+                Error
+                  (Printf.sprintf
+                     "rule variable %s bound to a term with no graph node" x)))
+    | Rapp (op, rs) ->
+        let* inputs = map_result go rs in
+        Ok (Graph.add g op inputs)
+    | Rapp_attrs (op, rs, attrs) ->
+        let* inputs = map_result go rs in
+        Ok (Graph.add g op ~attrs inputs)
+    | Rfapp (f, rs) -> (
+        match Fsubst.find f phi with
+        | None -> Error (Printf.sprintf "rule function variable %s is unbound" f)
+        | Some op ->
+            let* inputs = map_result go rs in
+            Ok (Graph.add g op inputs))
+    | Rcopy_attrs (op, rs, x) -> (
+        match Subst.find x theta with
+        | None -> Error (Printf.sprintf "rule variable %s is unbound" x)
+        | Some t -> (
+            match Term_view.node_of view t with
+            | None ->
+                Error
+                  (Printf.sprintf
+                     "rule variable %s bound to a term with no graph node" x)
+            | Some src ->
+                let* inputs = map_result go rs in
+                Ok (Graph.add g op ~attrs:src.Graph.attrs inputs)))
+    | Rlit v -> Ok (Graph.constant g v)
+  in
+  go rhs
+
+let check_guard view theta phi rule =
+  Guard.eval (Term_view.interp view) theta phi rule.guard = Some true
+
+let rec pp_rhs ppf = function
+  | Rvar x -> Format.pp_print_string ppf x
+  | Rapp (op, []) -> Format.pp_print_string ppf op
+  | Rapp (op, rs) | Rapp_attrs (op, rs, _) | Rcopy_attrs (op, rs, _) ->
+      Format.fprintf ppf "%s(%a)" op
+        (Format.pp_print_list
+           ~pp_sep:(fun ppf () -> Format.fprintf ppf ", ")
+           pp_rhs)
+        rs
+  | Rfapp (f, rs) ->
+      Format.fprintf ppf "%s(%a)" f
+        (Format.pp_print_list
+           ~pp_sep:(fun ppf () -> Format.fprintf ppf ", ")
+           pp_rhs)
+        rs
+  | Rlit v -> Format.fprintf ppf "%g" v
+
+let pp ppf r =
+  Format.fprintf ppf "rule %s for %s: ... -> %a (when %a)" r.rule_name
+    r.pattern_name pp_rhs r.rhs Guard.pp r.guard

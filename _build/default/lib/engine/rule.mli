@@ -1,0 +1,59 @@
+(** Rewrite rules: the right-hand sides of PyPM optimizations.
+
+    A rule attaches to a named pattern (paper, section 2: [@rule(Pat)]).
+    Its body is a template over the pattern's variables, with optional
+    additional assertions (the rule-level [assert]s of figure 1). When the
+    pattern matches and produces substitutions, the engine runs the
+    pattern's rules in definition order and fires the first whose guard
+    passes, replacing the root of the match with the instantiated
+    template. *)
+
+open Pypm_term
+open Pypm_graph
+open Pypm_pattern
+
+(** Replacement templates. *)
+type rhs =
+  | Rvar of Subst.var  (** the subgraph a pattern variable matched *)
+  | Rapp of Symbol.t * rhs list  (** a new operator node *)
+  | Rapp_attrs of Symbol.t * rhs list * (string * int) list
+      (** a new operator node with attributes *)
+  | Rfapp of Fsubst.fvar * rhs list
+      (** apply the operator a function variable matched *)
+  | Rcopy_attrs of Symbol.t * rhs list * Subst.var
+      (** a new operator node whose attributes (stride, pad, ...) are copied
+          from the node a pattern variable matched; used when fusing an
+          attributed operator like a convolution *)
+  | Rlit of float  (** a constant node (f32) *)
+
+type t = {
+  rule_name : string;
+  pattern_name : string;  (** the pattern this rule attaches to *)
+  guard : Guard.t;  (** rule-level assertions; [Guard.True] if none *)
+  rhs : rhs;
+}
+
+val make : ?guard:Guard.t -> name:string -> pattern:string -> rhs -> t
+
+(** Variables (term and function) mentioned by a template. *)
+val rhs_vars : rhs -> Symbol.Set.t * Symbol.Set.t
+
+(** [instantiate graph view theta phi rhs] materializes the template as
+    graph nodes. [Rvar x] resolves through the view to the node [theta(x)]
+    matched; [Rfapp F] applies [phi(F)]. Errors mention the offending
+    variable or operator. *)
+val instantiate :
+  Graph.t ->
+  Term_view.t ->
+  Subst.t ->
+  Fsubst.t ->
+  rhs ->
+  (Graph.node, string) result
+
+(** [check_guard view theta phi rule] evaluates the rule's assertions under
+    the match's substitutions; [false] when unverifiable (assert on an
+    undefined attribute does not pass). *)
+val check_guard : Term_view.t -> Subst.t -> Fsubst.t -> t -> bool
+
+val pp_rhs : Format.formatter -> rhs -> unit
+val pp : Format.formatter -> t -> unit

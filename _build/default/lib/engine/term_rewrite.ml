@@ -1,0 +1,88 @@
+open Pypm_term
+open Pypm_pattern
+open Pypm_semantics
+
+type strategy = Innermost | Outermost
+
+type stats = { steps : int; normal_form : bool }
+
+let ( let* ) = Result.bind
+
+let rec map_result f = function
+  | [] -> Ok []
+  | x :: xs ->
+      let* y = f x in
+      let* ys = map_result f xs in
+      Ok (y :: ys)
+
+let rec instantiate theta phi (rhs : Rule.rhs) =
+  match rhs with
+  | Rule.Rvar x -> (
+      match Subst.find x theta with
+      | Some t -> Ok t
+      | None -> Error (Printf.sprintf "unbound template variable %s" x))
+  | Rule.Rapp (op, rs) | Rule.Rapp_attrs (op, rs, _) | Rule.Rcopy_attrs (op, rs, _)
+    ->
+      let* args = map_result (instantiate theta phi) rs in
+      Ok (Term.app op args)
+  | Rule.Rfapp (f, rs) -> (
+      match Fsubst.find f phi with
+      | None -> Error (Printf.sprintf "unbound template operator variable %s" f)
+      | Some op ->
+          let* args = map_result (instantiate theta phi) rs in
+          Ok (Term.app op args))
+  | Rule.Rlit v -> Ok (Term.const (Pypm_graph.Graph.lit_symbol v))
+
+(* Try every pattern of the program at one position. *)
+let try_here ~interp (program : Program.t) t =
+  List.find_map
+    (fun (e : Program.entry) ->
+      match
+        Matcher.matches ~interp ~policy:Outcome.Policy.Backtrack
+          e.Program.pattern t
+      with
+      | Outcome.Matched (theta, phi) ->
+          List.find_map
+            (fun (r : Rule.t) ->
+              if Guard.eval interp theta phi r.Rule.guard = Some true then
+                match instantiate theta phi r.Rule.rhs with
+                | Ok t' when not (Term.equal t' t) -> Some t'
+                | _ -> None
+              else None)
+            e.Program.rules
+      | _ -> None)
+    program.Program.entries
+
+let step ~interp ?(strategy = Innermost) (program : Program.t) t =
+  let rec go t =
+    match strategy with
+    | Outermost -> (
+        match try_here ~interp program t with
+        | Some t' -> Some t'
+        | None -> go_children t)
+    | Innermost -> (
+        match go_children t with
+        | Some t' -> Some t'
+        | None -> try_here ~interp program t)
+  and go_children t =
+    let rec walk before = function
+      | [] -> None
+      | a :: rest -> (
+          match go a with
+          | Some a' ->
+              Some (Term.app (Term.head t) (List.rev_append before (a' :: rest)))
+          | None -> walk (a :: before) rest)
+    in
+    walk [] (Term.args t)
+  in
+  go t
+
+let normalize ~interp ?strategy ?(max_steps = 1000) program t =
+  let rec go t steps =
+    if steps >= max_steps then (t, { steps; normal_form = false })
+    else
+      match step ~interp ?strategy program t with
+      | Some t' -> go t' (steps + 1)
+      | None -> (t, { steps; normal_form = true })
+  in
+  go t 0

@@ -1,0 +1,51 @@
+(** Term-level rewriting: the rewrite engine without the graph.
+
+    CorePyPM abstracts computation graphs as syntax trees; this module
+    applies an engine program directly to terms, which is how the formal
+    sections of the paper read. It is the pure counterpart of {!Pass} —
+    useful in tests, in examples, and as the destructive side of the
+    destructive-vs-saturation comparison ({!Pypm_egraph.Saturate} is the
+    nondestructive side; `test_term_rewrite.ml` cross-checks the two on
+    confluent rule sets).
+
+    Rules whose templates need graph facilities ([Rcopy_attrs], node
+    attributes) degrade gracefully: attribute copies behave like plain
+    applications (terms carry no attributes). *)
+
+open Pypm_term
+open Pypm_pattern
+
+type strategy =
+  | Innermost  (** rewrite deepest redexes first (bottom-up) *)
+  | Outermost  (** rewrite the root first (top-down) *)
+
+type stats = {
+  steps : int;  (** rules fired *)
+  normal_form : bool;  (** false when [max_steps] was exhausted *)
+}
+
+(** [instantiate ~interp theta phi rhs] builds the replacement term.
+    [Error] on unbound template variables. *)
+val instantiate :
+  Subst.t -> Fsubst.t -> Rule.rhs -> (Term.t, string) result
+
+(** [step ~interp program t] performs one rewrite according to [strategy]
+    (default [Innermost]) — the first pattern (in program order) matching
+    at the chosen position whose first passing rule fires. [None] if [t]
+    is in normal form. *)
+val step :
+  interp:Guard.interp ->
+  ?strategy:strategy ->
+  Program.t ->
+  Term.t ->
+  Term.t option
+
+(** [normalize ~interp program t] iterates {!step} to a normal form (or
+    [max_steps], default 1000). *)
+val normalize :
+  interp:Guard.interp ->
+  ?strategy:strategy ->
+  ?max_steps:int ->
+  Program.t ->
+  Term.t ->
+  Term.t * stats

@@ -1,0 +1,1 @@
+lib/graph/dot.ml: Buffer Fun Graph List Option Printf Pypm_tensor Pypm_term Signature String Ty

@@ -1,0 +1,1 @@
+lib/graph/graph.ml: Dtype Float Format Hashtbl Infer List Option Printf Pypm_tensor Pypm_term Signature String Symbol Ty

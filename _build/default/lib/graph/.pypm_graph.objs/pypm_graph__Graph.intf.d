@@ -1,0 +1,1 @@
+lib/graph/graph.mli: Dtype Format Infer Pypm_tensor Pypm_term Signature Symbol Ty

@@ -1,0 +1,1 @@
+lib/graph/term_view.ml: Attrs Graph Hashtbl List Option Pypm_pattern Pypm_tensor Pypm_term Term

@@ -1,0 +1,1 @@
+lib/graph/term_view.mli: Graph Pypm_pattern Pypm_tensor Pypm_term Term Ty

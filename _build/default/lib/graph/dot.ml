@@ -1,0 +1,75 @@
+open Pypm_term
+open Pypm_tensor
+
+let color_of_class = function
+  | "input" -> "lightblue"
+  | "const" -> "gray90"
+  | "matmul" | "linear" -> "gold"
+  | "conv" -> "orange"
+  | "fused_kernel" -> "palegreen"
+  | "fused" -> "mediumseagreen"
+  | "softmax" -> "plum"
+  | "transpose" | "layout" -> "lightsteelblue"
+  | "opaque" -> "lightcoral"
+  | _ -> "white"
+
+let escape s =
+  String.concat ""
+    (List.map
+       (function
+         | '"' -> "\\\"" | '\\' -> "\\\\" | '<' -> "\\<" | '>' -> "\\>"
+         | '{' -> "\\{" | '}' -> "\\}" | '|' -> "\\|"
+         | c -> String.make 1 c)
+       (List.init (String.length s) (String.get s)))
+
+let to_dot ?(highlight = []) g =
+  let buf = Buffer.create 1024 in
+  let sg = Graph.signature g in
+  Buffer.add_string buf "digraph pypm {\n";
+  Buffer.add_string buf "  rankdir=BT;\n  node [shape=record, style=filled];\n";
+  List.iter
+    (fun (n : Graph.node) ->
+      let cls =
+        Option.value ~default:"generic" (Signature.op_class sg n.Graph.op)
+      in
+      let ty =
+        match n.Graph.ty with
+        | Some ty -> Ty.to_string ty
+        | None -> "opaque"
+      in
+      let extra =
+        if List.mem n.Graph.id highlight then ", penwidth=3" else ""
+      in
+      Buffer.add_string buf
+        (Printf.sprintf "  n%d [label=\"{%s|%s}\", fillcolor=%s%s];\n"
+           n.Graph.id
+           (escape n.Graph.op)
+           (escape ty) (color_of_class cls) extra))
+    (Graph.live_nodes g);
+  List.iter
+    (fun (n : Graph.node) ->
+      List.iteri
+        (fun i (input : Graph.node) ->
+          Buffer.add_string buf
+            (Printf.sprintf "  n%d -> n%d [label=\"%d\"];\n" input.Graph.id
+               n.Graph.id i))
+        n.Graph.inputs)
+    (Graph.live_nodes g);
+  (* mark outputs *)
+  List.iteri
+    (fun i (o : Graph.node) ->
+      Buffer.add_string buf
+        (Printf.sprintf
+           "  out%d [label=\"output %d\", shape=oval, fillcolor=black, \
+            fontcolor=white];\n\
+           \  n%d -> out%d;\n"
+           i i o.Graph.id i))
+    (Graph.outputs g);
+  Buffer.add_string buf "}\n";
+  Buffer.contents buf
+
+let write ?highlight path g =
+  let oc = open_out path in
+  Fun.protect
+    ~finally:(fun () -> close_out_noerr oc)
+    (fun () -> output_string oc (to_dot ?highlight g))

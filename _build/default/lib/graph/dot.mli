@@ -1,0 +1,15 @@
+(** Graphviz export of computation graphs.
+
+    Renders the live graph as a DOT digraph: one record node per operator
+    (name, tensor type), edges following dataflow. Operator classes map to
+    colors so rewrite results are visually obvious (library kernels and
+    fused regions stand out). Used by [pypmc optimize --dot] and handy when
+    debugging rewrites. *)
+
+(** [to_dot ?highlight g] renders the graph. Nodes whose ids appear in
+    [highlight] get a bold outline (e.g. the most recent rewrite's
+    replacements). *)
+val to_dot : ?highlight:int list -> Graph.t -> string
+
+(** [write ?highlight path g] writes the rendering to a file. *)
+val write : ?highlight:int list -> string -> Graph.t -> unit

@@ -1,0 +1,218 @@
+open Pypm_term
+open Pypm_tensor
+
+type node = {
+  id : int;
+  mutable op : Symbol.t;
+  mutable inputs : node list;
+  mutable attrs : (string * int) list;
+  mutable ty : Ty.t option;
+}
+
+type t = {
+  sg : Signature.t;
+  infer : Infer.t;
+  table : (int, node) Hashtbl.t;
+  mutable order : int list; (* reverse creation order *)
+  mutable outs : node list;
+  mutable next_id : int;
+}
+
+let create ~sg ~infer () =
+  { sg; infer; table = Hashtbl.create 256; order = []; outs = []; next_id = 0 }
+
+let signature g = g.sg
+let inference g = g.infer
+
+let alloc g op inputs attrs ty =
+  let n = { id = g.next_id; op; inputs; attrs; ty } in
+  g.next_id <- g.next_id + 1;
+  Hashtbl.replace g.table n.id n;
+  g.order <- n.id :: g.order;
+  n
+
+let leaf_with_class g ~name ~cls ty =
+  let sym = Symbol.fresh ~prefix:name () in
+  ignore (Signature.declare g.sg ~arity:0 ~op_class:cls sym);
+  alloc g sym [] [] (Some ty)
+
+let input g ~name ty = leaf_with_class g ~name ~cls:"input" ty
+let opaque g ~name ty = leaf_with_class g ~name ~cls:"opaque" ty
+
+let add g op ?(attrs = []) inputs =
+  (match Signature.arity g.sg op with
+  | None -> invalid_arg (Printf.sprintf "Graph.add: undeclared operator %s" op)
+  | Some n ->
+      if n <> List.length inputs then
+        invalid_arg
+          (Printf.sprintf "Graph.add: %s has arity %d, got %d inputs" op n
+             (List.length inputs)));
+  let ty =
+    if Infer.mem g.infer op then
+      let in_tys = List.map (fun n -> n.ty) inputs in
+      if List.exists Option.is_none in_tys then None
+      else
+        match
+          Infer.infer g.infer op ~attrs (List.map Option.get in_tys)
+        with
+        | Ok ty -> Some ty
+        | Error msg ->
+            invalid_arg (Printf.sprintf "Graph.add: %s: %s" op msg)
+    else None
+  in
+  alloc g op inputs attrs ty
+
+let add_with_ty g op ?(attrs = []) ~ty inputs =
+  (match Signature.arity g.sg op with
+  | None ->
+      invalid_arg (Printf.sprintf "Graph.add_with_ty: undeclared operator %s" op)
+  | Some n ->
+      if n <> List.length inputs then
+        invalid_arg
+          (Printf.sprintf "Graph.add_with_ty: %s has arity %d, got %d inputs"
+             op n (List.length inputs)));
+  alloc g op inputs attrs (Some ty)
+
+let const_scale = 1000.
+
+let stored_of_value value = int_of_float (Float.round (value *. const_scale))
+
+let lit_symbol ?(dtype = Dtype.F32) value =
+  Printf.sprintf "lit_%s_%d" (Dtype.to_string dtype) (stored_of_value value)
+
+let declare_lit sg ?(dtype = Dtype.F32) value =
+  let sym = lit_symbol ~dtype value in
+  ignore (Signature.declare sg ~arity:0 ~op_class:"const" sym);
+  sym
+
+let constant g ?(dtype = Dtype.F32) value =
+  let sym = declare_lit g.sg ~dtype value in
+  alloc g sym [] [ ("value_x1000", stored_of_value value) ] (Some (Ty.scalar dtype))
+
+let constant_value n =
+  match List.assoc_opt "value_x1000" n.attrs with
+  | Some v -> Some (float_of_int v /. const_scale)
+  | None -> None
+
+let set_outputs g outs = g.outs <- outs
+let outputs g = g.outs
+let find_node g id = Hashtbl.find_opt g.table id
+let nodes g = List.rev_map (fun id -> Hashtbl.find g.table id) g.order
+let node_count g = Hashtbl.length g.table
+
+(* Topological order via DFS from outputs; inputs first. *)
+let live_nodes g =
+  let visited = Hashtbl.create 256 in
+  let out = ref [] in
+  let rec visit n =
+    if not (Hashtbl.mem visited n.id) then (
+      Hashtbl.replace visited n.id ();
+      List.iter visit n.inputs;
+      out := n :: !out)
+  in
+  List.iter visit g.outs;
+  List.rev !out
+
+let live_count g = List.length (live_nodes g)
+
+let users g n =
+  List.filter (fun m -> List.exists (fun i -> i.id = n.id) m.inputs)
+    (live_nodes g)
+
+(* Is [candidate] reachable from [from] following inputs? *)
+let reaches from candidate =
+  let visited = Hashtbl.create 64 in
+  let rec go n =
+    n.id = candidate.id
+    || (not (Hashtbl.mem visited n.id))
+       && (Hashtbl.replace visited n.id ();
+           List.exists go n.inputs)
+  in
+  go from
+
+let replace g ~old_root ~new_root =
+  if old_root.id <> new_root.id then (
+    (* Cycle guard: if some user of old_root is reachable from new_root,
+       rewiring would close a loop. *)
+    let user_list =
+      List.filter
+        (fun m -> List.exists (fun i -> i.id = old_root.id) m.inputs)
+        (nodes g)
+    in
+    List.iter
+      (fun u ->
+        if reaches new_root u then
+          invalid_arg "Graph.replace: rewiring would create a cycle")
+      user_list;
+    List.iter
+      (fun u ->
+        u.inputs <-
+          List.map (fun i -> if i.id = old_root.id then new_root else i) u.inputs)
+      user_list;
+    g.outs <-
+      List.map (fun o -> if o.id = old_root.id then new_root else o) g.outs)
+
+let gc g =
+  let live = live_nodes g in
+  let keep = Hashtbl.create 256 in
+  List.iter (fun n -> Hashtbl.replace keep n.id ()) live;
+  let before = Hashtbl.length g.table in
+  Hashtbl.iter
+    (fun id _ -> if not (Hashtbl.mem keep id) then Hashtbl.remove g.table id)
+    (Hashtbl.copy g.table);
+  g.order <- List.filter (fun id -> Hashtbl.mem keep id) g.order;
+  before - Hashtbl.length g.table
+
+let count_op g op =
+  List.length (List.filter (fun n -> Symbol.equal n.op op) (live_nodes g))
+
+let count_class g cls =
+  List.length
+    (List.filter
+       (fun n ->
+         match Signature.op_class g.sg n.op with
+         | Some c -> String.equal c cls
+         | None -> false)
+       (live_nodes g))
+
+let validate g =
+  let errs = ref [] in
+  let err fmt = Format.kasprintf (fun m -> errs := m :: !errs) fmt in
+  let live = live_nodes g in
+  List.iter
+    (fun n ->
+      (match Signature.arity g.sg n.op with
+      | None -> err "node %d: undeclared operator %s" n.id n.op
+      | Some a ->
+          if a <> List.length n.inputs then
+            err "node %d: operator %s arity %d but %d inputs" n.id n.op a
+              (List.length n.inputs));
+      List.iter
+        (fun i ->
+          if not (Hashtbl.mem g.table i.id) then
+            err "node %d: input %d not in node table" n.id i.id)
+        n.inputs;
+      if reaches n n && List.exists (fun i -> reaches i n) n.inputs then
+        err "node %d: participates in a cycle" n.id)
+    live;
+  List.rev !errs
+
+let pp_node ppf n =
+  Format.fprintf ppf "%%%d = %s(%a)%a" n.id n.op
+    (Format.pp_print_list
+       ~pp_sep:(fun ppf () -> Format.fprintf ppf ", ")
+       (fun ppf i -> Format.fprintf ppf "%%%d" i.id))
+    n.inputs
+    (fun ppf -> function
+      | Some ty -> Format.fprintf ppf " : %a" Ty.pp ty
+      | None -> Format.fprintf ppf " : opaque")
+    n.ty
+
+let pp ppf g =
+  Format.fprintf ppf "@[<v>";
+  List.iter (fun n -> Format.fprintf ppf "%a@," pp_node n) (live_nodes g);
+  Format.fprintf ppf "outputs: %a@]"
+    (Format.pp_print_list
+       ~pp_sep:(fun ppf () -> Format.fprintf ppf ", ")
+       (fun ppf o -> Format.fprintf ppf "%%%d" o.id))
+    g.outs

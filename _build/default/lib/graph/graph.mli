@@ -1,0 +1,115 @@
+(** The computation-graph IR.
+
+    This is the repository's stand-in for DLCB's operator graphs: a mutable
+    DAG of operator nodes over a signature, with tensor types computed by
+    shape inference at construction time. Rewriting is {e destructive}
+    (paper, section 2): {!replace} rewires every user of the matched root to
+    the replacement node and the old subgraph becomes garbage, collected by
+    {!gc}.
+
+    Invariants maintained (and checked by {!validate}):
+    - inputs of a node were created before it in the same graph (acyclic);
+    - arities agree with the signature;
+    - every node reachable from an output is in the node table. *)
+
+open Pypm_term
+open Pypm_tensor
+
+type node = private {
+  id : int;
+  mutable op : Symbol.t;
+  mutable inputs : node list;
+  mutable attrs : (string * int) list;
+  mutable ty : Ty.t option;  (** [None] = opaque to the type system *)
+}
+
+type t
+
+(** [create ~sg ~infer ()] makes an empty graph. The signature and inference
+    registry are {e not} copied; several graphs may share them. *)
+val create : sg:Signature.t -> infer:Infer.t -> unit -> t
+
+val signature : t -> Signature.t
+val inference : t -> Infer.t
+
+(** [input g ~name ty] creates a graph input: an arity-0 leaf with a fresh
+    operator symbol derived from [name], declared in the signature with
+    class ["input"]. *)
+val input : t -> name:string -> Ty.t -> node
+
+(** [opaque g ~name ty] creates a leaf standing for a subgraph DLCB does not
+    understand (class ["opaque"]); it has a type but no structure. *)
+val opaque : t -> name:string -> Ty.t -> node
+
+(** [add g op ?attrs inputs] creates an operator node. Arity is checked
+    against the signature; the type is computed by the inference registry.
+    Raises [Invalid_argument] if the operator is declared but its typing
+    rule rejects the inputs (a construction bug); an operator with no
+    typing rule gets [ty = None]. *)
+val add : t -> Symbol.t -> ?attrs:(string * int) list -> node list -> node
+
+(** [add_with_ty g op ~ty inputs] creates a node with an explicitly supplied
+    type, bypassing inference. Used for just-in-time fused region operators
+    whose type is the type of the subgraph they replace. The operator must
+    be declared with the right arity. *)
+val add_with_ty :
+  t -> Symbol.t -> ?attrs:(string * int) list -> ty:Ty.t -> node list -> node
+
+(** [constant g ?dtype value] is a scalar constant leaf (class ["const"]).
+    The float [value] is stored as the attribute ["value_x1000"], rounded to
+    the nearest thousandth; PyPM constants like 0.5 and 2 in figure 2 are
+    represented this way. Constant leaves with the same dtype and value
+    share an {e interned} operator symbol ({!lit_symbol}), so patterns can
+    match specific literals structurally. *)
+val constant : t -> ?dtype:Dtype.t -> float -> node
+
+(** [constant_value node] recovers the value of a constant node. *)
+val constant_value : node -> float option
+
+(** The interned operator symbol of the constant [value] at [dtype]
+    (default [F32]); use it to write literal patterns such as
+    [Div(x, 2)] as [App (lit_symbol 2.0, [])]. *)
+val lit_symbol : ?dtype:Dtype.t -> float -> Symbol.t
+
+(** Declare a literal's symbol in a signature without building a graph, so
+    pattern well-formedness checks know it. Idempotent. *)
+val declare_lit : Signature.t -> ?dtype:Dtype.t -> float -> Symbol.t
+
+val set_outputs : t -> node list -> unit
+val outputs : t -> node list
+val find_node : t -> int -> node option
+
+(** All nodes in creation order (including garbage until {!gc} runs). *)
+val nodes : t -> node list
+
+(** Nodes reachable from the outputs, in topological order (inputs before
+    users). *)
+val live_nodes : t -> node list
+
+val node_count : t -> int
+val live_count : t -> int
+
+(** [users g n] lists the live nodes that take [n] as an input. *)
+val users : t -> node -> node list
+
+(** [replace g ~old_root ~new_root] destructively replaces [old_root]:
+    every user of [old_root] now reads [new_root], and outputs are updated.
+    Raises [Invalid_argument] if [new_root] would create a cycle (it is a
+    strict ancestor of itself through [old_root]'s users). *)
+val replace : t -> old_root:node -> new_root:node -> unit
+
+(** Drop unreachable nodes from the node table; returns how many were
+    collected. *)
+val gc : t -> int
+
+(** [count_op g op] counts live nodes with operator [op]. *)
+val count_op : t -> Symbol.t -> int
+
+(** [count_class g cls] counts live nodes whose operator class is [cls]. *)
+val count_class : t -> string -> int
+
+(** Structural integrity check; returns human-readable violations. *)
+val validate : t -> string list
+
+val pp_node : Format.formatter -> node -> unit
+val pp : Format.formatter -> t -> unit

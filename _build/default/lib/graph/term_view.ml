@@ -1,0 +1,40 @@
+open Pypm_term
+open Pypm_tensor
+
+type t = {
+  g : Graph.t;
+  node_term : (int, Term.t) Hashtbl.t;
+  term_node : Graph.node Term.Tbl.t;
+}
+
+let create g =
+  { g; node_term = Hashtbl.create 256; term_node = Term.Tbl.create 256 }
+
+let graph v = v.g
+
+let rec term_of v (n : Graph.node) =
+  match Hashtbl.find_opt v.node_term n.id with
+  | Some t -> t
+  | None ->
+      let t = Term.app n.op (List.map (term_of v) n.inputs) in
+      Hashtbl.replace v.node_term n.id t;
+      if not (Term.Tbl.mem v.term_node t) then Term.Tbl.add v.term_node t n;
+      t
+
+let node_of v t = Term.Tbl.find_opt v.term_node t
+
+let type_of v t =
+  match node_of v t with Some n -> n.ty | None -> None
+
+let interp v : Pypm_pattern.Guard.interp =
+  let base = Attrs.interp ~sg:(Graph.signature v.g) ~type_of:(type_of v) in
+  {
+    base with
+    term_attr =
+      (fun attr t ->
+        match attr with
+        | "value_x1000" ->
+            Option.bind (node_of v t) (fun n ->
+                List.assoc_opt "value_x1000" n.Graph.attrs)
+        | _ -> base.term_attr attr t);
+  }

@@ -1,0 +1,1 @@
+lib/kernels/cost.ml: Dtype Float Graph Kernel List Pypm_graph Pypm_tensor Pypm_term Signature Ty

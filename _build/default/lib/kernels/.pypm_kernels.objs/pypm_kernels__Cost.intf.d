@@ -1,0 +1,1 @@
+lib/kernels/cost.mli: Dtype Graph Pypm_graph Pypm_tensor

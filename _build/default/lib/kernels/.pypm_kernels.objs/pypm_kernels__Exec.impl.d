@@ -1,0 +1,1 @@
+lib/kernels/exec.ml: Cost Format Graph List Pypm_graph

@@ -1,0 +1,1 @@
+lib/kernels/exec.mli: Cost Format Graph Pypm_graph

@@ -1,0 +1,1 @@
+lib/kernels/kernel.ml: Hashtbl List Pypm_tensor Pypm_term Symbol Ty

@@ -1,0 +1,1 @@
+lib/kernels/kernel.mli: Pypm_tensor Pypm_term Symbol Ty

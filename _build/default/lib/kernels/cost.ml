@@ -1,0 +1,160 @@
+open Pypm_term
+open Pypm_graph
+open Pypm_tensor
+
+type device = {
+  dname : string;
+  fp32_flops : float;
+  fp16_flops : float;
+  int8_ops : float;
+  mem_bw : float;
+  launch_overhead : float;
+}
+
+let a6000 =
+  {
+    dname = "RTX-A6000";
+    fp32_flops = 38.7e12;
+    fp16_flops = 77.4e12;
+    int8_ops = 309.7e12;
+    mem_bw = 768.e9;
+    launch_overhead = 5.0e-6;
+  }
+
+let a100 =
+  {
+    dname = "A100-SXM";
+    fp32_flops = 19.5e12;
+    fp16_flops = 312.e12;
+    int8_ops = 624.e12;
+    mem_bw = 2039.e9;
+    launch_overhead = 4.0e-6;
+  }
+
+type work = {
+  flops : float;
+  bytes : float;
+  launches : float;
+  efficiency : float;
+}
+
+let zero_work = { flops = 0.; bytes = 0.; launches = 0.; efficiency = 1. }
+
+let io_bytes (n : Graph.node) =
+  let input_bytes =
+    List.fold_left
+      (fun acc (i : Graph.node) ->
+        acc +. match i.ty with Some ty -> float_of_int (Ty.size_bytes ty) | None -> 0.)
+      0. n.inputs
+  in
+  let out_bytes =
+    match n.ty with Some ty -> float_of_int (Ty.size_bytes ty) | None -> 0.
+  in
+  input_bytes +. out_bytes
+
+let out_nelems (n : Graph.node) =
+  match n.ty with Some ty -> float_of_int (Ty.nelems ty) | None -> 0.
+
+(* Naive-implementation efficiencies by operator family. Hand-tuned library
+   kernels carry their own (higher) efficiency in their spec. *)
+let naive_eff_matmul = 0.55
+let naive_eff_conv = 0.50
+let naive_eff_pointwise = 0.90
+let jit_fused_eff = 0.75
+
+let input_tys (n : Graph.node) =
+  List.filter_map (fun (i : Graph.node) -> i.ty) n.inputs
+
+let class_work g (n : Graph.node) cls =
+  let bytes = io_bytes n in
+  let one flops efficiency = { flops; bytes; launches = 1.; efficiency } in
+  match cls with
+  | "input" | "const" -> zero_work
+  | "opaque" when n.inputs = [] -> zero_work
+  | "matmul" | "linear" -> (
+      match (input_tys n, n.ty) with
+      | ins, Some out -> one (Kernel.matmul_flops ins out) naive_eff_matmul
+      | _ -> { zero_work with launches = 1. })
+  | "conv" -> (
+      match (input_tys n, n.ty) with
+      | (_ :: (w : Ty.t) :: _), Some out ->
+          let kernel_work =
+            match w.shape with
+            | [ _o; c; kh; kw ] -> float_of_int (c * kh * kw)
+            | _ -> 1.
+          in
+          one (2. *. float_of_int (Ty.nelems out) *. kernel_work)
+            naive_eff_conv
+      | _ -> { zero_work with launches = 1. })
+  | "softmax" ->
+      (* multi-pass: max, exp-sum, divide *)
+      {
+        flops = 5. *. out_nelems n;
+        bytes = 3. *. io_bytes n;
+        launches = 1.;
+        efficiency = naive_eff_pointwise;
+      }
+  | "transpose" | "layout" ->
+      (* pure data movement *)
+      one 0. 1.
+  | "reduce" | "pool" -> one (out_nelems n *. 4.) naive_eff_pointwise
+  | "unary_pointwise" | "binary_pointwise" | "nary_pointwise" ->
+      one (out_nelems n) naive_eff_pointwise
+  | "fused" ->
+      (* JIT-fused region: interior flops recorded at fuse time; traffic is
+         region inputs + output only; one launch. *)
+      let flops =
+        match List.assoc_opt "flops" n.attrs with
+        | Some f -> float_of_int f
+        | None -> out_nelems n
+      in
+      { flops; bytes; launches = 1.; efficiency = jit_fused_eff }
+  | _ ->
+      ignore g;
+      (* unknown but typed compute: charge pointwise-ish work *)
+      one (out_nelems n) naive_eff_pointwise
+
+let node_work g (n : Graph.node) =
+  match Kernel.find n.op with
+  | Some spec -> (
+      match n.ty with
+      | Some out ->
+          let ins = input_tys n in
+          {
+            flops = spec.Kernel.flops ins out;
+            bytes = io_bytes n +. spec.Kernel.intermediate_bytes ins out;
+            launches = float_of_int spec.Kernel.launches;
+            efficiency = spec.Kernel.efficiency;
+          }
+      | None -> { zero_work with launches = 1. })
+  | None -> (
+      match Signature.op_class (Graph.signature g) n.op with
+      | Some cls -> class_work g n cls
+      | None -> { zero_work with launches = 1. })
+
+let peak device (dtype : Dtype.t) =
+  match dtype with
+  | F64 -> device.fp32_flops /. 2.
+  | F32 -> device.fp32_flops
+  | F16 | BF16 -> device.fp16_flops
+  | I8 | Bool -> device.int8_ops
+  | I64 | I32 -> device.fp32_flops
+
+let seconds device ~dtype w =
+  if w.launches = 0. && w.flops = 0. && w.bytes = 0. then 0.
+  else
+    let compute = w.flops /. (w.efficiency *. peak device dtype) in
+    let memory = w.bytes /. device.mem_bw in
+    (w.launches *. device.launch_overhead) +. Float.max compute memory
+
+let node_cost device g n =
+  let dtype =
+    match n.Graph.ty with Some ty -> ty.Ty.dtype | None -> Dtype.F32
+  in
+  seconds device ~dtype (node_work g n)
+
+let flops_of_nodes g ns =
+  List.fold_left (fun acc n -> acc +. (node_work g n).flops) 0. ns
+
+let fused_attrs g interior =
+  [ ("flops", int_of_float (flops_of_nodes g interior)) ]

@@ -1,0 +1,62 @@
+(** The analytic GPU cost model.
+
+    Substitute for running on the paper's RTX A6000: each node is charged
+    [launches * launch_overhead + max(compute_time, memory_time)], a
+    roofline with per-kernel efficiency. Naive (unfused) graphs pay one
+    launch and full input/output DRAM traffic per operator; library and
+    JIT-fused kernels pay one launch for the whole region and no
+    intermediate traffic — exactly the effect the paper's FMHA and Epilog
+    rewrites exploit. Only cost {e ratios} matter for reproducing the
+    figures; the constants are loosely A6000-shaped. *)
+
+open Pypm_graph
+open Pypm_tensor
+
+type device = {
+  dname : string;
+  fp32_flops : float;  (** peak, flop/s *)
+  fp16_flops : float;
+  int8_ops : float;
+  mem_bw : float;  (** bytes/s *)
+  launch_overhead : float;  (** seconds per kernel launch *)
+}
+
+(** Loosely an NVIDIA RTX A6000: 38.7 TFLOP/s fp32, 77.4 fp16,
+    309.7 TOPS int8, 768 GB/s, 5 us launch overhead. *)
+val a6000 : device
+
+(** Loosely an NVIDIA A100-SXM: 19.5 TFLOP/s fp32 (no tensor cores for
+    plain fp32), 312 fp16, 624 TOPS int8, 2039 GB/s, 4 us launch. Used by
+    the sensitivity ablation: relative speedups should be stable across
+    device profiles. *)
+val a100 : device
+
+(** Abstract work of one node. *)
+type work = {
+  flops : float;
+  bytes : float;  (** DRAM traffic: inputs + output + intermediates *)
+  launches : float;
+  efficiency : float;  (** fraction of peak the implementation reaches *)
+}
+
+val zero_work : work
+
+(** [node_work g n] classifies a node by (1) the kernel registry, (2) fused
+    region attributes, (3) its operator class. Inputs/constants cost
+    nothing; untyped (opaque) compute nodes are charged a nominal
+    launch. *)
+val node_work : Graph.t -> Graph.node -> work
+
+(** [seconds device ~dtype w] is the roofline time of [w]. *)
+val seconds : device -> dtype:Dtype.t -> work -> float
+
+(** [node_cost device g n] combines {!node_work} and {!seconds}. *)
+val node_cost : device -> Graph.t -> Graph.node -> float
+
+(** [flops_of_nodes g ns] sums naive flops over nodes; used to annotate
+    JIT-fused regions. *)
+val flops_of_nodes : Graph.t -> Graph.node list -> float
+
+(** Attributes to store on a JIT-fused region node so the cost model can
+    charge it: [("flops", total interior flops)]. *)
+val fused_attrs : Graph.t -> Graph.node list -> (string * int) list

@@ -1,0 +1,29 @@
+open Pypm_graph
+
+let breakdown device g =
+  List.map (fun n -> (n, Cost.node_cost device g n)) (Graph.live_nodes g)
+
+let graph_cost device g =
+  List.fold_left (fun acc (_, c) -> acc +. c) 0. (breakdown device g)
+
+let speedup ~baseline ~optimized =
+  if optimized <= 0. then 1. else baseline /. optimized
+
+type totals = { time : float; launches : float; bytes : float; flops : float }
+
+let totals device g =
+  List.fold_left
+    (fun acc n ->
+      let w = Cost.node_work g n in
+      {
+        time = acc.time +. Cost.node_cost device g n;
+        launches = acc.launches +. w.Cost.launches;
+        bytes = acc.bytes +. w.Cost.bytes;
+        flops = acc.flops +. w.Cost.flops;
+      })
+    { time = 0.; launches = 0.; bytes = 0.; flops = 0. }
+    (Graph.live_nodes g)
+
+let pp_totals ppf t =
+  Format.fprintf ppf "time %.3f ms, %g launches, %.1f MB traffic, %.2f GFLOP"
+    (t.time *. 1e3) t.launches (t.bytes /. 1e6) (t.flops /. 1e9)

@@ -1,0 +1,25 @@
+(** The graph execution simulator.
+
+    Walks a computation graph in topological order and accumulates the cost
+    model's per-node times — the stand-in for timing real inference on the
+    benchmark machine. Relative speedups between an unoptimized and an
+    optimized graph are the quantities figures 10 and 11 plot. *)
+
+open Pypm_graph
+
+(** [graph_cost device g] is the simulated forward-pass time, seconds. *)
+val graph_cost : Cost.device -> Graph.t -> float
+
+(** Per-node contribution, topological order. *)
+val breakdown : Cost.device -> Graph.t -> (Graph.node * float) list
+
+(** [speedup ~baseline ~optimized] = baseline / optimized (>= 1 when the
+    optimization helped). *)
+val speedup : baseline:float -> optimized:float -> float
+
+(** Summary counters: total launches and DRAM traffic, for ablation
+    reports. *)
+type totals = { time : float; launches : float; bytes : float; flops : float }
+
+val totals : Cost.device -> Graph.t -> totals
+val pp_totals : Format.formatter -> totals -> unit

@@ -1,0 +1,46 @@
+open Pypm_term
+open Pypm_tensor
+
+type spec = {
+  kname : Symbol.t;
+  flops : Ty.t list -> Ty.t -> float;
+  efficiency : float;
+  launches : int;
+  intermediate_bytes : Ty.t list -> Ty.t -> float;
+}
+
+let no_intermediate _ _ = 0.
+
+let make ?(efficiency = 0.85) ?(launches = 1)
+    ?(intermediate_bytes = no_intermediate) ~flops kname =
+  { kname; flops; efficiency; launches; intermediate_bytes }
+
+let registry : (Symbol.t, spec) Hashtbl.t = Hashtbl.create 32
+
+let register spec = Hashtbl.replace registry spec.kname spec
+let find name = Hashtbl.find_opt registry name
+let mem name = Hashtbl.mem registry name
+let registered () = Hashtbl.fold (fun k _ acc -> k :: acc) registry []
+
+let innermost_dim (ty : Ty.t) =
+  match List.rev ty.shape with d :: _ -> d | [] -> 1
+
+let matmul_flops inputs out =
+  let k = match inputs with a :: _ -> innermost_dim a | [] -> 1 in
+  2. *. float_of_int (Ty.nelems out) *. float_of_int k
+
+let pointwise_flops ?(per_elem = 1.) _inputs out =
+  per_elem *. float_of_int (Ty.nelems out)
+
+let mha_flops inputs out =
+  (* Q, K, V : [batch...; seq; head_dim]; out mirrors Q. Work: QK^T is
+     2*seq^2*d, PV is 2*seq^2*d, softmax ~5*seq^2, per batch row. *)
+  match inputs with
+  | (q : Ty.t) :: _ -> (
+      match List.rev q.shape with
+      | d :: s :: batch_rev ->
+          let batch = List.fold_left ( * ) 1 batch_rev in
+          float_of_int batch
+          *. ((4. *. float_of_int (s * s * d)) +. (5. *. float_of_int (s * s)))
+      | _ -> float_of_int (Ty.nelems out))
+  | [] -> float_of_int (Ty.nelems out)

@@ -1,0 +1,52 @@
+(** The library-kernel registry.
+
+    The paper's rewrites target hand-tuned vendor kernels: cuBLAS GEMM
+    variants, the fused multi-head-attention kernel (FMHA), and the
+    GEMM-with-epilog kernel (section 4.1). We cannot call real kernels, so
+    each is modeled by a {!spec}: how much useful work it performs for
+    given input/output types, how close to peak it runs, and how many
+    launches it costs. The cost model consults this registry for any
+    operator registered here; everything else is costed by operator
+    class. *)
+
+open Pypm_term
+open Pypm_tensor
+
+type spec = {
+  kname : Symbol.t;
+  (* flops performed as a function of input types and output type *)
+  flops : Ty.t list -> Ty.t -> float;
+  efficiency : float;
+      (** fraction of device peak the kernel achieves (hand-tuned > naive) *)
+  launches : int;  (** kernel launches per call; fused kernels launch once *)
+  intermediate_bytes : Ty.t list -> Ty.t -> float;
+      (** extra DRAM traffic beyond inputs+output; 0 for fused kernels *)
+}
+
+val make :
+  ?efficiency:float ->
+  ?launches:int ->
+  ?intermediate_bytes:(Ty.t list -> Ty.t -> float) ->
+  flops:(Ty.t list -> Ty.t -> float) ->
+  Symbol.t ->
+  spec
+
+(** Registration is global (kernels are a property of the platform, not of
+    one graph). Re-registering a name replaces the spec. *)
+val register : spec -> unit
+
+val find : Symbol.t -> spec option
+val mem : Symbol.t -> bool
+val registered : unit -> Symbol.t list
+
+(** {1 Common flops formulas} *)
+
+(** [matmul_flops inputs out] = 2 * nelems(out) * k, reading [k] from the
+    first input's innermost dimension. *)
+val matmul_flops : Ty.t list -> Ty.t -> float
+
+(** Pointwise work proportional to the output. *)
+val pointwise_flops : ?per_elem:float -> Ty.t list -> Ty.t -> float
+
+(** MHA forward flops for fused attention: QK^T + softmax + PV. *)
+val mha_flops : Ty.t list -> Ty.t -> float

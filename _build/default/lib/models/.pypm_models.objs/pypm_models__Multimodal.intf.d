@@ -1,0 +1,1 @@
+lib/models/multimodal.mli: Graph Pypm_graph Pypm_patterns

@@ -1,0 +1,1 @@
+lib/models/rng.ml: Int64 List

@@ -1,0 +1,1 @@
+lib/models/transformer.ml: Dtype Graph Pypm_graph Pypm_patterns Pypm_tensor Rng Ty

@@ -1,0 +1,1 @@
+lib/models/transformer.mli: Graph Pypm_graph Pypm_patterns

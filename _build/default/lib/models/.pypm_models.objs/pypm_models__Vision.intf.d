@@ -1,0 +1,1 @@
+lib/models/vision.mli: Graph Pypm_graph Pypm_patterns

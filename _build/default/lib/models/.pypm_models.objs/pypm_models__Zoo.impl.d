@@ -1,0 +1,1 @@
+lib/models/zoo.ml: Graph List Multimodal Pypm_graph Pypm_patterns String Transformer Vision

@@ -1,0 +1,1 @@
+lib/models/zoo.mli: Graph Pypm_graph Pypm_patterns

@@ -1,0 +1,34 @@
+(** Synthetic multimodal (CLIP-style) models.
+
+    A small convolutional image tower and a small transformer text tower
+    meet in a contrastive similarity head
+    [logits = MatMul(img, Trans(txt))] — which is precisely the
+    [MMxyT] shape of the paper's figure 1, on rank-2 features, so the
+    cuBLAS rewrite fires on a realistic site. These models also contain
+    conv epilogs (image tower) and MHA + GELU sites (text tower), making
+    them the workload where all three optimization families apply at
+    once. *)
+
+open Pypm_graph
+
+type config = {
+  name : string;
+  embed : int;  (** shared embedding width *)
+  image : int;
+  text_layers : int;
+  text_seq : int;
+  batch : int;
+  seed : int;
+}
+
+val config :
+  ?embed:int ->
+  ?image:int ->
+  ?text_layers:int ->
+  ?text_seq:int ->
+  ?batch:int ->
+  ?seed:int ->
+  string ->
+  config
+
+val build : Pypm_patterns.Std_ops.env -> config -> Graph.t

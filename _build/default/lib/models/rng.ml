@@ -1,0 +1,19 @@
+type t = { mutable state : int64 }
+
+let create ~seed = { state = Int64.of_int (seed * 2654435761 + 1) }
+
+(* splitmix64 *)
+let next t =
+  t.state <- Int64.add t.state 0x9E3779B97F4A7C15L;
+  let z = t.state in
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 30)) 0xBF58476D1CE4E5B9L in
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 27)) 0x94D049BB133111EBL in
+  Int64.logxor z (Int64.shift_right_logical z 31)
+
+let int t n =
+  if n <= 0 then invalid_arg "Rng.int: bound must be positive";
+  Int64.to_int (Int64.rem (Int64.shift_right_logical (next t) 1) (Int64.of_int n))
+
+let bool t = int t 2 = 0
+let pick t xs = List.nth xs (int t (List.length xs))
+let range t lo hi = lo + int t (hi - lo + 1)

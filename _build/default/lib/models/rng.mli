@@ -1,0 +1,19 @@
+(** Deterministic pseudo-random numbers (splitmix64).
+
+    The model zoo must be reproducible run to run so EXPERIMENTS.md numbers
+    are stable; generators never touch the global [Random] state. *)
+
+type t
+
+val create : seed:int -> t
+
+(** [int t n] is uniform in [0, n); [n] must be positive. *)
+val int : t -> int -> int
+
+val bool : t -> bool
+
+(** [pick t xs] chooses uniformly from a non-empty list. *)
+val pick : t -> 'a list -> 'a
+
+(** [range t lo hi] is uniform in [lo, hi] inclusive. *)
+val range : t -> int -> int -> int

@@ -1,0 +1,98 @@
+open Pypm_graph
+open Pypm_tensor
+module O = Pypm_patterns.Std_ops
+
+type gelu_variant = Div_two | Mul_half
+type activation = Act_gelu of gelu_variant | Act_relu
+
+type config = {
+  name : string;
+  layers : int;
+  hidden : int;
+  heads : int;
+  seq : int;
+  batch : int;
+  ffn_mult : int;
+  activation : activation;
+  vocab : int;
+  seed : int;
+}
+
+let config ?(layers = 4) ?(hidden = 256) ?(heads = 1) ?(seq = 128)
+    ?(batch = 4) ?(ffn_mult = 4) ?(activation = Act_gelu Div_two)
+    ?(vocab = 1024) ?(seed = 1) name =
+  if heads < 1 || hidden mod heads <> 0 then
+    invalid_arg "Transformer.config: heads must divide hidden";
+  { name; layers; hidden; heads; seq; batch; ffn_mult; activation; vocab; seed }
+
+let f32 shape = Ty.make Dtype.F32 shape
+
+(* Commutative wrapper: the importer emits either argument order. *)
+let comm rng g op a b =
+  if Rng.bool rng then Graph.add g op [ a; b ] else Graph.add g op [ b; a ]
+
+(* GELU(x) = half(x) * (1 + erf(x / sqrt 2)) with the model's spelling of
+   "half" (paper, section 2.1). *)
+let gelu_subgraph rng g variant x =
+  let half =
+    match variant with
+    | Div_two -> Graph.add g O.div [ x; Graph.constant g 2.0 ]
+    | Mul_half -> comm rng g O.mul x (Graph.constant g 0.5)
+  in
+  let erf =
+    Graph.add g O.erf [ Graph.add g O.div [ x; Graph.constant g O.sqrt2 ] ]
+  in
+  let inner = comm rng g O.add (Graph.constant g 1.0) erf in
+  comm rng g O.mul half inner
+
+let attention rng g cfg x =
+  let h = cfg.hidden in
+  let weight name = Graph.input g ~name (f32 [ h; h ]) in
+  let split p =
+    if cfg.heads = 1 then p
+    else Graph.add g O.split_heads ~attrs:[ ("heads", cfg.heads) ] [ p ]
+  in
+  let q = split (Graph.add g O.matmul [ x; weight "wq" ]) in
+  let k = split (Graph.add g O.matmul [ x; weight "wk" ]) in
+  let v = split (Graph.add g O.matmul [ x; weight "wv" ]) in
+  let qk = Graph.add g O.matmul [ q; Graph.add g O.trans [ k ] ] in
+  let alpha = Graph.constant g 0.125 in
+  let scaled =
+    (* the two scale spellings the MHA pattern's alternates cover *)
+    if Rng.bool rng then Graph.add g O.div [ qk; alpha ]
+    else comm rng g O.mul qk alpha
+  in
+  let probs = Graph.add g O.softmax [ scaled ] in
+  let att = Graph.add g O.matmul [ probs; v ] in
+  let att = if cfg.heads = 1 then att else Graph.add g O.merge_heads [ att ] in
+  let out = Graph.add g O.matmul [ att; weight "wo" ] in
+  Graph.add g O.layer_norm [ Graph.add g O.add [ x; out ] ]
+
+let mlp rng g cfg x =
+  let h = cfg.hidden in
+  let ff = cfg.ffn_mult * h in
+  let w1 = Graph.input g ~name:"w1" (f32 [ h; ff ]) in
+  let b1 = Graph.input g ~name:"b1" (f32 [ ff ]) in
+  let w2 = Graph.input g ~name:"w2" (f32 [ ff; h ]) in
+  let b2 = Graph.input g ~name:"b2" (f32 [ h ]) in
+  let pre = comm rng g O.add (Graph.add g O.matmul [ x; w1 ]) b1 in
+  let act =
+    match cfg.activation with
+    | Act_gelu variant -> gelu_subgraph rng g variant pre
+    | Act_relu -> Graph.add g O.relu [ pre ]
+  in
+  let out = comm rng g O.add (Graph.add g O.matmul [ act; w2 ]) b2 in
+  Graph.add g O.layer_norm [ Graph.add g O.add [ x; out ] ]
+
+let build (env : O.env) cfg =
+  let rng = Rng.create ~seed:cfg.seed in
+  let g = Graph.create ~sg:env.O.sg ~infer:env.O.infer () in
+  let x = Graph.input g ~name:"tokens" (f32 [ cfg.batch; cfg.seq; cfg.hidden ]) in
+  let rec layer n x = if n = 0 then x else layer (n - 1) (mlp rng g cfg (attention rng g cfg x)) in
+  let body = layer cfg.layers x in
+  let w_out = Graph.input g ~name:"w_vocab" (f32 [ cfg.hidden; cfg.vocab ]) in
+  let logits = Graph.add g O.matmul [ body; w_out ] in
+  Graph.set_outputs g [ logits ];
+  g
+
+let expected_mha_sites cfg = cfg.layers

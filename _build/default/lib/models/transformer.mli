@@ -1,0 +1,56 @@
+(** Synthetic transformer models (the HuggingFace-suite stand-in).
+
+    Each model is a pre-LN transformer encoder built from the standard
+    operator vocabulary exactly as a PyTorch-to-IR importer would emit it:
+    multi-head attention written out as matmuls, transpose, scale and
+    softmax (the subgraph the MHA pattern targets), and an MLP whose GELU
+    is spelled either as [Div(x, 2)] or [Mul(x, 0.5)] — the two spellings
+    the paper observed across the HuggingFace transformers (section 2.1).
+    A seeded RNG varies commutative argument orders, so patterns must rely
+    on their alternates. *)
+
+open Pypm_graph
+
+type gelu_variant = Div_two | Mul_half
+
+type activation = Act_gelu of gelu_variant | Act_relu
+
+type config = {
+  name : string;
+  layers : int;
+  hidden : int;
+  heads : int;
+      (** 1 = attention at rank 3 directly on the projections; > 1 =
+          SplitHeads/MergeHeads layout nodes around rank-4 attention, the
+          way real importers emit multi-head attention *)
+  seq : int;
+  batch : int;
+  ffn_mult : int;  (** MLP expansion factor, usually 4 *)
+  activation : activation;
+  vocab : int;  (** output projection width *)
+  seed : int;  (** drives commutative-order jitter *)
+}
+
+(** A config with sensible defaults. *)
+val config :
+  ?layers:int ->
+  ?hidden:int ->
+  ?heads:int ->
+  ?seq:int ->
+  ?batch:int ->
+  ?ffn_mult:int ->
+  ?activation:activation ->
+  ?vocab:int ->
+  ?seed:int ->
+  string ->
+  config
+
+(** [build env cfg] constructs the forward-pass graph. Fresh graph each
+    call (rewriting is destructive, so benchmark configurations each build
+    their own copy). *)
+val build : Pypm_patterns.Std_ops.env -> config -> Graph.t
+
+(** Expected pattern-match counts for tests: one MHA site per layer, and
+    one activation-epilog site per layer when the MLP has a bias +
+    activation. *)
+val expected_mha_sites : config -> int

@@ -1,0 +1,104 @@
+open Pypm_graph
+open Pypm_tensor
+module O = Pypm_patterns.Std_ops
+
+type config = {
+  name : string;
+  stages : int;
+  blocks_per_stage : int;
+  base_channels : int;
+  image : int;
+  batch : int;
+  residual : bool;
+  classifier_hidden : int option;
+  classes : int;
+  seed : int;
+}
+
+let config ?(stages = 3) ?(blocks_per_stage = 2) ?(base_channels = 16)
+    ?(image = 64) ?(batch = 4) ?(residual = false) ?(classifier_hidden = None)
+    ?(classes = 1000) ?(seed = 1) name =
+  {
+    name;
+    stages;
+    blocks_per_stage;
+    base_channels;
+    image;
+    batch;
+    residual;
+    classifier_hidden;
+    classes;
+    seed;
+  }
+
+let f32 shape = Ty.make Dtype.F32 shape
+
+(* conv + bias + relu, the epilog site *)
+let conv_block g ~in_c ~out_c ~stride x =
+  let w = Graph.input g ~name:"convw" (f32 [ out_c; in_c; 3; 3 ]) in
+  let b = Graph.input g ~name:"convb" (f32 [ out_c; 1; 1 ]) in
+  let c =
+    Graph.add g O.conv2d ~attrs:[ ("stride", stride); ("pad", 1) ] [ x; w; b ]
+  in
+  Graph.add g O.relu [ c ]
+
+let build (env : O.env) cfg =
+  let rng = Rng.create ~seed:cfg.seed in
+  let g = Graph.create ~sg:env.O.sg ~infer:env.O.infer () in
+  let x =
+    Graph.input g ~name:"image" (f32 [ cfg.batch; 3; cfg.image; cfg.image ])
+  in
+  (* stem *)
+  let x = conv_block g ~in_c:3 ~out_c:cfg.base_channels ~stride:2 x in
+  let x = ref x and channels = ref cfg.base_channels in
+  for stage = 0 to cfg.stages - 1 do
+    let out_c = cfg.base_channels * (1 lsl stage) in
+    (* downsample on stage entry (after the stem): residual nets use a
+       strided conv, VGG-style nets a max-pool *)
+    let stride = if stage = 0 || not cfg.residual then 1 else 2 in
+    if stage > 0 && not cfg.residual then
+      x :=
+        Graph.add g O.max_pool
+          ~attrs:[ ("window", 2); ("stride", 2) ]
+          [ !x ];
+    x := conv_block g ~in_c:!channels ~out_c ~stride !x;
+    channels := out_c;
+    for _block = 1 to cfg.blocks_per_stage - 1 do
+      let y = conv_block g ~in_c:out_c ~out_c ~stride:1 !x in
+      x :=
+        if cfg.residual then
+          let summed =
+            if Rng.bool rng then Graph.add g O.add [ !x; y ]
+            else Graph.add g O.add [ y; !x ]
+          in
+          Graph.add g O.batch_norm [ summed ]
+        else y
+    done
+  done;
+  (* head *)
+  let pooled = Graph.add g O.global_avg_pool [ !x ] in
+  let feat, feat_dim =
+    match cfg.classifier_hidden with
+    | None -> (pooled, !channels)
+    | Some hidden ->
+        (* VGG-style hidden FC + relu: a matmul-epilog site *)
+        let w = Graph.input g ~name:"fc1w" (f32 [ !channels; hidden ]) in
+        let b = Graph.input g ~name:"fc1b" (f32 [ hidden ]) in
+        let pre =
+          if Rng.bool rng then
+            Graph.add g O.add [ Graph.add g O.matmul [ pooled; w ]; b ]
+          else Graph.add g O.add [ b; Graph.add g O.matmul [ pooled; w ] ]
+        in
+        (Graph.add g O.relu [ pre ], hidden)
+  in
+  let w_cls = Graph.input g ~name:"clsw" (f32 [ feat_dim; cfg.classes ]) in
+  let b_cls = Graph.input g ~name:"clsb" (f32 [ cfg.classes ]) in
+  let logits =
+    Graph.add g O.add [ Graph.add g O.matmul [ feat; w_cls ]; b_cls ]
+  in
+  Graph.set_outputs g [ logits ];
+  g
+
+let expected_conv_epilogs cfg =
+  (* stem + per-stage entry + (blocks_per_stage - 1) extra per stage *)
+  1 + cfg.stages + (cfg.stages * (cfg.blocks_per_stage - 1))

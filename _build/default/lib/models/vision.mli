@@ -1,0 +1,42 @@
+(** Synthetic convolutional vision models (the TorchVision stand-in).
+
+    ResNet/VGG-flavoured image classifiers: a strided stem convolution,
+    stages of conv+bias+relu blocks (optionally with residual adds),
+    pooling between stages, global average pooling and a small MLP
+    classifier head. Every [Relu(Conv2d(...))] is a conv-epilog site; the
+    classifier's hidden layer contributes matmul-epilog sites; there are
+    no attention subgraphs, so FMHA never fires (matching the paper's
+    TorchVision results). *)
+
+open Pypm_graph
+
+type config = {
+  name : string;
+  stages : int;
+  blocks_per_stage : int;
+  base_channels : int;
+  image : int;  (** input height = width *)
+  batch : int;
+  residual : bool;  (** ResNet-style skip connections *)
+  classifier_hidden : int option;  (** VGG-style hidden FC layer, with relu *)
+  classes : int;
+  seed : int;
+}
+
+val config :
+  ?stages:int ->
+  ?blocks_per_stage:int ->
+  ?base_channels:int ->
+  ?image:int ->
+  ?batch:int ->
+  ?residual:bool ->
+  ?classifier_hidden:int option ->
+  ?classes:int ->
+  ?seed:int ->
+  string ->
+  config
+
+val build : Pypm_patterns.Std_ops.env -> config -> Graph.t
+
+(** Conv+relu sites the epilog pass should fuse. *)
+val expected_conv_epilogs : config -> int

@@ -1,0 +1,150 @@
+open Pypm_graph
+module O = Pypm_patterns.Std_ops
+
+type model = {
+  mname : string;
+  family : [ `HF | `TV | `MM ];
+  build : unit -> O.env * Graph.t;
+}
+
+let hf_model cfg =
+  {
+    mname = cfg.Transformer.name;
+    family = `HF;
+    build =
+      (fun () ->
+        let env = O.make () in
+        (env, Transformer.build env cfg));
+  }
+
+let tv_model cfg =
+  {
+    mname = cfg.Vision.name;
+    family = `TV;
+    build =
+      (fun () ->
+        let env = O.make () in
+        (env, Vision.build env cfg));
+  }
+
+let hf () =
+  let t = Transformer.config in
+  let gelu_d = Transformer.Act_gelu Transformer.Div_two in
+  let gelu_m = Transformer.Act_gelu Transformer.Mul_half in
+  let relu = Transformer.Act_relu in
+  List.map hf_model
+    [
+      (* BERT-flavoured encoders, Div(x, 2) GELU spelling *)
+      t "bert-tiny" ~layers:2 ~hidden:128 ~seq:128 ~batch:8 ~activation:gelu_d ~seed:11;
+      t "bert-mini" ~layers:4 ~hidden:256 ~seq:128 ~batch:8 ~activation:gelu_d ~seed:12;
+      t "bert-small" ~layers:4 ~hidden:512 ~seq:128 ~batch:8 ~activation:gelu_d ~seed:13;
+      t "bert-medium" ~layers:8 ~hidden:512 ~seq:128 ~batch:8 ~activation:gelu_d ~seed:14;
+      t "bert-base" ~layers:12 ~hidden:768 ~heads:12 ~seq:128 ~batch:8 ~activation:gelu_d ~seed:15;
+      t "bert-large" ~layers:24 ~hidden:1024 ~heads:16 ~seq:128 ~batch:4 ~activation:gelu_d ~seed:16;
+      (* GPT2-flavoured, Mul(x, 0.5) spelling *)
+      t "gpt2-nano" ~layers:3 ~hidden:192 ~seq:256 ~batch:4 ~activation:gelu_m ~seed:21;
+      t "gpt2-micro" ~layers:4 ~hidden:256 ~seq:256 ~batch:4 ~activation:gelu_m ~seed:22;
+      t "gpt2-small" ~layers:12 ~hidden:768 ~heads:12 ~seq:256 ~batch:2 ~activation:gelu_m ~seed:23;
+      t "gpt2-medium" ~layers:16 ~hidden:1024 ~heads:16 ~seq:256 ~batch:1 ~activation:gelu_m ~seed:24;
+      (* T5/long-sequence flavoured *)
+      t "t5-small" ~layers:6 ~hidden:512 ~seq:512 ~batch:2 ~activation:gelu_d ~seed:31;
+      t "t5-base" ~layers:12 ~hidden:768 ~heads:12 ~seq:512 ~batch:1 ~activation:gelu_d ~seed:32;
+      t "longformer-lite" ~layers:6 ~hidden:384 ~seq:1024 ~batch:1 ~activation:gelu_m ~seed:33;
+      (* ReLU-MLP transformers (no GELU sites; epilog still fires on relu) *)
+      t "relu-former-s" ~layers:4 ~hidden:256 ~seq:128 ~batch:8 ~activation:relu ~seed:41;
+      t "relu-former-m" ~layers:8 ~hidden:512 ~seq:128 ~batch:4 ~activation:relu ~seed:42;
+      t "relu-former-l" ~layers:12 ~hidden:768 ~seq:256 ~batch:2 ~activation:relu ~seed:43;
+      (* distil variants *)
+      t "distil-a" ~layers:6 ~hidden:768 ~heads:12 ~seq:128 ~batch:8 ~activation:gelu_m ~seed:51;
+      t "distil-b" ~layers:6 ~hidden:512 ~seq:256 ~batch:4 ~activation:gelu_d ~seed:52;
+      (* narrow/deep and wide/shallow sweeps *)
+      t "deep-narrow-a" ~layers:16 ~hidden:256 ~seq:128 ~batch:4 ~activation:gelu_d ~seed:61;
+      t "deep-narrow-b" ~layers:20 ~hidden:192 ~seq:128 ~batch:4 ~activation:gelu_m ~seed:62;
+      t "wide-shallow-a" ~layers:2 ~hidden:1024 ~seq:128 ~batch:8 ~activation:gelu_m ~seed:63;
+      t "wide-shallow-b" ~layers:3 ~hidden:2048 ~seq:64 ~batch:8 ~activation:gelu_d ~seed:64;
+      (* small-batch latency-flavoured *)
+      t "latency-a" ~layers:6 ~hidden:384 ~seq:32 ~batch:1 ~activation:gelu_d ~seed:71;
+      t "latency-b" ~layers:8 ~hidden:512 ~seq:64 ~batch:1 ~activation:gelu_m ~seed:72;
+      (* ffn-mult variations *)
+      t "ffn2-model" ~layers:6 ~hidden:512 ~seq:128 ~batch:4 ~ffn_mult:2 ~activation:gelu_d ~seed:81;
+      t "ffn8-model" ~layers:4 ~hidden:384 ~seq:128 ~batch:4 ~ffn_mult:8 ~activation:gelu_m ~seed:82;
+      (* big-vocab classifier head *)
+      t "mt-vocab" ~layers:6 ~hidden:512 ~seq:128 ~batch:4 ~vocab:8192 ~activation:gelu_d ~seed:91;
+      (* tiny smoke models *)
+      t "pico" ~layers:1 ~hidden:64 ~seq:32 ~batch:2 ~activation:gelu_d ~seed:95;
+      t "nano-relu" ~layers:2 ~hidden:96 ~seq:64 ~batch:2 ~activation:relu ~seed:96;
+      t "femto" ~layers:1 ~hidden:128 ~seq:64 ~batch:1 ~activation:gelu_m ~seed:97;
+    ]
+
+let tv () =
+  let c = Vision.config in
+  List.map tv_model
+    [
+      (* ResNet-flavoured (residual) *)
+      c "resnet10-ish" ~stages:3 ~blocks_per_stage:2 ~base_channels:16 ~residual:true ~seed:111;
+      c "resnet18-ish" ~stages:4 ~blocks_per_stage:2 ~base_channels:16 ~residual:true ~seed:112;
+      c "resnet34-ish" ~stages:4 ~blocks_per_stage:3 ~base_channels:16 ~residual:true ~seed:113;
+      c "resnet50-ish" ~stages:4 ~blocks_per_stage:4 ~base_channels:16 ~residual:true ~seed:114;
+      c "wide-resnet" ~stages:3 ~blocks_per_stage:2 ~base_channels:32 ~residual:true ~seed:115;
+      c "huge-resnet" ~stages:4 ~blocks_per_stage:5 ~base_channels:24 ~residual:true ~seed:116;
+      (* VGG-flavoured (hidden FC classifier, no residual) *)
+      c "vgg11-ish" ~stages:3 ~blocks_per_stage:2 ~base_channels:16
+        ~classifier_hidden:(Some 512) ~seed:121;
+      c "vgg13-ish" ~stages:3 ~blocks_per_stage:3 ~base_channels:16
+        ~classifier_hidden:(Some 512) ~seed:122;
+      c "vgg16-ish" ~stages:4 ~blocks_per_stage:3 ~base_channels:16
+        ~classifier_hidden:(Some 1024) ~seed:123;
+      c "vgg19-ish" ~stages:4 ~blocks_per_stage:4 ~base_channels:16
+        ~classifier_hidden:(Some 1024) ~seed:124;
+      (* plain convnets *)
+      c "plain-s" ~stages:2 ~blocks_per_stage:2 ~base_channels:16 ~seed:131;
+      c "plain-m" ~stages:3 ~blocks_per_stage:2 ~base_channels:24 ~seed:132;
+      c "plain-l" ~stages:4 ~blocks_per_stage:2 ~base_channels:32 ~seed:133;
+      (* mobile-flavoured: small channels, more blocks *)
+      c "mobile-a" ~stages:4 ~blocks_per_stage:2 ~base_channels:8 ~image:96 ~seed:141;
+      c "mobile-b" ~stages:4 ~blocks_per_stage:3 ~base_channels:8 ~image:96 ~seed:142;
+      c "mobile-c" ~stages:5 ~blocks_per_stage:2 ~base_channels:8 ~image:128 ~seed:143;
+      (* high-res *)
+      c "highres-a" ~stages:3 ~blocks_per_stage:2 ~base_channels:16 ~image:128 ~seed:151;
+      c "highres-b" ~stages:4 ~blocks_per_stage:2 ~base_channels:16 ~image:192 ~seed:152;
+      (* batch sweeps *)
+      c "batch1-net" ~stages:3 ~blocks_per_stage:2 ~base_channels:16 ~batch:1 ~seed:161;
+      c "batch16-net" ~stages:3 ~blocks_per_stage:2 ~base_channels:16 ~batch:16 ~seed:162;
+      (* deeper residual with VGG head *)
+      c "hybrid-a" ~stages:3 ~blocks_per_stage:3 ~base_channels:16 ~residual:true
+        ~classifier_hidden:(Some 256) ~seed:171;
+      c "hybrid-b" ~stages:4 ~blocks_per_stage:2 ~base_channels:24 ~residual:true
+        ~classifier_hidden:(Some 512) ~seed:172;
+      (* few-class heads *)
+      c "cifar-net" ~stages:3 ~blocks_per_stage:2 ~base_channels:16 ~image:32
+        ~classes:10 ~seed:181;
+      c "cifar-wide" ~stages:3 ~blocks_per_stage:2 ~base_channels:32 ~image:32
+        ~classes:100 ~seed:182;
+      (* tiny smoke models *)
+      c "conv-pico" ~stages:1 ~blocks_per_stage:1 ~base_channels:8 ~image:32 ~seed:191;
+      c "conv-nano" ~stages:2 ~blocks_per_stage:1 ~base_channels:8 ~image:32 ~seed:192;
+      c "conv-femto" ~stages:1 ~blocks_per_stage:2 ~base_channels:8 ~image:32 ~seed:193;
+    ]
+
+let mm_model cfg =
+  {
+    mname = cfg.Multimodal.name;
+    family = `MM;
+    build =
+      (fun () ->
+        let env = O.make () in
+        (env, Multimodal.build env cfg));
+  }
+
+let mm () =
+  let c = Multimodal.config in
+  List.map mm_model
+    [
+      c "clip-pico" ~embed:64 ~image:32 ~text_layers:1 ~text_seq:16 ~seed:201;
+      c "clip-small" ~embed:128 ~image:64 ~text_layers:2 ~text_seq:32 ~seed:202;
+      c "clip-base" ~embed:256 ~image:96 ~text_layers:4 ~text_seq:64 ~batch:8 ~seed:203;
+    ]
+
+let all () = hf () @ tv () @ mm ()
+
+let find name = List.find_opt (fun m -> String.equal m.mname name) (all ())

@@ -1,0 +1,30 @@
+(** The model zoo: the benchmark suites.
+
+    Stand-ins for the paper's two benchmark collections — the HuggingFace
+    transformers suite and the TorchVision suite. Each entry builds a fresh
+    graph on demand (destructive rewriting means every compile
+    configuration needs its own copy) together with the environment it was
+    built against. *)
+
+open Pypm_graph
+
+type model = {
+  mname : string;
+  family : [ `HF | `TV | `MM ];
+  build : unit -> Pypm_patterns.Std_ops.env * Graph.t;
+}
+
+(** ~30 transformer configurations spanning layer counts, widths, sequence
+    lengths, both GELU spellings, and some ReLU-MLP models. *)
+val hf : unit -> model list
+
+(** ~30 CNN configurations: ResNet-style (residual), VGG-style (hidden FC
+    classifier), and plain feed-forward stacks of varying depth/width. *)
+val tv : unit -> model list
+
+(** A few CLIP-style multimodal models: conv epilogs, MHA/GELU sites, and
+    a figure-1 [MatMul(x, Trans(y))] similarity head all in one graph. *)
+val mm : unit -> model list
+
+val find : string -> model option
+val all : unit -> model list

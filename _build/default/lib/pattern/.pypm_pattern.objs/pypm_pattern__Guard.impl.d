@@ -1,0 +1,1 @@
+lib/pattern/guard.ml: Format Fsubst List Option Pypm_term Subst Symbol Term

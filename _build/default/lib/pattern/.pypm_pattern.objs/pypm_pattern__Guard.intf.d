@@ -1,0 +1,1 @@
+lib/pattern/guard.mli: Format Pypm_term

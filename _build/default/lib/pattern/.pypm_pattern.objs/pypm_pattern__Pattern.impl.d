@@ -1,0 +1,1 @@
+lib/pattern/pattern.ml: Format Fsubst Guard List Map Printf Pypm_term String Subst Symbol

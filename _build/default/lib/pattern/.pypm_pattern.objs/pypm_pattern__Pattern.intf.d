@@ -1,0 +1,1 @@
+lib/pattern/pattern.mli: Format Fsubst Guard Pypm_term Subst Symbol

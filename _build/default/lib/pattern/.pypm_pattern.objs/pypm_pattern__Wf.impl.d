@@ -1,0 +1,1 @@
+lib/pattern/wf.ml: Format List Map Pattern Pypm_term Signature String Symbol

@@ -1,0 +1,1 @@
+lib/pattern/wf.mli: Format Pattern Pypm_term Signature

@@ -1,0 +1,188 @@
+open Pypm_term
+
+type expr =
+  | Const of int
+  | Var_attr of Subst.var * string
+  | Term_attr of Term.t * string
+  | Fvar_attr of Fsubst.fvar * string
+  | Sym_attr of Symbol.t * string
+  | Add of expr * expr
+  | Sub of expr * expr
+  | Mul of expr * expr
+  | Mod of expr * expr
+
+type t =
+  | True
+  | False
+  | Eq of expr * expr
+  | Ne of expr * expr
+  | Lt of expr * expr
+  | Le of expr * expr
+  | And of t * t
+  | Or of t * t
+  | Not of t
+
+type interp = {
+  term_attr : string -> Term.t -> int option;
+  sym_attr : string -> Symbol.t -> int option;
+}
+
+let trivial_interp =
+  { term_attr = (fun _ _ -> None); sym_attr = (fun _ _ -> None) }
+
+let rec subst_expr theta phi = function
+  | Const _ as e -> e
+  | Var_attr (x, a) as e -> (
+      match Subst.find x theta with
+      | Some t -> Term_attr (t, a)
+      | None -> e)
+  | Term_attr _ as e -> e
+  | Fvar_attr (f, a) as e -> (
+      match Fsubst.find f phi with
+      | Some s -> Sym_attr (s, a)
+      | None -> e)
+  | Sym_attr _ as e -> e
+  | Add (a, b) -> Add (subst_expr theta phi a, subst_expr theta phi b)
+  | Sub (a, b) -> Sub (subst_expr theta phi a, subst_expr theta phi b)
+  | Mul (a, b) -> Mul (subst_expr theta phi a, subst_expr theta phi b)
+  | Mod (a, b) -> Mod (subst_expr theta phi a, subst_expr theta phi b)
+
+let rec subst theta phi = function
+  | True -> True
+  | False -> False
+  | Eq (a, b) -> Eq (subst_expr theta phi a, subst_expr theta phi b)
+  | Ne (a, b) -> Ne (subst_expr theta phi a, subst_expr theta phi b)
+  | Lt (a, b) -> Lt (subst_expr theta phi a, subst_expr theta phi b)
+  | Le (a, b) -> Le (subst_expr theta phi a, subst_expr theta phi b)
+  | And (a, b) -> And (subst theta phi a, subst theta phi b)
+  | Or (a, b) -> Or (subst theta phi a, subst theta phi b)
+  | Not a -> Not (subst theta phi a)
+
+let ( let* ) = Option.bind
+
+let rec eval_expr interp theta phi = function
+  | Const n -> Some n
+  | Var_attr (x, a) ->
+      let* t = Subst.find x theta in
+      interp.term_attr a t
+  | Term_attr (t, a) -> interp.term_attr a t
+  | Fvar_attr (f, a) ->
+      let* s = Fsubst.find f phi in
+      interp.sym_attr a s
+  | Sym_attr (s, a) -> interp.sym_attr a s
+  | Add (a, b) ->
+      let* x = eval_expr interp theta phi a in
+      let* y = eval_expr interp theta phi b in
+      Some (x + y)
+  | Sub (a, b) ->
+      let* x = eval_expr interp theta phi a in
+      let* y = eval_expr interp theta phi b in
+      Some (x - y)
+  | Mul (a, b) ->
+      let* x = eval_expr interp theta phi a in
+      let* y = eval_expr interp theta phi b in
+      Some (x * y)
+  | Mod (a, b) ->
+      let* x = eval_expr interp theta phi a in
+      let* y = eval_expr interp theta phi b in
+      if y = 0 then None else Some (x mod y)
+
+let rec eval interp theta phi = function
+  | True -> Some true
+  | False -> Some false
+  | Eq (a, b) -> cmp interp theta phi ( = ) a b
+  | Ne (a, b) -> cmp interp theta phi ( <> ) a b
+  | Lt (a, b) -> cmp interp theta phi ( < ) a b
+  | Le (a, b) -> cmp interp theta phi ( <= ) a b
+  | And (a, b) -> (
+      (* Logical connectives are strict in undefinedness: an unverifiable
+         conjunct poisons the whole guard, matching the paper's requirement
+         that [g[theta]] be closed and denote True. *)
+      match (eval interp theta phi a, eval interp theta phi b) with
+      | Some x, Some y -> Some (x && y)
+      | _ -> None)
+  | Or (a, b) -> (
+      match (eval interp theta phi a, eval interp theta phi b) with
+      | Some x, Some y -> Some (x || y)
+      | _ -> None)
+  | Not a ->
+      let* x = eval interp theta phi a in
+      Some (not x)
+
+and cmp interp theta phi op a b =
+  let* x = eval_expr interp theta phi a in
+  let* y = eval_expr interp theta phi b in
+  Some (op x y)
+
+let rec expr_vars acc = function
+  | Const _ | Term_attr _ | Fvar_attr _ | Sym_attr _ -> acc
+  | Var_attr (x, _) -> Symbol.Set.add x acc
+  | Add (a, b) | Sub (a, b) | Mul (a, b) | Mod (a, b) ->
+      expr_vars (expr_vars acc a) b
+
+let rec expr_fvars acc = function
+  | Const _ | Term_attr _ | Var_attr _ | Sym_attr _ -> acc
+  | Fvar_attr (f, _) -> Symbol.Set.add f acc
+  | Add (a, b) | Sub (a, b) | Mul (a, b) | Mod (a, b) ->
+      expr_fvars (expr_fvars acc a) b
+
+let rec fold_exprs f acc = function
+  | True | False -> acc
+  | Eq (a, b) | Ne (a, b) | Lt (a, b) | Le (a, b) -> f (f acc a) b
+  | And (a, b) | Or (a, b) -> fold_exprs f (fold_exprs f acc a) b
+  | Not a -> fold_exprs f acc a
+
+let vars g = fold_exprs expr_vars Symbol.Set.empty g
+let fvars g = fold_exprs expr_fvars Symbol.Set.empty g
+
+let rec rename_expr map = function
+  | Const _ as e -> e
+  | Var_attr (x, a) -> Var_attr (map x, a)
+  | Term_attr _ as e -> e
+  | Fvar_attr (f, a) -> Fvar_attr (map f, a)
+  | Sym_attr _ as e -> e
+  | Add (a, b) -> Add (rename_expr map a, rename_expr map b)
+  | Sub (a, b) -> Sub (rename_expr map a, rename_expr map b)
+  | Mul (a, b) -> Mul (rename_expr map a, rename_expr map b)
+  | Mod (a, b) -> Mod (rename_expr map a, rename_expr map b)
+
+let rec rename map = function
+  | True -> True
+  | False -> False
+  | Eq (a, b) -> Eq (rename_expr map a, rename_expr map b)
+  | Ne (a, b) -> Ne (rename_expr map a, rename_expr map b)
+  | Lt (a, b) -> Lt (rename_expr map a, rename_expr map b)
+  | Le (a, b) -> Le (rename_expr map a, rename_expr map b)
+  | And (a, b) -> And (rename map a, rename map b)
+  | Or (a, b) -> Or (rename map a, rename map b)
+  | Not a -> Not (rename map a)
+
+let conj = function
+  | [] -> True
+  | g :: gs -> List.fold_left (fun acc g -> And (acc, g)) g gs
+
+let equal (a : t) (b : t) = a = b
+
+let rec pp_expr ppf = function
+  | Const n -> Format.pp_print_int ppf n
+  | Var_attr (x, a) -> Format.fprintf ppf "%s.%s" x a
+  | Term_attr (t, a) -> Format.fprintf ppf "(%a).%s" Term.pp t a
+  | Fvar_attr (f, a) -> Format.fprintf ppf "%s.%s" f a
+  | Sym_attr (s, a) -> Format.fprintf ppf "%s.%s" s a
+  | Add (a, b) -> Format.fprintf ppf "(%a + %a)" pp_expr a pp_expr b
+  | Sub (a, b) -> Format.fprintf ppf "(%a - %a)" pp_expr a pp_expr b
+  | Mul (a, b) -> Format.fprintf ppf "(%a * %a)" pp_expr a pp_expr b
+  | Mod (a, b) -> Format.fprintf ppf "(%a %% %a)" pp_expr a pp_expr b
+
+let rec pp ppf = function
+  | True -> Format.pp_print_string ppf "true"
+  | False -> Format.pp_print_string ppf "false"
+  | Eq (a, b) -> Format.fprintf ppf "%a == %a" pp_expr a pp_expr b
+  | Ne (a, b) -> Format.fprintf ppf "%a != %a" pp_expr a pp_expr b
+  | Lt (a, b) -> Format.fprintf ppf "%a < %a" pp_expr a pp_expr b
+  | Le (a, b) -> Format.fprintf ppf "%a <= %a" pp_expr a pp_expr b
+  | And (a, b) -> Format.fprintf ppf "(%a && %a)" pp a pp b
+  | Or (a, b) -> Format.fprintf ppf "(%a || %a)" pp a pp b
+  | Not a -> Format.fprintf ppf "!(%a)" pp a
+
+let to_string g = Format.asprintf "%a" pp g

@@ -1,0 +1,81 @@
+(** Guard terms: boolean constraints over attribute arithmetic.
+
+    Guards implement PyPM's [assert] feature (paper, section 3.2). A guard
+    [g] is a boolean combination of comparisons between arithmetic
+    expressions, which may mention attributes of pattern variables ([x.alpha])
+    or of closed terms ([t.alpha]). CorePyPM is abstract in the attribute
+    set: an {!interp} gives each attribute a partial, natural-number-valued
+    meaning on terms, lifted compositionally to expressions and guards.
+
+    Extension over the paper's core: expressions may also mention attributes
+    of function variables ([F.alpha], e.g. [UnaryOp.op_class] in figure 14),
+    interpreted on the symbol [phi(F)]. *)
+
+type expr =
+  | Const of int
+  | Var_attr of Pypm_term.Subst.var * string  (** [x.alpha] *)
+  | Term_attr of Pypm_term.Term.t * string  (** [t.alpha] (closed) *)
+  | Fvar_attr of Pypm_term.Fsubst.fvar * string  (** [F.alpha] (extension) *)
+  | Sym_attr of Pypm_term.Symbol.t * string  (** [f.alpha] (closed) *)
+  | Add of expr * expr
+  | Sub of expr * expr
+  | Mul of expr * expr
+  | Mod of expr * expr
+      (** alignment constraints, e.g. [x.dim1 % 8 == 0]; undefined when the
+          divisor evaluates to 0 *)
+
+type t =
+  | True
+  | False
+  | Eq of expr * expr
+  | Ne of expr * expr
+  | Lt of expr * expr
+  | Le of expr * expr
+  | And of t * t
+  | Or of t * t
+  | Not of t
+
+(** Attribute interpretation: the paper's [[.]] : A -> Term -> N, made
+    partial ([None] = attribute undefined on that term), plus its analogue
+    on bare symbols for function-variable attributes. *)
+type interp = {
+  term_attr : string -> Pypm_term.Term.t -> int option;
+  sym_attr : string -> Pypm_term.Symbol.t -> int option;
+}
+
+(** An interpretation where every attribute is undefined. Guards that
+    mention no attributes still evaluate. *)
+val trivial_interp : interp
+
+(** [subst theta phi g] is the substitution instance [g[theta]]: variable
+    attributes become closed term attributes, function-variable attributes
+    become closed symbol attributes. Unbound variables are left in place
+    (the instance is then not closed and will not evaluate). *)
+val subst : Pypm_term.Subst.t -> Pypm_term.Fsubst.t -> t -> t
+
+(** [eval_expr interp theta phi e] evaluates [e]; [None] if [e] mentions an
+    unbound variable or an undefined attribute. *)
+val eval_expr :
+  interp -> Pypm_term.Subst.t -> Pypm_term.Fsubst.t -> expr -> int option
+
+(** [eval interp theta phi g] is the truth value of [g[theta]] under
+    [interp]; [None] when the instance is not closed or an attribute is
+    undefined. Matching treats [None] as failure: a constraint that cannot
+    be verified does not hold. *)
+val eval :
+  interp -> Pypm_term.Subst.t -> Pypm_term.Fsubst.t -> t -> bool option
+
+(** Term variables mentioned by the guard. *)
+val vars : t -> Pypm_term.Symbol.Set.t
+
+(** Function variables mentioned by the guard. *)
+val fvars : t -> Pypm_term.Symbol.Set.t
+
+(** [rename map g] renames free variables (both kinds) per [map]. *)
+val rename : (string -> string) -> t -> t
+
+val conj : t list -> t
+val equal : t -> t -> bool
+val pp_expr : Format.formatter -> expr -> unit
+val pp : Format.formatter -> t -> unit
+val to_string : t -> string

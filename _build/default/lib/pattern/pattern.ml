@@ -1,0 +1,308 @@
+open Pypm_term
+
+type t =
+  | Var of Subst.var
+  | App of Symbol.t * t list
+  | Fapp of Fsubst.fvar * t list
+  | Alt of t * t
+  | Guarded of t * Guard.t
+  | Exists of Subst.var * t
+  | Exists_f of Fsubst.fvar * t
+  | Constr of t * t * Subst.var
+  | Mu of mu * Subst.var list
+  | Call of string * Subst.var list
+
+and mu = { pname : string; formals : Subst.var list; body : t }
+
+let var x = Var x
+let app f ps = App (f, ps)
+let const f = App (f, [])
+let fapp f ps = Fapp (f, ps)
+let alt p q = Alt (p, q)
+
+let alts = function
+  | [] -> invalid_arg "Pattern.alts: empty alternate list"
+  | p :: ps -> List.fold_left (fun acc q -> Alt (acc, q)) p ps
+
+let guarded p gs =
+  List.fold_left (fun acc g -> Guarded (acc, g)) p gs
+
+let exists x p = Exists (x, p)
+let exists_f f p = Exists_f (f, p)
+let exists_many xs p = List.fold_right (fun x acc -> Exists (x, acc)) xs p
+let constr p p' x = Constr (p, p', x)
+
+let mu pname ~formals ~actuals body =
+  if List.length formals <> List.length actuals then
+    invalid_arg "Pattern.mu: formals/actuals length mismatch";
+  Mu ({ pname; formals; body }, actuals)
+
+let call pname ys = Call (pname, ys)
+
+let rec equal a b =
+  match (a, b) with
+  | Var x, Var y -> String.equal x y
+  | App (f, ps), App (g, qs) -> Symbol.equal f g && List.equal equal ps qs
+  | Fapp (f, ps), Fapp (g, qs) -> String.equal f g && List.equal equal ps qs
+  | Alt (p1, p2), Alt (q1, q2) -> equal p1 q1 && equal p2 q2
+  | Guarded (p, g), Guarded (q, h) -> equal p q && Guard.equal g h
+  | Exists (x, p), Exists (y, q) -> String.equal x y && equal p q
+  | Exists_f (x, p), Exists_f (y, q) -> String.equal x y && equal p q
+  | Constr (p1, p2, x), Constr (q1, q2, y) ->
+      equal p1 q1 && equal p2 q2 && String.equal x y
+  | Mu (m, ys), Mu (n, zs) ->
+      String.equal m.pname n.pname
+      && List.equal String.equal m.formals n.formals
+      && equal m.body n.body
+      && List.equal String.equal ys zs
+  | Call (p, ys), Call (q, zs) ->
+      String.equal p q && List.equal String.equal ys zs
+  | _ -> false
+
+let rec size = function
+  | Var _ | Call _ -> 1
+  | App (_, ps) | Fapp (_, ps) -> List.fold_left (fun n p -> n + size p) 1 ps
+  | Alt (p, q) -> 1 + size p + size q
+  | Guarded (p, _) -> 1 + size p
+  | Exists (_, p) | Exists_f (_, p) -> 1 + size p
+  | Constr (p, q, _) -> 1 + size p + size q
+  | Mu (m, _) -> 1 + size m.body
+
+let rec count_ct f p =
+  let self = if f p then 1 else 0 in
+  self
+  +
+  match p with
+  | Var _ | Call _ -> 0
+  | App (_, ps) | Fapp (_, ps) ->
+      List.fold_left (fun n q -> n + count_ct f q) 0 ps
+  | Alt (p, q) | Constr (p, q, _) -> count_ct f p + count_ct f q
+  | Guarded (p, _) | Exists (_, p) | Exists_f (_, p) -> count_ct f p
+  | Mu (m, _) -> count_ct f m.body
+
+let count_alts = count_ct (function Alt _ -> true | _ -> false)
+let count_guards = count_ct (function Guarded _ -> true | _ -> false)
+let count_mus = count_ct (function Mu _ -> true | _ -> false)
+
+let rec free_vars = function
+  | Var x -> Symbol.Set.singleton x
+  | App (_, ps) | Fapp (_, ps) ->
+      List.fold_left
+        (fun acc p -> Symbol.Set.union acc (free_vars p))
+        Symbol.Set.empty ps
+  | Alt (p, q) -> Symbol.Set.union (free_vars p) (free_vars q)
+  | Guarded (p, g) -> Symbol.Set.union (free_vars p) (Guard.vars g)
+  | Exists (x, p) -> Symbol.Set.remove x (free_vars p)
+  | Exists_f (_, p) -> free_vars p
+  | Constr (p, q, x) ->
+      Symbol.Set.add x (Symbol.Set.union (free_vars p) (free_vars q))
+  | Mu (m, ys) ->
+      let body_free =
+        List.fold_left
+          (fun acc x -> Symbol.Set.remove x acc)
+          (free_vars m.body) m.formals
+      in
+      List.fold_left (fun acc y -> Symbol.Set.add y acc) body_free ys
+  | Call (_, ys) -> Symbol.Set.of_list ys
+
+let rec free_fvars = function
+  | Var _ | Call _ -> Symbol.Set.empty
+  | App (_, ps) ->
+      List.fold_left
+        (fun acc p -> Symbol.Set.union acc (free_fvars p))
+        Symbol.Set.empty ps
+  | Fapp (f, ps) ->
+      List.fold_left
+        (fun acc p -> Symbol.Set.union acc (free_fvars p))
+        (Symbol.Set.singleton f) ps
+  | Alt (p, q) | Constr (p, q, _) ->
+      Symbol.Set.union (free_fvars p) (free_fvars q)
+  | Guarded (p, g) -> Symbol.Set.union (free_fvars p) (Guard.fvars g)
+  | Exists (_, p) -> free_fvars p
+  | Exists_f (f, p) -> Symbol.Set.remove f (free_fvars p)
+  | Mu (m, _) ->
+      (* Function-variable formals are bound by the mu as well. *)
+      List.fold_left
+        (fun acc x -> Symbol.Set.remove x acc)
+        (free_fvars m.body) m.formals
+
+let rec free_calls = function
+  | Var _ -> Symbol.Set.empty
+  | App (_, ps) | Fapp (_, ps) ->
+      List.fold_left
+        (fun acc p -> Symbol.Set.union acc (free_calls p))
+        Symbol.Set.empty ps
+  | Alt (p, q) | Constr (p, q, _) ->
+      Symbol.Set.union (free_calls p) (free_calls q)
+  | Guarded (p, _) | Exists (_, p) | Exists_f (_, p) -> free_calls p
+  | Mu (m, _) -> Symbol.Set.remove m.pname (free_calls m.body)
+  | Call (p, _) -> Symbol.Set.singleton p
+
+let root_heads p =
+  let union a b =
+    match (a, b) with
+    | Some x, Some y -> Some (Symbol.Set.union x y)
+    | _ -> None
+  in
+  let rec go = function
+    | Var _ | Fapp _ | Call _ -> None
+    | App (f, _) -> Some (Symbol.Set.singleton f)
+    | Alt (a, b) -> union (go a) (go b)
+    | Guarded (a, _) | Exists (_, a) | Exists_f (_, a) | Constr (a, _, _) ->
+        go a
+    | Mu (m, _) -> go m.body
+  in
+  go p
+
+(* ------------------------------------------------------------------ *)
+(* Renaming                                                            *)
+(* ------------------------------------------------------------------ *)
+
+let fresh_counter = ref 0
+
+let fresh_name base =
+  incr fresh_counter;
+  Printf.sprintf "%s#%d" base !fresh_counter
+
+module SMap = Map.Make (String)
+
+let rename pairs p =
+  let init =
+    List.fold_left (fun acc (x, y) -> SMap.add x y acc) SMap.empty pairs
+  in
+  let lookup map x = match SMap.find_opt x map with Some y -> y | None -> x in
+  (* [binder map x body_free] decides how to rename underneath a binder for
+     [x]: remove [x] from the active map; if some active renaming could
+     introduce a captured occurrence of [x], freshen the binder. *)
+  let binder map x body_contains =
+    let map = SMap.remove x map in
+    let captures =
+      SMap.exists (fun src tgt -> String.equal tgt x && body_contains src) map
+    in
+    if captures then
+      let x' = fresh_name x in
+      (SMap.add x x' map, x')
+    else (map, x)
+  in
+  let rec go map p =
+    if SMap.is_empty map then p
+    else
+      match p with
+      | Var x -> Var (lookup map x)
+      | App (f, ps) -> App (f, List.map (go map) ps)
+      | Fapp (f, ps) -> Fapp (lookup map f, List.map (go map) ps)
+      | Alt (p, q) -> Alt (go map p, go map q)
+      | Guarded (p, g) -> Guarded (go map p, Guard.rename (lookup map) g)
+      | Exists (x, body) ->
+          let body_contains v = Symbol.Set.mem v (free_vars body) in
+          let map', x' = binder map x body_contains in
+          Exists (x', go map' body)
+      | Exists_f (f, body) ->
+          let body_contains v = Symbol.Set.mem v (free_fvars body) in
+          let map', f' = binder map f body_contains in
+          Exists_f (f', go map' body)
+      | Constr (p, q, x) -> Constr (go map p, go map q, lookup map x)
+      | Mu (m, ys) ->
+          let ys = List.map (lookup map) ys in
+          (* Formals are binders for the body. *)
+          let body_contains v =
+            Symbol.Set.mem v (free_vars m.body)
+            || Symbol.Set.mem v (free_fvars m.body)
+          in
+          let map', formals' =
+            List.fold_left_map
+              (fun acc x ->
+                let acc, x' = binder acc x body_contains in
+                (acc, x'))
+              map m.formals
+          in
+          Mu ({ m with formals = formals'; body = go map' m.body }, ys)
+      | Call (pn, ys) -> Call (pn, List.map (lookup map) ys)
+  in
+  go init p
+
+(* ------------------------------------------------------------------ *)
+(* Mu unfolding (rule P-Mu)                                            *)
+(* ------------------------------------------------------------------ *)
+
+(* Replace free calls [P(zs)] by [Mu (m, zs)], respecting shadowing by inner
+   mus that rebind the same pattern name. *)
+let rec graft_mu (m : mu) p =
+  match p with
+  | Var _ -> p
+  | App (f, ps) -> App (f, List.map (graft_mu m) ps)
+  | Fapp (f, ps) -> Fapp (f, List.map (graft_mu m) ps)
+  | Alt (p1, p2) -> Alt (graft_mu m p1, graft_mu m p2)
+  | Guarded (p1, g) -> Guarded (graft_mu m p1, g)
+  | Exists (x, p1) -> Exists (x, graft_mu m p1)
+  | Exists_f (f, p1) -> Exists_f (f, graft_mu m p1)
+  | Constr (p1, p2, x) -> Constr (graft_mu m p1, graft_mu m p2, x)
+  | Mu (inner, ys) ->
+      if String.equal inner.pname m.pname then p
+      else Mu ({ inner with body = graft_mu m inner.body }, ys)
+  | Call (pn, zs) -> if String.equal pn m.pname then Mu (m, zs) else p
+
+let freshen_binders p =
+  let lookup env x =
+    match SMap.find_opt x env with Some y -> y | None -> x
+  in
+  let rec go env p =
+    match p with
+    | Var x -> Var (lookup env x)
+    | App (f, ps) -> App (f, List.map (go env) ps)
+    | Fapp (f, ps) -> Fapp (lookup env f, List.map (go env) ps)
+    | Alt (a, b) -> Alt (go env a, go env b)
+    | Guarded (a, g) -> Guarded (go env a, Guard.rename (lookup env) g)
+    | Exists (x, body) ->
+        let x' = fresh_name x in
+        Exists (x', go (SMap.add x x' env) body)
+    | Exists_f (f, body) ->
+        let f' = fresh_name f in
+        Exists_f (f', go (SMap.add f f' env) body)
+    | Constr (a, b, x) -> Constr (go env a, go env b, lookup env x)
+    | Mu (m, ys) ->
+        let ys = List.map (lookup env) ys in
+        (* formals shadow the outer renamings inside the body *)
+        let env' = List.fold_left (fun e x -> SMap.remove x e) env m.formals in
+        Mu ({ m with body = go env' m.body }, ys)
+    | Call (pn, ys) -> Call (pn, List.map (lookup env) ys)
+  in
+  go SMap.empty p
+
+let unfold (m : mu) actuals =
+  if List.length m.formals <> List.length actuals then
+    invalid_arg "Pattern.unfold: formals/actuals length mismatch";
+  let grafted = graft_mu m m.body in
+  freshen_binders (rename (List.combine m.formals actuals) grafted)
+
+(* ------------------------------------------------------------------ *)
+(* Printing                                                            *)
+(* ------------------------------------------------------------------ *)
+
+let pp_vars ppf ys =
+  Format.pp_print_list
+    ~pp_sep:(fun ppf () -> Format.fprintf ppf ",")
+    Format.pp_print_string ppf ys
+
+let rec pp ppf = function
+  | Var x -> Format.pp_print_string ppf x
+  | App (f, []) -> Symbol.pp ppf f
+  | App (f, ps) ->
+      Format.fprintf ppf "%a(%a)" Symbol.pp f
+        (Format.pp_print_list ~pp_sep:(fun ppf () -> Format.fprintf ppf ",@ ") pp)
+        ps
+  | Fapp (f, ps) ->
+      Format.fprintf ppf "%s(%a)" f
+        (Format.pp_print_list ~pp_sep:(fun ppf () -> Format.fprintf ppf ",@ ") pp)
+        ps
+  | Alt (p, q) -> Format.fprintf ppf "(%a || %a)" pp p pp q
+  | Guarded (p, g) -> Format.fprintf ppf "(%a ; guard(%a))" pp p Guard.pp g
+  | Exists (x, p) -> Format.fprintf ppf "(exists %s. %a)" x pp p
+  | Exists_f (f, p) -> Format.fprintf ppf "(existsF %s. %a)" f pp p
+  | Constr (p, q, x) -> Format.fprintf ppf "(%a ; (%a ~ %s))" pp p pp q x
+  | Mu (m, ys) ->
+      Format.fprintf ppf "(mu %s(%a)[%a]. %a)" m.pname pp_vars m.formals
+        pp_vars ys pp m.body
+  | Call (pn, ys) -> Format.fprintf ppf "%s(%a)" pn pp_vars ys
+
+let to_string p = Format.asprintf "%a" pp p

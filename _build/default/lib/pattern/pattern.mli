@@ -1,0 +1,122 @@
+(** CorePyPM patterns.
+
+    The full pattern grammar of the paper (figure 15):
+
+    {v
+    p ::= x                      variable
+        | f(p1, ..., pn)         operator application
+        | p || p'                pattern alternate
+        | p ; guard(g)           guarded pattern
+        | exists x. p            existential (PyPM's var())
+        | existsF F. p           function-variable existential (extension)
+        | p ; (p' ~ x)           match constraint (PyPM's x <= p')
+        | F(p1, ..., pn)         function-variable application
+        | mu P(xs)[ys]. p        recursive pattern, applied to actuals ys
+        | P(ys)                  recursive pattern call
+    v} *)
+
+open Pypm_term
+
+type t =
+  | Var of Subst.var
+  | App of Symbol.t * t list
+  | Fapp of Fsubst.fvar * t list
+  | Alt of t * t
+  | Guarded of t * Guard.t
+  | Exists of Subst.var * t
+  | Exists_f of Fsubst.fvar * t
+      (** Extension over the paper's core: binds a {e function} variable,
+          needed to express figure 14's [PwSubgraph], whose [UnaryOp] is a
+          fresh operator variable at every recursion level. *)
+  | Constr of t * t * Subst.var
+      (** [Constr (p, p', x)] is [p ; (p' ~ x)]: match [p], then require
+          that the term bound to [x] itself matches [p']. *)
+  | Mu of mu * Subst.var list
+      (** [Mu (m, ys)] is the recursive pattern [m] applied to actual
+          argument variables [ys]. *)
+  | Call of string * Subst.var list
+      (** [Call (P, ys)] is a recursive call [P(ys)]; meaningful only
+          underneath a [Mu] binding [P]. *)
+
+and mu = {
+  pname : string;  (** the bound recursive pattern name [P] *)
+  formals : Subst.var list;
+  body : t;
+}
+
+(** {1 Constructors} *)
+
+val var : string -> t
+val app : Symbol.t -> t list -> t
+val const : Symbol.t -> t
+val fapp : Fsubst.fvar -> t list -> t
+
+(** [alts ps] folds a nonempty list into left-nested alternates, preserving
+    PyPM's try-in-definition-order semantics. Raises on the empty list. *)
+val alts : t list -> t
+
+val alt : t -> t -> t
+
+(** [guarded p gs] attaches guards; [guarded p []] is [p]. *)
+val guarded : t -> Guard.t list -> t
+
+val exists : string -> t -> t
+val exists_f : string -> t -> t
+val exists_many : string list -> t -> t
+val constr : t -> t -> string -> t
+val mu : string -> formals:string list -> actuals:string list -> t -> t
+val call : string -> string list -> t
+
+(** {1 Structure} *)
+
+val equal : t -> t -> bool
+
+(** Number of pattern constructors. *)
+val size : t -> int
+
+(** Counts of alternates / guards / mu nodes, for bench reporting. *)
+val count_alts : t -> int
+
+val count_guards : t -> int
+val count_mus : t -> int
+
+(** Free term variables: [Var] occurrences, constraint targets, guard
+    variables and call actuals, minus [Exists]- and [Mu]-bound names. *)
+val free_vars : t -> Symbol.Set.t
+
+(** Free function variables: [Fapp] heads and guard [F.alpha] occurrences. *)
+val free_fvars : t -> Symbol.Set.t
+
+(** Recursive pattern names with free calls (not captured by a [Mu]). *)
+val free_calls : t -> Symbol.Set.t
+
+(** [root_heads p] conservatively computes the set of operator symbols a
+    matching term's root can have: [Some s] means only terms headed by a
+    member of [s] can match; [None] means any head might (a variable or
+    function-variable root). The rewrite pass uses this as a first-level
+    index to skip patterns that cannot match at a node. *)
+val root_heads : t -> Symbol.Set.t option
+
+(** {1 Renaming and unfolding} *)
+
+(** [rename map p] applies the finite renaming [map] to the free variables
+    of [p] (both term and function variables share the name space).
+    Capture-avoiding: [Exists]- and [Mu]-bound variables that would capture
+    a renamed occurrence are freshened. *)
+val rename : (string * string) list -> t -> t
+
+(** [freshen_binders p] alpha-renames every [Exists]/[Exists_f] binder in
+    [p] to a globally fresh name. Unfolding applies it so each recursion
+    level gets its own local variables (PyPM's [var()] is fresh per call,
+    and figure 14's [UnaryOp] is a fresh operator variable per level) —
+    the Barendregt convention the paper's rules assume. *)
+val freshen_binders : t -> t
+
+(** [unfold m actuals] is one unfolding of [Mu (m, actuals)] per rule P-Mu:
+    the body with recursive calls [P(zs)] replaced by [Mu (m, zs)], formals
+    renamed to [actuals], and existential binders freshened. Raises
+    [Invalid_argument] on an arity mismatch between formals and actuals. *)
+val unfold : mu -> Subst.var list -> t
+
+val pp : Format.formatter -> t -> unit
+val to_string : t -> string

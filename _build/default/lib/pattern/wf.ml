@@ -1,0 +1,146 @@
+open Pypm_term
+
+type severity = Error | Warning
+type diagnostic = { severity : severity; message : string }
+
+module SMap = Map.Make (String)
+
+type env = {
+  sg : Signature.t;
+  (* recursive pattern name -> number of parameters *)
+  calls : int SMap.t;
+  (* function variable -> arity first seen at *)
+  mutable farity : int SMap.t;
+  mutable diags : diagnostic list;
+}
+
+let error env fmt =
+  Format.kasprintf
+    (fun message -> env.diags <- { severity = Error; message } :: env.diags)
+    fmt
+
+let warn env fmt =
+  Format.kasprintf
+    (fun message -> env.diags <- { severity = Warning; message } :: env.diags)
+    fmt
+
+(* Does the pattern contain an alternate branch that avoids calling [pname]?
+   A mu whose every alternate recurses can never terminate (the paper's
+   [mu P(x). P(x)] example). This is a conservative syntactic check: we ask
+   whether the body, viewed as a tree of alternates, has at least one leaf
+   branch free of calls to [pname]. *)
+let rec has_base_case pname p =
+  match (p : Pattern.t) with
+  | Alt (a, b) -> has_base_case pname a || has_base_case pname b
+  | other -> Symbol.Set.mem pname (Pattern.free_calls other) |> not
+
+let rec walk env (p : Pattern.t) =
+  match p with
+  | Var _ -> ()
+  | App (f, ps) ->
+      (match Signature.arity env.sg f with
+      | None -> error env "undeclared operator %s" f
+      | Some n ->
+          if n <> List.length ps then
+            error env "operator %s has arity %d but pattern applies it to %d"
+              f n (List.length ps));
+      List.iter (walk env) ps
+  | Fapp (f, ps) ->
+      let n = List.length ps in
+      (match SMap.find_opt f env.farity with
+      | None -> env.farity <- SMap.add f n env.farity
+      | Some n' ->
+          if n <> n' then
+            warn env
+              "function variable %s is used at arity %d and at arity %d; it \
+               can never match both"
+              f n n');
+      List.iter (walk env) ps
+  | Alt (a, b) ->
+      walk env a;
+      walk env b
+  | Guarded (p, _) -> walk env p
+  | Exists (x, body) ->
+      if not (Symbol.Set.mem x (Pattern.free_vars body)) then
+        warn env
+          "existential variable %s does not occur in its scope and can never \
+           be bound; the pattern cannot match"
+          x;
+      walk env body
+  | Exists_f (f, body) ->
+      if not (Symbol.Set.mem f (Pattern.free_fvars body)) then
+        warn env
+          "existential function variable %s does not occur in its scope and \
+           can never be bound; the pattern cannot match"
+          f;
+      (* the binder opens a fresh scope for f's arity: a sibling Exists_f
+         reusing the name is a different variable *)
+      let saved = SMap.find_opt f env.farity in
+      env.farity <- SMap.remove f env.farity;
+      walk env body;
+      (env.farity <-
+         (match saved with
+         | Some a -> SMap.add f a (SMap.remove f env.farity)
+         | None -> SMap.remove f env.farity))
+  | Constr (p, p', x) ->
+      if
+        (not (Symbol.Set.mem x (Pattern.free_vars p)))
+        && not (Symbol.Set.mem x (Pattern.free_vars p'))
+      then
+        warn env
+          "match-constraint target %s is not mentioned by either side; it \
+           must be bound by an enclosing pattern"
+          x;
+      walk env p;
+      walk env p'
+  | Mu (m, ys) ->
+      if List.length m.formals <> List.length ys then
+        error env "recursive pattern %s expects %d arguments but is given %d"
+          m.pname (List.length m.formals) (List.length ys);
+      let distinct =
+        List.sort_uniq String.compare m.formals |> List.length
+        = List.length m.formals
+      in
+      if not distinct then
+        error env "recursive pattern %s has duplicate formal parameters"
+          m.pname;
+      if not (has_base_case m.pname m.body) then
+        warn env
+          "recursive pattern %s has no alternate free of recursive calls; \
+           matching it can only run out of fuel"
+          m.pname;
+      let env' =
+        { env with calls = SMap.add m.pname (List.length m.formals) env.calls }
+      in
+      walk env' m.body;
+      env.diags <- env'.diags;
+      env.farity <- env'.farity
+  | Call (pn, ys) -> (
+      match SMap.find_opt pn env.calls with
+      | None -> error env "recursive call to %s is not bound by any mu" pn
+      | Some n ->
+          if n <> List.length ys then
+            error env "recursive call %s expects %d arguments but is given %d"
+              pn n (List.length ys))
+
+let check sg p =
+  let env = { sg; calls = SMap.empty; farity = SMap.empty; diags = [] } in
+  walk env p;
+  List.rev env.diags
+
+let errors = List.filter (fun d -> d.severity = Error)
+let warnings = List.filter (fun d -> d.severity = Warning)
+
+let pp_diagnostic ppf d =
+  Format.fprintf ppf "%s: %s"
+    (match d.severity with Error -> "error" | Warning -> "warning")
+    d.message
+
+let check_exn sg p =
+  match errors (check sg p) with
+  | [] -> ()
+  | ds ->
+      invalid_arg
+        (Format.asprintf "ill-formed pattern:@ %a"
+           (Format.pp_print_list pp_diagnostic)
+           ds)

@@ -1,0 +1,27 @@
+(** Static well-formedness checks for patterns.
+
+    PyPM's frontend rejects ill-formed pattern definitions before they are
+    serialized; this module is the corresponding checker over CorePyPM.
+    Errors mean the pattern is meaningless (arity violation, undeclared
+    operator, unbound recursive call); warnings flag patterns that are
+    well-defined but suspicious (an existential variable that can never be
+    bound, a function variable used at two different arities, a recursive
+    pattern with no non-recursive alternate). *)
+
+open Pypm_term
+
+type severity = Error | Warning
+
+type diagnostic = { severity : severity; message : string }
+
+(** [check sg p] returns all diagnostics for [p] against signature [sg]. *)
+val check : Signature.t -> Pattern.t -> diagnostic list
+
+val errors : diagnostic list -> diagnostic list
+val warnings : diagnostic list -> diagnostic list
+
+(** [check_exn sg p] raises [Invalid_argument] with a rendered message if
+    [check] reports any error. *)
+val check_exn : Signature.t -> Pattern.t -> unit
+
+val pp_diagnostic : Format.formatter -> diagnostic -> unit

@@ -1,0 +1,1 @@
+lib/patterns/corpus.ml: Dtype Graph Guard List Pattern Program Pypm_engine Pypm_graph Pypm_pattern Pypm_tensor Rule Std_ops String

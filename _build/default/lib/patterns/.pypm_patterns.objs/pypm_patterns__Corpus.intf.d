@@ -1,0 +1,1 @@
+lib/patterns/corpus.mli: Program Pypm_engine Pypm_term

@@ -1,0 +1,1 @@
+lib/patterns/std_ops.ml: Attrs Dtype Float Guard Infer Kernel List Pypm_kernels Pypm_pattern Pypm_tensor Pypm_term Shape Signature Ty

@@ -1,0 +1,1 @@
+lib/patterns/std_ops.mli: Dtype Infer Pypm_pattern Pypm_tensor Pypm_term Signature Symbol

@@ -1,0 +1,438 @@
+open Pypm_pattern
+open Pypm_graph
+open Pypm_engine
+open Pypm_tensor
+module P = Pattern
+module G = Guard
+module O = Std_ops
+
+let v = P.var
+let ( @: ) op ps = P.app op ps
+let lit x = P.const (Graph.lit_symbol x)
+
+let is_float x =
+  G.Or
+    ( G.Or (O.g_eltype x Dtype.F32, O.g_eltype x Dtype.F16),
+      O.g_eltype x Dtype.BF16 )
+
+(* ------------------------------------------------------------------ *)
+(* Figure 1: MMxyT and the cuBLAS rules                                *)
+(* ------------------------------------------------------------------ *)
+
+let mmxyt : Program.entry =
+  let pattern =
+    P.guarded
+      (O.matmul @: [ v "x"; O.trans @: [ v "y" ] ])
+      [ O.g_rank "x" 2; O.g_rank "y" 2 ]
+  in
+  let rule_f32 =
+    Rule.make ~name:"cublasrule_f32" ~pattern:"MMxyT"
+      ~guard:(G.And (O.g_eltype "x" Dtype.F32, O.g_eltype "y" Dtype.F32))
+      (Rule.Rapp (O.cublas_mm_xyt_f32, [ Rule.Rvar "x"; Rule.Rvar "y" ]))
+  in
+  let rule_i8 =
+    Rule.make ~name:"cublasrule_i8" ~pattern:"MMxyT"
+      ~guard:(G.And (O.g_eltype "x" Dtype.I8, O.g_eltype "y" Dtype.I8))
+      (Rule.Rapp (O.cublas_mm_xyt_i8, [ Rule.Rvar "x"; Rule.Rvar "y" ]))
+  in
+  { Program.pname = "MMxyT"; pattern; rules = [ rule_f32; rule_i8 ] }
+
+(* Alignment-guarded MMxyT: the paper's motivation is that cuBLAS kernels
+   only exist for certain sizes; here every dimension must be a multiple
+   of 8 (tensor-core-friendly shapes). *)
+let mmxyt_aligned : Program.entry =
+  let aligned x d =
+    G.Eq (G.Mod (G.Var_attr (x, d), G.Const 8), G.Const 0)
+  in
+  let pattern =
+    P.guarded
+      (O.matmul @: [ v "x"; O.trans @: [ v "y" ] ])
+      [
+        O.g_rank "x" 2; O.g_rank "y" 2;
+        aligned "x" "dim0"; aligned "x" "dim1"; aligned "y" "dim0";
+      ]
+  in
+  let rule =
+    Rule.make ~name:"cublas_aligned" ~pattern:"MMxyT_aligned"
+      ~guard:(G.And (O.g_eltype "x" Dtype.F32, O.g_eltype "y" Dtype.F32))
+      (Rule.Rapp (O.cublas_mm_xyt_f32, [ Rule.Rvar "x"; Rule.Rvar "y" ]))
+  in
+  { Program.pname = "MMxyT_aligned"; pattern; rules = [ rule ] }
+
+(* ------------------------------------------------------------------ *)
+(* Figure 2: Half alternates and the GELU pattern                      *)
+(* ------------------------------------------------------------------ *)
+
+(* Half(x) = Div(x, 2) || Mul(x, 0.5) || Mul(0.5, x); the non-recursive
+   pattern call Half(x) inside Gelu is inlined, exactly what the frontend's
+   elaboration does. *)
+let half_pat x =
+  P.alts
+    [
+      O.div @: [ x; lit 2.0 ];
+      O.mul @: [ x; lit 0.5 ];
+      O.mul @: [ lit 0.5; x ];
+    ]
+
+let gelu_fuse : Program.entry =
+  let x = v "x" in
+  (* 1 + erf(x / sqrt 2), either addend order *)
+  let inner =
+    P.alts
+      [
+        O.add @: [ lit 1.0; O.erf @: [ O.div @: [ x; lit O.sqrt2 ] ] ];
+        O.add @: [ O.erf @: [ O.div @: [ x; lit O.sqrt2 ] ]; lit 1.0 ];
+      ]
+  in
+  let pattern =
+    P.guarded
+      (P.alts
+         [ O.mul @: [ half_pat x; inner ]; O.mul @: [ inner; half_pat x ] ])
+      [ is_float "x" ]
+  in
+  let rule =
+    Rule.make ~name:"gelurule" ~pattern:"Gelu"
+      (Rule.Rapp (O.gelu, [ Rule.Rvar "x" ]))
+  in
+  { Program.pname = "Gelu"; pattern; rules = [ rule ] }
+
+(* ------------------------------------------------------------------ *)
+(* Section 4.1: multi-head attention -> FMHA                           *)
+(* ------------------------------------------------------------------ *)
+
+let mha_fuse : Program.entry =
+  let qk = O.matmul @: [ v "q"; O.trans @: [ v "k" ] ] in
+  let scaled =
+    P.alts
+      [
+        O.mul @: [ qk; v "s" ];
+        O.mul @: [ v "s"; qk ];
+        O.div @: [ qk; v "s" ];
+      ]
+  in
+  let pattern =
+    P.guarded
+      (O.matmul @: [ O.softmax @: [ scaled ]; v "vv" ])
+      [
+        O.g_scalar "s";
+        G.Or (O.g_rank "q" 3, O.g_rank "q" 4);
+        is_float "q";
+      ]
+  in
+  let rule =
+    Rule.make ~name:"fmharule" ~pattern:"MHA"
+      (Rule.Rapp (O.fmha, [ Rule.Rvar "q"; Rule.Rvar "k"; Rule.Rvar "vv" ]))
+  in
+  { Program.pname = "MHA"; pattern; rules = [ rule ] }
+
+(* ------------------------------------------------------------------ *)
+(* Section 4.1: GEMM epilogs                                           *)
+(* ------------------------------------------------------------------ *)
+
+let epilog_bias act act_name kernel : Program.entry =
+  let mm = O.matmul @: [ v "x"; v "w" ] in
+  let pattern =
+    P.guarded
+      (P.alts
+         [ act @: [ O.add @: [ mm; v "b" ] ]; act @: [ O.add @: [ v "b"; mm ] ] ])
+      [ O.g_rank "b" 1; is_float "x" ]
+  in
+  let pname = "EpilogBias_" ^ act_name in
+  let rule =
+    Rule.make ~name:("epilog_bias_" ^ act_name) ~pattern:pname
+      (Rule.Rapp (kernel, [ Rule.Rvar "x"; Rule.Rvar "w"; Rule.Rvar "b" ]))
+  in
+  { Program.pname; pattern; rules = [ rule ] }
+
+let epilog_plain act act_name kernel : Program.entry =
+  let pattern =
+    P.guarded (act @: [ O.matmul @: [ v "x"; v "w" ] ]) [ is_float "x" ]
+  in
+  let pname = "Epilog_" ^ act_name in
+  let rule =
+    Rule.make ~name:("epilog_" ^ act_name) ~pattern:pname
+      (Rule.Rapp (kernel, [ Rule.Rvar "x"; Rule.Rvar "w" ]))
+  in
+  { Program.pname; pattern; rules = [ rule ] }
+
+let epilog_bias_relu = epilog_bias O.relu "relu" O.gemm_bias_epilog_relu
+let epilog_bias_gelu = epilog_bias O.gelu "gelu" O.gemm_bias_epilog_gelu
+let epilog_relu = epilog_plain O.relu "relu" O.gemm_epilog_relu
+let epilog_gelu = epilog_plain O.gelu "gelu" O.gemm_epilog_gelu
+
+(* Vision epilog: Relu(Conv2d(x, w, b)); the match constraint binds the
+   convolution node to [c] so the rule can copy its stride/pad. *)
+let conv_epilog : Program.entry =
+  let pattern =
+    P.constr
+      (O.relu @: [ v "c" ])
+      (O.conv2d @: [ v "x"; v "w"; v "b" ])
+      "c"
+  in
+  let rule =
+    Rule.make ~name:"conv_epilog_relu" ~pattern:"ConvEpilog"
+      (Rule.Rcopy_attrs
+         (O.conv_bias_relu, [ Rule.Rvar "x"; Rule.Rvar "w"; Rule.Rvar "b" ], "c"))
+  in
+  { Program.pname = "ConvEpilog"; pattern; rules = [ rule ] }
+
+(* ------------------------------------------------------------------ *)
+(* Figure 3: recursive chains                                          *)
+(* ------------------------------------------------------------------ *)
+
+(* ReluChain = Relu(mu P(x). Relu(P(x)) || Relu(x)): at least two Relus,
+   collapsed to one (Relu is idempotent, so this rule is sound). *)
+let relu_chain : Program.entry =
+  let inner =
+    P.mu "P" ~formals:[ "x" ] ~actuals:[ "x" ]
+      (P.alt
+         (O.relu @: [ P.call "P" [ "x" ] ])
+         (O.relu @: [ v "x" ]))
+  in
+  let pattern = O.relu @: [ inner ] in
+  let rule =
+    Rule.make ~name:"relu_idempotent" ~pattern:"ReluChain"
+      (Rule.Rapp (O.relu, [ Rule.Rvar "x" ]))
+  in
+  { Program.pname = "ReluChain"; pattern; rules = [ rule ] }
+
+(* Figure 3 verbatim: UnaryChain(x, F) = F(UnaryChain(x, F)) || F(x).
+   Match-only: compressing an arbitrary operator tower is not sound. *)
+let unary_chain : Program.entry =
+  let pattern =
+    P.mu "P" ~formals:[ "x"; "F" ] ~actuals:[ "x"; "F" ]
+      (P.alt
+         (P.fapp "F" [ P.call "P" [ "x"; "F" ] ])
+         (P.fapp "F" [ v "x" ]))
+  in
+  { Program.pname = "UnaryChain"; pattern; rules = [] }
+
+(* Figure 4: P(x, f, g) with local variables and match constraints; the
+   returned x is bound to the *root* of the matched tree. *)
+let fig4 : Program.entry =
+  let alt1 =
+    P.exists "y"
+      (P.constr (v "x") (P.fapp "f" [ P.call "P" [ "y"; "f"; "g" ] ]) "x")
+  in
+  let alt2 =
+    P.exists "y"
+      (P.exists "z"
+         (P.constr (v "x")
+            (P.fapp "g"
+               [ P.call "P" [ "y"; "f"; "g" ]; P.call "P" [ "z"; "f"; "g" ] ])
+            "x"))
+  in
+  let alt3 = v "x" in
+  let pattern =
+    P.mu "P"
+      ~formals:[ "x"; "f"; "g" ]
+      ~actuals:[ "x"; "f"; "g" ]
+      (P.alts [ alt1; alt2; alt3 ])
+  in
+  { Program.pname = "Fig4"; pattern; rules = [] }
+
+(* ------------------------------------------------------------------ *)
+(* Figure 14: PwSubgraph / MatMulEpilog                                *)
+(* ------------------------------------------------------------------ *)
+
+let matmul_epilog_chain : Program.entry =
+  (* PwSubgraph, leaf-parameterized: a tower of unary pointwise operators
+     (each level's operator a *fresh* function variable, as in the figure's
+     per-level [UnaryOp = Op(1,1)]) over a leaf bound to [z]. *)
+  let chain =
+    P.mu "Pw" ~formals:[ "z" ] ~actuals:[ "z" ]
+      (P.alt
+         (P.exists_f "F"
+            (P.Guarded
+               ( P.fapp "F" [ P.call "Pw" [ "z" ] ],
+                 O.g_fclass "F" "unary_pointwise" )))
+         (v "z"))
+  in
+  (* MatMulEpilog: x is the root of the chain and z, the leaf, must be a
+     matrix multiplication MatMul(a, b). *)
+  let pattern =
+    P.exists "z"
+      (P.constr
+         (P.constr (v "x") chain "x")
+         (O.matmul @: [ v "a"; v "b" ])
+         "z")
+  in
+  { Program.pname = "MatMulEpilog"; pattern; rules = [] }
+
+(* Extension of figure 14 for realistic epilogs: chain links may also be
+   binary pointwise with a small (rank <= 1) second operand -- a bias add
+   or a scalar scale -- and the leaf may be a matmul or a convolution. *)
+let epilog_partition : Program.entry =
+  let unary_link =
+    P.exists_f "F"
+      (P.Guarded
+         ( P.fapp "F" [ P.call "Pw" [ "z" ] ],
+           O.g_fclass "F" "unary_pointwise" ))
+  in
+  let side_guard w =
+    G.And
+      ( O.g_fclass "F" "binary_pointwise",
+        G.Le (G.Var_attr (w, "rank"), G.Const 1) )
+  in
+  let binary_link_l =
+    P.exists_f "F"
+      (P.exists "w"
+         (P.Guarded
+            (P.fapp "F" [ P.call "Pw" [ "z" ]; v "w" ], side_guard "w")))
+  in
+  let binary_link_r =
+    P.exists_f "F"
+      (P.exists "w"
+         (P.Guarded
+            (P.fapp "F" [ v "w"; P.call "Pw" [ "z" ] ], side_guard "w")))
+  in
+  let chain =
+    P.mu "Pw" ~formals:[ "z" ] ~actuals:[ "z" ]
+      (P.alts [ unary_link; binary_link_l; binary_link_r; v "z" ])
+  in
+  let leaf =
+    P.alt
+      (O.matmul @: [ v "a"; v "b" ])
+      (O.conv2d @: [ v "a"; v "b"; v "cc" ])
+  in
+  let pattern =
+    P.exists "z" (P.constr (P.constr (v "x") chain "x") leaf "z")
+  in
+  { Program.pname = "EpilogPartition"; pattern; rules = [] }
+
+(* ------------------------------------------------------------------ *)
+(* Cleanup rules used by examples                                      *)
+(* ------------------------------------------------------------------ *)
+
+let trans_trans : Program.entry =
+  let pattern = O.trans @: [ O.trans @: [ v "x" ] ] in
+  let rule =
+    Rule.make ~name:"trans_involution" ~pattern:"TransTrans" (Rule.Rvar "x")
+  in
+  { Program.pname = "TransTrans"; pattern; rules = [ rule ] }
+
+let mul_one : Program.entry =
+  let pattern =
+    P.alts [ O.mul @: [ v "x"; lit 1.0 ]; O.mul @: [ lit 1.0; v "x" ] ]
+  in
+  let rule = Rule.make ~name:"mul_unit" ~pattern:"MulOne" (Rule.Rvar "x") in
+  { Program.pname = "MulOne"; pattern; rules = [ rule ] }
+
+let unit_elim pname op ~commutes unit_value =
+  let alts =
+    (op @: [ v "x"; lit unit_value ])
+    :: (if commutes then [ op @: [ lit unit_value; v "x" ] ] else [])
+  in
+  let rule =
+    Rule.make ~name:(String.lowercase_ascii pname) ~pattern:pname (Rule.Rvar "x")
+  in
+  { Program.pname; pattern = P.alts alts; rules = [ rule ] }
+
+let add_zero = unit_elim "AddZero" O.add ~commutes:true 0.0
+let sub_zero = unit_elim "SubZero" O.sub ~commutes:false 0.0
+let div_one = unit_elim "DivOne" O.div ~commutes:false 1.0
+
+(* x * 0 is a zero tensor *of x's shape*; replacing it with the scalar
+   literal would change the node's type (the pass's type check rejects
+   that), so the replacement is ZerosLike(x). *)
+let mul_zero : Program.entry =
+  let pattern =
+    P.alts [ O.mul @: [ v "x"; lit 0.0 ]; O.mul @: [ lit 0.0; v "x" ] ]
+  in
+  let rule =
+    Rule.make ~name:"mul_absorb" ~pattern:"MulZero"
+      (Rule.Rapp (O.zeros_like, [ Rule.Rvar "x" ]))
+  in
+  { Program.pname = "MulZero"; pattern; rules = [ rule ] }
+
+(* Linear-algebra identities. *)
+
+(* Trans(MatMul(a, b)) => MatMul(Trans(b), Trans(a)) *)
+let trans_of_matmul : Program.entry =
+  let pattern = O.trans @: [ O.matmul @: [ v "a"; v "b" ] ] in
+  let rule =
+    Rule.make ~name:"trans_of_matmul" ~pattern:"TransOfMatMul"
+      (Rule.Rapp
+         ( O.matmul,
+           [
+             Rule.Rapp (O.trans, [ Rule.Rvar "b" ]);
+             Rule.Rapp (O.trans, [ Rule.Rvar "a" ]);
+           ] ))
+  in
+  { Program.pname = "TransOfMatMul"; pattern; rules = [ rule ] }
+
+(* MatMul(Trans(x), Trans(y)) => Trans(MatMul(y, x)) -- the paper's
+   introductory example rewrite. *)
+let matmul_of_trans : Program.entry =
+  let pattern =
+    O.matmul @: [ O.trans @: [ v "x" ]; O.trans @: [ v "y" ] ]
+  in
+  let rule =
+    Rule.make ~name:"matmul_of_trans" ~pattern:"MatMulOfTrans"
+      (Rule.Rapp
+         (O.trans, [ Rule.Rapp (O.matmul, [ Rule.Rvar "y"; Rule.Rvar "x" ]) ]))
+  in
+  { Program.pname = "MatMulOfTrans"; pattern; rules = [ rule ] }
+
+(* Softmax(Add(x, c)) with scalar c => Softmax(x): softmax is invariant
+   under shifting every logit by the same constant. *)
+let softmax_shift : Program.entry =
+  let pattern =
+    P.guarded
+      (P.alts
+         [
+           O.softmax @: [ O.add @: [ v "x"; v "c" ] ];
+           O.softmax @: [ O.add @: [ v "c"; v "x" ] ];
+         ])
+      [ O.g_scalar "c"; G.Le (G.Const 1, G.Var_attr ("x", "rank")) ]
+  in
+  let rule =
+    Rule.make ~name:"softmax_shift" ~pattern:"SoftmaxShift"
+      (Rule.Rapp (O.softmax, [ Rule.Rvar "x" ]))
+  in
+  { Program.pname = "SoftmaxShift"; pattern; rules = [ rule ] }
+
+let neg_neg : Program.entry =
+  let pattern = O.neg @: [ O.neg @: [ v "x" ] ] in
+  let rule = Rule.make ~name:"neg_neg" ~pattern:"NegNeg" (Rule.Rvar "x") in
+  { Program.pname = "NegNeg"; pattern; rules = [ rule ] }
+
+(* ------------------------------------------------------------------ *)
+(* Assembled programs                                                  *)
+(* ------------------------------------------------------------------ *)
+
+let declare_lits sg =
+  List.iter
+    (fun value -> ignore (Graph.declare_lit sg value))
+    [ 0.0; 0.5; 1.0; 2.0; O.sqrt2 ]
+
+let program sg entries =
+  declare_lits sg;
+  Program.make ~sg entries
+
+let fmha_program sg = program sg [ mha_fuse ]
+
+let epilog_entries =
+  [
+    gelu_fuse;
+    epilog_bias_relu;
+    epilog_bias_gelu;
+    epilog_relu;
+    epilog_gelu;
+    conv_epilog;
+  ]
+
+let epilog_program sg = program sg epilog_entries
+let both_program sg = program sg (mha_fuse :: epilog_entries)
+let partition_program sg = program sg [ epilog_partition; matmul_epilog_chain ]
+
+let cleanup_entries =
+  [
+    trans_trans; mul_one; add_zero; sub_zero; div_one; mul_zero; relu_chain;
+    matmul_of_trans; softmax_shift; neg_neg;
+  ]
+
+let cleanup_program sg = program sg cleanup_entries
+
+let full_program sg =
+  program sg ((mha_fuse :: epilog_entries) @ (mmxyt :: cleanup_entries))

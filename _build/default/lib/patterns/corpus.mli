@@ -1,0 +1,128 @@
+(** The paper's pattern corpus, elaborated to CorePyPM.
+
+    Every pattern and rule shown in the paper, as {!Pypm_engine.Program}
+    entries:
+
+    - figure 1: [MMxyT] and its cuBLAS rules (f32 / i8 dispatch);
+    - figure 2: [Half] alternates and the [Gelu] pattern, with a rule
+      fusing the 8-node GELU subgraph into a single [Gelu] operator;
+    - figure 3: the recursive [UnaryChain] (here instantiated as
+      [ReluChain], whose compression rule is actually sound);
+    - figure 4: the root-capturing recursive pattern [P(x,f,g)]
+      (match-only, exercised in tests and examples);
+    - figure 14: [PwSubgraph]/[MatMulEpilog] (match-only; drives directed
+      graph partitioning);
+    - section 4.1: the [MHA] pattern rewriting to the fused [FMHA] kernel,
+      and the GEMM/conv epilog patterns rewriting activation-after-matmul
+      (with or without bias) and conv+bias+relu to fused library kernels.
+
+    Pattern names are stable strings; programs assemble ordered subsets. *)
+
+open Pypm_engine
+
+(** {1 Individual entries} *)
+
+(** Figure 1: [MatMul(x, Trans(y))] with rank-2 guards; rules dispatch on
+    element type to [cublasMM_xyT_f32] / [cublasMM_xyT_i8]. *)
+val mmxyt : Program.entry
+
+(** The alignment-guarded variant of figure 1: cuBLAS kernels "work for
+    only a small number of tensor sizes" (section 1), modeled as
+    divisibility constraints on the inner/outer dimensions using the
+    guard language's [%] operator. *)
+val mmxyt_aligned : Program.entry
+
+(** Figure 2: GELU with the [Div(x,2)] / [Mul(x,0.5)] alternates, fused to
+    the [Gelu] operator. *)
+val gelu_fuse : Program.entry
+
+(** Section 4.1: multi-head attention
+    [MatMul(Softmax(scale(MatMul(q, Trans(k)))), v)] with both [Mul] and
+    [Div] scale spellings, rewritten to [FMHA(q, k, v)]. *)
+val mha_fuse : Program.entry
+
+(** Section 4.1 epilogs: activation after (biased) matmul. *)
+val epilog_bias_relu : Program.entry
+
+val epilog_bias_gelu : Program.entry
+val epilog_relu : Program.entry
+val epilog_gelu : Program.entry
+
+(** Vision epilog: [Relu(Conv2d(x, w, b))] to the fused conv kernel,
+    copying stride/pad attributes from the matched convolution. *)
+val conv_epilog : Program.entry
+
+(** Figure 3 instantiated soundly: a chain of [Relu]s collapses to one. *)
+val relu_chain : Program.entry
+
+(** Figure 3 verbatim: an arbitrary unary-operator tower [F(F(...F(x)))]
+    (match-only; the general compression rule would be unsound). *)
+val unary_chain : Program.entry
+
+(** Figure 4: recursive pattern over one unary [f] and one binary [g],
+    capturing the root via a match constraint (match-only). *)
+val fig4 : Program.entry
+
+(** Figure 14: a matmul followed by any number of unary pointwise
+    operators, each level's operator existentially fresh (match-only;
+    used for directed graph partitioning). *)
+val matmul_epilog_chain : Program.entry
+
+(** Extension of figure 14 for realistic epilog partitioning: the chain
+    links may also be binary pointwise operators whose other operand is
+    small (rank <= 1: a bias vector or scale constant), and the leaf may be
+    a matmul or a convolution. Match-only. *)
+val epilog_partition : Program.entry
+
+(** Trivial cleanups used by examples: [Trans(Trans(x))] to [x] and
+    [Mul(x, 1.0)] to [x]. *)
+val trans_trans : Program.entry
+
+val mul_one : Program.entry
+
+(** More algebraic identities: [x + 0], [x - 0], [x / 1] to [x];
+    [x * 0] to [ZerosLike(x)] (the replacement must keep [x]'s type). *)
+val add_zero : Program.entry
+
+val sub_zero : Program.entry
+val div_one : Program.entry
+val mul_zero : Program.entry
+
+(** Linear-algebra identities (section 1 sketches the first one as the
+    example rewrite "replacing the product of transposes by the transpose
+    of the product"):
+    - [trans_of_matmul]: [Trans(MatMul(a, b))] to [MatMul(Trans(b), Trans(a))];
+    - [matmul_of_trans]: [MatMul(Trans(x), Trans(y))] to [Trans(MatMul(y, x))]
+      (the paper's direction);
+    - [softmax_shift]: [Softmax(Add(x, c))] with scalar [c] to [Softmax(x)]
+      (softmax is shift-invariant);
+    - [neg_neg]: [Neg(Neg(x))] to [x]. *)
+val trans_of_matmul : Program.entry
+
+val matmul_of_trans : Program.entry
+val softmax_shift : Program.entry
+val neg_neg : Program.entry
+
+(** All the algebraic cleanups plus the Relu-chain compression. *)
+val cleanup_program : Pypm_term.Signature.t -> Program.t
+
+(** {1 Assembled programs}
+
+    Each takes the signature produced by {!Std_ops.make}. *)
+
+(** The FMHA optimization alone (the paper's "FMHA only" configuration). *)
+val fmha_program : Pypm_term.Signature.t -> Program.t
+
+(** The Epilog optimization alone: GELU fusion plus all epilog rewrites. *)
+val epilog_program : Pypm_term.Signature.t -> Program.t
+
+(** Both optimizations (the paper's "both enabled" configuration). *)
+val both_program : Pypm_term.Signature.t -> Program.t
+
+(** Match-only program for directed graph partitioning: the extended
+    epilog pattern first (larger regions), figure 14's verbatim chain as a
+    fallback. *)
+val partition_program : Pypm_term.Signature.t -> Program.t
+
+(** Everything, for the CLI and smoke tests. *)
+val full_program : Pypm_term.Signature.t -> Program.t

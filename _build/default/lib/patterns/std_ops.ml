@@ -1,0 +1,189 @@
+open Pypm_term
+open Pypm_tensor
+open Pypm_pattern
+open Pypm_kernels
+
+type env = { sg : Signature.t; infer : Infer.t }
+
+(* Naive operators *)
+let matmul = "MatMul"
+let trans = "Trans"
+let add = "Add"
+let sub = "Sub"
+let mul = "Mul"
+let div = "Div"
+let relu = "Relu"
+let gelu = "Gelu"
+let erf = "Erf"
+let tanh_ = "Tanh"
+let sigmoid = "Sigmoid"
+let exp_ = "Exp"
+let sqrt_ = "Sqrt"
+let neg = "Neg"
+let zeros_like = "ZerosLike"
+let softmax = "Softmax"
+let layer_norm = "LayerNorm"
+let batch_norm = "BatchNorm"
+let conv2d = "Conv2d"
+let max_pool = "MaxPool"
+let avg_pool = "AvgPool"
+let global_avg_pool = "GlobalAvgPool"
+let flatten = "Flatten"
+let split_heads = "SplitHeads"
+let merge_heads = "MergeHeads"
+
+(* Library kernels *)
+let fmha = "FMHA"
+let gemm_epilog_relu = "GemmEpilog_relu"
+let gemm_epilog_gelu = "GemmEpilog_gelu"
+let gemm_bias_epilog_relu = "GemmBiasEpilog_relu"
+let gemm_bias_epilog_gelu = "GemmBiasEpilog_gelu"
+let conv_bias_relu = "ConvBiasRelu"
+let cublas_mm_xyt_f32 = "cublasMM_xyT_f32"
+let cublas_mm_xyt_i8 = "cublasMM_xyT_i8"
+
+let sqrt2 = Float.sqrt 2.
+
+(* ------------------------------------------------------------------ *)
+(* Inference rules for the bespoke operators                           *)
+(* ------------------------------------------------------------------ *)
+
+(* GlobalAvgPool: [n; c; h; w] -> [n; c] *)
+let infer_gap : Infer.rule =
+ fun _ -> function
+  | [ (x : Ty.t) ] -> (
+      match x.shape with
+      | [ n; c; _; _ ] -> Ok (Ty.make x.dtype [ n; c ])
+      | _ -> Error "GlobalAvgPool: expected NCHW input")
+  | _ -> Error "GlobalAvgPool: expected one input"
+
+(* cublasMM_xyT: x [m; k], y [n; k] -> [m; n] (the Trans is fused) *)
+let infer_mm_xyt : Infer.rule =
+ fun _ -> function
+  | [ (x : Ty.t); (y : Ty.t) ] -> (
+      match (x.shape, y.shape) with
+      | [ m; k ], [ n; k' ] when k = k' -> Ok (Ty.make x.dtype [ m; n ])
+      | _ -> Error "cublasMM_xyT: expected [m;k] and [n;k]")
+  | _ -> Error "cublasMM_xyT: expected two inputs"
+
+(* FMHA: Q, K, V : [b; h; s; d] -> [b; h; s; d] *)
+let infer_fmha : Infer.rule =
+ fun _ -> function
+  | [ (q : Ty.t); k; v ] ->
+      if Ty.equal q k && Ty.equal q v then Ok q
+      else if Shape.rank q.shape >= 2 then Ok q
+      else Error "FMHA: rank must be >= 2"
+  | _ -> Error "FMHA: expected Q, K, V"
+
+(* SplitHeads: [b; s; d] -> [b; heads; s; d/heads] *)
+let infer_split_heads : Infer.rule =
+ fun attrs -> function
+  | [ (x : Ty.t) ] -> (
+      match (List.assoc_opt "heads" attrs, x.shape) with
+      | Some h, [ b; s; d ] when h > 0 && d mod h = 0 ->
+          Ok (Ty.make x.dtype [ b; h; s; d / h ])
+      | Some _, _ -> Error "SplitHeads: expected [b; s; d] divisible by heads"
+      | None, _ -> Error "SplitHeads: missing heads attribute")
+  | _ -> Error "SplitHeads: expected one input"
+
+(* MergeHeads: [b; h; s; dh] -> [b; s; h*dh] *)
+let infer_merge_heads : Infer.rule =
+ fun _ -> function
+  | [ (x : Ty.t) ] -> (
+      match x.shape with
+      | [ b; h; s; dh ] -> Ok (Ty.make x.dtype [ b; s; h * dh ])
+      | _ -> Error "MergeHeads: expected [b; h; s; dh]")
+  | _ -> Error "MergeHeads: expected one input"
+
+(* GemmBiasEpilog: matmul of x, w then broadcast bias *)
+let infer_gemm_bias : Infer.rule =
+ fun attrs -> function
+  | [ x; w; _bias ] -> Infer.matmul attrs [ x; w ]
+  | _ -> Error "GemmBiasEpilog: expected x, w, bias"
+
+let make () =
+  let sg = Signature.create () in
+  let infer = Infer.create () in
+  let op ?(output_arity = 1) ?(attrs = []) name ~arity ~cls rule =
+    ignore (Signature.declare sg ~output_arity ~op_class:cls ~attrs ~arity name);
+    Infer.register infer name rule
+  in
+  (* naive operators *)
+  op matmul ~arity:2 ~cls:"matmul" Infer.matmul;
+  op trans ~arity:1 ~cls:"transpose" Infer.transpose;
+  List.iter
+    (fun name -> op name ~arity:2 ~cls:"binary_pointwise" Infer.pointwise2)
+    [ add; sub; mul; div ];
+  List.iter
+    (fun name -> op name ~arity:1 ~cls:"unary_pointwise" Infer.pointwise1)
+    [ relu; gelu; erf; tanh_; sigmoid; exp_; sqrt_; neg; zeros_like ];
+  op softmax ~arity:1 ~cls:"softmax" Infer.softmax;
+  op layer_norm ~arity:1 ~cls:"normalization" Infer.pointwise1;
+  op batch_norm ~arity:1 ~cls:"normalization" Infer.pointwise1;
+  op conv2d ~arity:3 ~cls:"conv"
+    ~attrs:[ ("stride", Signature.Int_attr); ("pad", Signature.Int_attr) ]
+    Infer.conv2d;
+  op max_pool ~arity:1 ~cls:"pool"
+    ~attrs:[ ("window", Signature.Int_attr); ("stride", Signature.Int_attr) ]
+    Infer.pool2d;
+  op avg_pool ~arity:1 ~cls:"pool"
+    ~attrs:[ ("window", Signature.Int_attr); ("stride", Signature.Int_attr) ]
+    Infer.pool2d;
+  op global_avg_pool ~arity:1 ~cls:"reduce" infer_gap;
+  op flatten ~arity:1 ~cls:"layout" ~attrs:[ ("axis", Signature.Int_attr) ]
+    Infer.flatten;
+  op split_heads ~arity:1 ~cls:"layout"
+    ~attrs:[ ("heads", Signature.Int_attr) ]
+    infer_split_heads;
+  op merge_heads ~arity:1 ~cls:"layout" infer_merge_heads;
+  (* library kernels *)
+  op fmha ~arity:3 ~cls:"fused_kernel" infer_fmha;
+  op gemm_epilog_relu ~arity:2 ~cls:"fused_kernel" Infer.matmul;
+  op gemm_epilog_gelu ~arity:2 ~cls:"fused_kernel" Infer.matmul;
+  op gemm_bias_epilog_relu ~arity:3 ~cls:"fused_kernel" infer_gemm_bias;
+  op gemm_bias_epilog_gelu ~arity:3 ~cls:"fused_kernel" infer_gemm_bias;
+  op conv_bias_relu ~arity:3 ~cls:"fused_kernel"
+    ~attrs:[ ("stride", Signature.Int_attr); ("pad", Signature.Int_attr) ]
+    Infer.conv2d;
+  op cublas_mm_xyt_f32 ~arity:2 ~cls:"fused_kernel" infer_mm_xyt;
+  op cublas_mm_xyt_i8 ~arity:2 ~cls:"fused_kernel" infer_mm_xyt;
+  (* kernel cost specs (global registry; idempotent) *)
+  let conv_flops inputs out =
+    match inputs with
+    | _ :: (w : Ty.t) :: _ -> (
+        match w.Ty.shape with
+        | [ _o; c; kh; kw ] ->
+            2. *. float_of_int (Ty.nelems out) *. float_of_int (c * kh * kw)
+        | _ -> float_of_int (Ty.nelems out))
+    | _ -> float_of_int (Ty.nelems out)
+  in
+  Kernel.register (Kernel.make ~efficiency:0.90 ~flops:Kernel.mha_flops fmha);
+  List.iter
+    (fun name ->
+      Kernel.register (Kernel.make ~efficiency:0.88 ~flops:Kernel.matmul_flops name))
+    [
+      gemm_epilog_relu;
+      gemm_epilog_gelu;
+      gemm_bias_epilog_relu;
+      gemm_bias_epilog_gelu;
+    ];
+  Kernel.register (Kernel.make ~efficiency:0.85 ~flops:conv_flops conv_bias_relu);
+  List.iter
+    (fun name ->
+      Kernel.register (Kernel.make ~efficiency:0.92 ~flops:Kernel.matmul_flops name))
+    [ cublas_mm_xyt_f32; cublas_mm_xyt_i8 ];
+  { sg; infer }
+
+(* ------------------------------------------------------------------ *)
+(* Guard shorthands                                                    *)
+(* ------------------------------------------------------------------ *)
+
+let g_rank x n = Guard.Eq (Guard.Var_attr (x, "rank"), Guard.Const n)
+let g_scalar x = g_rank x 0
+
+let g_eltype x dt =
+  Guard.Eq (Guard.Var_attr (x, "eltType"), Guard.Const (Dtype.code dt))
+
+let g_fclass f cls =
+  Guard.Eq
+    (Guard.Fvar_attr (f, "op_class"), Guard.Const (Attrs.class_code cls))

@@ -1,0 +1,78 @@
+(** The standard tensor operator vocabulary.
+
+    Declares every operator the models and patterns use — the analogue of
+    the [@op] declarations at the top of a PyPM file (figure 1) — together
+    with shape-inference rules and, for the hand-tuned library kernels the
+    rewrites target (cuBLAS xyT GEMM, FMHA, epilog-fused GEMM/conv), cost
+    specs in the kernel registry. *)
+
+open Pypm_term
+open Pypm_tensor
+
+type env = { sg : Signature.t; infer : Infer.t }
+
+(** A fresh environment with the full vocabulary declared. Independent of
+    previous calls (graphs built against different envs don't share input
+    symbols). Kernel cost specs are registered globally (idempotent). *)
+val make : unit -> env
+
+(** {1 Operator names} (symbols declared by {!make})
+
+    Naive graph operators: *)
+
+val matmul : Symbol.t
+val trans : Symbol.t
+val add : Symbol.t
+val sub : Symbol.t
+val mul : Symbol.t
+val div : Symbol.t
+val relu : Symbol.t
+val gelu : Symbol.t
+val erf : Symbol.t
+val tanh_ : Symbol.t
+val sigmoid : Symbol.t
+val exp_ : Symbol.t
+val sqrt_ : Symbol.t
+val neg : Symbol.t
+val zeros_like : Symbol.t
+val softmax : Symbol.t
+val layer_norm : Symbol.t
+val batch_norm : Symbol.t
+val conv2d : Symbol.t
+val max_pool : Symbol.t
+val avg_pool : Symbol.t
+val global_avg_pool : Symbol.t
+val flatten : Symbol.t
+
+(** Attention head layout: [SplitHeads] reshapes [b; s; d] to
+    [b; heads; s; d/heads] (attribute ["heads"]); [MergeHeads] inverts it.
+    Class ["layout"]. *)
+val split_heads : Symbol.t
+
+val merge_heads : Symbol.t
+
+(** Library kernels (rewrite targets, class ["fused_kernel"]): *)
+
+val fmha : Symbol.t
+val gemm_epilog_relu : Symbol.t
+val gemm_epilog_gelu : Symbol.t
+val gemm_bias_epilog_relu : Symbol.t
+val gemm_bias_epilog_gelu : Symbol.t
+val conv_bias_relu : Symbol.t
+val cublas_mm_xyt_f32 : Symbol.t
+val cublas_mm_xyt_i8 : Symbol.t
+
+(** The scale constant used by GELU's [x / sqrt 2]; shared between the
+    model generators and the GELU pattern so their interned literal symbols
+    coincide. *)
+val sqrt2 : float
+
+(** {1 Guard shorthands} *)
+
+val g_rank : string -> int -> Pypm_pattern.Guard.t
+val g_scalar : string -> Pypm_pattern.Guard.t
+val g_eltype : string -> Dtype.t -> Pypm_pattern.Guard.t
+
+(** [g_fclass F cls] constrains a function variable's operator class, the
+    [opclass(...)] form of figure 14. *)
+val g_fclass : string -> string -> Pypm_pattern.Guard.t

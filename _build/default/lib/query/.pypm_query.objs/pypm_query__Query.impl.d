@@ -1,0 +1,1 @@
+lib/query/query.ml: Attrs Char Dtype Format Graph Guard Hashtbl List Option Pattern Pypm_graph Pypm_pattern Pypm_tensor Pypm_term Shape Signature String Subst Symbol Term Term_view Ty

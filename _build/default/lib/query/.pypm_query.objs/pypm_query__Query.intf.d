@@ -1,0 +1,1 @@
+lib/query/query.mli: Format Graph Pypm_graph Pypm_pattern Pypm_term Subst Symbol Term_view

@@ -1,0 +1,369 @@
+open Pypm_term
+open Pypm_tensor
+open Pypm_graph
+open Pypm_pattern
+module P = Pattern
+
+type env = {
+  nodes : Graph.node Symbol.Map.t;
+  ops : Symbol.t Symbol.Map.t;
+}
+
+let empty_env = { nodes = Symbol.Map.empty; ops = Symbol.Map.empty }
+
+type result = Sat of env | Unsat | Unsupported of string
+
+exception Unsupported_exc of string
+
+(* ------------------------------------------------------------------ *)
+(* Guard evaluation over node assignments                              *)
+(*                                                                     *)
+(* Same attribute vocabulary as the term view, but structural size /   *)
+(* depth count *distinct reachable nodes* — the database view sees     *)
+(* sharing, the tree view does not.                                    *)
+(* ------------------------------------------------------------------ *)
+
+let reachable_count (n : Graph.node) =
+  let seen = Hashtbl.create 16 in
+  let rec go n =
+    if not (Hashtbl.mem seen n.Graph.id) then (
+      Hashtbl.replace seen n.Graph.id ();
+      List.iter go n.Graph.inputs)
+  in
+  go n;
+  Hashtbl.length seen
+
+let rec dag_depth (n : Graph.node) =
+  1 + List.fold_left (fun acc i -> max acc (dag_depth i)) 0 n.Graph.inputs
+
+let node_attr sg attr (n : Graph.node) =
+  match attr with
+  | "size" -> Some (reachable_count n)
+  | "depth" -> Some (dag_depth n)
+  | "op_class" ->
+      Option.map Attrs.class_code (Signature.op_class sg n.Graph.op)
+  | "value_x1000" -> List.assoc_opt "value_x1000" n.Graph.attrs
+  | _ -> (
+      match n.Graph.ty with
+      | None -> None
+      | Some ty -> (
+          match attr with
+          | "rank" -> Some (Ty.rank ty)
+          | "eltType" -> Some (Dtype.code ty.Ty.dtype)
+          | "nelems" -> Some (Ty.nelems ty)
+          | "bytes" -> Some (Ty.size_bytes ty)
+          | _ ->
+              if
+                String.length attr = 4
+                && String.sub attr 0 3 = "dim"
+                && attr.[3] >= '0'
+                && attr.[3] <= '7'
+              then Shape.dim (Char.code attr.[3] - Char.code '0') ty.Ty.shape
+              else None))
+
+let sym_attr sg attr s =
+  match Signature.find sg s with
+  | None -> None
+  | Some d -> (
+      match attr with
+      | "arity" -> Some d.Signature.arity
+      | "output_arity" -> Some d.Signature.output_arity
+      | "op_class" -> Some (Attrs.class_code d.Signature.op_class)
+      | _ -> None)
+
+let ( let* ) = Option.bind
+
+let rec eval_expr sg env (e : Guard.expr) =
+  match e with
+  | Guard.Const n -> Some n
+  | Guard.Var_attr (x, a) ->
+      let* n = Symbol.Map.find_opt x env.nodes in
+      node_attr sg a n
+  | Guard.Term_attr (_, _) ->
+      (* closed term attributes do not arise in source patterns *)
+      None
+  | Guard.Fvar_attr (f, a) ->
+      let* s = Symbol.Map.find_opt f env.ops in
+      sym_attr sg a s
+  | Guard.Sym_attr (s, a) -> sym_attr sg a s
+  | Guard.Add (a, b) ->
+      let* x = eval_expr sg env a in
+      let* y = eval_expr sg env b in
+      Some (x + y)
+  | Guard.Sub (a, b) ->
+      let* x = eval_expr sg env a in
+      let* y = eval_expr sg env b in
+      Some (x - y)
+  | Guard.Mul (a, b) ->
+      let* x = eval_expr sg env a in
+      let* y = eval_expr sg env b in
+      Some (x * y)
+  | Guard.Mod (a, b) ->
+      let* x = eval_expr sg env a in
+      let* y = eval_expr sg env b in
+      if y = 0 then None else Some (x mod y)
+
+let rec eval_guard sg env (g : Guard.t) =
+  let cmp op a b =
+    let* x = eval_expr sg env a in
+    let* y = eval_expr sg env b in
+    Some (op x y)
+  in
+  match g with
+  | Guard.True -> Some true
+  | Guard.False -> Some false
+  | Guard.Eq (a, b) -> cmp ( = ) a b
+  | Guard.Ne (a, b) -> cmp ( <> ) a b
+  | Guard.Lt (a, b) -> cmp ( < ) a b
+  | Guard.Le (a, b) -> cmp ( <= ) a b
+  | Guard.And (a, b) -> (
+      match (eval_guard sg env a, eval_guard sg env b) with
+      | Some x, Some y -> Some (x && y)
+      | _ -> None)
+  | Guard.Or (a, b) -> (
+      match (eval_guard sg env a, eval_guard sg env b) with
+      | Some x, Some y -> Some (x || y)
+      | _ -> None)
+  | Guard.Not a ->
+      let* x = eval_guard sg env a in
+      Some (not x)
+
+(* ------------------------------------------------------------------ *)
+(* Query solving                                                       *)
+(* ------------------------------------------------------------------ *)
+
+(* A recorded value of a mu formal in the fixpoint relation. [Bany] marks a
+   formal the body never constrained (any value satisfies it). *)
+type binding = Bnode of int | Bop of Symbol.t | Bany
+
+type mu_info = {
+  mi_formals : Subst.var list;
+  mi_body : P.t;
+  mutable mi_rel : (int * binding list) list; (* insertion order *)
+  mutable mi_done : bool;
+}
+
+(* The one engine behind [solve] and [solve_rec]:
+   [mus = None]  -> recursion is Unsupported (the plain database view);
+   [mus = Some tbl] -> mus denote least-fixpoint relations. *)
+let solve_gen ?mus g p ~root =
+  let sg = Graph.signature g in
+  let node_table = Hashtbl.create 64 in
+  List.iter
+    (fun (n : Graph.node) -> Hashtbl.replace node_table n.Graph.id n)
+    (Graph.live_nodes g);
+  let lookup_node id = Hashtbl.find_opt node_table id in
+  (* unify one relation value against an outer variable name *)
+  let unify_binding env y v =
+    match v with
+    | Bany -> Some env
+    | Bnode id -> (
+        match Symbol.Map.find_opt y env.nodes with
+        | Some m -> if m.Graph.id = id then Some env else None
+        | None -> (
+            match lookup_node id with
+            | Some n -> Some { env with nodes = Symbol.Map.add y n env.nodes }
+            | None -> None))
+    | Bop s -> (
+        match Symbol.Map.find_opt y env.ops with
+        | Some s' -> if Symbol.equal s s' then Some env else None
+        | None -> Some { env with ops = Symbol.Map.add y s env.ops })
+  in
+  let rec unify_bindings env ys vs =
+    match (ys, vs) with
+    | [], [] -> Some env
+    | y :: ys, v :: vs -> (
+        match unify_binding env y v with
+        | Some env -> unify_bindings env ys vs
+        | None -> None)
+    | _ -> None
+  in
+  let binding_of env f =
+    match Symbol.Map.find_opt f env.nodes with
+    | Some n -> Bnode n.Graph.id
+    | None -> (
+        match Symbol.Map.find_opt f env.ops with
+        | Some s -> Bop s
+        | None -> Bany)
+  in
+  (* [go] is shared; [sk] decides first-solution vs all-solutions. *)
+  let rec go (p : P.t) (n : Graph.node) env (sk : env -> env option) :
+      env option =
+    match p with
+    | P.Var x -> (
+        match Symbol.Map.find_opt x env.nodes with
+        | Some m -> if m.Graph.id = n.Graph.id then sk env else None
+        | None -> sk { env with nodes = Symbol.Map.add x n env.nodes })
+    | P.App (f, ps) ->
+        if
+          Symbol.equal f n.Graph.op
+          && List.length ps = List.length n.Graph.inputs
+        then go_args ps n.Graph.inputs env sk
+        else None
+    | P.Fapp (fv, ps) ->
+        if List.length ps <> List.length n.Graph.inputs then None
+        else
+          let continue_ env = go_args ps n.Graph.inputs env sk in
+          (match Symbol.Map.find_opt fv env.ops with
+          | Some s ->
+              if Symbol.equal s n.Graph.op then continue_ env else None
+          | None ->
+              continue_
+                { env with ops = Symbol.Map.add fv n.Graph.op env.ops })
+    | P.Alt (a, b) -> (
+        match go a n env sk with Some r -> Some r | None -> go b n env sk)
+    | P.Guarded (a, gd) ->
+        go a n env (fun env ->
+            if eval_guard sg env gd = Some true then sk env else None)
+    | P.Exists (x, a) ->
+        go a n env (fun env ->
+            if Symbol.Map.mem x env.nodes then sk env else None)
+    | P.Exists_f (f, a) ->
+        go a n env (fun env ->
+            if Symbol.Map.mem f env.ops then sk env else None)
+    | P.Constr (a, b, x) ->
+        go a n env (fun env ->
+            match Symbol.Map.find_opt x env.nodes with
+            | Some m -> go b m env sk
+            | None -> None)
+    | P.Mu (m, ys) -> (
+        match mus with
+        | None ->
+            raise
+              (Unsupported_exc
+                 "recursive patterns are recursive queries (Datalog \
+                  fixpoints); use solve_rec")
+        | Some tbl ->
+            let mi = ensure_mu tbl m in
+            List.fold_left
+              (fun acc (r, vals) ->
+                match acc with
+                | Some _ -> acc
+                | None ->
+                    if r = n.Graph.id then
+                      match unify_bindings env ys vals with
+                      | Some env -> sk env
+                      | None -> None
+                    else None)
+              None mi.mi_rel)
+    | P.Call (pn, ys) -> (
+        match mus with
+        | None ->
+            raise
+              (Unsupported_exc
+                 "recursive patterns are recursive queries (Datalog \
+                  fixpoints); use solve_rec")
+        | Some tbl -> (
+            match Hashtbl.find_opt tbl pn with
+            | None ->
+                raise (Unsupported_exc ("free recursive call to " ^ pn))
+            | Some mi ->
+                List.fold_left
+                  (fun acc (r, vals) ->
+                    match acc with
+                    | Some _ -> acc
+                    | None ->
+                        if r = n.Graph.id then
+                          match unify_bindings env ys vals with
+                          | Some env -> sk env
+                          | None -> None
+                        else None)
+                  None mi.mi_rel))
+  and go_args ps ns env sk =
+    match (ps, ns) with
+    | [], [] -> sk env
+    | p :: ps, n :: ns -> go p n env (fun env -> go_args ps ns env sk)
+    | _ -> None
+  (* Least fixpoint: naively re-derive over every node until the relation
+     stops growing. The domain (nodes x finite bindings) is finite, so this
+     terminates on every pattern, including mu P(x). P(x). *)
+  and ensure_mu tbl (m : P.mu) =
+    match Hashtbl.find_opt tbl m.P.pname with
+    | Some mi when mi.mi_done -> mi
+    | Some mi -> mi (* inside its own fixpoint: use the current relation *)
+    | None ->
+        let mi =
+          {
+            mi_formals = m.P.formals;
+            mi_body = m.P.body;
+            mi_rel = [];
+            mi_done = false;
+          }
+        in
+        Hashtbl.replace tbl m.P.pname mi;
+        let changed = ref true in
+        while !changed do
+          changed := false;
+          List.iter
+            (fun (n : Graph.node) ->
+              (* all-solutions over the body at n: record every derived
+                 formal assignment *)
+              ignore
+                (go mi.mi_body n empty_env (fun env ->
+                     let entry =
+                       (n.Graph.id, List.map (binding_of env) mi.mi_formals)
+                     in
+                     if not (List.mem entry mi.mi_rel) then (
+                       mi.mi_rel <- mi.mi_rel @ [ entry ];
+                       changed := true);
+                     (* keep searching: never commit *)
+                     None)))
+            (Graph.live_nodes g)
+        done;
+        mi.mi_done <- true;
+        mi
+  in
+  match go p root empty_env Option.some with
+  | Some env -> Sat env
+  | None -> Unsat
+  | exception Unsupported_exc msg -> Unsupported msg
+
+let solve g p ~root = solve_gen g p ~root
+
+let solve_all g p =
+  List.filter_map
+    (fun n ->
+      match solve g p ~root:n with
+      | Sat env -> Some (n, env)
+      | Unsat -> None
+      | Unsupported msg -> raise (Unsupported_exc msg))
+    (Graph.live_nodes g)
+
+let solve_rec g p ~root = solve_gen ~mus:(Hashtbl.create 4) g p ~root
+
+let solve_rec_all g p =
+  (* share one fixpoint table across roots: the relations depend only on
+     the graph and the mu bodies *)
+  let mus = Hashtbl.create 4 in
+  List.filter_map
+    (fun n ->
+      match solve_gen ~mus g p ~root:n with
+      | Sat env -> Some (n, env)
+      | Unsat -> None
+      | Unsupported msg -> raise (Unsupported_exc msg))
+    (Graph.live_nodes g)
+
+let env_agrees_with_subst view env theta =
+  Symbol.Map.for_all
+    (fun x (n : Graph.node) ->
+      match Subst.find x theta with
+      | None -> true
+      | Some t -> Term.equal t (Term_view.term_of view n))
+    env.nodes
+
+let pp_env ppf env =
+  Format.fprintf ppf "@[<h>{";
+  let first = ref true in
+  Symbol.Map.iter
+    (fun x (n : Graph.node) ->
+      if not !first then Format.fprintf ppf ",@ ";
+      first := false;
+      Format.fprintf ppf "%s |-> %%%d" x n.Graph.id)
+    env.nodes;
+  Symbol.Map.iter
+    (fun f s ->
+      if not !first then Format.fprintf ppf ",@ ";
+      first := false;
+      Format.fprintf ppf "%s |-> %s" f s)
+    env.ops;
+  Format.fprintf ppf "}@]"

@@ -1,0 +1,84 @@
+(** The logic-programming view: patterns as queries over the graph.
+
+    Section 1 of the paper observes that a computation graph can be viewed
+    "as a database of edges between operator nodes, and PyPM patterns as
+    queries", with pattern variables as query variables and a satisfying
+    assignment as a match. This module takes the observation literally: it
+    matches patterns {e directly over graph nodes} instead of over the term
+    view, binding pattern variables to {b node identities}.
+
+    The two views coincide on trees but differ on DAGs with sharing:
+
+    - the {e term} matcher is CSE-insensitive — a nonlinear pattern like
+      [Mul(x, x)] matches [Mul(a, b)] whenever [a] and [b] compute
+      structurally equal values, even if they are distinct nodes;
+    - the {e query} matcher is identity-sensitive — [x] must bind the same
+      node, so [Mul(a, b)] with duplicated-but-distinct subgraphs does
+      {e not} match.
+
+    Query matches therefore form a subset of term matches (property-tested
+    in [test/test_query.ml]); on graphs without duplicate subgraphs the two
+    agree exactly. The query matcher supports the full non-recursive core
+    (alternates, guards, existentials — term and function — and match
+    constraints); recursive patterns correspond to recursive queries
+    (Datalog fixpoints, as the paper notes) and are reported as
+    [Unsupported]. *)
+
+open Pypm_term
+open Pypm_graph
+
+(** A satisfying assignment: pattern variables to nodes, function variables
+    to operator symbols. *)
+type env = {
+  nodes : Graph.node Symbol.Map.t;
+  ops : Symbol.t Symbol.Map.t;
+}
+
+val empty_env : env
+
+type result =
+  | Sat of env
+  | Unsat
+  | Unsupported of string  (** recursive patterns: Datalog is future work *)
+
+(** [solve g p ~root] decides whether the subgraph rooted at [root]
+    satisfies the query [p], left-eager like the matcher. Guards are
+    evaluated against node tensor types and attributes. *)
+val solve : Graph.t -> Pypm_pattern.Pattern.t -> root:Graph.node -> result
+
+(** [solve_all g p] lists the satisfying roots with their assignments, in
+    topological node order. *)
+val solve_all :
+  Graph.t -> Pypm_pattern.Pattern.t -> (Graph.node * env) list
+
+(** {1 Recursive queries}
+
+    The paper's correspondence "recursive patterns correspond to recursive
+    queries" made literal: a [mu] denotes a relation over (root node,
+    formal assignments) computed as a Datalog-style least fixpoint by
+    naive iteration over the finite node set. Because the domain is
+    finite, evaluation {e always terminates} — including on
+    [mu P(x). P(x)], where the backtracking machine diverges and the least
+    fixpoint is simply empty (no derivation exists, so nothing matches).
+
+    Supported: [mu]s whose recursive-call arguments are variables (what
+    the elaborator emits). [solve_rec] falls back to the same behaviour as
+    {!solve} on non-recursive constructs. *)
+
+(** [solve_rec g p ~root] like {!solve}, with recursive patterns evaluated
+    by fixpoint. Never diverges. *)
+val solve_rec :
+  Graph.t -> Pypm_pattern.Pattern.t -> root:Graph.node -> result
+
+(** [solve_rec_all g p] lists satisfying roots under fixpoint semantics. *)
+val solve_rec_all :
+  Graph.t -> Pypm_pattern.Pattern.t -> (Graph.node * env) list
+
+(** [env_agrees_with_subst view env theta] checks that a query assignment
+    corresponds to a term-matcher substitution: every variable bound in
+    both maps to the node whose term is the substitution's binding. Used by
+    the equivalence tests. *)
+val env_agrees_with_subst :
+  Term_view.t -> env -> Subst.t -> bool
+
+val pp_env : Format.formatter -> env -> unit

@@ -1,0 +1,1 @@
+lib/semantics/declarative.ml: Enumerate Fsubst Guard List Pattern Pypm_pattern Pypm_term Seq Subst Symbol Term

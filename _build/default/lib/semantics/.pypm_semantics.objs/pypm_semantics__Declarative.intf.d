@@ -1,0 +1,1 @@
+lib/semantics/declarative.mli: Fsubst Pypm_pattern Pypm_term Subst Term

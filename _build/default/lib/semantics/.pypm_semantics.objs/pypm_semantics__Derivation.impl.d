@@ -1,0 +1,1 @@
+lib/semantics/derivation.ml: Format Fsubst Guard List Option Pattern Pypm_pattern Pypm_term Seq String Subst Symbol Term

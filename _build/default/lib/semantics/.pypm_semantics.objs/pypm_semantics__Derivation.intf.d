@@ -1,0 +1,1 @@
+lib/semantics/derivation.mli: Format Fsubst Guard Pattern Pypm_pattern Pypm_term Subst Term

@@ -1,0 +1,1 @@
+lib/semantics/enumerate.ml: Fsubst Guard List Pattern Pypm_pattern Pypm_term Subst Symbol Term

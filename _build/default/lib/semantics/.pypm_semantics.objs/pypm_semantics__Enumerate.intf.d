@@ -1,0 +1,1 @@
+lib/semantics/enumerate.mli: Fsubst Guard Pattern Pypm_pattern Pypm_term Subst Term

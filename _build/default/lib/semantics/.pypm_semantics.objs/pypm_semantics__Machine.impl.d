@@ -1,0 +1,1 @@
+lib/semantics/machine.ml: Format Fsubst Guard List Outcome Pattern Pypm_pattern Pypm_term Subst Symbol Term

@@ -1,0 +1,1 @@
+lib/semantics/machine.mli: Format Fsubst Guard Outcome Pattern Pypm_pattern Pypm_term Subst Term

@@ -1,0 +1,1 @@
+lib/semantics/matcher.mli: Fsubst Guard Outcome Pattern Pypm_pattern Pypm_term Subst Term

@@ -1,0 +1,1 @@
+lib/semantics/outcome.ml: Format Fsubst Pypm_term Subst

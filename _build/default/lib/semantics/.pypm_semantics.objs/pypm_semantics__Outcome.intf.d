@@ -1,0 +1,1 @@
+lib/semantics/outcome.mli: Format Fsubst Pypm_term Subst

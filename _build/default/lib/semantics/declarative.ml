@@ -1,0 +1,75 @@
+open Pypm_term
+open Pypm_pattern
+
+let check ~interp ?(fuel = 10_000) p theta phi t =
+  let remaining = ref fuel in
+  let rec go (p : Pattern.t) theta phi t =
+    decr remaining;
+    if !remaining < 0 then false
+    else
+      match p with
+      (* P-Var *)
+      | Var x -> (
+          match Subst.find x theta with
+          | Some t' -> Term.equal t t'
+          | None -> false)
+      (* P-Fun *)
+      | App (f, ps) ->
+          Symbol.equal f (Term.head t)
+          && List.length ps = List.length (Term.args t)
+          && List.for_all2 (fun p t -> go p theta phi t) ps (Term.args t)
+      (* P-Fun-Var *)
+      | Fapp (fv, ps) -> (
+          match Fsubst.find fv phi with
+          | Some f ->
+              Symbol.equal f (Term.head t)
+              && List.length ps = List.length (Term.args t)
+              && List.for_all2 (fun p t -> go p theta phi t) ps (Term.args t)
+          | None -> false)
+      (* P-Alt-1 / P-Alt-2 *)
+      | Alt (p1, p2) -> go p1 theta phi t || go p2 theta phi t
+      (* P-Guard *)
+      | Guarded (p, g) ->
+          go p theta phi t && Guard.eval interp theta phi g = Some true
+      (* P-Exists *)
+      | Exists (x, body) -> (
+          match Subst.find x theta with
+          | Some _ ->
+              (* theta U {x |-> t'} forces t' = theta(x) *)
+              go body theta phi t
+          | None ->
+              if not (Symbol.Set.mem x (Pattern.free_vars body)) then
+                (* any invented t' works and is never consulted *)
+                go body theta phi t
+              else
+                (* search candidates pinned by term-position occurrences *)
+                Seq.exists
+                  (fun t' -> go body (Subst.add x t' theta) phi t)
+                  (Term.subterms t))
+      (* P-Exists-F (extension): operator candidates come from the term *)
+      | Exists_f (f, body) -> (
+          match Fsubst.find f phi with
+          | Some _ -> go body theta phi t
+          | None ->
+              if not (Symbol.Set.mem f (Pattern.free_fvars body)) then
+                go body theta phi t
+              else
+                Symbol.Set.exists
+                  (fun s -> go body theta (Fsubst.add f s phi) t)
+                  (Term.symbols t))
+      (* P-MatchConstr *)
+      | Constr (p, p', x) -> (
+          go p theta phi t
+          &&
+          match Subst.find x theta with
+          | Some t' -> go p' theta phi t'
+          | None -> false)
+      (* P-Mu *)
+      | Mu (m, ys) -> go (Pattern.unfold m ys) theta phi t
+      | Call _ -> false
+  in
+  go p theta phi t
+
+let holds ~interp ?fuel p t =
+  let r = Enumerate.all ~interp ?fuel p t in
+  match r.witnesses with _ :: _ -> true | [] -> false

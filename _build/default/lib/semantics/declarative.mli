@@ -1,0 +1,46 @@
+(** Declarative semantics: the judgment [p @ <theta, phi> ~= t].
+
+    A direct, executable transcription of the inference rules of figure 16.
+    The judgment reads "the term [t] matches the pattern [p] with (term)
+    substitution [theta] and function substitution [phi]"; [theta]/[phi]
+    form the witness of the match.
+
+    Two points require care when executing the rules:
+
+    - {b P-Exists} invents a term [t'] out of thin air. When the existential
+      variable is already bound by [theta], the union [theta U {x |-> t'}]
+      forces [t' = theta(x)] and the rule is decidable. When it is unbound,
+      we search: if [x] does not occur in the body, any [t'] works; if it
+      does, every matching [t'] is pinned by an occurrence of [x] at a term
+      position, so searching the subterms of [t] is complete for patterns
+      whose existential variables occur in term positions (the class the
+      frontend emits). [check] is exact on witnesses produced by the
+      machine, which always binds existentials it reports.
+
+    - {b P-Mu} unfolds the recursion, which may diverge; [fuel] bounds the
+      number of unfoldings and [check] returns [false] when it is
+      exhausted (a fuel-bounded derivation search). *)
+
+open Pypm_term
+
+(** [check ~interp ?fuel p theta phi t] decides the judgment
+    [p @ <theta, phi> ~= t] by derivation search. [fuel] (default 10_000)
+    bounds mu-unfoldings. *)
+val check :
+  interp:Pypm_pattern.Guard.interp ->
+  ?fuel:int ->
+  Pypm_pattern.Pattern.t ->
+  Subst.t ->
+  Fsubst.t ->
+  Term.t ->
+  bool
+
+(** [holds ~interp ?fuel p t] is [exists theta phi. p @ <theta,phi> ~= t],
+    decided by the complete (bounded) witness search of {!Enumerate}-like
+    exploration over the rules. *)
+val holds :
+  interp:Pypm_pattern.Guard.interp ->
+  ?fuel:int ->
+  Pypm_pattern.Pattern.t ->
+  Term.t ->
+  bool

@@ -1,0 +1,219 @@
+open Pypm_term
+open Pypm_pattern
+
+type rule =
+  | P_var
+  | P_fun
+  | P_alt_1
+  | P_alt_2
+  | P_guard
+  | P_exists
+  | P_exists_f
+  | P_match_constr
+  | P_fun_var
+  | P_mu
+
+let rule_name = function
+  | P_var -> "P-Var"
+  | P_fun -> "P-Fun"
+  | P_alt_1 -> "P-Alt-1"
+  | P_alt_2 -> "P-Alt-2"
+  | P_guard -> "P-Guard"
+  | P_exists -> "P-Exists"
+  | P_exists_f -> "P-Exists-F"
+  | P_match_constr -> "P-MatchConstr"
+  | P_fun_var -> "P-Fun-Var"
+  | P_mu -> "P-Mu"
+
+type t = {
+  rule : rule;
+  pattern : Pattern.t;
+  theta : Subst.t;
+  phi : Fsubst.t;
+  term : Term.t;
+  premises : t list;
+}
+
+let ( let* ) = Option.bind
+
+let derive ~interp ?(fuel = 10_000) p theta phi t =
+  let remaining = ref fuel in
+  let rec go (p : Pattern.t) theta t : t option =
+    decr remaining;
+    if !remaining < 0 then None
+    else
+      let node rule premises = Some { rule; pattern = p; theta; phi; term = t; premises } in
+      match p with
+      | Var x ->
+          let* t' = Subst.find x theta in
+          if Term.equal t t' then node P_var [] else None
+      | App (f, ps) ->
+          if
+            Symbol.equal f (Term.head t)
+            && List.length ps = List.length (Term.args t)
+          then
+            let* premises = go_args ps (Term.args t) theta in
+            node P_fun premises
+          else None
+      | Fapp (fv, ps) ->
+          let* f = Fsubst.find fv phi in
+          if
+            Symbol.equal f (Term.head t)
+            && List.length ps = List.length (Term.args t)
+          then
+            let* premises = go_args ps (Term.args t) theta in
+            node P_fun_var premises
+          else None
+      | Alt (p1, p2) -> (
+          match go p1 theta t with
+          | Some d -> node P_alt_1 [ d ]
+          | None ->
+              let* d = go p2 theta t in
+              node P_alt_2 [ d ])
+      | Guarded (body, g) ->
+          let* d = go body theta t in
+          if Guard.eval interp theta phi g = Some true then node P_guard [ d ]
+          else None
+      | Exists (x, body) -> (
+          match Subst.find x theta with
+          | Some _ ->
+              let* d = go body theta t in
+              node P_exists [ d ]
+          | None ->
+              if not (Symbol.Set.mem x (Pattern.free_vars body)) then
+                let* d = go body theta t in
+                node P_exists [ d ]
+              else
+                Seq.fold_left
+                  (fun acc t' ->
+                    match acc with
+                    | Some _ -> acc
+                    | None -> (
+                        match go body (Subst.add x t' theta) t with
+                        | Some d -> node P_exists [ d ]
+                        | None -> None))
+                  None (Term.subterms t))
+      | Exists_f (f, body) -> (
+          match Fsubst.find f phi with
+          | Some _ ->
+              let* d = go body theta t in
+              node P_exists_f [ d ]
+          | None ->
+              if not (Symbol.Set.mem f (Pattern.free_fvars body)) then
+                let* d = go body theta t in
+                node P_exists_f [ d ]
+              else None)
+      | Constr (body, p', x) ->
+          let* d1 = go body theta t in
+          let* t' = Subst.find x theta in
+          let* d2 = go p' theta t' in
+          node P_match_constr [ d1; d2 ]
+      | Mu (m, ys) ->
+          let* d = go (Pattern.unfold m ys) theta t in
+          node P_mu [ d ]
+      | Call _ -> None
+  and go_args ps ts theta =
+    match (ps, ts) with
+    | [], [] -> Some []
+    | p :: ps, t :: ts ->
+        let* d = go p theta t in
+        let* ds = go_args ps ts theta in
+        Some (d :: ds)
+    | _ -> None
+  in
+  go p theta t
+
+(* Validate a single inference step locally, then recurse into premises. *)
+let validate ~interp d =
+  let rec ok d =
+    let same_judgment_env (prem : t) =
+      Subst.equal prem.theta d.theta && Fsubst.equal prem.phi d.phi
+    in
+    let step_ok =
+      match (d.rule, d.pattern, d.premises) with
+      | P_var, Var x, [] -> (
+          match Subst.find x d.theta with
+          | Some t' -> Term.equal t' d.term
+          | None -> false)
+      | P_fun, App (f, ps), prems ->
+          Symbol.equal f (Term.head d.term)
+          && List.length ps = List.length (Term.args d.term)
+          && List.length prems = List.length ps
+          && List.for_all2
+               (fun (p, t) prem ->
+                 same_judgment_env prem
+                 && Pattern.equal prem.pattern p
+                 && Term.equal prem.term t)
+               (List.combine ps (Term.args d.term))
+               prems
+      | P_fun_var, Fapp (fv, ps), prems -> (
+          match Fsubst.find fv d.phi with
+          | Some f ->
+              Symbol.equal f (Term.head d.term)
+              && List.length ps = List.length (Term.args d.term)
+              && List.length prems = List.length ps
+              && List.for_all2
+                   (fun (p, t) prem ->
+                     same_judgment_env prem
+                     && Pattern.equal prem.pattern p
+                     && Term.equal prem.term t)
+                   (List.combine ps (Term.args d.term))
+                   prems
+          | None -> false)
+      | P_alt_1, Alt (p, _), [ prem ] ->
+          same_judgment_env prem
+          && Pattern.equal prem.pattern p
+          && Term.equal prem.term d.term
+      | P_alt_2, Alt (_, p'), [ prem ] ->
+          same_judgment_env prem
+          && Pattern.equal prem.pattern p'
+          && Term.equal prem.term d.term
+      | P_guard, Guarded (p, g), [ prem ] ->
+          same_judgment_env prem
+          && Pattern.equal prem.pattern p
+          && Term.equal prem.term d.term
+          && Guard.eval interp d.theta d.phi g = Some true
+      | P_exists, Exists (x, body), [ prem ] ->
+          (* premise theta must be d.theta possibly extended at x only *)
+          Pattern.equal prem.pattern body
+          && Term.equal prem.term d.term
+          && Fsubst.equal prem.phi d.phi
+          && Subst.agree d.theta prem.theta
+          && List.for_all
+               (fun v -> String.equal v x || Subst.mem v d.theta)
+               (Subst.domain prem.theta)
+          && Subst.subset d.theta prem.theta
+      | P_exists_f, Exists_f (f, body), [ prem ] ->
+          Pattern.equal prem.pattern body
+          && Term.equal prem.term d.term
+          && Subst.equal prem.theta d.theta
+          && Fsubst.subset d.phi prem.phi
+          && List.for_all
+               (fun v -> String.equal v f || Fsubst.mem v d.phi)
+               (Fsubst.domain prem.phi)
+      | P_match_constr, Constr (p, p', x), [ prem1; prem2 ] -> (
+          same_judgment_env prem1 && same_judgment_env prem2
+          && Pattern.equal prem1.pattern p
+          && Term.equal prem1.term d.term
+          && Pattern.equal prem2.pattern p'
+          &&
+          match Subst.find x d.theta with
+          | Some t' -> Term.equal prem2.term t'
+          | None -> false)
+      | P_mu, Mu (m, ys), [ prem ] ->
+          same_judgment_env prem
+          && Pattern.equal prem.pattern (Pattern.unfold m ys)
+          && Term.equal prem.term d.term
+      | _ -> false
+    in
+    step_ok && List.for_all ok d.premises
+  in
+  ok d
+
+let rec size d = 1 + List.fold_left (fun n p -> n + size p) 0 d.premises
+
+let rec pp ppf d =
+  Format.fprintf ppf "@[<v 2>%s: %a @@ %a ~= %a" (rule_name d.rule) Pattern.pp
+    d.pattern Subst.pp d.theta Term.pp d.term;
+  List.iter (fun p -> Format.fprintf ppf "@,%a" pp p) d.premises;
+  Format.fprintf ppf "@]"

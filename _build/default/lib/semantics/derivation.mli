@@ -1,0 +1,61 @@
+(** Derivation trees: proof objects for the declarative semantics.
+
+    The paper frames the declarative semantics as "a proof system for
+    pattern matching: given a witness, verify that the formula is
+    satisfied". This module makes that literal: a {!t} is a derivation tree
+    whose nodes are instances of the rules of figure 16, {!derive} performs
+    proof search, and {!validate} is an independent proof {e checker} that
+    verifies each inference step locally. The pair plays the role the Coq
+    mechanization plays in the paper: [validate (derive ...)] ensures a
+    match is backed by an actual derivation, not just a boolean. *)
+
+open Pypm_term
+open Pypm_pattern
+
+type rule =
+  | P_var
+  | P_fun
+  | P_alt_1
+  | P_alt_2
+  | P_guard
+  | P_exists
+  | P_exists_f
+  | P_match_constr
+  | P_fun_var
+  | P_mu
+
+val rule_name : rule -> string
+
+(** A node asserts the judgment [pattern @ <theta, phi> ~= term] by [rule]
+    from [premises]. *)
+type t = {
+  rule : rule;
+  pattern : Pattern.t;
+  theta : Subst.t;
+  phi : Fsubst.t;
+  term : Term.t;
+  premises : t list;
+}
+
+(** [derive ~interp ?fuel p theta phi t] searches for a derivation of
+    [p @ <theta, phi> ~= t]. Agrees with {!Declarative.check} (also
+    property-tested). *)
+val derive :
+  interp:Guard.interp ->
+  ?fuel:int ->
+  Pattern.t ->
+  Subst.t ->
+  Fsubst.t ->
+  Term.t ->
+  t option
+
+(** [validate ~interp d] checks every inference step of [d]: each node's
+    conclusion must follow from its premises by its claimed rule, including
+    side conditions (substitution lookups, guard evaluation, mu
+    unfolding). *)
+val validate : interp:Guard.interp -> t -> bool
+
+(** Number of rule instances in the tree. *)
+val size : t -> int
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,99 @@
+open Pypm_term
+open Pypm_pattern
+
+type result = {
+  witnesses : (Subst.t * Fsubst.t) list;
+  complete : bool;
+}
+
+exception Out_of_fuel_exc
+
+let all ~interp ?(fuel = 1_000_000) p t =
+  let remaining = ref fuel in
+  let complete = ref true in
+  let acc = ref [] in
+  let spend () =
+    decr remaining;
+    if !remaining < 0 then raise Out_of_fuel_exc
+  in
+  (* The continuation returns unit; to collect every witness we never
+     "commit": each success is recorded and the search keeps backtracking. *)
+  let rec go p t theta phi (sk : Subst.t -> Fsubst.t -> unit) : unit =
+    spend ();
+    match (p : Pattern.t) with
+    | Var x -> (
+        match Subst.bind x t theta with
+        | Ok theta -> sk theta phi
+        | Error (`Conflict _) -> ())
+    | App (f, ps) ->
+        if
+          Symbol.equal f (Term.head t)
+          && List.length ps = List.length (Term.args t)
+        then go_args ps (Term.args t) theta phi sk
+    | Fapp (fv, ps) -> (
+        let f = Term.head t and ts = Term.args t in
+        if List.length ps = List.length ts then
+          match Fsubst.bind fv f phi with
+          | Ok phi -> go_args ps ts theta phi sk
+          | Error (`Conflict _) -> ())
+    | Alt (p1, p2) ->
+        go p1 t theta phi sk;
+        go p2 t theta phi sk
+    | Guarded (p, g) ->
+        go p t theta phi (fun theta phi ->
+            match Guard.eval interp theta phi g with
+            | Some true -> sk theta phi
+            | Some false -> ()
+            | None ->
+                (* Cannot evaluate: there may exist an invented binding for
+                   an unbound variable making the guard true. *)
+                complete := false)
+    | Exists (x, p) ->
+        go p t theta phi (fun theta phi ->
+            if Subst.mem x theta then sk theta phi
+            else
+              (* x is unconstrained by the body: declaratively, any term
+                 t' witnesses P-Exists. Report the witness without the
+                 irrelevant binding. *)
+              sk theta phi)
+    | Exists_f (f, p) ->
+        go p t theta phi (fun theta phi ->
+            if Fsubst.mem f phi then sk theta phi
+            else
+              (* F unconstrained by the body: any operator witnesses it *)
+              sk theta phi)
+    | Constr (p, p', x) ->
+        go p t theta phi (fun theta phi ->
+            match Subst.find x theta with
+            | Some t' -> go p' t' theta phi sk
+            | None ->
+                (* Would need to invent theta(x). *)
+                complete := false)
+    | Mu (m, ys) -> go (Pattern.unfold m ys) t theta phi sk
+    | Call _ -> complete := false
+  and go_args ps ts theta phi sk =
+    match (ps, ts) with
+    | [], [] -> sk theta phi
+    | p :: ps, t :: ts ->
+        go p t theta phi (fun theta phi -> go_args ps ts theta phi sk)
+    | _ -> ()
+  in
+  (try go p t Subst.empty Fsubst.empty (fun theta phi ->
+       acc := (theta, phi) :: !acc)
+   with Out_of_fuel_exc -> complete := false);
+  { witnesses = List.rev !acc; complete = !complete }
+
+let count ~interp ?fuel p t = List.length (all ~interp ?fuel p t).witnesses
+
+let dedup ws =
+  let rec uniq seen = function
+    | [] -> List.rev seen
+    | ((theta, phi) as w) :: rest ->
+        if
+          List.exists
+            (fun (t', p') -> Subst.equal theta t' && Fsubst.equal phi p')
+            seen
+        then uniq seen rest
+        else uniq (w :: seen) rest
+  in
+  uniq [] ws

@@ -1,0 +1,36 @@
+(** All-witness enumeration: the completeness oracle.
+
+    The machine and the production matcher are left-eager and return the
+    first witness. This module explores {e both} sides of every alternate
+    and every function-variable choice, producing all witnesses reachable
+    through the algorithmic search space. It is the oracle for the failure
+    half of Theorem 2: if the machine reports [failure], enumeration must
+    find no witness.
+
+    Enumeration is complete relative to the class of patterns whose
+    existential variables are pinned by occurrences (the class the frontend
+    emits, and the class for which the machine itself can report bindings).
+    A branch that would require inventing an unconstrained term to satisfy a
+    match constraint or guard is abandoned and the result is flagged
+    [complete = false]. *)
+
+open Pypm_term
+open Pypm_pattern
+
+type result = {
+  witnesses : (Subst.t * Fsubst.t) list;
+      (** in the machine's exploration order; first element equals the
+          machine's first success when one exists *)
+  complete : bool;
+      (** false when fuel ran out or a branch needed an invented term *)
+}
+
+val all :
+  interp:Guard.interp -> ?fuel:int -> Pattern.t -> Term.t -> result
+
+(** [count ~interp ?fuel p t] is [List.length (all ...).witnesses]. *)
+val count : interp:Guard.interp -> ?fuel:int -> Pattern.t -> Term.t -> int
+
+(** Deduplicate witnesses that are equal as substitution pairs (distinct
+    derivations can yield the same witness). *)
+val dedup : (Subst.t * Fsubst.t) list -> (Subst.t * Fsubst.t) list

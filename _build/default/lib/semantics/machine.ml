@@ -1,0 +1,284 @@
+open Pypm_term
+open Pypm_pattern
+
+type action =
+  | Match of Pattern.t * Term.t
+  | Check_guard of Guard.t
+  | Check_name of Subst.var
+  | Check_fname of Fsubst.fvar
+  | Match_constr of Pattern.t * Subst.var
+
+type frame = { bt_theta : Subst.t; bt_phi : Fsubst.t; bt_k : action list }
+
+type state =
+  | Success of Subst.t * Fsubst.t
+  | Failure
+  | Running of {
+      theta : Subst.t;
+      phi : Fsubst.t;
+      stk : frame list;
+      k : action list;
+    }
+
+type rule =
+  | St_success
+  | St_match_var_bind
+  | St_match_var_bound
+  | St_match_var_conflict
+  | St_match_fun
+  | St_match_fun_conflict
+  | St_match_alt
+  | St_match_guard
+  | St_check_guard_continue
+  | St_check_guard_backtrack
+  | St_check_name
+  | St_match_constr
+  | St_match_exists
+  | St_match_exists_f
+  | St_check_fname
+  | St_match_match_constr
+  | St_match_fun_var_bind
+  | St_match_fun_var_bound
+  | St_match_fun_var_conflict
+  | St_match_mu
+  | St_stuck_recovery
+
+let rule_name = function
+  | St_success -> "ST-Success"
+  | St_match_var_bind -> "ST-Match-Var-Bind"
+  | St_match_var_bound -> "ST-Match-Var-Bound"
+  | St_match_var_conflict -> "ST-Match-Var-Conflict"
+  | St_match_fun -> "ST-Match-Fun"
+  | St_match_fun_conflict -> "ST-Match-Fun-Conflict"
+  | St_match_alt -> "ST-Match-Alt"
+  | St_match_guard -> "ST-Match-Guard"
+  | St_check_guard_continue -> "ST-CheckGuard-Continue"
+  | St_check_guard_backtrack -> "ST-CheckGuard-Backtrack"
+  | St_check_name -> "ST-CheckName"
+  | St_match_constr -> "ST-MatchConstr"
+  | St_match_exists -> "ST-Match-Exists"
+  | St_match_exists_f -> "ST-Match-Exists-F"
+  | St_check_fname -> "ST-CheckFName"
+  | St_match_match_constr -> "ST-Match-Match-Constr"
+  | St_match_fun_var_bind -> "ST-Match-Fun-Var-Bind"
+  | St_match_fun_var_bound -> "ST-Match-Fun-Var-Bound"
+  | St_match_fun_var_conflict -> "ST-Match-Fun-Var-Conflict"
+  | St_match_mu -> "ST-Match-Mu"
+  | St_stuck_recovery -> "ST-Stuck-Recovery"
+
+let init p t =
+  Running
+    { theta = Subst.empty; phi = Fsubst.empty; stk = []; k = [ Match (p, t) ] }
+
+(* The [backtrack] metafunction of figure 17. *)
+let backtrack = function
+  | [] -> Failure
+  | { bt_theta; bt_phi; bt_k } :: stk ->
+      Running { theta = bt_theta; phi = bt_phi; stk; k = bt_k }
+
+let step ~interp ~policy st =
+  match st with
+  | Success _ | Failure -> None
+  | Running { theta; phi; stk; k } -> (
+      let stuck rule_if_recovering =
+        match (policy : Outcome.Policy.t) with
+        | Faithful -> None
+        | Backtrack -> Some (rule_if_recovering, backtrack stk)
+      in
+      match k with
+      (* ST-Success *)
+      | [] -> Some (St_success, Success (theta, phi))
+      | a :: k -> (
+          match a with
+          | Match (Pattern.Var x, t) -> (
+              match Subst.find x theta with
+              | None ->
+                  (* ST-Match-Var-Bind *)
+                  Some
+                    ( St_match_var_bind,
+                      Running { theta = Subst.add x t theta; phi; stk; k } )
+              | Some t' ->
+                  if Term.equal t t' then
+                    (* ST-Match-Var-Bound *)
+                    Some (St_match_var_bound, Running { theta; phi; stk; k })
+                  else
+                    (* ST-Match-Var-Conflict *)
+                    Some (St_match_var_conflict, backtrack stk))
+          | Match (Pattern.App (f, ps), t) ->
+              let g = Term.head t and ts = Term.args t in
+              if Symbol.equal f g && List.length ps = List.length ts then
+                (* ST-Match-Fun: k' = [match(p1,t1), ..., match(pn,tn)] *)
+                let k' = List.map2 (fun p t -> Match (p, t)) ps ts in
+                Some (St_match_fun, Running { theta; phi; stk; k = k' @ k })
+              else
+                (* ST-Match-Fun-Conflict: f <> g or m <> n *)
+                Some (St_match_fun_conflict, backtrack stk)
+          | Match (Pattern.Alt (p, p'), t) ->
+              (* ST-Match-Alt: push (theta, phi, match(p',t)::k), try p *)
+              let stk' =
+                { bt_theta = theta; bt_phi = phi; bt_k = Match (p', t) :: k }
+                :: stk
+              in
+              Some
+                ( St_match_alt,
+                  Running { theta; phi; stk = stk'; k = Match (p, t) :: k } )
+          | Match (Pattern.Guarded (p, g), t) ->
+              (* ST-Match-Guard *)
+              Some
+                ( St_match_guard,
+                  Running
+                    { theta; phi; stk; k = Match (p, t) :: Check_guard g :: k }
+                )
+          | Match (Pattern.Exists (x, p), t) ->
+              (* ST-Match-Exists: k' = checkName(x) :: k *)
+              Some
+                ( St_match_exists,
+                  Running
+                    { theta; phi; stk; k = Match (p, t) :: Check_name x :: k }
+                )
+          | Match (Pattern.Exists_f (f, p), t) ->
+              (* extension: like ST-Match-Exists, in the phi name space *)
+              Some
+                ( St_match_exists_f,
+                  Running
+                    { theta; phi; stk; k = Match (p, t) :: Check_fname f :: k }
+                )
+          | Match (Pattern.Constr (p, p', x), t) ->
+              (* ST-Match-Match-Constr: k' = matchConstr(p', x) :: k *)
+              Some
+                ( St_match_match_constr,
+                  Running
+                    {
+                      theta;
+                      phi;
+                      stk;
+                      k = Match (p, t) :: Match_constr (p', x) :: k;
+                    } )
+          | Match (Pattern.Fapp (fv, ps), t) -> (
+              let f = Term.head t and ts = Term.args t in
+              let arity_ok = List.length ps = List.length ts in
+              match Fsubst.find fv phi with
+              | None ->
+                  if arity_ok then
+                    (* ST-Match-Fun-Var-Bind *)
+                    let k' = List.map2 (fun p t -> Match (p, t)) ps ts in
+                    Some
+                      ( St_match_fun_var_bind,
+                        Running
+                          {
+                            theta;
+                            phi = Fsubst.add fv f phi;
+                            stk;
+                            k = k' @ k;
+                          } )
+                  else
+                    (* arity mismatch branch of ST-Match-Fun-Var-Conflict *)
+                    Some (St_match_fun_var_conflict, backtrack stk)
+              | Some g ->
+                  if Symbol.equal f g && arity_ok then
+                    (* ST-Match-Fun-Var-Bound *)
+                    let k' = List.map2 (fun p t -> Match (p, t)) ps ts in
+                    Some
+                      ( St_match_fun_var_bound,
+                        Running { theta; phi; stk; k = k' @ k } )
+                  else
+                    (* ST-Match-Fun-Var-Conflict *)
+                    Some (St_match_fun_var_conflict, backtrack stk))
+          | Match (Pattern.Mu (m, ys), t) ->
+              (* ST-Match-Mu: one unfolding *)
+              let p' = Pattern.unfold m ys in
+              Some
+                (St_match_mu, Running { theta; phi; stk; k = Match (p', t) :: k })
+          | Match (Pattern.Call (pn, _), _) ->
+              (* A free recursive call is ill-formed; no rule matches it.
+                 Under Backtrack we treat it as an unsatisfiable pattern. *)
+              ignore pn;
+              stuck St_stuck_recovery
+          | Check_guard g -> (
+              match Guard.eval interp theta phi g with
+              | Some true ->
+                  (* ST-CheckGuard-Continue *)
+                  Some (St_check_guard_continue, Running { theta; phi; stk; k })
+              | Some false ->
+                  (* ST-CheckGuard-Backtrack *)
+                  Some (St_check_guard_backtrack, backtrack stk)
+              | None ->
+                  (* The instance g[theta] is not closed or an attribute is
+                     undefined: no rule of the paper applies. *)
+                  stuck St_stuck_recovery)
+          | Check_name x -> (
+              match Subst.find x theta with
+              | Some _ ->
+                  (* ST-CheckName *)
+                  Some (St_check_name, Running { theta; phi; stk; k })
+              | None -> stuck St_stuck_recovery)
+          | Check_fname f -> (
+              match Fsubst.find f phi with
+              | Some _ -> Some (St_check_fname, Running { theta; phi; stk; k })
+              | None -> stuck St_stuck_recovery)
+          | Match_constr (p, x) -> (
+              match Subst.find x theta with
+              | Some t ->
+                  (* ST-MatchConstr *)
+                  Some
+                    ( St_match_constr,
+                      Running { theta; phi; stk; k = Match (p, t) :: k } )
+              | None -> stuck St_stuck_recovery)))
+
+let finish ?fuel_exhausted st : Outcome.t =
+  match st with
+  | Success (theta, phi) -> Matched (theta, phi)
+  | Failure -> No_match
+  | Running _ -> (
+      match fuel_exhausted with Some true -> Out_of_fuel | _ -> Stuck)
+
+let run ~interp ?(policy = Outcome.Policy.Faithful) ?(fuel = 1_000_000) p t =
+  let rec go st fuel =
+    if fuel <= 0 then finish ~fuel_exhausted:true st
+    else
+      match step ~interp ~policy st with
+      | None -> finish st
+      | Some (_, st') -> go st' (fuel - 1)
+  in
+  go (init p t) fuel
+
+let run_trace ~interp ?(policy = Outcome.Policy.Faithful) ?(fuel = 1_000_000) p
+    t =
+  let rec go st fuel acc =
+    if fuel <= 0 then (List.rev acc, finish ~fuel_exhausted:true st)
+    else
+      match step ~interp ~policy st with
+      | None -> (List.rev acc, finish st)
+      | Some (r, st') -> go st' (fuel - 1) (r :: acc)
+  in
+  go (init p t) fuel []
+
+let steps ~interp ?(policy = Outcome.Policy.Faithful) ?(fuel = 1_000_000) p t =
+  let rec go st fuel n =
+    if fuel <= 0 then None
+    else
+      match step ~interp ~policy st with
+      | None -> Some n
+      | Some (_, st') -> go st' (fuel - 1) (n + 1)
+  in
+  go (init p t) fuel 0
+
+let pp_action ppf = function
+  | Match (p, t) -> Format.fprintf ppf "match(%a, %a)" Pattern.pp p Term.pp t
+  | Check_guard g -> Format.fprintf ppf "guard(%a)" Guard.pp g
+  | Check_name x -> Format.fprintf ppf "checkName(%s)" x
+  | Check_fname f -> Format.fprintf ppf "checkFName(%s)" f
+  | Match_constr (p, x) ->
+      Format.fprintf ppf "matchConstr(%a, %s)" Pattern.pp p x
+
+let pp_state ppf = function
+  | Success (theta, phi) ->
+      Format.fprintf ppf "success(%a, %a)" Subst.pp theta Fsubst.pp phi
+  | Failure -> Format.pp_print_string ppf "failure"
+  | Running { theta; phi; stk; k } ->
+      Format.fprintf ppf "@[<v>running(%a, %a,@ stack depth %d,@ k = [%a])@]"
+        Subst.pp theta Fsubst.pp phi (List.length stk)
+        (Format.pp_print_list
+           ~pp_sep:(fun ppf () -> Format.fprintf ppf ";@ ")
+           pp_action)
+        k

@@ -1,0 +1,112 @@
+(** Algorithmic semantics: the backtracking abstract machine.
+
+    A literal transcription of the state transition system of figures 17-18.
+    A machine state is [success(theta, phi)], [failure], or
+    [running(theta, phi, stk, k)] where [k] is a continuation (list) of
+    actions and [stk] is a stack of backtrack frames saving a substitution
+    pair and a continuation at each choice point.
+
+    The module exposes the single-step relation so tests can exercise
+    individual transition rules, a trace runner, and a terminal-state
+    runner. Stepping is deterministic: at most one rule applies to any
+    state, and where the paper's rules have no applicable case the machine
+    either halts ({!Outcome.Policy.Faithful}) or backtracks
+    ({!Outcome.Policy.Backtrack}). *)
+
+open Pypm_term
+open Pypm_pattern
+
+(** Actions: the alphabet of continuations (figure 17, first line). *)
+type action =
+  | Match of Pattern.t * Term.t  (** [match(p, t)] *)
+  | Check_guard of Guard.t  (** [guard(g)] *)
+  | Check_name of Subst.var  (** [checkName(x)] *)
+  | Check_fname of Fsubst.fvar  (** [checkFName(F)] (Exists_f extension) *)
+  | Match_constr of Pattern.t * Subst.var  (** [matchConstr(p, x)] *)
+
+type frame = { bt_theta : Subst.t; bt_phi : Fsubst.t; bt_k : action list }
+
+type state =
+  | Success of Subst.t * Fsubst.t
+  | Failure
+  | Running of {
+      theta : Subst.t;
+      phi : Fsubst.t;
+      stk : frame list;
+      k : action list;
+    }
+
+(** Names of the transition rules, as in figures 17-18, for traces and
+    rule-level tests. *)
+type rule =
+  | St_success
+  | St_match_var_bind
+  | St_match_var_bound
+  | St_match_var_conflict
+  | St_match_fun
+  | St_match_fun_conflict
+  | St_match_alt
+  | St_match_guard
+  | St_check_guard_continue
+  | St_check_guard_backtrack
+  | St_check_name
+  | St_match_constr
+  | St_match_exists
+  | St_match_exists_f
+  | St_check_fname
+  | St_match_match_constr
+  | St_match_fun_var_bind
+  | St_match_fun_var_bound
+  | St_match_fun_var_conflict
+  | St_match_mu
+  | St_stuck_recovery
+      (** only under [Policy.Backtrack]: an unhandled state treated as a
+          failed constraint *)
+
+val rule_name : rule -> string
+
+(** [init p t] is the initial state
+    [running(empty, empty, [], [match(p, t)])]. *)
+val init : Pattern.t -> Term.t -> state
+
+(** [step ~interp ~policy st] performs one transition, returning the rule
+    that fired. [None] when [st] is terminal, or when no rule applies and
+    [policy] is [Faithful]. *)
+val step :
+  interp:Guard.interp ->
+  policy:Outcome.Policy.t ->
+  state ->
+  (rule * state) option
+
+(** [run ~interp ?policy ?fuel p t] iterates [step] from [init p t] to a
+    terminal state. Default [policy] is [Faithful], default [fuel]
+    1_000_000 steps. *)
+val run :
+  interp:Guard.interp ->
+  ?policy:Outcome.Policy.t ->
+  ?fuel:int ->
+  Pattern.t ->
+  Term.t ->
+  Outcome.t
+
+(** Like {!run}, also returning the sequence of rules fired (in order). *)
+val run_trace :
+  interp:Guard.interp ->
+  ?policy:Outcome.Policy.t ->
+  ?fuel:int ->
+  Pattern.t ->
+  Term.t ->
+  rule list * Outcome.t
+
+(** Number of steps taken to reach a terminal state (for benches);
+    [None] when fuel ran out. *)
+val steps :
+  interp:Guard.interp ->
+  ?policy:Outcome.Policy.t ->
+  ?fuel:int ->
+  Pattern.t ->
+  Term.t ->
+  int option
+
+val pp_action : Format.formatter -> action -> unit
+val pp_state : Format.formatter -> state -> unit

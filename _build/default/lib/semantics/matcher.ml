@@ -1,0 +1,92 @@
+open Pypm_term
+open Pypm_pattern
+
+exception Out_of_fuel_exc
+exception Stuck_exc
+
+let visits = ref 0
+let last_visits () = !visits
+
+(* The success continuation returns [Some] to commit to a witness and [None]
+   to ask the current choice point to try its next alternative. Raising
+   [Stuck_exc] aborts the entire search, mirroring the machine halting when
+   no transition rule applies. *)
+let search ~interp ~(policy : Outcome.Policy.t) ~fuel ~theta ~phi p t :
+    (Subst.t * Fsubst.t) option =
+  let remaining = ref fuel in
+  let spend () =
+    incr visits;
+    decr remaining;
+    if !remaining < 0 then raise Out_of_fuel_exc
+  in
+  let stuck () =
+    match policy with Faithful -> raise Stuck_exc | Backtrack -> None
+  in
+  let rec go p t theta phi (sk : Subst.t -> Fsubst.t -> 'a option) : 'a option
+      =
+    spend ();
+    match (p : Pattern.t) with
+    | Var x -> (
+        match Subst.bind x t theta with
+        | Ok theta -> sk theta phi
+        | Error (`Conflict _) -> None)
+    | App (f, ps) ->
+        if Symbol.equal f (Term.head t) then go_args ps (Term.args t) theta phi sk
+        else None
+    | Fapp (fv, ps) -> (
+        let f = Term.head t and ts = Term.args t in
+        if List.length ps <> List.length ts then None
+        else
+          match Fsubst.bind fv f phi with
+          | Ok phi -> go_args ps ts theta phi sk
+          | Error (`Conflict _) -> None)
+    | Alt (p1, p2) -> (
+        match go p1 t theta phi sk with
+        | Some _ as r -> r
+        | None -> go p2 t theta phi sk)
+    | Guarded (p, g) ->
+        go p t theta phi (fun theta phi ->
+            match Guard.eval interp theta phi g with
+            | Some true -> sk theta phi
+            | Some false -> None
+            | None -> stuck ())
+    | Exists (x, p) ->
+        go p t theta phi (fun theta phi ->
+            (* checkName(x) *)
+            if Subst.mem x theta then sk theta phi else stuck ())
+    | Exists_f (f, p) ->
+        go p t theta phi (fun theta phi ->
+            (* checkFName(F) *)
+            if Fsubst.mem f phi then sk theta phi else stuck ())
+    | Constr (p, p', x) ->
+        go p t theta phi (fun theta phi ->
+            (* matchConstr(p', x) *)
+            match Subst.find x theta with
+            | Some t' -> go p' t' theta phi sk
+            | None -> stuck ())
+    | Mu (m, ys) -> go (Pattern.unfold m ys) t theta phi sk
+    | Call _ ->
+        (* free recursive call: ill-formed *)
+        stuck ()
+  and go_args ps ts theta phi sk =
+    (* Arity mismatch is a structural conflict, same as a head mismatch. *)
+    match (ps, ts) with
+    | [], [] -> sk theta phi
+    | p :: ps, t :: ts ->
+        go p t theta phi (fun theta phi -> go_args ps ts theta phi sk)
+    | _ -> None
+  in
+  go p t theta phi (fun theta phi -> Some (theta, phi))
+
+let matches_at ~interp ?(policy = Outcome.Policy.Backtrack)
+    ?(fuel = 1_000_000) ~theta ~phi p t : Outcome.t =
+  visits := 0;
+  match search ~interp ~policy ~fuel ~theta ~phi p t with
+  | Some (theta, phi) -> Matched (theta, phi)
+  | None -> No_match
+  | exception Out_of_fuel_exc -> Out_of_fuel
+  | exception Stuck_exc -> Stuck
+
+let matches ~interp ?(policy = Outcome.Policy.Backtrack) ?(fuel = 1_000_000) p
+    t =
+  matches_at ~interp ~policy ~fuel ~theta:Subst.empty ~phi:Fsubst.empty p t

@@ -1,0 +1,32 @@
+open Pypm_term
+
+type t =
+  | Matched of Subst.t * Fsubst.t
+  | No_match
+  | Stuck
+  | Out_of_fuel
+
+let is_matched = function Matched _ -> true | _ -> false
+
+let equal a b =
+  match (a, b) with
+  | Matched (t1, f1), Matched (t2, f2) -> Subst.equal t1 t2 && Fsubst.equal f1 f2
+  | No_match, No_match | Stuck, Stuck | Out_of_fuel, Out_of_fuel -> true
+  | _ -> false
+
+let pp ppf = function
+  | Matched (theta, phi) ->
+      Format.fprintf ppf "success(%a, %a)" Subst.pp theta Fsubst.pp phi
+  | No_match -> Format.pp_print_string ppf "failure"
+  | Stuck -> Format.pp_print_string ppf "stuck"
+  | Out_of_fuel -> Format.pp_print_string ppf "out-of-fuel"
+
+let to_string t = Format.asprintf "%a" pp t
+
+module Policy = struct
+  type t = Faithful | Backtrack
+
+  let pp ppf = function
+    | Faithful -> Format.pp_print_string ppf "faithful"
+    | Backtrack -> Format.pp_print_string ppf "backtrack"
+end

@@ -1,0 +1,35 @@
+(** Match outcomes shared by every matcher implementation. *)
+
+open Pypm_term
+
+type t =
+  | Matched of Subst.t * Fsubst.t
+      (** the machine's [success(theta, phi)] terminal state *)
+  | No_match  (** the machine's [failure] terminal state *)
+  | Stuck
+      (** no transition rule applies (e.g. [checkName(x)] with [x] unbound,
+          or a guard whose substitution instance is not closed, in faithful
+          mode). The paper's rules leave these states without a successor;
+          see {!Policy}. *)
+  | Out_of_fuel
+      (** the step budget was exhausted; recursive patterns can diverge
+          (the paper's [mu P(x). P(x)] example) *)
+
+val is_matched : t -> bool
+val equal : t -> t -> bool
+val pp : Format.formatter -> t -> unit
+val to_string : t -> string
+
+(** What to do when the literal transition rules of figures 17-18 have no
+    applicable case: [checkName(x)] or [matchConstr(p, x)] with [x] unbound,
+    or a guard that does not evaluate (open instance / undefined
+    attribute). *)
+module Policy : sig
+  type t =
+    | Faithful  (** halt in {!Stuck}, exactly as the paper's rules read *)
+    | Backtrack
+        (** treat the situation as a failed constraint and backtrack; this
+            is what the production C++ matcher does with a failing assert *)
+
+  val pp : Format.formatter -> t -> unit
+end

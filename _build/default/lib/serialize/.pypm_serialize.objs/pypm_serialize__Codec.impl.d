@@ -1,0 +1,1 @@
+lib/serialize/codec.ml: Buffer Char Float Format Fun Guard List Pattern Printf Program Pypm_engine Pypm_pattern Pypm_term Rule Signature String

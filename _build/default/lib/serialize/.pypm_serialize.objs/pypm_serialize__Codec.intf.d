@@ -1,0 +1,1 @@
+lib/serialize/codec.mli: Pypm_engine Pypm_term Signature

@@ -1,0 +1,509 @@
+open Pypm_term
+open Pypm_pattern
+open Pypm_engine
+
+let version = 1
+let magic = "PYPM"
+
+(* ------------------------------------------------------------------ *)
+(* Primitive writers                                                   *)
+(* ------------------------------------------------------------------ *)
+
+let put_u8 buf n = Buffer.add_char buf (Char.chr (n land 0xff))
+
+(* unsigned LEB128 *)
+let rec put_varint buf n =
+  if n < 0 then invalid_arg "Codec.put_varint: negative";
+  if n < 0x80 then put_u8 buf n
+  else (
+    put_u8 buf ((n land 0x7f) lor 0x80);
+    put_varint buf (n lsr 7))
+
+(* zigzag for signed *)
+let put_signed buf n = put_varint buf ((n lsl 1) lxor (n asr 62))
+
+let put_string buf s =
+  put_varint buf (String.length s);
+  Buffer.add_string buf s
+
+let put_list buf put xs =
+  put_varint buf (List.length xs);
+  List.iter (put buf) xs
+
+let put_bool buf b = put_u8 buf (if b then 1 else 0)
+
+(* ------------------------------------------------------------------ *)
+(* Primitive readers                                                   *)
+(* ------------------------------------------------------------------ *)
+
+exception Corrupt of int * string
+
+type cursor = { bytes : string; mutable off : int }
+
+let fail c fmt =
+  Format.kasprintf (fun m -> raise (Corrupt (c.off, m))) fmt
+
+let get_u8 c =
+  if c.off >= String.length c.bytes then fail c "unexpected end of input";
+  let v = Char.code c.bytes.[c.off] in
+  c.off <- c.off + 1;
+  v
+
+let get_varint c =
+  let rec go shift acc =
+    if shift > 62 then fail c "varint too long";
+    let b = get_u8 c in
+    let acc = acc lor ((b land 0x7f) lsl shift) in
+    if b land 0x80 = 0 then acc else go (shift + 7) acc
+  in
+  go 0 0
+
+let get_signed c =
+  let z = get_varint c in
+  (z lsr 1) lxor (-(z land 1))
+
+let get_string c =
+  let n = get_varint c in
+  if c.off + n > String.length c.bytes then fail c "string runs past the end";
+  let s = String.sub c.bytes c.off n in
+  c.off <- c.off + n;
+  s
+
+let get_list c get =
+  let n = get_varint c in
+  List.init n (fun _ -> get c)
+
+let get_bool c =
+  match get_u8 c with
+  | 0 -> false
+  | 1 -> true
+  | v -> fail c "bad boolean byte %d" v
+
+(* ------------------------------------------------------------------ *)
+(* Guard expressions                                                   *)
+(* ------------------------------------------------------------------ *)
+
+let rec put_gexp buf (e : Guard.expr) =
+  match e with
+  | Guard.Const n ->
+      put_u8 buf 0;
+      put_signed buf n
+  | Guard.Var_attr (x, a) ->
+      put_u8 buf 1;
+      put_string buf x;
+      put_string buf a
+  | Guard.Term_attr (_, _) ->
+      (* closed term attributes never appear in serialized source patterns;
+         they arise only during matching *)
+      invalid_arg "Codec: cannot serialize a closed term attribute"
+  | Guard.Fvar_attr (f, a) ->
+      put_u8 buf 2;
+      put_string buf f;
+      put_string buf a
+  | Guard.Sym_attr (s, a) ->
+      put_u8 buf 3;
+      put_string buf s;
+      put_string buf a
+  | Guard.Add (a, b) ->
+      put_u8 buf 4;
+      put_gexp buf a;
+      put_gexp buf b
+  | Guard.Sub (a, b) ->
+      put_u8 buf 5;
+      put_gexp buf a;
+      put_gexp buf b
+  | Guard.Mul (a, b) ->
+      put_u8 buf 6;
+      put_gexp buf a;
+      put_gexp buf b
+  | Guard.Mod (a, b) ->
+      put_u8 buf 7;
+      put_gexp buf a;
+      put_gexp buf b
+
+let rec get_gexp c : Guard.expr =
+  match get_u8 c with
+  | 0 -> Guard.Const (get_signed c)
+  | 1 ->
+      let x = get_string c in
+      let a = get_string c in
+      Guard.Var_attr (x, a)
+  | 2 ->
+      let f = get_string c in
+      let a = get_string c in
+      Guard.Fvar_attr (f, a)
+  | 3 ->
+      let s = get_string c in
+      let a = get_string c in
+      Guard.Sym_attr (s, a)
+  | 4 ->
+      let a = get_gexp c in
+      let b = get_gexp c in
+      Guard.Add (a, b)
+  | 5 ->
+      let a = get_gexp c in
+      let b = get_gexp c in
+      Guard.Sub (a, b)
+  | 6 ->
+      let a = get_gexp c in
+      let b = get_gexp c in
+      Guard.Mul (a, b)
+  | 7 ->
+      let a = get_gexp c in
+      let b = get_gexp c in
+      Guard.Mod (a, b)
+  | t -> fail c "bad guard-expression tag %d" t
+
+let rec put_guard buf (g : Guard.t) =
+  match g with
+  | Guard.True -> put_u8 buf 0
+  | Guard.False -> put_u8 buf 1
+  | Guard.Eq (a, b) ->
+      put_u8 buf 2;
+      put_gexp buf a;
+      put_gexp buf b
+  | Guard.Ne (a, b) ->
+      put_u8 buf 3;
+      put_gexp buf a;
+      put_gexp buf b
+  | Guard.Lt (a, b) ->
+      put_u8 buf 4;
+      put_gexp buf a;
+      put_gexp buf b
+  | Guard.Le (a, b) ->
+      put_u8 buf 5;
+      put_gexp buf a;
+      put_gexp buf b
+  | Guard.And (a, b) ->
+      put_u8 buf 6;
+      put_guard buf a;
+      put_guard buf b
+  | Guard.Or (a, b) ->
+      put_u8 buf 7;
+      put_guard buf a;
+      put_guard buf b
+  | Guard.Not a ->
+      put_u8 buf 8;
+      put_guard buf a
+
+let rec get_guard c : Guard.t =
+  match get_u8 c with
+  | 0 -> Guard.True
+  | 1 -> Guard.False
+  | 2 ->
+      let a = get_gexp c in
+      let b = get_gexp c in
+      Guard.Eq (a, b)
+  | 3 ->
+      let a = get_gexp c in
+      let b = get_gexp c in
+      Guard.Ne (a, b)
+  | 4 ->
+      let a = get_gexp c in
+      let b = get_gexp c in
+      Guard.Lt (a, b)
+  | 5 ->
+      let a = get_gexp c in
+      let b = get_gexp c in
+      Guard.Le (a, b)
+  | 6 ->
+      let a = get_guard c in
+      let b = get_guard c in
+      Guard.And (a, b)
+  | 7 ->
+      let a = get_guard c in
+      let b = get_guard c in
+      Guard.Or (a, b)
+  | 8 -> Guard.Not (get_guard c)
+  | t -> fail c "bad guard tag %d" t
+
+(* ------------------------------------------------------------------ *)
+(* Patterns                                                            *)
+(* ------------------------------------------------------------------ *)
+
+let rec put_pattern buf (p : Pattern.t) =
+  match p with
+  | Pattern.Var x ->
+      put_u8 buf 0;
+      put_string buf x
+  | Pattern.App (f, ps) ->
+      put_u8 buf 1;
+      put_string buf f;
+      put_list buf put_pattern ps
+  | Pattern.Fapp (f, ps) ->
+      put_u8 buf 2;
+      put_string buf f;
+      put_list buf put_pattern ps
+  | Pattern.Alt (a, b) ->
+      put_u8 buf 3;
+      put_pattern buf a;
+      put_pattern buf b
+  | Pattern.Guarded (a, g) ->
+      put_u8 buf 4;
+      put_pattern buf a;
+      put_guard buf g
+  | Pattern.Exists (x, a) ->
+      put_u8 buf 5;
+      put_string buf x;
+      put_pattern buf a
+  | Pattern.Exists_f (f, a) ->
+      put_u8 buf 6;
+      put_string buf f;
+      put_pattern buf a
+  | Pattern.Constr (a, b, x) ->
+      put_u8 buf 7;
+      put_pattern buf a;
+      put_pattern buf b;
+      put_string buf x
+  | Pattern.Mu (m, ys) ->
+      put_u8 buf 8;
+      put_string buf m.Pattern.pname;
+      put_list buf put_string m.Pattern.formals;
+      put_pattern buf m.Pattern.body;
+      put_list buf put_string ys
+  | Pattern.Call (pn, ys) ->
+      put_u8 buf 9;
+      put_string buf pn;
+      put_list buf put_string ys
+
+let rec get_pattern c : Pattern.t =
+  match get_u8 c with
+  | 0 -> Pattern.Var (get_string c)
+  | 1 ->
+      let f = get_string c in
+      let ps = get_list c get_pattern in
+      Pattern.App (f, ps)
+  | 2 ->
+      let f = get_string c in
+      let ps = get_list c get_pattern in
+      Pattern.Fapp (f, ps)
+  | 3 ->
+      let a = get_pattern c in
+      let b = get_pattern c in
+      Pattern.Alt (a, b)
+  | 4 ->
+      let a = get_pattern c in
+      let g = get_guard c in
+      Pattern.Guarded (a, g)
+  | 5 ->
+      let x = get_string c in
+      let a = get_pattern c in
+      Pattern.Exists (x, a)
+  | 6 ->
+      let f = get_string c in
+      let a = get_pattern c in
+      Pattern.Exists_f (f, a)
+  | 7 ->
+      let a = get_pattern c in
+      let b = get_pattern c in
+      let x = get_string c in
+      Pattern.Constr (a, b, x)
+  | 8 ->
+      let pname = get_string c in
+      let formals = get_list c get_string in
+      let body = get_pattern c in
+      let ys = get_list c get_string in
+      if List.length formals <> List.length ys then
+        fail c "mu %s: %d formals but %d actuals" pname (List.length formals)
+          (List.length ys);
+      Pattern.Mu ({ Pattern.pname; formals; body }, ys)
+  | 9 ->
+      let pn = get_string c in
+      let ys = get_list c get_string in
+      Pattern.Call (pn, ys)
+  | t -> fail c "bad pattern tag %d" t
+
+(* ------------------------------------------------------------------ *)
+(* Rules                                                               *)
+(* ------------------------------------------------------------------ *)
+
+let rec put_rhs buf (r : Rule.rhs) =
+  match r with
+  | Rule.Rvar x ->
+      put_u8 buf 0;
+      put_string buf x
+  | Rule.Rapp (op, rs) ->
+      put_u8 buf 1;
+      put_string buf op;
+      put_list buf put_rhs rs
+  | Rule.Rapp_attrs (op, rs, attrs) ->
+      put_u8 buf 2;
+      put_string buf op;
+      put_list buf put_rhs rs;
+      put_list buf
+        (fun buf (k, v) ->
+          put_string buf k;
+          put_signed buf v)
+        attrs
+  | Rule.Rfapp (f, rs) ->
+      put_u8 buf 3;
+      put_string buf f;
+      put_list buf put_rhs rs
+  | Rule.Rcopy_attrs (op, rs, x) ->
+      put_u8 buf 4;
+      put_string buf op;
+      put_list buf put_rhs rs;
+      put_string buf x
+  | Rule.Rlit v ->
+      put_u8 buf 5;
+      (* millifloat, matching the graph's constant interning *)
+      put_signed buf (int_of_float (Float.round (v *. 1000.)))
+
+let rec get_rhs c : Rule.rhs =
+  match get_u8 c with
+  | 0 -> Rule.Rvar (get_string c)
+  | 1 ->
+      let op = get_string c in
+      let rs = get_list c get_rhs in
+      Rule.Rapp (op, rs)
+  | 2 ->
+      let op = get_string c in
+      let rs = get_list c get_rhs in
+      let attrs =
+        get_list c (fun c ->
+            let k = get_string c in
+            let v = get_signed c in
+            (k, v))
+      in
+      Rule.Rapp_attrs (op, rs, attrs)
+  | 3 ->
+      let f = get_string c in
+      let rs = get_list c get_rhs in
+      Rule.Rfapp (f, rs)
+  | 4 ->
+      let op = get_string c in
+      let rs = get_list c get_rhs in
+      let x = get_string c in
+      Rule.Rcopy_attrs (op, rs, x)
+  | 5 -> Rule.Rlit (float_of_int (get_signed c) /. 1000.)
+  | t -> fail c "bad rhs tag %d" t
+
+let put_rule buf (r : Rule.t) =
+  put_string buf r.Rule.rule_name;
+  put_string buf r.Rule.pattern_name;
+  put_guard buf r.Rule.guard;
+  put_rhs buf r.Rule.rhs
+
+let get_rule c : Rule.t =
+  let rule_name = get_string c in
+  let pattern_name = get_string c in
+  let guard = get_guard c in
+  let rhs = get_rhs c in
+  { Rule.rule_name; pattern_name; guard; rhs }
+
+(* ------------------------------------------------------------------ *)
+(* Operator declarations                                               *)
+(* ------------------------------------------------------------------ *)
+
+let put_decl buf (d : Signature.decl) =
+  put_string buf d.Signature.name;
+  put_varint buf d.Signature.arity;
+  put_varint buf d.Signature.output_arity;
+  put_string buf d.Signature.op_class;
+  put_list buf
+    (fun buf (name, kind) ->
+      put_string buf name;
+      put_bool buf (kind = Signature.Int_attr))
+    d.Signature.attrs
+
+let get_decl c =
+  let name = get_string c in
+  let arity = get_varint c in
+  let output_arity = get_varint c in
+  let op_class = get_string c in
+  let attrs =
+    get_list c (fun c ->
+        let n = get_string c in
+        let is_int = get_bool c in
+        (n, if is_int then Signature.Int_attr else Signature.Sym_attr))
+  in
+  (name, arity, output_arity, op_class, attrs)
+
+(* ------------------------------------------------------------------ *)
+(* Checksums                                                           *)
+(* ------------------------------------------------------------------ *)
+
+let fnv1a s =
+  (* 0xcbf29ce484222325 does not fit OCaml's 63-bit int; fold it in. *)
+  let h = ref (0xcbf29ce4 lxor 0x84222325) in
+  String.iter
+    (fun ch ->
+      h := !h lxor Char.code ch;
+      h := !h * 0x100000001b3)
+    s;
+  !h land 0x3FFFFFFFFFFFFFFF
+
+(* ------------------------------------------------------------------ *)
+(* Whole programs                                                      *)
+(* ------------------------------------------------------------------ *)
+
+(* Operators referenced by the program: pattern heads, rhs heads, plus
+   every symbol the signature knows that appears in the entries. We simply
+   ship every declaration of the program's signature; pattern binaries are
+   self-contained. *)
+let encode (p : Program.t) =
+  let payload = Buffer.create 1024 in
+  put_list payload put_decl (Signature.decls p.Program.sg);
+  put_list payload
+    (fun buf (e : Program.entry) ->
+      put_string buf e.Program.pname;
+      put_pattern buf e.Program.pattern;
+      put_list buf put_rule e.Program.rules)
+    p.Program.entries;
+  let payload = Buffer.contents payload in
+  let out = Buffer.create (String.length payload + 24) in
+  Buffer.add_string out magic;
+  put_varint out version;
+  put_varint out (fnv1a payload);
+  put_varint out (String.length payload);
+  Buffer.add_string out payload;
+  Buffer.contents out
+
+let decode_into ~sg bytes =
+  let c = { bytes; off = 0 } in
+  match
+    let m = if String.length bytes >= 4 then String.sub bytes 0 4 else "" in
+    if m <> magic then fail c "bad magic (not a PyPM pattern binary)";
+    c.off <- 4;
+    let v = get_varint c in
+    if v <> version then fail c "unsupported format version %d" v;
+    let checksum = get_varint c in
+    let len = get_varint c in
+    if c.off + len <> String.length bytes then
+      fail c "payload length mismatch";
+    let payload = String.sub bytes c.off len in
+    if fnv1a payload <> checksum then fail c "checksum mismatch";
+    let decls = get_list c get_decl in
+    List.iter
+      (fun (name, arity, output_arity, op_class, attrs) ->
+        try
+          ignore (Signature.declare sg ~output_arity ~op_class ~attrs ~arity name)
+        with Invalid_argument msg -> fail c "conflicting declaration: %s" msg)
+      decls;
+    let entries =
+      get_list c (fun c ->
+          let pname = get_string c in
+          let pattern = get_pattern c in
+          let rules = get_list c get_rule in
+          { Program.pname; pattern; rules })
+    in
+    if c.off <> String.length bytes then fail c "trailing bytes";
+    Program.make ~sg entries
+  with
+  | p -> Ok p
+  | exception Corrupt (off, msg) ->
+      Error (Printf.sprintf "corrupt pattern binary at byte %d: %s" off msg)
+
+let decode bytes = decode_into ~sg:(Signature.create ()) bytes
+
+let to_file path program =
+  let oc = open_out_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_out_noerr oc)
+    (fun () -> output_string oc (encode program))
+
+let of_file path =
+  let ic = open_in_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_in_noerr ic)
+    (fun () -> decode (really_input_string ic (in_channel_length ic)))

@@ -1,0 +1,36 @@
+(** The portable pattern-binary format.
+
+    PyPM's frontend serializes elaborated patterns and rules to a binary
+    format that DLCB loads at startup (paper, section 2.4). This module is
+    that format: a versioned, checksummed encoding of an engine program —
+    operator declarations, core patterns, and rules.
+
+    Layout: the magic bytes ["PYPM"], a format version, an FNV-1a checksum
+    of the payload, then the payload: the operator table followed by the
+    pattern entries. Integers are LEB128 varints (with zigzag for the one
+    signed case, literal payloads); strings are length-prefixed. Decoding
+    is total: corrupt input yields [Error] with a byte offset, never an
+    exception. *)
+
+open Pypm_term
+
+(** Current format version. Decoders accept only this version. *)
+val version : int
+
+(** [encode program] serializes the program, including the operator
+    declarations its patterns mention (looked up in the program's
+    signature). *)
+val encode : Pypm_engine.Program.t -> string
+
+(** [decode bytes] reconstructs a program into a fresh signature.
+    The error string includes the byte offset of the failure. *)
+val decode : string -> (Pypm_engine.Program.t, string) result
+
+(** [decode_into ~sg bytes] reconstructs against an existing signature
+    (declarations are merged; conflicting arities are an error). *)
+val decode_into : sg:Signature.t -> string -> (Pypm_engine.Program.t, string) result
+
+(** Write/read helpers. *)
+val to_file : string -> Pypm_engine.Program.t -> unit
+
+val of_file : string -> (Pypm_engine.Program.t, string) result

@@ -1,0 +1,1 @@
+lib/surface/lexer.ml: Array Buffer Format List Printf String

@@ -1,0 +1,1 @@
+lib/surface/lexer.mli: Format

@@ -1,0 +1,1 @@
+lib/surface/parser.ml: Array Ast Format Lexer List Pypm_dsl String

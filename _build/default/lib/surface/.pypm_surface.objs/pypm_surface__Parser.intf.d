@@ -1,0 +1,1 @@
+lib/surface/parser.mli: Ast Lexer Pypm_dsl

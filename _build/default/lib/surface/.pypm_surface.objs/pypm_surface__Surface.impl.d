@@ -1,0 +1,1 @@
+lib/surface/surface.ml: Ast Filename Format Fun Hashtbl Lexer List Parser Pypm_dsl Unix

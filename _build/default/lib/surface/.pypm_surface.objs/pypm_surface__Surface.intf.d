@@ -1,0 +1,1 @@
+lib/surface/surface.mli: Ast Format Lexer Pypm_dsl Pypm_engine Pypm_term Signature

@@ -1,0 +1,158 @@
+type pos = { line : int; col : int }
+
+type token =
+  | IDENT of string
+  | INT of int
+  | FLOAT of float
+  | STRING of string
+  | LPAREN
+  | RPAREN
+  | LBRACE
+  | RBRACE
+  | COMMA
+  | SEMI
+  | DOT
+  | EQ
+  | EQEQ
+  | NEQ
+  | LT
+  | LE
+  | ANDAND
+  | OROR
+  | BANG
+  | PLUS
+  | MINUS
+  | STAR
+  | PERCENT
+  | ARROW
+  | EOF
+
+type spanned = { tok : token; pos : pos }
+
+exception Lex_error of pos * string
+
+let pp_pos ppf p = Format.fprintf ppf "line %d, column %d" p.line p.col
+
+let token_to_string = function
+  | IDENT s -> Printf.sprintf "identifier %s" s
+  | INT n -> string_of_int n
+  | FLOAT f -> Printf.sprintf "%g" f
+  | STRING s -> Printf.sprintf "%S" s
+  | LPAREN -> "("
+  | RPAREN -> ")"
+  | LBRACE -> "{"
+  | RBRACE -> "}"
+  | COMMA -> ","
+  | SEMI -> ";"
+  | DOT -> "."
+  | EQ -> "="
+  | EQEQ -> "=="
+  | NEQ -> "!="
+  | LT -> "<"
+  | LE -> "<="
+  | ANDAND -> "&&"
+  | OROR -> "||"
+  | BANG -> "!"
+  | PLUS -> "+"
+  | MINUS -> "-"
+  | STAR -> "*"
+  | PERCENT -> "%"
+  | ARROW -> "->"
+  | EOF -> "end of input"
+
+let is_ident_start c =
+  (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || c = '_'
+
+let is_ident_char c = is_ident_start c || (c >= '0' && c <= '9')
+let is_digit c = c >= '0' && c <= '9'
+
+let tokenize src =
+  let n = String.length src in
+  let toks = ref [] in
+  let i = ref 0 in
+  let line = ref 1 and bol = ref 0 in
+  let pos () = { line = !line; col = !i - !bol + 1 } in
+  let emit tok p = toks := { tok; pos = p } :: !toks in
+  let peek k = if !i + k < n then Some src.[!i + k] else None in
+  while !i < n do
+    let c = src.[!i] in
+    let p = pos () in
+    if c = '\n' then (
+      incr line;
+      incr i;
+      bol := !i)
+    else if c = ' ' || c = '\t' || c = '\r' then incr i
+    else if c = '#' || (c = '/' && peek 1 = Some '/') then (
+      while !i < n && src.[!i] <> '\n' do
+        incr i
+      done)
+    else if is_ident_start c then (
+      let start = !i in
+      while !i < n && is_ident_char src.[!i] do
+        incr i
+      done;
+      emit (IDENT (String.sub src start (!i - start))) p)
+    else if is_digit c then (
+      let start = !i in
+      while !i < n && is_digit src.[!i] do
+        incr i
+      done;
+      if !i < n && src.[!i] = '.' && (match peek 1 with Some d -> is_digit d | None -> false)
+      then (
+        incr i;
+        while !i < n && is_digit src.[!i] do
+          incr i
+        done;
+        emit (FLOAT (float_of_string (String.sub src start (!i - start)))) p)
+      else emit (INT (int_of_string (String.sub src start (!i - start)))) p)
+    else if c = '"' then (
+      incr i;
+      let buf = Buffer.create 16 in
+      let closed = ref false in
+      while (not !closed) && !i < n do
+        if src.[!i] = '"' then (
+          closed := true;
+          incr i)
+        else if src.[!i] = '\n' then
+          raise (Lex_error (p, "unterminated string literal"))
+        else (
+          Buffer.add_char buf src.[!i];
+          incr i)
+      done;
+      if not !closed then raise (Lex_error (p, "unterminated string literal"));
+      emit (STRING (Buffer.contents buf)) p)
+    else
+      let two tok =
+        emit tok p;
+        i := !i + 2
+      in
+      let one tok =
+        emit tok p;
+        incr i
+      in
+      match (c, peek 1) with
+      | '=', Some '=' -> two EQEQ
+      | '!', Some '=' -> two NEQ
+      | '<', Some '=' -> two LE
+      | '&', Some '&' -> two ANDAND
+      | '|', Some '|' -> two OROR
+      | '-', Some '>' -> two ARROW
+      | '(', _ -> one LPAREN
+      | ')', _ -> one RPAREN
+      | '{', _ -> one LBRACE
+      | '}', _ -> one RBRACE
+      | ',', _ -> one COMMA
+      | ';', _ -> one SEMI
+      | '.', _ -> one DOT
+      | '=', _ -> one EQ
+      | '<', _ -> one LT
+      | '!', _ -> one BANG
+      | '+', _ -> one PLUS
+      | '-', _ -> one MINUS
+      | '*', _ -> one STAR
+      | '%', _ -> one PERCENT
+      | _ ->
+          raise (Lex_error (p, Printf.sprintf "unexpected character %C" c))
+  done;
+  emit EOF (pos ());
+  Array.of_list (List.rev !toks)

@@ -1,0 +1,46 @@
+(** Lexer for the textual PyPM surface language.
+
+    The surface language is the repository's stand-alone concrete syntax
+    for PyPM programs (the role Python syntax plays in the paper). Line
+    comments start with [//] or [#]. *)
+
+type pos = { line : int; col : int }
+
+type token =
+  | IDENT of string
+  | INT of int
+  | FLOAT of float
+  | STRING of string
+  | LPAREN
+  | RPAREN
+  | LBRACE
+  | RBRACE
+  | COMMA
+  | SEMI
+  | DOT
+  | EQ  (** [=] *)
+  | EQEQ
+  | NEQ
+  | LT
+  | LE  (** [<=], also the match-constraint arrow *)
+  | ANDAND
+  | OROR
+  | BANG
+  | PLUS
+  | MINUS
+  | STAR
+  | PERCENT
+  | ARROW  (** [->] *)
+  | EOF
+
+type spanned = { tok : token; pos : pos }
+
+exception Lex_error of pos * string
+
+(** [tokenize src] lexes the whole input; the result always ends with
+    [EOF]. Raises {!Lex_error} on an unexpected character or an unterminated
+    string. *)
+val tokenize : string -> spanned array
+
+val token_to_string : token -> string
+val pp_pos : Format.formatter -> pos -> unit

@@ -1,0 +1,428 @@
+open Pypm_dsl
+open Lexer
+
+type pos = Lexer.pos
+
+exception Parse_error of pos * string
+
+type state = { toks : spanned array; mutable idx : int }
+
+let err st fmt =
+  let pos = st.toks.(st.idx).pos in
+  Format.kasprintf (fun m -> raise (Parse_error (pos, m))) fmt
+
+let peek st = st.toks.(st.idx).tok
+let advance st = st.idx <- st.idx + 1
+
+let expect st tok =
+  if peek st = tok then advance st
+  else
+    err st "expected %s but found %s" (token_to_string tok)
+      (token_to_string (peek st))
+
+let ident st =
+  match peek st with
+  | IDENT s ->
+      advance st;
+      s
+  | t -> err st "expected an identifier but found %s" (token_to_string t)
+
+let keyword st kw =
+  match peek st with
+  | IDENT s when String.equal s kw -> advance st
+  | t -> err st "expected %S but found %s" kw (token_to_string t)
+
+let is_keyword st kw =
+  match peek st with IDENT s -> String.equal s kw | _ -> false
+
+let int_lit st =
+  match peek st with
+  | INT n ->
+      advance st;
+      n
+  | t -> err st "expected an integer but found %s" (token_to_string t)
+
+let string_lit st =
+  match peek st with
+  | STRING s ->
+      advance st;
+      s
+  | t -> err st "expected a string literal but found %s" (token_to_string t)
+
+let comma_list st parse_elem ~close =
+  if peek st = close then []
+  else
+    let rec more acc =
+      if peek st = COMMA then (
+        advance st;
+        more (parse_elem st :: acc))
+      else List.rev acc
+    in
+    more [ parse_elem st ]
+
+let param_list st =
+  expect st LPAREN;
+  let params = comma_list st ident ~close:RPAREN in
+  expect st RPAREN;
+  params
+
+(* ------------------------------------------------------------------ *)
+(* Pattern expressions                                                 *)
+(* ------------------------------------------------------------------ *)
+
+let rec parse_pexp_atom st =
+  match peek st with
+  | FLOAT f ->
+      advance st;
+      Ast.Elit f
+  | INT n ->
+      advance st;
+      Ast.Elit (float_of_int n)
+  | LPAREN ->
+      advance st;
+      let e = parse_pexp st in
+      expect st RPAREN;
+      e
+  | IDENT name ->
+      advance st;
+      if peek st = LPAREN then (
+        advance st;
+        let args = comma_list st parse_pexp ~close:RPAREN in
+        expect st RPAREN;
+        Ast.Eapp (name, args))
+      else Ast.Evar name
+  | t -> err st "expected a pattern expression but found %s" (token_to_string t)
+
+(* inline alternation binds loosest: Div(x, 2) || Mul(x, 0.5) *)
+and parse_pexp st =
+  let rec more acc =
+    if peek st = OROR then (
+      advance st;
+      more (Ast.Ealt (acc, parse_pexp_atom st)))
+    else acc
+  in
+  more (parse_pexp_atom st)
+
+(* ------------------------------------------------------------------ *)
+(* Guards                                                              *)
+(* ------------------------------------------------------------------ *)
+
+let dtype_names =
+  [ "f64"; "f32"; "f16"; "bf16"; "i64"; "i32"; "i8"; "bool" ]
+
+let rec parse_gatom st =
+  match peek st with
+  | INT n ->
+      advance st;
+      Ast.Gint n
+  | LPAREN ->
+      advance st;
+      let e = parse_gexp st in
+      expect st RPAREN;
+      e
+  | IDENT "opclass" ->
+      advance st;
+      expect st LPAREN;
+      let c = string_lit st in
+      expect st RPAREN;
+      Ast.Gopclass c
+  | IDENT name ->
+      advance st;
+      if peek st = DOT then (
+        let rec path acc =
+          if peek st = DOT then (
+            advance st;
+            path (ident st :: acc))
+          else List.rev acc
+        in
+        Ast.Gattr (name, path []))
+      else if List.mem name dtype_names then Ast.Gdtype name
+      else
+        err st
+          "bare identifier %s in a guard: expected an attribute path (x.rank) \
+           or a dtype name"
+          name
+  | t -> err st "expected a guard expression but found %s" (token_to_string t)
+
+and parse_gterm st =
+  let rec more acc =
+    match peek st with
+    | STAR ->
+        advance st;
+        more (Ast.Gmul (acc, parse_gatom st))
+    | PERCENT ->
+        advance st;
+        more (Ast.Gmod (acc, parse_gatom st))
+    | _ -> acc
+  in
+  more (parse_gatom st)
+
+and parse_gexp st =
+  let rec more acc =
+    match peek st with
+    | PLUS ->
+        advance st;
+        more (Ast.Gadd (acc, parse_gterm st))
+    | MINUS ->
+        advance st;
+        more (Ast.Gsub (acc, parse_gterm st))
+    | _ -> acc
+  in
+  more (parse_gterm st)
+
+let rec parse_gunit st =
+  match peek st with
+  | BANG ->
+      advance st;
+      Ast.Gnot (parse_gunit st)
+  | IDENT "true" ->
+      advance st;
+      Ast.Gtrue
+  | IDENT "false" ->
+      advance st;
+      Ast.Gfalse
+  | LPAREN -> (
+      (* ambiguous: parenthesized formula or parenthesized arithmetic;
+         try the formula first and backtrack *)
+      let save = st.idx in
+      match
+        advance st;
+        let g = parse_gform st in
+        expect st RPAREN;
+        g
+      with
+      | g -> g
+      | exception Parse_error _ ->
+          st.idx <- save;
+          parse_cmp st)
+  | _ -> parse_cmp st
+
+and parse_cmp st =
+  let lhs = parse_gexp st in
+  match peek st with
+  | EQEQ ->
+      advance st;
+      Ast.Geq (lhs, parse_gexp st)
+  | NEQ ->
+      advance st;
+      Ast.Gne (lhs, parse_gexp st)
+  | LT ->
+      advance st;
+      Ast.Glt (lhs, parse_gexp st)
+  | LE ->
+      advance st;
+      Ast.Gle (lhs, parse_gexp st)
+  | t ->
+      err st "expected a comparison operator but found %s" (token_to_string t)
+
+and parse_gand st =
+  let rec more acc =
+    if peek st = ANDAND then (
+      advance st;
+      more (Ast.Gand (acc, parse_gunit st)))
+    else acc
+  in
+  more (parse_gunit st)
+
+and parse_gform st =
+  let rec more acc =
+    if peek st = OROR then (
+      advance st;
+      more (Ast.Gor (acc, parse_gand st)))
+    else acc
+  in
+  more (parse_gand st)
+
+(* ------------------------------------------------------------------ *)
+(* Items                                                               *)
+(* ------------------------------------------------------------------ *)
+
+let parse_opdef st =
+  keyword st "op";
+  let name = ident st in
+  let params = param_list st in
+  let output_arity = if peek st = ARROW then (advance st; int_lit st) else 1 in
+  let cls =
+    if is_keyword st "class" then (
+      advance st;
+      string_lit st)
+    else "generic"
+  in
+  expect st SEMI;
+  {
+    Ast.od_name = name;
+    od_arity = List.length params;
+    od_output_arity = output_arity;
+    od_class = cls;
+  }
+
+let parse_stmt st =
+  if is_keyword st "assert" then (
+    advance st;
+    let g = parse_gform st in
+    expect st SEMI;
+    `Stmt (Ast.Sassert g))
+  else if is_keyword st "return" then (
+    advance st;
+    let e = parse_pexp st in
+    expect st SEMI;
+    `Return e)
+  else
+    let name = ident st in
+    match peek st with
+    | EQ -> (
+        advance st;
+        match peek st with
+        | IDENT "var" when st.toks.(st.idx + 1).tok = LPAREN ->
+            advance st;
+            expect st LPAREN;
+            expect st RPAREN;
+            expect st SEMI;
+            `Stmt (Ast.Slocal name)
+        | IDENT "Op" when st.toks.(st.idx + 1).tok = LPAREN ->
+            advance st;
+            expect st LPAREN;
+            let arity = int_lit st in
+            expect st COMMA;
+            let out = int_lit st in
+            expect st RPAREN;
+            expect st SEMI;
+            if out <> 1 then
+              err st "operator variables with output arity %d are unsupported"
+                out;
+            `Stmt (Ast.Sopvar (name, arity))
+        | _ ->
+            let e = parse_pexp st in
+            expect st SEMI;
+            `Stmt (Ast.Salias (name, e)))
+    | LE ->
+        advance st;
+        let e = parse_pexp st in
+        expect st SEMI;
+        `Stmt (Ast.Sconstrain (name, e))
+    | t ->
+        err st "expected '=' or '<=' after %s but found %s" name
+          (token_to_string t)
+
+let parse_patterndef st =
+  keyword st "pattern";
+  let name = ident st in
+  let params = param_list st in
+  expect st LBRACE;
+  let stmts = ref [] and ret = ref None in
+  while peek st <> RBRACE do
+    match parse_stmt st with
+    | `Stmt s ->
+        if !ret <> None then
+          err st "pattern %s: statements after return" name;
+        stmts := s :: !stmts
+    | `Return e ->
+        if !ret <> None then err st "pattern %s: multiple returns" name;
+        ret := Some e
+  done;
+  expect st RBRACE;
+  match !ret with
+  | None -> err st "pattern %s: missing return" name
+  | Some pd_return ->
+      {
+        Ast.pd_name = name;
+        pd_params = params;
+        pd_stmts = List.rev !stmts;
+        pd_return;
+      }
+
+let parse_ruledef st =
+  keyword st "rule";
+  let name = ident st in
+  keyword st "for";
+  let for_ = ident st in
+  let params = param_list st in
+  let copy_from =
+    if is_keyword st "copying" then (
+      advance st;
+      Some (ident st))
+    else None
+  in
+  expect st LBRACE;
+  let asserts = ref [] and branches = ref [] in
+  while peek st <> RBRACE do
+    if is_keyword st "assert" then (
+      advance st;
+      let g = parse_gform st in
+      expect st SEMI;
+      if !branches <> [] then
+        err st "rule %s: assert after a return branch" name;
+      asserts := g :: !asserts)
+    else if is_keyword st "return" then (
+      advance st;
+      let e = parse_pexp st in
+      let guard =
+        if is_keyword st "when" then (
+          advance st;
+          Some (parse_gform st))
+        else None
+      in
+      expect st SEMI;
+      branches := { Ast.br_guard = guard; br_return = e } :: !branches)
+    else err st "rule %s: expected assert or return" name
+  done;
+  expect st RBRACE;
+  if !branches = [] then err st "rule %s: no return branch" name;
+  {
+    Ast.rd_name = name;
+    rd_for = for_;
+    rd_params = params;
+    rd_asserts = List.rev !asserts;
+    rd_branches = List.rev !branches;
+    rd_copy_attrs_from = copy_from;
+  }
+
+let parse_program st =
+  let ops = ref [] and pats = ref [] and rules = ref [] in
+  let includes = ref [] in
+  let rec loop () =
+    match peek st with
+    | EOF -> ()
+    | IDENT "include" ->
+        advance st;
+        let path = string_lit st in
+        expect st SEMI;
+        includes := path :: !includes;
+        loop ()
+    | IDENT "op" ->
+        ops := parse_opdef st :: !ops;
+        loop ()
+    | IDENT "pattern" ->
+        pats := parse_patterndef st :: !pats;
+        loop ()
+    | IDENT "rule" ->
+        rules := parse_ruledef st :: !rules;
+        loop ()
+    | t ->
+        err st
+          "expected include, op, pattern or rule but found %s"
+          (token_to_string t)
+  in
+  loop ();
+  ( List.rev !includes,
+    {
+      Ast.ops = List.rev !ops;
+      patterns = List.rev !pats;
+      rules = List.rev !rules;
+    } )
+
+let with_state src f =
+  let toks = Lexer.tokenize src in
+  let st = { toks; idx = 0 } in
+  let v = f st in
+  expect st EOF;
+  v
+
+let program_with_includes src = with_state src parse_program
+
+let program src = snd (with_state src parse_program)
+
+let pexp src =
+  with_state src (fun st -> parse_pexp st)
+
+let gform src = with_state src (fun st -> parse_gform st)

@@ -1,0 +1,47 @@
+(** Recursive-descent parser for the surface language.
+
+    Concrete syntax (figure 1 of the paper, transliterated):
+
+    {v
+    op MatMul(x, y);
+    op Trans(x);
+    op cublasMM_xyT_f32(x, y) class "fused_kernel";
+
+    pattern MMxyT(x, y) {
+      assert x.shape.rank == 2 && y.shape.rank == 2;
+      yt = Trans(y);
+      return MatMul(x, yt);
+    }
+
+    rule cublasrule for MMxyT(x, y) {
+      assert x.eltType == f32 || x.eltType == i8;
+      return cublasMM_xyT_f32(x, y) when x.eltType == f32 && y.eltType == f32;
+      return cublasMM_xyT_i8(x, y)  when x.eltType == i8  && y.eltType == i8;
+    }
+    v}
+
+    Pattern bodies also admit [y = var();] (local variable),
+    [F = Op(1, 1);] (local function variable), [x <= p;] (match
+    constraint) and aliases [name = pexp;]. Rules may declare
+    [copying c] before their body to copy the attributes of the node
+    bound to [c] onto the replacement root (stride/pad propagation). *)
+
+open Pypm_dsl
+type pos = Lexer.pos
+
+exception Parse_error of pos * string
+
+(** [program src] parses a whole surface file. Top-level
+    [include "other.pypm";] items are returned separately (in order) for
+    the loader to resolve; see {!Surface.load_file}. *)
+val program : string -> Ast.program
+
+(** Like {!program}, also returning the include paths, in order. *)
+val program_with_includes : string -> string list * Ast.program
+
+(** [pexp src] parses a single pattern expression; for tests and the CLI's
+    [match] command. *)
+val pexp : string -> Ast.pexp
+
+(** [gform src] parses a single guard formula. *)
+val gform : string -> Ast.gform

@@ -1,0 +1,85 @@
+open Pypm_dsl
+
+type error =
+  | Syntax of Lexer.pos * string
+  | Elab of Pypm_dsl.Elaborate.error list
+
+let pp_error ppf = function
+  | Syntax (pos, msg) ->
+      Format.fprintf ppf "syntax error at %a: %s" Lexer.pp_pos pos msg
+  | Elab errs ->
+      Format.pp_print_list Pypm_dsl.Elaborate.pp_error ppf errs
+
+let parse src =
+  match Parser.program src with
+  | ast -> Ok ast
+  | exception Parser.Parse_error (pos, msg) -> Error (Syntax (pos, msg))
+  | exception Lexer.Lex_error (pos, msg) -> Error (Syntax (pos, msg))
+
+let load ~sg src =
+  match parse src with
+  | Error e -> Error e
+  | Ok ast -> (
+      match Pypm_dsl.Elaborate.program ~sg ast with
+      | Ok program -> Ok program
+      | Error errs -> Error (Elab errs))
+
+let read_file path =
+  let ic = open_in_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_in_noerr ic)
+    (fun () -> really_input_string ic (in_channel_length ic))
+
+let concat_programs (a : Ast.program) (b : Ast.program) =
+  {
+    Ast.ops = a.Ast.ops @ b.Ast.ops;
+    patterns = a.Ast.patterns @ b.Ast.patterns;
+    rules = a.Ast.rules @ b.Ast.rules;
+  }
+
+exception Load_error of error
+
+(* Depth-first include resolution: included definitions precede the
+   includer's; each file contributes once; cycles are errors. *)
+let rec load_ast ~loading ~loaded path =
+  let canon =
+    try Unix.realpath path with _ -> path
+  in
+  if List.mem canon loading then
+    raise
+      (Load_error
+         (Syntax
+            ( { Lexer.line = 0; col = 0 },
+              "include cycle through " ^ path )));
+  if Hashtbl.mem loaded canon then Ast.empty_program
+  else begin
+    Hashtbl.replace loaded canon ();
+    let src = read_file path in
+    match Parser.program_with_includes src with
+    | exception Parser.Parse_error (pos, msg) ->
+        raise (Load_error (Syntax (pos, msg)))
+    | exception Lexer.Lex_error (pos, msg) ->
+        raise (Load_error (Syntax (pos, msg)))
+    | includes, ast ->
+        let dir = Filename.dirname path in
+        List.fold_left
+          (fun acc inc ->
+            let inc_path =
+              if Filename.is_relative inc then Filename.concat dir inc
+              else inc
+            in
+            concat_programs acc
+              (load_ast ~loading:(canon :: loading) ~loaded inc_path))
+          Ast.empty_program includes
+        |> fun included -> concat_programs included ast
+  end
+
+let load_file ~sg path =
+  match load_ast ~loading:[] ~loaded:(Hashtbl.create 4) path with
+  | exception Load_error e -> Error e
+  | exception Sys_error msg ->
+      Error (Syntax ({ Lexer.line = 0; col = 0 }, msg))
+  | ast -> (
+      match Pypm_dsl.Elaborate.program ~sg ast with
+      | Ok program -> Ok program
+      | Error errs -> Error (Elab errs))

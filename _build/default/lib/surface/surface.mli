@@ -1,0 +1,29 @@
+(** Surface-language entry points: parse and elaborate PyPM source text.
+
+    A [.pypm] file plays the role of the paper's Python pattern file; this
+    module turns it into an engine program ready to load into the rewrite
+    pass (or to serialize as a pattern binary). *)
+
+open Pypm_dsl
+open Pypm_term
+
+type error =
+  | Syntax of Lexer.pos * string
+  | Elab of Pypm_dsl.Elaborate.error list
+
+val pp_error : Format.formatter -> error -> unit
+
+(** [parse src] parses source text to the frontend AST. *)
+val parse : string -> (Ast.program, error) result
+
+(** [load ~sg src] parses and elaborates, extending [sg] with the file's
+    operator declarations. *)
+val load : sg:Signature.t -> string -> (Pypm_engine.Program.t, error) result
+
+(** [load_file ~sg path] reads and {!load}s a file, resolving top-level
+    [include "other.pypm";] directives relative to the including file's
+    directory. Included definitions come first (so their patterns precede
+    the includer's in program order); a file is loaded at most once and
+    include cycles are reported as errors. *)
+val load_file :
+  sg:Signature.t -> string -> (Pypm_engine.Program.t, error) result

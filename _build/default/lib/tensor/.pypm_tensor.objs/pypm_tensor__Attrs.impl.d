@@ -1,0 +1,1 @@
+lib/tensor/attrs.ml: Char Dtype Hashtbl Option Pypm_pattern Pypm_term Shape Signature String Term Ty

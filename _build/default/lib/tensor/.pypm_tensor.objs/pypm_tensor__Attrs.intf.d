@@ -1,0 +1,1 @@
+lib/tensor/attrs.mli: Pypm_pattern Pypm_term Signature Term Ty

@@ -1,0 +1,1 @@
+lib/tensor/infer.ml: Dtype Hashtbl List Printf Pypm_term Result Shape Symbol Ty

@@ -1,0 +1,1 @@
+lib/tensor/infer.mli: Dtype Pypm_term Symbol Ty

@@ -1,0 +1,1 @@
+lib/tensor/ty.ml: Dtype Format Shape

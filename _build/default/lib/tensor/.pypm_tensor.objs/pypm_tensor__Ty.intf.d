@@ -1,0 +1,1 @@
+lib/tensor/ty.mli: Dtype Format Shape

@@ -1,0 +1,71 @@
+open Pypm_term
+
+let classes : (string, int) Hashtbl.t = Hashtbl.create 16
+let class_names : (int, string) Hashtbl.t = Hashtbl.create 16
+let next_class = ref 0
+
+let class_code name =
+  match Hashtbl.find_opt classes name with
+  | Some c -> c
+  | None ->
+      let c = !next_class in
+      incr next_class;
+      Hashtbl.replace classes name c;
+      Hashtbl.replace class_names c name;
+      c
+
+let class_name code = Hashtbl.find_opt class_names code
+
+let sym_attr_of_sig (sg : Signature.t) attr s =
+  match Signature.find sg s with
+  | None -> None
+  | Some d -> (
+      match attr with
+      | "arity" -> Some d.arity
+      | "output_arity" -> Some d.output_arity
+      | "op_class" -> Some (class_code d.op_class)
+      | _ -> None)
+
+let dim_attr attr =
+  (* "dim0" .. "dim7" *)
+  if String.length attr = 4 && String.sub attr 0 3 = "dim" then
+    match attr.[3] with '0' .. '7' -> Some (Char.code attr.[3] - Char.code '0') | _ -> None
+  else None
+
+let interp ~sg ~type_of : Pypm_pattern.Guard.interp =
+  {
+    term_attr =
+      (fun attr t ->
+        match attr with
+        | "size" -> Some (Term.size t)
+        | "depth" -> Some (Term.depth t)
+        | "op_class" ->
+            Option.map (fun c -> class_code c) (Signature.op_class sg (Term.head t))
+        | _ -> (
+            match type_of t with
+            | None -> None
+            | Some ty -> (
+                match attr with
+                | "rank" -> Some (Ty.rank ty)
+                | "eltType" -> Some (Dtype.code ty.Ty.dtype)
+                | "nelems" -> Some (Ty.nelems ty)
+                | "bytes" -> Some (Ty.size_bytes ty)
+                | _ -> (
+                    match dim_attr attr with
+                    | Some i -> Shape.dim i ty.Ty.shape
+                    | None -> None))));
+    sym_attr = sym_attr_of_sig sg;
+  }
+
+let structural ~sg : Pypm_pattern.Guard.interp =
+  {
+    term_attr =
+      (fun attr t ->
+        match attr with
+        | "size" -> Some (Term.size t)
+        | "depth" -> Some (Term.depth t)
+        | "op_class" ->
+            Option.map (fun c -> class_code c) (Signature.op_class sg (Term.head t))
+        | _ -> None);
+    sym_attr = sym_attr_of_sig sg;
+  }

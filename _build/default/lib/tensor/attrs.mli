@@ -1,0 +1,34 @@
+(** The tensor attribute interpretation.
+
+    Instantiates CorePyPM's abstract attribute interpretation
+    [[.]] : A -> Term -> N (section 3.2) with PyPM's concrete tensor
+    attributes. Attribute values come from a typing function
+    [Term.t -> Ty.t option] (in practice: the type table built by the graph
+    term view) and from the signature (operator classes, arities).
+
+    Supported term attributes: [rank], [eltType], [nelems], [bytes],
+    [dim0] .. [dim7], and the structural [size]/[depth]. Symbol attributes
+    (for function variables): [arity], [op_class], [output_arity]. *)
+
+open Pypm_term
+
+(** Operator-class codes: guards compare classes as naturals, so class
+    names are interned. The paper's [opclass("unary_pointwise")] surface
+    form resolves through {!class_code}. Interning is global and stable
+    within a process. *)
+val class_code : string -> int
+
+val class_name : int -> string option
+
+(** [interp ~sg ~type_of] builds the guard interpretation. Attributes of
+    terms whose type [type_of] cannot determine are undefined (guards
+    mentioning them cannot be verified and fail the match). *)
+val interp :
+  sg:Signature.t ->
+  type_of:(Term.t -> Ty.t option) ->
+  Pypm_pattern.Guard.interp
+
+(** A purely structural interpretation (no tensor types): [size], [depth],
+    plus symbol attributes from the signature. Used by tests and generic
+    examples. *)
+val structural : sg:Signature.t -> Pypm_pattern.Guard.interp

@@ -1,0 +1,59 @@
+type t = F64 | F32 | F16 | BF16 | I64 | I32 | I8 | Bool
+
+let all = [ F64; F32; F16; BF16; I64; I32; I8; Bool ]
+
+let bytes = function
+  | F64 | I64 -> 8
+  | F32 | I32 -> 4
+  | F16 | BF16 -> 2
+  | I8 | Bool -> 1
+
+let code = function
+  | F64 -> 0
+  | F32 -> 1
+  | F16 -> 2
+  | BF16 -> 3
+  | I64 -> 4
+  | I32 -> 5
+  | I8 -> 6
+  | Bool -> 7
+
+let of_code = function
+  | 0 -> Some F64
+  | 1 -> Some F32
+  | 2 -> Some F16
+  | 3 -> Some BF16
+  | 4 -> Some I64
+  | 5 -> Some I32
+  | 6 -> Some I8
+  | 7 -> Some Bool
+  | _ -> None
+
+let is_float = function
+  | F64 | F32 | F16 | BF16 -> true
+  | I64 | I32 | I8 | Bool -> false
+
+let equal (a : t) b = a = b
+
+let to_string = function
+  | F64 -> "f64"
+  | F32 -> "f32"
+  | F16 -> "f16"
+  | BF16 -> "bf16"
+  | I64 -> "i64"
+  | I32 -> "i32"
+  | I8 -> "i8"
+  | Bool -> "bool"
+
+let of_string = function
+  | "f64" -> Some F64
+  | "f32" -> Some F32
+  | "f16" -> Some F16
+  | "bf16" -> Some BF16
+  | "i64" -> Some I64
+  | "i32" -> Some I32
+  | "i8" -> Some I8
+  | "bool" -> Some Bool
+  | _ -> None
+
+let pp ppf t = Format.pp_print_string ppf (to_string t)

@@ -1,0 +1,23 @@
+(** Tensor element types.
+
+    PyPM guards constrain element types ([x.eltType == f32] in figure 1).
+    CorePyPM's attribute interpretation is natural-number valued, so each
+    dtype has a stable integer {!code} used in guards; the surface language
+    resolves names like [f32] to these codes. *)
+
+type t = F64 | F32 | F16 | BF16 | I64 | I32 | I8 | Bool
+
+val all : t list
+
+(** Bytes per element; drives the memory-traffic cost model. *)
+val bytes : t -> int
+
+(** Stable integer encoding for guard arithmetic. *)
+val code : t -> int
+
+val of_code : int -> t option
+val is_float : t -> bool
+val equal : t -> t -> bool
+val to_string : t -> string
+val of_string : string -> t option
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,164 @@
+open Pypm_term
+
+type attrs = (string * int) list
+type rule = attrs -> Ty.t list -> (Ty.t, string) result
+type t = (Symbol.t, rule) Hashtbl.t
+
+let create () : t = Hashtbl.create 64
+let register t sym rule = Hashtbl.replace t sym rule
+let mem = Hashtbl.mem
+
+let infer t sym ~attrs inputs =
+  match Hashtbl.find_opt t sym with
+  | Some rule -> rule attrs inputs
+  | None -> Error (Printf.sprintf "no typing rule for operator %s" sym)
+
+let copy = Hashtbl.copy
+
+let attr ?default name attrs =
+  match List.assoc_opt name attrs with
+  | Some v -> Ok v
+  | None -> (
+      match default with
+      | Some v -> Ok v
+      | None -> Error (Printf.sprintf "missing attribute %s" name))
+
+let ( let* ) = Result.bind
+
+let arity_error name n inputs =
+  Error
+    (Printf.sprintf "%s expects %d inputs, got %d" name n (List.length inputs))
+
+let pointwise1 _ = function
+  | [ x ] -> Ok x
+  | inputs -> arity_error "pointwise1" 1 inputs
+
+let broadcast2 name (a : Ty.t) (b : Ty.t) =
+  if not (Dtype.equal a.dtype b.dtype) then
+    Error
+      (Printf.sprintf "%s: dtype mismatch %s vs %s" name
+         (Dtype.to_string a.dtype) (Dtype.to_string b.dtype))
+  else
+    match Shape.broadcast a.shape b.shape with
+    | Some s -> Ok (Ty.make a.dtype s)
+    | None ->
+        Error
+          (Printf.sprintf "%s: shapes %s and %s do not broadcast" name
+             (Shape.to_string a.shape) (Shape.to_string b.shape))
+
+let pointwise2 _ = function
+  | [ a; b ] -> broadcast2 "pointwise2" a b
+  | inputs -> arity_error "pointwise2" 2 inputs
+
+let pointwise_n _ = function
+  | [] -> Error "pointwise_n expects at least one input"
+  | x :: rest ->
+      List.fold_left
+        (fun acc y ->
+          let* a = acc in
+          broadcast2 "pointwise_n" a y)
+        (Ok x) rest
+
+let cast_to dtype _ = function
+  | [ (x : Ty.t) ] -> Ok (Ty.make dtype x.shape)
+  | inputs -> arity_error "cast" 1 inputs
+
+let matmul _ = function
+  | [ (a : Ty.t); (b : Ty.t) ] -> (
+      if not (Dtype.equal a.dtype b.dtype) then
+        Error "matmul: dtype mismatch"
+      else
+        match Shape.matmul a.shape b.shape with
+        | Some s -> Ok (Ty.make a.dtype s)
+        | None ->
+            Error
+              (Printf.sprintf "matmul: shapes %s and %s are incompatible"
+                 (Shape.to_string a.shape) (Shape.to_string b.shape)))
+  | inputs -> arity_error "matmul" 2 inputs
+
+let transpose _ = function
+  | [ (x : Ty.t) ] -> (
+      match Shape.transpose_last2 x.shape with
+      | Some s -> Ok (Ty.make x.dtype s)
+      | None -> Error "transpose: rank must be >= 2")
+  | inputs -> arity_error "transpose" 1 inputs
+
+let softmax _ = function
+  | [ (x : Ty.t) ] ->
+      if Dtype.is_float x.dtype then Ok x
+      else Error "softmax: input must be floating point"
+  | inputs -> arity_error "softmax" 1 inputs
+
+let reduce attrs = function
+  | [ (x : Ty.t) ] -> (
+      let* axis = attr ~default:(Shape.rank x.shape - 1) "axis" attrs in
+      match Shape.reduce axis x.shape with
+      | Some s -> Ok (Ty.make x.dtype s)
+      | None -> Error (Printf.sprintf "reduce: axis %d out of range" axis))
+  | inputs -> arity_error "reduce" 1 inputs
+
+let conv2d attrs inputs =
+  let* stride = attr ~default:1 "stride" attrs in
+  let* pad = attr ~default:0 "pad" attrs in
+  match inputs with
+  | (x : Ty.t) :: (w : Ty.t) :: rest -> (
+      if List.length rest > 1 then arity_error "conv2d" 3 inputs
+      else
+        match Shape.conv2d ~stride ~pad x.shape w.shape with
+        | Some s -> Ok (Ty.make x.dtype s)
+        | None ->
+            Error
+              (Printf.sprintf "conv2d: input %s kernel %s incompatible"
+                 (Shape.to_string x.shape) (Shape.to_string w.shape)))
+  | _ -> arity_error "conv2d" 2 inputs
+
+let pool2d attrs = function
+  | [ (x : Ty.t) ] -> (
+      let* window = attr ~default:2 "window" attrs in
+      let* stride = attr ~default:window "stride" attrs in
+      match Shape.pool2d ~window ~stride x.shape with
+      | Some s -> Ok (Ty.make x.dtype s)
+      | None -> Error "pool2d: shape incompatible with window")
+  | inputs -> arity_error "pool2d" 1 inputs
+
+let flatten attrs = function
+  | [ (x : Ty.t) ] -> (
+      let* axis = attr ~default:1 "axis" attrs in
+      match Shape.flatten_from axis x.shape with
+      | Some s -> Ok (Ty.make x.dtype s)
+      | None -> Error "flatten: axis out of range")
+  | inputs -> arity_error "flatten" 1 inputs
+
+let linear _ inputs =
+  match inputs with
+  | (x : Ty.t) :: (w : Ty.t) :: rest when List.length rest <= 1 -> (
+      match (List.rev x.shape, w.shape) with
+      | k :: batch_rev, [ k'; n ] when k = k' ->
+          Ok (Ty.make x.dtype (List.rev batch_rev @ [ n ]))
+      | _ ->
+          Error
+            (Printf.sprintf "linear: input %s weight %s incompatible"
+               (Shape.to_string x.shape) (Shape.to_string w.shape)))
+  | _ -> arity_error "linear" 2 inputs
+
+let leaf attrs _ =
+  let* dt_code = attr "dtype" attrs in
+  let* rank = attr "rank" attrs in
+  let* dtype =
+    match Dtype.of_code dt_code with
+    | Some d -> Ok d
+    | None -> Error (Printf.sprintf "leaf: bad dtype code %d" dt_code)
+  in
+  let rec dims i =
+    if i >= rank then Ok []
+    else
+      let* d = attr (Printf.sprintf "dim%d" i) attrs in
+      let* rest = dims (i + 1) in
+      Ok (d :: rest)
+  in
+  let* shape = dims 0 in
+  Ok (Ty.make dtype shape)
+
+let same_as_first _ = function
+  | x :: _ -> Ok x
+  | [] -> Error "same_as_first expects at least one input"

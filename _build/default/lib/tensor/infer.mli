@@ -1,0 +1,83 @@
+(** Shape and dtype inference.
+
+    A registry of per-operator typing rules. The graph IR consults it when
+    nodes are created and after rewrites, so every node carries a [Ty.t]
+    and guard attributes like [x.shape.rank] are always available.
+
+    A rule receives the node's integer attributes (stride, axis, ...) and
+    the input types, and produces the output type or a descriptive error.
+    Combinators cover the common operator families; bespoke operators can
+    register closures directly. *)
+
+open Pypm_term
+
+type attrs = (string * int) list
+
+type rule = attrs -> Ty.t list -> (Ty.t, string) result
+
+type t
+
+val create : unit -> t
+
+(** [register t sym rule] installs the typing rule for [sym]; re-registering
+    replaces the previous rule (last wins, like operator redefinition in a
+    PyPM file). *)
+val register : t -> Symbol.t -> rule -> unit
+
+val mem : t -> Symbol.t -> bool
+
+(** [infer t sym ~attrs inputs] types one application. Unregistered symbols
+    yield an error mentioning the symbol (the engine treats those nodes as
+    opaque). *)
+val infer : t -> Symbol.t -> attrs:attrs -> Ty.t list -> (Ty.t, string) result
+
+(** [copy t] is an independent snapshot. *)
+val copy : t -> t
+
+(** {1 Rule combinators} *)
+
+(** Unary pointwise: output type = input type. *)
+val pointwise1 : rule
+
+(** Binary pointwise with numpy broadcasting; dtypes must agree. *)
+val pointwise2 : rule
+
+(** Variadic pointwise (all inputs broadcast together). *)
+val pointwise_n : rule
+
+(** Unary pointwise that also casts the element type. *)
+val cast_to : Dtype.t -> rule
+
+(** Batched matrix multiplication. *)
+val matmul : rule
+
+(** Transpose of the last two dimensions. *)
+val transpose : rule
+
+(** Row-wise softmax: shape preserved, input must be floating point. *)
+val softmax : rule
+
+(** Reduction over attribute ["axis"] (default: last axis). *)
+val reduce : rule
+
+(** NCHW convolution with attributes ["stride"] (default 1) and ["pad"]
+    (default 0); inputs are image and kernel, with optional bias. *)
+val conv2d : rule
+
+(** Spatial pooling with attributes ["window"] and ["stride"]. *)
+val pool2d : rule
+
+(** Flatten from attribute ["axis"] (default 1). *)
+val flatten : rule
+
+(** Fully-connected layer: [x : [...; k]] with weight [[k; n]] and optional
+    bias. *)
+val linear : rule
+
+(** A leaf/input: type comes from attributes ["dtype"], ["rank"] and
+    ["dim0"..] — used when deserializing graphs. *)
+val leaf : rule
+
+(** Always returns the first input's type (e.g. residual add of equal
+    shapes, layout ops). *)
+val same_as_first : rule

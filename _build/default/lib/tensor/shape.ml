@@ -1,0 +1,101 @@
+type t = int list
+
+let scalar = []
+let rank = List.length
+let nelems s = List.fold_left ( * ) 1 s
+let dim i s = List.nth_opt s i
+let equal = List.equal Int.equal
+let valid = List.for_all (fun d -> d > 0)
+
+let rec pad_to n s = if List.length s >= n then s else pad_to n (1 :: s)
+
+let broadcast a b =
+  let n = max (rank a) (rank b) in
+  let a = pad_to n a and b = pad_to n b in
+  let rec go a b =
+    match (a, b) with
+    | [], [] -> Some []
+    | da :: a, db :: b -> (
+        let d =
+          if da = db then Some da
+          else if da = 1 then Some db
+          else if db = 1 then Some da
+          else None
+        in
+        match (d, go a b) with Some d, Some rest -> Some (d :: rest) | _ -> None)
+    | _ -> None
+  in
+  go a b
+
+let split_last2 s =
+  match List.rev s with
+  | n :: m :: batch -> Some (List.rev batch, m, n)
+  | _ -> None
+
+let matmul a b =
+  match (split_last2 a, split_last2 b) with
+  | Some (batch_a, m, k), Some (batch_b, k', n) when k = k' -> (
+      match broadcast batch_a batch_b with
+      | Some batch -> Some (batch @ [ m; n ])
+      | None -> None)
+  | _ -> None
+
+let transpose_last2 s =
+  match split_last2 s with
+  | Some (batch, m, n) -> Some (batch @ [ n; m ])
+  | None -> None
+
+let conv2d ~stride ~pad in_shape kernel_shape =
+  match (in_shape, kernel_shape) with
+  | [ n; c; h; w ], [ o; c'; kh; kw ] when c = c' && stride > 0 ->
+      let out_h = ((h + (2 * pad) - kh) / stride) + 1 in
+      let out_w = ((w + (2 * pad) - kw) / stride) + 1 in
+      if out_h > 0 && out_w > 0 then Some [ n; o; out_h; out_w ] else None
+  | _ -> None
+
+let pool2d ~window ~stride s =
+  match s with
+  | [ n; c; h; w ] when stride > 0 && window > 0 ->
+      let out_h = ((h - window) / stride) + 1 in
+      let out_w = ((w - window) / stride) + 1 in
+      if out_h > 0 && out_w > 0 then Some [ n; c; out_h; out_w ] else None
+  | _ -> None
+
+let flatten_from axis s =
+  if axis < 0 || axis > rank s then None
+  else
+    let rec go i = function
+      | rest when i = axis -> [ nelems rest ]
+      | d :: rest -> d :: go (i + 1) rest
+      | [] -> []
+    in
+    Some (go 0 s)
+
+let concat axis a b =
+  if rank a <> rank b || axis < 0 || axis >= rank a then None
+  else
+    let ok = ref true in
+    let s =
+      List.mapi
+        (fun i (da, db) ->
+          if i = axis then da + db
+          else if da = db then da
+          else (
+            ok := false;
+            da))
+        (List.combine a b)
+    in
+    if !ok then Some s else None
+
+let reduce axis s =
+  if axis < 0 || axis >= rank s then None
+  else Some (List.filteri (fun i _ -> i <> axis) s)
+
+let pp ppf s =
+  Format.fprintf ppf "[%a]"
+    (Format.pp_print_list
+       ~pp_sep:(fun ppf () -> Format.fprintf ppf "x")
+       Format.pp_print_int)
+    s
+
+let to_string s = Format.asprintf "%a" pp s

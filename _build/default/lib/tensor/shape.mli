@@ -1,0 +1,52 @@
+(** Tensor shapes: ordered dimension lists.
+
+    Shapes drive both the guard attributes ([x.shape.rank], [x.dimN]) and
+    the shape-inference rules that compute node types in the graph IR. *)
+
+type t = int list
+(** outermost dimension first; [[]] is a scalar *)
+
+val scalar : t
+val rank : t -> int
+val nelems : t -> int
+
+(** [dim i s] is dimension [i] counting from the outside; [None] when out of
+    range. *)
+val dim : int -> t -> int option
+
+val equal : t -> t -> bool
+
+(** Numpy-style broadcasting of two shapes; [None] if incompatible. Shorter
+    shapes are padded with leading 1s; paired dimensions must be equal or
+    one of them 1. *)
+val broadcast : t -> t -> t option
+
+(** [matmul a b] is batched matrix-multiply shape inference:
+    [[...; m; k] x [...; k; n] -> [...; m; n]] with broadcast batch dims;
+    both inputs must have rank >= 2. *)
+val matmul : t -> t -> t option
+
+(** Swap the last two dimensions (rank >= 2). *)
+val transpose_last2 : t -> t option
+
+(** [conv2d ~stride ~pad in_shape kernel_shape]: NCHW convolution shape,
+    [in = [n; c; h; w]], [kernel = [o; c; kh; kw]]. *)
+val conv2d : stride:int -> pad:int -> t -> t -> t option
+
+(** [pool2d ~window ~stride s]: spatial pooling over NCHW. *)
+val pool2d : window:int -> stride:int -> t -> t option
+
+(** [flatten_from axis s] collapses dimensions [axis..] into one. *)
+val flatten_from : int -> t -> t option
+
+(** [concat axis a b] concatenates along [axis]; other dims must agree. *)
+val concat : int -> t -> t -> t option
+
+(** [reduce axis s] removes dimension [axis] (e.g. a sum or mean). *)
+val reduce : int -> t -> t option
+
+val valid : t -> bool
+(** all dimensions strictly positive *)
+
+val pp : Format.formatter -> t -> unit
+val to_string : t -> string

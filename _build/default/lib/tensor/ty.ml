@@ -1,0 +1,11 @@
+type t = { dtype : Dtype.t; shape : Shape.t }
+
+let make dtype shape = { dtype; shape }
+let scalar dtype = { dtype; shape = Shape.scalar }
+let rank t = Shape.rank t.shape
+let nelems t = Shape.nelems t.shape
+let size_bytes t = nelems t * Dtype.bytes t.dtype
+let equal a b = Dtype.equal a.dtype b.dtype && Shape.equal a.shape b.shape
+
+let pp ppf t = Format.fprintf ppf "%a%a" Dtype.pp t.dtype Shape.pp t.shape
+let to_string t = Format.asprintf "%a" pp t

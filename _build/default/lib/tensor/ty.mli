@@ -1,0 +1,19 @@
+(** Tensor types: an element dtype paired with a shape.
+
+    Every term a pattern variable can bind to has "the same set of
+    tensor-specific attributes including element type, shape, and rank"
+    (paper, section 2); a [Ty.t] is that record of information. *)
+
+type t = { dtype : Dtype.t; shape : Shape.t }
+
+val make : Dtype.t -> Shape.t -> t
+val scalar : Dtype.t -> t
+val rank : t -> int
+val nelems : t -> int
+
+(** Total size in bytes; used by the memory-traffic cost model. *)
+val size_bytes : t -> int
+
+val equal : t -> t -> bool
+val pp : Format.formatter -> t -> unit
+val to_string : t -> string

@@ -1,0 +1,1 @@
+lib/term/fsubst.ml: Format List Map String Symbol

@@ -1,0 +1,1 @@
+lib/term/fsubst.mli: Format Symbol

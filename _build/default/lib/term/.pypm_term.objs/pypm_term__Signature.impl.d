@@ -1,0 +1,1 @@
+lib/term/signature.ml: Format Hashtbl List Option Printf String Symbol

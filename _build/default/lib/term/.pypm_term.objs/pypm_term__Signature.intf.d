@@ -1,0 +1,1 @@
+lib/term/signature.mli: Format Symbol

@@ -1,0 +1,1 @@
+lib/term/subst.ml: Format List Map String Term

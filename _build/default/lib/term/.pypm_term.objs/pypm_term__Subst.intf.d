@@ -1,0 +1,1 @@
+lib/term/subst.mli: Format Term

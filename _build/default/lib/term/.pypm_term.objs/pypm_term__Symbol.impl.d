@@ -1,0 +1,1 @@
+lib/term/symbol.ml: Format Hashtbl Map Printf Set String

@@ -1,0 +1,1 @@
+lib/term/symbol.mli: Format Map Set

@@ -1,0 +1,1 @@
+lib/term/term.ml: Format Hashtbl List Map Printf Seq Set Signature Symbol

@@ -1,0 +1,1 @@
+lib/term/term.mli: Format Hashtbl Map Seq Set Signature Symbol

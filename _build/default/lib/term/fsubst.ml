@@ -1,0 +1,55 @@
+type fvar = string
+
+module M = Map.Make (String)
+
+type t = Symbol.t M.t
+
+let empty = M.empty
+let is_empty = M.is_empty
+let find f phi = M.find_opt f phi
+let mem = M.mem
+
+let bind f sym phi =
+  match M.find_opt f phi with
+  | None -> Ok (M.add f sym phi)
+  | Some sym' ->
+      if Symbol.equal sym sym' then Ok phi else Error (`Conflict sym')
+
+let add = M.add
+let cardinal = M.cardinal
+let domain phi = List.map fst (M.bindings phi)
+let bindings = M.bindings
+let of_list l = List.fold_left (fun acc (f, s) -> M.add f s acc) M.empty l
+let equal = M.equal Symbol.equal
+
+let subset a b =
+  M.for_all
+    (fun f s ->
+      match M.find_opt f b with Some s' -> Symbol.equal s s' | None -> false)
+    a
+
+let union a b =
+  let conflict = ref None in
+  let merged =
+    M.union
+      (fun f s s' ->
+        if Symbol.equal s s' then Some s
+        else (
+          (match !conflict with None -> conflict := Some f | Some _ -> ());
+          Some s))
+      a b
+  in
+  match !conflict with None -> Ok merged | Some f -> Error (`Conflict f)
+
+let pp ppf phi =
+  Format.fprintf ppf "@[<h>{";
+  let first = ref true in
+  M.iter
+    (fun f s ->
+      if not !first then Format.fprintf ppf ",@ ";
+      first := false;
+      Format.fprintf ppf "%s |-> %s" f s)
+    phi;
+  Format.fprintf ppf "}@]"
+
+let to_string phi = Format.asprintf "%a" pp phi

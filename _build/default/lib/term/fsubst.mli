@@ -1,0 +1,29 @@
+(** Function substitutions [phi].
+
+    A function substitution maps function variables (which range over
+    operator symbols rather than terms, paper section 3.4) to elements of
+    [Sigma]. It rides along with the term substitution through both
+    semantics. *)
+
+type fvar = string
+type t
+
+val empty : t
+val is_empty : t -> bool
+val find : fvar -> t -> Symbol.t option
+val mem : fvar -> t -> bool
+
+(** [bind f sym phi] extends [phi] with [f |-> sym], or reports the existing
+    conflicting binding (ST-Match-Fun-Var-Conflict). *)
+val bind : fvar -> Symbol.t -> t -> (t, [ `Conflict of Symbol.t ]) result
+
+val add : fvar -> Symbol.t -> t -> t
+val cardinal : t -> int
+val domain : t -> fvar list
+val bindings : t -> (fvar * Symbol.t) list
+val of_list : (fvar * Symbol.t) list -> t
+val equal : t -> t -> bool
+val subset : t -> t -> bool
+val union : t -> t -> (t, [ `Conflict of fvar ]) result
+val pp : Format.formatter -> t -> unit
+val to_string : t -> string

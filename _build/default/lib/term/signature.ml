@@ -1,0 +1,83 @@
+type attr_kind = Int_attr | Sym_attr
+
+type decl = {
+  name : Symbol.t;
+  arity : int;
+  output_arity : int;
+  op_class : string;
+  attrs : (string * attr_kind) list;
+}
+
+type t = {
+  table : (Symbol.t, decl) Hashtbl.t;
+  mutable order : Symbol.t list; (* reverse declaration order *)
+}
+
+let create () = { table = Hashtbl.create 64; order = [] }
+
+let same_decl a b =
+  Symbol.equal a.name b.name && a.arity = b.arity
+  && a.output_arity = b.output_arity
+  && String.equal a.op_class b.op_class
+  && a.attrs = b.attrs
+
+let declare t ?(output_arity = 1) ?(op_class = "generic") ?(attrs = [])
+    ~arity name =
+  if arity < 0 then invalid_arg "Signature.declare: negative arity";
+  if output_arity < 1 then
+    invalid_arg "Signature.declare: output arity must be >= 1";
+  let decl = { name; arity; output_arity; op_class; attrs } in
+  match Hashtbl.find_opt t.table name with
+  | Some existing ->
+      if same_decl existing decl then existing
+      else
+        invalid_arg
+          (Printf.sprintf "Signature.declare: conflicting declaration of %s"
+             name)
+  | None ->
+      Hashtbl.replace t.table name decl;
+      t.order <- name :: t.order;
+      decl
+
+let find t name = Hashtbl.find_opt t.table name
+
+let find_exn t name =
+  match find t name with
+  | Some d -> d
+  | None ->
+      invalid_arg (Printf.sprintf "Signature.find_exn: undeclared operator %s" name)
+
+let mem t name = Hashtbl.mem t.table name
+let arity t name = Option.map (fun d -> d.arity) (find t name)
+let op_class t name = Option.map (fun d -> d.op_class) (find t name)
+
+let decls t =
+  List.rev_map (fun name -> Hashtbl.find t.table name) t.order
+
+let size t = Hashtbl.length t.table
+
+let symbols_of_class t c =
+  decls t
+  |> List.filter (fun d -> String.equal d.op_class c)
+  |> List.map (fun d -> d.name)
+
+let copy t = { table = Hashtbl.copy t.table; order = t.order }
+
+let union a b =
+  let t = copy a in
+  List.iter
+    (fun d ->
+      ignore
+        (declare t ~output_arity:d.output_arity ~op_class:d.op_class
+           ~attrs:d.attrs ~arity:d.arity d.name))
+    (decls b);
+  t
+
+let pp ppf t =
+  Format.fprintf ppf "@[<v>";
+  List.iter
+    (fun d ->
+      Format.fprintf ppf "op %s/%d -> %d [%s]@," d.name d.arity d.output_arity
+        d.op_class)
+    (decls t);
+  Format.fprintf ppf "@]"

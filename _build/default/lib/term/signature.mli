@@ -1,0 +1,68 @@
+(** Operator signatures.
+
+    A signature fixes the operator set [Sigma] and the [arity] function the
+    calculus is parameterized over (paper, section 3.1), together with the
+    extra operator metadata PyPM's [@op] declarations carry: output arity,
+    attributes that are not dataflow inputs (e.g. a convolution stride), and
+    an operator class used by guards such as
+    [UnaryOp.op_class == opclass("unary_pointwise")] (paper, figure 14). *)
+
+(** Kind of a non-dataflow operator attribute. *)
+type attr_kind =
+  | Int_attr  (** integer-valued, e.g. a stride *)
+  | Sym_attr  (** symbolic, e.g. a padding mode *)
+
+(** Declaration of a single operator, the analogue of an [@op] method. *)
+type decl = {
+  name : Symbol.t;
+  arity : int;  (** number of dataflow inputs *)
+  output_arity : int;  (** number of results; PyPM requires >= 1 *)
+  op_class : string;  (** e.g. ["unary_pointwise"], ["matmul"], ["opaque"] *)
+  attrs : (string * attr_kind) list;  (** declared non-dataflow attributes *)
+}
+
+(** A mutable registry of operator declarations; the concrete [Sigma]. *)
+type t
+
+val create : unit -> t
+
+(** [declare t ~arity ... name] adds an operator. Re-declaring a name with a
+    different arity raises [Invalid_argument]; an identical re-declaration is
+    a no-op (mirroring PyPM's idempotent registry). *)
+val declare :
+  t ->
+  ?output_arity:int ->
+  ?op_class:string ->
+  ?attrs:(string * attr_kind) list ->
+  arity:int ->
+  Symbol.t ->
+  decl
+
+val find : t -> Symbol.t -> decl option
+val find_exn : t -> Symbol.t -> decl
+val mem : t -> Symbol.t -> bool
+
+(** [arity t f] is the arity of [f], or [None] if undeclared. *)
+val arity : t -> Symbol.t -> int option
+
+val op_class : t -> Symbol.t -> string option
+
+(** All declarations, in declaration order. *)
+val decls : t -> decl list
+
+(** Number of declared operators. *)
+val size : t -> int
+
+(** [symbols_of_class t c] lists the operators whose class is [c], in
+    declaration order. Used by enumeration and random generators. *)
+val symbols_of_class : t -> string -> Symbol.t list
+
+(** [copy t] is an independent copy; later declarations in either do not
+    affect the other. *)
+val copy : t -> t
+
+(** [union a b] is a fresh signature containing the declarations of both.
+    Raises [Invalid_argument] on conflicting declarations. *)
+val union : t -> t -> t
+
+val pp : Format.formatter -> t -> unit

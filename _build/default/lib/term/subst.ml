@@ -1,0 +1,62 @@
+type var = string
+
+module M = Map.Make (String)
+
+type t = Term.t M.t
+
+let empty = M.empty
+let is_empty = M.is_empty
+let find x theta = M.find_opt x theta
+let mem = M.mem
+
+let bind x t theta =
+  match M.find_opt x theta with
+  | None -> Ok (M.add x t theta)
+  | Some t' -> if Term.equal t t' then Ok theta else Error (`Conflict t')
+
+let add = M.add
+let remove = M.remove
+let cardinal = M.cardinal
+let domain theta = List.map fst (M.bindings theta)
+let bindings = M.bindings
+let of_list l = List.fold_left (fun acc (x, t) -> M.add x t acc) M.empty l
+let equal = M.equal Term.equal
+
+let subset a b =
+  M.for_all
+    (fun x t -> match M.find_opt x b with Some t' -> Term.equal t t' | None -> false)
+    a
+
+let agree a b =
+  M.for_all
+    (fun x t -> match M.find_opt x b with Some t' -> Term.equal t t' | None -> true)
+    a
+
+let union a b =
+  let conflict = ref None in
+  let merged =
+    M.union
+      (fun x t t' ->
+        if Term.equal t t' then Some t
+        else (
+          (match !conflict with None -> conflict := Some x | Some _ -> ());
+          Some t))
+      a b
+  in
+  match !conflict with None -> Ok merged | Some x -> Error (`Conflict x)
+
+let fold = M.fold
+let iter = M.iter
+
+let pp ppf theta =
+  Format.fprintf ppf "@[<h>{";
+  let first = ref true in
+  M.iter
+    (fun x t ->
+      if not !first then Format.fprintf ppf ",@ ";
+      first := false;
+      Format.fprintf ppf "%s |-> %a" x Term.pp t)
+    theta;
+  Format.fprintf ppf "}@]"
+
+let to_string theta = Format.asprintf "%a" pp theta

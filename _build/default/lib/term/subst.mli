@@ -1,0 +1,52 @@
+(** Term substitutions [theta].
+
+    A substitution is a finite map from pattern variables to terms. In the
+    declarative semantics it is the witness of a match (paper, section
+    3.1.1); in the algorithmic semantics it is built up incrementally and
+    saved/restored on the backtracking stack. *)
+
+type var = string
+type t
+
+val empty : t
+val is_empty : t -> bool
+
+(** [find x theta] is the binding of [x], if any; the paper's
+    [theta(x) |-> t]. *)
+val find : var -> t -> Term.t option
+
+val mem : var -> t -> bool
+
+(** [bind x t theta] extends [theta] with [x |-> t]. If [x] is already bound
+    to a term equal to [t] the result is [theta]; if bound to a different
+    term the result is [Error] (the ST-Match-Var-Conflict situation). *)
+val bind : var -> Term.t -> t -> (t, [ `Conflict of Term.t ]) result
+
+(** [add x t theta] unconditionally (re)binds [x]. Prefer {!bind}; [add] is
+    for places where the caller has already resolved conflicts. *)
+val add : var -> Term.t -> t -> t
+
+val remove : var -> t -> t
+val cardinal : t -> int
+val domain : t -> var list
+val bindings : t -> (var * Term.t) list
+val of_list : (var * Term.t) list -> t
+
+val equal : t -> t -> bool
+
+(** [subset a b] holds when every binding of [a] appears (with an equal
+    term) in [b]; the paper's [theta <= theta'] in Theorem 1 (weakening). *)
+val subset : t -> t -> bool
+
+(** [agree a b] holds when [a] and [b] assign equal terms to every variable
+    in the intersection of their domains. *)
+val agree : t -> t -> bool
+
+(** [union a b] merges two substitutions; [Error x] if they conflict on
+    variable [x]. *)
+val union : t -> t -> (t, [ `Conflict of var ]) result
+
+val fold : (var -> Term.t -> 'a -> 'a) -> t -> 'a -> 'a
+val iter : (var -> Term.t -> unit) -> t -> unit
+val pp : Format.formatter -> t -> unit
+val to_string : t -> string

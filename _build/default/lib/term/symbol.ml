@@ -1,0 +1,15 @@
+type t = string
+
+let equal = String.equal
+let compare = String.compare
+let hash = Hashtbl.hash
+let pp = Format.pp_print_string
+
+module Map = Map.Make (String)
+module Set = Set.Make (String)
+
+let counter = ref 0
+
+let fresh ?(prefix = "sym") () =
+  incr counter;
+  Printf.sprintf "%s%%%d" prefix !counter

@@ -1,0 +1,25 @@
+(** Operator symbols.
+
+    CorePyPM is parameterized over a set of operators [Sigma] with arities
+    (paper, section 3.1). A {!t} is the name of one such operator; arity and
+    other metadata live in {!Signature}. Symbols are ordinary strings so
+    frontends can mint them freely, but all code manipulates them through
+    this module to keep intent clear. *)
+
+type t = string
+
+val equal : t -> t -> bool
+val compare : t -> t -> int
+val hash : t -> int
+
+val pp : Format.formatter -> t -> unit
+
+(** Total maps and sets over symbols. *)
+module Map : Map.S with type key = t
+
+module Set : Set.S with type elt = t
+
+(** [fresh ?prefix ()] returns a symbol that has not been returned by any
+    previous call to [fresh] in this process. Used by graph construction to
+    name input/opaque leaf operators. *)
+val fresh : ?prefix:string -> unit -> t

@@ -1,0 +1,100 @@
+type t = {
+  head : Symbol.t;
+  args : t list;
+  hash : int;
+  size : int;
+  depth : int;
+}
+
+let combine h1 h2 = (h1 * 1000003) lxor h2
+
+let app head args =
+  let hash, size, depth =
+    List.fold_left
+      (fun (h, s, d) a -> (combine h a.hash, s + a.size, max d a.depth))
+      (Symbol.hash head, 1, 0)
+      args
+  in
+  { head; args; hash = hash land max_int; size; depth = depth + 1 }
+
+let const head = app head []
+
+let app_checked sg head args =
+  match Signature.arity sg head with
+  | None -> Error (Printf.sprintf "undeclared operator %s" head)
+  | Some n when n <> List.length args ->
+      Error
+        (Printf.sprintf "operator %s has arity %d but is applied to %d arguments"
+           head n (List.length args))
+  | Some _ -> Ok (app head args)
+
+let head t = t.head
+let args t = t.args
+let size t = t.size
+let depth t = t.depth
+let hash t = t.hash
+
+let rec equal a b =
+  a == b
+  || (a.hash = b.hash && a.size = b.size
+     && Symbol.equal a.head b.head
+     && List.equal equal a.args b.args)
+
+let rec compare a b =
+  if a == b then 0
+  else
+    let c = Symbol.compare a.head b.head in
+    if c <> 0 then c else List.compare compare a.args b.args
+
+let rec subterms t () =
+  Seq.Cons (t, List.fold_right (fun a acc -> Seq.append (subterms a) acc) t.args Seq.empty)
+
+let exists_subterm pred t = Seq.exists pred (subterms t)
+
+let count_heads f t =
+  Seq.fold_left
+    (fun acc s -> if Symbol.equal s.head f then acc + 1 else acc)
+    0 (subterms t)
+
+let symbols t =
+  Seq.fold_left (fun acc s -> Symbol.Set.add s.head acc) Symbol.Set.empty
+    (subterms t)
+
+let rec well_formed sg t =
+  (match Signature.arity sg t.head with
+  | Some n -> n = List.length t.args
+  | None -> false)
+  && List.for_all (well_formed sg) t.args
+
+let rec map_leaves f t =
+  match t.args with
+  | [] -> f t.head
+  | args -> app t.head (List.map (map_leaves f) args)
+
+let rec pp ppf t =
+  match t.args with
+  | [] -> Symbol.pp ppf t.head
+  | args ->
+      Format.fprintf ppf "%a(%a)" Symbol.pp t.head
+        (Format.pp_print_list
+           ~pp_sep:(fun ppf () -> Format.pp_print_string ppf ", ")
+           pp)
+        args
+
+let to_string t = Format.asprintf "%a" pp t
+
+module Ord = struct
+  type nonrec t = t
+
+  let compare = compare
+end
+
+module Map = Map.Make (Ord)
+module Set = Set.Make (Ord)
+
+module Tbl = Hashtbl.Make (struct
+  type nonrec t = t
+
+  let equal = equal
+  let hash = hash
+end)

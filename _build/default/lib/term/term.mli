@@ -1,0 +1,64 @@
+(** First-order terms over a signature.
+
+    Terms are the objects patterns are matched against: correctly saturated
+    applications [f(t1, ..., tn)] of operators, with constants as arity-0
+    operators (paper, figure 5). In DLCB terms arise as the tree view of a
+    computation graph rooted at a node (sharing is unfolded).
+
+    Terms are immutable. Each node memoizes its hash, size and depth so that
+    equality is hash-then-structural and size/depth queries are O(1); the
+    MICRO bench ablates this against naive structural equality. *)
+
+type t = private {
+  head : Symbol.t;
+  args : t list;
+  hash : int;
+  size : int;  (** number of operator nodes, >= 1 *)
+  depth : int;  (** 1 for constants *)
+}
+
+(** [app f args] builds [f(args)]. No arity check is performed here; use
+    {!app_checked} to enforce a signature. *)
+val app : Symbol.t -> t list -> t
+
+(** [const f] is [app f []]. *)
+val const : Symbol.t -> t
+
+(** [app_checked sg f args] is [app f args], checking that [f] is declared
+    in [sg] with arity [List.length args]. *)
+val app_checked : Signature.t -> Symbol.t -> t list -> (t, string) result
+
+val head : t -> Symbol.t
+val args : t -> t list
+val size : t -> int
+val depth : t -> int
+
+val equal : t -> t -> bool
+val compare : t -> t -> int
+val hash : t -> int
+
+(** Pre-order sequence of all subterms, including the term itself. *)
+val subterms : t -> t Seq.t
+
+(** [exists_subterm pred t] is true iff some subterm satisfies [pred]. *)
+val exists_subterm : (t -> bool) -> t -> bool
+
+(** [count_heads f t] counts subterm occurrences whose head is [f]. *)
+val count_heads : Symbol.t -> t -> int
+
+(** Symbols occurring in the term. *)
+val symbols : t -> Symbol.Set.t
+
+(** [well_formed sg t] checks every application against the signature. *)
+val well_formed : Signature.t -> t -> bool
+
+(** [map_leaves f t] rebuilds [t], replacing each constant leaf [c] by
+    [f c] (which may be an arbitrary term). Used to graft subgraphs. *)
+val map_leaves : (Symbol.t -> t) -> t -> t
+
+val pp : Format.formatter -> t -> unit
+val to_string : t -> string
+
+module Map : Map.S with type key = t
+module Set : Set.S with type elt = t
+module Tbl : Hashtbl.S with type key = t

@@ -1,0 +1,1 @@
+test/test_codec.ml: Alcotest Bytes Char Codec Corpus Filename Fun Graph List Pass Pattern Printf Program Pypm Pypm_testutil QCheck2 Rule Signature Std_ops String Sys Transformer

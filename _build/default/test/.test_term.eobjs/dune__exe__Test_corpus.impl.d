@@ -1,0 +1,1 @@
+test/test_corpus.ml: Alcotest Corpus Dtype Fsubst Graph List Matcher Option Outcome Pass Pattern Printf Program Pypm Rule Std_ops Subst Symbol Term Term_view Ty

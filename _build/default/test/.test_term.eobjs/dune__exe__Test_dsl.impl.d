@@ -1,0 +1,1 @@
+test/test_dsl.ml: Alcotest Attrs Dsl Elaborate Format Graph Guard List Matcher Outcome Pattern Program Pypm Pypm_testutil Rule Signature String Symbol Term

@@ -1,0 +1,1 @@
+test/test_egraph.ml: Alcotest Egraph Ematch Guard List Pattern Pypm Pypm_testutil Saturate Symbol Term

@@ -1,0 +1,1 @@
+test/test_engine.ml: Alcotest Corpus Dtype Graph Guard List Matcher Option Outcome Partition Pass Pattern Program Pypm Rule Std_ops Symbol Term_view Transformer Ty

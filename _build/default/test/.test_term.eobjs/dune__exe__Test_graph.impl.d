@@ -1,0 +1,1 @@
+test/test_graph.ml: Alcotest Corpus Dot Dtype Graph Guard List Matcher Outcome Program Pypm Signature Std_ops String Subst Symbol Term Term_view Ty

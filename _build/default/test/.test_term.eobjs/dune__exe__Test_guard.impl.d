@@ -1,0 +1,1 @@
+test/test_guard.ml: Alcotest Fixtures Fsubst Guard Printf Pypm_pattern Pypm_term Pypm_testutil QCheck2 Subst Symbol Term

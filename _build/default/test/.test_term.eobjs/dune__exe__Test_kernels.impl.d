@@ -1,0 +1,1 @@
+test/test_kernels.ml: Alcotest Cost Dtype Exec Graph Kernel List Partition Pypm Std_ops Subst Term_view Ty

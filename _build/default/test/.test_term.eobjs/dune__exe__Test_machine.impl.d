@@ -1,0 +1,1 @@
+test/test_machine.ml: Alcotest Fixtures Fsubst Guard List Machine Outcome Pattern Pypm_pattern Pypm_semantics Pypm_term Pypm_testutil Subst

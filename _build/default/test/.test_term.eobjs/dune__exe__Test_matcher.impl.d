@@ -1,0 +1,1 @@
+test/test_matcher.ml: Alcotest Fixtures Fsubst Guard Matcher Outcome Pattern Pypm_pattern Pypm_semantics Pypm_term Pypm_testutil Subst

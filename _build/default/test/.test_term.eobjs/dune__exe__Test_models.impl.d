@@ -1,0 +1,1 @@
+test/test_models.ml: Alcotest Corpus Cost Exec Graph List Multimodal Option Pass Printf Pypm Rng Std_ops String Transformer Ty Vision Zoo

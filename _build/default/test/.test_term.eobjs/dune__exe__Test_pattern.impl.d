@@ -1,0 +1,1 @@
+test/test_pattern.ml: Alcotest Fixtures Guard List Matcher Option Outcome Pattern Printf Pypm_pattern Pypm_semantics Pypm_term Pypm_testutil QCheck2 String Symbol Wf

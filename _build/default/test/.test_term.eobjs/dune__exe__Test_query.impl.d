@@ -1,0 +1,1 @@
+test/test_query.ml: Alcotest Corpus Dtype Graph Guard List Machine Matcher Option Outcome Pattern Printf Program Pypm Query Std_ops Symbol Term_view Ty Zoo

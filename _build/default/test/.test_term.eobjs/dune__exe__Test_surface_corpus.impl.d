@@ -1,0 +1,1 @@
+test/test_surface_corpus.ml: Alcotest Codec Corpus Filename Graph List Option Pass Printf Pypm Std_ops String Surface Sys Zoo

@@ -1,0 +1,1 @@
+test/test_surface_corpus.mli:

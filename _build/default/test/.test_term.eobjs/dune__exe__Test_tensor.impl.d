@@ -1,0 +1,1 @@
+test/test_tensor.ml: Alcotest Attrs Dtype Guard Infer List Option Printf Pypm Pypm_testutil QCheck2 Shape Term Ty

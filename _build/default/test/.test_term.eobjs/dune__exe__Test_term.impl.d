@@ -1,0 +1,1 @@
+test/test_term.ml: Alcotest Fixtures Fsubst List Printf Pypm_term Pypm_testutil QCheck2 Seq Signature Subst Symbol Term

@@ -1,0 +1,1 @@
+test/test_term_rewrite.ml: Alcotest Corpus Dtype Fsubst Graph List Pass Pattern Program Pypm Pypm_testutil Rule Saturate Std_ops Subst Term Term_rewrite Term_view Ty

@@ -1,0 +1,264 @@
+(* Tests for the declarative semantics (figure 16), Theorem 1 (weakening),
+   derivation proof objects, and the enumeration oracle. *)
+
+open Pypm_term
+open Pypm_pattern
+open Pypm_semantics
+open Pypm_testutil
+module F = Fixtures
+module P = Pattern
+module G = Guard
+
+let interp = F.interp
+let check ?fuel p theta phi t = Declarative.check ~interp ?fuel p theta phi t
+let checkb = Alcotest.(check bool)
+
+let th l = Subst.of_list l
+let ph l = Fsubst.of_list l
+
+(* ------------------------------------------------------------------ *)
+(* Rule-by-rule checks                                                 *)
+(* ------------------------------------------------------------------ *)
+
+let test_p_var () =
+  checkb "x @ {x->a} ~= a" true (check (P.var "x") (th [ ("x", F.a) ]) Fsubst.empty F.a);
+  checkb "x @ {x->b} ~= a fails" false
+    (check (P.var "x") (th [ ("x", F.b) ]) Fsubst.empty F.a);
+  checkb "x @ {} ~= a fails (no witness binding)" false
+    (check (P.var "x") Subst.empty Fsubst.empty F.a)
+
+let test_p_fun () =
+  let p = P.app "f" [ P.var "x"; P.var "y" ] in
+  checkb "P-Fun" true
+    (check p (th [ ("x", F.a); ("y", F.b) ]) Fsubst.empty (F.f2 F.a F.b));
+  checkb "wrong head" false
+    (check p (th [ ("x", F.a); ("y", F.b) ]) Fsubst.empty (F.g1 F.a))
+
+let test_p_alt () =
+  let p = P.alt (P.const "a") (P.const "b") in
+  checkb "left" true (check p Subst.empty Fsubst.empty F.a);
+  checkb "right" true (check p Subst.empty Fsubst.empty F.b);
+  checkb "neither" false (check p Subst.empty Fsubst.empty F.c)
+
+let test_p_guard () =
+  let p = P.Guarded (P.var "x", G.Eq (G.Var_attr ("x", "size"), G.Const 1)) in
+  checkb "guard true" true (check p (th [ ("x", F.a) ]) Fsubst.empty F.a);
+  let t = F.f2 F.a F.b in
+  checkb "guard false" false (check p (th [ ("x", t) ]) Fsubst.empty t)
+
+let test_p_exists_bound () =
+  (* with x already in theta the union pins t' *)
+  let p = P.exists "y" (P.app "g" [ P.var "y" ]) in
+  checkb "pinned witness" true
+    (check p (th [ ("y", F.a) ]) Fsubst.empty (F.g1 F.a));
+  checkb "pinned wrong witness" false
+    (check p (th [ ("y", F.b) ]) Fsubst.empty (F.g1 F.a))
+
+let test_p_exists_search () =
+  (* unbound existential: the checker searches subterm candidates *)
+  let p = P.exists "y" (P.app "g" [ P.var "y" ]) in
+  checkb "found witness" true (check p Subst.empty Fsubst.empty (F.g1 F.b))
+
+let test_p_exists_vacuous () =
+  (* x unused in body: any invented term witnesses P-Exists *)
+  let p = P.exists "w" (P.const "a") in
+  checkb "vacuous exists" true (check p Subst.empty Fsubst.empty F.a)
+
+let test_p_match_constr () =
+  let p = P.constr (P.var "x") (P.app "g" [ P.var "y" ]) "x" in
+  let t = F.g1 F.c in
+  checkb "constraint holds" true
+    (check p (th [ ("x", t); ("y", F.c) ]) Fsubst.empty t);
+  checkb "constraint violated" false
+    (check p (th [ ("x", F.a); ("y", F.c) ]) Fsubst.empty F.a)
+
+let test_p_fun_var () =
+  let p = P.fapp "F" [ P.var "x" ] in
+  checkb "phi maps F" true
+    (check p (th [ ("x", F.a) ]) (ph [ ("F", "g") ]) (F.g1 F.a));
+  checkb "phi maps F elsewhere" false
+    (check p (th [ ("x", F.a) ]) (ph [ ("F", "f") ]) (F.g1 F.a));
+  checkb "phi missing F" false (check p (th [ ("x", F.a) ]) Fsubst.empty (F.g1 F.a))
+
+let test_p_mu () =
+  let body =
+    P.alt (P.fapp "F" [ P.call "P" [ "x"; "F" ] ]) (P.fapp "F" [ P.var "x" ])
+  in
+  let p = P.mu "P" ~formals:[ "x"; "F" ] ~actuals:[ "x"; "F" ] body in
+  let t = F.g1 (F.g1 F.a) in
+  checkb "recursive witness" true
+    (check p (th [ ("x", F.a) ]) (ph [ ("F", "g") ]) t);
+  checkb "diverging mu exhausts fuel and rejects" false
+    (check ~fuel:100
+       (P.mu "P" ~formals:[ "x" ] ~actuals:[ "x" ] (P.call "P" [ "x" ]))
+       Subst.empty Fsubst.empty F.a)
+
+(* ------------------------------------------------------------------ *)
+(* Theorem 1: match weakening                                          *)
+(* ------------------------------------------------------------------ *)
+
+let test_weakening_example () =
+  let p = P.app "g" [ P.var "x" ] in
+  let theta = th [ ("x", F.a) ] in
+  let theta' = th [ ("x", F.a); ("z", F.b) ] in
+  checkb "theta" true (check p theta Fsubst.empty (F.g1 F.a));
+  checkb "theta' >= theta" true (check p theta' Fsubst.empty (F.g1 F.a))
+
+let prop_weakening =
+  (* If p @ theta ~= t and theta <= theta' then p @ theta' ~= t. We obtain
+     genuine witnesses from the matcher, then extend them with junk. *)
+  F.qtest ~count:800 "Theorem 1 (weakening)"
+    QCheck2.Gen.(pair F.Gen.pair F.Gen.term)
+    (fun ((p, t), u) ->
+      Printf.sprintf "%s / extend with %s" (F.pattern_print (p, t))
+        (Term.to_string u))
+    (fun ((p, t), u) ->
+      match Matcher.matches ~interp ~policy:Outcome.Policy.Backtrack p t with
+      | Outcome.Matched (theta, phi) ->
+          if check p theta phi t then
+            let theta' = Subst.add "fresh_weakening_var" u theta in
+            check p theta' phi t
+          else QCheck2.assume_fail () (* incomplete checker corner: skip *)
+      | _ -> QCheck2.assume_fail ())
+
+(* ------------------------------------------------------------------ *)
+(* Derivations                                                         *)
+(* ------------------------------------------------------------------ *)
+
+let derive p theta phi t = Derivation.derive ~interp p theta phi t
+
+let test_derive_validates () =
+  let p = P.app "f" [ P.var "x"; P.alt (P.const "a") (P.var "y") ] in
+  let theta = th [ ("x", F.g1 F.a) ] in
+  match derive p theta Fsubst.empty (F.f2 (F.g1 F.a) F.a) with
+  | Some d ->
+      checkb "validates" true (Derivation.validate ~interp d);
+      checkb "size sane" true (Derivation.size d >= 3)
+  | None -> Alcotest.fail "expected derivation"
+
+let test_derive_agrees_with_check () =
+  let p = P.app "g" [ P.var "x" ] in
+  checkb "derive none iff check false" true
+    (Option.is_none (derive p Subst.empty Fsubst.empty F.a)
+    = not (check p Subst.empty Fsubst.empty F.a))
+
+let test_tampered_derivation_rejected () =
+  let p = P.var "x" in
+  let theta = th [ ("x", F.a) ] in
+  match derive p theta Fsubst.empty F.a with
+  | Some d ->
+      (* claim the same rule but for a different term *)
+      let bad = { d with Derivation.term = F.b } in
+      checkb "tampered term rejected" false (Derivation.validate ~interp bad);
+      let bad_rule = { d with Derivation.rule = Derivation.P_fun } in
+      checkb "tampered rule rejected" false
+        (Derivation.validate ~interp bad_rule)
+  | None -> Alcotest.fail "expected derivation"
+
+let prop_derive_validate =
+  F.qtest ~count:500 "derivations from matcher witnesses validate" F.Gen.pair
+    F.pattern_print (fun (p, t) ->
+      match Matcher.matches ~interp ~policy:Outcome.Policy.Backtrack p t with
+      | Outcome.Matched (theta, phi) -> (
+          match Derivation.derive ~interp p theta phi t with
+          | Some d -> Derivation.validate ~interp d
+          | None ->
+              (* known checker incompleteness corners (invented guard
+                 witnesses) must not occur on matcher-produced witnesses
+                 over the structural interpretation *)
+              false)
+      | _ -> QCheck2.assume_fail ())
+
+let prop_check_iff_derive =
+  F.qtest ~count:500 "check agrees with derive" F.Gen.pair F.pattern_print
+    (fun (p, t) ->
+      match Matcher.matches ~interp ~policy:Outcome.Policy.Backtrack p t with
+      | Outcome.Matched (theta, phi) ->
+          check p theta phi t = Option.is_some (derive p theta phi t)
+      | _ -> QCheck2.assume_fail ())
+
+(* ------------------------------------------------------------------ *)
+(* Enumeration                                                         *)
+(* ------------------------------------------------------------------ *)
+
+let test_enumerate_alt_order () =
+  let p =
+    P.alt
+      (P.app "f" [ P.var "x"; P.var "y" ])
+      (P.app "f" [ P.var "y"; P.var "x" ])
+  in
+  let r = Enumerate.all ~interp p (F.f2 F.a F.b) in
+  Alcotest.(check int) "two witnesses" 2 (List.length r.witnesses);
+  checkb "complete" true r.complete;
+  (match r.witnesses with
+  | (first, _) :: _ ->
+      Alcotest.(check (option F.term_testable))
+        "machine order: first witness is left alternate" (Some F.a)
+        (Subst.find "x" first)
+  | [] -> Alcotest.fail "no witnesses")
+
+let test_enumerate_counts_paths () =
+  (* (a || a) produces two identical witnesses; dedup collapses them *)
+  let p = P.app "g" [ P.alt (P.const "a") (P.const "a") ] in
+  let r = Enumerate.all ~interp p (F.g1 F.a) in
+  Alcotest.(check int) "both derivations" 2 (List.length r.witnesses);
+  Alcotest.(check int) "deduped" 1 (List.length (Enumerate.dedup r.witnesses))
+
+let test_enumerate_empty () =
+  let r = Enumerate.all ~interp (P.const "b") F.a in
+  Alcotest.(check int) "no witnesses" 0 (List.length r.witnesses);
+  checkb "complete" true r.complete
+
+let test_enumerate_incomplete_flag () =
+  (* a match constraint on a variable never bound requires inventing a
+     term: flagged incomplete *)
+  let p = P.constr (P.const "a") (P.const "b") "never_bound" in
+  let r = Enumerate.all ~interp p F.a in
+  checkb "incomplete flagged" false r.complete
+
+let test_holds () =
+  checkb "holds" true (Declarative.holds ~interp (P.var "x") F.a);
+  checkb "not holds" false (Declarative.holds ~interp (P.const "b") F.a)
+
+let () =
+  Alcotest.run "declarative"
+    [
+      ( "rules",
+        [
+          Alcotest.test_case "P-Var" `Quick test_p_var;
+          Alcotest.test_case "P-Fun" `Quick test_p_fun;
+          Alcotest.test_case "P-Alt" `Quick test_p_alt;
+          Alcotest.test_case "P-Guard" `Quick test_p_guard;
+          Alcotest.test_case "P-Exists (bound)" `Quick test_p_exists_bound;
+          Alcotest.test_case "P-Exists (search)" `Quick test_p_exists_search;
+          Alcotest.test_case "P-Exists (vacuous)" `Quick test_p_exists_vacuous;
+          Alcotest.test_case "P-MatchConstr" `Quick test_p_match_constr;
+          Alcotest.test_case "P-Fun-Var" `Quick test_p_fun_var;
+          Alcotest.test_case "P-Mu" `Quick test_p_mu;
+        ] );
+      ( "weakening",
+        [
+          Alcotest.test_case "example" `Quick test_weakening_example;
+          prop_weakening;
+        ] );
+      ( "derivations",
+        [
+          Alcotest.test_case "derive + validate" `Quick test_derive_validates;
+          Alcotest.test_case "derive agrees with check" `Quick
+            test_derive_agrees_with_check;
+          Alcotest.test_case "tampering rejected" `Quick
+            test_tampered_derivation_rejected;
+          prop_derive_validate;
+          prop_check_iff_derive;
+        ] );
+      ( "enumeration",
+        [
+          Alcotest.test_case "alternate order" `Quick test_enumerate_alt_order;
+          Alcotest.test_case "path counting + dedup" `Quick
+            test_enumerate_counts_paths;
+          Alcotest.test_case "empty" `Quick test_enumerate_empty;
+          Alcotest.test_case "incompleteness flag" `Quick
+            test_enumerate_incomplete_flag;
+          Alcotest.test_case "holds" `Quick test_holds;
+        ] );
+    ]

@@ -1,0 +1,355 @@
+(* Tests for the combinator frontend and its elaboration to the core
+   calculus: alternates, aliases, locals, operator variables, match
+   constraints, pattern-call inlining, recursion, and error reporting. *)
+
+open Pypm
+module P = Pattern
+
+let checkb = Alcotest.(check bool)
+let checki = Alcotest.(check int)
+
+let base_sg () =
+  let s = Signature.create () in
+  ignore (Signature.declare s ~arity:2 "MatMul" ~op_class:"matmul");
+  ignore (Signature.declare s ~arity:1 "Trans" ~op_class:"transpose");
+  ignore (Signature.declare s ~arity:1 ~op_class:"unary_pointwise" "Relu");
+  ignore (Signature.declare s ~arity:2 ~op_class:"binary_pointwise" "Div");
+  ignore (Signature.declare s ~arity:2 ~op_class:"binary_pointwise" "Mul");
+  ignore (Signature.declare s ~arity:2 "cublasMM_xyT_f32" ~op_class:"fused_kernel");
+  s
+
+let elaborate session =
+  match Dsl.program session ~sg:(base_sg ()) with
+  | Ok p -> p
+  | Error errs ->
+      Alcotest.failf "elaboration failed: %s"
+        (String.concat "; "
+           (List.map (Format.asprintf "%a" Elaborate.pp_error) errs))
+
+let expect_error session =
+  match Dsl.program session ~sg:(base_sg ()) with
+  | Ok _ -> Alcotest.fail "expected an elaboration error"
+  | Error errs -> errs
+
+let entry program name =
+  match Program.entry program name with
+  | Some e -> e
+  | None -> Alcotest.failf "missing pattern %s" name
+
+(* matching helper over the structural interpretation *)
+let interp = Pypm_testutil.Fixtures.interp
+
+let matches pattern t =
+  Matcher.matches ~interp pattern t |> Outcome.is_matched
+
+(* ------------------------------------------------------------------ *)
+(* Figure 1 via the DSL                                                *)
+(* ------------------------------------------------------------------ *)
+
+let figure1_session () =
+  let s = Dsl.create () in
+  Dsl.pattern s "MMxyT" ~params:[ "x"; "y" ] (fun b ->
+      Dsl.assert_ b Dsl.(attr "x" "size" <=. i 100);
+      let yt = Dsl.app "Trans" [ Dsl.v "y" ] in
+      Dsl.app "MatMul" [ Dsl.v "x"; yt ]);
+  Dsl.rule s "cublasrule" ~for_:"MMxyT" ~params:[ "x"; "y" ]
+    [ (None, Dsl.app "cublasMM_xyT_f32" [ Dsl.v "x"; Dsl.v "y" ]) ];
+  s
+
+let test_figure1_shape () =
+  let p = elaborate (figure1_session ()) in
+  let e = entry p "MMxyT" in
+  (* Guarded(MatMul(x, Trans(y)), guard) *)
+  (match e.Program.pattern with
+  | P.Guarded (P.App ("MatMul", [ P.Var "x"; P.App ("Trans", [ P.Var "y" ]) ]), _) -> ()
+  | other -> Alcotest.failf "unexpected pattern %s" (P.to_string other));
+  checki "one rule" 1 (List.length e.Program.rules);
+  match (List.hd e.Program.rules).Rule.rhs with
+  | Rule.Rapp ("cublasMM_xyT_f32", [ Rule.Rvar "x"; Rule.Rvar "y" ]) -> ()
+  | _ -> Alcotest.fail "unexpected rhs"
+
+let test_alias_inlined () =
+  let p = elaborate (figure1_session ()) in
+  let e = entry p "MMxyT" in
+  (* the alias yt introduced no binder and no variable named yt *)
+  checkb "no yt variable" false
+    (Symbol.Set.mem "yt" (P.free_vars e.Program.pattern))
+
+(* ------------------------------------------------------------------ *)
+(* Alternates and inlined calls (figure 2 style)                       *)
+(* ------------------------------------------------------------------ *)
+
+let half_session () =
+  let s = Dsl.create () in
+  Dsl.pattern s "Half" ~params:[ "x" ] (fun _ ->
+      Dsl.app "Div" [ Dsl.v "x"; Dsl.lit 2.0 ]);
+  Dsl.pattern s "Half" ~params:[ "x" ] (fun _ ->
+      Dsl.app "Mul" [ Dsl.v "x"; Dsl.lit 0.5 ]);
+  s
+
+let test_alternates_fold_in_order () =
+  let p = elaborate (half_session ()) in
+  match (entry p "Half").Program.pattern with
+  | P.Alt (P.App ("Div", _), P.App ("Mul", _)) -> ()
+  | other -> Alcotest.failf "unexpected alternates %s" (P.to_string other)
+
+let test_call_inlining () =
+  let s = half_session () in
+  Dsl.pattern s "DoubleHalf" ~params:[ "x" ] (fun _ ->
+      Dsl.app "Mul" [ Dsl.app "Half" [ Dsl.v "x" ]; Dsl.app "Half" [ Dsl.v "x" ] ]);
+  let p = elaborate s in
+  let e = entry p "DoubleHalf" in
+  (* the call was inlined: no Call/Mu nodes remain *)
+  checki "no mus" 0 (P.count_mus e.Program.pattern);
+  checki "alternates preserved twice" 2 (P.count_alts e.Program.pattern);
+  (* matching: Mul(Div(a,2), Mul(a,0.5)) — distinct alternates per copy *)
+  let lit v = Term.const (Graph.lit_symbol v) in
+  let a = Term.const "a_leaf" in
+  let t =
+    Term.app "Mul"
+      [ Term.app "Div" [ a; lit 2.0 ]; Term.app "Mul" [ a; lit 0.5 ] ]
+  in
+  checkb "mixed spellings match" true (matches e.Program.pattern t)
+
+let test_inline_alt_combinator () =
+  let s = half_session () in
+  Dsl.pattern s "InlineHalf" ~params:[ "x" ] (fun _ ->
+      Dsl.(app "Div" [ v "x"; lit 2.0 ] |. app "Mul" [ v "x"; lit 0.5 ]));
+  let p = elaborate s in
+  let e = entry p "InlineHalf" in
+  (match e.Program.pattern with
+  | P.Alt (P.App ("Div", _), P.App ("Mul", _)) -> ()
+  | other -> Alcotest.failf "unexpected shape %s" (P.to_string other));
+  let lit v = Term.const (Graph.lit_symbol v) in
+  let a = Term.const "a_leaf" in
+  checkb "matches either spelling" true
+    (matches e.Program.pattern (Term.app "Mul" [ a; lit 0.5 ]))
+
+let test_call_with_complex_arg () =
+  (* Half(Trans(y)): non-variable argument gets a fresh var + constraint *)
+  let s = half_session () in
+  Dsl.pattern s "HalfOfTrans" ~params:[ "y" ] (fun _ ->
+      Dsl.app "Half" [ Dsl.app "Trans" [ Dsl.v "y" ] ]);
+  let p = elaborate s in
+  let e = entry p "HalfOfTrans" in
+  let lit v = Term.const (Graph.lit_symbol v) in
+  let a = Term.const "a_leaf" in
+  let good = Term.app "Div" [ Term.app "Trans" [ a ]; lit 2.0 ] in
+  let bad = Term.app "Div" [ a; lit 2.0 ] in
+  checkb "matches trans arg" true (matches e.Program.pattern good);
+  checkb "rejects non-trans arg" false (matches e.Program.pattern bad)
+
+(* ------------------------------------------------------------------ *)
+(* Recursion (figure 3)                                                *)
+(* ------------------------------------------------------------------ *)
+
+let test_recursion_becomes_mu () =
+  let s = Dsl.create () in
+  Dsl.pattern s "Chain" ~params:[ "x" ] (fun _ ->
+      Dsl.app "Relu" [ Dsl.app "Chain" [ Dsl.v "x" ] ]);
+  Dsl.pattern s "Chain" ~params:[ "x" ] (fun _ -> Dsl.app "Relu" [ Dsl.v "x" ]);
+  let p = elaborate s in
+  let e = entry p "Chain" in
+  (match e.Program.pattern with
+  | P.Mu (m, [ "x" ]) ->
+      Alcotest.(check string) "name" "Chain" m.P.pname;
+      Alcotest.(check (list string)) "formals" [ "x" ] m.P.formals
+  | other -> Alcotest.failf "expected a mu, got %s" (P.to_string other));
+  let rec tower n =
+    if n = 0 then Term.const "a_leaf" else Term.app "Relu" [ tower (n - 1) ]
+  in
+  checkb "tower matches" true (matches e.Program.pattern (tower 4));
+  checkb "leaf alone does not" false
+    (matches e.Program.pattern (Term.const "a_leaf"))
+
+let test_function_variable_param () =
+  (* figure 3 verbatim: the f parameter used in operator position *)
+  let s = Dsl.create () in
+  Dsl.pattern s "UChain" ~params:[ "x"; "f" ] (fun _ ->
+      Dsl.app "f" [ Dsl.app "UChain" [ Dsl.v "x"; Dsl.v "f" ] ]);
+  Dsl.pattern s "UChain" ~params:[ "x"; "f" ] (fun _ ->
+      Dsl.app "f" [ Dsl.v "x" ]);
+  let p = elaborate s in
+  let e = entry p "UChain" in
+  let rec tower n =
+    if n = 0 then Term.const "a_leaf" else Term.app "Trans" [ tower (n - 1) ]
+  in
+  checkb "any unary tower matches" true (matches e.Program.pattern (tower 3))
+
+(* ------------------------------------------------------------------ *)
+(* Locals, opvars, constraints (figures 4 and 14)                      *)
+(* ------------------------------------------------------------------ *)
+
+let test_locals_and_constraints () =
+  (* pattern P(x): y = var(); x <= Relu(y); return x *)
+  let s = Dsl.create () in
+  Dsl.pattern s "RootCapture" ~params:[ "x" ] (fun b ->
+      let y = Dsl.var_ b "y" in
+      Dsl.constrain b "x" (Dsl.app "Relu" [ y ]);
+      Dsl.v "x");
+  let p = elaborate s in
+  let e = entry p "RootCapture" in
+  (match e.Program.pattern with
+  | P.Exists ("y", P.Constr (P.Var "x", P.App ("Relu", [ P.Var "y" ]), "x")) -> ()
+  | other -> Alcotest.failf "unexpected shape %s" (P.to_string other));
+  let t = Term.app "Relu" [ Term.const "a_leaf" ] in
+  checkb "matches relu" true (matches e.Program.pattern t);
+  checkb "rejects leaf" false (matches e.Program.pattern (Term.const "a_leaf"))
+
+let test_opvar_with_class_guard () =
+  (* figure 14's body form *)
+  let s = Dsl.create () in
+  Dsl.pattern s "AnyPw" ~params:[ "x" ] (fun b ->
+      Dsl.opvar b "UnaryOp" ~arity:1;
+      Dsl.assert_ b Dsl.(attr "UnaryOp" "op_class" ==. opclass "unary_pointwise");
+      Dsl.app "UnaryOp" [ Dsl.v "x" ]);
+  let sg = base_sg () in
+  match Dsl.program s ~sg with
+  | Error errs ->
+      Alcotest.failf "elaboration failed: %s"
+        (String.concat "; " (List.map (Format.asprintf "%a" Elaborate.pp_error) errs))
+  | Ok p -> (
+      let e = entry p "AnyPw" in
+      match e.Program.pattern with
+      | P.Exists_f ("UnaryOp", P.Guarded (P.Fapp ("UnaryOp", [ P.Var "x" ]), _)) ->
+          (* matches Relu (unary_pointwise) but not Trans (transpose) *)
+          let interp = Attrs.structural ~sg in
+          let m t = Matcher.matches ~interp e.Program.pattern t |> Outcome.is_matched in
+          checkb "relu matches" true (m (Term.app "Relu" [ Term.const "a_leaf" ]));
+          checkb "trans rejected" false (m (Term.app "Trans" [ Term.const "a_leaf" ]))
+      | other -> Alcotest.failf "unexpected shape %s" (P.to_string other))
+
+(* ------------------------------------------------------------------ *)
+(* Rule lowering                                                       *)
+(* ------------------------------------------------------------------ *)
+
+let test_rule_branches () =
+  let s = Dsl.create () in
+  Dsl.pattern s "AnyMM" ~params:[ "x"; "y" ] (fun _ ->
+      Dsl.app "MatMul" [ Dsl.v "x"; Dsl.v "y" ]);
+  Dsl.rule s "dispatch" ~for_:"AnyMM" ~params:[ "x"; "y" ]
+    ~asserts:[ Dsl.(attr "x" "size" <=. i 1000) ]
+    [
+      (Some Dsl.(attr "x" "size" ==. i 1), Dsl.app "Trans" [ Dsl.v "x" ]);
+      (None, Dsl.app "Relu" [ Dsl.v "y" ]);
+    ];
+  let p = elaborate s in
+  let e = entry p "AnyMM" in
+  checki "two rules from two branches" 2 (List.length e.Program.rules);
+  let r1 = List.nth e.Program.rules 0 and r2 = List.nth e.Program.rules 1 in
+  checkb "first branch keeps its guard" true (r1.Rule.guard <> Guard.True);
+  checkb "names distinct" true (r1.Rule.rule_name <> r2.Rule.rule_name)
+
+let test_rule_fvar_rhs () =
+  let s = Dsl.create () in
+  Dsl.pattern s "AnyF" ~params:[ "x"; "f" ] (fun _ -> Dsl.app "f" [ Dsl.v "x" ]);
+  Dsl.rule s "rebuild" ~for_:"AnyF" ~params:[ "x"; "f" ]
+    [ (None, Dsl.app "f" [ Dsl.app "Relu" [ Dsl.v "x" ] ]) ];
+  let p = elaborate s in
+  match (List.hd (entry p "AnyF").Program.rules).Rule.rhs with
+  | Rule.Rfapp ("f", [ Rule.Rapp ("Relu", [ Rule.Rvar "x" ]) ]) -> ()
+  | _ -> Alcotest.fail "function variable rhs mis-lowered"
+
+(* ------------------------------------------------------------------ *)
+(* Errors                                                              *)
+(* ------------------------------------------------------------------ *)
+
+let test_error_unknown_op () =
+  let s = Dsl.create () in
+  Dsl.pattern s "Bad" ~params:[ "x" ] (fun _ -> Dsl.app "NoSuchOp" [ Dsl.v "x" ]);
+  ignore (expect_error s)
+
+let test_error_bad_arity () =
+  let s = Dsl.create () in
+  Dsl.pattern s "Bad" ~params:[ "x" ] (fun _ -> Dsl.app "MatMul" [ Dsl.v "x" ]);
+  ignore (expect_error s)
+
+let test_error_unbound_name () =
+  let s = Dsl.create () in
+  Dsl.pattern s "Bad" ~params:[ "x" ] (fun _ -> Dsl.v "undefined_name");
+  ignore (expect_error s)
+
+let test_error_alternate_arity_mismatch () =
+  let s = Dsl.create () in
+  Dsl.pattern s "Bad" ~params:[ "x" ] (fun _ -> Dsl.v "x");
+  Dsl.pattern s "Bad" ~params:[ "x"; "y" ] (fun _ -> Dsl.v "x");
+  ignore (expect_error s)
+
+let test_error_mutual_recursion () =
+  let s = Dsl.create () in
+  Dsl.pattern s "A" ~params:[ "x" ] (fun _ -> Dsl.app "Relu" [ Dsl.app "B" [ Dsl.v "x" ] ]);
+  Dsl.pattern s "B" ~params:[ "x" ] (fun _ -> Dsl.app "Relu" [ Dsl.app "A" [ Dsl.v "x" ] ]);
+  let errs = expect_error s in
+  checkb "mentions mutual recursion" true
+    (List.exists
+       (fun (e : Elaborate.error) ->
+         String.length e.Elaborate.message > 0
+         && String.lowercase_ascii e.Elaborate.message
+            |> fun m ->
+            String.length m >= 8 && String.sub m 0 8 = "mutually")
+       errs)
+
+let test_error_rule_unknown_pattern () =
+  let s = Dsl.create () in
+  Dsl.pattern s "Good" ~params:[ "x" ] (fun _ -> Dsl.v "x");
+  Dsl.rule s "r" ~for_:"Missing" ~params:[ "x" ] [ (None, Dsl.v "x") ];
+  ignore (expect_error s)
+
+let test_error_rule_calls_pattern () =
+  let s = Dsl.create () in
+  Dsl.pattern s "Good" ~params:[ "x" ] (fun _ -> Dsl.v "x");
+  Dsl.rule s "r" ~for_:"Good" ~params:[ "x" ]
+    [ (None, Dsl.app "Good" [ Dsl.v "x" ]) ];
+  ignore (expect_error s)
+
+let () =
+  Alcotest.run "dsl"
+    [
+      ( "figure1",
+        [
+          Alcotest.test_case "pattern and rule shape" `Quick test_figure1_shape;
+          Alcotest.test_case "aliases inlined" `Quick test_alias_inlined;
+        ] );
+      ( "calls",
+        [
+          Alcotest.test_case "alternates in order" `Quick
+            test_alternates_fold_in_order;
+          Alcotest.test_case "call inlining" `Quick test_call_inlining;
+          Alcotest.test_case "complex call argument" `Quick
+            test_call_with_complex_arg;
+          Alcotest.test_case "inline alternation" `Quick
+            test_inline_alt_combinator;
+        ] );
+      ( "recursion",
+        [
+          Alcotest.test_case "mu construction" `Quick test_recursion_becomes_mu;
+          Alcotest.test_case "function-variable param" `Quick
+            test_function_variable_param;
+        ] );
+      ( "binders",
+        [
+          Alcotest.test_case "locals + constraints" `Quick
+            test_locals_and_constraints;
+          Alcotest.test_case "opvar + class guard" `Quick
+            test_opvar_with_class_guard;
+        ] );
+      ( "rules",
+        [
+          Alcotest.test_case "branches" `Quick test_rule_branches;
+          Alcotest.test_case "fvar rhs" `Quick test_rule_fvar_rhs;
+        ] );
+      ( "errors",
+        [
+          Alcotest.test_case "unknown op" `Quick test_error_unknown_op;
+          Alcotest.test_case "bad arity" `Quick test_error_bad_arity;
+          Alcotest.test_case "unbound name" `Quick test_error_unbound_name;
+          Alcotest.test_case "alternate arity" `Quick
+            test_error_alternate_arity_mismatch;
+          Alcotest.test_case "mutual recursion" `Quick
+            test_error_mutual_recursion;
+          Alcotest.test_case "rule for unknown pattern" `Quick
+            test_error_rule_unknown_pattern;
+          Alcotest.test_case "rule calls pattern" `Quick
+            test_error_rule_calls_pattern;
+        ] );
+    ]

@@ -1,0 +1,267 @@
+(* Tests for the equality-saturation baseline: e-graph invariants
+   (hash-consing, union-find, congruence), e-matching, saturation, and the
+   classic destructive-vs-nondestructive separation example. *)
+
+open Pypm
+module P = Pattern
+module F = Pypm_testutil.Fixtures
+
+let checkb = Alcotest.(check bool)
+let checki = Alcotest.(check int)
+
+(* the test signature: f/2, g/1, constants a b c *)
+let a = Term.const "a"
+let b = Term.const "b"
+let g1 t = Term.app "g" [ t ]
+let f2 t u = Term.app "f" [ t; u ]
+
+(* ------------------------------------------------------------------ *)
+(* E-graph invariants                                                  *)
+(* ------------------------------------------------------------------ *)
+
+let test_hashcons () =
+  let g = Egraph.create () in
+  let c1 = Egraph.add_term g (f2 a b) in
+  let c2 = Egraph.add_term g (f2 a b) in
+  checki "structurally equal terms share a class" c1 c2;
+  let c3 = Egraph.add_term g (f2 b a) in
+  checkb "different terms differ" true (not (Egraph.equiv g c1 c3))
+
+let test_union_merges () =
+  let g = Egraph.create () in
+  let ca = Egraph.add_term g a in
+  let cb = Egraph.add_term g b in
+  checkb "distinct before" true (not (Egraph.equiv g ca cb));
+  ignore (Egraph.union g ca cb);
+  ignore (Egraph.rebuild g);
+  checkb "equiv after union" true (Egraph.equiv g ca cb)
+
+let test_congruence () =
+  (* a ~ b must force g(a) ~ g(b) after rebuild *)
+  let g = Egraph.create () in
+  let ga = Egraph.add_term g (g1 a) in
+  let gb = Egraph.add_term g (g1 b) in
+  let ca = Egraph.add_term g a in
+  let cb = Egraph.add_term g b in
+  ignore (Egraph.union g ca cb);
+  ignore (Egraph.rebuild g);
+  checkb "congruence closure" true (Egraph.equiv g ga gb)
+
+let test_congruence_propagates () =
+  (* two levels: a ~ b forces g(g(a)) ~ g(g(b)) *)
+  let g = Egraph.create () in
+  let gga = Egraph.add_term g (g1 (g1 a)) in
+  let ggb = Egraph.add_term g (g1 (g1 b)) in
+  let ca = Egraph.add_term g a in
+  let cb = Egraph.add_term g b in
+  ignore (Egraph.union g ca cb);
+  ignore (Egraph.rebuild g);
+  checkb "two-level congruence" true (Egraph.equiv g gga ggb)
+
+let test_extract_smallest () =
+  let g = Egraph.create () in
+  let big = Egraph.add_term g (g1 (g1 (g1 a))) in
+  let small = Egraph.add_term g a in
+  ignore (Egraph.union g big small);
+  ignore (Egraph.rebuild g);
+  match Egraph.extract g ~cost:Egraph.size_cost big with
+  | Some t -> Alcotest.(check string) "extracts a" "a" (Term.to_string t)
+  | None -> Alcotest.fail "no extraction"
+
+let test_extract_respects_cost () =
+  (* make g expensive: prefer f(a, a) (cost 3) over g(a) (cost 1 + 10) *)
+  let g = Egraph.create () in
+  let lhs = Egraph.add_term g (g1 a) in
+  let rhs = Egraph.add_term g (f2 a a) in
+  ignore (Egraph.union g lhs rhs);
+  ignore (Egraph.rebuild g);
+  let cost op = if op = "g" then 10. else 1. in
+  match Egraph.extract g ~cost lhs with
+  | Some t -> Alcotest.(check string) "cheapest" "f(a, a)" (Term.to_string t)
+  | None -> Alcotest.fail "no extraction"
+
+(* ------------------------------------------------------------------ *)
+(* E-matching                                                          *)
+(* ------------------------------------------------------------------ *)
+
+let test_ematch_basic () =
+  let g = Egraph.create () in
+  let root = Egraph.add_term g (f2 (g1 a) b) in
+  let hits = Ematch.matches_in g (P.app "f" [ P.var "x"; P.var "y" ]) root in
+  checki "one assignment" 1 (List.length hits);
+  let env = List.hd hits in
+  let ga_cls = Egraph.add_term g (g1 a) in
+  checki "x bound to g(a)'s class" (Egraph.find g ga_cls)
+    (Egraph.find g (Symbol.Map.find "x" env.Ematch.classes))
+
+let test_ematch_nonlinear () =
+  let g = Egraph.create () in
+  let yes = Egraph.add_term g (f2 (g1 a) (g1 a)) in
+  let no = Egraph.add_term g (f2 (g1 a) (g1 b)) in
+  let p = P.app "f" [ P.var "x"; P.var "x" ] in
+  checki "equal classes match" 1 (List.length (Ematch.matches_in g p yes));
+  checki "unequal classes do not" 0 (List.length (Ematch.matches_in g p no))
+
+let test_ematch_sees_merged_forms () =
+  (* after a ~ g(b), the pattern g(y) matches the class of a as well *)
+  let g = Egraph.create () in
+  let ca = Egraph.add_term g a in
+  let cgb = Egraph.add_term g (g1 b) in
+  ignore (Egraph.union g ca cgb);
+  ignore (Egraph.rebuild g);
+  let hits = Ematch.matches_in g (P.app "g" [ P.var "y" ]) ca in
+  checkb "matches through the equality" true (List.length hits >= 1)
+
+let test_ematch_fvar_and_alt () =
+  let g = Egraph.create () in
+  let root = Egraph.add_term g (g1 a) in
+  let p = P.alt (P.app "f" [ P.var "x"; P.var "y" ]) (P.fapp "F" [ P.var "x" ]) in
+  let hits = Ematch.matches_in g p root in
+  checki "one hit via the fvar alternate" 1 (List.length hits);
+  Alcotest.(check (option string))
+    "F bound" (Some "g")
+    (Symbol.Map.find_opt "F" (List.hd hits).Ematch.ops)
+
+let test_ematch_rejects_guards () =
+  match Ematch.supported (P.Guarded (P.var "x", Guard.True)) with
+  | Error _ -> ()
+  | Ok () -> Alcotest.fail "guards should be unsupported"
+
+(* ------------------------------------------------------------------ *)
+(* Saturation                                                          *)
+(* ------------------------------------------------------------------ *)
+
+(* g(g(x)) => x : saturation collapses towers *)
+let tower_rule =
+  Saturate.rw ~name:"gg"
+    (P.app "g" [ P.app "g" [ P.var "x" ] ])
+    (Saturate.Tvar "x")
+
+let test_saturate_tower () =
+  let rec tower n = if n = 0 then a else g1 (tower (n - 1)) in
+  let best, stats = Saturate.simplify ~rules:[ tower_rule ] (tower 6) in
+  Alcotest.(check string) "even tower collapses fully" "a" (Term.to_string best);
+  checkb "saturated" true stats.Saturate.saturated;
+  let best', _ = Saturate.simplify ~rules:[ tower_rule ] (tower 5) in
+  Alcotest.(check string) "odd tower leaves one g" "g(a)" (Term.to_string best')
+
+(* The classic separation example (egg's motivating case, transliterated):
+     R1: f(x, b) => g(x)        ("strength-reduce against the first rule")
+     R2: g(f(x, b)) => x        ("the combined simplification")
+   On g(f(a, b)): greedy destructive rewriting applies R1 inside first
+   (innermost redex found first in a bottom-up walk), producing g(g(a)) and
+   destroying R2's redex. Saturation keeps both versions and extraction
+   finds the single-node answer. *)
+let sep_r1 =
+  Saturate.rw ~name:"r1"
+    (P.app "f" [ P.var "x"; P.const "b" ])
+    (Saturate.Tapp ("g", [ Saturate.Tvar "x" ]))
+
+let sep_r2 =
+  Saturate.rw ~name:"r2"
+    (P.app "g" [ P.app "f" [ P.var "x"; P.const "b" ] ])
+    (Saturate.Tvar "x")
+
+let test_saturation_beats_greedy_order () =
+  let t = g1 (f2 a b) in
+  let best, _ = Saturate.simplify ~rules:[ sep_r1; sep_r2 ] t in
+  Alcotest.(check string) "saturation finds a" "a" (Term.to_string best);
+  (* simulate the greedy destructive choice: apply R1 at the inner redex
+     first, then R2 can no longer fire; the result is g(g(a)), which is
+     strictly worse *)
+  let after_greedy = g1 (g1 a) in
+  checkb "greedy result is larger" true
+    (Term.size after_greedy > Term.size (Term.const "a"))
+
+let test_saturation_is_sound () =
+  (* the extracted term is reachable by the rules: spot-check with a
+     hand-verified normal form *)
+  let t = f2 (g1 (g1 a)) b in
+  let best, _ = Saturate.simplify ~rules:[ tower_rule; sep_r1 ] t in
+  (* f(g(g(a)), b) ~ f(a, b) ~ g(a) *)
+  Alcotest.(check string) "normal form" "g(a)" (Term.to_string best)
+
+let test_growing_rule_saturates () =
+  (* g(x) => g(g(x)) looks diverging, but the e-graph represents the
+     infinite unfolding finitely: after one application g(a) ~ g(g(a)),
+     and every further instance re-derives existing equalities. This is
+     exactly the compactness that makes nondestructive rewriting viable. *)
+  let grow =
+    Saturate.rw ~name:"grow"
+      (P.app "g" [ P.var "x" ])
+      (Saturate.Tapp ("g", [ Saturate.Tapp ("g", [ Saturate.Tvar "x" ]) ]))
+  in
+  let best, stats = Saturate.simplify ~rules:[ grow ] (g1 a) in
+  checkb "saturated despite the growing rule" true stats.Saturate.saturated;
+  Alcotest.(check string) "extraction still minimal" "g(a)" (Term.to_string best)
+
+let test_iter_limit_reported () =
+  (* genuinely divergent: each iteration mints a fresh class g^n(a) as a
+     new child of the f class, so the e-graph grows forever *)
+  let diverge =
+    Saturate.rw ~name:"diverge"
+      (P.app "f" [ P.var "x"; P.var "y" ])
+      (Saturate.Tapp ("f", [ Saturate.Tapp ("g", [ Saturate.Tvar "x" ]); Saturate.Tvar "y" ]))
+  in
+  let _, stats = Saturate.simplify ~rules:[ diverge ] ~iter_limit:3 (f2 a b) in
+  checkb "hit the limit" true (not stats.Saturate.saturated);
+  checki "iterations" 3 stats.Saturate.iterations
+
+(* property: saturation + extraction never increases term size under the
+   shrinking rule set, and the result is stable (idempotent) *)
+let prop_simplify_shrinks =
+  F.qtest ~count:300 "saturation never enlarges (shrinking rules)"
+    F.Gen.term Term.to_string (fun t ->
+      let best, _ = Saturate.simplify ~rules:[ tower_rule; sep_r2 ] t in
+      Term.size best <= Term.size t
+      &&
+      let again, _ = Saturate.simplify ~rules:[ tower_rule; sep_r2 ] best in
+      Term.equal again best)
+
+(* property: hash-consing is stable — adding a term twice yields the same
+   class, on arbitrary terms *)
+let prop_hashcons_stable =
+  F.qtest ~count:300 "add_term is idempotent" F.Gen.term Term.to_string
+    (fun t ->
+      let g = Egraph.create () in
+      Egraph.add_term g t = Egraph.add_term g t)
+
+let () =
+  Alcotest.run "egraph"
+    [
+      ( "egraph",
+        [
+          Alcotest.test_case "hashcons" `Quick test_hashcons;
+          Alcotest.test_case "union" `Quick test_union_merges;
+          Alcotest.test_case "congruence" `Quick test_congruence;
+          Alcotest.test_case "congruence propagates" `Quick
+            test_congruence_propagates;
+          Alcotest.test_case "extract smallest" `Quick test_extract_smallest;
+          Alcotest.test_case "extract respects cost" `Quick
+            test_extract_respects_cost;
+        ] );
+      ( "ematch",
+        [
+          Alcotest.test_case "basic" `Quick test_ematch_basic;
+          Alcotest.test_case "nonlinear" `Quick test_ematch_nonlinear;
+          Alcotest.test_case "merged forms" `Quick
+            test_ematch_sees_merged_forms;
+          Alcotest.test_case "fvar + alternates" `Quick
+            test_ematch_fvar_and_alt;
+          Alcotest.test_case "guards rejected" `Quick
+            test_ematch_rejects_guards;
+        ] );
+      ( "saturate",
+        [
+          Alcotest.test_case "tower collapse" `Quick test_saturate_tower;
+          Alcotest.test_case "beats greedy ordering" `Quick
+            test_saturation_beats_greedy_order;
+          Alcotest.test_case "sound normal form" `Quick
+            test_saturation_is_sound;
+          Alcotest.test_case "growing rule saturates" `Quick
+            test_growing_rule_saturates;
+          Alcotest.test_case "iteration limit" `Quick test_iter_limit_reported;
+          prop_simplify_shrinks;
+          prop_hashcons_stable;
+        ] );
+    ]

@@ -1,0 +1,159 @@
+(* Tests for guard expressions and their evaluation (section 3.2). *)
+
+open Pypm_term
+open Pypm_pattern
+open Pypm_testutil
+module F = Fixtures
+module G = Guard
+
+let theta_x t = Subst.of_list [ ("x", t) ]
+let eval ?(theta = Subst.empty) ?(phi = Fsubst.empty) g =
+  G.eval F.interp theta phi g
+
+let check_eval name expected ?theta ?phi g =
+  Alcotest.(check (option bool)) name expected (eval ?theta ?phi g)
+
+let test_consts () =
+  check_eval "1 == 1" (Some true) (G.Eq (G.Const 1, G.Const 1));
+  check_eval "1 == 2" (Some false) (G.Eq (G.Const 1, G.Const 2));
+  check_eval "1 < 2" (Some true) (G.Lt (G.Const 1, G.Const 2));
+  check_eval "2 <= 2" (Some true) (G.Le (G.Const 2, G.Const 2));
+  check_eval "1 != 2" (Some true) (G.Ne (G.Const 1, G.Const 2));
+  check_eval "true" (Some true) G.True;
+  check_eval "false" (Some false) G.False
+
+let test_arith () =
+  check_eval "1+2 == 3" (Some true) (G.Eq (G.Add (G.Const 1, G.Const 2), G.Const 3));
+  check_eval "5-2 == 3" (Some true) (G.Eq (G.Sub (G.Const 5, G.Const 2), G.Const 3));
+  check_eval "2*3 == 6" (Some true) (G.Eq (G.Mul (G.Const 2, G.Const 3), G.Const 6))
+
+let test_mod () =
+  check_eval "7 % 3 == 1" (Some true)
+    (G.Eq (G.Mod (G.Const 7, G.Const 3), G.Const 1));
+  check_eval "16 % 8 == 0" (Some true)
+    (G.Eq (G.Mod (G.Const 16, G.Const 8), G.Const 0));
+  (* modulo by zero is undefined, which poisons the comparison *)
+  check_eval "x % 0 undefined" None
+    (G.Eq (G.Mod (G.Const 7, G.Const 0), G.Const 0))
+
+let test_connectives () =
+  let t = G.True and f = G.False in
+  check_eval "and tt" (Some true) (G.And (t, t));
+  check_eval "and tf" (Some false) (G.And (t, f));
+  check_eval "or ft" (Some true) (G.Or (f, t));
+  check_eval "or ff" (Some false) (G.Or (f, f));
+  check_eval "not f" (Some true) (G.Not f)
+
+let test_var_attr () =
+  let t = F.f2 F.a F.b in
+  check_eval "x.size == 3" (Some true) ~theta:(theta_x t)
+    (G.Eq (G.Var_attr ("x", "size"), G.Const 3));
+  check_eval "x.depth == 2" (Some true) ~theta:(theta_x t)
+    (G.Eq (G.Var_attr ("x", "depth"), G.Const 2));
+  check_eval "x.nargs == 2" (Some true) ~theta:(theta_x t)
+    (G.Eq (G.Var_attr ("x", "nargs"), G.Const 2))
+
+let test_unbound_var () =
+  check_eval "unbound var is undefined" None
+    (G.Eq (G.Var_attr ("x", "size"), G.Const 1))
+
+let test_undefined_attr () =
+  check_eval "undefined attribute" None ~theta:(theta_x F.a)
+    (G.Eq (G.Var_attr ("x", "nosuch"), G.Const 1))
+
+let test_undefined_poisons_connectives () =
+  (* The paper requires g[theta] to be closed and denote True; any
+     unverifiable conjunct makes the whole guard unverifiable. *)
+  let undef = G.Eq (G.Var_attr ("q", "size"), G.Const 1) in
+  check_eval "True && undef" None (G.And (G.True, undef));
+  check_eval "True || undef" None (G.Or (G.True, undef))
+
+let test_fvar_attr () =
+  let phi = Fsubst.of_list [ ("F", "f") ] in
+  check_eval "F.arity == 2" (Some true) ~phi
+    (G.Eq (G.Fvar_attr ("F", "arity"), G.Const 2));
+  check_eval "unbound fvar" None
+    (G.Eq (G.Fvar_attr ("F", "arity"), G.Const 2))
+
+let test_term_attr () =
+  check_eval "closed term attr" (Some true)
+    (G.Eq (G.Term_attr (F.g1 F.a, "size"), G.Const 2))
+
+let test_subst_closes () =
+  let g = G.Eq (G.Var_attr ("x", "size"), G.Const 3) in
+  let closed = G.subst (theta_x (F.f2 F.a F.b)) Fsubst.empty g in
+  (match closed with
+  | G.Eq (G.Term_attr (_, "size"), _) -> ()
+  | _ -> Alcotest.fail "substitution did not close the variable attribute");
+  Alcotest.(check (option bool))
+    "closed instance evaluates without theta" (Some true)
+    (G.eval F.interp Subst.empty Fsubst.empty closed)
+
+let test_subst_leaves_unbound () =
+  let g = G.Eq (G.Var_attr ("x", "size"), G.Const 3) in
+  match G.subst Subst.empty Fsubst.empty g with
+  | G.Eq (G.Var_attr ("x", _), _) -> ()
+  | _ -> Alcotest.fail "unbound variable should be left in place"
+
+let test_vars_fvars () =
+  let g =
+    G.And
+      ( G.Eq (G.Var_attr ("x", "size"), G.Var_attr ("y", "size")),
+        G.Lt (G.Fvar_attr ("F", "arity"), G.Const 3) )
+  in
+  Alcotest.(check int) "two term vars" 2 (Symbol.Set.cardinal (G.vars g));
+  Alcotest.(check int) "one fvar" 1 (Symbol.Set.cardinal (G.fvars g))
+
+let test_conj () =
+  Alcotest.(check (option bool)) "empty conj" (Some true) (eval (G.conj []));
+  Alcotest.(check (option bool))
+    "conj of three" (Some false)
+    (eval (G.conj [ G.True; G.False; G.True ]))
+
+(* Property: evaluation of the substitution instance under empty theta
+   agrees with direct evaluation under theta (the two readings of P-Guard's
+   side condition coincide). *)
+let prop_subst_eval_agree =
+  F.qtest "eval g[theta] = eval_theta g"
+    QCheck2.Gen.(pair (Fixtures.Gen.guard_gen [ "x"; "y" ]) (pair Fixtures.Gen.term Fixtures.Gen.term))
+    (fun (g, (t1, t2)) ->
+      Printf.sprintf "%s with x=%s y=%s" (G.to_string g) (Term.to_string t1)
+        (Term.to_string t2))
+    (fun (g, (t1, t2)) ->
+      let theta = Subst.of_list [ ("x", t1); ("y", t2) ] in
+      let direct = G.eval F.interp theta Fsubst.empty g in
+      let instance =
+        G.eval F.interp Subst.empty Fsubst.empty (G.subst theta Fsubst.empty g)
+      in
+      direct = instance)
+
+let () =
+  Alcotest.run "guard"
+    [
+      ( "eval",
+        [
+          Alcotest.test_case "constants" `Quick test_consts;
+          Alcotest.test_case "arithmetic" `Quick test_arith;
+          Alcotest.test_case "modulo" `Quick test_mod;
+          Alcotest.test_case "connectives" `Quick test_connectives;
+          Alcotest.test_case "variable attributes" `Quick test_var_attr;
+          Alcotest.test_case "unbound variable" `Quick test_unbound_var;
+          Alcotest.test_case "undefined attribute" `Quick test_undefined_attr;
+          Alcotest.test_case "undefined poisons" `Quick
+            test_undefined_poisons_connectives;
+          Alcotest.test_case "fvar attributes" `Quick test_fvar_attr;
+          Alcotest.test_case "closed term attributes" `Quick test_term_attr;
+        ] );
+      ( "subst",
+        [
+          Alcotest.test_case "closes bound vars" `Quick test_subst_closes;
+          Alcotest.test_case "leaves unbound vars" `Quick
+            test_subst_leaves_unbound;
+        ] );
+      ( "misc",
+        [
+          Alcotest.test_case "vars/fvars" `Quick test_vars_fvars;
+          Alcotest.test_case "conj" `Quick test_conj;
+        ] );
+      ("properties", [ prop_subst_eval_agree ]);
+    ]

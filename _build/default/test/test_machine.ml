@@ -1,0 +1,446 @@
+(* Tests for the algorithmic semantics (figures 17-18): individual
+   transition rules, traces, terminal outcomes, and the paper's worked
+   examples. *)
+
+open Pypm_term
+open Pypm_pattern
+open Pypm_semantics
+open Pypm_testutil
+module F = Fixtures
+module P = Pattern
+module M = Machine
+module G = Guard
+
+let interp = F.interp
+let step st = M.step ~interp ~policy:Outcome.Policy.Faithful st
+let run ?policy ?fuel p t = M.run ~interp ?policy ?fuel p t
+
+let expect_rule name expected = function
+  | Some (r, st) ->
+      Alcotest.(check string) name (M.rule_name expected) (M.rule_name r);
+      st
+  | None -> Alcotest.failf "%s: machine did not step" name
+
+let running theta phi stk k = M.Running { theta; phi; stk; k }
+let start k = running Subst.empty Fsubst.empty [] k
+
+(* ------------------------------------------------------------------ *)
+(* Individual transition rules                                         *)
+(* ------------------------------------------------------------------ *)
+
+let test_st_success () =
+  let theta = Subst.of_list [ ("x", F.a) ] in
+  match expect_rule "ST-Success" M.St_success (step (running theta Fsubst.empty [] [])) with
+  | M.Success (theta', _) ->
+      Alcotest.check F.subst_testable "kept theta" theta theta'
+  | _ -> Alcotest.fail "expected success state"
+
+let test_st_match_var_bind () =
+  let st = start [ M.Match (P.var "x", F.a) ] in
+  match expect_rule "ST-Match-Var-Bind" M.St_match_var_bind (step st) with
+  | M.Running { theta; k; stk; _ } ->
+      Alcotest.(check (option F.term_testable))
+        "bound" (Some F.a) (Subst.find "x" theta);
+      Alcotest.(check int) "k consumed" 0 (List.length k);
+      Alcotest.(check int) "stack untouched" 0 (List.length stk)
+  | _ -> Alcotest.fail "expected running state"
+
+let test_st_match_var_bound () =
+  let theta = Subst.of_list [ ("x", F.a) ] in
+  let st = running theta Fsubst.empty [] [ M.Match (P.var "x", F.a) ] in
+  match expect_rule "ST-Match-Var-Bound" M.St_match_var_bound (step st) with
+  | M.Running { theta = theta'; _ } ->
+      Alcotest.check F.subst_testable "theta unchanged" theta theta'
+  | _ -> Alcotest.fail "expected running state"
+
+let test_st_match_var_conflict_backtracks () =
+  let theta = Subst.of_list [ ("x", F.a) ] in
+  let saved = { M.bt_theta = Subst.empty; bt_phi = Fsubst.empty; bt_k = [] } in
+  let st = running theta Fsubst.empty [ saved ] [ M.Match (P.var "x", F.b) ] in
+  match expect_rule "ST-Match-Var-Conflict" M.St_match_var_conflict (step st) with
+  | M.Running { theta = theta'; stk; k; _ } ->
+      (* backtrack(frame :: stk) restores the frame *)
+      Alcotest.check F.subst_testable "restored theta" Subst.empty theta';
+      Alcotest.(check int) "stack popped" 0 (List.length stk);
+      Alcotest.(check int) "restored k" 0 (List.length k)
+  | _ -> Alcotest.fail "expected running state"
+
+let test_st_match_var_conflict_empty_stack () =
+  let theta = Subst.of_list [ ("x", F.a) ] in
+  let st = running theta Fsubst.empty [] [ M.Match (P.var "x", F.b) ] in
+  match expect_rule "backtrack([]) = failure" M.St_match_var_conflict (step st) with
+  | M.Failure -> ()
+  | _ -> Alcotest.fail "expected failure state"
+
+let test_st_match_fun () =
+  let p = P.app "f" [ P.var "x"; P.var "y" ] in
+  let t = F.f2 F.a F.b in
+  let st = start [ M.Match (p, t) ] in
+  match expect_rule "ST-Match-Fun" M.St_match_fun (step st) with
+  | M.Running { k; _ } ->
+      (* k' = [match(p1,t1); match(p2,t2)] prepended *)
+      Alcotest.(check int) "two obligations" 2 (List.length k);
+      (match k with
+      | [ M.Match (P.Var "x", t1); M.Match (P.Var "y", t2) ] ->
+          Alcotest.check F.term_testable "first arg" F.a t1;
+          Alcotest.check F.term_testable "second arg" F.b t2
+      | _ -> Alcotest.fail "wrong obligations")
+  | _ -> Alcotest.fail "expected running state"
+
+let test_st_match_fun_conflict () =
+  let st = start [ M.Match (P.app "g" [ P.var "x" ], F.a) ] in
+  match expect_rule "ST-Match-Fun-Conflict" M.St_match_fun_conflict (step st) with
+  | M.Failure -> ()
+  | _ -> Alcotest.fail "expected failure"
+
+let test_st_match_alt_pushes_frame () =
+  let p = P.alt (P.const "a") (P.const "b") in
+  let rest = [ M.Match (P.var "z", F.c) ] in
+  let st = start (M.Match (p, F.b) :: rest) in
+  match expect_rule "ST-Match-Alt" M.St_match_alt (step st) with
+  | M.Running { stk = [ frame ]; k; _ } ->
+      (* stack frame holds (theta, match(p', t) :: k) *)
+      (match frame.M.bt_k with
+      | M.Match (P.App ("b", []), t) :: rest' ->
+          Alcotest.check F.term_testable "saved scrutinee" F.b t;
+          Alcotest.(check int) "saved rest" 1 (List.length rest')
+      | _ -> Alcotest.fail "frame continuation wrong");
+      (match k with
+      | M.Match (P.App ("a", []), _) :: _ -> ()
+      | _ -> Alcotest.fail "left alternate not tried first")
+  | _ -> Alcotest.fail "expected one frame"
+
+let test_st_match_guard_defers () =
+  let g = G.True in
+  let st = start [ M.Match (P.Guarded (P.var "x", g), F.a) ] in
+  match expect_rule "ST-Match-Guard" M.St_match_guard (step st) with
+  | M.Running { k = [ M.Match (P.Var "x", _); M.Check_guard _ ]; _ } -> ()
+  | M.Running { k; _ } ->
+      Alcotest.failf "wrong continuation (%d entries)" (List.length k)
+  | _ -> Alcotest.fail "expected running state"
+
+let test_st_check_guard_continue () =
+  let st = start [ M.Check_guard G.True ] in
+  match expect_rule "ST-CheckGuard-Continue" M.St_check_guard_continue (step st) with
+  | M.Running { k = []; _ } -> ()
+  | _ -> Alcotest.fail "expected running with empty k"
+
+let test_st_check_guard_backtrack () =
+  let st = start [ M.Check_guard G.False ] in
+  match expect_rule "ST-CheckGuard-Backtrack" M.St_check_guard_backtrack (step st) with
+  | M.Failure -> ()
+  | _ -> Alcotest.fail "expected failure"
+
+let test_st_check_guard_stuck_faithful () =
+  (* an open guard instance has no applicable rule in faithful mode *)
+  let g = G.Eq (G.Var_attr ("q", "size"), G.Const 1) in
+  let st = start [ M.Check_guard g ] in
+  Alcotest.(check bool) "no step" true (step st = None)
+
+let test_st_check_name () =
+  let theta = Subst.of_list [ ("x", F.a) ] in
+  let st = running theta Fsubst.empty [] [ M.Check_name "x" ] in
+  (match expect_rule "ST-CheckName" M.St_check_name (step st) with
+  | M.Running { k = []; _ } -> ()
+  | _ -> Alcotest.fail "expected running");
+  (* unbound: stuck in faithful mode *)
+  let st' = start [ M.Check_name "x" ] in
+  Alcotest.(check bool) "unbound is stuck" true (step st' = None)
+
+let test_st_match_constr_action () =
+  let theta = Subst.of_list [ ("x", F.f2 F.a F.b) ] in
+  let st =
+    running theta Fsubst.empty [] [ M.Match_constr (P.app "f" [ P.var "u"; P.var "v" ], "x") ]
+  in
+  match expect_rule "ST-MatchConstr" M.St_match_constr (step st) with
+  | M.Running { k = [ M.Match (_, t) ]; _ } ->
+      Alcotest.check F.term_testable "dispatches on theta(x)" (F.f2 F.a F.b) t
+  | _ -> Alcotest.fail "expected match obligation"
+
+let test_st_match_exists () =
+  let st = start [ M.Match (P.exists "x" (P.var "x"), F.a) ] in
+  match expect_rule "ST-Match-Exists" M.St_match_exists (step st) with
+  | M.Running { k = [ M.Match _; M.Check_name "x" ]; _ } -> ()
+  | _ -> Alcotest.fail "expected match followed by checkName"
+
+let test_st_match_exists_f () =
+  (* extension: ST-Match-Exists-F pushes checkFName after the body *)
+  let st = start [ M.Match (P.exists_f "F" (P.fapp "F" [ P.var "x" ]), F.g1 F.a) ] in
+  match expect_rule "ST-Match-Exists-F" M.St_match_exists_f (step st) with
+  | M.Running { k = [ M.Match _; M.Check_fname "F" ]; _ } -> ()
+  | _ -> Alcotest.fail "expected match followed by checkFName"
+
+let test_st_check_fname () =
+  let phi = Fsubst.of_list [ ("F", "g") ] in
+  let st = running Subst.empty phi [] [ M.Check_fname "F" ] in
+  (match expect_rule "ST-CheckFName" M.St_check_fname (step st) with
+  | M.Running { k = []; _ } -> ()
+  | _ -> Alcotest.fail "expected running");
+  (* unbound: stuck under the faithful policy *)
+  let st' = start [ M.Check_fname "F" ] in
+  Alcotest.(check bool) "unbound is stuck" true (step st' = None)
+
+let test_run_exists_f_end_to_end () =
+  (* the machine binds F through the Fapp and checkFName passes *)
+  let p = P.exists_f "F" (P.fapp "F" [ P.var "x" ]) in
+  (match M.run ~interp p (F.g1 F.b) with
+  | Outcome.Matched (theta, phi) ->
+      Alcotest.(check (option string)) "F" (Some "g") (Fsubst.find "F" phi);
+      Alcotest.(check (option F.term_testable)) "x" (Some F.b)
+        (Subst.find "x" theta)
+  | o -> Alcotest.failf "expected match, got %s" (Outcome.to_string o));
+  (* two sibling Exists_f binders with the same name bind independently *)
+  let two =
+    P.app "f"
+      [
+        P.exists_f "F" (P.fapp "F" [ P.var "x" ]);
+        P.exists_f "F" (P.fapp "F" [ P.var "y" ]);
+      ]
+  in
+  (* NOTE: phi is a flat map, so reusing a binder name across siblings
+     forces the same operator — the frontend freshens names per unfold to
+     get genuine per-level freshness. Same op works: *)
+  (match M.run ~interp two (F.f2 (F.g1 F.a) (F.g1 F.b)) with
+  | Outcome.Matched _ -> ()
+  | o -> Alcotest.failf "same-op siblings: %s" (Outcome.to_string o));
+  (* different ops under one shared name conflict (hence the freshening) *)
+  match M.run ~interp two (F.f2 (F.g1 F.a) (F.f2 F.a F.b)) with
+  | Outcome.No_match -> ()
+  | o -> Alcotest.failf "shared name should conflict: %s" (Outcome.to_string o)
+
+let test_st_match_fun_var_bind () =
+  let st = start [ M.Match (P.fapp "F" [ P.var "x" ], F.g1 F.a) ] in
+  match expect_rule "ST-Match-Fun-Var-Bind" M.St_match_fun_var_bind (step st) with
+  | M.Running { phi; k = [ M.Match _ ]; _ } ->
+      Alcotest.(check (option string)) "F bound to g" (Some "g") (Fsubst.find "F" phi)
+  | _ -> Alcotest.fail "expected bind"
+
+let test_st_match_fun_var_bound_and_conflict () =
+  let phi = Fsubst.of_list [ ("F", "g") ] in
+  let st = running Subst.empty phi [] [ M.Match (P.fapp "F" [ P.var "x" ], F.g1 F.a) ] in
+  (match expect_rule "ST-Match-Fun-Var-Bound" M.St_match_fun_var_bound (step st) with
+  | M.Running _ -> ()
+  | _ -> Alcotest.fail "expected running");
+  let phi' = Fsubst.of_list [ ("F", "f") ] in
+  let st' = running Subst.empty phi' [] [ M.Match (P.fapp "F" [ P.var "x" ], F.g1 F.a) ] in
+  match expect_rule "ST-Match-Fun-Var-Conflict" M.St_match_fun_var_conflict (step st') with
+  | M.Failure -> ()
+  | _ -> Alcotest.fail "expected failure"
+
+let test_st_match_mu_unfolds () =
+  let body = P.alt (P.app "g" [ P.call "P" [ "x" ] ]) (P.var "x") in
+  let p = P.mu "P" ~formals:[ "x" ] ~actuals:[ "x" ] body in
+  let st = start [ M.Match (p, F.g1 F.a) ] in
+  match expect_rule "ST-Match-Mu" M.St_match_mu (step st) with
+  | M.Running { k = [ M.Match (p', _) ]; _ } ->
+      Alcotest.(check bool) "unfolded to an alternate" true
+        (match p' with P.Alt _ -> true | _ -> false)
+  | _ -> Alcotest.fail "expected unfolded obligation"
+
+(* ------------------------------------------------------------------ *)
+(* End-to-end runs: paper examples                                     *)
+(* ------------------------------------------------------------------ *)
+
+let expect_match name p t expected_theta =
+  match run p t with
+  | Outcome.Matched (theta, _) ->
+      Alcotest.check F.subst_testable name (Subst.of_list expected_theta) theta
+  | o -> Alcotest.failf "%s: expected match, got %s" name (Outcome.to_string o)
+
+let expect_no_match name p t =
+  match run p t with
+  | Outcome.No_match -> ()
+  | o -> Alcotest.failf "%s: expected failure, got %s" name (Outcome.to_string o)
+
+let test_run_fun_pattern () =
+  expect_match "f(x,y) vs f(a,b)"
+    (P.app "f" [ P.var "x"; P.var "y" ])
+    (F.f2 F.a F.b)
+    [ ("x", F.a); ("y", F.b) ]
+
+let test_run_nonlinear () =
+  (* MatMul(x,x)-style nonlinearity *)
+  let p = P.app "f" [ P.var "x"; P.var "x" ] in
+  expect_match "f(x,x) vs f(a,a)" p (F.f2 F.a F.a) [ ("x", F.a) ];
+  expect_no_match "f(x,x) vs f(a,b)" p (F.f2 F.a F.b)
+
+let test_run_left_eager_alt () =
+  (* Matching f(c1,c2) against f(x,y) || f(y,x) yields the left result
+     (the paper's incompleteness example, section 3.1.2). *)
+  let p =
+    P.alt
+      (P.app "f" [ P.var "x"; P.var "y" ])
+      (P.app "f" [ P.var "y"; P.var "x" ])
+  in
+  expect_match "left-eager" p (F.f2 F.a F.b) [ ("x", F.a); ("y", F.b) ]
+
+let test_run_alt_backtracks () =
+  (* first alternate fails structurally; second succeeds *)
+  let p = P.alt (P.app "g" [ P.var "x" ]) (P.app "f" [ P.var "x"; P.var "y" ]) in
+  expect_match "backtrack to second" p (F.f2 F.a F.b) [ ("x", F.a); ("y", F.b) ]
+
+let test_run_alt_restores_bindings () =
+  (* bindings made inside a failed alternate are erased by backtracking:
+     f(x-as-a then conflict) vs second alternate binding x=b *)
+  let p =
+    P.alt
+      (P.app "f" [ P.var "x"; P.app "g" [ P.var "x" ] ])
+      (P.app "f" [ P.var "y"; P.var "x" ])
+  in
+  expect_match "bindings restored" p (F.f2 F.a F.b) [ ("y", F.a); ("x", F.b) ]
+
+let test_run_guard_filters () =
+  let p =
+    P.Guarded (P.var "x", G.Eq (G.Var_attr ("x", "size"), G.Const 3))
+  in
+  expect_match "size 3 passes" p (F.f2 F.a F.b) [ ("x", F.f2 F.a F.b) ];
+  expect_no_match "size 1 fails" p F.a
+
+let test_run_guard_after_alt_backtracks () =
+  (* guard failure after the first alternate must fall through to the
+     second alternate *)
+  let p =
+    P.alt
+      (P.Guarded (P.var "x", G.Eq (G.Var_attr ("x", "size"), G.Const 99)))
+      (P.var "y")
+  in
+  expect_match "guard failure backtracks into alternates" p F.a
+    [ ("y", F.a) ]
+
+let test_run_exists_constr () =
+  (* exists y. (x ; g(y) ~ x): x is the root, bound, and must match g(y) *)
+  let p = P.exists "y" (P.constr (P.var "x") (P.app "g" [ P.var "y" ]) "x") in
+  expect_match "root capture" p (F.g1 F.a) [ ("x", F.g1 F.a); ("y", F.a) ]
+
+let test_run_unary_chain () =
+  (* figure 3: mu P(x,F). F(P(x,F)) || F(x) *)
+  let body =
+    P.alt (P.fapp "F" [ P.call "P" [ "x"; "F" ] ]) (P.fapp "F" [ P.var "x" ])
+  in
+  let p = P.mu "P" ~formals:[ "x"; "F" ] ~actuals:[ "x"; "F" ] body in
+  let t = F.g1 (F.g1 (F.g1 F.a)) in
+  match run p t with
+  | Outcome.Matched (theta, phi) ->
+      Alcotest.(check (option string)) "F = g" (Some "g") (Fsubst.find "F" phi);
+      Alcotest.(check (option F.term_testable))
+        "x = innermost" (Some F.a) (Subst.find "x" theta)
+  | o -> Alcotest.failf "unary chain: %s" (Outcome.to_string o)
+
+let test_run_diverging_mu () =
+  (* mu P(x). P(x) runs out of fuel, never succeeds or fails *)
+  let p = P.mu "P" ~formals:[ "x" ] ~actuals:[ "x" ] (P.call "P" [ "x" ]) in
+  match run ~fuel:500 p F.a with
+  | Outcome.Out_of_fuel -> ()
+  | o -> Alcotest.failf "expected out-of-fuel, got %s" (Outcome.to_string o)
+
+let test_run_policy_backtrack_recovers () =
+  (* exists w. x with w unused: stuck under Faithful, failure->alt under
+     Backtrack *)
+  let p = P.alt (P.exists "w" (P.var "x")) (P.var "y") in
+  (match run p F.a with
+  | Outcome.Stuck -> ()
+  | o -> Alcotest.failf "faithful: expected stuck, got %s" (Outcome.to_string o));
+  match run ~policy:Outcome.Policy.Backtrack p F.a with
+  | Outcome.Matched (theta, _) ->
+      Alcotest.(check (option F.term_testable))
+        "second alternate" (Some F.a) (Subst.find "y" theta)
+  | o -> Alcotest.failf "backtrack: expected match, got %s" (Outcome.to_string o)
+
+(* ------------------------------------------------------------------ *)
+(* Traces                                                              *)
+(* ------------------------------------------------------------------ *)
+
+let test_trace_var () =
+  let trace, outcome = M.run_trace ~interp (P.var "x") F.a in
+  Alcotest.(check (list string))
+    "bind then success"
+    [ "ST-Match-Var-Bind"; "ST-Success" ]
+    (List.map M.rule_name trace);
+  Alcotest.(check bool) "matched" true (Outcome.is_matched outcome)
+
+let test_trace_alt_failure_path () =
+  let p = P.alt (P.const "b") (P.const "a") in
+  let trace, outcome = M.run_trace ~interp (P.app "g" [ p ]) (F.g1 F.a) in
+  Alcotest.(check (list string))
+    "fun, alt, conflict, backtrack to second, success"
+    [
+      "ST-Match-Fun";
+      "ST-Match-Alt";
+      "ST-Match-Fun-Conflict";
+      "ST-Match-Fun";
+      "ST-Success";
+    ]
+    (List.map M.rule_name trace);
+  Alcotest.(check bool) "matched" true (Outcome.is_matched outcome)
+
+let test_steps_counted () =
+  match M.steps ~interp (P.var "x") F.a with
+  | Some n -> Alcotest.(check int) "two steps" 2 n
+  | None -> Alcotest.fail "fuel exhausted"
+
+let () =
+  Alcotest.run "machine"
+    [
+      ( "rules",
+        [
+          Alcotest.test_case "ST-Success" `Quick test_st_success;
+          Alcotest.test_case "ST-Match-Var-Bind" `Quick test_st_match_var_bind;
+          Alcotest.test_case "ST-Match-Var-Bound" `Quick test_st_match_var_bound;
+          Alcotest.test_case "ST-Match-Var-Conflict (backtrack)" `Quick
+            test_st_match_var_conflict_backtracks;
+          Alcotest.test_case "ST-Match-Var-Conflict (empty stack)" `Quick
+            test_st_match_var_conflict_empty_stack;
+          Alcotest.test_case "ST-Match-Fun" `Quick test_st_match_fun;
+          Alcotest.test_case "ST-Match-Fun-Conflict" `Quick
+            test_st_match_fun_conflict;
+          Alcotest.test_case "ST-Match-Alt" `Quick test_st_match_alt_pushes_frame;
+          Alcotest.test_case "ST-Match-Guard" `Quick test_st_match_guard_defers;
+          Alcotest.test_case "ST-CheckGuard-Continue" `Quick
+            test_st_check_guard_continue;
+          Alcotest.test_case "ST-CheckGuard-Backtrack" `Quick
+            test_st_check_guard_backtrack;
+          Alcotest.test_case "open guard is stuck (faithful)" `Quick
+            test_st_check_guard_stuck_faithful;
+          Alcotest.test_case "ST-CheckName" `Quick test_st_check_name;
+          Alcotest.test_case "ST-MatchConstr" `Quick test_st_match_constr_action;
+          Alcotest.test_case "ST-Match-Exists" `Quick test_st_match_exists;
+          Alcotest.test_case "ST-Match-Exists-F" `Quick test_st_match_exists_f;
+          Alcotest.test_case "ST-CheckFName" `Quick test_st_check_fname;
+          Alcotest.test_case "ST-Match-Fun-Var-Bind" `Quick
+            test_st_match_fun_var_bind;
+          Alcotest.test_case "ST-Match-Fun-Var-Bound/Conflict" `Quick
+            test_st_match_fun_var_bound_and_conflict;
+          Alcotest.test_case "ST-Match-Mu" `Quick test_st_match_mu_unfolds;
+        ] );
+      ( "runs",
+        [
+          Alcotest.test_case "function pattern" `Quick test_run_fun_pattern;
+          Alcotest.test_case "nonlinear pattern" `Quick test_run_nonlinear;
+          Alcotest.test_case "left-eager alternates" `Quick
+            test_run_left_eager_alt;
+          Alcotest.test_case "alternate backtracking" `Quick
+            test_run_alt_backtracks;
+          Alcotest.test_case "backtracking erases bindings" `Quick
+            test_run_alt_restores_bindings;
+          Alcotest.test_case "guards filter" `Quick test_run_guard_filters;
+          Alcotest.test_case "guard failure backtracks" `Quick
+            test_run_guard_after_alt_backtracks;
+          Alcotest.test_case "exists + match constraint" `Quick
+            test_run_exists_constr;
+          Alcotest.test_case "recursive unary chain (fig. 3)" `Quick
+            test_run_unary_chain;
+          Alcotest.test_case "diverging mu runs out of fuel" `Quick
+            test_run_diverging_mu;
+          Alcotest.test_case "backtrack policy recovers stuckness" `Quick
+            test_run_policy_backtrack_recovers;
+          Alcotest.test_case "exists_f end to end" `Quick
+            test_run_exists_f_end_to_end;
+        ] );
+      ( "traces",
+        [
+          Alcotest.test_case "variable trace" `Quick test_trace_var;
+          Alcotest.test_case "alternate failure trace" `Quick
+            test_trace_alt_failure_path;
+          Alcotest.test_case "step count" `Quick test_steps_counted;
+        ] );
+    ]

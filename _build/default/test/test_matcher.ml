@@ -1,0 +1,188 @@
+(* Tests for the production matcher (the efficient implementation of the
+   algorithmic semantics). *)
+
+open Pypm_term
+open Pypm_pattern
+open Pypm_semantics
+open Pypm_testutil
+module F = Fixtures
+module P = Pattern
+module G = Guard
+
+let interp = F.interp
+let matches ?policy ?fuel p t = Matcher.matches ~interp ?policy ?fuel p t
+
+let expect_match name p t expected =
+  match matches p t with
+  | Outcome.Matched (theta, _) ->
+      Alcotest.check F.subst_testable name (Subst.of_list expected) theta
+  | o -> Alcotest.failf "%s: expected match, got %s" name (Outcome.to_string o)
+
+let expect_no_match name p t =
+  match matches p t with
+  | Outcome.No_match -> ()
+  | o -> Alcotest.failf "%s: expected no match, got %s" name (Outcome.to_string o)
+
+let test_var () = expect_match "variable" (P.var "x") F.a [ ("x", F.a) ]
+
+let test_const () =
+  expect_match "constant" (P.const "a") F.a [];
+  expect_no_match "wrong constant" (P.const "b") F.a
+
+let test_deep () =
+  let p = P.app "f" [ P.app "g" [ P.var "x" ]; P.var "y" ] in
+  let t = F.f2 (F.g1 (F.f2 F.a F.b)) F.c in
+  expect_match "deep" p t [ ("x", F.f2 F.a F.b); ("y", F.c) ]
+
+let test_nonlinear () =
+  let p = P.app "f" [ P.var "x"; P.var "x" ] in
+  expect_match "nonlinear ok" p (F.f2 (F.g1 F.a) (F.g1 F.a)) [ ("x", F.g1 F.a) ];
+  expect_no_match "nonlinear mismatch" p (F.f2 F.a F.b)
+
+let test_alt_order () =
+  let p = P.alt (P.var "x") (P.var "y") in
+  expect_match "left alternate wins" p F.a [ ("x", F.a) ]
+
+let test_alt_nested_backtrack () =
+  (* h(alt, alt, alt): conflicts force combination search *)
+  let alt = P.alt (P.var "x") (P.var "y") in
+  let p = P.app "h" [ alt; alt; alt ] in
+  (* x can't be a and b at once, so the match distributes over x and y *)
+  match matches p (F.h3 F.a F.b F.a) with
+  | Outcome.Matched (theta, _) ->
+      Alcotest.(check (option F.term_testable)) "x" (Some F.a) (Subst.find "x" theta);
+      Alcotest.(check (option F.term_testable)) "y" (Some F.b) (Subst.find "y" theta)
+  | o -> Alcotest.failf "expected match, got %s" (Outcome.to_string o)
+
+let test_guard () =
+  let p = P.Guarded (P.var "x", G.Le (G.Const 2, G.Var_attr ("x", "depth"))) in
+  expect_match "deep enough" p (F.g1 F.a) [ ("x", F.g1 F.a) ];
+  expect_no_match "too shallow" p F.a
+
+let test_guard_policy () =
+  let open_guard = G.Eq (G.Var_attr ("unbound", "size"), G.Const 1) in
+  let p = P.Guarded (P.var "x", open_guard) in
+  (match matches p F.a with
+  | Outcome.No_match -> () (* default Backtrack policy *)
+  | o -> Alcotest.failf "backtrack policy: got %s" (Outcome.to_string o));
+  match matches ~policy:Outcome.Policy.Faithful p F.a with
+  | Outcome.Stuck -> ()
+  | o -> Alcotest.failf "faithful policy: got %s" (Outcome.to_string o)
+
+let test_exists () =
+  let p = P.exists "y" (P.app "g" [ P.var "y" ]) in
+  expect_match "exists bound" p (F.g1 F.b) [ ("y", F.b) ]
+
+let test_constr () =
+  (* x ; (g(y) ~ x): root must be a g-node *)
+  let p = P.exists "y" (P.constr (P.var "x") (P.app "g" [ P.var "y" ]) "x") in
+  expect_match "constraint ok" p (F.g1 F.c) [ ("x", F.g1 F.c); ("y", F.c) ];
+  expect_no_match "constraint fails" p (F.f2 F.a F.b)
+
+let test_fvar () =
+  let p = P.app "f" [ P.fapp "F" [ P.var "x" ]; P.fapp "F" [ P.var "y" ] ] in
+  (* both subterms must use the same unary operator *)
+  (match matches p (F.f2 (F.g1 F.a) (F.g1 F.b)) with
+  | Outcome.Matched (_, phi) ->
+      Alcotest.(check (option string)) "F" (Some "g") (Fsubst.find "F" phi)
+  | o -> Alcotest.failf "expected match, got %s" (Outcome.to_string o));
+  expect_no_match "different operators" p (F.f2 (F.g1 F.a) (F.f2 F.a F.b))
+
+let test_fvar_self_application () =
+  (* F(F(x)) from section 3.4 *)
+  let p = P.fapp "F" [ P.fapp "F" [ P.var "x" ] ] in
+  expect_match "tower" p (F.g1 (F.g1 F.a)) [ ("x", F.a) ];
+  expect_no_match "not a tower" p (F.g1 F.a)
+
+let test_mu_chain () =
+  let body =
+    P.alt (P.fapp "F" [ P.call "P" [ "x"; "F" ] ]) (P.fapp "F" [ P.var "x" ])
+  in
+  let p = P.mu "P" ~formals:[ "x"; "F" ] ~actuals:[ "x"; "F" ] body in
+  let rec tower n = if n = 0 then F.a else F.g1 (tower (n - 1)) in
+  expect_match "tower of 5" p (tower 5) [ ("x", F.a) ];
+  expect_no_match "flat constant" p F.a
+
+let test_mu_fuel () =
+  let p = P.mu "P" ~formals:[ "x" ] ~actuals:[ "x" ] (P.call "P" [ "x" ]) in
+  match matches ~fuel:200 p F.a with
+  | Outcome.Out_of_fuel -> ()
+  | o -> Alcotest.failf "expected out-of-fuel, got %s" (Outcome.to_string o)
+
+let test_matches_at () =
+  (* pre-seeded bindings constrain the match *)
+  let theta = Subst.of_list [ ("x", F.a) ] in
+  let p = P.app "f" [ P.var "x"; P.var "y" ] in
+  (match
+     Matcher.matches_at ~interp ~theta ~phi:Fsubst.empty p (F.f2 F.a F.b)
+   with
+  | Outcome.Matched (theta', _) ->
+      Alcotest.(check (option F.term_testable)) "y" (Some F.b) (Subst.find "y" theta')
+  | o -> Alcotest.failf "expected match, got %s" (Outcome.to_string o));
+  match
+    Matcher.matches_at ~interp ~theta ~phi:Fsubst.empty p (F.f2 F.b F.b)
+  with
+  | Outcome.No_match -> ()
+  | o -> Alcotest.failf "pre-binding should conflict, got %s" (Outcome.to_string o)
+
+let test_visits_instrumentation () =
+  ignore (matches (P.var "x") F.a);
+  Alcotest.(check bool) "visits counted" true (Matcher.last_visits () >= 1)
+
+(* MMxyT from figure 1, over the test signature: f = MatMul, g = Trans. *)
+let test_figure1_shape () =
+  let mmxyt =
+    P.Guarded
+      ( P.app "f" [ P.var "x"; P.app "g" [ P.var "y" ] ],
+        G.And
+          ( G.Le (G.Const 1, G.Var_attr ("x", "size")),
+            G.Le (G.Const 1, G.Var_attr ("y", "size")) ) )
+  in
+  let t = F.f2 F.c (F.g1 F.b) in
+  expect_match "MMxyT analogue" mmxyt t [ ("x", F.c); ("y", F.b) ]
+
+let () =
+  Alcotest.run "matcher"
+    [
+      ( "basic",
+        [
+          Alcotest.test_case "variable" `Quick test_var;
+          Alcotest.test_case "constant" `Quick test_const;
+          Alcotest.test_case "deep" `Quick test_deep;
+          Alcotest.test_case "nonlinear" `Quick test_nonlinear;
+        ] );
+      ( "alternates",
+        [
+          Alcotest.test_case "left wins" `Quick test_alt_order;
+          Alcotest.test_case "nested backtracking" `Quick
+            test_alt_nested_backtrack;
+        ] );
+      ( "guards",
+        [
+          Alcotest.test_case "filtering" `Quick test_guard;
+          Alcotest.test_case "policy on open guards" `Quick test_guard_policy;
+        ] );
+      ( "binders",
+        [
+          Alcotest.test_case "exists" `Quick test_exists;
+          Alcotest.test_case "match constraint" `Quick test_constr;
+        ] );
+      ( "function-variables",
+        [
+          Alcotest.test_case "shared operator" `Quick test_fvar;
+          Alcotest.test_case "self application" `Quick
+            test_fvar_self_application;
+        ] );
+      ( "recursion",
+        [
+          Alcotest.test_case "unary chain" `Quick test_mu_chain;
+          Alcotest.test_case "fuel bound" `Quick test_mu_fuel;
+        ] );
+      ( "api",
+        [
+          Alcotest.test_case "matches_at" `Quick test_matches_at;
+          Alcotest.test_case "visit instrumentation" `Quick
+            test_visits_instrumentation;
+          Alcotest.test_case "figure 1 analogue" `Quick test_figure1_shape;
+        ] );
+    ]

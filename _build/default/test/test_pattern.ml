@@ -1,0 +1,363 @@
+(* Tests for the pattern AST: constructors, free variables, renaming,
+   mu-unfolding, well-formedness diagnostics. *)
+
+open Pypm_term
+open Pypm_pattern
+open Pypm_testutil
+module F = Fixtures
+module P = Pattern
+
+let checkb = Alcotest.(check bool)
+let checki = Alcotest.(check int)
+
+let set_contains name set x = checkb name true (Symbol.Set.mem x set)
+let set_lacks name set x = checkb name false (Symbol.Set.mem x set)
+
+(* ------------------------------------------------------------------ *)
+(* Constructors                                                        *)
+(* ------------------------------------------------------------------ *)
+
+let test_alts_order () =
+  (* alts [p1; p2; p3] must be Alt (Alt (p1, p2), p3): left-nested keeps
+     definition order under the machine's left-eager strategy. *)
+  let p1 = P.var "x" and p2 = P.var "y" and p3 = P.var "z" in
+  match P.alts [ p1; p2; p3 ] with
+  | P.Alt (P.Alt (a, b), c) ->
+      checkb "p1 first" true (P.equal a p1);
+      checkb "p2 second" true (P.equal b p2);
+      checkb "p3 third" true (P.equal c p3)
+  | _ -> Alcotest.fail "wrong alternate shape"
+
+let test_alts_empty () =
+  match P.alts [] with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "empty alternates accepted"
+
+let test_guarded_empty () =
+  let p = P.var "x" in
+  checkb "no-op" true (P.equal (P.guarded p []) p)
+
+let test_mu_arity () =
+  match P.mu "P" ~formals:[ "x"; "y" ] ~actuals:[ "x" ] (P.var "x") with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "mu arity mismatch accepted"
+
+(* ------------------------------------------------------------------ *)
+(* Size and counters                                                   *)
+(* ------------------------------------------------------------------ *)
+
+let test_size () =
+  let p = P.app "f" [ P.var "x"; P.alt (P.var "y") (P.const "a") ] in
+  checki "size" 5 (P.size p);
+  checki "alts" 1 (P.count_alts p);
+  checki "guards" 0 (P.count_guards p)
+
+(* ------------------------------------------------------------------ *)
+(* Free variables                                                      *)
+(* ------------------------------------------------------------------ *)
+
+let test_free_vars_basic () =
+  let p = P.app "f" [ P.var "x"; P.var "y" ] in
+  let fv = P.free_vars p in
+  set_contains "x free" fv "x";
+  set_contains "y free" fv "y";
+  checki "two free" 2 (Symbol.Set.cardinal fv)
+
+let test_free_vars_exists () =
+  let p = P.exists "x" (P.app "f" [ P.var "x"; P.var "y" ]) in
+  let fv = P.free_vars p in
+  set_lacks "x bound" fv "x";
+  set_contains "y free" fv "y"
+
+let test_free_vars_guard () =
+  let g = Guard.Eq (Guard.Var_attr ("z", "size"), Guard.Const 1) in
+  let p = P.Guarded (P.var "x", g) in
+  set_contains "guard var free" (P.free_vars p) "z"
+
+let test_free_vars_constr () =
+  let p = P.constr (P.var "x") (P.const "a") "w" in
+  set_contains "constraint target free" (P.free_vars p) "w"
+
+let test_free_vars_mu () =
+  (* mu P(x). g(P(x)) || x  applied to [y]: x bound, y free *)
+  let body = P.alt (P.app "g" [ P.call "P" [ "x" ] ]) (P.var "x") in
+  let p = P.mu "P" ~formals:[ "x" ] ~actuals:[ "y" ] body in
+  let fv = P.free_vars p in
+  set_lacks "formal bound" fv "x";
+  set_contains "actual free" fv "y"
+
+let test_free_fvars () =
+  let p = P.fapp "F" [ P.var "x" ] in
+  set_contains "F free" (P.free_fvars p) "F";
+  set_lacks "x not an fvar" (P.free_fvars p) "x"
+
+let test_free_calls () =
+  let body = P.app "g" [ P.call "P" [ "x" ] ] in
+  set_contains "free call" (P.free_calls body) "P";
+  let closed = P.mu "P" ~formals:[ "x" ] ~actuals:[ "x" ] body in
+  set_lacks "bound call" (P.free_calls closed) "P"
+
+(* ------------------------------------------------------------------ *)
+(* Renaming                                                            *)
+(* ------------------------------------------------------------------ *)
+
+let test_rename_basic () =
+  let p = P.app "f" [ P.var "x"; P.var "y" ] in
+  let p' = P.rename [ ("x", "u") ] p in
+  checkb "renamed" true (P.equal p' (P.app "f" [ P.var "u"; P.var "y" ]))
+
+let test_rename_respects_binder () =
+  let p = P.exists "x" (P.app "f" [ P.var "x"; P.var "y" ]) in
+  let p' = P.rename [ ("x", "u") ] p in
+  (* the bound x must not be renamed *)
+  checkb "binder shields" true (P.equal p' p)
+
+let test_rename_avoids_capture () =
+  (* exists x. f(x, y) with y -> x must NOT become exists x. f(x, x). *)
+  let p = P.exists "x" (P.app "f" [ P.var "x"; P.var "y" ]) in
+  match P.rename [ ("y", "x") ] p with
+  | P.Exists (x', P.App (_, [ P.Var v1; P.Var v2 ])) ->
+      checkb "bound occurrence follows the freshened binder" true
+        (String.equal v1 x');
+      Alcotest.(check string) "free y renamed to x" "x" v2;
+      checkb "binder freshened away from x" false (String.equal x' "x")
+  | _ -> Alcotest.fail "unexpected shape"
+
+let test_rename_fvar () =
+  let p = P.fapp "F" [ P.var "x" ] in
+  match P.rename [ ("F", "G") ] p with
+  | P.Fapp ("G", _) -> ()
+  | _ -> Alcotest.fail "fvar not renamed"
+
+let test_rename_guard () =
+  let g = Guard.Eq (Guard.Var_attr ("x", "size"), Guard.Const 1) in
+  let p = P.Guarded (P.var "x", g) in
+  match P.rename [ ("x", "z") ] p with
+  | P.Guarded (P.Var "z", Guard.Eq (Guard.Var_attr ("z", "size"), _)) -> ()
+  | _ -> Alcotest.fail "guard vars must be renamed with pattern vars"
+
+(* ------------------------------------------------------------------ *)
+(* Mu unfolding (P-Mu)                                                 *)
+(* ------------------------------------------------------------------ *)
+
+let unary_chain =
+  (* mu P(x,F). F(P(x,F)) || F(x), the UnaryChain pattern of figure 3 *)
+  let body =
+    P.alt
+      (P.fapp "F" [ P.call "P" [ "x"; "F" ] ])
+      (P.fapp "F" [ P.var "x" ])
+  in
+  fun actuals -> P.mu "P" ~formals:[ "x"; "F" ] ~actuals body
+
+let test_unfold_unary_chain () =
+  match unary_chain [ "y"; "G" ] with
+  | P.Mu (m, ys) -> (
+      match P.unfold m ys with
+      | P.Alt (P.Fapp ("G", [ P.Mu (m', inner_ys) ]), P.Fapp ("G", [ P.Var "y" ]))
+        ->
+          (* the recursive call P(x,F) becomes P(y,G) under [y/x, G/F], so
+             the inner mu is applied to the renamed actuals *)
+          Alcotest.(check (list string)) "inner actuals" [ "y"; "G" ] inner_ys;
+          checkb "same body" true (P.equal m'.body m.body)
+      | p -> Alcotest.failf "unexpected unfolding %s" (P.to_string p))
+  | _ -> Alcotest.fail "not a mu"
+
+let test_unfold_is_capture_safe () =
+  (* mu P(x). exists y. f(x, y) applied to [y]: the actual y must not be
+     captured by the existential binder. *)
+  let body = P.exists "y" (P.app "f" [ P.var "x"; P.var "y" ]) in
+  match P.mu "P" ~formals:[ "x" ] ~actuals:[ "y" ] body with
+  | P.Mu (m, ys) -> (
+      match P.unfold m ys with
+      | P.Exists (y', P.App (_, [ P.Var v1; P.Var v2 ])) ->
+          Alcotest.(check string) "formal renamed to actual" "y" v1;
+          checkb "existential freshened" false (String.equal y' "y");
+          checkb "bound occurrence follows" true (String.equal v2 y')
+      | p -> Alcotest.failf "unexpected unfolding %s" (P.to_string p))
+  | _ -> Alcotest.fail "not a mu"
+
+let test_unfold_shadowing () =
+  (* An inner mu rebinding the same name shadows the outer one. *)
+  let inner_body = P.var "z" in
+  let inner = P.mu "P" ~formals:[ "z" ] ~actuals:[ "x" ] inner_body in
+  let body = P.app "g" [ inner ] in
+  match P.mu "P" ~formals:[ "x" ] ~actuals:[ "w" ] body with
+  | P.Mu (m, ys) -> (
+      match P.unfold m ys with
+      | P.App ("g", [ P.Mu (m', [ "w" ]) ]) ->
+          checkb "inner mu untouched" true (P.equal m'.body inner_body)
+      | p -> Alcotest.failf "unexpected unfolding %s" (P.to_string p))
+  | _ -> Alcotest.fail "not a mu"
+
+(* ------------------------------------------------------------------ *)
+(* Root heads                                                          *)
+(* ------------------------------------------------------------------ *)
+
+let heads_opt = Alcotest.(option (slist string compare))
+
+let root_heads p =
+  Option.map Symbol.Set.elements (P.root_heads p)
+
+let test_root_heads () =
+  Alcotest.check heads_opt "app" (Some [ "f" ])
+    (root_heads (P.app "f" [ P.var "x"; P.var "y" ]));
+  Alcotest.check heads_opt "var" None (root_heads (P.var "x"));
+  Alcotest.check heads_opt "fapp" None (root_heads (P.fapp "F" [ P.var "x" ]));
+  Alcotest.check heads_opt "alt unions" (Some [ "f"; "g" ])
+    (root_heads (P.alt (P.app "f" [ P.var "x"; P.var "y" ]) (P.app "g" [ P.var "x" ])));
+  Alcotest.check heads_opt "alt with var poisons" None
+    (root_heads (P.alt (P.app "g" [ P.var "x" ]) (P.var "y")));
+  Alcotest.check heads_opt "through binders" (Some [ "g" ])
+    (root_heads (P.exists "y" (P.Guarded (P.app "g" [ P.var "y" ], Guard.True))));
+  Alcotest.check heads_opt "constr looks left" (Some [ "g" ])
+    (root_heads (P.constr (P.app "g" [ P.var "x" ]) (P.var "z") "x"))
+
+let test_root_heads_mu () =
+  (* ReluChain-style mu: both alternates rooted at g *)
+  let body = P.alt (P.app "g" [ P.call "P" [ "x" ] ]) (P.app "g" [ P.var "x" ]) in
+  Alcotest.check heads_opt "mu body" (Some [ "g" ])
+    (root_heads (P.mu "P" ~formals:[ "x" ] ~actuals:[ "x" ] body))
+
+(* soundness: if root_heads excludes the term's head, no match exists *)
+let prop_root_heads_sound =
+  F.qtest ~count:800 "root_heads is a sound filter"
+    QCheck2.Gen.(pair F.Gen.pattern F.Gen.term)
+    (fun (p, t) ->
+      Printf.sprintf "%s vs %s" (P.to_string p)
+        (Pypm_term.Term.to_string t))
+    (fun (p, t) ->
+      match P.root_heads p with
+      | None -> true
+      | Some heads ->
+          Symbol.Set.mem (Pypm_term.Term.head t) heads
+          ||
+          let open Pypm_semantics in
+          not
+            (Outcome.is_matched
+               (Matcher.matches ~interp:F.interp ~fuel:50_000 p t)))
+
+(* ------------------------------------------------------------------ *)
+(* Well-formedness                                                     *)
+(* ------------------------------------------------------------------ *)
+
+let errs p = List.length (Wf.errors (Wf.check F.sg p))
+let warns p = List.length (Wf.warnings (Wf.check F.sg p))
+
+let test_wf_clean () =
+  let p = P.app "f" [ P.var "x"; P.app "g" [ P.var "y" ] ] in
+  checki "no errors" 0 (errs p);
+  checki "no warnings" 0 (warns p)
+
+let test_wf_arity () =
+  checki "arity error" 1 (errs (P.app "f" [ P.var "x" ]))
+
+let test_wf_undeclared () =
+  checki "undeclared error" 1 (errs (P.const "nosuch"))
+
+let test_wf_unbound_call () =
+  checki "unbound call" 1 (errs (P.call "Q" [ "x" ]))
+
+let test_wf_fvar_arity () =
+  let p = P.app "f" [ P.fapp "F" [ P.var "x" ]; P.fapp "F" [ P.var "x"; P.var "y" ] ] in
+  checkb "fvar arity warning" true (warns p >= 1)
+
+let test_wf_useless_exists () =
+  checkb "useless existential warns" true
+    (warns (P.exists "w" (P.var "x")) >= 1)
+
+let test_wf_no_base_case () =
+  let body = P.app "g" [ P.call "P" [ "x" ] ] in
+  let p = P.mu "P" ~formals:[ "x" ] ~actuals:[ "x" ] body in
+  checkb "missing base case warns" true (warns p >= 1);
+  checki "still no error" 0 (errs p)
+
+let test_wf_base_case_ok () =
+  match unary_chain [ "x"; "F" ] with
+  | p -> checki "unary chain clean" 0 (errs p)
+
+let test_wf_check_exn () =
+  match Wf.check_exn F.sg (P.app "f" [ P.var "x" ]) with
+  | exception Invalid_argument _ -> ()
+  | () -> Alcotest.fail "check_exn accepted an arity violation"
+
+(* ------------------------------------------------------------------ *)
+(* Properties                                                          *)
+(* ------------------------------------------------------------------ *)
+
+let prop_rename_id =
+  F.qtest "identity renaming is identity" F.Gen.pattern P.to_string (fun p ->
+      P.equal (P.rename [] p) p)
+
+let prop_rename_fresh_involutive =
+  (* Renaming to a fresh name and back gives an alpha-equal pattern; since
+     our generator avoids '#' names, renaming x->tmp->x is literal identity
+     when no binder interferes. Weaker but checkable: free variable sets
+     transport along the renaming. *)
+  F.qtest "renaming transports free variables" F.Gen.pattern P.to_string
+    (fun p ->
+      let p' = P.rename [ ("x", "fresh_v") ] p in
+      let fv = P.free_vars p and fv' = P.free_vars p' in
+      if Symbol.Set.mem "x" fv then
+        Symbol.Set.mem "fresh_v" fv' && not (Symbol.Set.mem "x" fv')
+      else Symbol.Set.equal fv fv')
+
+let prop_size_positive =
+  F.qtest "pattern size is positive" F.Gen.pattern P.to_string (fun p ->
+      P.size p >= 1)
+
+let () =
+  Alcotest.run "pattern"
+    [
+      ( "constructors",
+        [
+          Alcotest.test_case "alts order" `Quick test_alts_order;
+          Alcotest.test_case "alts empty" `Quick test_alts_empty;
+          Alcotest.test_case "guarded empty" `Quick test_guarded_empty;
+          Alcotest.test_case "mu arity" `Quick test_mu_arity;
+          Alcotest.test_case "size/counters" `Quick test_size;
+        ] );
+      ( "free-vars",
+        [
+          Alcotest.test_case "basic" `Quick test_free_vars_basic;
+          Alcotest.test_case "exists binds" `Quick test_free_vars_exists;
+          Alcotest.test_case "guard vars" `Quick test_free_vars_guard;
+          Alcotest.test_case "constraint target" `Quick test_free_vars_constr;
+          Alcotest.test_case "mu binds formals" `Quick test_free_vars_mu;
+          Alcotest.test_case "fvars" `Quick test_free_fvars;
+          Alcotest.test_case "free calls" `Quick test_free_calls;
+        ] );
+      ( "rename",
+        [
+          Alcotest.test_case "basic" `Quick test_rename_basic;
+          Alcotest.test_case "respects binder" `Quick test_rename_respects_binder;
+          Alcotest.test_case "avoids capture" `Quick test_rename_avoids_capture;
+          Alcotest.test_case "fvar" `Quick test_rename_fvar;
+          Alcotest.test_case "guard" `Quick test_rename_guard;
+        ] );
+      ( "unfold",
+        [
+          Alcotest.test_case "unary chain" `Quick test_unfold_unary_chain;
+          Alcotest.test_case "capture safe" `Quick test_unfold_is_capture_safe;
+          Alcotest.test_case "shadowing" `Quick test_unfold_shadowing;
+        ] );
+      ( "root-heads",
+        [
+          Alcotest.test_case "basic" `Quick test_root_heads;
+          Alcotest.test_case "mu" `Quick test_root_heads_mu;
+          prop_root_heads_sound;
+        ] );
+      ( "wf",
+        [
+          Alcotest.test_case "clean" `Quick test_wf_clean;
+          Alcotest.test_case "arity" `Quick test_wf_arity;
+          Alcotest.test_case "undeclared" `Quick test_wf_undeclared;
+          Alcotest.test_case "unbound call" `Quick test_wf_unbound_call;
+          Alcotest.test_case "fvar arity" `Quick test_wf_fvar_arity;
+          Alcotest.test_case "useless exists" `Quick test_wf_useless_exists;
+          Alcotest.test_case "no base case" `Quick test_wf_no_base_case;
+          Alcotest.test_case "base case ok" `Quick test_wf_base_case_ok;
+          Alcotest.test_case "check_exn" `Quick test_wf_check_exn;
+        ] );
+      ( "properties",
+        [ prop_rename_id; prop_rename_fresh_involutive; prop_size_positive ] );
+    ]

@@ -1,0 +1,360 @@
+(* Tests for the query (database) view of pattern matching: identity-based
+   bindings, agreement with the term matcher on tree-shaped graphs, the
+   CSE-sensitivity difference on DAGs, guards over node attributes, and
+   the Unsupported report for recursion. *)
+
+open Pypm
+module P = Pattern
+
+let checkb = Alcotest.(check bool)
+let checki = Alcotest.(check int)
+let f32 shape = Ty.make Dtype.F32 shape
+
+let fresh () =
+  let e = Std_ops.make () in
+  (e, Graph.create ~sg:e.Std_ops.sg ~infer:e.Std_ops.infer ())
+
+let term_matches g pattern root =
+  let view = Term_view.create g in
+  let t = Term_view.term_of view root in
+  match Matcher.matches ~interp:(Term_view.interp view) pattern t with
+  | Outcome.Matched (theta, _) -> Some (view, theta)
+  | _ -> None
+
+(* ------------------------------------------------------------------ *)
+(* Basics                                                              *)
+(* ------------------------------------------------------------------ *)
+
+let test_structural_match () =
+  let _, g = fresh () in
+  let x = Graph.input g ~name:"x" (f32 [ 2; 3 ]) in
+  let w = Graph.input g ~name:"w" (f32 [ 3; 5 ]) in
+  let mm = Graph.add g Std_ops.matmul [ x; w ] in
+  Graph.set_outputs g [ mm ];
+  let pattern = P.app Std_ops.matmul [ P.var "a"; P.var "b" ] in
+  match Query.solve g pattern ~root:mm with
+  | Query.Sat env ->
+      checki "a is the input node" x.Graph.id
+        (Symbol.Map.find "a" env.Query.nodes).Graph.id;
+      checki "b is the weight node" w.Graph.id
+        (Symbol.Map.find "b" env.Query.nodes).Graph.id
+  | _ -> Alcotest.fail "expected Sat"
+
+let test_head_mismatch () =
+  let _, g = fresh () in
+  let x = Graph.input g ~name:"x" (f32 [ 4 ]) in
+  let r = Graph.add g Std_ops.relu [ x ] in
+  Graph.set_outputs g [ r ];
+  match Query.solve g (P.app Std_ops.sigmoid [ P.var "a" ]) ~root:r with
+  | Query.Unsat -> ()
+  | _ -> Alcotest.fail "expected Unsat"
+
+let test_alternates_and_fvars () =
+  let _, g = fresh () in
+  let x = Graph.input g ~name:"x" (f32 [ 4 ]) in
+  let r = Graph.add g Std_ops.sigmoid [ x ] in
+  Graph.set_outputs g [ r ];
+  let pattern =
+    P.alt (P.app Std_ops.relu [ P.var "a" ]) (P.fapp "F" [ P.var "a" ])
+  in
+  match Query.solve g pattern ~root:r with
+  | Query.Sat env ->
+      Alcotest.(check string)
+        "F bound to the operator" Std_ops.sigmoid
+        (Symbol.Map.find "F" env.Query.ops)
+  | _ -> Alcotest.fail "expected Sat via the second alternate"
+
+let test_guards_on_nodes () =
+  let _, g = fresh () in
+  let x = Graph.input g ~name:"x" (f32 [ 2; 3 ]) in
+  let r = Graph.add g Std_ops.relu [ x ] in
+  Graph.set_outputs g [ r ];
+  let guarded rank =
+    P.Guarded
+      ( P.app Std_ops.relu [ P.var "a" ],
+        Guard.Eq (Guard.Var_attr ("a", "rank"), Guard.Const rank) )
+  in
+  (match Query.solve g (guarded 2) ~root:r with
+  | Query.Sat _ -> ()
+  | _ -> Alcotest.fail "rank guard should pass");
+  match Query.solve g (guarded 3) ~root:r with
+  | Query.Unsat -> ()
+  | _ -> Alcotest.fail "rank guard should fail"
+
+let test_recursion_unsupported () =
+  let _, g = fresh () in
+  let x = Graph.input g ~name:"x" (f32 [ 4 ]) in
+  Graph.set_outputs g [ Graph.add g Std_ops.relu [ x ] ];
+  let mu =
+    P.mu "P" ~formals:[ "x" ] ~actuals:[ "x" ]
+      (P.alt (P.app Std_ops.relu [ P.call "P" [ "x" ] ]) (P.var "x"))
+  in
+  match Query.solve g mu ~root:(List.hd (Graph.outputs g)) with
+  | Query.Unsupported _ -> ()
+  | _ -> Alcotest.fail "recursion should be Unsupported"
+
+(* ------------------------------------------------------------------ *)
+(* Identity vs structure: the interesting semantic difference          *)
+(* ------------------------------------------------------------------ *)
+
+(* Mul(relu(x), relu(x)) with a SHARED relu node: both views match. *)
+let test_nonlinear_shared () =
+  let _, g = fresh () in
+  let x = Graph.input g ~name:"x" (f32 [ 4 ]) in
+  let r = Graph.add g Std_ops.relu [ x ] in
+  let m = Graph.add g Std_ops.mul [ r; r ] in
+  Graph.set_outputs g [ m ];
+  let pattern = P.app Std_ops.mul [ P.var "a"; P.var "a" ] in
+  (match Query.solve g pattern ~root:m with
+  | Query.Sat _ -> ()
+  | _ -> Alcotest.fail "query view should match the shared node");
+  checkb "term view agrees" true (term_matches g pattern m <> None)
+
+(* Mul(relu(x), relu'(x)) with two DISTINCT but structurally equal relu
+   nodes: the term view matches (values are equal), the query view does
+   not (identities differ). *)
+let test_nonlinear_duplicated () =
+  let _, g = fresh () in
+  let x = Graph.input g ~name:"x" (f32 [ 4 ]) in
+  let r1 = Graph.add g Std_ops.relu [ x ] in
+  let r2 = Graph.add g Std_ops.relu [ x ] in
+  let m = Graph.add g Std_ops.mul [ r1; r2 ] in
+  Graph.set_outputs g [ m ];
+  let pattern = P.app Std_ops.mul [ P.var "a"; P.var "a" ] in
+  checkb "term view matches (structural)" true (term_matches g pattern m <> None);
+  match Query.solve g pattern ~root:m with
+  | Query.Unsat -> ()
+  | _ -> Alcotest.fail "query view must distinguish node identities"
+
+(* size attribute: the database view counts distinct nodes, the tree view
+   counts tree positions *)
+let test_size_attribute_sees_sharing () =
+  let _, g = fresh () in
+  let x = Graph.input g ~name:"x" (f32 [ 4 ]) in
+  let r = Graph.add g Std_ops.relu [ x ] in
+  let m = Graph.add g Std_ops.add [ r; r ] in
+  Graph.set_outputs g [ m ];
+  (* dag: add, relu, x = 3 distinct nodes; tree: add(relu(x), relu(x)) = 5 *)
+  let guarded size =
+    P.Guarded (P.var "a", Guard.Eq (Guard.Var_attr ("a", "size"), Guard.Const size))
+  in
+  (match Query.solve g (guarded 3) ~root:m with
+  | Query.Sat _ -> ()
+  | _ -> Alcotest.fail "dag size is 3");
+  checkb "tree size is 5" true (term_matches g (guarded 5) m <> None)
+
+(* ------------------------------------------------------------------ *)
+(* Agreement with the term matcher on realistic graphs                 *)
+(* ------------------------------------------------------------------ *)
+
+(* On the zoo models (whose builders do not duplicate subgraphs), the query
+   view and the term view find exactly the same match roots for the
+   non-recursive corpus patterns, with corresponding assignments. *)
+let test_agreement_on_models () =
+  let entries =
+    [
+      Corpus.mha_fuse; Corpus.gelu_fuse; Corpus.epilog_bias_relu;
+      Corpus.epilog_bias_gelu; Corpus.epilog_relu; Corpus.epilog_gelu;
+      Corpus.conv_epilog; Corpus.mmxyt;
+    ]
+  in
+  List.iter
+    (fun name ->
+      let m = Option.get (Zoo.find name) in
+      let _, g = m.Zoo.build () in
+      let view = Term_view.create g in
+      let interp = Term_view.interp view in
+      List.iter
+        (fun (e : Program.entry) ->
+          let term_roots = ref [] and query_roots = ref [] in
+          List.iter
+            (fun node ->
+              let t = Term_view.term_of view node in
+              (match Matcher.matches ~interp e.Program.pattern t with
+              | Outcome.Matched (theta, _) ->
+                  term_roots := (node.Graph.id, theta) :: !term_roots
+              | _ -> ());
+              match Query.solve g e.Program.pattern ~root:node with
+              | Query.Sat env ->
+                  query_roots := (node.Graph.id, env) :: !query_roots
+              | Query.Unsat -> ()
+              | Query.Unsupported msg -> Alcotest.fail msg)
+            (Graph.live_nodes g);
+          Alcotest.(check (list int))
+            (Printf.sprintf "%s roots on %s" e.Program.pname name)
+            (List.rev_map fst !term_roots)
+            (List.rev_map fst !query_roots);
+          (* assignments correspond *)
+          List.iter2
+            (fun (_, theta) (_, env) ->
+              checkb "assignment corresponds" true
+                (Query.env_agrees_with_subst view env theta))
+            !term_roots !query_roots)
+        entries)
+    [ "bert-mini"; "pico"; "resnet10-ish"; "vgg11-ish" ]
+
+(* ------------------------------------------------------------------ *)
+(* Recursive queries: Datalog least-fixpoint evaluation                *)
+(* ------------------------------------------------------------------ *)
+
+let relu_tower n =
+  let _, g = fresh () in
+  let x = Graph.input g ~name:"x" (f32 [ 4 ]) in
+  let rec go n acc =
+    if n = 0 then acc else go (n - 1) (Graph.add g Std_ops.relu [ acc ])
+  in
+  let top = go n x in
+  Graph.set_outputs g [ top ];
+  (g, x, top)
+
+let chain_pattern =
+  (* mu P(z). Relu(P(z)) || z  -- leaf-parameterized chain *)
+  P.mu "P" ~formals:[ "z" ] ~actuals:[ "z" ]
+    (P.alt (P.app Std_ops.relu [ P.call "P" [ "z" ] ]) (P.var "z"))
+
+let test_rec_chain () =
+  let g, x, top = relu_tower 3 in
+  match Query.solve_rec g chain_pattern ~root:top with
+  | Query.Sat env ->
+      (* z can be any suffix; the relation's first entry at the root is the
+         longest derivation discovered first-iteration... assert only that
+         some leaf is bound and the binding is on the chain *)
+      checkb "z bound" true (Symbol.Map.mem "z" env.Query.nodes);
+      ignore x
+  | r ->
+      Alcotest.failf "expected Sat, got %s"
+        (match r with
+        | Query.Unsat -> "Unsat"
+        | Query.Unsupported m -> "Unsupported: " ^ m
+        | _ -> "?")
+
+let test_rec_agrees_with_term_matcher_on_roots () =
+  (* the UnaryChain pattern of figure 3 over a mixed graph: the fixpoint
+     evaluation and the term matcher agree on which roots match *)
+  let _, g = fresh () in
+  let x = Graph.input g ~name:"x" (f32 [ 4 ]) in
+  let r1 = Graph.add g Std_ops.relu [ x ] in
+  let s1 = Graph.add g Std_ops.sigmoid [ r1 ] in
+  let m = Graph.add g Std_ops.mul [ s1; r1 ] in
+  Graph.set_outputs g [ m ];
+  let p = Corpus.unary_chain.Program.pattern in
+  let view = Term_view.create g in
+  let interp = Term_view.interp view in
+  let term_roots =
+    List.filter_map
+      (fun n ->
+        match
+          Matcher.matches ~interp p (Term_view.term_of view n)
+        with
+        | Outcome.Matched _ -> Some n.Graph.id
+        | _ -> None)
+      (Graph.live_nodes g)
+  in
+  let query_roots =
+    List.map (fun (n, _) -> n.Graph.id) (Query.solve_rec_all g p)
+  in
+  Alcotest.(check (list int)) "same roots" term_roots query_roots
+
+let test_rec_mu_self_terminates () =
+  (* mu P(x). P(x): the machine diverges (out of fuel); the least fixpoint
+     is empty, so the query answer is Unsat -- and it terminates *)
+  let g, _, top = relu_tower 1 in
+  let p = P.mu "P" ~formals:[ "x" ] ~actuals:[ "x" ] (P.call "P" [ "x" ]) in
+  (match Query.solve_rec g p ~root:top with
+  | Query.Unsat -> ()
+  | _ -> Alcotest.fail "least fixpoint of mu P. P is empty");
+  (* contrast: the machine runs out of fuel on the same pattern *)
+  let view = Term_view.create g in
+  match
+    Machine.run ~interp:(Term_view.interp view) ~fuel:500 p
+      (Term_view.term_of view top)
+  with
+  | Outcome.Out_of_fuel -> ()
+  | o -> Alcotest.failf "machine should diverge, got %s" (Outcome.to_string o)
+
+let test_rec_formals_consistent_across_levels () =
+  (* UnaryChain(x, F): F is a formal, so the fixpoint relation carries it
+     and the whole chain must use ONE operator, exactly like the term
+     semantics *)
+  let _, g = fresh () in
+  let x = Graph.input g ~name:"x" (f32 [ 4 ]) in
+  let mixed =
+    Graph.add g Std_ops.sigmoid [ Graph.add g Std_ops.relu [ x ] ]
+  in
+  Graph.set_outputs g [ mixed ];
+  let p = Corpus.unary_chain.Program.pattern in
+  match Query.solve_rec g p ~root:mixed with
+  | Query.Sat env ->
+      (* matches only the single sigmoid link (length-1 chain) *)
+      Alcotest.(check (option string))
+        "F is the top operator" (Some Std_ops.sigmoid)
+        (Symbol.Map.find_opt "F" env.Query.ops)
+  | _ -> Alcotest.fail "single link should match"
+
+let test_rec_nonrecursive_patterns_unchanged () =
+  let _, g = fresh () in
+  let x = Graph.input g ~name:"x" (f32 [ 4 ]) in
+  let r = Graph.add g Std_ops.relu [ x ] in
+  Graph.set_outputs g [ r ];
+  let p = P.app Std_ops.relu [ P.var "a" ] in
+  checkb "solve_rec = solve on non-recursive" true
+    (match (Query.solve g p ~root:r, Query.solve_rec g p ~root:r) with
+    | Query.Sat _, Query.Sat _ -> true
+    | Query.Unsat, Query.Unsat -> true
+    | _ -> false)
+
+(* ------------------------------------------------------------------ *)
+(* solve_all                                                           *)
+(* ------------------------------------------------------------------ *)
+
+let test_solve_all () =
+  let _, g = fresh () in
+  let x = Graph.input g ~name:"x" (f32 [ 4 ]) in
+  let r1 = Graph.add g Std_ops.relu [ x ] in
+  let r2 = Graph.add g Std_ops.relu [ r1 ] in
+  Graph.set_outputs g [ r2 ];
+  let hits = Query.solve_all g (P.app Std_ops.relu [ P.var "a" ]) in
+  Alcotest.(check (list int))
+    "both relus" [ r1.Graph.id; r2.Graph.id ]
+    (List.map (fun (n, _) -> n.Graph.id) hits)
+
+let () =
+  Alcotest.run "query"
+    [
+      ( "basics",
+        [
+          Alcotest.test_case "structural match" `Quick test_structural_match;
+          Alcotest.test_case "head mismatch" `Quick test_head_mismatch;
+          Alcotest.test_case "alternates + fvars" `Quick
+            test_alternates_and_fvars;
+          Alcotest.test_case "node guards" `Quick test_guards_on_nodes;
+          Alcotest.test_case "recursion unsupported" `Quick
+            test_recursion_unsupported;
+          Alcotest.test_case "solve_all" `Quick test_solve_all;
+        ] );
+      ( "identity-vs-structure",
+        [
+          Alcotest.test_case "shared node matches" `Quick test_nonlinear_shared;
+          Alcotest.test_case "duplicated nodes do not" `Quick
+            test_nonlinear_duplicated;
+          Alcotest.test_case "size sees sharing" `Quick
+            test_size_attribute_sees_sharing;
+        ] );
+      ( "recursive-queries",
+        [
+          Alcotest.test_case "chain fixpoint" `Quick test_rec_chain;
+          Alcotest.test_case "agrees with the term matcher" `Quick
+            test_rec_agrees_with_term_matcher_on_roots;
+          Alcotest.test_case "mu P. P terminates (Unsat)" `Quick
+            test_rec_mu_self_terminates;
+          Alcotest.test_case "formals consistent across levels" `Quick
+            test_rec_formals_consistent_across_levels;
+          Alcotest.test_case "non-recursive unchanged" `Quick
+            test_rec_nonrecursive_patterns_unchanged;
+        ] );
+      ( "agreement",
+        [
+          Alcotest.test_case "term and query views agree on the zoo" `Quick
+            test_agreement_on_models;
+        ] );
+    ]

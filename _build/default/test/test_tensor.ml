@@ -1,0 +1,260 @@
+(* Tests for the tensor substrate: dtypes, shapes, types, inference rules,
+   and the tensor attribute interpretation. *)
+
+open Pypm
+module F = Pypm_testutil.Fixtures
+
+let checkb = Alcotest.(check bool)
+let checki = Alcotest.(check int)
+let shape_t = Alcotest.(list int)
+
+let check_shape name expected actual =
+  Alcotest.(check (option shape_t)) name expected actual
+
+(* ------------------------------------------------------------------ *)
+(* Dtypes                                                              *)
+(* ------------------------------------------------------------------ *)
+
+let test_dtype_codes_roundtrip () =
+  List.iter
+    (fun dt ->
+      Alcotest.(check (option string))
+        "code roundtrip"
+        (Some (Dtype.to_string dt))
+        (Option.map Dtype.to_string (Dtype.of_code (Dtype.code dt))))
+    Dtype.all;
+  checkb "bad code" true (Dtype.of_code 99 = None)
+
+let test_dtype_strings_roundtrip () =
+  List.iter
+    (fun dt ->
+      Alcotest.(check bool)
+        "string roundtrip" true
+        (Dtype.of_string (Dtype.to_string dt) = Some dt))
+    Dtype.all
+
+let test_dtype_bytes () =
+  checki "f32" 4 (Dtype.bytes Dtype.F32);
+  checki "f16" 2 (Dtype.bytes Dtype.F16);
+  checki "i8" 1 (Dtype.bytes Dtype.I8);
+  checki "f64" 8 (Dtype.bytes Dtype.F64)
+
+let test_dtype_class () =
+  checkb "f32 float" true (Dtype.is_float Dtype.F32);
+  checkb "i8 not float" false (Dtype.is_float Dtype.I8)
+
+(* ------------------------------------------------------------------ *)
+(* Shapes                                                              *)
+(* ------------------------------------------------------------------ *)
+
+let test_shape_basics () =
+  checki "rank" 3 (Shape.rank [ 2; 3; 4 ]);
+  checki "nelems" 24 (Shape.nelems [ 2; 3; 4 ]);
+  checki "scalar nelems" 1 (Shape.nelems Shape.scalar);
+  Alcotest.(check (option int)) "dim" (Some 3) (Shape.dim 1 [ 2; 3; 4 ]);
+  Alcotest.(check (option int)) "dim oob" None (Shape.dim 5 [ 2; 3 ])
+
+let test_broadcast () =
+  check_shape "equal" (Some [ 2; 3 ]) (Shape.broadcast [ 2; 3 ] [ 2; 3 ]);
+  check_shape "ones" (Some [ 2; 3 ]) (Shape.broadcast [ 2; 1 ] [ 1; 3 ]);
+  check_shape "pad" (Some [ 4; 2; 3 ]) (Shape.broadcast [ 4; 2; 3 ] [ 3 ]);
+  check_shape "scalar" (Some [ 5 ]) (Shape.broadcast [] [ 5 ]);
+  check_shape "mismatch" None (Shape.broadcast [ 2; 3 ] [ 2; 4 ])
+
+let test_matmul () =
+  check_shape "2d" (Some [ 2; 5 ]) (Shape.matmul [ 2; 3 ] [ 3; 5 ]);
+  check_shape "batched" (Some [ 7; 2; 5 ]) (Shape.matmul [ 7; 2; 3 ] [ 3; 5 ]);
+  check_shape "batched both"
+    (Some [ 7; 2; 5 ])
+    (Shape.matmul [ 7; 2; 3 ] [ 7; 3; 5 ]);
+  check_shape "inner mismatch" None (Shape.matmul [ 2; 3 ] [ 4; 5 ]);
+  check_shape "rank too low" None (Shape.matmul [ 3 ] [ 3; 5 ])
+
+let test_transpose () =
+  check_shape "2d" (Some [ 3; 2 ]) (Shape.transpose_last2 [ 2; 3 ]);
+  check_shape "batched" (Some [ 7; 3; 2 ]) (Shape.transpose_last2 [ 7; 2; 3 ]);
+  check_shape "rank 1" None (Shape.transpose_last2 [ 4 ])
+
+let test_conv2d () =
+  (* 3x3 stride 1 pad 1 preserves spatial dims *)
+  check_shape "same conv"
+    (Some [ 1; 8; 16; 16 ])
+    (Shape.conv2d ~stride:1 ~pad:1 [ 1; 3; 16; 16 ] [ 8; 3; 3; 3 ]);
+  (* stride 2 halves *)
+  check_shape "strided conv"
+    (Some [ 1; 8; 8; 8 ])
+    (Shape.conv2d ~stride:2 ~pad:1 [ 1; 3; 16; 16 ] [ 8; 3; 3; 3 ]);
+  check_shape "channel mismatch" None
+    (Shape.conv2d ~stride:1 ~pad:0 [ 1; 3; 16; 16 ] [ 8; 4; 3; 3 ])
+
+let test_pool_flatten_concat_reduce () =
+  check_shape "pool"
+    (Some [ 1; 8; 8; 8 ])
+    (Shape.pool2d ~window:2 ~stride:2 [ 1; 8; 16; 16 ]);
+  check_shape "flatten"
+    (Some [ 2; 24 ])
+    (Shape.flatten_from 1 [ 2; 2; 3; 4 ]);
+  check_shape "concat"
+    (Some [ 2; 7 ])
+    (Shape.concat 1 [ 2; 3 ] [ 2; 4 ]);
+  check_shape "concat mismatch" None (Shape.concat 1 [ 2; 3 ] [ 3; 4 ]);
+  check_shape "reduce" (Some [ 2; 4 ]) (Shape.reduce 1 [ 2; 3; 4 ])
+
+(* ------------------------------------------------------------------ *)
+(* Inference                                                           *)
+(* ------------------------------------------------------------------ *)
+
+let f32 shape = Ty.make Dtype.F32 shape
+
+let expect_ok name rule attrs inputs expected =
+  match rule attrs inputs with
+  | Ok ty -> Alcotest.(check string) name expected (Ty.to_string ty)
+  | Error e -> Alcotest.failf "%s: %s" name e
+
+let expect_err name rule attrs inputs =
+  match rule attrs inputs with
+  | Ok ty -> Alcotest.failf "%s: expected error, got %s" name (Ty.to_string ty)
+  | Error _ -> ()
+
+let test_infer_rules () =
+  expect_ok "pointwise1" Infer.pointwise1 [] [ f32 [ 2; 3 ] ] "f32[2x3]";
+  expect_ok "pointwise2 broadcast" Infer.pointwise2 []
+    [ f32 [ 2; 3 ]; f32 [] ]
+    "f32[2x3]";
+  expect_err "pointwise2 dtype" Infer.pointwise2 []
+    [ f32 [ 2 ]; Ty.make Dtype.I8 [ 2 ] ];
+  expect_ok "matmul" Infer.matmul [] [ f32 [ 2; 3 ]; f32 [ 3; 5 ] ] "f32[2x5]";
+  expect_ok "transpose" Infer.transpose [] [ f32 [ 2; 3 ] ] "f32[3x2]";
+  expect_err "softmax int" Infer.softmax [] [ Ty.make Dtype.I32 [ 2 ] ];
+  expect_ok "conv2d" Infer.conv2d
+    [ ("stride", 2); ("pad", 1) ]
+    [ f32 [ 1; 3; 16; 16 ]; f32 [ 8; 3; 3; 3 ]; f32 [ 8; 1; 1 ] ]
+    "f32[1x8x8x8]";
+  expect_ok "linear" Infer.linear [] [ f32 [ 4; 3 ]; f32 [ 3; 7 ] ] "f32[4x7]";
+  expect_ok "leaf" Infer.leaf
+    [ ("dtype", Dtype.code Dtype.F16); ("rank", 2); ("dim0", 3); ("dim1", 4) ]
+    [] "f16[3x4]"
+
+let test_infer_registry () =
+  let reg = Infer.create () in
+  Infer.register reg "MyOp" Infer.pointwise1;
+  checkb "mem" true (Infer.mem reg "MyOp");
+  checkb "not mem" false (Infer.mem reg "Other");
+  (match Infer.infer reg "MyOp" ~attrs:[] [ f32 [ 2 ] ] with
+  | Ok _ -> ()
+  | Error e -> Alcotest.failf "registered rule: %s" e);
+  match Infer.infer reg "Other" ~attrs:[] [] with
+  | Ok _ -> Alcotest.fail "unregistered op typed"
+  | Error _ -> ()
+
+(* ------------------------------------------------------------------ *)
+(* Attribute interpretation                                            *)
+(* ------------------------------------------------------------------ *)
+
+let test_class_codes () =
+  let a = Attrs.class_code "unary_pointwise" in
+  let b = Attrs.class_code "unary_pointwise" in
+  checki "interned" a b;
+  checkb "name back" true (Attrs.class_name a = Some "unary_pointwise");
+  checkb "distinct" true (Attrs.class_code "matmul" <> a)
+
+let test_tensor_interp () =
+  let ty = f32 [ 2; 3 ] in
+  let t = Term.const "leaf" in
+  let type_of u = if Term.equal u t then Some ty else None in
+  let interp = Attrs.interp ~sg:F.sg ~type_of in
+  let get attr = interp.Guard.term_attr attr t in
+  Alcotest.(check (option int)) "rank" (Some 2) (get "rank");
+  Alcotest.(check (option int)) "dim0" (Some 2) (get "dim0");
+  Alcotest.(check (option int)) "dim1" (Some 3) (get "dim1");
+  Alcotest.(check (option int)) "dim2" None (get "dim2");
+  Alcotest.(check (option int))
+    "eltType" (Some (Dtype.code Dtype.F32)) (get "eltType");
+  Alcotest.(check (option int)) "nelems" (Some 6) (get "nelems");
+  Alcotest.(check (option int)) "bytes" (Some 24) (get "bytes");
+  Alcotest.(check (option int)) "size (structural)" (Some 1) (get "size");
+  Alcotest.(check (option int)) "unknown" None (get "zzz");
+  (* untyped term: tensor attributes undefined, structural ones remain *)
+  let u = Term.const "other" in
+  Alcotest.(check (option int)) "untyped rank" None (interp.Guard.term_attr "rank" u);
+  Alcotest.(check (option int))
+    "untyped size" (Some 1)
+    (interp.Guard.term_attr "size" u)
+
+let test_sym_attrs () =
+  let interp = Attrs.structural ~sg:F.sg in
+  Alcotest.(check (option int)) "arity f" (Some 2) (interp.Guard.sym_attr "arity" "f");
+  Alcotest.(check (option int)) "arity missing" None (interp.Guard.sym_attr "arity" "zzz")
+
+(* ------------------------------------------------------------------ *)
+(* Properties                                                          *)
+(* ------------------------------------------------------------------ *)
+
+let shape_gen =
+  QCheck2.Gen.(list_size (int_range 0 4) (int_range 1 8))
+
+let prop_broadcast_comm =
+  F.qtest "broadcast is commutative"
+    QCheck2.Gen.(pair shape_gen shape_gen)
+    (fun (a, b) -> Printf.sprintf "%s vs %s" (Shape.to_string a) (Shape.to_string b))
+    (fun (a, b) ->
+      match (Shape.broadcast a b, Shape.broadcast b a) with
+      | Some x, Some y -> Shape.equal x y
+      | None, None -> true
+      | _ -> false)
+
+let prop_broadcast_idem =
+  F.qtest "broadcast with self is identity" shape_gen Shape.to_string
+    (fun s ->
+      match Shape.broadcast s s with Some x -> Shape.equal x s | None -> false)
+
+let prop_transpose_involutive =
+  F.qtest "transpose_last2 is involutive" shape_gen Shape.to_string (fun s ->
+      match Shape.transpose_last2 s with
+      | Some s' -> Shape.transpose_last2 s' = Some s
+      | None -> Shape.rank s < 2)
+
+let prop_nelems_positive =
+  F.qtest "nelems positive on valid shapes" shape_gen Shape.to_string
+    (fun s -> (not (Shape.valid s)) || Shape.nelems s >= 1)
+
+let () =
+  Alcotest.run "tensor"
+    [
+      ( "dtype",
+        [
+          Alcotest.test_case "code roundtrip" `Quick test_dtype_codes_roundtrip;
+          Alcotest.test_case "string roundtrip" `Quick
+            test_dtype_strings_roundtrip;
+          Alcotest.test_case "bytes" `Quick test_dtype_bytes;
+          Alcotest.test_case "float class" `Quick test_dtype_class;
+        ] );
+      ( "shape",
+        [
+          Alcotest.test_case "basics" `Quick test_shape_basics;
+          Alcotest.test_case "broadcast" `Quick test_broadcast;
+          Alcotest.test_case "matmul" `Quick test_matmul;
+          Alcotest.test_case "transpose" `Quick test_transpose;
+          Alcotest.test_case "conv2d" `Quick test_conv2d;
+          Alcotest.test_case "pool/flatten/concat/reduce" `Quick
+            test_pool_flatten_concat_reduce;
+        ] );
+      ( "infer",
+        [
+          Alcotest.test_case "rules" `Quick test_infer_rules;
+          Alcotest.test_case "registry" `Quick test_infer_registry;
+        ] );
+      ( "attrs",
+        [
+          Alcotest.test_case "class codes" `Quick test_class_codes;
+          Alcotest.test_case "tensor interpretation" `Quick test_tensor_interp;
+          Alcotest.test_case "symbol attributes" `Quick test_sym_attrs;
+        ] );
+      ( "properties",
+        [
+          prop_broadcast_comm;
+          prop_broadcast_idem;
+          prop_transpose_involutive;
+          prop_nelems_positive;
+        ] );
+    ]

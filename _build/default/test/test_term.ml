@@ -1,0 +1,253 @@
+(* Unit and property tests for the term substrate. *)
+
+open Pypm_term
+open Pypm_testutil
+module F = Fixtures
+
+let check = Alcotest.check
+let checkb = Alcotest.(check bool)
+
+(* ------------------------------------------------------------------ *)
+(* Construction and basic accessors                                    *)
+(* ------------------------------------------------------------------ *)
+
+let test_const_size () =
+  Alcotest.(check int) "const size" 1 (Term.size F.a);
+  Alcotest.(check int) "const depth" 1 (Term.depth F.a)
+
+let test_app_size () =
+  let t = F.f2 (F.g1 F.a) F.b in
+  Alcotest.(check int) "size f(g(a),b)" 4 (Term.size t);
+  Alcotest.(check int) "depth f(g(a),b)" 3 (Term.depth t)
+
+let test_head_args () =
+  let t = F.f2 F.a F.b in
+  check Alcotest.string "head" "f" (Term.head t);
+  Alcotest.(check int) "nargs" 2 (List.length (Term.args t))
+
+let test_equal_structural () =
+  checkb "equal rebuilt" true (Term.equal (F.f2 F.a F.b) (F.f2 F.a F.b));
+  checkb "unequal arg" false (Term.equal (F.f2 F.a F.b) (F.f2 F.a F.c));
+  checkb "unequal head" false (Term.equal (F.g1 F.a) (Term.app "g" [ F.b ]))
+
+let test_app_checked () =
+  (match Term.app_checked F.sg "f" [ F.a; F.b ] with
+  | Ok _ -> ()
+  | Error e -> Alcotest.failf "expected ok, got %s" e);
+  (match Term.app_checked F.sg "f" [ F.a ] with
+  | Ok _ -> Alcotest.fail "arity violation accepted"
+  | Error _ -> ());
+  match Term.app_checked F.sg "nosuch" [] with
+  | Ok _ -> Alcotest.fail "undeclared operator accepted"
+  | Error _ -> ()
+
+let test_subterms_count () =
+  let t = F.f2 (F.g1 F.a) (F.g1 F.a) in
+  Alcotest.(check int)
+    "subterm count equals size" (Term.size t)
+    (List.length (List.of_seq (Term.subterms t)))
+
+let test_subterms_preorder () =
+  let t = F.f2 F.a F.b in
+  let heads = List.map Term.head (List.of_seq (Term.subterms t)) in
+  check Alcotest.(list string) "preorder" [ "f"; "a"; "b" ] heads
+
+let test_count_heads () =
+  let t = F.f2 (F.g1 (F.g1 F.a)) (F.g1 F.b) in
+  Alcotest.(check int) "g count" 3 (Term.count_heads "g" t);
+  Alcotest.(check int) "f count" 1 (Term.count_heads "f" t);
+  Alcotest.(check int) "missing count" 0 (Term.count_heads "zz" t)
+
+let test_symbols () =
+  let t = F.f2 (F.g1 F.a) F.a in
+  let syms = Term.symbols t in
+  checkb "has f" true (Symbol.Set.mem "f" syms);
+  checkb "has g" true (Symbol.Set.mem "g" syms);
+  checkb "has a" true (Symbol.Set.mem "a" syms);
+  Alcotest.(check int) "3 distinct" 3 (Symbol.Set.cardinal syms)
+
+let test_well_formed () =
+  checkb "wf" true (Term.well_formed F.sg (F.f2 F.a F.b));
+  checkb "bad arity" false (Term.well_formed F.sg (Term.app "f" [ F.a ]));
+  checkb "undeclared" false (Term.well_formed F.sg (Term.const "nosuch"))
+
+let test_map_leaves () =
+  let t = F.f2 F.a F.b in
+  let t' = Term.map_leaves (fun s -> if s = "a" then F.g1 F.c else Term.const s) t in
+  check F.term_testable "grafted" (F.f2 (F.g1 F.c) F.b) t'
+
+let test_to_string () =
+  check Alcotest.string "render" "f(g(a), b)" (Term.to_string (F.f2 (F.g1 F.a) F.b))
+
+(* ------------------------------------------------------------------ *)
+(* Substitutions                                                       *)
+(* ------------------------------------------------------------------ *)
+
+let test_subst_bind () =
+  let s = Subst.empty in
+  (match Subst.bind "x" F.a s with
+  | Ok s' -> (
+      checkb "mem" true (Subst.mem "x" s');
+      match Subst.bind "x" F.a s' with
+      | Ok s'' -> checkb "idempotent" true (Subst.equal s' s'')
+      | Error _ -> Alcotest.fail "rebinding same term failed")
+  | Error _ -> Alcotest.fail "fresh bind failed");
+  match Subst.bind "x" F.b (Subst.add "x" F.a s) with
+  | Ok _ -> Alcotest.fail "conflict accepted"
+  | Error (`Conflict t) -> check F.term_testable "conflict term" F.a t
+
+let test_subst_union () =
+  let s1 = Subst.of_list [ ("x", F.a); ("y", F.b) ] in
+  let s2 = Subst.of_list [ ("y", F.b); ("z", F.c) ] in
+  (match Subst.union s1 s2 with
+  | Ok u ->
+      Alcotest.(check int) "union card" 3 (Subst.cardinal u);
+      checkb "subset left" true (Subst.subset s1 u);
+      checkb "subset right" true (Subst.subset s2 u)
+  | Error _ -> Alcotest.fail "compatible union failed");
+  let s3 = Subst.of_list [ ("x", F.b) ] in
+  match Subst.union s1 s3 with
+  | Ok _ -> Alcotest.fail "conflicting union accepted"
+  | Error (`Conflict x) -> check Alcotest.string "conflict var" "x" x
+
+let test_subst_subset_agree () =
+  let s1 = Subst.of_list [ ("x", F.a) ] in
+  let s2 = Subst.of_list [ ("x", F.a); ("y", F.b) ] in
+  let s3 = Subst.of_list [ ("x", F.b) ] in
+  checkb "subset" true (Subst.subset s1 s2);
+  checkb "not subset" false (Subst.subset s2 s1);
+  checkb "agree disjoint-ish" true (Subst.agree s1 s2);
+  checkb "disagree" false (Subst.agree s1 s3)
+
+let test_fsubst () =
+  let p = Fsubst.empty in
+  (match Fsubst.bind "F" "f" p with
+  | Ok p' -> (
+      match Fsubst.bind "F" "g" p' with
+      | Ok _ -> Alcotest.fail "fsubst conflict accepted"
+      | Error (`Conflict s) -> check Alcotest.string "conflict sym" "f" s)
+  | Error _ -> Alcotest.fail "fresh fbind failed");
+  let u = Fsubst.of_list [ ("F", "f"); ("G", "g") ] in
+  checkb "domain" true (List.mem "F" (Fsubst.domain u))
+
+(* ------------------------------------------------------------------ *)
+(* Signature                                                           *)
+(* ------------------------------------------------------------------ *)
+
+let test_signature_redeclare () =
+  let s = Signature.create () in
+  ignore (Signature.declare s ~arity:2 "mm");
+  (* identical redeclaration is fine *)
+  ignore (Signature.declare s ~arity:2 "mm");
+  Alcotest.(check int) "size" 1 (Signature.size s);
+  match Signature.declare s ~arity:3 "mm" with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "conflicting redeclaration accepted"
+
+let test_signature_classes () =
+  let s = Signature.create () in
+  ignore (Signature.declare s ~arity:1 ~op_class:"unary_pointwise" "Relu");
+  ignore (Signature.declare s ~arity:1 ~op_class:"unary_pointwise" "Gelu");
+  ignore (Signature.declare s ~arity:2 ~op_class:"matmul" "MatMul");
+  check
+    Alcotest.(list string)
+    "class members" [ "Relu"; "Gelu" ]
+    (Signature.symbols_of_class s "unary_pointwise");
+  check
+    Alcotest.(option string)
+    "op_class" (Some "matmul")
+    (Signature.op_class s "MatMul")
+
+let test_signature_union () =
+  let s1 = Signature.create () in
+  ignore (Signature.declare s1 ~arity:1 "u");
+  let s2 = Signature.create () in
+  ignore (Signature.declare s2 ~arity:2 "v");
+  let u = Signature.union s1 s2 in
+  checkb "has u" true (Signature.mem u "u");
+  checkb "has v" true (Signature.mem u "v");
+  (* originals untouched *)
+  checkb "s1 lacks v" false (Signature.mem s1 "v")
+
+let test_signature_output_arity () =
+  let s = Signature.create () in
+  match Signature.declare s ~output_arity:0 ~arity:1 "bad" with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "zero output arity accepted"
+
+(* ------------------------------------------------------------------ *)
+(* Properties                                                          *)
+(* ------------------------------------------------------------------ *)
+
+let prop_equal_refl =
+  F.qtest "equal is reflexive" F.Gen.term Term.to_string (fun t ->
+      Term.equal t t)
+
+let prop_equal_hash =
+  F.qtest "equal terms have equal hashes"
+    QCheck2.Gen.(pair F.Gen.term F.Gen.term)
+    (fun (t, u) -> Printf.sprintf "%s vs %s" (Term.to_string t) (Term.to_string u))
+    (fun (t, u) -> (not (Term.equal t u)) || Term.hash t = Term.hash u)
+
+let prop_compare_consistent =
+  F.qtest "compare = 0 iff equal"
+    QCheck2.Gen.(pair F.Gen.term F.Gen.term)
+    (fun (t, u) -> Printf.sprintf "%s vs %s" (Term.to_string t) (Term.to_string u))
+    (fun (t, u) -> Term.equal t u = (Term.compare t u = 0))
+
+let prop_size_positive =
+  F.qtest "size >= depth >= 1" F.Gen.term Term.to_string (fun t ->
+      Term.size t >= Term.depth t && Term.depth t >= 1)
+
+let prop_generated_wf =
+  F.qtest "generator emits well-formed terms" F.Gen.term Term.to_string
+    (Term.well_formed F.sg)
+
+let prop_subterm_size =
+  F.qtest "every proper subterm is smaller" F.Gen.term Term.to_string (fun t ->
+      Seq.for_all
+        (fun s -> Term.size s <= Term.size t)
+        (Term.subterms t))
+
+let () =
+  Alcotest.run "term"
+    [
+      ( "term",
+        [
+          Alcotest.test_case "const size/depth" `Quick test_const_size;
+          Alcotest.test_case "app size/depth" `Quick test_app_size;
+          Alcotest.test_case "head/args" `Quick test_head_args;
+          Alcotest.test_case "structural equality" `Quick test_equal_structural;
+          Alcotest.test_case "checked construction" `Quick test_app_checked;
+          Alcotest.test_case "subterm count" `Quick test_subterms_count;
+          Alcotest.test_case "subterm preorder" `Quick test_subterms_preorder;
+          Alcotest.test_case "count_heads" `Quick test_count_heads;
+          Alcotest.test_case "symbols" `Quick test_symbols;
+          Alcotest.test_case "well_formed" `Quick test_well_formed;
+          Alcotest.test_case "map_leaves" `Quick test_map_leaves;
+          Alcotest.test_case "to_string" `Quick test_to_string;
+        ] );
+      ( "subst",
+        [
+          Alcotest.test_case "bind/conflict" `Quick test_subst_bind;
+          Alcotest.test_case "union" `Quick test_subst_union;
+          Alcotest.test_case "subset/agree" `Quick test_subst_subset_agree;
+          Alcotest.test_case "fsubst" `Quick test_fsubst;
+        ] );
+      ( "signature",
+        [
+          Alcotest.test_case "redeclare" `Quick test_signature_redeclare;
+          Alcotest.test_case "classes" `Quick test_signature_classes;
+          Alcotest.test_case "union" `Quick test_signature_union;
+          Alcotest.test_case "output arity" `Quick test_signature_output_arity;
+        ] );
+      ( "properties",
+        [
+          prop_equal_refl;
+          prop_equal_hash;
+          prop_compare_consistent;
+          prop_size_positive;
+          prop_generated_wf;
+          prop_subterm_size;
+        ] );
+    ]

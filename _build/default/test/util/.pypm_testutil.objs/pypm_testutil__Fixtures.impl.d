@@ -1,0 +1,1 @@
+test/util/fixtures.ml: Alcotest Fsubst Guard List Pattern Printf Pypm_pattern Pypm_semantics Pypm_term QCheck2 QCheck_alcotest Signature Subst Term

@@ -1,0 +1,299 @@
+(* Shared fixtures: a small test signature, structural attributes, and
+   qcheck generators for terms and patterns. *)
+
+open Pypm_term
+open Pypm_pattern
+
+(* ------------------------------------------------------------------ *)
+(* Signature                                                           *)
+(* ------------------------------------------------------------------ *)
+
+(* A deliberately tiny signature so random terms/patterns collide often:
+   binary f, unary g, ternary h, constants a b c. *)
+let sg =
+  let s = Signature.create () in
+  ignore (Signature.declare s ~arity:2 "f");
+  ignore (Signature.declare s ~arity:1 "g");
+  ignore (Signature.declare s ~arity:3 "h");
+  ignore (Signature.declare s ~arity:0 "a");
+  ignore (Signature.declare s ~arity:0 "b");
+  ignore (Signature.declare s ~arity:0 "c");
+  s
+
+let binary = [ "f" ]
+let unary = [ "g" ]
+let ternary = [ "h" ]
+let consts = [ "a"; "b"; "c" ]
+
+(* Structural attribute interpretation: attributes every term has, so guard
+   tests don't depend on the tensor substrate. *)
+let interp : Guard.interp =
+  {
+    term_attr =
+      (fun attr t ->
+        match attr with
+        | "size" -> Some (Term.size t)
+        | "depth" -> Some (Term.depth t)
+        | "nargs" -> Some (List.length (Term.args t))
+        | _ -> None);
+    sym_attr =
+      (fun attr s ->
+        match attr with
+        | "arity" -> Signature.arity sg s
+        | _ -> None);
+  }
+
+(* ------------------------------------------------------------------ *)
+(* Handy term builders                                                 *)
+(* ------------------------------------------------------------------ *)
+
+let a = Term.const "a"
+let b = Term.const "b"
+let c = Term.const "c"
+let g1 t = Term.app "g" [ t ]
+let f2 t u = Term.app "f" [ t; u ]
+let h3 t u v = Term.app "h" [ t; u; v ]
+
+(* ------------------------------------------------------------------ *)
+(* Alcotest testables                                                  *)
+(* ------------------------------------------------------------------ *)
+
+let term_testable = Alcotest.testable Term.pp Term.equal
+let subst_testable = Alcotest.testable Subst.pp Subst.equal
+let fsubst_testable = Alcotest.testable Fsubst.pp Fsubst.equal
+
+let outcome_testable =
+  Alcotest.testable Pypm_semantics.Outcome.pp Pypm_semantics.Outcome.equal
+
+(* ------------------------------------------------------------------ *)
+(* QCheck generators                                                   *)
+(* ------------------------------------------------------------------ *)
+
+module Gen = struct
+  open QCheck2.Gen
+
+  let symbol_of_arity n =
+    match n with
+    | 0 -> oneofl consts
+    | 1 -> oneofl unary
+    | 2 -> oneofl binary
+    | 3 -> oneofl ternary
+    | _ -> assert false
+
+  (* Random well-formed term of bounded depth. *)
+  let rec term_gen depth =
+    if depth <= 0 then map Term.const (oneofl consts)
+    else
+      frequency
+        [
+          (2, map Term.const (oneofl consts));
+          ( 2,
+            let* s = oneofl unary in
+            let* t = term_gen (depth - 1) in
+            return (Term.app s [ t ]) );
+          ( 2,
+            let* s = oneofl binary in
+            let* t = term_gen (depth - 1) in
+            let* u = term_gen (depth - 1) in
+            return (Term.app s [ t; u ]) );
+          ( 1,
+            let* s = oneofl ternary in
+            let* t = term_gen (depth - 1) in
+            let* u = term_gen (depth - 1) in
+            let* v = term_gen (depth - 1) in
+            return (Term.app s [ t; u; v ]) );
+        ]
+
+  let term = term_gen 4
+
+  let var_name = oneofl [ "x"; "y"; "z"; "w" ]
+  let fvar_name = oneofl [ "F"; "G" ]
+
+  (* A guard over the structural attributes; biased toward satisfiable. *)
+  let guard_gen guard_vars =
+    let open Guard in
+    let attr = oneofl [ "size"; "depth"; "nargs" ] in
+    let expr =
+      match guard_vars with
+      | [] -> map (fun n -> Const n) (int_range 0 5)
+      | vs ->
+          frequency
+            [
+              (2, map (fun n -> Const n) (int_range 0 5));
+              ( 3,
+                let* x = oneofl vs in
+                let* a = attr in
+                return (Var_attr (x, a)) );
+            ]
+    in
+    let* lhs = expr in
+    let* rhs = expr in
+    oneofl
+      [ Eq (lhs, rhs); Ne (lhs, rhs); Lt (lhs, rhs); Le (lhs, rhs);
+        Le (Const 1, lhs) ]
+
+  (* Fully random pattern; many will not match anything. *)
+  let rec pattern_gen depth =
+    if depth <= 0 then
+      frequency
+        [ (3, map Pattern.var var_name); (2, map Pattern.const (oneofl consts)) ]
+    else
+      frequency
+        [
+          (3, map Pattern.var var_name);
+          (2, map Pattern.const (oneofl consts));
+          ( 3,
+            let* s = oneofl unary in
+            let* p = pattern_gen (depth - 1) in
+            return (Pattern.app s [ p ]) );
+          ( 3,
+            let* s = oneofl binary in
+            let* p = pattern_gen (depth - 1) in
+            let* q = pattern_gen (depth - 1) in
+            return (Pattern.app s [ p; q ]) );
+          ( 2,
+            let* p = pattern_gen (depth - 1) in
+            let* q = pattern_gen (depth - 1) in
+            return (Pattern.alt p q) );
+          ( 1,
+            let* fv = fvar_name in
+            let* p = pattern_gen (depth - 1) in
+            return (Pattern.fapp fv [ p ]) );
+          ( 1,
+            let* fv = fvar_name in
+            let* p = pattern_gen (depth - 1) in
+            let* q = pattern_gen (depth - 1) in
+            return (Pattern.fapp fv [ p; q ]) );
+          ( 1,
+            let* p = pattern_gen (depth - 1) in
+            let* g = guard_gen [ "x"; "y" ] in
+            return (Pattern.Guarded (p, g)) );
+        ]
+
+  let pattern = pattern_gen 3
+
+  (* Patterns exercising the binder/recursion constructors. These are
+     generated well-formed (existentials occur in their scope; constraint
+     targets are bound) so the Faithful policy rarely gets stuck. *)
+  let binder_pattern =
+    let unary_tower_mu =
+      (* mu P(x). g(P(x)) || g(x), possibly guarded *)
+      let body =
+        Pattern.alt
+          (Pattern.app "g" [ Pattern.call "P" [ "x" ] ])
+          (Pattern.app "g" [ Pattern.var "x" ])
+      in
+      Pattern.mu "P" ~formals:[ "x" ] ~actuals:[ "x" ] body
+    in
+    let fvar_tower_mu =
+      (* mu P(x, F). F(P(x, F)) || F(x) *)
+      let body =
+        Pattern.alt
+          (Pattern.fapp "F" [ Pattern.call "P" [ "x"; "F" ] ])
+          (Pattern.fapp "F" [ Pattern.var "x" ])
+      in
+      Pattern.mu "P" ~formals:[ "x"; "F" ] ~actuals:[ "x"; "F" ] body
+    in
+    let exists_used =
+      (* exists y. g(y) or exists y. f(y, y) *)
+      oneofl
+        [
+          Pattern.exists "ey" (Pattern.app "g" [ Pattern.var "ey" ]);
+          Pattern.exists "ey"
+            (Pattern.app "f" [ Pattern.var "ey"; Pattern.var "ey" ]);
+        ]
+    in
+    let exists_f_used =
+      return
+        (Pattern.exists_f "EF"
+           (Pattern.fapp "EF" [ Pattern.var "x" ]))
+    in
+    let constr_root =
+      (* x constrained to a sub-pattern: exercises matchConstr *)
+      let* inner = pattern_gen 1 in
+      return (Pattern.constr (Pattern.var "x") inner "x")
+    in
+    frequency
+      [
+        (2, return unary_tower_mu);
+        (2, return fvar_tower_mu);
+        (3, exists_used);
+        (2, exists_f_used);
+        (3, constr_root);
+      ]
+
+  (* Generate a pattern *from* a term by abstracting positions, so matches
+     are frequent. Variables are reused to exercise non-linearity. *)
+  let rec abstract_term t depth =
+    if depth <= 0 then map Pattern.var var_name
+    else
+      let structural =
+        match Term.args t with
+        | [] -> return (Pattern.const (Term.head t))
+        | args ->
+            let* ps =
+              flatten_l (List.map (fun u -> abstract_term u (depth - 1)) args)
+            in
+            frequency
+              [
+                (5, return (Pattern.app (Term.head t) ps));
+                ( 1,
+                  let* fv = fvar_name in
+                  return (Pattern.fapp fv ps) );
+              ]
+      in
+      frequency
+        [
+          (2, map Pattern.var var_name);
+          (5, structural);
+          ( 1,
+            let* p = structural in
+            let* junk = pattern_gen 1 in
+            (* Put the matching branch on either side. *)
+            let* left = bool in
+            return (if left then Pattern.alt p junk else Pattern.alt junk p) );
+          ( 1,
+            let* p = structural in
+            return
+              (Pattern.Guarded
+                 (p, Guard.Eq (Term_attr (t, "size"), Const (Term.size t)))) );
+        ]
+
+  (* A (pattern, term) pair where the pattern was grown from the term. *)
+  let matching_pair =
+    let* t = term_gen 3 in
+    let* p = abstract_term t 4 in
+    return (p, t)
+
+  (* A (pattern, term) pair with independent draws (usually no match). *)
+  let random_pair =
+    let* t = term in
+    let* p = pattern in
+    return (p, t)
+
+  (* Binder/recursion constructors against random terms, plus wrapped in a
+     random context so they appear at non-root positions too. *)
+  let binder_pair =
+    let* t = term in
+    let* p = binder_pattern in
+    frequency
+      [
+        (3, return (p, t));
+        ( 1,
+          let* u = term_gen 1 in
+          return (Pattern.app "f" [ p; Pattern.var "cw" ], Term.app "f" [ t; u ]) );
+        (1, return (Pattern.app "g" [ p ], Term.app "g" [ t ]));
+      ]
+
+  let pair =
+    frequency [ (3, matching_pair); (2, random_pair); (2, binder_pair) ]
+end
+
+let pattern_print (p, t) =
+  Printf.sprintf "pattern: %s\nterm: %s" (Pattern.to_string p)
+    (Term.to_string t)
+
+(* Run a qcheck property as an alcotest case. *)
+let qtest ?(count = 500) name gen print prop =
+  QCheck_alcotest.to_alcotest
+    (QCheck2.Test.make ~count ~name ~print gen prop)
