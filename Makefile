@@ -1,6 +1,6 @@
 # Convenience targets; everything is plain dune underneath.
 
-.PHONY: all build test bench figures examples doc clean
+.PHONY: all build test check bench figures examples doc clean
 
 all: build
 
@@ -9,6 +9,17 @@ build:
 
 test:
 	dune runtest
+
+# the pre-commit gate: formatting (when ocamlformat is available), the
+# full test suite, and a quick bench smoke run over the engine comparison
+check:
+	@if command -v ocamlformat >/dev/null 2>&1; then \
+	  dune build @fmt || exit 1; \
+	else \
+	  echo "ocamlformat not installed; skipping format check"; \
+	fi
+	dune runtest
+	dune exec bench/main.exe -- fig12 fig13 --quick
 
 # regenerate every figure of the paper's evaluation + micro/ablation benches
 bench:

@@ -8,11 +8,39 @@
      dune exec bench/main.exe -- fig12   -- HF matcher cost vs #matches
      dune exec bench/main.exe -- fig13   -- TV matcher cost vs #matches
      dune exec bench/main.exe -- micro   -- bechamel matcher micro-benches
-     dune exec bench/main.exe -- ablation -- pass/matcher design ablations *)
+     dune exec bench/main.exe -- ablation -- pass/matcher design ablations
+
+   Options:
+     --engine naive/index/plan    -- pin the matching engine (default: run
+                                     the paper's naive engine for the
+                                     figure tables, and all three for the
+                                     engine-comparison section of
+                                     fig12/fig13)
+     --quick                      -- smoke mode: first 3 models per suite *)
 
 open Pypm
 
 let device = Cost.a6000
+
+(* --engine / --quick, parsed in the driver at the bottom. *)
+let engine_filter : Pass.engine option ref = ref None
+let quick = ref false
+
+let engine_name = function
+  | Pass.Naive -> "naive"
+  | Pass.Index -> "index"
+  | Pass.Plan -> "plan"
+
+let engines_selected () =
+  match !engine_filter with
+  | Some e -> [ e ]
+  | None -> [ Pass.Naive; Pass.Index; Pass.Plan ]
+
+let rec take n = function
+  | x :: xs when n > 0 -> x :: take (n - 1) xs
+  | _ -> []
+
+let suite_models models = if !quick then take 3 models else models
 
 (* ------------------------------------------------------------------ *)
 (* Compile configurations (paper: four ways per model)                 *)
@@ -28,10 +56,10 @@ let program_of sg = function
 
 (* Build the model fresh, compile with [config], return simulated cost and
    the pass stats. *)
-let compile_and_time (model : Zoo.model) config =
+let compile_and_time ?engine (model : Zoo.model) config =
   let env, g = model.Zoo.build () in
   let prog = program_of env.Std_ops.sg config in
-  let stats = Pass.run prog g in
+  let stats = Pass.run ?engine prog g in
   let errs = Graph.validate g in
   if errs <> [] then (
     List.iter prerr_endline errs;
@@ -74,9 +102,9 @@ let speedup_figure ~figure ~suite models =
   let rows =
     List.map
       (fun (m : Zoo.model) ->
-        let base, _ = compile_and_time m Baseline in
+        let base, _ = compile_and_time ?engine:!engine_filter m Baseline in
         let per config =
-          let cost, stats = compile_and_time m config in
+          let cost, stats = compile_and_time ?engine:!engine_filter m config in
           ( Exec.speedup ~baseline:base ~optimized:cost,
             stats.Pass.total_rewrites )
         in
@@ -97,10 +125,12 @@ let speedup_figure ~figure ~suite models =
   print_newline ()
 
 let fig10 () =
-  speedup_figure ~figure:"FIG10" ~suite:"HuggingFace suite" (Zoo.hf ())
+  speedup_figure ~figure:"FIG10" ~suite:"HuggingFace suite"
+    (suite_models (Zoo.hf ()))
 
 let fig11 () =
-  speedup_figure ~figure:"FIG11" ~suite:"TorchVision suite" (Zoo.tv ())
+  speedup_figure ~figure:"FIG11" ~suite:"TorchVision suite"
+    (suite_models (Zoo.tv ()))
 
 (* ------------------------------------------------------------------ *)
 (* Figures 12 / 13: matcher wall-clock vs number of matches            *)
@@ -111,6 +141,153 @@ let pattern_family_time stats =
     (fun (m, t) (ps : Pass.pattern_stats) ->
       (m + ps.Pass.matches, t +. ps.Pass.match_time))
     (0, 0.) stats.Pass.per_pattern
+
+(* Structural hash of the live graph after normalization, for the
+   cross-engine agreement check. Each model build draws fresh input symbols
+   from a global counter ([tokens%1] vs [tokens%19]), so uid suffixes are
+   relabelled by first appearance in a DFS from the outputs; shared
+   subgraphs are emitted once and referenced, so the hash sees the DAG. *)
+let graph_hash g =
+  ignore (Graph.gc g);
+  let uids = Hashtbl.create 32 in
+  let canon_sym (s : Symbol.t) =
+    match String.index_opt (s :> string) '%' with
+    | None -> (s :> string)
+    | Some i ->
+        let k =
+          match Hashtbl.find_opt uids s with
+          | Some k -> k
+          | None ->
+              let k = Hashtbl.length uids in
+              Hashtbl.add uids s k;
+              k
+        in
+        Printf.sprintf "%s#%d" (String.sub (s :> string) 0 i) k
+  in
+  let buf = Buffer.create 4096 in
+  let seen = Hashtbl.create 256 in
+  let rec go (n : Graph.node) =
+    match Hashtbl.find_opt seen n.Graph.id with
+    | Some k -> Buffer.add_string buf (Printf.sprintf "@%d" k)
+    | None ->
+        Hashtbl.add seen n.Graph.id (Hashtbl.length seen);
+        Buffer.add_string buf (canon_sym n.Graph.op);
+        List.iter
+          (fun (k, v) -> Buffer.add_string buf (Printf.sprintf "{%s=%d}" k v))
+          (List.sort compare n.Graph.attrs);
+        (match n.Graph.inputs with
+        | [] -> ()
+        | inputs ->
+            Buffer.add_char buf '(';
+            List.iteri
+              (fun i u ->
+                if i > 0 then Buffer.add_char buf ',';
+                go u)
+              inputs;
+            Buffer.add_char buf ')')
+  in
+  List.iter
+    (fun o ->
+      go o;
+      Buffer.add_char buf ';')
+    (Graph.outputs g);
+  Hashtbl.hash (Buffer.contents buf)
+
+(* Per-engine totals over the same match workload (the full two-family
+   program at every node of every model): total backtracking-matcher node
+   visits, matcher invocations, trie steps, and matches found. The
+   acceptance bar for the pattern-set compiler is [plan] doing strictly
+   fewer matcher visits than [index] while finding the same matches. *)
+let engine_comparison models =
+  Printf.printf
+    "\n   engine comparison (match_only, both families, all models):\n";
+  Printf.printf
+    "   engine   matcher-visits   attempts   trie-steps   matches      ms\n";
+  let rows =
+    List.map
+      (fun engine ->
+        let visits = ref 0
+        and attempts = ref 0
+        and steps = ref 0
+        and matches = ref 0
+        and ms = ref 0. in
+        List.iter
+          (fun (m : Zoo.model) ->
+            let env, g = m.Zoo.build () in
+            let prog = Corpus.both_program env.Std_ops.sg in
+            Matcher.reset_cumulative_visits ();
+            Plan.reset_cumulative_steps ();
+            let stats = Pass.match_only ~engine prog g in
+            visits := !visits + Matcher.cumulative_visits ();
+            steps := !steps + Plan.cumulative_steps ();
+            ms := !ms +. ((stats.Pass.wall_time +. stats.Pass.plan_time) *. 1e3);
+            List.iter
+              (fun (ps : Pass.pattern_stats) ->
+                attempts := !attempts + ps.Pass.attempts;
+                matches := !matches + ps.Pass.matches)
+              stats.Pass.per_pattern)
+          models;
+        Printf.printf "   %-8s %14d %10d %12d %9d %7.1f\n" (engine_name engine)
+          !visits !attempts !steps !matches !ms;
+        (engine, !visits, !matches))
+      (engines_selected ())
+  in
+  (match
+     ( List.assoc_opt Pass.Index
+         (List.map (fun (e, v, _) -> (e, v)) rows),
+       List.assoc_opt Pass.Plan (List.map (fun (e, v, _) -> (e, v)) rows) )
+   with
+  | Some vi, Some vp ->
+      Printf.printf "   plan vs index matcher-visits: %d vs %d -- %s\n" vp vi
+        (if vp < vi then "strictly fewer, OK"
+         else "NOT fewer -- acceptance violated")
+  | _ -> ());
+  match rows with
+  | (_, _, m0) :: rest ->
+      if not (List.for_all (fun (_, _, m) -> m = m0) rest) then
+        Printf.printf "   WARNING: engines disagree on match counts!\n"
+  | [] -> ()
+
+(* All selected engines must drive the rewrite pass to the same fixpoint:
+   same rewrite count, structurally identical final graph. *)
+let engine_agreement models =
+  Printf.printf
+    "\n   rewrite agreement (full pass to fixpoint, per engine):\n";
+  let disagreements = ref 0 in
+  List.iter
+    (fun (m : Zoo.model) ->
+      let results =
+        List.map
+          (fun engine ->
+            let env, g = m.Zoo.build () in
+            let stats =
+              Pass.run ~engine (Corpus.both_program env.Std_ops.sg) g
+            in
+            (engine, stats.Pass.total_rewrites, graph_hash g))
+          (engines_selected ())
+      in
+      match results with
+      | [] | [ _ ] -> ()
+      | (_, r0, h0) :: rest ->
+          if not (List.for_all (fun (_, r, h) -> r = r0 && h = h0) rest) then (
+            incr disagreements;
+            Printf.printf "   DISAGREE %-16s %s\n" m.Zoo.mname
+              (String.concat "  "
+                 (List.map
+                    (fun (e, r, h) ->
+                      Printf.sprintf "%s: %d rw, graph %08x" (engine_name e) r
+                        h)
+                    results))))
+    models;
+  let n = List.length models in
+  if !disagreements = 0 then
+    Printf.printf
+      "   identical rewrite counts and final graphs across {%s} on all %d \
+       models\n"
+      (String.concat ", " (List.map engine_name (engines_selected ())))
+      n
+  else
+    Printf.printf "   DISAGREEMENTS on %d of %d models\n" !disagreements n
 
 let compile_cost_figure ~figure ~suite models =
   Printf.printf "== %s: %s pattern-matching compile-time cost ==\n" figure
@@ -126,14 +303,20 @@ let compile_cost_figure ~figure ~suite models =
     (fun (m : Zoo.model) ->
       let env, g = m.Zoo.build () in
       let nodes = Graph.live_count g in
-      let mha_stats = Pass.match_only (Corpus.fmha_program env.Std_ops.sg) g in
+      let mha_stats =
+        Pass.match_only ?engine:!engine_filter
+          (Corpus.fmha_program env.Std_ops.sg)
+          g
+      in
       let epi_stats =
-        Pass.match_only (Corpus.epilog_program env.Std_ops.sg) g
+        Pass.match_only ?engine:!engine_filter
+          (Corpus.epilog_program env.Std_ops.sg)
+          g
       in
       let mha_m, mha_t = pattern_family_time mha_stats in
       let epi_m, epi_t = pattern_family_time epi_stats in
       (* the paper's "< 3 s" bound is about the full rewrite pass *)
-      let _, full = compile_and_time m Both in
+      let _, full = compile_and_time ?engine:!engine_filter m Both in
       max_pass := Float.max !max_pass full.Pass.wall_time;
       acc_mha_t := !acc_mha_t +. mha_t;
       acc_epi_t := !acc_epi_t +. epi_t;
@@ -158,14 +341,19 @@ let compile_cost_figure ~figure ~suite models =
        else nan);
   Printf.printf
     "   QUAL2: max full rewrite-pass time on any model: %.3f s (paper \
-     bound: < 3 s)\n\n"
-    !max_pass
+     bound: < 3 s)\n"
+    !max_pass;
+  engine_comparison models;
+  engine_agreement models;
+  print_newline ()
 
 let fig12 () =
-  compile_cost_figure ~figure:"FIG12" ~suite:"HuggingFace" (Zoo.hf ())
+  compile_cost_figure ~figure:"FIG12" ~suite:"HuggingFace"
+    (suite_models (Zoo.hf ()))
 
 let fig13 () =
-  compile_cost_figure ~figure:"FIG13" ~suite:"TorchVision" (Zoo.tv ())
+  compile_cost_figure ~figure:"FIG13" ~suite:"TorchVision"
+    (suite_models (Zoo.tv ()))
 
 (* ------------------------------------------------------------------ *)
 (* MM (extension): the multimodal models where all three optimization  *)
@@ -179,7 +367,9 @@ let mm () =
     (fun (m : Zoo.model) ->
       let env, g = m.Zoo.build () in
       let base = Exec.graph_cost device g in
-      let stats = Pass.run (Corpus.full_program env.Std_ops.sg) g in
+      let stats =
+        Pass.run ?engine:!engine_filter (Corpus.full_program env.Std_ops.sg) g
+      in
       let after = Exec.graph_cost device g in
       Printf.printf
         "   %-12s %3d rewrites: fmha %d, conv-epilog %d, gemm-epilog %d, \
@@ -193,7 +383,7 @@ let mm () =
         + Graph.count_op g Std_ops.gemm_epilog_relu)
         (Graph.count_op g Std_ops.cublas_mm_xyt_f32)
         (Exec.speedup ~baseline:base ~optimized:after))
-    (Zoo.mm ());
+    (suite_models (Zoo.mm ()));
   print_newline ()
 
 (* ------------------------------------------------------------------ *)
@@ -296,41 +486,44 @@ let ablation () =
   (* 1. root-head indexing: skip patterns whose root operator cannot match
      the node (the paper's implementation tries every pattern at every
      node). Same rewrites, less matcher work. *)
-  Printf.printf "\n-- root-head index (match_only over the full program) --\n";
+  Printf.printf "\n-- matching engine (match_only over the full program) --\n";
   List.iter
     (fun name ->
       let m = Option.get (Zoo.find name) in
-      let measure indexed =
+      let measure engine =
         let env, g = m.Zoo.build () in
         let prog = Corpus.both_program env.Std_ops.sg in
         (* warm, then time best of 3 *)
-        ignore (Pass.match_only ~indexed prog g);
+        ignore (Pass.match_only ~engine prog g);
         let best = ref infinity in
         for _ = 1 to 3 do
-          let _, t = time_s (fun () -> Pass.match_only ~indexed prog g) in
+          let _, t = time_s (fun () -> Pass.match_only ~engine prog g) in
           best := Float.min !best t
         done;
-        let stats = Pass.match_only ~indexed prog g in
+        let stats = Pass.match_only ~engine prog g in
         let attempts =
           List.fold_left (fun a ps -> a + ps.Pass.attempts) 0 stats.Pass.per_pattern
         in
         (!best, attempts)
       in
-      let t_naive, a_naive = measure false in
-      let t_idx, a_idx = measure true in
+      let t_naive, a_naive = measure Pass.Naive in
+      let t_idx, a_idx = measure Pass.Index in
+      let t_plan, a_plan = measure Pass.Plan in
       Printf.printf
-        "   %-14s naive %7.3f ms (%5d attempts)   indexed %7.3f ms (%5d attempts)  %4.1fx\n"
-        name (t_naive *. 1e3) a_naive (t_idx *. 1e3) a_idx
-        (t_naive /. t_idx))
+        "   %-14s naive %7.3f ms (%5d att)   index %7.3f ms (%5d att)   plan \
+         %7.3f ms (%3d att)  %4.1fx\n"
+        name (t_naive *. 1e3) a_naive (t_idx *. 1e3) a_idx (t_plan *. 1e3)
+        a_plan (t_naive /. t_plan))
     [ "bert-base"; "gpt2-medium"; "resnet50-ish"; "vgg19-ish" ];
-  (* 2. rewrites are identical with and without the index *)
+  (* 2. rewrites are identical whichever engine drives the pass *)
   let m = Option.get (Zoo.find "bert-base") in
-  let run indexed =
+  let run engine =
     let env, g = m.Zoo.build () in
-    let stats = Pass.run ~indexed (Corpus.both_program env.Std_ops.sg) g in
+    let stats = Pass.run ~engine (Corpus.both_program env.Std_ops.sg) g in
     stats.Pass.total_rewrites
   in
-  Printf.printf "   rewrites agree: naive %d, indexed %d\n" (run false) (run true);
+  Printf.printf "   rewrites agree: naive %d, indexed %d, plan %d\n"
+    (run Pass.Naive) (run Pass.Index) (run Pass.Plan);
   (* 3. machine policy cost: Faithful vs Backtrack on the corpus patterns
      over a model's term views (identical outcomes here, same cost) *)
   Printf.printf "\n-- production matcher vs abstract machine on model terms --\n";
@@ -376,11 +569,32 @@ let ablation () =
 (* ------------------------------------------------------------------ *)
 
 let () =
-  let which =
+  let args =
     match Array.to_list Sys.argv with
     | _ :: rest -> List.filter (fun a -> a <> "--") rest
     | [] -> []
   in
+  let rec parse acc = function
+    | [] -> List.rev acc
+    | "--quick" :: rest ->
+        quick := true;
+        parse acc rest
+    | "--engine" :: e :: rest ->
+        (engine_filter :=
+           match e with
+           | "naive" -> Some Pass.Naive
+           | "index" -> Some Pass.Index
+           | "plan" -> Some Pass.Plan
+           | _ ->
+               Printf.eprintf "unknown engine %S (naive|index|plan)\n" e;
+               exit 2);
+        parse acc rest
+    | "--engine" :: [] ->
+        Printf.eprintf "--engine needs an argument (naive|index|plan)\n";
+        exit 2
+    | a :: rest -> parse (a :: acc) rest
+  in
+  let which = parse [] args in
   let all = which = [] || which = [ "all" ] in
   let want name = all || List.mem name which in
   if want "fig10" then fig10 ();

@@ -184,7 +184,7 @@ let build_model name =
       exit 1
 
 let optimize_cmd =
-  let run model opt patterns verbose dot debug =
+  let run model opt patterns engine verbose dot debug =
     if debug then (
       Logs.set_reporter (Logs.format_reporter ());
       Logs.Src.set_level Pass.log_src (Some Logs.Debug));
@@ -207,7 +207,7 @@ let optimize_cmd =
     in
     let before = Exec.graph_cost Cost.a6000 g in
     let nodes_before = Graph.live_count g in
-    let stats = Pass.run program g in
+    let stats = Pass.run ~engine program g in
     (match Graph.validate g with
     | [] -> ()
     | errs ->
@@ -238,6 +238,16 @@ let optimize_cmd =
     Arg.(value & opt (some file) None & info [ "patterns" ] ~docv:"FILE"
            ~doc:"Use a pattern file/binary instead of a built-in set.")
   in
+  let engine =
+    let e =
+      Arg.enum
+        [ ("naive", Pass.Naive); ("index", Pass.Index); ("plan", Pass.Plan) ]
+    in
+    Arg.(value & opt e Pass.Naive & info [ "engine" ] ~docv:"ENGINE"
+           ~doc:"Matching engine: $(b,naive) (every pattern at every node), \
+                 $(b,index) (root-head prefilter), or $(b,plan) (shared \
+                 matching plan with incremental re-matching).")
+  in
   let verbose =
     Arg.(value & flag & info [ "v"; "verbose" ] ~doc:"Dump the final graph.")
   in
@@ -250,7 +260,7 @@ let optimize_cmd =
   in
   Cmd.v
     (Cmd.info "optimize" ~doc:"Run the rewrite pass over a zoo model")
-    Term.(const run $ model $ opt $ patterns $ verbose $ dot $ debug)
+    Term.(const run $ model $ opt $ patterns $ engine $ verbose $ dot $ debug)
 
 (* ------------------------------------------------------------------ *)
 (* query                                                               *)

@@ -4,8 +4,11 @@
 
     - {!Symbol}, {!Signature}, {!Term}, {!Subst}, {!Fsubst}: terms over an
       operator signature and the two substitution kinds (section 3.1);
-    - {!Guard}, {!Pattern}, {!Wf}: the CorePyPM pattern grammar
-      (figure 15), guard arithmetic (section 3.2), well-formedness;
+    - {!Guard}, {!Pattern}, {!Wf}, {!Skeleton}: the CorePyPM pattern
+      grammar (figure 15), guard arithmetic (section 3.2), well-formedness,
+      and branch-string extraction for the pattern-set compiler;
+    - {!Plan}: the pattern-set compiler — the whole library as one shared
+      discrimination trie with prefix sharing and hoisted guards;
     - {!Declarative}, {!Derivation}, {!Machine}, {!Matcher}, {!Enumerate},
       {!Outcome}: the two semantics (figures 16-18), proof objects, the
       production matcher and the all-witness oracle;
@@ -33,7 +36,9 @@ module Subst = Pypm_term.Subst
 module Fsubst = Pypm_term.Fsubst
 module Guard = Pypm_pattern.Guard
 module Pattern = Pypm_pattern.Pattern
+module Skeleton = Pypm_pattern.Skeleton
 module Wf = Pypm_pattern.Wf
+module Plan = Pypm_plan.Plan
 module Outcome = Pypm_semantics.Outcome
 module Declarative = Pypm_semantics.Declarative
 module Derivation = Pypm_semantics.Derivation

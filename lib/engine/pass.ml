@@ -1,10 +1,14 @@
 open Pypm_graph
 open Pypm_semantics
+module Plan = Pypm_plan.Plan
+
+type engine = Naive | Index | Plan
 
 type pattern_stats = {
   ps_name : string;
   mutable attempts : int;
   mutable skipped : int;
+  mutable plan_pruned : int;
   mutable matches : int;
   mutable rewrites : int;
   mutable match_time : float;
@@ -17,6 +21,7 @@ type stats = {
   mutable type_rejections : int;
   mutable collected : int;
   mutable wall_time : float;
+  mutable plan_time : float;
   mutable reached_fixpoint : bool;
   per_pattern : pattern_stats list;
 }
@@ -29,6 +34,7 @@ let fresh_stats (program : Program.t) =
     type_rejections = 0;
     collected = 0;
     wall_time = 0.;
+    plan_time = 0.;
     reached_fixpoint = false;
     per_pattern =
       List.map
@@ -37,6 +43,7 @@ let fresh_stats (program : Program.t) =
             ps_name = e.Program.pname;
             attempts = 0;
             skipped = 0;
+            plan_pruned = 0;
             matches = 0;
             rewrites = 0;
             match_time = 0.;
@@ -69,7 +76,8 @@ let head_index ~indexed (program : Program.t) =
       | Some heads -> not (Pypm_term.Symbol.Set.mem node.Graph.op heads)
       | None -> false
 
-(* Try to match one pattern at one node; updates stats, returns witness. *)
+(* Try to match one pattern at one node with the backtracking matcher;
+   updates stats, returns witness. *)
 let try_match ~skip ~fuel stats view (entry : Program.entry) node =
   let ps = Option.get (find_pattern_stats stats entry.Program.pname) in
   if skip entry node then (
@@ -99,12 +107,12 @@ let types_compatible (old_root : Graph.node) (new_root : Graph.node) =
   | Some a, Some b -> Pypm_tensor.Ty.equal a b
   | _ -> true
 
-(* Fire the first rule whose guard passes. Returns true if a rewrite
-   happened. *)
+(* Fire the first rule whose guard passes. Returns the replacement root if
+   a rewrite happened. *)
 let fire ~check_types stats g view (entry : Program.entry) node theta phi =
   let ps = Option.get (find_pattern_stats stats entry.Program.pname) in
   let rec try_rules = function
-    | [] -> false
+    | [] -> None
     | (r : Rule.t) :: rest ->
         if Rule.check_guard view theta phi r then (
           match Rule.instantiate g view theta phi r.Rule.rhs with
@@ -129,7 +137,7 @@ let fire ~check_types stats g view (entry : Program.entry) node theta phi =
                 Graph.replace g ~old_root:node ~new_root;
                 ps.rewrites <- ps.rewrites + 1;
                 stats.total_rewrites <- stats.total_rewrites + 1;
-                true)
+                Some new_root)
           | Error msg ->
               invalid_arg
                 (Printf.sprintf "rule %s for %s failed to instantiate: %s"
@@ -138,11 +146,16 @@ let fire ~check_types stats g view (entry : Program.entry) node theta phi =
   in
   try_rules entry.Program.rules
 
-let run ?(indexed = false) ?(check_types = true) ?(fuel = 200_000)
-    ?(max_rewrites = 10_000) (program : Program.t) g =
-  let stats = fresh_stats program in
+let resolve_engine engine indexed =
+  match engine with Some e -> e | None -> if indexed then Index else Naive
+
+(* ------------------------------------------------------------------ *)
+(* Full-traversal engines (Naive, Index)                               *)
+(* ------------------------------------------------------------------ *)
+
+let run_scan ~indexed ~check_types ~fuel ~max_rewrites (program : Program.t) g
+    stats =
   let skip = head_index ~indexed program in
-  let t_start = now () in
   let rec traverse () =
     stats.iterations <- stats.iterations + 1;
     let view = Term_view.create g in
@@ -154,7 +167,8 @@ let run ?(indexed = false) ?(check_types = true) ?(fuel = 200_000)
             (fun entry ->
               match try_match ~skip ~fuel stats view entry node with
               | Some (theta, phi) ->
-                  fire ~check_types stats g view entry node theta phi
+                  Option.is_some
+                    (fire ~check_types stats g view entry node theta phi)
               | None -> false)
             program.Program.entries)
         (Graph.live_nodes g)
@@ -164,23 +178,183 @@ let run ?(indexed = false) ?(check_types = true) ?(fuel = 200_000)
       if stats.total_rewrites < max_rewrites then traverse ())
     else stats.reached_fixpoint <- true
   in
-  traverse ();
+  traverse ()
+
+(* ------------------------------------------------------------------ *)
+(* Plan engine: shared trie + incremental re-matching                  *)
+(* ------------------------------------------------------------------ *)
+
+let compile_plan (program : Program.t) =
+  Plan.compile
+    (List.map
+       (fun (e : Program.entry) -> (e.Program.pname, e.Program.pattern))
+       program.Program.entries)
+
+(* Match every entry at one node through the shared plan: one trie walk
+   covers all compiled patterns; fallback patterns run the backtracking
+   matcher behind their root-head prefilter. Calls [on_match] on entries in
+   program order until it returns [Some _]. *)
+let plan_match_at ~plan ~fallback_skip ~fuel stats view interp
+    (program : Program.t) node ~on_match =
+  stats.nodes_visited <- stats.nodes_visited + 1;
+  let t = Term_view.term_of view node in
+  let t0 = now () in
+  let results = Plan.match_node plan ~interp t in
+  stats.plan_time <- stats.plan_time +. (now () -. t0);
+  let rec go = function
+    | [] -> None
+    | (entry : Program.entry) :: rest -> (
+        let witness =
+          match Plan.kind plan entry.Program.pname with
+          | Some (Plan.Compiled _) -> (
+              let ps =
+                Option.get (find_pattern_stats stats entry.Program.pname)
+              in
+              match List.assoc_opt entry.Program.pname results with
+              | Some (theta, phi) ->
+                  ps.matches <- ps.matches + 1;
+                  Some (theta, phi)
+              | None ->
+                  ps.plan_pruned <- ps.plan_pruned + 1;
+                  None)
+          | Some (Plan.Fallback _) | None ->
+              try_match ~skip:fallback_skip ~fuel stats view entry node
+        in
+        match witness with
+        | Some w -> (
+            match on_match entry w with Some r -> Some r | None -> go rest)
+        | None -> go rest)
+  in
+  go program.Program.entries
+
+let last_node_id g =
+  List.fold_left (fun acc (n : Graph.node) -> max acc n.Graph.id) (-1)
+    (Graph.nodes g)
+
+(* After a rewrite, only nodes whose term view changed can newly match: the
+   nodes the rewrite created, plus the transitive consumers of the
+   replacement root. Mark exactly those dirty. *)
+let mark_dirty_region g dirty ~before_last_id (new_root : Graph.node) =
+  let users : (int, Graph.node list) Hashtbl.t = Hashtbl.create 64 in
+  List.iter
+    (fun (n : Graph.node) ->
+      List.iter
+        (fun (i : Graph.node) ->
+          Hashtbl.replace users i.Graph.id
+            (n :: Option.value ~default:[] (Hashtbl.find_opt users i.Graph.id)))
+        n.Graph.inputs;
+      if n.Graph.id > before_last_id then Hashtbl.replace dirty n.Graph.id ())
+    (Graph.live_nodes g);
+  let seen = Hashtbl.create 64 in
+  let rec up (n : Graph.node) =
+    if not (Hashtbl.mem seen n.Graph.id) then begin
+      Hashtbl.replace seen n.Graph.id ();
+      Hashtbl.replace dirty n.Graph.id ();
+      List.iter up
+        (Option.value ~default:[] (Hashtbl.find_opt users n.Graph.id))
+    end
+  in
+  up new_root
+
+let run_plan ~check_types ~fuel ~max_rewrites (program : Program.t) g stats =
+  let plan = compile_plan program in
+  let fallback_skip (entry : Program.entry) (node : Graph.node) =
+    match Plan.kind plan entry.Program.pname with
+    | Some (Plan.Fallback (Some heads)) ->
+        not (Pypm_term.Symbol.Set.mem node.Graph.op heads)
+    | _ -> false
+  in
+  (* The work-queue: ids of nodes whose term view may have changed since
+     they were last scanned without firing. Scanning follows the live
+     topological order restricted to this set, so the rewrite sequence is
+     the full traversal's (clean nodes cannot newly match: their term view
+     is unchanged and matching depends on nothing else). *)
+  let dirty : (int, unit) Hashtbl.t = Hashtbl.create 512 in
+  List.iter
+    (fun (n : Graph.node) -> Hashtbl.replace dirty n.Graph.id ())
+    (Graph.live_nodes g);
+  let rec traverse () =
+    stats.iterations <- stats.iterations + 1;
+    let view = Term_view.create g in
+    let interp = Term_view.interp view in
+    let rewrote =
+      List.exists
+        (fun (node : Graph.node) ->
+          if not (Hashtbl.mem dirty node.Graph.id) then false
+          else
+            let fired =
+              plan_match_at ~plan ~fallback_skip ~fuel stats view interp
+                program node ~on_match:(fun entry (theta, phi) ->
+                  let before_last_id = last_node_id g in
+                  match
+                    fire ~check_types stats g view entry node theta phi
+                  with
+                  | Some new_root ->
+                      mark_dirty_region g dirty ~before_last_id new_root;
+                      Some new_root
+                  | None -> None)
+            in
+            match fired with
+            | Some _ -> true
+            | None ->
+                Hashtbl.remove dirty node.Graph.id;
+                false)
+        (Graph.live_nodes g)
+    in
+    if rewrote then (
+      stats.collected <- stats.collected + Graph.gc g;
+      if stats.total_rewrites < max_rewrites then traverse ())
+    else stats.reached_fixpoint <- true
+  in
+  traverse ()
+
+(* ------------------------------------------------------------------ *)
+(* Entry points                                                        *)
+(* ------------------------------------------------------------------ *)
+
+let run ?engine ?(indexed = false) ?(check_types = true) ?(fuel = 200_000)
+    ?(max_rewrites = 10_000) (program : Program.t) g =
+  let stats = fresh_stats program in
+  let t_start = now () in
+  (match resolve_engine engine indexed with
+  | Plan -> run_plan ~check_types ~fuel ~max_rewrites program g stats
+  | (Naive | Index) as e ->
+      run_scan ~indexed:(e = Index) ~check_types ~fuel ~max_rewrites program g
+        stats);
   stats.wall_time <- now () -. t_start;
   stats
 
-let match_only ?(indexed = false) ?(fuel = 200_000) (program : Program.t) g =
+let match_only ?engine ?(indexed = false) ?(fuel = 200_000)
+    (program : Program.t) g =
   let stats = fresh_stats program in
-  let skip = head_index ~indexed program in
   let t_start = now () in
   stats.iterations <- 1;
   let view = Term_view.create g in
-  List.iter
-    (fun node ->
-      stats.nodes_visited <- stats.nodes_visited + 1;
+  (match resolve_engine engine indexed with
+  | Plan ->
+      let plan = compile_plan program in
+      let fallback_skip (entry : Program.entry) (node : Graph.node) =
+        match Plan.kind plan entry.Program.pname with
+        | Some (Plan.Fallback (Some heads)) ->
+            not (Pypm_term.Symbol.Set.mem node.Graph.op heads)
+        | _ -> false
+      in
+      let interp = Term_view.interp view in
       List.iter
-        (fun entry -> ignore (try_match ~skip ~fuel stats view entry node))
-        program.Program.entries)
-    (Graph.live_nodes g);
+        (fun node ->
+          ignore
+            (plan_match_at ~plan ~fallback_skip ~fuel stats view interp
+               program node ~on_match:(fun _ _ -> None)))
+        (Graph.live_nodes g)
+  | (Naive | Index) as e ->
+      let skip = head_index ~indexed:(e = Index) program in
+      List.iter
+        (fun node ->
+          stats.nodes_visited <- stats.nodes_visited + 1;
+          List.iter
+            (fun entry -> ignore (try_match ~skip ~fuel stats view entry node))
+            program.Program.entries)
+        (Graph.live_nodes g));
   stats.reached_fixpoint <- true;
   stats.wall_time <- now () -. t_start;
   stats
@@ -209,13 +383,18 @@ let matches_of ?(fuel = 200_000) (program : Program.t) g =
 let pp_stats ppf s =
   Format.fprintf ppf
     "@[<v>pass: %d iteration(s), %d nodes visited, %d rewrites, %d collected, \
-     %.3f s%s@,"
+     %.3f s%s%s@,"
     s.iterations s.nodes_visited s.total_rewrites s.collected s.wall_time
+    (if s.plan_time > 0. then
+       Printf.sprintf " (%.4f s in the shared plan)" s.plan_time
+     else "")
     (if s.reached_fixpoint then "" else " (max rewrites hit)");
   List.iter
     (fun ps ->
       Format.fprintf ppf
-        "  %-24s attempts %-6d skipped %-6d matches %-5d rewrites %-5d %.4f s@,"
-        ps.ps_name ps.attempts ps.skipped ps.matches ps.rewrites ps.match_time)
+        "  %-24s attempts %-6d skipped %-6d pruned %-6d matches %-5d \
+         rewrites %-5d %.4f s@,"
+        ps.ps_name ps.attempts ps.skipped ps.plan_pruned ps.matches
+        ps.rewrites ps.match_time)
     s.per_pattern;
   Format.fprintf ppf "@]"

@@ -8,31 +8,62 @@
 
     [run] implements exactly that, with instrumentation: per-pattern match
     attempts, matches, rewrites, and matcher wall-clock time — the data
-    behind figures 12 and 13. *)
+    behind figures 12 and 13 — and a choice of three {e matching engines}:
+
+    - {!Naive}: the paper's implementation — every pattern is tried at
+      every node with the backtracking matcher.
+    - {!Index}: the root-head index — a pattern whose
+      {!Pypm_pattern.Pattern.root_heads} excludes the node's operator is
+      skipped without running the matcher.
+    - {!Plan}: the pattern-set compiler ({!Pypm_plan.Plan}) — the whole
+      library is compiled into one shared discrimination trie and each node
+      is matched against every compiled pattern in a single trie walk;
+      patterns outside the compilable fragment fall back to the
+      backtracking matcher behind a root-head prefilter. The pass is also
+      {e incremental}: after a rewrite fires, only the dirty region (the
+      nodes the rewrite created plus the transitive consumers of the
+      replacement root) is re-matched; everything else keeps its
+      last-scanned no-match status, which is sound because a node's match
+      outcome depends only on its term view. The rewrite sequence — and
+      hence the final graph — is identical to the full-traversal engines'
+      (checked in [test/test_plan.ml]). *)
 
 open Pypm_term
 open Pypm_graph
 
+type engine = Naive | Index | Plan
+
 type pattern_stats = {
   ps_name : string;
-  mutable attempts : int;  (** nodes the pattern was tried against *)
+  mutable attempts : int;
+      (** nodes the backtracking matcher ran against (plan-compiled
+          patterns never run it, so their attempts stay 0 under [Plan]) *)
   mutable skipped : int;
-      (** nodes skipped by the root-head index without running the matcher
-          (always 0 when the index is off) *)
+      (** nodes skipped by a root-head check without running the matcher:
+          the root-head index under [Index], the fallback prefilter under
+          [Plan]; always 0 under [Naive] *)
+  mutable plan_pruned : int;
+      (** nodes where the shared plan rejected this (compiled) pattern
+          without running the backtracking matcher; always 0 under [Naive]
+          and [Index] *)
   mutable matches : int;  (** successful matches (rules may still not fire) *)
   mutable rewrites : int;  (** rules fired *)
-  mutable match_time : float;  (** seconds inside the matcher *)
+  mutable match_time : float;  (** seconds inside the backtracking matcher *)
 }
 
 type stats = {
   mutable iterations : int;  (** full traversals *)
   mutable nodes_visited : int;
+      (** nodes actually scanned; under [Plan] clean nodes are skipped, so
+          this is the work-queue length, not live-count × iterations *)
   mutable total_rewrites : int;
   mutable type_rejections : int;
       (** rules whose replacement would have changed the matched node's
           tensor type, rejected under [~check_types:true] *)
   mutable collected : int;  (** garbage nodes removed *)
   mutable wall_time : float;  (** whole pass, seconds *)
+  mutable plan_time : float;
+      (** seconds inside the shared plan's trie walk (0 unless [Plan]) *)
   mutable reached_fixpoint : bool;
   per_pattern : pattern_stats list;
 }
@@ -44,19 +75,19 @@ val find_pattern_stats : stats -> string -> pattern_stats option
     [Logs.Src.set_level Pass.log_src (Some Logs.Debug)]. *)
 val log_src : Logs.src
 
-(** [run ?indexed ?fuel ?max_rewrites program graph] rewrites [graph] to
-    fixpoint (or until [max_rewrites], default 10_000, as a divergence
-    backstop). [fuel] bounds each individual match (default 200_000
-    visits). [indexed] (default false: the paper's implementation tries
-    every pattern at every node) enables the root-head index: a pattern
-    whose {!Pypm_pattern.Pattern.root_heads} excludes the node's operator
-    is skipped without running the matcher. The MICRO bench ablates this
-    choice. [check_types] (default true) refuses to fire a rule whose
-    replacement node's tensor type differs from the matched root's — a
-    rewrite must preserve what the rest of the graph observes; rejected
-    firings are counted in [type_rejections] and the next rule is tried.
-    Replacements typed [None] (opaque) are always allowed. *)
+(** [run ?engine ?indexed ?fuel ?max_rewrites program graph] rewrites
+    [graph] to fixpoint (or until [max_rewrites], default 10_000, as a
+    divergence backstop). [fuel] bounds each individual match (default
+    200_000 visits). [engine] selects the matching engine (see above);
+    when omitted, [indexed] (default false) selects between [Naive] and
+    [Index] for compatibility with older callers. [check_types] (default
+    true) refuses to fire a rule whose replacement node's tensor type
+    differs from the matched root's — a rewrite must preserve what the
+    rest of the graph observes; rejected firings are counted in
+    [type_rejections] and the next rule is tried. Replacements typed
+    [None] (opaque) are always allowed. *)
 val run :
+  ?engine:engine ->
   ?indexed:bool ->
   ?check_types:bool ->
   ?fuel:int ->
@@ -65,11 +96,12 @@ val run :
   Graph.t ->
   stats
 
-(** [match_only ?fuel program graph] runs the matching half only: counts
-    matches of every pattern at every node without firing any rule. Returns
-    the stats (rewrites stay 0). This is the figure 12/13 measurement: the
-    cost of running the matcher over a model. *)
-val match_only : ?indexed:bool -> ?fuel:int -> Program.t -> Graph.t -> stats
+(** [match_only ?engine ?indexed ?fuel program graph] runs the matching
+    half only: counts matches of every pattern at every node without firing
+    any rule. Returns the stats (rewrites stay 0). This is the figure 12/13
+    measurement: the cost of running the matcher over a model. *)
+val match_only :
+  ?engine:engine -> ?indexed:bool -> ?fuel:int -> Program.t -> Graph.t -> stats
 
 (** [matches_of ?fuel program graph] lists, per pattern, the node ids whose
     subtree matched, with the witness substitutions. No rewriting. *)

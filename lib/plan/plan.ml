@@ -1,0 +1,199 @@
+open Pypm_term
+open Pypm_pattern
+
+(* One trie node. Edges are kept in insertion order, but execution order
+   does not matter for correctness: the plan records the lowest branch
+   index that succeeds for each pattern, which is the matcher's
+   first-witness order regardless of trie traversal order. *)
+type trie = {
+  mutable edges : (Skeleton.instr * trie) list;
+  mutable accepts : (int * int) list;  (** (compiled slot, branch index) *)
+}
+
+type entry_kind = Compiled of int | Fallback of Symbol.Set.t option
+
+type t = {
+  root : trie;
+  slot_names : string array;
+  all_kinds : (string * entry_kind) list;
+  n_slots : int;
+  branch_count : int;
+  instr_total : int;
+}
+
+(* ------------------------------------------------------------------ *)
+(* Compilation                                                         *)
+(* ------------------------------------------------------------------ *)
+
+let rec insert node instrs accept =
+  match instrs with
+  | [] -> node.accepts <- node.accepts @ [ accept ]
+  | i :: rest ->
+      let child =
+        match
+          List.find_opt (fun (j, _) -> Skeleton.instr_equal i j) node.edges
+        with
+        | Some (_, c) -> c
+        | None ->
+            let c = { edges = []; accepts = [] } in
+            node.edges <- node.edges @ [ (i, c) ];
+            c
+      in
+      insert child rest accept
+
+let compile ?(max_branches = 128) entries =
+  let root = { edges = []; accepts = [] } in
+  let slot = ref 0 in
+  let instr_total = ref 0 and branch_count = ref 0 in
+  let rev_names = ref [] in
+  let all_kinds =
+    List.map
+      (fun (name, p) ->
+        match Skeleton.extract ~max_branches p with
+        | Some branches ->
+            let s = !slot in
+            incr slot;
+            rev_names := name :: !rev_names;
+            List.iter
+              (fun (b : Skeleton.branch) ->
+                instr_total := !instr_total + List.length b.instrs;
+                incr branch_count;
+                insert root b.instrs (s, b.b_index))
+              branches;
+            (name, Compiled (List.length branches))
+        | None -> (name, Fallback (Pattern.root_heads p)))
+      entries
+  in
+  {
+    root;
+    slot_names = Array.of_list (List.rev !rev_names);
+    all_kinds;
+    n_slots = !slot;
+    branch_count = !branch_count;
+    instr_total = !instr_total;
+  }
+
+let kinds t = t.all_kinds
+let kind t name = List.assoc_opt name t.all_kinds
+
+let compiled_names t =
+  List.filter_map
+    (function n, Compiled _ -> Some n | _, Fallback _ -> None)
+    t.all_kinds
+
+let fallback_names t =
+  List.filter_map
+    (function n, Fallback _ -> Some n | _, Compiled _ -> None)
+    t.all_kinds
+
+(* ------------------------------------------------------------------ *)
+(* Execution                                                           *)
+(* ------------------------------------------------------------------ *)
+
+let steps_last = ref 0
+let steps_cum = ref 0
+let last_steps () = !steps_last
+let cumulative_steps () = !steps_cum
+let reset_cumulative_steps () = steps_cum := 0
+
+let rec sub t = function
+  | [] -> Some t
+  | i :: rest -> (
+      match List.nth_opt (Term.args t) i with
+      | Some u -> sub u rest
+      | None -> None)
+
+(* Evaluate one instruction. [None] fails the branch — structurally the
+   same outcomes as the corresponding matcher steps under the Backtrack
+   policy (a guard that cannot be evaluated fails). *)
+let eval interp subject theta phi (ins : Skeleton.instr) =
+  match ins with
+  | Check_head (p, f, n) -> (
+      match sub subject p with
+      | Some u
+        when Symbol.equal (Term.head u) f && List.length (Term.args u) = n ->
+          Some (theta, phi)
+      | _ -> None)
+  | Check_arity (p, n) -> (
+      match sub subject p with
+      | Some u when List.length (Term.args u) = n -> Some (theta, phi)
+      | _ -> None)
+  | Bind_var (p, x) -> (
+      match sub subject p with
+      | None -> None
+      | Some u -> (
+          match Subst.bind x u theta with
+          | Ok theta -> Some (theta, phi)
+          | Error (`Conflict _) -> None))
+  | Bind_fvar (p, f) -> (
+      match sub subject p with
+      | None -> None
+      | Some u -> (
+          match Fsubst.bind f (Term.head u) phi with
+          | Ok phi -> Some (theta, phi)
+          | Error (`Conflict _) -> None))
+  | Check_guard g ->
+      if Guard.eval interp theta phi g = Some true then Some (theta, phi)
+      else None
+  | Check_bound x -> if Subst.mem x theta then Some (theta, phi) else None
+  | Check_fbound f -> if Fsubst.mem f phi then Some (theta, phi) else None
+
+let match_node t ~interp subject =
+  steps_last := 0;
+  let best_idx = Array.make (max t.n_slots 1) max_int in
+  let best_wit = Array.make (max t.n_slots 1) None in
+  let rec go node theta phi =
+    List.iter
+      (fun (slot, bidx) ->
+        if bidx < best_idx.(slot) then begin
+          best_idx.(slot) <- bidx;
+          best_wit.(slot) <- Some (theta, phi)
+        end)
+      node.accepts;
+    List.iter
+      (fun (ins, child) ->
+        incr steps_last;
+        match eval interp subject theta phi ins with
+        | Some (theta', phi') -> go child theta' phi'
+        | None -> ())
+      node.edges
+  in
+  go t.root Subst.empty Fsubst.empty;
+  steps_cum := !steps_cum + !steps_last;
+  let res = ref [] in
+  for slot = t.n_slots - 1 downto 0 do
+    match best_wit.(slot) with
+    | Some w -> res := (t.slot_names.(slot), w) :: !res
+    | None -> ()
+  done;
+  !res
+
+(* ------------------------------------------------------------------ *)
+(* Shape                                                               *)
+(* ------------------------------------------------------------------ *)
+
+let rec count_nodes node =
+  List.fold_left (fun acc (_, c) -> acc + count_nodes c) 1 node.edges
+
+let node_count t = count_nodes t.root
+let instr_total t = t.instr_total
+let branch_count t = t.branch_count
+
+let pp ppf t =
+  let nodes = node_count t in
+  Format.fprintf ppf
+    "@[<v>plan: %d compiled pattern(s) (%d branch(es), %d instr(s), %d trie \
+     node(s), %d shared), %d fallback@,"
+    t.n_slots t.branch_count t.instr_total nodes
+    (t.instr_total - (nodes - 1))
+    (List.length (fallback_names t));
+  List.iter
+    (fun (name, k) ->
+      match k with
+      | Compiled b -> Format.fprintf ppf "  %-24s compiled (%d branches)@," name b
+      | Fallback (Some heads) ->
+          Format.fprintf ppf "  %-24s fallback (heads: %s)@," name
+            (String.concat ", " (Symbol.Set.elements heads))
+      | Fallback None -> Format.fprintf ppf "  %-24s fallback (any head)@," name)
+    t.all_kinds;
+  Format.fprintf ppf "@]"

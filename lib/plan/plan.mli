@@ -1,0 +1,77 @@
+(** The pattern-set compiler: one shared matching plan for a whole library.
+
+    [compile] turns every loaded pattern into left-to-right branch strings
+    ({!Pypm_pattern.Skeleton}) and inserts them into a single
+    {e discrimination trie} with prefix sharing: two branches — whether of
+    the same pattern or of different patterns — that start with the same
+    checks share the trie path that performs them. {!match_node} then walks
+    the trie once against a subject term, advancing {e every} candidate
+    pattern simultaneously, instead of running the backtracking matcher once
+    per pattern the way the naive pass does.
+
+    Patterns outside the decision fragment (recursive [mu] patterns, match
+    constraints, free calls, or alternate expansions wider than the budget)
+    are kept as {e fallback} entries: the plan records their root-head sets
+    so the rewrite engine can prefilter them and run the backtracking
+    matcher only where the head matches — never more work than the
+    root-head-indexed pass.
+
+    First-witness preservation (the property the soundness chain needs):
+    for every compiled pattern [p], [match_node] reports a witness for [p]
+    iff [Matcher.matches ~policy:Backtrack p t] does, and it is the same
+    witness — each branch is deterministic, branches are indexed in the
+    matcher's alternate-exploration order, and the plan keeps the
+    lowest-index success. Property-checked in [test/test_equiv.ml] and
+    [test/test_plan.ml]; argument spelled out in [doc/plan.md]. *)
+
+open Pypm_term
+open Pypm_pattern
+
+type t
+
+(** How one pattern was compiled. *)
+type entry_kind =
+  | Compiled of int  (** number of trie branches *)
+  | Fallback of Symbol.Set.t option
+      (** run the backtracking matcher; [Some heads] = only at nodes whose
+          operator is in [heads], [None] = at every node *)
+
+(** [compile ?max_branches entries] builds the shared plan for the named
+    patterns, in order. *)
+val compile : ?max_branches:int -> (string * Pattern.t) list -> t
+
+(** The kind each pattern compiled to, in input order. *)
+val kinds : t -> (string * entry_kind) list
+
+val kind : t -> string -> entry_kind option
+val compiled_names : t -> string list
+val fallback_names : t -> string list
+
+(** [match_node plan ~interp t] walks the trie once against [t] and returns,
+    for each compiled pattern that matches at the root of [t], its first
+    witness — in input-pattern order. Fallback patterns are not consulted. *)
+val match_node :
+  t -> interp:Guard.interp -> Term.t -> (string * (Subst.t * Fsubst.t)) list
+
+(** {2 Plan shape (for tests, stats and the bench harness)} *)
+
+(** Number of trie nodes, root included. *)
+val node_count : t -> int
+
+(** Total instructions across all branch strings before sharing; the
+    difference [instr_total - (node_count - 1)] is the number of
+    instructions saved by prefix sharing. *)
+val instr_total : t -> int
+
+val branch_count : t -> int
+
+(** Instructions evaluated by the most recent {!match_node} call. *)
+val last_steps : unit -> int
+
+(** Instructions evaluated by all {!match_node} calls since
+    {!reset_cumulative_steps}; the plan-side analogue of
+    [Matcher.cumulative_visits]. *)
+val cumulative_steps : unit -> int
+
+val reset_cumulative_steps : unit -> unit
+val pp : Format.formatter -> t -> unit

@@ -7,6 +7,13 @@ exception Stuck_exc
 let visits = ref 0
 let last_visits () = !visits
 
+(* Cumulative pattern-node visits across calls; the engine-comparison
+   benches (FIG12/13 with --engine) read this to total the matcher work a
+   whole pass performed. *)
+let cumulative = ref 0
+let cumulative_visits () = !cumulative
+let reset_cumulative_visits () = cumulative := 0
+
 (* The success continuation returns [Some] to commit to a witness and [None]
    to ask the current choice point to try its next alternative. Raising
    [Stuck_exc] aborts the entire search, mirroring the machine halting when
@@ -16,6 +23,7 @@ let search ~interp ~(policy : Outcome.Policy.t) ~fuel ~theta ~phi p t :
   let remaining = ref fuel in
   let spend () =
     incr visits;
+    incr cumulative;
     decr remaining;
     if !remaining < 0 then raise Out_of_fuel_exc
   in

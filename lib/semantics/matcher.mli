@@ -43,3 +43,11 @@ val matches_at :
 (** Nodes visited by the last call on this domain; cheap instrumentation for
     the FIG12/FIG13 compile-cost benches. *)
 val last_visits : unit -> int
+
+(** Nodes visited by every call since {!reset_cumulative_visits}: the total
+    backtracking-matcher work a whole pass performed. The FIG12/13 engine
+    comparison resets this around each engine run; the shared-plan engine's
+    analogous counter is [Plan.cumulative_steps]. *)
+val cumulative_visits : unit -> int
+
+val reset_cumulative_visits : unit -> unit
