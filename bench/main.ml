@@ -289,6 +289,27 @@ let engine_agreement models =
   else
     Printf.printf "   DISAGREEMENTS on %d of %d models\n" !disagreements n
 
+(* One Chrome trace per figure suite: a full plan-engine rewrite pass over
+   the suite's first model, every engine event captured. Loadable in
+   chrome://tracing or Perfetto; the file the observability doc points at. *)
+let suite_trace ~figure models =
+  match models with
+  | [] -> ()
+  | (m : Zoo.model) :: _ ->
+      let path = String.lowercase_ascii figure ^ ".trace.json" in
+      let c = Obs.Collector.create () in
+      let stats =
+        Obs.with_sink (Obs.Collector.sink c) (fun () ->
+            let env, g = m.Zoo.build () in
+            Pass.run ~engine:Pass.Plan (Corpus.both_program env.Std_ops.sg) g)
+      in
+      Obs.Chrome.write path (Obs.Collector.events c);
+      Printf.printf
+        "   wrote %s: %d events from a plan-engine pass over %s (%d \
+         rewrites, %d provenance steps)\n"
+        path (Obs.Collector.length c) m.Zoo.mname stats.Pass.total_rewrites
+        (List.length stats.Pass.provenance)
+
 let compile_cost_figure ~figure ~suite models =
   Printf.printf "== %s: %s pattern-matching compile-time cost ==\n" figure
     suite;
@@ -345,6 +366,7 @@ let compile_cost_figure ~figure ~suite models =
     !max_pass;
   engine_comparison models;
   engine_agreement models;
+  suite_trace ~figure models;
   print_newline ()
 
 let fig12 () =

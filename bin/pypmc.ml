@@ -183,31 +183,68 @@ let build_model name =
       Printf.eprintf "no model named %s; try `pypmc zoo`\n" name;
       exit 1
 
+(* Shared by optimize and trace: resolve the pattern program. *)
+let resolve_program env opt patterns =
+  match patterns with
+  | Some path -> or_die (load_program env path)
+  | None -> (
+      match opt with
+      | "none" -> Program.make ~sg:env.Std_ops.sg []
+      | "fmha" -> Corpus.fmha_program env.Std_ops.sg
+      | "epilog" -> Corpus.epilog_program env.Std_ops.sg
+      | "both" -> Corpus.both_program env.Std_ops.sg
+      | "full" -> Corpus.full_program env.Std_ops.sg
+      | other ->
+          Printf.eprintf
+            "unknown optimization set %s (none|fmha|epilog|both|full)\n" other;
+          exit 1)
+
+(* Run [f] while capturing every obs event; write the capture as a Chrome
+   trace when [trace] names a file. *)
+let with_trace trace f =
+  match trace with
+  | None -> f ()
+  | Some path ->
+      let c = Obs.Collector.create () in
+      let r = Obs.with_sink (Obs.Collector.sink c) f in
+      Obs.Chrome.write path (Obs.Collector.events c);
+      Printf.printf
+        "wrote %s (%d events) — open in chrome://tracing or \
+         https://ui.perfetto.dev\n"
+        path (Obs.Collector.length c);
+      r
+
+let opt_arg =
+  Cmdliner.Arg.(
+    value & opt string "both" & info [ "opt" ] ~docv:"SET"
+      ~doc:"Optimization set: none, fmha, epilog, both, full.")
+
+let patterns_arg =
+  Cmdliner.Arg.(
+    value & opt (some file) None & info [ "patterns" ] ~docv:"FILE"
+      ~doc:"Use a pattern file/binary instead of a built-in set.")
+
+let engine_arg =
+  let e =
+    Cmdliner.Arg.enum
+      [ ("naive", Pass.Naive); ("index", Pass.Index); ("plan", Pass.Plan) ]
+  in
+  Cmdliner.Arg.(
+    value & opt e Pass.Naive & info [ "engine" ] ~docv:"ENGINE"
+      ~doc:"Matching engine: $(b,naive) (every pattern at every node), \
+            $(b,index) (root-head prefilter), or $(b,plan) (shared \
+            matching plan with incremental re-matching).")
+
 let optimize_cmd =
-  let run model opt patterns engine verbose dot debug =
+  let run model opt patterns engine verbose dot debug trace fuel =
     if debug then (
       Logs.set_reporter (Logs.format_reporter ());
       Logs.Src.set_level Pass.log_src (Some Logs.Debug));
     let env, g = build_model model in
-    let program =
-      match patterns with
-      | Some path -> or_die (load_program env path)
-      | None -> (
-          match opt with
-          | "none" -> Program.make ~sg:env.Std_ops.sg []
-          | "fmha" -> Corpus.fmha_program env.Std_ops.sg
-          | "epilog" -> Corpus.epilog_program env.Std_ops.sg
-          | "both" -> Corpus.both_program env.Std_ops.sg
-          | "full" -> Corpus.full_program env.Std_ops.sg
-          | other ->
-              Printf.eprintf
-                "unknown optimization set %s (none|fmha|epilog|both|full)\n"
-                other;
-              exit 1)
-    in
+    let program = resolve_program env opt patterns in
     let before = Exec.graph_cost Cost.a6000 g in
     let nodes_before = Graph.live_count g in
-    let stats = Pass.run ~engine program g in
+    let stats = with_trace trace (fun () -> Pass.run ~engine ?fuel program g) in
     (match Graph.validate g with
     | [] -> ()
     | errs ->
@@ -230,24 +267,6 @@ let optimize_cmd =
     Arg.(required & opt (some string) None & info [ "m"; "model" ]
            ~docv:"NAME" ~doc:"Zoo model to optimize.")
   in
-  let opt =
-    Arg.(value & opt string "both" & info [ "opt" ] ~docv:"SET"
-           ~doc:"Optimization set: none, fmha, epilog, both, full.")
-  in
-  let patterns =
-    Arg.(value & opt (some file) None & info [ "patterns" ] ~docv:"FILE"
-           ~doc:"Use a pattern file/binary instead of a built-in set.")
-  in
-  let engine =
-    let e =
-      Arg.enum
-        [ ("naive", Pass.Naive); ("index", Pass.Index); ("plan", Pass.Plan) ]
-    in
-    Arg.(value & opt e Pass.Naive & info [ "engine" ] ~docv:"ENGINE"
-           ~doc:"Matching engine: $(b,naive) (every pattern at every node), \
-                 $(b,index) (root-head prefilter), or $(b,plan) (shared \
-                 matching plan with incremental re-matching).")
-  in
   let verbose =
     Arg.(value & flag & info [ "v"; "verbose" ] ~doc:"Dump the final graph.")
   in
@@ -258,9 +277,83 @@ let optimize_cmd =
   let debug =
     Arg.(value & flag & info [ "debug" ] ~doc:"Log each rule firing.")
   in
+  let trace =
+    Arg.(value & opt (some string) None & info [ "trace" ] ~docv:"FILE"
+           ~doc:"Capture every engine event and write a Chrome trace-event \
+                 JSON file, loadable in chrome://tracing or Perfetto.")
+  in
+  let fuel =
+    Arg.(value & opt (some int) None & info [ "fuel" ] ~docv:"N"
+           ~doc:"Per-match fuel bound (matcher node visits).")
+  in
   Cmd.v
     (Cmd.info "optimize" ~doc:"Run the rewrite pass over a zoo model")
-    Term.(const run $ model $ opt $ patterns $ engine $ verbose $ dot $ debug)
+    Term.(const run $ model $ opt_arg $ patterns_arg $ engine_arg $ verbose
+          $ dot $ debug $ trace $ fuel)
+
+(* ------------------------------------------------------------------ *)
+(* trace                                                               *)
+(* ------------------------------------------------------------------ *)
+
+let trace_cmd =
+  let run model opt patterns engine out events limit =
+    let env, g = build_model model in
+    let program = resolve_program env opt patterns in
+    let stats = with_trace out (fun () -> Pass.run ~engine program g) in
+    let prov = Pass.provenance stats in
+    Printf.printf "rewrite narrative for %s (%s engine, %d step(s)):\n" model
+      (Pass.engine_name engine) (List.length prov);
+    let shown =
+      match limit with
+      | Some l when List.length prov > l ->
+          let rec take n = function
+            | x :: xs when n > 0 -> x :: take (n - 1) xs
+            | _ -> []
+          in
+          take l prov
+      | _ -> prov
+    in
+    List.iter
+      (fun s -> Format.printf "%a@." Obs.Provenance.pp_step s)
+      shown;
+    (match limit with
+    | Some l when List.length prov > l ->
+        Printf.printf "... (%d more; raise --limit)\n" (List.length prov - l)
+    | _ -> ());
+    if stats.Pass.fuel_exhausted > 0 then
+      Printf.printf
+        "WARNING: %d match attempt(s) ran out of fuel — the narrative may \
+         be missing rewrites\n"
+        stats.Pass.fuel_exhausted;
+    if events then (
+      Printf.printf "\nmost recent engine events (ring buffer):\n";
+      List.iter
+        (fun e -> Format.printf "  %a@." Obs.pp_event e)
+        (Obs.recent ~limit:40 ()))
+  in
+  let model =
+    Arg.(required & opt (some string) None & info [ "m"; "model" ]
+           ~docv:"NAME" ~doc:"Zoo model to optimize and narrate.")
+  in
+  let out =
+    Arg.(value & opt (some string) None & info [ "o"; "trace" ] ~docv:"FILE"
+           ~doc:"Also write the full event capture as Chrome trace JSON.")
+  in
+  let events =
+    Arg.(value & flag & info [ "events" ]
+           ~doc:"Also dump the tail of the always-on event ring buffer.")
+  in
+  let limit =
+    Arg.(value & opt (some int) None & info [ "limit" ] ~docv:"N"
+           ~doc:"Show at most N narrative steps.")
+  in
+  Cmd.v
+    (Cmd.info "trace"
+       ~doc:
+         "Run the rewrite pass and replay its provenance log as a \
+          human-readable narrative of every rule firing")
+    Term.(const run $ model $ opt_arg $ patterns_arg $ engine_arg $ out
+          $ events $ limit)
 
 (* ------------------------------------------------------------------ *)
 (* query                                                               *)
@@ -434,4 +527,4 @@ let () =
        (Cmd.group ~default
           (Cmd.info "pypmc" ~version:"1.0.0"
              ~doc:"PyPM pattern compiler and graph optimizer")
-          [ parse_cmd; compile_cmd; match_cmd; zoo_cmd; optimize_cmd; simplify_cmd; query_cmd; partition_cmd ]))
+          [ parse_cmd; compile_cmd; match_cmd; zoo_cmd; optimize_cmd; trace_cmd; simplify_cmd; query_cmd; partition_cmd ]))

@@ -39,6 +39,7 @@ module Pattern = Pypm_pattern.Pattern
 module Skeleton = Pypm_pattern.Skeleton
 module Wf = Pypm_pattern.Wf
 module Plan = Pypm_plan.Plan
+module Obs = Pypm_obs.Obs
 module Outcome = Pypm_semantics.Outcome
 module Declarative = Pypm_semantics.Declarative
 module Derivation = Pypm_semantics.Derivation

@@ -1,8 +1,11 @@
 open Pypm_graph
 open Pypm_semantics
 module Plan = Pypm_plan.Plan
+module Obs = Pypm_obs.Obs
 
 type engine = Naive | Index | Plan
+
+let engine_name = function Naive -> "naive" | Index -> "index" | Plan -> "plan"
 
 type pattern_stats = {
   ps_name : string;
@@ -11,6 +14,8 @@ type pattern_stats = {
   mutable plan_pruned : int;
   mutable matches : int;
   mutable rewrites : int;
+  mutable fuel_exhausted : int;
+  mutable guard_rejections : int;
   mutable match_time : float;
 }
 
@@ -19,10 +24,12 @@ type stats = {
   mutable nodes_visited : int;
   mutable total_rewrites : int;
   mutable type_rejections : int;
+  mutable fuel_exhausted : int;
   mutable collected : int;
   mutable wall_time : float;
   mutable plan_time : float;
   mutable reached_fixpoint : bool;
+  mutable provenance : Obs.Provenance.step list;
   per_pattern : pattern_stats list;
 }
 
@@ -32,10 +39,12 @@ let fresh_stats (program : Program.t) =
     nodes_visited = 0;
     total_rewrites = 0;
     type_rejections = 0;
+    fuel_exhausted = 0;
     collected = 0;
     wall_time = 0.;
     plan_time = 0.;
     reached_fixpoint = false;
+    provenance = [];
     per_pattern =
       List.map
         (fun (e : Program.entry) ->
@@ -46,11 +55,16 @@ let fresh_stats (program : Program.t) =
             plan_pruned = 0;
             matches = 0;
             rewrites = 0;
+            fuel_exhausted = 0;
+            guard_rejections = 0;
             match_time = 0.;
           })
         program.Program.entries;
   }
 
+(* Program.make rejects duplicate names, so the name → stats lookup is
+   unambiguous; the hot paths below never use it, they carry per-entry
+   records instead. *)
 let find_pattern_stats stats name =
   List.find_opt (fun ps -> String.equal ps.ps_name name) stats.per_pattern
 
@@ -58,47 +72,78 @@ let log_src = Logs.Src.create "pypm.pass" ~doc:"PyPM rewrite pass"
 
 module Log = (val Logs.src_log log_src)
 
-let now = Unix.gettimeofday
+let now = Obs.now
 
-(* Root-head index: for each entry, the set of operator symbols its
-   pattern's root can have (None = anything). Computed once per pass. *)
-let head_index ~indexed (program : Program.t) =
-  if not indexed then fun _ _ -> false
-  else
-    let table =
-      List.map
-        (fun (e : Program.entry) ->
-          (e.Program.pname, Pypm_pattern.Pattern.root_heads e.Program.pattern))
-        program.Program.entries
-    in
-    fun (entry : Program.entry) (node : Graph.node) ->
-      match List.assoc entry.Program.pname table with
-      | Some heads -> not (Pypm_term.Symbol.Set.mem node.Graph.op heads)
-      | None -> false
+(* ------------------------------------------------------------------ *)
+(* Per-entry matching context: each pattern carries its own optional    *)
+(* root-head prefilter. No name-keyed lookup happens per node.          *)
+(* ------------------------------------------------------------------ *)
 
-(* Try to match one pattern at one node with the backtracking matcher;
-   updates stats, returns witness. *)
-let try_match ~skip ~fuel stats view (entry : Program.entry) node =
-  let ps = Option.get (find_pattern_stats stats entry.Program.pname) in
-  if skip entry node then (
-    ps.skipped <- ps.skipped + 1;
-    None)
-  else begin
-  ps.attempts <- ps.attempts + 1;
-  let t = Term_view.term_of view node in
-  let interp = Term_view.interp view in
-  let t0 = now () in
-  let outcome =
-    Matcher.matches ~interp ~policy:Outcome.Policy.Backtrack ~fuel
-      entry.Program.pattern t
-  in
-  ps.match_time <- ps.match_time +. (now () -. t0);
-  match outcome with
-  | Outcome.Matched (theta, phi) ->
-      ps.matches <- ps.matches + 1;
-      Some (theta, phi)
-  | _ -> None
-  end
+type ectx = {
+  entry : Program.entry;
+  heads : Pypm_term.Symbol.Set.t option;
+      (* operators the root can have; None = no prefilter *)
+}
+
+let contexts ~indexed (program : Program.t) =
+  List.map
+    (fun (e : Program.entry) ->
+      {
+        entry = e;
+        heads =
+          (if indexed then Pypm_pattern.Pattern.root_heads e.Program.pattern
+           else None);
+      })
+    program.Program.entries
+
+(* Try to match one pattern at one node with the backtracking matcher.
+   Every attempt, prune, and fuel exhaustion emits an obs event; the
+   per-pattern statistics are aggregated from those events. *)
+let try_match ~fuel view (c : ectx) (node : Graph.node) =
+  let pname = c.entry.Program.pname in
+  match c.heads with
+  | Some heads when not (Pypm_term.Symbol.Set.mem node.Graph.op heads) ->
+      Obs.emit ~node:node.Graph.id
+        (Obs.Pruned { pattern = pname; via = Obs.Head_index });
+      None
+  | _ -> (
+      let t = Term_view.term_of view node in
+      let interp = Term_view.interp view in
+      let t0 = now () in
+      let outcome =
+        Matcher.matches ~interp ~policy:Outcome.Policy.Backtrack ~fuel
+          c.entry.Program.pattern t
+      in
+      let dur = now () -. t0 in
+      let obs_outcome =
+        match outcome with
+        | Outcome.Matched _ -> Obs.Matched
+        | Outcome.No_match -> Obs.No_match
+        | Outcome.Stuck -> Obs.Stuck
+        | Outcome.Out_of_fuel -> Obs.Out_of_fuel
+      in
+      Obs.emit ~node:node.Graph.id ~dur
+        (Obs.Match_attempt
+           {
+             pattern = pname;
+             outcome = obs_outcome;
+             visits = Matcher.last_visits ();
+           });
+      match outcome with
+      | Outcome.Matched (theta, phi) -> Some (theta, phi)
+      | Outcome.Out_of_fuel ->
+          (* NOT a clean no-match: the matcher was stopped mid-search, so a
+             witness may exist that we never saw. Surface it loudly. *)
+          Log.warn (fun m ->
+              m
+                "pattern %s at node %%%d ran OUT OF FUEL after %d visits — \
+                 counted as fuel_exhausted, not as a no-match; raise ~fuel \
+                 if this keeps happening"
+                pname node.Graph.id fuel);
+          Obs.emit ~node:node.Graph.id
+            (Obs.Fuel_exhausted { pattern = pname; fuel });
+          None
+      | Outcome.No_match | Outcome.Stuck -> None)
 
 (* A replacement must present the same tensor type to the rest of the
    graph; opaque (untyped) nodes are accepted on either side. *)
@@ -107,10 +152,12 @@ let types_compatible (old_root : Graph.node) (new_root : Graph.node) =
   | Some a, Some b -> Pypm_tensor.Ty.equal a b
   | _ -> true
 
+let symbol_strings syms = List.map (fun (s : Pypm_term.Symbol.t) -> (s :> string)) syms
+
 (* Fire the first rule whose guard passes. Returns the replacement root if
-   a rewrite happened. *)
-let fire ~check_types stats g view (entry : Program.entry) node theta phi =
-  let ps = Option.get (find_pattern_stats stats entry.Program.pname) in
+   a rewrite happened; records provenance on [stats]. *)
+let fire ~check_types stats g view (c : ectx) node theta phi =
+  let pname = c.entry.Program.pname in
   let rec try_rules = function
     | [] -> None
     | (r : Rule.t) :: rest ->
@@ -123,6 +170,8 @@ let fire ~check_types stats g view (entry : Program.entry) node theta phi =
               else if check_types && not (types_compatible node new_root)
               then (
                 stats.type_rejections <- stats.type_rejections + 1;
+                Obs.emit ~node:node.Graph.id
+                  (Obs.Type_reject { pattern = pname; rule = r.Rule.rule_name });
                 Log.warn (fun m ->
                     m
                       "rule %s at node %%%d rejected: replacement type \
@@ -132,19 +181,41 @@ let fire ~check_types stats g view (entry : Program.entry) node theta phi =
               else (
                 Log.debug (fun m ->
                     m "fired %s (pattern %s) at node %%%d -> %%%d (%s)"
-                      r.Rule.rule_name entry.Program.pname node.Graph.id
-                      new_root.Graph.id new_root.Graph.op);
+                      r.Rule.rule_name pname node.Graph.id new_root.Graph.id
+                      new_root.Graph.op);
                 Graph.replace g ~old_root:node ~new_root;
-                ps.rewrites <- ps.rewrites + 1;
+                stats.provenance <-
+                  {
+                    Obs.Provenance.seq = stats.total_rewrites;
+                    pattern = pname;
+                    rule = r.Rule.rule_name;
+                    matched_root = node.Graph.id;
+                    matched_op = (node.Graph.op :> string);
+                    replacement_root = new_root.Graph.id;
+                    replacement_op = (new_root.Graph.op :> string);
+                    theta_dom = symbol_strings (Pypm_term.Subst.domain theta);
+                    phi_dom = symbol_strings (Pypm_term.Fsubst.domain phi);
+                  }
+                  :: stats.provenance;
                 stats.total_rewrites <- stats.total_rewrites + 1;
+                Obs.emit ~node:node.Graph.id
+                  (Obs.Rule_fired
+                     {
+                       pattern = pname;
+                       rule = r.Rule.rule_name;
+                       replacement = new_root.Graph.id;
+                     });
                 Some new_root)
           | Error msg ->
               invalid_arg
                 (Printf.sprintf "rule %s for %s failed to instantiate: %s"
-                   r.Rule.rule_name entry.Program.pname msg))
-        else try_rules rest
+                   r.Rule.rule_name pname msg))
+        else (
+          Obs.emit ~node:node.Graph.id
+            (Obs.Guard_reject { pattern = pname; rule = r.Rule.rule_name });
+          try_rules rest)
   in
-  try_rules entry.Program.rules
+  try_rules c.entry.Program.rules
 
 let resolve_engine engine indexed =
   match engine with Some e -> e | None -> if indexed then Index else Naive
@@ -155,22 +226,23 @@ let resolve_engine engine indexed =
 
 let run_scan ~indexed ~check_types ~fuel ~max_rewrites (program : Program.t) g
     stats =
-  let skip = head_index ~indexed program in
+  let ctxs = contexts ~indexed program in
   let rec traverse () =
     stats.iterations <- stats.iterations + 1;
+    Obs.emit (Obs.Iteration { n = stats.iterations });
     let view = Term_view.create g in
     let rewrote =
       List.exists
         (fun node ->
           stats.nodes_visited <- stats.nodes_visited + 1;
           List.exists
-            (fun entry ->
-              match try_match ~skip ~fuel stats view entry node with
+            (fun c ->
+              match try_match ~fuel view c node with
               | Some (theta, phi) ->
                   Option.is_some
-                    (fire ~check_types stats g view entry node theta phi)
+                    (fire ~check_types stats g view c node theta phi)
               | None -> false)
-            program.Program.entries)
+            ctxs)
         (Graph.live_nodes g)
     in
     if rewrote then (
@@ -190,42 +262,56 @@ let compile_plan (program : Program.t) =
        (fun (e : Program.entry) -> (e.Program.pname, e.Program.pattern))
        program.Program.entries)
 
+(* Per-entry plan context, fixed at compile time: compiled entries read
+   their witness out of the shared trie walk, fallback entries run the
+   backtracking matcher behind their root-head prefilter. Positional, not
+   name-keyed: [Plan.kinds] preserves input order. *)
+type plan_entry = Trie of Program.entry | Backtrack of ectx
+
+let plan_contexts plan (program : Program.t) =
+  List.map2
+    (fun (e : Program.entry) ((kname, k) : string * Plan.entry_kind) ->
+      assert (String.equal kname e.Program.pname);
+      match k with
+      | Plan.Compiled _ -> Trie e
+      | Plan.Fallback heads -> Backtrack { entry = e; heads })
+    program.Program.entries (Plan.kinds plan)
+
 (* Match every entry at one node through the shared plan: one trie walk
    covers all compiled patterns; fallback patterns run the backtracking
    matcher behind their root-head prefilter. Calls [on_match] on entries in
    program order until it returns [Some _]. *)
-let plan_match_at ~plan ~fallback_skip ~fuel stats view interp
-    (program : Program.t) node ~on_match =
+let plan_match_at ~plan ~pctxs ~fuel stats view node ~on_match =
   stats.nodes_visited <- stats.nodes_visited + 1;
   let t = Term_view.term_of view node in
+  let interp = Term_view.interp view in
   let t0 = now () in
   let results = Plan.match_node plan ~interp t in
   stats.plan_time <- stats.plan_time +. (now () -. t0);
   let rec go = function
     | [] -> None
-    | (entry : Program.entry) :: rest -> (
-        let witness =
-          match Plan.kind plan entry.Program.pname with
-          | Some (Plan.Compiled _) -> (
-              let ps =
-                Option.get (find_pattern_stats stats entry.Program.pname)
-              in
-              match List.assoc_opt entry.Program.pname results with
+    | pe :: rest -> (
+        let entry, witness =
+          match pe with
+          | Trie (e : Program.entry) -> (
+              match List.assoc_opt e.Program.pname results with
               | Some (theta, phi) ->
-                  ps.matches <- ps.matches + 1;
-                  Some (theta, phi)
+                  Obs.emit ~node:node.Graph.id
+                    (Obs.Plan_match { pattern = e.Program.pname });
+                  (e, Some (theta, phi))
               | None ->
-                  ps.plan_pruned <- ps.plan_pruned + 1;
-                  None)
-          | Some (Plan.Fallback _) | None ->
-              try_match ~skip:fallback_skip ~fuel stats view entry node
+                  Obs.emit ~node:node.Graph.id
+                    (Obs.Pruned
+                       { pattern = e.Program.pname; via = Obs.Plan_trie });
+                  (e, None))
+          | Backtrack c -> (c.entry, try_match ~fuel view c node)
         in
         match witness with
         | Some w -> (
             match on_match entry w with Some r -> Some r | None -> go rest)
         | None -> go rest)
   in
-  go program.Program.entries
+  go pctxs
 
 let last_node_id g =
   List.fold_left (fun acc (n : Graph.node) -> max acc n.Graph.id) (-1)
@@ -258,12 +344,7 @@ let mark_dirty_region g dirty ~before_last_id (new_root : Graph.node) =
 
 let run_plan ~check_types ~fuel ~max_rewrites (program : Program.t) g stats =
   let plan = compile_plan program in
-  let fallback_skip (entry : Program.entry) (node : Graph.node) =
-    match Plan.kind plan entry.Program.pname with
-    | Some (Plan.Fallback (Some heads)) ->
-        not (Pypm_term.Symbol.Set.mem node.Graph.op heads)
-    | _ -> false
-  in
+  let pctxs = plan_contexts plan program in
   (* The work-queue: ids of nodes whose term view may have changed since
      they were last scanned without firing. Scanning follows the live
      topological order restricted to this set, so the rewrite sequence is
@@ -275,19 +356,20 @@ let run_plan ~check_types ~fuel ~max_rewrites (program : Program.t) g stats =
     (Graph.live_nodes g);
   let rec traverse () =
     stats.iterations <- stats.iterations + 1;
+    Obs.emit (Obs.Iteration { n = stats.iterations });
     let view = Term_view.create g in
-    let interp = Term_view.interp view in
     let rewrote =
       List.exists
         (fun (node : Graph.node) ->
           if not (Hashtbl.mem dirty node.Graph.id) then false
           else
             let fired =
-              plan_match_at ~plan ~fallback_skip ~fuel stats view interp
-                program node ~on_match:(fun entry (theta, phi) ->
+              plan_match_at ~plan ~pctxs ~fuel stats view node
+                ~on_match:(fun entry (theta, phi) ->
                   let before_last_id = last_node_id g in
+                  let c = { entry; heads = None } in
                   match
-                    fire ~check_types stats g view entry node theta phi
+                    fire ~check_types stats g view c node theta phi
                   with
                   | Some new_root ->
                       mark_dirty_region g dirty ~before_last_id new_root;
@@ -312,51 +394,87 @@ let run_plan ~check_types ~fuel ~max_rewrites (program : Program.t) g stats =
 (* Entry points                                                        *)
 (* ------------------------------------------------------------------ *)
 
+(* Pull the per-pattern numbers out of the event aggregator: the events
+   are the single source of truth, the mutable records are the snapshot
+   handed to the caller. *)
+let finalize (program : Program.t) agg stats =
+  List.iter2
+    (fun (e : Program.entry) ps ->
+      match Obs.Agg.find agg e.Program.pname with
+      | None -> ()
+      | Some (a : Obs.Agg.pat) ->
+          ps.attempts <- a.Obs.Agg.attempts;
+          ps.skipped <- a.Obs.Agg.pruned_head;
+          ps.plan_pruned <- a.Obs.Agg.pruned_plan;
+          ps.matches <- a.Obs.Agg.matches;
+          ps.rewrites <- a.Obs.Agg.rewrites;
+          ps.fuel_exhausted <- a.Obs.Agg.fuel_exhausted;
+          ps.guard_rejections <- a.Obs.Agg.guard_rejects;
+          ps.match_time <- a.Obs.Agg.match_time)
+    program.Program.entries stats.per_pattern;
+  stats.fuel_exhausted <-
+    List.fold_left
+      (fun acc (ps : pattern_stats) -> acc + ps.fuel_exhausted)
+      0 stats.per_pattern;
+  stats.provenance <- List.rev stats.provenance
+
 let run ?engine ?(indexed = false) ?(check_types = true) ?(fuel = 200_000)
     ?(max_rewrites = 10_000) (program : Program.t) g =
   let stats = fresh_stats program in
+  let agg = Obs.Agg.create () in
+  let e = resolve_engine engine indexed in
+  Obs.emit
+    (Obs.Pass_begin
+       {
+         engine = engine_name e;
+         patterns = List.length program.Program.entries;
+       });
   let t_start = now () in
-  (match resolve_engine engine indexed with
-  | Plan -> run_plan ~check_types ~fuel ~max_rewrites program g stats
-  | (Naive | Index) as e ->
-      run_scan ~indexed:(e = Index) ~check_types ~fuel ~max_rewrites program g
-        stats);
+  Obs.with_sink (Obs.Agg.sink agg) (fun () ->
+      match e with
+      | Plan -> run_plan ~check_types ~fuel ~max_rewrites program g stats
+      | (Naive | Index) as e ->
+          run_scan ~indexed:(e = Index) ~check_types ~fuel ~max_rewrites
+            program g stats);
   stats.wall_time <- now () -. t_start;
+  finalize program agg stats;
+  Obs.emit
+    (Obs.Pass_end
+       { rewrites = stats.total_rewrites; iterations = stats.iterations });
   stats
+
+let provenance stats = stats.provenance
 
 let match_only ?engine ?(indexed = false) ?(fuel = 200_000)
     (program : Program.t) g =
   let stats = fresh_stats program in
+  let agg = Obs.Agg.create () in
   let t_start = now () in
   stats.iterations <- 1;
   let view = Term_view.create g in
-  (match resolve_engine engine indexed with
-  | Plan ->
-      let plan = compile_plan program in
-      let fallback_skip (entry : Program.entry) (node : Graph.node) =
-        match Plan.kind plan entry.Program.pname with
-        | Some (Plan.Fallback (Some heads)) ->
-            not (Pypm_term.Symbol.Set.mem node.Graph.op heads)
-        | _ -> false
-      in
-      let interp = Term_view.interp view in
-      List.iter
-        (fun node ->
-          ignore
-            (plan_match_at ~plan ~fallback_skip ~fuel stats view interp
-               program node ~on_match:(fun _ _ -> None)))
-        (Graph.live_nodes g)
-  | (Naive | Index) as e ->
-      let skip = head_index ~indexed:(e = Index) program in
-      List.iter
-        (fun node ->
-          stats.nodes_visited <- stats.nodes_visited + 1;
+  Obs.with_sink (Obs.Agg.sink agg) (fun () ->
+      match resolve_engine engine indexed with
+      | Plan ->
+          let plan = compile_plan program in
+          let pctxs = plan_contexts plan program in
           List.iter
-            (fun entry -> ignore (try_match ~skip ~fuel stats view entry node))
-            program.Program.entries)
-        (Graph.live_nodes g));
+            (fun node ->
+              ignore
+                (plan_match_at ~plan ~pctxs ~fuel stats view node
+                   ~on_match:(fun _ _ -> None)))
+            (Graph.live_nodes g)
+      | (Naive | Index) as e ->
+          let ctxs = contexts ~indexed:(e = Index) program in
+          List.iter
+            (fun node ->
+              stats.nodes_visited <- stats.nodes_visited + 1;
+              List.iter
+                (fun c -> ignore (try_match ~fuel view c node))
+                ctxs)
+            (Graph.live_nodes g));
   stats.reached_fixpoint <- true;
   stats.wall_time <- now () -. t_start;
+  finalize program agg stats;
   stats
 
 let matches_of ?(fuel = 200_000) (program : Program.t) g =
@@ -389,12 +507,20 @@ let pp_stats ppf s =
        Printf.sprintf " (%.4f s in the shared plan)" s.plan_time
      else "")
     (if s.reached_fixpoint then "" else " (max rewrites hit)");
+  if s.fuel_exhausted > 0 then
+    Format.fprintf ppf
+      "  WARNING: %d match attempt(s) ran out of fuel — these are not \
+       no-matches; the pass may have missed rewrites (raise ~fuel)@,"
+      s.fuel_exhausted;
   List.iter
     (fun ps ->
       Format.fprintf ppf
         "  %-24s attempts %-6d skipped %-6d pruned %-6d matches %-5d \
-         rewrites %-5d %.4f s@,"
+         rewrites %-5d %.4f s%s@,"
         ps.ps_name ps.attempts ps.skipped ps.plan_pruned ps.matches
-        ps.rewrites ps.match_time)
+        ps.rewrites ps.match_time
+        (if ps.fuel_exhausted > 0 then
+           Printf.sprintf " fuel-exhausted %d" ps.fuel_exhausted
+         else ""))
     s.per_pattern;
   Format.fprintf ppf "@]"

@@ -33,6 +33,8 @@ open Pypm_graph
 
 type engine = Naive | Index | Plan
 
+val engine_name : engine -> string
+
 type pattern_stats = {
   ps_name : string;
   mutable attempts : int;
@@ -48,6 +50,11 @@ type pattern_stats = {
           and [Index] *)
   mutable matches : int;  (** successful matches (rules may still not fire) *)
   mutable rewrites : int;  (** rules fired *)
+  mutable fuel_exhausted : int;
+      (** match attempts the matcher abandoned when [~fuel] ran out — {b
+          not} clean no-matches: a witness may exist that was never found *)
+  mutable guard_rejections : int;
+      (** rules whose guard evaluated to false on a witness *)
   mutable match_time : float;  (** seconds inside the backtracking matcher *)
 }
 
@@ -60,15 +67,27 @@ type stats = {
   mutable type_rejections : int;
       (** rules whose replacement would have changed the matched node's
           tensor type, rejected under [~check_types:true] *)
+  mutable fuel_exhausted : int;
+      (** total fuel-exhausted attempts across all patterns; a nonzero
+          value means the "fixpoint" may be short of the true one *)
   mutable collected : int;  (** garbage nodes removed *)
   mutable wall_time : float;  (** whole pass, seconds *)
   mutable plan_time : float;
       (** seconds inside the shared plan's trie walk (0 unless [Plan]) *)
   mutable reached_fixpoint : bool;
+  mutable provenance : Pypm_obs.Obs.Provenance.step list;
+      (** the rewrite provenance log: one step per fired rule, in firing
+          order — what [pypmc trace] replays *)
   per_pattern : pattern_stats list;
 }
 
+(** Name-keyed lookup into [per_pattern]. Unambiguous because
+    {!Program.make} rejects duplicate pattern names; the pass itself uses
+    per-entry records, never this. *)
 val find_pattern_stats : stats -> string -> pattern_stats option
+
+(** [provenance stats] is [stats.provenance]. *)
+val provenance : stats -> Pypm_obs.Obs.Provenance.step list
 
 (** The pass's log source ("pypm.pass"): [debug] on each rule firing,
     [warn] on type-check rejections. Enable with

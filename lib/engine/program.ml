@@ -4,7 +4,23 @@ open Pypm_pattern
 type entry = { pname : string; pattern : Pattern.t; rules : Rule.t list }
 type t = { sg : Signature.t; entries : entry list }
 
-let make ~sg entries = { sg; entries }
+(* Pattern names key the per-pattern statistics, the serialized form, and
+   the plan's result slots; a duplicate would silently alias all three, so
+   reject it at construction. *)
+let make ~sg entries =
+  let seen = Hashtbl.create 16 in
+  List.iter
+    (fun (e : entry) ->
+      if Hashtbl.mem seen e.pname then
+        invalid_arg
+          (Printf.sprintf
+             "Program.make: duplicate pattern name %S (pattern names must \
+              be unique: they identify patterns in stats, binaries and \
+              plan results)"
+             e.pname);
+      Hashtbl.add seen e.pname ())
+    entries;
+  { sg; entries }
 
 let entry t name =
   List.find_opt (fun e -> String.equal e.pname name) t.entries

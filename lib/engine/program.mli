@@ -18,6 +18,9 @@ type entry = {
 
 type t = { sg : Signature.t; entries : entry list }
 
+(** Builds a program. Raises [Invalid_argument] if two entries share a
+    [pname]: names key per-pattern statistics, head-index entries and plan
+    result slots, so a duplicate would silently alias them. *)
 val make : sg:Signature.t -> entry list -> t
 
 val entry : t -> string -> entry option

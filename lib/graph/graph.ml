@@ -132,12 +132,15 @@ let reaches from candidate =
 
 let replace g ~old_root ~new_root =
   if old_root.id <> new_root.id then (
-    (* Cycle guard: if some user of old_root is reachable from new_root,
-       rewiring would close a loop. *)
+    (* Cycle guard: if some live user of old_root is reachable from
+       new_root, rewiring would close a loop. Only live users are rewired:
+       dead nodes keep their stale inputs until the next gc, and rewiring
+       (or cycle-checking against) them would resurrect edges no live
+       computation observes. *)
     let user_list =
       List.filter
         (fun m -> List.exists (fun i -> i.id = old_root.id) m.inputs)
-        (nodes g)
+        (live_nodes g)
     in
     List.iter
       (fun u ->
@@ -150,7 +153,13 @@ let replace g ~old_root ~new_root =
           List.map (fun i -> if i.id = old_root.id then new_root else i) u.inputs)
       user_list;
     g.outs <-
-      List.map (fun o -> if o.id = old_root.id then new_root else o) g.outs)
+      List.map (fun o -> if o.id = old_root.id then new_root else o) g.outs;
+    Pypm_obs.Obs.emit ~node:old_root.id
+      (Pypm_obs.Obs.Replace { old_root = old_root.id; new_root = new_root.id }))
+
+(* Raw input surgery, bypassing every invariant. Exists so tests (and
+   debugging sessions) can manufacture broken graphs for [validate]. *)
+let unsafe_set_inputs (n : node) inputs = n.inputs <- inputs
 
 let gc g =
   let live = live_nodes g in
@@ -161,7 +170,9 @@ let gc g =
     (fun id _ -> if not (Hashtbl.mem keep id) then Hashtbl.remove g.table id)
     (Hashtbl.copy g.table);
   g.order <- List.filter (fun id -> Hashtbl.mem keep id) g.order;
-  before - Hashtbl.length g.table
+  let collected = before - Hashtbl.length g.table in
+  if collected > 0 then Pypm_obs.Obs.emit (Pypm_obs.Obs.Gc { collected });
+  collected
 
 let count_op g op =
   List.length (List.filter (fun n -> Symbol.equal n.op op) (live_nodes g))
@@ -192,7 +203,10 @@ let validate g =
           if not (Hashtbl.mem g.table i.id) then
             err "node %d: input %d not in node table" n.id i.id)
         n.inputs;
-      if reaches n n && List.exists (fun i -> reaches i n) n.inputs then
+      (* [reaches n n] is vacuously true (a node trivially reaches itself),
+         so the real cycle test is whether [n] is reachable from one of its
+         own inputs. *)
+      if List.exists (fun i -> reaches i n) n.inputs then
         err "node %d: participates in a cycle" n.id)
     live;
   List.rev !errs

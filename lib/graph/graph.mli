@@ -111,5 +111,10 @@ val count_class : t -> string -> int
 (** Structural integrity check; returns human-readable violations. *)
 val validate : t -> string list
 
+(** [unsafe_set_inputs n inputs] rewires [n]'s inputs with {e no} arity,
+    declaration, or acyclicity checks — it can corrupt the graph. Intended
+    for tests that manufacture invalid graphs to exercise {!validate}. *)
+val unsafe_set_inputs : node -> node list -> unit
+
 val pp_node : Format.formatter -> node -> unit
 val pp : Format.formatter -> t -> unit

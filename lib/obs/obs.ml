@@ -1,0 +1,404 @@
+type outcome = Matched | No_match | Stuck | Out_of_fuel
+type prune = Head_index | Plan_trie
+
+type kind =
+  | Match_attempt of { pattern : string; outcome : outcome; visits : int }
+  | Pruned of { pattern : string; via : prune }
+  | Fuel_exhausted of { pattern : string; fuel : int }
+  | Matcher_fuel of { visits : int }
+  | Guard_reject of { pattern : string; rule : string }
+  | Type_reject of { pattern : string; rule : string }
+  | Rule_fired of { pattern : string; rule : string; replacement : int }
+  | Plan_walk of { steps : int; hits : int }
+  | Plan_match of { pattern : string }
+  | Replace of { old_root : int; new_root : int }
+  | Gc of { collected : int }
+  | Iteration of { n : int }
+  | Pass_begin of { engine : string; patterns : int }
+  | Pass_end of { rewrites : int; iterations : int }
+
+type event = { ts : float; dur : float; node : int; kind : kind }
+
+(* ------------------------------------------------------------------ *)
+(* Clock                                                               *)
+(* ------------------------------------------------------------------ *)
+
+let clock = ref Unix.gettimeofday
+let set_clock f = clock := f
+let now () = !clock ()
+
+(* ------------------------------------------------------------------ *)
+(* Ring buffer: always on, fixed cost per event                        *)
+(* ------------------------------------------------------------------ *)
+
+let ring_cap = ref 4096
+let ring : event option array ref = ref (Array.make !ring_cap None)
+let ring_next = ref 0 (* next write position *)
+let ring_len = ref 0
+
+let ring_push e =
+  !ring.(!ring_next) <- Some e;
+  ring_next := (!ring_next + 1) mod !ring_cap;
+  if !ring_len < !ring_cap then incr ring_len
+
+let ring_reset () =
+  Array.fill !ring 0 !ring_cap None;
+  ring_next := 0;
+  ring_len := 0
+
+let set_ring_capacity n =
+  if n <= 0 then invalid_arg "Obs.set_ring_capacity: capacity must be > 0";
+  ring_cap := n;
+  ring := Array.make n None;
+  ring_next := 0;
+  ring_len := 0
+
+let recent ?limit () =
+  let len = match limit with Some l -> min l !ring_len | None -> !ring_len in
+  let first = (!ring_next - len + !ring_cap * 2) mod !ring_cap in
+  List.init len (fun i ->
+      match !ring.((first + i) mod !ring_cap) with
+      | Some e -> e
+      | None -> assert false)
+
+(* ------------------------------------------------------------------ *)
+(* Sinks                                                               *)
+(* ------------------------------------------------------------------ *)
+
+type sink = event -> unit
+
+let next_sink_id = ref 0
+let sinks : (int * sink) list ref = ref []
+
+let add_sink s =
+  let id = !next_sink_id in
+  incr next_sink_id;
+  sinks := (id, s) :: !sinks;
+  fun () -> sinks := List.filter (fun (i, _) -> i <> id) !sinks
+
+let with_sink s f =
+  let detach = add_sink s in
+  Fun.protect ~finally:detach f
+
+let emit ?(node = -1) ?(dur = 0.) kind =
+  let e = { ts = now (); dur; node; kind } in
+  ring_push e;
+  match !sinks with
+  | [] -> ()
+  | ss -> List.iter (fun (_, s) -> s e) ss
+
+(* ------------------------------------------------------------------ *)
+(* Collector                                                           *)
+(* ------------------------------------------------------------------ *)
+
+module Collector = struct
+  type t = { mutable rev : event list; mutable n : int }
+
+  let create () = { rev = []; n = 0 }
+
+  let sink c e =
+    c.rev <- e :: c.rev;
+    c.n <- c.n + 1
+
+  let events c = List.rev c.rev
+  let length c = c.n
+
+  let clear c =
+    c.rev <- [];
+    c.n <- 0
+end
+
+(* ------------------------------------------------------------------ *)
+(* Per-pattern aggregation                                             *)
+(* ------------------------------------------------------------------ *)
+
+module Agg = struct
+  type pat = {
+    mutable attempts : int;
+    mutable pruned_head : int;
+    mutable pruned_plan : int;
+    mutable matches : int;
+    mutable rewrites : int;
+    mutable fuel_exhausted : int;
+    mutable guard_rejects : int;
+    mutable type_rejects : int;
+    mutable match_time : float;
+    hist : int array;
+  }
+
+  let hist_buckets = 24
+
+  type t = {
+    table : (string, pat) Hashtbl.t;
+    mutable order : string list; (* reverse first-seen order *)
+  }
+
+  let create () = { table = Hashtbl.create 16; order = [] }
+
+  let pat t name =
+    match Hashtbl.find_opt t.table name with
+    | Some p -> p
+    | None ->
+        let p =
+          {
+            attempts = 0;
+            pruned_head = 0;
+            pruned_plan = 0;
+            matches = 0;
+            rewrites = 0;
+            fuel_exhausted = 0;
+            guard_rejects = 0;
+            type_rejects = 0;
+            match_time = 0.;
+            hist = Array.make hist_buckets 0;
+          }
+        in
+        Hashtbl.add t.table name p;
+        t.order <- name :: t.order;
+        p
+
+  (* bucket 0: < 1 µs; bucket i: [2^(i-1), 2^i) µs *)
+  let bucket_of_dur dur =
+    let us = dur *. 1e6 in
+    if us < 1. then 0
+    else
+      let rec go i b = if us < b || i = hist_buckets - 1 then i else go (i + 1) (b *. 2.) in
+      go 1 2.
+
+  let sink t e =
+    match e.kind with
+    | Match_attempt { pattern; outcome; visits = _ } ->
+        let p = pat t pattern in
+        p.attempts <- p.attempts + 1;
+        p.match_time <- p.match_time +. e.dur;
+        p.hist.(bucket_of_dur e.dur) <- p.hist.(bucket_of_dur e.dur) + 1;
+        if outcome = Matched then p.matches <- p.matches + 1
+    | Pruned { pattern; via = Head_index } ->
+        let p = pat t pattern in
+        p.pruned_head <- p.pruned_head + 1
+    | Pruned { pattern; via = Plan_trie } ->
+        let p = pat t pattern in
+        p.pruned_plan <- p.pruned_plan + 1
+    | Fuel_exhausted { pattern; _ } ->
+        let p = pat t pattern in
+        p.fuel_exhausted <- p.fuel_exhausted + 1
+    | Guard_reject { pattern; _ } ->
+        let p = pat t pattern in
+        p.guard_rejects <- p.guard_rejects + 1
+    | Type_reject { pattern; _ } ->
+        let p = pat t pattern in
+        p.type_rejects <- p.type_rejects + 1
+    | Rule_fired { pattern; _ } ->
+        let p = pat t pattern in
+        p.rewrites <- p.rewrites + 1
+    | Plan_match { pattern } ->
+        let p = pat t pattern in
+        p.matches <- p.matches + 1
+    | Matcher_fuel _ | Plan_walk _ | Replace _ | Gc _ | Iteration _
+    | Pass_begin _ | Pass_end _ ->
+        ()
+
+  let find t name = Hashtbl.find_opt t.table name
+  let patterns t = List.rev_map (fun n -> (n, pat t n)) t.order
+
+  let pp ppf t =
+    Format.fprintf ppf "@[<v>";
+    List.iter
+      (fun (name, p) ->
+        Format.fprintf ppf
+          "%-24s attempts %-6d matches %-5d rewrites %-4d fuel %-3d guard- \
+           %-3d type- %-3d %.4f s@,"
+          name p.attempts p.matches p.rewrites p.fuel_exhausted p.guard_rejects
+          p.type_rejects p.match_time)
+      (patterns t);
+    Format.fprintf ppf "@]"
+end
+
+(* ------------------------------------------------------------------ *)
+(* Provenance                                                          *)
+(* ------------------------------------------------------------------ *)
+
+module Provenance = struct
+  type step = {
+    seq : int;
+    pattern : string;
+    rule : string;
+    matched_root : int;
+    matched_op : string;
+    replacement_root : int;
+    replacement_op : string;
+    theta_dom : string list;
+    phi_dom : string list;
+  }
+
+  let pp_step ppf s =
+    let dom =
+      match s.theta_dom @ List.map (fun f -> f ^ "/fn") s.phi_dom with
+      | [] -> ""
+      | xs -> Printf.sprintf " binding {%s}" (String.concat ", " xs)
+    in
+    Format.fprintf ppf
+      "step %d: rule %s (pattern %s) rewrote %%%d %s -> %%%d %s%s" s.seq
+      s.rule s.pattern s.matched_root s.matched_op s.replacement_root
+      s.replacement_op dom
+
+  let pp ppf steps =
+    Format.fprintf ppf "@[<v>";
+    List.iter (fun s -> Format.fprintf ppf "%a@," pp_step s) steps;
+    Format.fprintf ppf "@]"
+end
+
+(* ------------------------------------------------------------------ *)
+(* Chrome trace-event JSON                                             *)
+(* ------------------------------------------------------------------ *)
+
+let json_escape s =
+  let buf = Buffer.create (String.length s + 8) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '\n' -> Buffer.add_string buf "\\n"
+      | '\r' -> Buffer.add_string buf "\\r"
+      | '\t' -> Buffer.add_string buf "\\t"
+      | c when Char.code c < 0x20 ->
+          Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.contents buf
+
+let outcome_to_string = function
+  | Matched -> "matched"
+  | No_match -> "no-match"
+  | Stuck -> "stuck"
+  | Out_of_fuel -> "out-of-fuel"
+
+let prune_to_string = function
+  | Head_index -> "head-index"
+  | Plan_trie -> "plan-trie"
+
+(* name, category, args *)
+let describe = function
+  | Match_attempt { pattern; outcome; visits } ->
+      ( "match " ^ pattern,
+        "matcher",
+        [
+          ("pattern", `S pattern);
+          ("outcome", `S (outcome_to_string outcome));
+          ("visits", `I visits);
+        ] )
+  | Pruned { pattern; via } ->
+      ( "prune " ^ pattern,
+        "pass",
+        [ ("pattern", `S pattern); ("via", `S (prune_to_string via)) ] )
+  | Fuel_exhausted { pattern; fuel } ->
+      ( "fuel-exhausted " ^ pattern,
+        "pass",
+        [ ("pattern", `S pattern); ("fuel", `I fuel) ] )
+  | Matcher_fuel { visits } ->
+      ("matcher out-of-fuel", "matcher", [ ("visits", `I visits) ])
+  | Guard_reject { pattern; rule } ->
+      ( "guard-reject " ^ rule,
+        "pass",
+        [ ("pattern", `S pattern); ("rule", `S rule) ] )
+  | Type_reject { pattern; rule } ->
+      ( "type-reject " ^ rule,
+        "pass",
+        [ ("pattern", `S pattern); ("rule", `S rule) ] )
+  | Rule_fired { pattern; rule; replacement } ->
+      ( "fire " ^ rule,
+        "pass",
+        [
+          ("pattern", `S pattern);
+          ("rule", `S rule);
+          ("replacement", `I replacement);
+        ] )
+  | Plan_walk { steps; hits } ->
+      ("plan-walk", "plan", [ ("steps", `I steps); ("hits", `I hits) ])
+  | Plan_match { pattern } ->
+      ("plan-match " ^ pattern, "plan", [ ("pattern", `S pattern) ])
+  | Replace { old_root; new_root } ->
+      ( "replace",
+        "graph",
+        [ ("old_root", `I old_root); ("new_root", `I new_root) ] )
+  | Gc { collected } -> ("gc", "graph", [ ("collected", `I collected) ])
+  | Iteration { n } -> ("iteration", "pass", [ ("n", `I n) ])
+  | Pass_begin { engine; patterns } ->
+      ( "pass",
+        "pass",
+        [ ("engine", `S engine); ("patterns", `I patterns) ] )
+  | Pass_end { rewrites; iterations } ->
+      ( "pass-end",
+        "pass",
+        [ ("rewrites", `I rewrites); ("iterations", `I iterations) ] )
+
+module Chrome = struct
+  let args_json args node =
+    let fields =
+      (if node >= 0 then [ ("node", `I node) ] else []) @ args
+    in
+    "{"
+    ^ String.concat ","
+        (List.map
+           (fun (k, v) ->
+             Printf.sprintf "\"%s\":%s" (json_escape k)
+               (match v with
+               | `S s -> "\"" ^ json_escape s ^ "\""
+               | `I i -> string_of_int i))
+           fields)
+    ^ "}"
+
+  let to_string events =
+    let epoch =
+      List.fold_left (fun a e -> Float.min a e.ts) infinity events
+    in
+    let epoch = if epoch = infinity then 0. else epoch in
+    let buf = Buffer.create 65536 in
+    Buffer.add_string buf "{\"traceEvents\":[";
+    List.iteri
+      (fun i e ->
+        if i > 0 then Buffer.add_char buf ',';
+        let name, cat, args = describe e.kind in
+        let ts_us = (e.ts -. epoch) *. 1e6 in
+        if e.dur > 0. then
+          Buffer.add_string buf
+            (Printf.sprintf
+               "{\"name\":\"%s\",\"cat\":\"%s\",\"ph\":\"X\",\"ts\":%.3f,\"dur\":%.3f,\"pid\":1,\"tid\":1,\"args\":%s}"
+               (json_escape name) (json_escape cat) ts_us (e.dur *. 1e6)
+               (args_json args e.node))
+        else
+          Buffer.add_string buf
+            (Printf.sprintf
+               "{\"name\":\"%s\",\"cat\":\"%s\",\"ph\":\"i\",\"s\":\"t\",\"ts\":%.3f,\"pid\":1,\"tid\":1,\"args\":%s}"
+               (json_escape name) (json_escape cat) ts_us
+               (args_json args e.node)))
+      events;
+    Buffer.add_string buf "],\"displayTimeUnit\":\"ms\"}";
+    Buffer.contents buf
+
+  let write path events =
+    let oc = open_out_bin path in
+    Fun.protect
+      ~finally:(fun () -> close_out_noerr oc)
+      (fun () -> output_string oc (to_string events))
+end
+
+(* ------------------------------------------------------------------ *)
+(* Pretty-printing                                                     *)
+(* ------------------------------------------------------------------ *)
+
+let pp_kind ppf k =
+  let name, cat, args = describe k in
+  Format.fprintf ppf "[%s] %s" cat name;
+  List.iter
+    (fun (k, v) ->
+      match v with
+      | `S s -> Format.fprintf ppf " %s=%s" k s
+      | `I i -> Format.fprintf ppf " %s=%d" k i)
+    args
+
+let pp_event ppf e =
+  Format.fprintf ppf "%.6f %a" e.ts pp_kind e.kind;
+  if e.node >= 0 then Format.fprintf ppf " node=%%%d" e.node;
+  if e.dur > 0. then Format.fprintf ppf " dur=%.1fus" (e.dur *. 1e6)

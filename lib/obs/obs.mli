@@ -1,0 +1,182 @@
+(** Structured observability for the whole engine.
+
+    Every layer of the matcher stack — the backtracking matcher, the shared
+    plan, the rewrite pass, the graph — emits {e typed events} through this
+    module: match attempts with their outcome and duration, prunes, fuel
+    exhaustion, guard and type rejections, rule firings, replacements, GC.
+    This is the substrate the evaluation (figures 12/13) and every future
+    performance PR measures against, in the spirit of TVM's pass
+    instruments and MLIR's [-mlir-timing]/action tracing.
+
+    Three sinks consume events:
+
+    - a {e ring buffer}, always on and cheap — the last few thousand events
+      are always available for post-mortem inspection ({!recent});
+    - attachable sinks ({!add_sink}/{!with_sink}), used by the {!Collector}
+      (full event capture for {!Chrome} trace export) and the {!Agg}
+      per-pattern counter/histogram aggregator that the pass's statistics
+      are computed from;
+    - the {!Chrome} writer, which renders captured events as Chrome
+      trace-event JSON loadable in [chrome://tracing] or
+      {{:https://ui.perfetto.dev}Perfetto}.
+
+    The module is dependency-free (stdlib + unix for the clock) so every
+    library in the tree can emit without layering concerns. *)
+
+(** Outcome of one matcher invocation, mirrored from
+    [Pypm_semantics.Outcome] to keep this library at the bottom of the
+    dependency order. *)
+type outcome = Matched | No_match | Stuck | Out_of_fuel
+
+(** What rejected a pattern at a node without running the matcher. *)
+type prune = Head_index | Plan_trie
+
+type kind =
+  | Match_attempt of { pattern : string; outcome : outcome; visits : int }
+      (** the backtracking matcher ran; [visits] = pattern nodes spent *)
+  | Pruned of { pattern : string; via : prune }
+  | Fuel_exhausted of { pattern : string; fuel : int }
+      (** a match attempt hit its fuel bound — {b not} a clean no-match *)
+  | Matcher_fuel of { visits : int }
+      (** emitted by the matcher itself at the exhaustion site *)
+  | Guard_reject of { pattern : string; rule : string }
+  | Type_reject of { pattern : string; rule : string }
+  | Rule_fired of { pattern : string; rule : string; replacement : int }
+  | Plan_walk of { steps : int; hits : int }
+      (** one shared-trie walk over one node *)
+  | Plan_match of { pattern : string }
+      (** the shared trie reported a witness for a compiled pattern — the
+          backtracking matcher never ran *)
+  | Replace of { old_root : int; new_root : int }
+  | Gc of { collected : int }
+  | Iteration of { n : int }
+  | Pass_begin of { engine : string; patterns : int }
+  | Pass_end of { rewrites : int; iterations : int }
+
+type event = {
+  ts : float;  (** absolute seconds (Unix epoch) at emission *)
+  dur : float;  (** seconds covered by the event; 0 for instants *)
+  node : int;  (** graph node id, or -1 when not node-scoped *)
+  kind : kind;
+}
+
+(** {1 Emission} *)
+
+val emit : ?node:int -> ?dur:float -> kind -> unit
+
+(** The clock events are stamped with; defaults to [Unix.gettimeofday].
+    Replaceable for deterministic tests. *)
+val set_clock : (unit -> float) -> unit
+
+val now : unit -> float
+
+(** {1 The ring buffer (always on)} *)
+
+(** Most recent events, oldest first. [limit] caps the result length. *)
+val recent : ?limit:int -> unit -> event list
+
+val ring_reset : unit -> unit
+
+(** Resize the ring (default 4096 events); drops current contents. *)
+val set_ring_capacity : int -> unit
+
+(** {1 Attachable sinks} *)
+
+type sink = event -> unit
+
+(** [add_sink s] attaches [s]; returns the detach function. *)
+val add_sink : sink -> unit -> unit
+
+(** [with_sink s f] runs [f] with [s] attached, detaching on exit even on
+    exceptions. *)
+val with_sink : sink -> (unit -> 'a) -> 'a
+
+(** {1 Event capture} *)
+
+module Collector : sig
+  type t
+
+  val create : unit -> t
+  val sink : t -> sink
+
+  (** Captured events in emission order. *)
+  val events : t -> event list
+
+  val length : t -> int
+  val clear : t -> unit
+end
+
+(** {1 Per-pattern aggregation}
+
+    The event-driven replacement for ad-hoc mutable counters: attach
+    [Agg.sink] for the duration of a pass and read totals and a log2
+    duration histogram per pattern afterwards. *)
+
+module Agg : sig
+  type pat = {
+    mutable attempts : int;
+    mutable pruned_head : int;
+    mutable pruned_plan : int;
+    mutable matches : int;
+    mutable rewrites : int;
+    mutable fuel_exhausted : int;
+    mutable guard_rejects : int;
+    mutable type_rejects : int;
+    mutable match_time : float;  (** seconds inside the matcher *)
+    hist : int array;
+        (** histogram of match-attempt durations; bucket [i] counts
+            attempts in [[2^(i-1), 2^i)] microseconds, bucket 0 is < 1 µs *)
+  }
+
+  type t
+
+  val create : unit -> t
+  val sink : t -> sink
+  val find : t -> string -> pat option
+
+  (** All patterns seen, in first-event order. *)
+  val patterns : t -> (string * pat) list
+
+  val pp : Format.formatter -> t -> unit
+end
+
+(** {1 Rewrite provenance}
+
+    The ordered record of what the pass did to the graph: one step per
+    fired rule, replayable as a human-readable narrative ([pypmc trace]). *)
+
+module Provenance : sig
+  type step = {
+    seq : int;  (** 0-based firing order *)
+    pattern : string;
+    rule : string;
+    matched_root : int;  (** graph node id the pattern matched at *)
+    matched_op : string;
+    replacement_root : int;  (** node id of the replacement *)
+    replacement_op : string;
+    theta_dom : string list;  (** variables bound by the witness *)
+    phi_dom : string list;  (** function variables bound *)
+  }
+
+  val pp_step : Format.formatter -> step -> unit
+
+  (** The full narrative, one line per step. *)
+  val pp : Format.formatter -> step list -> unit
+end
+
+(** {1 Chrome trace-event export} *)
+
+module Chrome : sig
+  (** [to_string events] renders a Chrome trace-event JSON object
+      ([{"traceEvents": [...], ...}]); events with a duration become
+      complete ("ph":"X") slices, instants become "ph":"i". Timestamps are
+      microseconds relative to the earliest event. *)
+  val to_string : event list -> string
+
+  val write : string -> event list -> unit
+end
+
+(** {1 Pretty-printing} *)
+
+val pp_kind : Format.formatter -> kind -> unit
+val pp_event : Format.formatter -> event -> unit

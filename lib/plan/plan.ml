@@ -139,6 +139,7 @@ let eval interp subject theta phi (ins : Skeleton.instr) =
   | Check_fbound f -> if Fsubst.mem f phi then Some (theta, phi) else None
 
 let match_node t ~interp subject =
+  let t0 = Pypm_obs.Obs.now () in
   steps_last := 0;
   let best_idx = Array.make (max t.n_slots 1) max_int in
   let best_wit = Array.make (max t.n_slots 1) None in
@@ -166,6 +167,10 @@ let match_node t ~interp subject =
     | Some w -> res := (t.slot_names.(slot), w) :: !res
     | None -> ()
   done;
+  Pypm_obs.Obs.emit
+    ~dur:(Pypm_obs.Obs.now () -. t0)
+    (Pypm_obs.Obs.Plan_walk
+       { steps = !steps_last; hits = List.length !res });
   !res
 
 (* ------------------------------------------------------------------ *)

@@ -92,7 +92,9 @@ let matches_at ~interp ?(policy = Outcome.Policy.Backtrack)
   match search ~interp ~policy ~fuel ~theta ~phi p t with
   | Some (theta, phi) -> Matched (theta, phi)
   | None -> No_match
-  | exception Out_of_fuel_exc -> Out_of_fuel
+  | exception Out_of_fuel_exc ->
+      Pypm_obs.Obs.emit (Pypm_obs.Obs.Matcher_fuel { visits = !visits });
+      Out_of_fuel
   | exception Stuck_exc -> Stuck
 
 let matches ~interp ?(policy = Outcome.Policy.Backtrack) ?(fuel = 1_000_000) p
