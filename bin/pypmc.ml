@@ -519,6 +519,51 @@ let partition_cmd =
     Term.(const run $ model $ fuse)
 
 (* ------------------------------------------------------------------ *)
+(* fuzz                                                                *)
+(* ------------------------------------------------------------------ *)
+
+let fuzz_cmd =
+  let run seed budget props list =
+    if list then
+      List.iter print_endline Fuzz.all_prop_names
+    else
+      let report =
+        try Fuzz.run ~props ~seed ~budget ()
+        with Invalid_argument msg ->
+          prerr_endline msg;
+          exit 2
+      in
+      Format.printf "%a" Fuzz.pp_report report;
+      if not (Fuzz.ok report) then exit 1
+  in
+  let seed =
+    Arg.(value & opt int 0 & info [ "seed" ] ~docv:"N"
+           ~doc:"Master seed. A failure report prints the exact seed that \
+                 replays the failing case.")
+  in
+  let budget =
+    Arg.(value & opt int 10_000 & info [ "budget" ] ~docv:"M"
+           ~doc:"Case budget, spread across the selected properties \
+                 (expensive properties receive proportionally fewer cases).")
+  in
+  let props =
+    Arg.(value & opt_all string [] & info [ "prop" ] ~docv:"NAME"
+           ~doc:"Run only this property (repeatable). Default: all.")
+  in
+  let list =
+    Arg.(value & flag & info [ "list" ] ~doc:"List property names and exit.")
+  in
+  Cmd.v
+    (Cmd.info "fuzz"
+       ~doc:
+         "Differential fuzzing: cross-check the abstract machine, the \
+          backtracking matcher, the enumeration oracle, the shared matching \
+          plan and all three pass engines on random inputs; round-trip the \
+          codec and the surface syntax; stress the frontend with hostile \
+          sources")
+    Term.(const run $ seed $ budget $ props $ list)
+
+(* ------------------------------------------------------------------ *)
 
 let () =
   let default = Term.(ret (const (`Help (`Pager, None)))) in
@@ -527,4 +572,4 @@ let () =
        (Cmd.group ~default
           (Cmd.info "pypmc" ~version:"1.0.0"
              ~doc:"PyPM pattern compiler and graph optimizer")
-          [ parse_cmd; compile_cmd; match_cmd; zoo_cmd; optimize_cmd; trace_cmd; simplify_cmd; query_cmd; partition_cmd ]))
+          [ parse_cmd; compile_cmd; match_cmd; zoo_cmd; optimize_cmd; trace_cmd; simplify_cmd; query_cmd; partition_cmd; fuzz_cmd ]))

@@ -27,7 +27,9 @@
     - {!Lexer}, {!Parser}, {!Surface}: the textual surface language;
     - {!Codec}: the portable serialized pattern-binary format;
     - {!Rng}, {!Transformer}, {!Vision}, {!Zoo}: the synthetic benchmark
-      model suites. *)
+      model suites;
+    - {!Srng}, {!Fuzz}: the splittable PRNG and the differential fuzzing
+      driver cross-checking every engine against the declarative oracle. *)
 
 module Symbol = Pypm_term.Symbol
 module Signature = Pypm_term.Signature
@@ -80,3 +82,5 @@ module Transformer = Pypm_models.Transformer
 module Vision = Pypm_models.Vision
 module Multimodal = Pypm_models.Multimodal
 module Zoo = Pypm_models.Zoo
+module Srng = Pypm_fuzz.Srng
+module Fuzz = Pypm_fuzz.Fuzz

@@ -71,6 +71,22 @@ let rec pexp_vars = function
   | Ealt (a, b) -> pexp_vars a @ pexp_vars b
   | Elit _ -> []
 
+(* Surface string-literal syntax: double quotes with exactly the escapes
+   the lexer decodes (backslash-quote, backslash-backslash, backslash-n),
+   so printed programs re-lex to the same string. Kept in sync with
+   Pypm_surface.Lexer.quote_string. *)
+let pp_string_lit ppf s =
+  Format.pp_print_char ppf '"';
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Format.pp_print_string ppf "\\\""
+      | '\\' -> Format.pp_print_string ppf "\\\\"
+      | '\n' -> Format.pp_print_string ppf "\\n"
+      | c -> Format.pp_print_char ppf c)
+    s;
+  Format.pp_print_char ppf '"'
+
 let rec pp_pexp ppf = function
   | Evar x -> Format.pp_print_string ppf x
   | Eapp (f, []) -> Format.fprintf ppf "%s()" f
@@ -88,7 +104,7 @@ let rec pp_gexp ppf = function
   | Gattr (x, path) ->
       Format.fprintf ppf "%s.%s" x (String.concat "." path)
   | Gdtype d -> Format.pp_print_string ppf d
-  | Gopclass c -> Format.fprintf ppf "opclass(%S)" c
+  | Gopclass c -> Format.fprintf ppf "opclass(%a)" pp_string_lit c
   | Gadd (a, b) -> Format.fprintf ppf "(%a + %a)" pp_gexp a pp_gexp b
   | Gsub (a, b) -> Format.fprintf ppf "(%a - %a)" pp_gexp a pp_gexp b
   | Gmul (a, b) -> Format.fprintf ppf "(%a * %a)" pp_gexp a pp_gexp b
@@ -119,8 +135,11 @@ let pp_pattern_def ppf pd =
   Format.fprintf ppf "@,return %a;@]@,}" pp_pexp pd.pd_return
 
 let pp_rule_def ppf rd =
-  Format.fprintf ppf "@[<v 2>rule %s for %s(%s) {" rd.rd_name rd.rd_for
-    (String.concat ", " rd.rd_params);
+  Format.fprintf ppf "@[<v 2>rule %s for %s(%s)%s {" rd.rd_name rd.rd_for
+    (String.concat ", " rd.rd_params)
+    (match rd.rd_copy_attrs_from with
+    | None -> ""
+    | Some src -> " copying " ^ src);
   List.iter
     (fun g -> Format.fprintf ppf "@,assert %a;" pp_gform g)
     rd.rd_asserts;
@@ -142,10 +161,10 @@ let pp_program ppf p =
         String.concat ", "
           (List.init od.od_arity (fun i -> Printf.sprintf "a%d" i))
       in
-      Format.fprintf ppf "op %s(%s)%s class %S;@," od.od_name params
+      Format.fprintf ppf "op %s(%s)%s class %a;@," od.od_name params
         (if od.od_output_arity = 1 then ""
          else Printf.sprintf " -> %d" od.od_output_arity)
-        od.od_class)
+        pp_string_lit od.od_class)
     p.ops;
   List.iter (fun pd -> Format.fprintf ppf "%a@," pp_pattern_def pd) p.patterns;
   List.iter (fun rd -> Format.fprintf ppf "%a@," pp_rule_def rd) p.rules;

@@ -97,6 +97,12 @@ val empty_program : program
 (** Free names referenced by an expression (application heads excluded). *)
 val pexp_vars : pexp -> string list
 
+(** Prints [s] as a surface string literal: quoted, with exactly the
+    escapes the surface lexer decodes (backslash-quote,
+    backslash-backslash, backslash-n), so printed programs re-lex to the
+    same string. *)
+val pp_string_lit : Format.formatter -> string -> unit
+
 val pp_pexp : Format.formatter -> pexp -> unit
 val pp_gform : Format.formatter -> gform -> unit
 val pp_stmt : Format.formatter -> stmt -> unit

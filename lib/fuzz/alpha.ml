@@ -1,0 +1,103 @@
+open Pypm_pattern
+module P = Pattern
+module G = Guard
+
+(* Three renaming environments, one per binding namespace: term variables
+   (Exists, Mu formals), function variables (Exists_f) and recursive
+   pattern names (Mu). Each maps a left-side bound name to its right-side
+   counterpart. A name absent from its map is free and must match
+   literally — but only if it is not shadowed: a left-free name may not
+   equal a right-bound one (and vice versa), or renaming would conflate a
+   parameter with a local. *)
+type env = {
+  vars : (string * string) list;
+  fvars : (string * string) list;
+  pnames : (string * string) list;
+}
+
+let empty = { vars = []; fvars = []; pnames = [] }
+
+let eq_name m x y =
+  match List.assoc_opt x m with
+  | Some y' -> String.equal y y'
+  | None -> (not (List.exists (fun (_, r) -> String.equal r y) m)) && String.equal x y
+
+let eq_var env = eq_name env.vars
+let eq_fvar env = eq_name env.fvars
+let eq_pname env = eq_name env.pnames
+
+let bind m x y = (x, y) :: m
+
+(* Guards mention term variables ([Var_attr]) and function variables
+   ([Fvar_attr]); both kinds may be binder-bound, so they go through the
+   environment. Closed expression forms compare structurally. *)
+let rec eq_expr env (a : G.expr) (b : G.expr) =
+  match (a, b) with
+  | G.Const m, G.Const n -> m = n
+  | G.Var_attr (x, ax), G.Var_attr (y, ay) ->
+      eq_var env x y && String.equal ax ay
+  | G.Fvar_attr (f, ax), G.Fvar_attr (g, ay) ->
+      eq_fvar env f g && String.equal ax ay
+  | G.Term_attr (t, ax), G.Term_attr (u, ay) ->
+      Pypm_term.Term.equal t u && String.equal ax ay
+  | G.Sym_attr (s, ax), G.Sym_attr (r, ay) ->
+      String.equal s r && String.equal ax ay
+  | G.Add (a1, a2), G.Add (b1, b2)
+  | G.Sub (a1, a2), G.Sub (b1, b2)
+  | G.Mul (a1, a2), G.Mul (b1, b2)
+  | G.Mod (a1, a2), G.Mod (b1, b2) ->
+      eq_expr env a1 b1 && eq_expr env a2 b2
+  | _ -> false
+
+let rec eq_guard env (a : G.t) (b : G.t) =
+  match (a, b) with
+  | G.True, G.True | G.False, G.False -> true
+  | G.Eq (a1, a2), G.Eq (b1, b2)
+  | G.Ne (a1, a2), G.Ne (b1, b2)
+  | G.Lt (a1, a2), G.Lt (b1, b2)
+  | G.Le (a1, a2), G.Le (b1, b2) ->
+      eq_expr env a1 b1 && eq_expr env a2 b2
+  | G.And (a1, a2), G.And (b1, b2) | G.Or (a1, a2), G.Or (b1, b2) ->
+      eq_guard env a1 b1 && eq_guard env a2 b2
+  | G.Not a1, G.Not b1 -> eq_guard env a1 b1
+  | _ -> false
+
+let rec eq env (p : P.t) (q : P.t) =
+  match (p, q) with
+  | P.Var x, P.Var y -> eq_var env x y
+  | P.App (f, ps), P.App (g, qs) ->
+      String.equal f g
+      && List.length ps = List.length qs
+      && List.for_all2 (eq env) ps qs
+  | P.Fapp (f, ps), P.Fapp (g, qs) ->
+      eq_fvar env f g
+      && List.length ps = List.length qs
+      && List.for_all2 (eq env) ps qs
+  | P.Alt (a1, a2), P.Alt (b1, b2) -> eq env a1 b1 && eq env a2 b2
+  | P.Guarded (a, ga), P.Guarded (b, gb) -> eq env a b && eq_guard env ga gb
+  | P.Exists (x, a), P.Exists (y, b) ->
+      eq { env with vars = bind env.vars x y } a b
+  | P.Exists_f (f, a), P.Exists_f (g, b) ->
+      eq { env with fvars = bind env.fvars f g } a b
+  | P.Constr (a1, a2, x), P.Constr (b1, b2, y) ->
+      eq_var env x y && eq env a1 b1 && eq env a2 b2
+  | P.Mu (m1, ys1), P.Mu (m2, ys2) ->
+      List.length m1.P.formals = List.length m2.P.formals
+      && List.length ys1 = List.length ys2
+      && List.for_all2 (eq_var env) ys1 ys2
+      &&
+      let env =
+        {
+          env with
+          pnames = bind env.pnames m1.P.pname m2.P.pname;
+          vars = List.fold_left2 bind env.vars m1.P.formals m2.P.formals;
+        }
+      in
+      eq env m1.P.body m2.P.body
+  | P.Call (pn1, ys1), P.Call (pn2, ys2) ->
+      eq_pname env pn1 pn2
+      && List.length ys1 = List.length ys2
+      && List.for_all2 (eq_var env) ys1 ys2
+  | _ -> false
+
+let equal p q = eq empty p q

@@ -1,0 +1,16 @@
+(** Alpha-equivalence of CorePyPM patterns.
+
+    Elaboration mints globally fresh names for [var()] locals, inlined-call
+    binders and call-argument variables, so elaborating the same frontend
+    definition twice yields patterns that differ only in bound names. The
+    surface round-trip property (print, re-parse, re-elaborate, compare)
+    therefore needs equality up to consistent renaming of [Exists]- /
+    [Exists_f]- / [Mu]-bound variables; free variables (the pattern's
+    parameters) must still match exactly. *)
+
+open Pypm_pattern
+
+(** [equal p q] holds when [p] and [q] are equal modulo bound-variable
+    names. Guards are compared with bound occurrences mapped through the
+    binder correspondence. *)
+val equal : Pattern.t -> Pattern.t -> bool

@@ -1,0 +1,196 @@
+open Pypm_term
+open Pypm_pattern
+open Pypm_engine
+module P = Pattern
+module Ast = Pypm_dsl.Ast
+
+(* Replace each list element in turn, keeping the others. *)
+let each xs shrink_one =
+  List.concat
+    (List.mapi
+       (fun i x ->
+         List.map
+           (fun x' -> List.mapi (fun j y -> if i = j then x' else y) xs)
+           (shrink_one x))
+       xs)
+
+let term (t : Term.t) : Term.t list =
+  let args = Term.args t in
+  let leaf = Term.const "a" in
+  if args = [] then if Term.head t = "a" then [] else [ leaf ]
+  else args @ [ leaf ] @ List.map (fun args' -> Term.app (Term.head t) args') (each args (fun _ -> [ Term.const "a" ]))
+  [@@ocamlformat "disable"]
+
+let rec pattern (p : P.t) : P.t list =
+  let sub = P.var "x" in
+  match p with
+  | P.Var _ -> []
+  | P.App (_, []) -> [ sub ]
+  | P.App (f, ps) ->
+      (sub :: ps) @ List.map (fun ps' -> P.App (f, ps')) (each ps pattern)
+  | P.Fapp (f, ps) ->
+      (sub :: ps) @ List.map (fun ps' -> P.Fapp (f, ps')) (each ps pattern)
+  | P.Alt (a, b) ->
+      [ a; b ]
+      @ List.map (fun a' -> P.Alt (a', b)) (pattern a)
+      @ List.map (fun b' -> P.Alt (a, b')) (pattern b)
+  | P.Guarded (a, g) ->
+      [ a; P.Guarded (a, Guard.True) ]
+      @ List.map (fun a' -> P.Guarded (a', g)) (pattern a)
+  | P.Exists (x, a) ->
+      (* Dropping the binder is only safe when it leaves [x] unbound but
+         still well-formed — which it does: a free variable is a legal
+         pattern. *)
+      [ a ] @ List.map (fun a' -> P.Exists (x, a')) (pattern a)
+  | P.Exists_f (f, a) ->
+      [ a ] @ List.map (fun a' -> P.Exists_f (f, a')) (pattern a)
+  | P.Constr (a, b, x) ->
+      [ a; b ]
+      @ List.map (fun a' -> P.Constr (a', b, x)) (pattern a)
+      @ List.map (fun b' -> P.Constr (a, b', x)) (pattern b)
+  | P.Mu (m, ys) ->
+      [ sub; m.P.body ]
+      @ List.map
+          (fun body' -> P.Mu ({ m with P.body = body' }, ys))
+          (pattern m.P.body)
+  | P.Call _ -> [ sub ]
+
+let pair ((p, t) : P.t * Term.t) =
+  List.map (fun p' -> (p', t)) (pattern p)
+  @ List.map (fun t' -> (p, t')) (term t)
+
+let string_ s =
+  let n = String.length s in
+  if n = 0 then []
+  else
+    let halves = if n > 1 then [ String.sub s 0 (n / 2); String.sub s (n / 2) (n - n / 2) ] else [] in
+    let drops =
+      List.init (min n 8) (fun k ->
+          let i = k * n / min n 8 in
+          String.sub s 0 i ^ String.sub s (i + 1) (n - i - 1))
+    in
+    let simplified =
+      if String.exists (fun c -> c <> 'a') s then [ String.make n 'a' ] else []
+    in
+    halves @ drops @ simplified
+
+let drop_nth xs i = List.filteri (fun j _ -> j <> i) xs
+
+let core_program (prog : Program.t) : Program.t list =
+  let entries = prog.Program.entries in
+  let remake es = try [ Program.make ~sg:prog.Program.sg es ] with _ -> [] in
+  let dropped =
+    if List.length entries > 1 then
+      List.concat (List.mapi (fun i _ -> remake (drop_nth entries i)) entries)
+    else []
+  in
+  let per_entry =
+    List.concat
+      (List.mapi
+         (fun i (e : Program.entry) ->
+           let without_rules =
+             if e.Program.rules = [] then []
+             else remake (List.mapi (fun j e' -> if i = j then { e with Program.rules = [] } else e') entries)
+           in
+           let rule_dropped =
+             List.concat
+               (List.mapi
+                  (fun k _ ->
+                    remake
+                      (List.mapi
+                         (fun j e' ->
+                           if i = j then { e with Program.rules = drop_nth e.Program.rules k }
+                           else e')
+                         entries))
+                  e.Program.rules)
+           in
+           let pat_shrunk =
+             List.concat
+               (List.map
+                  (fun p' ->
+                    remake
+                      (List.mapi
+                         (fun j e' -> if i = j then { e with Program.pattern = p' } else e')
+                         entries))
+                  (pattern e.Program.pattern))
+           in
+           without_rules @ rule_dropped @ pat_shrunk)
+         entries)
+  in
+  dropped @ per_entry
+  [@@ocamlformat "disable"]
+
+let ast_program (p : Ast.program) : Ast.program list =
+  let drop_rules =
+    List.mapi (fun i _ -> { p with Ast.rules = drop_nth p.Ast.rules i }) p.Ast.rules
+  in
+  (* Dropping a pattern group can orphan rules and calls; drop only the
+     last group and any rule that targeted it. *)
+  let drop_last_pattern =
+    match List.rev p.Ast.patterns with
+    | [] -> []
+    | (last : Ast.pattern_def) :: _ ->
+        let name = last.Ast.pd_name in
+        [
+          {
+            p with
+            Ast.patterns =
+              List.filter (fun (d : Ast.pattern_def) -> d.Ast.pd_name <> name) p.Ast.patterns;
+            rules = List.filter (fun (r : Ast.rule_def) -> r.Ast.rd_for <> name) p.Ast.rules;
+          };
+        ]
+  in
+  let simplify_stmts =
+    List.concat
+      (List.mapi
+         (fun i (d : Ast.pattern_def) ->
+           List.mapi
+             (fun k _ ->
+               {
+                 p with
+                 Ast.patterns =
+                   List.mapi
+                     (fun j d' ->
+                       if i = j then { d with Ast.pd_stmts = drop_nth d.Ast.pd_stmts k }
+                       else d')
+                     p.Ast.patterns;
+               })
+             d.Ast.pd_stmts)
+         p.Ast.patterns)
+  in
+  let drop_branches =
+    List.concat
+      (List.mapi
+         (fun i (r : Ast.rule_def) ->
+           if List.length r.Ast.rd_branches > 1 then
+             List.mapi
+               (fun k _ ->
+                 {
+                   p with
+                   Ast.rules =
+                     List.mapi
+                       (fun j r' ->
+                         if i = j then { r with Ast.rd_branches = drop_nth r.Ast.rd_branches k }
+                         else r')
+                       p.Ast.rules;
+                 })
+               r.Ast.rd_branches
+           else [])
+         p.Ast.rules)
+  in
+  drop_rules @ drop_last_pattern @ simplify_stmts @ drop_branches
+  [@@ocamlformat "disable"]
+
+let graph_recipe (r : Gen.graph_recipe) : Gen.graph_recipe list =
+  let smaller_nodes =
+    if r.Gen.gr_nodes > 4 then
+      [ { r with Gen.gr_nodes = max 4 (r.Gen.gr_nodes / 2) };
+        { r with Gen.gr_nodes = r.Gen.gr_nodes - 1 } ]
+    else []
+  in
+  let fewer_pats =
+    if r.Gen.gr_pats > 1 then [ { r with Gen.gr_pats = r.Gen.gr_pats - 1 } ]
+    else []
+  in
+  smaller_nodes @ fewer_pats
+  [@@ocamlformat "disable"]

@@ -1,0 +1,19 @@
+(** Structural shrinkers for counterexample minimization.
+
+    Each shrinker maps a failing value to a list of strictly smaller
+    candidates, tried in order by the greedy delta-debugging loop in
+    {!Fuzz}. Producing the empty list ends minimization for that value.
+
+    Graph recipes shrink only their size knobs, never [gr_seed], so every
+    candidate stays replayable from the reported recipe. *)
+
+open Pypm_term
+open Pypm_pattern
+
+val term : Term.t -> Term.t list
+val pattern : Pattern.t -> Pattern.t list
+val pair : Pattern.t * Term.t -> (Pattern.t * Term.t) list
+val string_ : string -> string list
+val core_program : Pypm_engine.Program.t -> Pypm_engine.Program.t list
+val ast_program : Pypm_dsl.Ast.program -> Pypm_dsl.Ast.program list
+val graph_recipe : Gen.graph_recipe -> Gen.graph_recipe list

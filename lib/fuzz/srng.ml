@@ -1,0 +1,89 @@
+(* SplitMix64 with per-stream gammas: Steele, Lea and Flood, "Fast
+   splittable pseudorandom number generators" (OOPSLA 2014). The state is
+   one 64-bit counter advanced by an odd gamma and finalized by a mix
+   function; splitting mints a child whose own gamma is derived from the
+   parent stream, so parent and child outputs are decorrelated. *)
+
+type t = { mutable state : int64; gamma : int64 }
+
+let golden_gamma = 0x9E3779B97F4A7C15L
+
+let mix64 z =
+  let z =
+    Int64.mul
+      (Int64.logxor z (Int64.shift_right_logical z 30))
+      0xBF58476D1CE4E5B9L
+  in
+  let z =
+    Int64.mul
+      (Int64.logxor z (Int64.shift_right_logical z 27))
+      0x94D049BB133111EBL
+  in
+  Int64.logxor z (Int64.shift_right_logical z 31)
+
+let popcount64 x =
+  let c = ref 0 in
+  for i = 0 to 63 do
+    if Int64.logand (Int64.shift_right_logical x i) 1L = 1L then incr c
+  done;
+  !c
+
+(* Gammas must be odd; reject candidates whose bit pattern is too regular
+   (the paper's mixGamma). *)
+let mix_gamma z =
+  let z =
+    Int64.mul
+      (Int64.logxor z (Int64.shift_right_logical z 33))
+      0xFF51AFD7ED558CCDL
+  in
+  let z =
+    Int64.mul
+      (Int64.logxor z (Int64.shift_right_logical z 33))
+      0xC4CEB9FE1A85EC53L
+  in
+  let z = Int64.logor z 1L in
+  let n = popcount64 (Int64.logxor z (Int64.shift_right_logical z 1)) in
+  if n < 24 then Int64.logxor z 0xAAAAAAAAAAAAAAAAL else z
+
+let create ~seed = { state = mix64 (Int64.of_int seed); gamma = golden_gamma }
+
+let next64 t =
+  t.state <- Int64.add t.state t.gamma;
+  mix64 t.state
+
+let split t =
+  let s1 = next64 t in
+  let s2 = next64 t in
+  { state = s1; gamma = mix_gamma s2 }
+
+let int t n =
+  if n <= 0 then invalid_arg "Srng.int: bound must be positive";
+  Int64.to_int (Int64.rem (Int64.shift_right_logical (next64 t) 1) (Int64.of_int n))
+
+let range t lo hi =
+  if hi < lo then invalid_arg "Srng.range: empty range";
+  lo + int t (hi - lo + 1)
+
+let bool t = Int64.logand (next64 t) 1L = 1L
+
+let pick t xs =
+  match xs with
+  | [] -> invalid_arg "Srng.pick: empty list"
+  | _ -> List.nth xs (int t (List.length xs))
+
+let freq t choices =
+  let total =
+    List.fold_left
+      (fun acc (w, _) ->
+        if w < 0 then invalid_arg "Srng.freq: negative weight" else acc + w)
+      0 choices
+  in
+  if total <= 0 then invalid_arg "Srng.freq: no positive weight";
+  let r = int t total in
+  let rec go acc = function
+    | [] -> assert false
+    | (w, f) :: rest -> if r < acc + w then f t else go (acc + w) rest
+  in
+  go 0 choices
+
+let any_int t = Int64.to_int (next64 t)

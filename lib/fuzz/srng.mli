@@ -1,0 +1,40 @@
+(** Seeded, splittable pseudo-random numbers for the fuzzer.
+
+    SplitMix64 with per-stream gammas (the SplittableRandom construction):
+    every generator is an independent deterministic stream identified by
+    its seed, and {!split} forks a child stream whose outputs are
+    statistically independent of the parent's continuation. Nothing here
+    touches the global [Random] state, so fuzzing runs are reproducible
+    from a seed alone and generators can be handed to sub-generators
+    without coupling their consumption patterns. *)
+
+type t
+
+(** [create ~seed] is a fresh stream. Equal seeds give equal streams. *)
+val create : seed:int -> t
+
+(** [split t] advances [t] and returns an independent child stream.
+    Deterministic: the child depends only on [t]'s state at the call. *)
+val split : t -> t
+
+(** Next raw 64-bit output. *)
+val next64 : t -> int64
+
+(** [int t n] is uniform in [0, n); [n] must be positive. *)
+val int : t -> int -> int
+
+(** [range t lo hi] is uniform in [lo, hi] inclusive. *)
+val range : t -> int -> int -> int
+
+val bool : t -> bool
+
+(** [pick t xs] chooses uniformly from a non-empty list. *)
+val pick : t -> 'a list -> 'a
+
+(** [freq t choices] picks among weighted thunks: [(3, a); (1, b)] runs
+    [a] three times as often as [b]. Weights must be positive and the list
+    non-empty. *)
+val freq : t -> (int * (t -> 'a)) list -> 'a
+
+(** A full-range int (may be negative; covers [min_int]/[max_int]). *)
+val any_int : t -> int

@@ -9,18 +9,28 @@ let magic = "PYPM"
 (* Primitive writers                                                   *)
 (* ------------------------------------------------------------------ *)
 
+exception Encode_error of string
+
+let encode_fail fmt = Format.kasprintf (fun m -> raise (Encode_error m)) fmt
 let put_u8 buf n = Buffer.add_char buf (Char.chr (n land 0xff))
 
-(* unsigned LEB128 *)
-let rec put_varint buf n =
-  if n < 0 then invalid_arg "Codec.put_varint: negative";
-  if n < 0x80 then put_u8 buf n
+(* unsigned LEB128 over the int's 63-bit pattern; [lsr] keeps the loop
+   total even when the top (sign) bit is set, which zigzagged min_int /
+   max_int need *)
+let rec put_ubits buf n =
+  if n land lnot 0x7f = 0 then put_u8 buf n
   else (
     put_u8 buf ((n land 0x7f) lor 0x80);
-    put_varint buf (n lsr 7))
+    put_ubits buf (n lsr 7))
 
-(* zigzag for signed *)
-let put_signed buf n = put_varint buf ((n lsl 1) lxor (n asr 62))
+let put_varint buf n =
+  if n < 0 then invalid_arg "Codec.put_varint: negative";
+  put_ubits buf n
+
+(* zigzag for signed: the full [min_int, max_int] range round-trips. The
+   zigzag image of a large-magnitude int has the sign bit set, so it must
+   travel through the unsigned-bit-pattern writer, not [put_varint]. *)
+let put_signed buf n = put_ubits buf ((n lsl 1) lxor (n asr 62))
 
 let put_string buf s =
   put_varint buf (String.length s);
@@ -345,9 +355,17 @@ let rec put_rhs buf (r : Rule.rhs) =
       put_list buf put_rhs rs;
       put_string buf x
   | Rule.Rlit v ->
+      (* millifloat, matching the graph's constant interning. NaN and the
+         infinities have no millifloat, and beyond 2^52 the rounded value
+         is no longer exactly representable, so [int_of_float] would
+         silently corrupt the literal — reject instead of miscoding. *)
+      if Float.is_nan v || not (Float.is_finite v) then
+        encode_fail "cannot serialize non-finite literal %h" v;
+      let m = Float.round (v *. 1000.) in
+      if Float.abs m > 0x10000000000000. (* 2^52 *) then
+        encode_fail "literal %g is out of millifloat range" v;
       put_u8 buf 5;
-      (* millifloat, matching the graph's constant interning *)
-      put_signed buf (int_of_float (Float.round (v *. 1000.)))
+      put_signed buf (int_of_float m)
 
 let rec get_rhs c : Rule.rhs =
   match get_u8 c with
@@ -507,3 +525,14 @@ let of_file path =
   Fun.protect
     ~finally:(fun () -> close_in_noerr ic)
     (fun () -> decode (really_input_string ic (in_channel_length ic)))
+
+module Wire = struct
+  type nonrec cursor = cursor
+
+  let cursor bytes = { bytes; off = 0 }
+  let offset c = c.off
+  let put_varint = put_varint
+  let get_varint = get_varint
+  let put_signed = put_signed
+  let get_signed = get_signed
+end

@@ -17,9 +17,14 @@ open Pypm_term
 (** Current format version. Decoders accept only this version. *)
 val version : int
 
+(** Raised by {!encode} on a program the format cannot represent: a
+    non-finite rule literal (NaN, infinities) or a literal beyond the
+    millifloat range (|v| > 2{^52}/1000). Decoding never raises. *)
+exception Encode_error of string
+
 (** [encode program] serializes the program, including the operator
     declarations its patterns mention (looked up in the program's
-    signature). *)
+    signature). Raises {!Encode_error} on unrepresentable rule literals. *)
 val encode : Pypm_engine.Program.t -> string
 
 (** [decode bytes] reconstructs a program into a fresh signature.
@@ -34,3 +39,23 @@ val decode_into : sg:Signature.t -> string -> (Pypm_engine.Program.t, string) re
 val to_file : string -> Pypm_engine.Program.t -> unit
 
 val of_file : string -> (Pypm_engine.Program.t, string) result
+
+(** The wire-level integer primitives, exposed so differential and
+    round-trip tests (the fuzzer's zigzag property, the min_int/max_int
+    regression) can exercise them directly. *)
+module Wire : sig
+  type cursor
+
+  val cursor : string -> cursor
+  val offset : cursor -> int
+
+  (** Unsigned LEB128; raises [Invalid_argument] on negative input. *)
+  val put_varint : Buffer.t -> int -> unit
+
+  val get_varint : cursor -> int
+
+  (** Zigzag-encoded signed LEB128; total on all of [min_int, max_int]. *)
+  val put_signed : Buffer.t -> int -> unit
+
+  val get_signed : cursor -> int
+end

@@ -60,6 +60,20 @@ let token_to_string = function
   | ARROW -> "->"
   | EOF -> "end of input"
 
+let quote_string s =
+  let buf = Buffer.create (String.length s + 2) in
+  Buffer.add_char buf '"';
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '\n' -> Buffer.add_string buf "\\n"
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.add_char buf '"';
+  Buffer.contents buf
+
 let is_ident_start c =
   (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || c = '_'
 
@@ -103,8 +117,20 @@ let tokenize src =
         while !i < n && is_digit src.[!i] do
           incr i
         done;
-        emit (FLOAT (float_of_string (String.sub src start (!i - start)))) p)
-      else emit (INT (int_of_string (String.sub src start (!i - start)))) p)
+        let lit = String.sub src start (!i - start) in
+        match float_of_string_opt lit with
+        | Some f -> emit (FLOAT f) p
+        | None ->
+            raise
+              (Lex_error (p, Printf.sprintf "invalid float literal %s" lit)))
+      else
+        let lit = String.sub src start (!i - start) in
+        match int_of_string_opt lit with
+        | Some v -> emit (INT v) p
+        | None ->
+            raise
+              (Lex_error
+                 (p, Printf.sprintf "integer literal %s out of range" lit)))
     else if c = '"' then (
       incr i;
       let buf = Buffer.create 16 in
@@ -115,6 +141,21 @@ let tokenize src =
           incr i)
         else if src.[!i] = '\n' then
           raise (Lex_error (p, "unterminated string literal"))
+        else if src.[!i] = '\\' then (
+          if !i + 1 >= n then
+            raise (Lex_error (p, "unterminated string literal"));
+          (match src.[!i + 1] with
+          | '"' -> Buffer.add_char buf '"'
+          | '\\' -> Buffer.add_char buf '\\'
+          | 'n' -> Buffer.add_char buf '\n'
+          | e ->
+              raise
+                (Lex_error
+                   ( p,
+                     Printf.sprintf
+                       "unsupported escape sequence \\%c in string literal" e
+                   )));
+          i := !i + 2)
         else (
           Buffer.add_char buf src.[!i];
           incr i)

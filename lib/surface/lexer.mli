@@ -38,9 +38,18 @@ type spanned = { tok : token; pos : pos }
 exception Lex_error of pos * string
 
 (** [tokenize src] lexes the whole input; the result always ends with
-    [EOF]. Raises {!Lex_error} on an unexpected character or an unterminated
-    string. *)
+    [EOF]. Raises {!Lex_error} — and nothing else — on malformed input: an
+    unexpected character, an out-of-range numeric literal, an unsupported
+    escape sequence, or an unterminated string. String literals support
+    backslash escapes for the quote, the backslash itself and newline,
+    symmetric with {!quote_string} (and with the frontend printer
+    {!Pypm_dsl.Ast.pp_string_lit}). *)
 val tokenize : string -> spanned array
+
+(** [quote_string s] is the surface-syntax literal denoting [s]: surrounded
+    by double quotes, with quotes, backslashes and newlines escaped. For
+    every [s], lexing [quote_string s] yields [STRING s]. *)
+val quote_string : string -> string
 
 val token_to_string : token -> string
 val pp_pos : Format.formatter -> pos -> unit
