@@ -235,8 +235,22 @@ let engine_arg =
             $(b,index) (root-head prefilter), or $(b,plan) (shared \
             matching plan with incremental re-matching).")
 
+let fault_points_of_names names =
+  List.map
+    (fun n ->
+      match Resilience.Inject.point_of_name n with
+      | Some p -> p
+      | None ->
+          Printf.eprintf "pypmc: unknown fault point %s (known: %s)\n" n
+            (String.concat ", "
+               (List.map Resilience.Inject.point_name
+                  Resilience.Inject.all_points));
+          exit 1)
+    names
+
 let optimize_cmd =
-  let run model opt patterns engine verbose dot debug trace fuel =
+  let run model opt patterns engine verbose dot debug trace fuel deadline
+      fault_seed fault_rate fault_points strict quarantine_after =
     if debug then (
       Logs.set_reporter (Logs.format_reporter ());
       Logs.Src.set_level Pass.log_src (Some Logs.Debug));
@@ -244,7 +258,41 @@ let optimize_cmd =
     let program = resolve_program env opt patterns in
     let before = Exec.graph_cost Cost.a6000 g in
     let nodes_before = Graph.live_count g in
-    let stats = with_trace trace (fun () -> Pass.run ~engine ?fuel program g) in
+    let inject =
+      match fault_seed with
+      | None -> Resilience.Inject.none
+      | Some seed ->
+          let points =
+            match fault_points with
+            | [] -> Resilience.Inject.all_points
+            | names -> fault_points_of_names names
+          in
+          Resilience.Inject.seeded ~points ~seed ~rate:fault_rate ()
+    in
+    let stats =
+      with_trace trace (fun () ->
+          if strict then
+            match
+              Pass.run_result ~engine ?fuel ?deadline_s:deadline
+                ?quarantine_after ~inject program g
+            with
+            | Ok stats -> stats
+            | Error (e, stats) ->
+                Format.printf "%a@." Pass.pp_stats stats;
+                Printf.eprintf "pypmc: fatal pass error: %s\n"
+                  (Pass.error_message e);
+                exit 1
+          else
+            Pass.run ~engine ?fuel ?deadline_s:deadline ?quarantine_after
+              ~inject program g)
+    in
+    (* [Engine_unavailable] is fatal under either policy: there was no
+       engine to run the pass with. *)
+    (match stats.Pass.fatal with
+    | Some e ->
+        Printf.eprintf "pypmc: fatal pass error: %s\n" (Pass.error_message e);
+        exit 1
+    | None -> ());
     (match Graph.validate g with
     | [] -> ()
     | errs ->
@@ -286,10 +334,43 @@ let optimize_cmd =
     Arg.(value & opt (some int) None & info [ "fuel" ] ~docv:"N"
            ~doc:"Per-match fuel bound (matcher node visits).")
   in
+  let deadline =
+    Arg.(value & opt (some float) None & info [ "deadline" ] ~docv:"SECONDS"
+           ~doc:"Wall-clock budget for the pass; on expiry it stops where \
+                 it is and reports partial stats (deadline hit).")
+  in
+  let fault_seed =
+    Arg.(value & opt (some int) None & info [ "fault-seed" ] ~docv:"SEED"
+           ~doc:"Enable deterministic fault injection with this seed (for \
+                 exercising and replaying failure handling).")
+  in
+  let fault_rate =
+    Arg.(value & opt float 0.25 & info [ "fault-rate" ] ~docv:"RATE"
+           ~doc:"Probability each armed fault point fires (with \
+                 $(b,--fault-seed)).")
+  in
+  let fault_points =
+    Arg.(value & opt (list string) [] & info [ "fault-points" ] ~docv:"POINTS"
+           ~doc:"Comma-separated fault points to arm (default: all): \
+                 instantiate-fail, guard-raise, fuel-cut, replace-cycle, \
+                 plan-compile.")
+  in
+  let strict =
+    Arg.(value & flag & info [ "strict" ]
+           ~doc:"Stop at the first rule error instead of quarantining the \
+                 pattern; exit nonzero with a structured message.")
+  in
+  let quarantine_after =
+    Arg.(value & opt (some int) None & info [ "quarantine-after" ] ~docv:"N"
+           ~doc:"Strikes (fuel exhaustions, rule errors, cycle rejections) \
+                 before a pattern is quarantined for the rest of the pass \
+                 (default 5).")
+  in
   Cmd.v
     (Cmd.info "optimize" ~doc:"Run the rewrite pass over a zoo model")
     Term.(const run $ model $ opt_arg $ patterns_arg $ engine_arg $ verbose
-          $ dot $ debug $ trace $ fuel)
+          $ dot $ debug $ trace $ fuel $ deadline $ fault_seed $ fault_rate
+          $ fault_points $ strict $ quarantine_after)
 
 (* ------------------------------------------------------------------ *)
 (* trace                                                               *)
@@ -425,10 +506,13 @@ let saturate_rules_of_program (program : Program.t) =
           List.filter_map
             (fun (r : Rule.t) ->
               if r.Rule.guard = Guard.True then
-                Option.map
-                  (fun rhs ->
-                    Saturate.rw ~name:r.Rule.rule_name e.Program.pattern rhs)
-                  (rhs_of r.Rule.rhs)
+                Option.bind (rhs_of r.Rule.rhs) (fun rhs ->
+                    (* [rw] validates (template vars bound, pattern
+                       e-matchable); a rule it rejects is just not usable
+                       as a saturation rewrite. *)
+                    Result.to_option
+                      (Saturate.rw ~name:r.Rule.rule_name e.Program.pattern
+                         rhs))
               else None)
             e.Program.rules)
     program.Program.entries

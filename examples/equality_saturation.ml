@@ -9,6 +9,11 @@
 open Pypm
 module P = Pattern
 
+(* [Saturate.rw] validates its rewrite and returns a [result]; these
+   rewrites are statically fine, so failure here is a programming error. *)
+let rw_exn ~name lhs rhs =
+  match Saturate.rw ~name lhs rhs with Ok r -> r | Error e -> failwith e
+
 let () =
   (* a tiny signature: f/2, g/1, constants *)
   let sg = Signature.create () in
@@ -48,10 +53,10 @@ let () =
   (* nondestructive: saturate an e-graph with both rules and extract *)
   let rules =
     [
-      Saturate.rw ~name:"R1"
+      rw_exn ~name:"R1"
         (P.app "f" [ P.var "x"; P.const "b" ])
         (Saturate.Tapp ("g", [ Saturate.Tvar "x" ]));
-      Saturate.rw ~name:"R2"
+      rw_exn ~name:"R2"
         (P.app "g" [ P.app "f" [ P.var "x"; P.const "b" ] ])
         (Saturate.Tvar "x");
     ]
@@ -68,7 +73,7 @@ let () =
   let rec tower n = if n = 0 then a else Term.app "g" [ tower (n - 1) ] in
   let chain = tower 9 in
   let gg_rule =
-    Saturate.rw ~name:"gg"
+    rw_exn ~name:"gg"
       (P.app "g" [ P.app "g" [ P.var "x" ] ])
       (Saturate.Tvar "x")
   in

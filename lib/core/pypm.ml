@@ -15,6 +15,8 @@
     - {!Dtype}, {!Shape}, {!Ty}, {!Infer}, {!Attrs}: the tensor attribute
       domain;
     - {!Graph}, {!Term_view}: the DLCB-style computation-graph IR;
+    - {!Resilience}: transaction journal re-export, per-pattern circuit
+      breakers, and deterministic fault injection for the pass;
     - {!Rule}, {!Program}, {!Pass}, {!Partition}: rewrite rules and the
       greedy rewrite pass (section 2.4), directed graph partitioning
       (section 4.2);
@@ -60,6 +62,7 @@ module Query = Pypm_query.Query
 module Egraph = Pypm_egraph.Egraph
 module Ematch = Pypm_egraph.Ematch
 module Saturate = Pypm_egraph.Saturate
+module Resilience = Pypm_resilience.Resilience
 module Rule = Pypm_engine.Rule
 module Program = Pypm_engine.Program
 module Pass = Pypm_engine.Pass

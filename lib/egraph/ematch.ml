@@ -19,11 +19,9 @@ let rec supported (p : P.t) =
   | P.Constr _ -> Error "match constraints need a concrete witness"
   | P.Mu _ | P.Call _ -> Error "recursive patterns are not e-matchable here"
 
-(* All-solutions backtracking, collecting assignments. *)
-let matches_in g p cls =
-  (match supported p with
-  | Ok () -> ()
-  | Error e -> invalid_arg ("Ematch: unsupported pattern: " ^ e));
+(* All-solutions backtracking, collecting assignments. Only called on
+   patterns [supported] has accepted. *)
+let matches_in_checked g p cls =
   let out = ref [] in
   let rec go (p : P.t) cls env (sk : env -> unit) =
     let cls = Egraph.find g cls in
@@ -63,7 +61,17 @@ let matches_in g p cls =
   go p cls empty_env (fun env -> out := env :: !out);
   List.rev !out
 
+let matches_in g p cls =
+  match supported p with
+  | Error _ as e -> e
+  | Ok () -> Ok (matches_in_checked g p cls)
+
 let matches g p =
-  List.concat_map
-    (fun cls -> List.map (fun env -> (cls, env)) (matches_in g p cls))
-    (Egraph.classes g)
+  match supported p with
+  | Error _ as e -> e
+  | Ok () ->
+      Ok
+        (List.concat_map
+           (fun cls ->
+             List.map (fun env -> (cls, env)) (matches_in_checked g p cls))
+           (Egraph.classes g))

@@ -22,12 +22,14 @@ val supported : Pypm_pattern.Pattern.t -> (unit, string) result
 
 (** [matches_in g p cls] enumerates every assignment under which some term
     of [cls] matches [p]. Nonlinear variables require e-class equality.
-    Raises [Invalid_argument] on unsupported patterns (check {!supported}
-    first). *)
+    [Error reason] on patterns outside the supported subset (the
+    {!supported} check, folded in). *)
 val matches_in :
-  Egraph.t -> Pypm_pattern.Pattern.t -> Egraph.id -> env list
+  Egraph.t -> Pypm_pattern.Pattern.t -> Egraph.id -> (env list, string) result
 
 (** [matches g p] enumerates (class, assignment) pairs over the whole
-    e-graph. *)
+    e-graph. [Error reason] on unsupported patterns. *)
 val matches :
-  Egraph.t -> Pypm_pattern.Pattern.t -> (Egraph.id * env) list
+  Egraph.t ->
+  Pypm_pattern.Pattern.t ->
+  ((Egraph.id * env) list, string) result

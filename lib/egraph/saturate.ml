@@ -7,34 +7,87 @@ and rhs =
   | Tapp of Symbol.t * rhs list
   | Tfapp of string * rhs list
 
+let rec rhs_vars = function
+  | Tvar x -> (Symbol.Set.singleton x, Symbol.Set.empty)
+  | Tapp (_, args) ->
+      List.fold_left
+        (fun (vs, fs) a ->
+          let vs', fs' = rhs_vars a in
+          (Symbol.Set.union vs vs', Symbol.Set.union fs fs'))
+        (Symbol.Set.empty, Symbol.Set.empty)
+        args
+  | Tfapp (fv, args) ->
+      List.fold_left
+        (fun (vs, fs) a ->
+          let vs', fs' = rhs_vars a in
+          (Symbol.Set.union vs vs', Symbol.Set.union fs fs'))
+        (Symbol.Set.empty, Symbol.Set.singleton fv)
+        args
+
 let rw ~name lhs rhs =
-  (match Ematch.supported lhs with
-  | Ok () -> ()
-  | Error e -> invalid_arg ("Saturate.rw " ^ name ^ ": " ^ e));
-  { rw_name = name; lhs; rhs }
+  match Ematch.supported lhs with
+  | Error e -> Error (Printf.sprintf "rewrite %s: %s" name e)
+  | Ok () ->
+      let vs, fs = rhs_vars rhs in
+      let unbound_v =
+        Symbol.Set.diff vs (Pypm_pattern.Pattern.free_vars lhs)
+      and unbound_f =
+        Symbol.Set.diff fs (Pypm_pattern.Pattern.free_fvars lhs)
+      in
+      if not (Symbol.Set.is_empty unbound_v) then
+        Error
+          (Printf.sprintf
+             "rewrite %s: template variable %s is not bound by the pattern"
+             name
+             (Symbol.Set.min_elt unbound_v))
+      else if not (Symbol.Set.is_empty unbound_f) then
+        Error
+          (Printf.sprintf
+             "rewrite %s: template operator variable %s is not bound by the \
+              pattern"
+             name
+             (Symbol.Set.min_elt unbound_f))
+      else Ok { rw_name = name; lhs; rhs }
 
 type stats = {
   iterations : int;
   applications : int;
+  skipped_applications : int;
   saturated : bool;
   final_classes : int;
   final_nodes : int;
 }
 
+let ( let* ) = Result.bind
+
+let rec map_result f = function
+  | [] -> Ok []
+  | x :: xs ->
+      let* y = f x in
+      let* ys = map_result f xs in
+      Ok (y :: ys)
+
+(* [rw] checks the template against the pattern's free variables, but a
+   disjunctive pattern binds only one branch's variables per match, so a
+   template variable can still come up unbound for a particular
+   assignment. That application is skipped (and counted), not fatal. *)
 let rec instantiate g (env : Ematch.env) = function
   | Tvar x -> (
       match Symbol.Map.find_opt x env.Ematch.classes with
-      | Some c -> c
-      | None -> invalid_arg ("Saturate: unbound template variable " ^ x))
+      | Some c -> Ok c
+      | None -> Error x)
   | Tapp (op, args) ->
-      Egraph.add g op (List.map (instantiate g env) args)
+      let* cs = map_result (instantiate g env) args in
+      Ok (Egraph.add g op cs)
   | Tfapp (fv, args) -> (
       match Symbol.Map.find_opt fv env.Ematch.ops with
-      | Some op -> Egraph.add g op (List.map (instantiate g env) args)
-      | None -> invalid_arg ("Saturate: unbound operator variable " ^ fv))
+      | Some op ->
+          let* cs = map_result (instantiate g env) args in
+          Ok (Egraph.add g op cs)
+      | None -> Error fv)
 
 let run g rules ?(iter_limit = 30) () =
-  let applications = ref 0 in
+  let applications = ref 0 and skipped = ref 0 in
   let rec loop i =
     if i >= iter_limit then (i, false)
     else begin
@@ -42,17 +95,25 @@ let run g rules ?(iter_limit = 30) () =
          would be order-dependent), then apply *)
       let matches =
         List.concat_map
-          (fun r -> List.map (fun (cls, env) -> (r, cls, env)) (Ematch.matches g r.lhs))
+          (fun r ->
+            (* [rw] validated the lhs, so [Ematch.matches] cannot reject
+               it; an [Error] here would mean the pattern was swapped out
+               behind the smart constructor. *)
+            match Ematch.matches g r.lhs with
+            | Ok ms -> List.map (fun (cls, env) -> (r, cls, env)) ms
+            | Error _ -> [])
           rules
       in
       let changed = ref false in
       List.iter
         (fun (r, cls, env) ->
-          let rhs_cls = instantiate g env r.rhs in
-          let _, merged = Egraph.union g cls rhs_cls in
-          if merged then (
-            incr applications;
-            changed := true))
+          match instantiate g env r.rhs with
+          | Error _ -> incr skipped
+          | Ok rhs_cls ->
+              let _, merged = Egraph.union g cls rhs_cls in
+              if merged then (
+                incr applications;
+                changed := true))
         matches;
       ignore (Egraph.rebuild g);
       if !changed then loop (i + 1) else (i + 1, true)
@@ -62,6 +123,7 @@ let run g rules ?(iter_limit = 30) () =
   {
     iterations;
     applications = !applications;
+    skipped_applications = !skipped;
     saturated;
     final_classes = Egraph.class_count g;
     final_nodes = Egraph.node_count g;
@@ -77,7 +139,10 @@ let simplify ~rules ?(cost = Egraph.size_cost) ?iter_limit t =
 
 let pp_stats ppf s =
   Format.fprintf ppf
-    "%d iteration(s), %d application(s), %s, %d classes / %d nodes"
+    "%d iteration(s), %d application(s)%s, %s, %d classes / %d nodes"
     s.iterations s.applications
+    (if s.skipped_applications > 0 then
+       Printf.sprintf " (%d skipped)" s.skipped_applications
+     else "")
     (if s.saturated then "saturated" else "iteration limit")
     s.final_classes s.final_nodes

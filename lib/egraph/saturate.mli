@@ -22,11 +22,19 @@ and rhs =
   | Tapp of Symbol.t * rhs list
   | Tfapp of string * rhs list  (** apply the matched operator *)
 
-val rw : name:string -> Pypm_pattern.Pattern.t -> rhs -> rw
+(** [rw ~name lhs rhs] validates the rewrite: the pattern must be in the
+    e-matchable subset ({!Ematch.supported}) and every template variable
+    (term and operator) must be bound by the pattern. [Error reason]
+    otherwise — construction never raises. *)
+val rw :
+  name:string -> Pypm_pattern.Pattern.t -> rhs -> (rw, string) result
 
 type stats = {
   iterations : int;
   applications : int;  (** unions performed (new equalities) *)
+  skipped_applications : int;
+      (** matches whose template could not be instantiated (a disjunctive
+          pattern bound only one branch's variables); skipped, not fatal *)
   saturated : bool;  (** no rule added anything new *)
   final_classes : int;
   final_nodes : int;

@@ -2,10 +2,34 @@ open Pypm_graph
 open Pypm_semantics
 module Plan = Pypm_plan.Plan
 module Obs = Pypm_obs.Obs
+module Breaker = Pypm_resilience.Resilience.Breaker
+module Inject = Pypm_resilience.Resilience.Inject
 
 type engine = Naive | Index | Plan
 
 let engine_name = function Naive -> "naive" | Index -> "index" | Plan -> "plan"
+
+(* ------------------------------------------------------------------ *)
+(* Structured pass errors                                              *)
+(* ------------------------------------------------------------------ *)
+
+type error =
+  | Rule_failed of { pattern : string; rule : string; reason : string }
+  | Guard_raised of { pattern : string; rule : string; reason : string }
+  | Engine_unavailable of { engine : string; reason : string }
+
+let pp_error ppf = function
+  | Rule_failed { pattern; rule; reason } ->
+      Format.fprintf ppf "rule %s (pattern %s) failed to instantiate: %s" rule
+        pattern reason
+  | Guard_raised { pattern; rule; reason } ->
+      Format.fprintf ppf "guard of rule %s (pattern %s) raised: %s" rule
+        pattern reason
+  | Engine_unavailable { engine; reason } ->
+      Format.fprintf ppf
+        "no matching engine available (last tried %s): %s" engine reason
+
+let error_message e = Format.asprintf "%a" pp_error e
 
 type pattern_stats = {
   ps_name : string;
@@ -16,6 +40,8 @@ type pattern_stats = {
   mutable rewrites : int;
   mutable fuel_exhausted : int;
   mutable guard_rejections : int;
+  mutable rolled_back : int;
+  mutable quarantined : bool;
   mutable match_time : float;
 }
 
@@ -25,10 +51,17 @@ type stats = {
   mutable total_rewrites : int;
   mutable type_rejections : int;
   mutable fuel_exhausted : int;
+  mutable cycle_rejections : int;
+  mutable rolled_back : int;
+  mutable quarantined : int;
   mutable collected : int;
   mutable wall_time : float;
   mutable plan_time : float;
   mutable reached_fixpoint : bool;
+  mutable deadline_hit : bool;
+  mutable engine_used : string;
+  mutable errors : error list;
+  mutable fatal : error option;
   mutable provenance : Obs.Provenance.step list;
   per_pattern : pattern_stats list;
 }
@@ -40,10 +73,17 @@ let fresh_stats (program : Program.t) =
     total_rewrites = 0;
     type_rejections = 0;
     fuel_exhausted = 0;
+    cycle_rejections = 0;
+    rolled_back = 0;
+    quarantined = 0;
     collected = 0;
     wall_time = 0.;
     plan_time = 0.;
     reached_fixpoint = false;
+    deadline_hit = false;
+    engine_used = "";
+    errors = [];
+    fatal = None;
     provenance = [];
     per_pattern =
       List.map
@@ -57,6 +97,8 @@ let fresh_stats (program : Program.t) =
             rewrites = 0;
             fuel_exhausted = 0;
             guard_rejections = 0;
+            rolled_back = 0;
+            quarantined = false;
             match_time = 0.;
           })
         program.Program.entries;
@@ -75,75 +117,160 @@ module Log = (val Logs.src_log log_src)
 let now = Obs.now
 
 (* ------------------------------------------------------------------ *)
+(* Run context: configuration plus the abort channel                   *)
+(* ------------------------------------------------------------------ *)
+
+(* Raised to unwind out of the traversal when the pass cannot or must not
+   continue (wall-clock deadline, fatal error under [`Fail], no engine
+   left on the ladder). The relevant stats fields are always set before
+   raising; [run] catches it and returns the partial stats. *)
+exception Aborted
+
+type rctx = {
+  rstats : stats;
+  rinject : Inject.schedule;
+  ron_error : [ `Quarantine | `Fail ];
+  rdeadline : float option; (* absolute, seconds *)
+  rdeadline_budget : float; (* as requested, for the event *)
+  rcheck_types : bool;
+  rfuel : int;
+}
+
+let check_deadline rc =
+  match rc.rdeadline with
+  | Some d when (not rc.rstats.deadline_hit) && now () > d ->
+      rc.rstats.deadline_hit <- true;
+      Obs.emit (Obs.Deadline_hit { budget_s = rc.rdeadline_budget });
+      Log.warn (fun m ->
+          m
+            "pass stopped at its %.3fs wall-clock deadline after %d \
+             rewrite(s) — returning partial stats (reached_fixpoint=false)"
+            rc.rdeadline_budget rc.rstats.total_rewrites);
+      raise Aborted
+  | _ -> ()
+
+(* ------------------------------------------------------------------ *)
 (* Per-entry matching context: each pattern carries its own optional    *)
-(* root-head prefilter. No name-keyed lookup happens per node.          *)
+(* root-head prefilter, its circuit breaker, and its stats record.      *)
 (* ------------------------------------------------------------------ *)
 
 type ectx = {
   entry : Program.entry;
   heads : Pypm_term.Symbol.Set.t option;
       (* operators the root can have; None = no prefilter *)
+  breaker : Breaker.t;
+  epstats : pattern_stats;
 }
 
-let contexts ~indexed (program : Program.t) =
-  List.map
-    (fun (e : Program.entry) ->
+(* One (breaker, stats-record) slot per program entry, shared by every
+   engine the ladder tries: strikes survive a mid-pass degradation. *)
+let entry_slots ~quarantine_after (program : Program.t) stats =
+  List.map2
+    (fun (e : Program.entry) ps ->
+      ignore e;
+      (Breaker.create ~threshold:quarantine_after, ps))
+    program.Program.entries stats.per_pattern
+
+let contexts ~indexed (program : Program.t) slots =
+  List.map2
+    (fun (e : Program.entry) (breaker, ps) ->
       {
         entry = e;
         heads =
           (if indexed then Pypm_pattern.Pattern.root_heads e.Program.pattern
            else None);
+        breaker;
+        epstats = ps;
       })
-    program.Program.entries
+    program.Program.entries slots
+
+(* The per-pattern circuit breaker: fuel exhaustions, rule errors and
+   cycle rejections all strike; at the threshold the pattern is
+   quarantined — skipped without matching — for the rest of the pass. *)
+let strike rc (c : ectx) =
+  if Breaker.strike c.breaker then begin
+    c.epstats.quarantined <- true;
+    rc.rstats.quarantined <- rc.rstats.quarantined + 1;
+    Obs.emit
+      (Obs.Quarantined
+         {
+           pattern = c.entry.Program.pname;
+           strikes = Breaker.strikes c.breaker;
+         });
+    Log.warn (fun m ->
+        m
+          "pattern %s QUARANTINED after %d strike(s) (fuel exhaustions or \
+           rule errors) — skipped for the remainder of this pass"
+          c.entry.Program.pname (Breaker.strikes c.breaker))
+  end
+
+(* Record a contained rule error; under [`Fail] it becomes fatal and
+   aborts the pass (the graph has already been rolled back). *)
+let rule_error rc (c : ectx) err =
+  rc.rstats.errors <- err :: rc.rstats.errors;
+  strike rc c;
+  if rc.ron_error = `Fail then begin
+    rc.rstats.fatal <- Some err;
+    raise Aborted
+  end
 
 (* Try to match one pattern at one node with the backtracking matcher.
    Every attempt, prune, and fuel exhaustion emits an obs event; the
-   per-pattern statistics are aggregated from those events. *)
-let try_match ~fuel view (c : ectx) (node : Graph.node) =
+   per-pattern statistics are aggregated from those events. Quarantined
+   patterns are skipped outright. *)
+let try_match rc view (c : ectx) (node : Graph.node) =
   let pname = c.entry.Program.pname in
-  match c.heads with
-  | Some heads when not (Pypm_term.Symbol.Set.mem node.Graph.op heads) ->
-      Obs.emit ~node:node.Graph.id
-        (Obs.Pruned { pattern = pname; via = Obs.Head_index });
-      None
-  | _ -> (
-      let t = Term_view.term_of view node in
-      let interp = Term_view.interp view in
-      let t0 = now () in
-      let outcome =
-        Matcher.matches ~interp ~policy:Outcome.Policy.Backtrack ~fuel
-          c.entry.Program.pattern t
-      in
-      let dur = now () -. t0 in
-      let obs_outcome =
+  if Breaker.tripped c.breaker then None
+  else
+    match c.heads with
+    | Some heads when not (Pypm_term.Symbol.Set.mem node.Graph.op heads) ->
+        Obs.emit ~node:node.Graph.id
+          (Obs.Pruned { pattern = pname; via = Obs.Head_index });
+        None
+    | _ -> (
+        let fuel =
+          if Inject.fires rc.rinject Inject.Fuel_cut then 1 else rc.rfuel
+        in
+        let t = Term_view.term_of view node in
+        let interp = Term_view.interp view in
+        let t0 = now () in
+        let outcome =
+          Matcher.matches ~interp ~policy:Outcome.Policy.Backtrack ~fuel
+            c.entry.Program.pattern t
+        in
+        let dur = now () -. t0 in
+        let obs_outcome =
+          match outcome with
+          | Outcome.Matched _ -> Obs.Matched
+          | Outcome.No_match -> Obs.No_match
+          | Outcome.Stuck -> Obs.Stuck
+          | Outcome.Out_of_fuel -> Obs.Out_of_fuel
+        in
+        Obs.emit ~node:node.Graph.id ~dur
+          (Obs.Match_attempt
+             {
+               pattern = pname;
+               outcome = obs_outcome;
+               visits = Matcher.last_visits ();
+             });
         match outcome with
-        | Outcome.Matched _ -> Obs.Matched
-        | Outcome.No_match -> Obs.No_match
-        | Outcome.Stuck -> Obs.Stuck
-        | Outcome.Out_of_fuel -> Obs.Out_of_fuel
-      in
-      Obs.emit ~node:node.Graph.id ~dur
-        (Obs.Match_attempt
-           {
-             pattern = pname;
-             outcome = obs_outcome;
-             visits = Matcher.last_visits ();
-           });
-      match outcome with
-      | Outcome.Matched (theta, phi) -> Some (theta, phi)
-      | Outcome.Out_of_fuel ->
-          (* NOT a clean no-match: the matcher was stopped mid-search, so a
-             witness may exist that we never saw. Surface it loudly. *)
-          Log.warn (fun m ->
-              m
-                "pattern %s at node %%%d ran OUT OF FUEL after %d visits — \
-                 counted as fuel_exhausted, not as a no-match; raise ~fuel \
-                 if this keeps happening"
-                pname node.Graph.id fuel);
-          Obs.emit ~node:node.Graph.id
-            (Obs.Fuel_exhausted { pattern = pname; fuel });
-          None
-      | Outcome.No_match | Outcome.Stuck -> None)
+        | Outcome.Matched (theta, phi) -> Some (theta, phi)
+        | Outcome.Out_of_fuel ->
+            (* NOT a clean no-match: the matcher was stopped mid-search, so a
+               witness may exist that we never saw. Surface it loudly, and
+               strike the breaker: a pattern that keeps exhausting fuel
+               starves the rest of the library and gets quarantined. *)
+            Log.warn (fun m ->
+                m
+                  "pattern %s at node %%%d ran OUT OF FUEL after %d visits — \
+                   counted as fuel_exhausted, not as a no-match; raise ~fuel \
+                   if this keeps happening"
+                  pname node.Graph.id fuel);
+            Obs.emit ~node:node.Graph.id
+              (Obs.Fuel_exhausted { pattern = pname; fuel });
+            strike rc c;
+            None
+        | Outcome.No_match | Outcome.Stuck -> None)
 
 (* A replacement must present the same tensor type to the rest of the
    graph; opaque (untyped) nodes are accepted on either side. *)
@@ -155,65 +282,136 @@ let types_compatible (old_root : Graph.node) (new_root : Graph.node) =
 let symbol_strings syms = List.map (fun (s : Pypm_term.Symbol.t) -> (s :> string)) syms
 
 (* Fire the first rule whose guard passes. Returns the replacement root if
-   a rewrite happened; records provenance on [stats]. *)
-let fire ~check_types stats g view (c : ectx) node theta phi =
+   a rewrite happened; records provenance on the stats.
+
+   Every firing attempt is a transaction: the guard check happens before
+   anything is allocated, and from instantiation to the final rewiring the
+   graph mutations sit in the journal. A failed instantiate, a type or
+   cycle rejection after construction, or an injected fault rolls the
+   graph back to its pre-attempt state — no orphan nodes, no partial
+   rewiring — and the next rule (or pattern) is tried. *)
+let fire rc g view (c : ectx) node theta phi =
+  let stats = rc.rstats in
   let pname = c.entry.Program.pname in
   let rec try_rules = function
     | [] -> None
-    | (r : Rule.t) :: rest ->
-        if Rule.check_guard view theta phi r then (
-          match Rule.instantiate g view theta phi r.Rule.rhs with
-          | Ok new_root ->
-              if new_root.Graph.id = node.Graph.id then
-                (* identity rewrite: firing it forever would spin *)
-                try_rules rest
-              else if check_types && not (types_compatible node new_root)
-              then (
-                stats.type_rejections <- stats.type_rejections + 1;
-                Obs.emit ~node:node.Graph.id
-                  (Obs.Type_reject { pattern = pname; rule = r.Rule.rule_name });
+    | (r : Rule.t) :: rest -> (
+        let guard_verdict =
+          if Inject.fires rc.rinject Inject.Guard_raise then
+            Error "injected fault: guard raised"
+          else
+            match Rule.check_guard view theta phi r with
+            | ok -> Ok ok
+            | exception e -> Error (Printexc.to_string e)
+        in
+        match guard_verdict with
+        | Error reason ->
+            (* Nothing allocated yet; no rollback needed. *)
+            Log.warn (fun m ->
+                m "guard of rule %s at node %%%d raised: %s" r.Rule.rule_name
+                  node.Graph.id reason);
+            rule_error rc c
+              (Guard_raised { pattern = pname; rule = r.Rule.rule_name; reason });
+            try_rules rest
+        | Ok false ->
+            Obs.emit ~node:node.Graph.id
+              (Obs.Guard_reject { pattern = pname; rule = r.Rule.rule_name });
+            try_rules rest
+        | Ok true -> (
+            let sp = Graph.Txn.begin_ g in
+            let rollback reason =
+              let undone = Graph.Txn.rollback g sp in
+              stats.rolled_back <- stats.rolled_back + 1;
+              Obs.emit ~node:node.Graph.id
+                (Obs.Rolled_back
+                   { pattern = pname; rule = r.Rule.rule_name; reason; undone })
+            in
+            let instantiated =
+              if Inject.fires rc.rinject Inject.Instantiate_fail then
+                Error "injected fault: instantiate failed"
+              else
+                match Rule.instantiate g view theta phi r.Rule.rhs with
+                | result -> result
+                | exception e ->
+                    Error ("construction raised: " ^ Printexc.to_string e)
+            in
+            match instantiated with
+            | Error reason ->
+                rollback ("instantiate: " ^ reason);
                 Log.warn (fun m ->
-                    m
-                      "rule %s at node %%%d rejected: replacement type \
-                       differs from the matched root"
-                      r.Rule.rule_name node.Graph.id);
-                try_rules rest)
-              else (
-                Log.debug (fun m ->
-                    m "fired %s (pattern %s) at node %%%d -> %%%d (%s)"
-                      r.Rule.rule_name pname node.Graph.id new_root.Graph.id
-                      new_root.Graph.op);
-                Graph.replace g ~old_root:node ~new_root;
-                stats.provenance <-
-                  {
-                    Obs.Provenance.seq = stats.total_rewrites;
-                    pattern = pname;
-                    rule = r.Rule.rule_name;
-                    matched_root = node.Graph.id;
-                    matched_op = (node.Graph.op :> string);
-                    replacement_root = new_root.Graph.id;
-                    replacement_op = (new_root.Graph.op :> string);
-                    theta_dom = symbol_strings (Pypm_term.Subst.domain theta);
-                    phi_dom = symbol_strings (Pypm_term.Fsubst.domain phi);
-                  }
-                  :: stats.provenance;
-                stats.total_rewrites <- stats.total_rewrites + 1;
-                Obs.emit ~node:node.Graph.id
-                  (Obs.Rule_fired
-                     {
-                       pattern = pname;
-                       rule = r.Rule.rule_name;
-                       replacement = new_root.Graph.id;
-                     });
-                Some new_root)
-          | Error msg ->
-              invalid_arg
-                (Printf.sprintf "rule %s for %s failed to instantiate: %s"
-                   r.Rule.rule_name pname msg))
-        else (
-          Obs.emit ~node:node.Graph.id
-            (Obs.Guard_reject { pattern = pname; rule = r.Rule.rule_name });
-          try_rules rest)
+                    m "rule %s for %s failed to instantiate at node %%%d: %s"
+                      r.Rule.rule_name pname node.Graph.id reason);
+                rule_error rc c
+                  (Rule_failed
+                     { pattern = pname; rule = r.Rule.rule_name; reason });
+                try_rules rest
+            | Ok new_root ->
+                if new_root.Graph.id = node.Graph.id then (
+                  (* identity rewrite: firing it forever would spin *)
+                  Graph.Txn.commit g sp;
+                  try_rules rest)
+                else if rc.rcheck_types && not (types_compatible node new_root)
+                then (
+                  stats.type_rejections <- stats.type_rejections + 1;
+                  Obs.emit ~node:node.Graph.id
+                    (Obs.Type_reject { pattern = pname; rule = r.Rule.rule_name });
+                  Log.warn (fun m ->
+                      m
+                        "rule %s at node %%%d rejected: replacement type \
+                         differs from the matched root"
+                        r.Rule.rule_name node.Graph.id);
+                  rollback "replacement type differs from the matched root";
+                  try_rules rest)
+                else
+                  let replaced =
+                    if Inject.fires rc.rinject Inject.Replace_cycle then
+                      Error `Cycle
+                    else Graph.try_replace g ~old_root:node ~new_root
+                  in
+                  match replaced with
+                  | Error `Cycle ->
+                      stats.cycle_rejections <- stats.cycle_rejections + 1;
+                      Obs.emit ~node:node.Graph.id
+                        (Obs.Cycle_rejected
+                           { pattern = pname; rule = r.Rule.rule_name });
+                      Log.warn (fun m ->
+                          m
+                            "rule %s at node %%%d rejected: rewiring would \
+                             create a cycle (firing rolled back)"
+                            r.Rule.rule_name node.Graph.id);
+                      rollback "rewiring would create a cycle";
+                      strike rc c;
+                      try_rules rest
+                  | Ok () ->
+                      Graph.Txn.commit g sp;
+                      Log.debug (fun m ->
+                          m "fired %s (pattern %s) at node %%%d -> %%%d (%s)"
+                            r.Rule.rule_name pname node.Graph.id
+                            new_root.Graph.id new_root.Graph.op);
+                      stats.provenance <-
+                        {
+                          Obs.Provenance.seq = stats.total_rewrites;
+                          pattern = pname;
+                          rule = r.Rule.rule_name;
+                          matched_root = node.Graph.id;
+                          matched_op = (node.Graph.op :> string);
+                          replacement_root = new_root.Graph.id;
+                          replacement_op = (new_root.Graph.op :> string);
+                          theta_dom =
+                            symbol_strings (Pypm_term.Subst.domain theta);
+                          phi_dom =
+                            symbol_strings (Pypm_term.Fsubst.domain phi);
+                        }
+                        :: stats.provenance;
+                      stats.total_rewrites <- stats.total_rewrites + 1;
+                      Obs.emit ~node:node.Graph.id
+                        (Obs.Rule_fired
+                           {
+                             pattern = pname;
+                             rule = r.Rule.rule_name;
+                             replacement = new_root.Graph.id;
+                           });
+                      Some new_root))
   in
   try_rules c.entry.Program.rules
 
@@ -224,9 +422,8 @@ let resolve_engine engine indexed =
 (* Full-traversal engines (Naive, Index)                               *)
 (* ------------------------------------------------------------------ *)
 
-let run_scan ~indexed ~check_types ~fuel ~max_rewrites (program : Program.t) g
-    stats =
-  let ctxs = contexts ~indexed program in
+let run_scan rc ~max_rewrites ctxs g =
+  let stats = rc.rstats in
   let rec traverse () =
     stats.iterations <- stats.iterations + 1;
     Obs.emit (Obs.Iteration { n = stats.iterations });
@@ -234,13 +431,13 @@ let run_scan ~indexed ~check_types ~fuel ~max_rewrites (program : Program.t) g
     let rewrote =
       List.exists
         (fun node ->
+          check_deadline rc;
           stats.nodes_visited <- stats.nodes_visited + 1;
           List.exists
             (fun c ->
-              match try_match ~fuel view c node with
+              match try_match rc view c node with
               | Some (theta, phi) ->
-                  Option.is_some
-                    (fire ~check_types stats g view c node theta phi)
+                  Option.is_some (fire rc g view c node theta phi)
               | None -> false)
             ctxs)
         (Graph.live_nodes g)
@@ -266,22 +463,27 @@ let compile_plan (program : Program.t) =
    their witness out of the shared trie walk, fallback entries run the
    backtracking matcher behind their root-head prefilter. Positional, not
    name-keyed: [Plan.kinds] preserves input order. *)
-type plan_entry = Trie of Program.entry | Backtrack of ectx
+type plan_entry = Trie of ectx | Backtrack of ectx
 
-let plan_contexts plan (program : Program.t) =
+let plan_contexts plan (program : Program.t) slots =
   List.map2
-    (fun (e : Program.entry) ((kname, k) : string * Plan.entry_kind) ->
+    (fun ((e : Program.entry), (breaker, ps))
+         ((kname, k) : string * Plan.entry_kind) ->
       assert (String.equal kname e.Program.pname);
       match k with
-      | Plan.Compiled _ -> Trie e
-      | Plan.Fallback heads -> Backtrack { entry = e; heads })
-    program.Program.entries (Plan.kinds plan)
+      | Plan.Compiled _ ->
+          Trie { entry = e; heads = None; breaker; epstats = ps }
+      | Plan.Fallback heads -> Backtrack { entry = e; heads; breaker; epstats = ps })
+    (List.combine program.Program.entries slots)
+    (Plan.kinds plan)
 
 (* Match every entry at one node through the shared plan: one trie walk
    covers all compiled patterns; fallback patterns run the backtracking
    matcher behind their root-head prefilter. Calls [on_match] on entries in
-   program order until it returns [Some _]. *)
-let plan_match_at ~plan ~pctxs ~fuel stats view node ~on_match =
+   program order until it returns [Some _]. Quarantined entries are
+   skipped in both tiers. *)
+let plan_match_at rc ~plan ~pctxs view node ~on_match =
+  let stats = rc.rstats in
   stats.nodes_visited <- stats.nodes_visited + 1;
   let t = Term_view.term_of view node in
   let interp = Term_view.interp view in
@@ -291,24 +493,29 @@ let plan_match_at ~plan ~pctxs ~fuel stats view node ~on_match =
   let rec go = function
     | [] -> None
     | pe :: rest -> (
-        let entry, witness =
+        let c, witness =
           match pe with
-          | Trie (e : Program.entry) -> (
-              match List.assoc_opt e.Program.pname results with
-              | Some (theta, phi) ->
-                  Obs.emit ~node:node.Graph.id
-                    (Obs.Plan_match { pattern = e.Program.pname });
-                  (e, Some (theta, phi))
-              | None ->
-                  Obs.emit ~node:node.Graph.id
-                    (Obs.Pruned
-                       { pattern = e.Program.pname; via = Obs.Plan_trie });
-                  (e, None))
-          | Backtrack c -> (c.entry, try_match ~fuel view c node)
+          | Trie c ->
+              if Breaker.tripped c.breaker then (c, None)
+              else (
+                match List.assoc_opt c.entry.Program.pname results with
+                | Some (theta, phi) ->
+                    Obs.emit ~node:node.Graph.id
+                      (Obs.Plan_match { pattern = c.entry.Program.pname });
+                    (c, Some (theta, phi))
+                | None ->
+                    Obs.emit ~node:node.Graph.id
+                      (Obs.Pruned
+                         {
+                           pattern = c.entry.Program.pname;
+                           via = Obs.Plan_trie;
+                         });
+                    (c, None))
+          | Backtrack c -> (c, try_match rc view c node)
         in
         match witness with
         | Some w -> (
-            match on_match entry w with Some r -> Some r | None -> go rest)
+            match on_match c w with Some r -> Some r | None -> go rest)
         | None -> go rest)
   in
   go pctxs
@@ -342,9 +549,8 @@ let mark_dirty_region g dirty ~before_last_id (new_root : Graph.node) =
   in
   up new_root
 
-let run_plan ~check_types ~fuel ~max_rewrites (program : Program.t) g stats =
-  let plan = compile_plan program in
-  let pctxs = plan_contexts plan program in
+let run_plan rc ~max_rewrites plan pctxs g =
+  let stats = rc.rstats in
   (* The work-queue: ids of nodes whose term view may have changed since
      they were last scanned without firing. Scanning follows the live
      topological order restricted to this set, so the rewrite sequence is
@@ -362,15 +568,13 @@ let run_plan ~check_types ~fuel ~max_rewrites (program : Program.t) g stats =
       List.exists
         (fun (node : Graph.node) ->
           if not (Hashtbl.mem dirty node.Graph.id) then false
-          else
+          else begin
+            check_deadline rc;
             let fired =
-              plan_match_at ~plan ~pctxs ~fuel stats view node
-                ~on_match:(fun entry (theta, phi) ->
+              plan_match_at rc ~plan ~pctxs view node
+                ~on_match:(fun c (theta, phi) ->
                   let before_last_id = last_node_id g in
-                  let c = { entry; heads = None } in
-                  match
-                    fire ~check_types stats g view c node theta phi
-                  with
+                  match fire rc g view c node theta phi with
                   | Some new_root ->
                       mark_dirty_region g dirty ~before_last_id new_root;
                       Some new_root
@@ -380,7 +584,8 @@ let run_plan ~check_types ~fuel ~max_rewrites (program : Program.t) g stats =
             | Some _ -> true
             | None ->
                 Hashtbl.remove dirty node.Graph.id;
-                false)
+                false
+          end)
         (Graph.live_nodes g)
     in
     if rewrote then (
@@ -391,12 +596,62 @@ let run_plan ~check_types ~fuel ~max_rewrites (program : Program.t) g stats =
   traverse ()
 
 (* ------------------------------------------------------------------ *)
+(* Engine degradation ladder                                           *)
+(* ------------------------------------------------------------------ *)
+
+type prepared = Scan of ectx list | Planned of Plan.t * plan_entry list
+
+let next_down = function Plan -> Some Index | Index -> Some Naive | Naive -> None
+
+(* Prepare the requested engine, degrading Plan → Index → Naive on a
+   preparation failure (a plan-compilation exception, or an injected
+   fault) with a warn event instead of dying. If even Naive cannot be
+   prepared (injection only), the pass has no engine: fatal. *)
+let prepare_engine rc (program : Program.t) slots e =
+  let prep e =
+    if Inject.fires rc.rinject Inject.Plan_compile then
+      Error "injected fault: engine preparation failed"
+    else
+      match e with
+      | Plan -> (
+          match compile_plan program with
+          | plan -> Ok (Planned (plan, plan_contexts plan program slots))
+          | exception exn -> Error (Printexc.to_string exn))
+      | Index -> Ok (Scan (contexts ~indexed:true program slots))
+      | Naive -> Ok (Scan (contexts ~indexed:false program slots))
+  in
+  let rec ladder e =
+    match prep e with
+    | Ok k ->
+        rc.rstats.engine_used <- engine_name e;
+        k
+    | Error reason -> (
+        match next_down e with
+        | Some e' ->
+            Log.warn (fun m ->
+                m
+                  "engine %s unavailable (%s) — degrading to %s; the pass \
+                   continues with the simpler engine"
+                  (engine_name e) reason (engine_name e'));
+            Obs.emit
+              (Obs.Engine_degraded
+                 { from_ = engine_name e; to_ = engine_name e'; reason });
+            ladder e'
+        | None ->
+            rc.rstats.fatal <-
+              Some (Engine_unavailable { engine = engine_name e; reason });
+            raise Aborted)
+  in
+  ladder e
+
+(* ------------------------------------------------------------------ *)
 (* Entry points                                                        *)
 (* ------------------------------------------------------------------ *)
 
 (* Pull the per-pattern numbers out of the event aggregator: the events
    are the single source of truth, the mutable records are the snapshot
-   handed to the caller. *)
+   handed to the caller. ([quarantined] is set directly by the breaker,
+   not derived from events.) *)
 let finalize (program : Program.t) agg stats =
   List.iter2
     (fun (e : Program.entry) ps ->
@@ -410,38 +665,64 @@ let finalize (program : Program.t) agg stats =
           ps.rewrites <- a.Obs.Agg.rewrites;
           ps.fuel_exhausted <- a.Obs.Agg.fuel_exhausted;
           ps.guard_rejections <- a.Obs.Agg.guard_rejects;
+          ps.rolled_back <- a.Obs.Agg.rolled_back;
           ps.match_time <- a.Obs.Agg.match_time)
     program.Program.entries stats.per_pattern;
   stats.fuel_exhausted <-
     List.fold_left
       (fun acc (ps : pattern_stats) -> acc + ps.fuel_exhausted)
       0 stats.per_pattern;
+  stats.errors <- List.rev stats.errors;
   stats.provenance <- List.rev stats.provenance
 
 let run ?engine ?(indexed = false) ?(check_types = true) ?(fuel = 200_000)
-    ?(max_rewrites = 10_000) (program : Program.t) g =
+    ?(max_rewrites = 10_000) ?deadline_s ?(quarantine_after = 5)
+    ?(inject = Inject.none) ?(on_error = `Quarantine) (program : Program.t) g =
   let stats = fresh_stats program in
   let agg = Obs.Agg.create () in
-  let e = resolve_engine engine indexed in
+  let requested = resolve_engine engine indexed in
+  stats.engine_used <- engine_name requested;
   Obs.emit
     (Obs.Pass_begin
        {
-         engine = engine_name e;
+         engine = engine_name requested;
          patterns = List.length program.Program.entries;
        });
   let t_start = now () in
+  let rc =
+    {
+      rstats = stats;
+      rinject = inject;
+      ron_error = on_error;
+      rdeadline = Option.map (fun d -> t_start +. d) deadline_s;
+      rdeadline_budget = Option.value ~default:0. deadline_s;
+      rcheck_types = check_types;
+      rfuel = fuel;
+    }
+  in
+  let slots = entry_slots ~quarantine_after program stats in
   Obs.with_sink (Obs.Agg.sink agg) (fun () ->
-      match e with
-      | Plan -> run_plan ~check_types ~fuel ~max_rewrites program g stats
-      | (Naive | Index) as e ->
-          run_scan ~indexed:(e = Index) ~check_types ~fuel ~max_rewrites
-            program g stats);
+      try
+        match prepare_engine rc program slots requested with
+        | Scan ctxs -> run_scan rc ~max_rewrites ctxs g
+        | Planned (plan, pctxs) -> run_plan rc ~max_rewrites plan pctxs g
+      with Aborted -> ());
   stats.wall_time <- now () -. t_start;
   finalize program agg stats;
   Obs.emit
     (Obs.Pass_end
        { rewrites = stats.total_rewrites; iterations = stats.iterations });
   stats
+
+(* [run] with the strict error policy, surfacing the fatal error as a
+   [result] for callers (the CLI) that must report it structurally. *)
+let run_result ?engine ?indexed ?check_types ?fuel ?max_rewrites ?deadline_s
+    ?quarantine_after ?inject program g =
+  let stats =
+    run ?engine ?indexed ?check_types ?fuel ?max_rewrites ?deadline_s
+      ?quarantine_after ?inject ~on_error:`Fail program g
+  in
+  match stats.fatal with Some e -> Error (e, stats) | None -> Ok stats
 
 let provenance stats = stats.provenance
 
@@ -451,25 +732,42 @@ let match_only ?engine ?(indexed = false) ?(fuel = 200_000)
   let agg = Obs.Agg.create () in
   let t_start = now () in
   stats.iterations <- 1;
+  let e = resolve_engine engine indexed in
+  stats.engine_used <- engine_name e;
+  let rc =
+    {
+      rstats = stats;
+      rinject = Inject.none;
+      ron_error = `Quarantine;
+      rdeadline = None;
+      rdeadline_budget = 0.;
+      rcheck_types = true;
+      rfuel = fuel;
+    }
+  in
+  let slots =
+    entry_slots ~quarantine_after:max_int
+      program stats
+  in
   let view = Term_view.create g in
   Obs.with_sink (Obs.Agg.sink agg) (fun () ->
-      match resolve_engine engine indexed with
+      match e with
       | Plan ->
           let plan = compile_plan program in
-          let pctxs = plan_contexts plan program in
+          let pctxs = plan_contexts plan program slots in
           List.iter
             (fun node ->
               ignore
-                (plan_match_at ~plan ~pctxs ~fuel stats view node
+                (plan_match_at rc ~plan ~pctxs view node
                    ~on_match:(fun _ _ -> None)))
             (Graph.live_nodes g)
       | (Naive | Index) as e ->
-          let ctxs = contexts ~indexed:(e = Index) program in
+          let ctxs = contexts ~indexed:(e = Index) program slots in
           List.iter
             (fun node ->
               stats.nodes_visited <- stats.nodes_visited + 1;
               List.iter
-                (fun c -> ignore (try_match ~fuel view c node))
+                (fun c -> ignore (try_match rc view c node))
                 ctxs)
             (Graph.live_nodes g));
   stats.reached_fixpoint <- true;
@@ -501,26 +799,40 @@ let matches_of ?(fuel = 200_000) (program : Program.t) g =
 let pp_stats ppf s =
   Format.fprintf ppf
     "@[<v>pass: %d iteration(s), %d nodes visited, %d rewrites, %d collected, \
-     %.3f s%s%s@,"
+     %.3f s (%s engine)%s%s%s@,"
     s.iterations s.nodes_visited s.total_rewrites s.collected s.wall_time
+    s.engine_used
     (if s.plan_time > 0. then
        Printf.sprintf " (%.4f s in the shared plan)" s.plan_time
      else "")
-    (if s.reached_fixpoint then "" else " (max rewrites hit)");
+    (if s.reached_fixpoint then ""
+     else if s.deadline_hit then " (deadline hit)"
+     else " (max rewrites hit)")
+    (if s.rolled_back > 0 || s.cycle_rejections > 0 then
+       Printf.sprintf " [%d rolled back, %d cycle-rejected]" s.rolled_back
+         s.cycle_rejections
+     else "");
   if s.fuel_exhausted > 0 then
     Format.fprintf ppf
       "  WARNING: %d match attempt(s) ran out of fuel — these are not \
        no-matches; the pass may have missed rewrites (raise ~fuel)@,"
       s.fuel_exhausted;
+  (match s.fatal with
+  | Some e -> Format.fprintf ppf "  FATAL: %a@," pp_error e
+  | None -> ());
+  List.iter
+    (fun e -> Format.fprintf ppf "  error: %a@," pp_error e)
+    s.errors;
   List.iter
     (fun ps ->
       Format.fprintf ppf
         "  %-24s attempts %-6d skipped %-6d pruned %-6d matches %-5d \
-         rewrites %-5d %.4f s%s@,"
+         rewrites %-5d %.4f s%s%s@,"
         ps.ps_name ps.attempts ps.skipped ps.plan_pruned ps.matches
         ps.rewrites ps.match_time
         (if ps.fuel_exhausted > 0 then
            Printf.sprintf " fuel-exhausted %d" ps.fuel_exhausted
-         else ""))
+         else "")
+        (if ps.quarantined then " QUARANTINED" else ""))
     s.per_pattern;
   Format.fprintf ppf "@]"

@@ -26,7 +26,36 @@
       last-scanned no-match status, which is sound because a node's match
       outcome depends only on its term view. The rewrite sequence — and
       hence the final graph — is identical to the full-traversal engines'
-      (checked in [test/test_plan.ml]). *)
+      (checked in [test/test_plan.ml]).
+
+    {2 Resilience}
+
+    The pass is built to survive misbehaving rules, patterns and engines
+    without corrupting the graph or aborting the process:
+
+    - {e transactional firing} — from instantiation to the final rewiring,
+      every firing attempt runs inside a graph transaction
+      ({!Pypm_graph.Graph.Txn}); a failed instantiate, a type or cycle
+      rejection after partial construction, or an injected fault rolls the
+      graph back to its exact pre-attempt state ([rolled_back],
+      [cycle_rejections]);
+    - {e structured errors} — a rule that fails to instantiate or whose
+      guard raises becomes an {!error} value in [stats.errors] (policy
+      [`Quarantine], the default) or the pass's [stats.fatal] (policy
+      [`Fail]), never an exception escaping [run];
+    - {e quarantine} — a pattern that keeps striking (fuel exhaustion,
+      rule errors, cycle rejections) trips its circuit breaker after
+      [?quarantine_after] strikes and is skipped for the rest of the pass;
+    - {e degradation ladder} — if the requested engine cannot be prepared
+      (plan compilation fails), the pass degrades Plan → Index → Naive
+      with a warn event instead of dying;
+    - {e deadline} — [?deadline_s] bounds the pass's wall-clock time;
+      on expiry the pass stops where it is and returns partial stats with
+      [reached_fixpoint = false] and [deadline_hit = true];
+    - {e fault injection} — [?inject] threads a seeded
+      {!Pypm_resilience.Resilience.Inject.schedule} through every failure
+      point, for the fuzzer's crash-safety properties and for replaying
+      fault schedules from the CLI. *)
 
 open Pypm_term
 open Pypm_graph
@@ -34,6 +63,28 @@ open Pypm_graph
 type engine = Naive | Index | Plan
 
 val engine_name : engine -> string
+
+(** Structured pass errors. A rule that misbehaves produces one of these
+    instead of an exception; under the default [`Quarantine] policy they
+    accumulate in [stats.errors] while the pass continues, under [`Fail]
+    the first one becomes [stats.fatal] and stops the pass. In both cases
+    the graph has already been rolled back to its pre-attempt state. *)
+type error =
+  | Rule_failed of { pattern : string; rule : string; reason : string }
+      (** [Rule.instantiate] returned [Error] after the pattern matched
+          (e.g. a template variable unbound by the pattern). *)
+  | Guard_raised of { pattern : string; rule : string; reason : string }
+      (** Guard evaluation raised an exception (distinct from a guard
+          cleanly evaluating to false, which is a normal rejection). *)
+  | Engine_unavailable of { engine : string; reason : string }
+      (** No rung of the degradation ladder could be prepared. Always
+          fatal. *)
+
+val pp_error : Format.formatter -> error -> unit
+
+(** [error_message e] is [pp_error] rendered to a string — the CLI's
+    structured exit message. *)
+val error_message : error -> string
 
 type pattern_stats = {
   ps_name : string;
@@ -55,6 +106,11 @@ type pattern_stats = {
           not} clean no-matches: a witness may exist that was never found *)
   mutable guard_rejections : int;
       (** rules whose guard evaluated to false on a witness *)
+  mutable rolled_back : int;
+      (** firing attempts of this pattern's rules that were rolled back *)
+  mutable quarantined : bool;
+      (** the pattern's circuit breaker tripped: it was skipped from that
+          point to the end of the pass *)
   mutable match_time : float;  (** seconds inside the backtracking matcher *)
 }
 
@@ -70,11 +126,31 @@ type stats = {
   mutable fuel_exhausted : int;
       (** total fuel-exhausted attempts across all patterns; a nonzero
           value means the "fixpoint" may be short of the true one *)
+  mutable cycle_rejections : int;
+      (** firings rejected because the rewiring would have closed a cycle;
+          the attempt was rolled back and the pass continued *)
+  mutable rolled_back : int;
+      (** total firing attempts undone by the transaction journal (failed
+          instantiates, type and cycle rejections, injected faults) *)
+  mutable quarantined : int;  (** patterns quarantined during the pass *)
   mutable collected : int;  (** garbage nodes removed *)
   mutable wall_time : float;  (** whole pass, seconds *)
   mutable plan_time : float;
       (** seconds inside the shared plan's trie walk (0 unless [Plan]) *)
   mutable reached_fixpoint : bool;
+  mutable deadline_hit : bool;
+      (** the pass stopped at [?deadline_s]; implies
+          [reached_fixpoint = false] unless the fixpoint was reached
+          first *)
+  mutable engine_used : string;
+      (** the engine that actually ran — differs from the requested one
+          when the degradation ladder stepped down *)
+  mutable errors : error list;
+      (** contained rule errors, in occurrence order (policy
+          [`Quarantine]) *)
+  mutable fatal : error option;
+      (** the error that stopped the pass (policy [`Fail], or
+          [Engine_unavailable]); the stats up to that point are valid *)
   mutable provenance : Pypm_obs.Obs.Provenance.step list;
       (** the rewrite provenance log: one step per fired rule, in firing
           order — what [pypmc trace] replays *)
@@ -90,7 +166,8 @@ val find_pattern_stats : stats -> string -> pattern_stats option
 val provenance : stats -> Pypm_obs.Obs.Provenance.step list
 
 (** The pass's log source ("pypm.pass"): [debug] on each rule firing,
-    [warn] on type-check rejections. Enable with
+    [warn] on type-check rejections, rollbacks, quarantines, engine
+    degradations and deadline hits. Enable with
     [Logs.Src.set_level Pass.log_src (Some Logs.Debug)]. *)
 val log_src : Logs.src
 
@@ -102,18 +179,56 @@ val log_src : Logs.src
     [Index] for compatibility with older callers. [check_types] (default
     true) refuses to fire a rule whose replacement node's tensor type
     differs from the matched root's — a rewrite must preserve what the
-    rest of the graph observes; rejected firings are counted in
-    [type_rejections] and the next rule is tried. Replacements typed
-    [None] (opaque) are always allowed. *)
+    rest of the graph observes; rejected firings are rolled back, counted
+    in [type_rejections], and the next rule is tried. Replacements typed
+    [None] (opaque) are always allowed.
+
+    Resilience knobs:
+
+    - [deadline_s]: wall-clock budget in seconds; on expiry the pass
+      returns partial stats with [deadline_hit = true].
+    - [quarantine_after] (default 5): strikes before a pattern's circuit
+      breaker trips and the pattern is skipped for the rest of the pass.
+    - [inject] (default {!Pypm_resilience.Resilience.Inject.none}): the
+      fault-injection schedule threaded through the pass's failure
+      points.
+    - [on_error] (default [`Quarantine]): what a structured rule error
+      does — [`Quarantine] records it in [stats.errors], strikes the
+      pattern's breaker and continues; [`Fail] sets [stats.fatal] and
+      stops the pass at the first error.
+
+    [run] does not raise on rule or engine failures; every failure mode
+    is a stats field. *)
 val run :
   ?engine:engine ->
   ?indexed:bool ->
   ?check_types:bool ->
   ?fuel:int ->
   ?max_rewrites:int ->
+  ?deadline_s:float ->
+  ?quarantine_after:int ->
+  ?inject:Pypm_resilience.Resilience.Inject.schedule ->
+  ?on_error:[ `Quarantine | `Fail ] ->
   Program.t ->
   Graph.t ->
   stats
+
+(** [run_result] is {!run} under the [`Fail] policy, with the fatal error
+    (if any) surfaced as the [Error] case alongside the partial stats —
+    the strict-mode entry point for callers that must report the first
+    failure structurally (the CLI's [--strict]). *)
+val run_result :
+  ?engine:engine ->
+  ?indexed:bool ->
+  ?check_types:bool ->
+  ?fuel:int ->
+  ?max_rewrites:int ->
+  ?deadline_s:float ->
+  ?quarantine_after:int ->
+  ?inject:Pypm_resilience.Resilience.Inject.schedule ->
+  Program.t ->
+  Graph.t ->
+  (stats, error * stats) result
 
 (** [match_only ?engine ?indexed ?fuel program graph] runs the matching
     half only: counts matches of every pattern at every node without firing

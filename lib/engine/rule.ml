@@ -45,6 +45,11 @@ let rec map_result f = function
       let* ys = map_result f xs in
       Ok (y :: ys)
 
+(* Construction is atomic: the whole template builds inside a graph
+   transaction, so an [Error] (unbound variable, nodeless binding) or an
+   exception from [Graph.add] (arity/typing rejection) part-way through
+   rolls back every node already materialized instead of leaking garbage
+   until the next gc. *)
 let instantiate g view theta phi rhs =
   let rec go = function
     | Rvar x -> (
@@ -83,7 +88,17 @@ let instantiate g view theta phi rhs =
                 Ok (Graph.add g op ~attrs:src.Graph.attrs inputs)))
     | Rlit v -> Ok (Graph.constant g v)
   in
-  go rhs
+  let sp = Graph.Txn.begin_ g in
+  match go rhs with
+  | Ok n ->
+      Graph.Txn.commit g sp;
+      Ok n
+  | Error _ as e ->
+      ignore (Graph.Txn.rollback g sp);
+      e
+  | exception exn ->
+      ignore (Graph.Txn.rollback g sp);
+      raise exn
 
 let check_guard view theta phi rule =
   Guard.eval (Term_view.interp view) theta phi rule.guard = Some true

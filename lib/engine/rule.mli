@@ -41,7 +41,13 @@ val rhs_vars : rhs -> Symbol.Set.t * Symbol.Set.t
 (** [instantiate graph view theta phi rhs] materializes the template as
     graph nodes. [Rvar x] resolves through the view to the node [theta(x)]
     matched; [Rfapp F] applies [phi(F)]. Errors mention the offending
-    variable or operator. *)
+    variable or operator.
+
+    Construction is {e atomic}: it runs inside a graph transaction
+    ({!Pypm_graph.Graph.Txn}), so on [Error] — or on an exception escaping
+    from node construction — every node materialized so far is rolled
+    back; a failed instantiation leaves the graph's node count exactly as
+    it found it. *)
 val instantiate :
   Graph.t ->
   Term_view.t ->

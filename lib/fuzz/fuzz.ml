@@ -10,6 +10,7 @@ module Surface = Pypm_surface.Surface
 module Lexer = Pypm_surface.Lexer
 module Ast = Pypm_dsl.Ast
 module Elaborate = Pypm_dsl.Elaborate
+module Inject = Pypm_resilience.Resilience.Inject
 
 type verdict = Pass | Discard | Fail of string
 
@@ -289,6 +290,67 @@ let graph_validate recipe =
           Fail ("graph invalid after rewriting: " ^ String.concat "; " errs))
 
 (* ------------------------------------------------------------------ *)
+(* Fault-injection properties                                          *)
+(* ------------------------------------------------------------------ *)
+
+(* Crash safety: under ANY seeded fault schedule — failed instantiates,
+   raising guards, fuel cuts, forced cycle rejections, poisoned engine
+   preparation — the pass neither raises nor leaves the graph invalid, on
+   every engine. Rolled-back firings, quarantines, degradations and even a
+   fatal [Engine_unavailable] are all acceptable outcomes; a torn graph or
+   an escaped exception is not (the latter is caught by [protect]). *)
+let crash_safety (r : Gen.graph_recipe) =
+  let rate = 0.3 in
+  let failure =
+    List.fold_left
+      (fun acc (engine, ename) ->
+        match acc with
+        | Some _ -> acc
+        | None -> (
+            let _env, g, prog = Gen.build r in
+            let inject =
+              Inject.seeded ~seed:((r.Gen.gr_seed * 7919) + 17) ~rate ()
+            in
+            let _stats = Pass.run ~engine ~inject ~quarantine_after:3 prog g in
+            match Graph.validate g with
+            | [] -> None
+            | errs ->
+                Some
+                  (Printf.sprintf "%s engine left an invalid graph: %s" ename
+                     (String.concat "; " errs))))
+      None engine_names
+  in
+  match failure with Some msg -> Fail msg | None -> Pass
+
+(* Rollback exactness: a schedule that fails EVERY instantiation must
+   leave the graph byte-identical (by structural fingerprint) to its
+   pre-pass state — every attempted firing was rolled back, nothing
+   leaked, nothing rewired. *)
+let rollback_exact (r : Gen.graph_recipe) =
+  let _env, g, prog = Gen.build r in
+  let before_fp = fingerprint g in
+  let before_n = List.length (Graph.live_nodes g) in
+  let inject =
+    Inject.seeded ~seed:r.Gen.gr_seed ~rate:1.0
+      ~points:[ Inject.Instantiate_fail ] ()
+  in
+  let stats = Pass.run ~engine:Pass.Naive ~inject prog g in
+  if stats.Pass.total_rewrites <> 0 then
+    Fail
+      (Printf.sprintf
+         "%d rewrite(s) fired although every instantiate was failed"
+         stats.Pass.total_rewrites)
+  else if not (String.equal (fingerprint g) before_fp) then
+    Fail "rollbacks did not restore the original graph fingerprint"
+  else
+    let after_n = List.length (Graph.live_nodes g) in
+    if after_n <> before_n then
+      Fail
+        (Printf.sprintf "live node count changed: %d before, %d after"
+           before_n after_n)
+    else Pass
+
+(* ------------------------------------------------------------------ *)
 (* Codec properties                                                    *)
 (* ------------------------------------------------------------------ *)
 
@@ -496,6 +558,20 @@ let props : prop list =
         doc = "rewritten graphs stay structurally valid";
         cost = 50;
         case = recipe_case graph_validate;
+      };
+    Prop
+      {
+        name = "crash_safety";
+        doc = "any fault schedule: no exception, graph stays valid";
+        cost = 50;
+        case = recipe_case crash_safety;
+      };
+    Prop
+      {
+        name = "rollback_exact";
+        doc = "failing every instantiate leaves the graph fingerprint intact";
+        cost = 30;
+        case = recipe_case rollback_exact;
       };
     Prop
       {

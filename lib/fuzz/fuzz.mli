@@ -15,6 +15,12 @@
       identical per-pattern match counts, perform the same number of
       rewrites and produce isomorphic graphs on random well-typed
       transformer-style workloads — and the rewritten graph validates;
+    - [crash_safety]: under any seeded fault-injection schedule
+      ({!Pypm_resilience.Resilience.Inject}) the pass neither raises nor
+      leaves an invalid graph, on every engine;
+    - [rollback_exact]: a schedule failing every instantiation leaves the
+      graph's structural fingerprint (and live node count) unchanged —
+      every attempted firing rolled back exactly;
     - [codec_roundtrip]: encode / decode / re-encode of random programs is
       byte-identical;
     - [codec_wire]: varint and zigzag primitives round-trip any [int];
@@ -57,6 +63,14 @@ type report = {
 }
 
 val all_prop_names : string list
+
+(** Structural fingerprint of the live graph: node ids and input-symbol
+    uid suffixes are relabelled in first-appearance order, shared
+    subgraphs are emitted once then referenced, so two graphs have equal
+    fingerprints iff they are isomorphic as labelled DAGs from their
+    outputs. Runs {!Pypm_graph.Graph.gc} first (the fingerprint sees live
+    nodes only). *)
+val fingerprint : Pypm_graph.Graph.t -> string
 
 (** [run ?props ~seed ~budget ()] executes the selected properties
     ([props = []] or omitted means all), spreading [budget] cases across

@@ -16,10 +16,31 @@ type t = {
   mutable order : int list; (* reverse creation order *)
   mutable outs : node list;
   mutable next_id : int;
+  (* Mutation journal: undo thunks for every mutation performed while a
+     transaction is open (LIFO). Empty and untouched outside transactions,
+     so the non-transactional paths pay one [journal_depth] check. *)
+  mutable journal : (unit -> unit) list;
+  mutable journal_len : int;
+  mutable journal_depth : int;
 }
 
 let create ~sg ~infer () =
-  { sg; infer; table = Hashtbl.create 256; order = []; outs = []; next_id = 0 }
+  {
+    sg;
+    infer;
+    table = Hashtbl.create 256;
+    order = [];
+    outs = [];
+    next_id = 0;
+    journal = [];
+    journal_len = 0;
+    journal_depth = 0;
+  }
+
+let journal_push g undo =
+  if g.journal_depth > 0 then (
+    g.journal <- undo :: g.journal;
+    g.journal_len <- g.journal_len + 1)
 
 let signature g = g.sg
 let inference g = g.infer
@@ -29,6 +50,12 @@ let alloc g op inputs attrs ty =
   g.next_id <- g.next_id + 1;
   Hashtbl.replace g.table n.id n;
   g.order <- n.id :: g.order;
+  (* Undo: drop the node. [next_id] is deliberately not restored, so node
+     ids are never reused across a rollback — events and provenance that
+     captured an id during the attempt can never alias a later node. *)
+  journal_push g (fun () ->
+      Hashtbl.remove g.table n.id;
+      g.order <- List.filter (fun id -> id <> n.id) g.order);
   n
 
 let leaf_with_class g ~name ~cls ty =
@@ -94,7 +121,10 @@ let constant_value n =
   | Some v -> Some (float_of_int v /. const_scale)
   | None -> None
 
-let set_outputs g outs = g.outs <- outs
+let set_outputs g outs =
+  let old = g.outs in
+  journal_push g (fun () -> g.outs <- old);
+  g.outs <- outs
 let outputs g = g.outs
 let find_node g id = Hashtbl.find_opt g.table id
 let nodes g = List.rev_map (fun id -> Hashtbl.find g.table id) g.order
@@ -130,8 +160,9 @@ let reaches from candidate =
   in
   go from
 
-let replace g ~old_root ~new_root =
-  if old_root.id <> new_root.id then (
+let try_replace g ~old_root ~new_root =
+  if old_root.id = new_root.id then Ok ()
+  else
     (* Cycle guard: if some live user of old_root is reachable from
        new_root, rewiring would close a loop. Only live users are rewired:
        dead nodes keep their stale inputs until the next gc, and rewiring
@@ -142,26 +173,37 @@ let replace g ~old_root ~new_root =
         (fun m -> List.exists (fun i -> i.id = old_root.id) m.inputs)
         (live_nodes g)
     in
-    List.iter
-      (fun u ->
-        if reaches new_root u then
-          invalid_arg "Graph.replace: rewiring would create a cycle")
-      user_list;
-    List.iter
-      (fun u ->
-        u.inputs <-
-          List.map (fun i -> if i.id = old_root.id then new_root else i) u.inputs)
-      user_list;
-    g.outs <-
-      List.map (fun o -> if o.id = old_root.id then new_root else o) g.outs;
-    Pypm_obs.Obs.emit ~node:old_root.id
-      (Pypm_obs.Obs.Replace { old_root = old_root.id; new_root = new_root.id }))
+    if List.exists (fun u -> reaches new_root u) user_list then Error `Cycle
+    else (
+      List.iter
+        (fun u ->
+          let old_inputs = u.inputs in
+          journal_push g (fun () -> u.inputs <- old_inputs);
+          u.inputs <-
+            List.map
+              (fun i -> if i.id = old_root.id then new_root else i)
+              u.inputs)
+        user_list;
+      let old_outs = g.outs in
+      journal_push g (fun () -> g.outs <- old_outs);
+      g.outs <-
+        List.map (fun o -> if o.id = old_root.id then new_root else o) g.outs;
+      Pypm_obs.Obs.emit ~node:old_root.id
+        (Pypm_obs.Obs.Replace { old_root = old_root.id; new_root = new_root.id });
+      Ok ())
+
+let replace g ~old_root ~new_root =
+  match try_replace g ~old_root ~new_root with
+  | Ok () -> ()
+  | Error `Cycle -> invalid_arg "Graph.replace: rewiring would create a cycle"
 
 (* Raw input surgery, bypassing every invariant. Exists so tests (and
    debugging sessions) can manufacture broken graphs for [validate]. *)
 let unsafe_set_inputs (n : node) inputs = n.inputs <- inputs
 
 let gc g =
+  if g.journal_depth > 0 then
+    invalid_arg "Graph.gc: cannot collect inside an open transaction";
   let live = live_nodes g in
   let keep = Hashtbl.create 256 in
   List.iter (fun n -> Hashtbl.replace keep n.id ()) live;
@@ -210,6 +252,54 @@ let validate g =
         err "node %d: participates in a cycle" n.id)
     live;
   List.rev !errs
+
+(* ------------------------------------------------------------------ *)
+(* Transactions                                                        *)
+(* ------------------------------------------------------------------ *)
+
+module Txn = struct
+  type savepoint = { mark : int; at_depth : int }
+
+  let begin_ g =
+    g.journal_depth <- g.journal_depth + 1;
+    { mark = g.journal_len; at_depth = g.journal_depth }
+
+  let check g sp what =
+    if g.journal_depth <> sp.at_depth then
+      invalid_arg
+        (Printf.sprintf
+           "Graph.Txn.%s: savepoint depth %d but transaction depth is %d \
+            (commit/rollback must nest LIFO)"
+           what sp.at_depth g.journal_depth)
+
+  let close g =
+    g.journal_depth <- g.journal_depth - 1;
+    if g.journal_depth = 0 then (
+      g.journal <- [];
+      g.journal_len <- 0)
+
+  let commit g sp =
+    check g sp "commit";
+    close g
+
+  let rollback g sp =
+    check g sp "rollback";
+    let undone = ref 0 in
+    while g.journal_len > sp.mark do
+      match g.journal with
+      | [] -> assert false
+      | undo :: rest ->
+          undo ();
+          g.journal <- rest;
+          g.journal_len <- g.journal_len - 1;
+          incr undone
+    done;
+    close g;
+    !undone
+
+  let active g = g.journal_depth > 0
+  let depth g = g.journal_depth
+end
 
 let pp_node ppf n =
   Format.fprintf ppf "%%%d = %s(%a)%a" n.id n.op

@@ -98,9 +98,53 @@ val users : t -> node -> node list
     strict ancestor of itself through [old_root]'s users). *)
 val replace : t -> old_root:node -> new_root:node -> unit
 
+(** Non-raising {!replace}: [Error `Cycle] when rewiring would close a
+    loop, with the graph untouched — the rewrite engine counts this as a
+    rejected firing and rolls the attempt back instead of dying mid-pass. *)
+val try_replace :
+  t -> old_root:node -> new_root:node -> (unit, [ `Cycle ]) result
+
 (** Drop unreachable nodes from the node table; returns how many were
-    collected. *)
+    collected. Raises [Invalid_argument] inside an open transaction: the
+    journal could not undo a collection. *)
 val gc : t -> int
+
+(** {2 Transactions}
+
+    A mutation journal over the graph: every node allocation, input
+    rewiring, and output update performed while a transaction is open is
+    recorded as an undo thunk. {!Txn.rollback} restores the graph to its
+    state at {!Txn.begin_} — the mechanism behind all-or-nothing rule
+    firing in the rewrite pass. Transactions nest LIFO via savepoints
+    (an inner [begin_]/[rollback] undoes only the inner mutations; an
+    outer [rollback] undoes committed inner work too). Outside any
+    transaction the journal records nothing and costs one integer check
+    per mutation.
+
+    Node ids are {e not} reused after a rollback: [next_id] keeps
+    advancing, so an id captured by an event during a rolled-back attempt
+    can never alias a later node. *)
+
+module Txn : sig
+  type savepoint
+
+  (** Open a (possibly nested) transaction; mutations are journaled until
+      the matching {!commit} or {!rollback}. *)
+  val begin_ : t -> savepoint
+
+  (** Keep the mutations since the savepoint. Raises [Invalid_argument]
+      on non-LIFO commit order. *)
+  val commit : t -> savepoint -> unit
+
+  (** Undo every mutation since the savepoint, most recent first; returns
+      how many were undone. Raises [Invalid_argument] on non-LIFO order. *)
+  val rollback : t -> savepoint -> int
+
+  (** Is any transaction open? *)
+  val active : t -> bool
+
+  val depth : t -> int
+end
 
 (** [count_op g op] counts live nodes with operator [op]. *)
 val count_op : t -> Symbol.t -> int

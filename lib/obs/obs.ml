@@ -16,6 +16,12 @@ type kind =
   | Iteration of { n : int }
   | Pass_begin of { engine : string; patterns : int }
   | Pass_end of { rewrites : int; iterations : int }
+  | Rolled_back of { pattern : string; rule : string; reason : string; undone : int }
+  | Cycle_rejected of { pattern : string; rule : string }
+  | Quarantined of { pattern : string; strikes : int }
+  | Engine_degraded of { from_ : string; to_ : string; reason : string }
+  | Fault_injected of { point : string }
+  | Deadline_hit of { budget_s : float }
 
 type event = { ts : float; dur : float; node : int; kind : kind }
 
@@ -122,6 +128,8 @@ module Agg = struct
     mutable fuel_exhausted : int;
     mutable guard_rejects : int;
     mutable type_rejects : int;
+    mutable rolled_back : int;
+    mutable cycle_rejects : int;
     mutable match_time : float;
     hist : int array;
   }
@@ -149,6 +157,8 @@ module Agg = struct
             fuel_exhausted = 0;
             guard_rejects = 0;
             type_rejects = 0;
+            rolled_back = 0;
+            cycle_rejects = 0;
             match_time = 0.;
             hist = Array.make hist_buckets 0;
           }
@@ -194,8 +204,15 @@ module Agg = struct
     | Plan_match { pattern } ->
         let p = pat t pattern in
         p.matches <- p.matches + 1
+    | Rolled_back { pattern; _ } ->
+        let p = pat t pattern in
+        p.rolled_back <- p.rolled_back + 1
+    | Cycle_rejected { pattern; _ } ->
+        let p = pat t pattern in
+        p.cycle_rejects <- p.cycle_rejects + 1
     | Matcher_fuel _ | Plan_walk _ | Replace _ | Gc _ | Iteration _
-    | Pass_begin _ | Pass_end _ ->
+    | Pass_begin _ | Pass_end _ | Quarantined _ | Engine_degraded _
+    | Fault_injected _ | Deadline_hit _ ->
         ()
 
   let find t name = Hashtbl.find_opt t.table name
@@ -332,6 +349,33 @@ let describe = function
       ( "pass-end",
         "pass",
         [ ("rewrites", `I rewrites); ("iterations", `I iterations) ] )
+  | Rolled_back { pattern; rule; reason; undone } ->
+      ( "rollback " ^ rule,
+        "resilience",
+        [
+          ("pattern", `S pattern);
+          ("rule", `S rule);
+          ("reason", `S reason);
+          ("undone", `I undone);
+        ] )
+  | Cycle_rejected { pattern; rule } ->
+      ( "cycle-reject " ^ rule,
+        "resilience",
+        [ ("pattern", `S pattern); ("rule", `S rule) ] )
+  | Quarantined { pattern; strikes } ->
+      ( "quarantine " ^ pattern,
+        "resilience",
+        [ ("pattern", `S pattern); ("strikes", `I strikes) ] )
+  | Engine_degraded { from_; to_; reason } ->
+      ( "engine-degrade",
+        "resilience",
+        [ ("from", `S from_); ("to", `S to_); ("reason", `S reason) ] )
+  | Fault_injected { point } ->
+      ("fault " ^ point, "resilience", [ ("point", `S point) ])
+  | Deadline_hit { budget_s } ->
+      ( "deadline",
+        "resilience",
+        [ ("budget_ms", `I (int_of_float (budget_s *. 1000.))) ] )
 
 module Chrome = struct
   let args_json args node =

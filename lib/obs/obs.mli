@@ -52,6 +52,26 @@ type kind =
   | Iteration of { n : int }
   | Pass_begin of { engine : string; patterns : int }
   | Pass_end of { rewrites : int; iterations : int }
+  | Rolled_back of {
+      pattern : string;
+      rule : string;
+      reason : string;
+      undone : int;  (** graph mutations undone by the journal *)
+    }
+      (** a firing attempt failed partway and the transaction journal
+          restored the pre-attempt graph *)
+  | Cycle_rejected of { pattern : string; rule : string }
+      (** the replacement would have closed a cycle; the firing was rolled
+          back instead of raising *)
+  | Quarantined of { pattern : string; strikes : int }
+      (** the per-pattern circuit breaker tripped: this pattern is skipped
+          for the remainder of the pass *)
+  | Engine_degraded of { from_ : string; to_ : string; reason : string }
+      (** the degradation ladder fell back to a simpler matching engine *)
+  | Fault_injected of { point : string }
+      (** a deterministic fault-injection point fired (testing only) *)
+  | Deadline_hit of { budget_s : float }
+      (** the pass stopped at its wall-clock budget with partial stats *)
 
 type event = {
   ts : float;  (** absolute seconds (Unix epoch) at emission *)
@@ -122,6 +142,10 @@ module Agg : sig
     mutable fuel_exhausted : int;
     mutable guard_rejects : int;
     mutable type_rejects : int;
+    mutable rolled_back : int;
+        (** firing attempts undone by the transaction journal *)
+    mutable cycle_rejects : int;
+        (** firings rejected because the replacement would close a cycle *)
     mutable match_time : float;  (** seconds inside the matcher *)
     hist : int array;
         (** histogram of match-attempt durations; bucket [i] counts

@@ -63,10 +63,7 @@ let test_deep_recursion_bounded () =
 (* Broken rules fail loudly, and the graph survives                    *)
 (* ------------------------------------------------------------------ *)
 
-let test_rule_with_unbound_var_raises () =
-  let env, g = fresh () in
-  let x = Graph.input g ~name:"x" (f32 [ 4 ]) in
-  Graph.set_outputs g [ Graph.add g Std_ops.relu [ x ] ];
+let bad_program env =
   let bad =
     {
       Program.pname = "Bad";
@@ -75,13 +72,52 @@ let test_rule_with_unbound_var_raises () =
         [ Rule.make ~name:"bad" ~pattern:"Bad" (Rule.Rvar "never_bound") ];
     }
   in
-  match Pass.run (Program.make ~sg:env.Std_ops.sg [ bad ]) g with
-  | exception Invalid_argument msg ->
-      checkb "names the rule" true
-        (String.length msg > 0);
-      (* the failed instantiation must not have broken the graph *)
+  Program.make ~sg:env.Std_ops.sg [ bad ]
+
+(* A rule whose template mentions a variable the pattern never binds: under
+   the default policy the error is contained — recorded in [stats.errors],
+   the pattern quarantined, the graph intact — and [run] does not raise. *)
+let test_rule_with_unbound_var_is_contained () =
+  let env, g = fresh () in
+  let x = Graph.input g ~name:"x" (f32 [ 4 ]) in
+  (* three matching nodes, so one traversal strikes the breaker three
+     times: quarantine at threshold 2 trips mid-traversal *)
+  let r1 = Graph.add g Std_ops.relu [ x ] in
+  let r2 = Graph.add g Std_ops.relu [ r1 ] in
+  Graph.set_outputs g [ Graph.add g Std_ops.relu [ r2 ] ];
+  let stats = Pass.run ~quarantine_after:2 (bad_program env) g in
+  checki "no rewrites fired" 0 stats.Pass.total_rewrites;
+  checkb "errors recorded" true (stats.Pass.errors <> []);
+  (match List.hd stats.Pass.errors with
+  | Pass.Rule_failed { pattern; rule; reason } ->
+      Alcotest.(check string) "names the pattern" "Bad" pattern;
+      Alcotest.(check string) "names the rule" "bad" rule;
+      checkb "names the variable" true (String.length reason > 0)
+  | e -> Alcotest.failf "unexpected error: %s" (Pass.error_message e));
+  checkb "pattern quarantined" true
+    (match Pass.find_pattern_stats stats "Bad" with
+    | Some ps -> ps.Pass.quarantined
+    | None -> false);
+  checkb "every failed firing rolled back" true (stats.Pass.rolled_back > 0);
+  checkb "not fatal by default" true (stats.Pass.fatal = None);
+  (* the failed instantiations must not have broken the graph *)
+  Alcotest.(check (list string)) "graph still valid" [] (Graph.validate g)
+
+(* Under [`Fail] (the CLI's --strict) the same program stops the pass at
+   the first error, surfaced through [run_result]. *)
+let test_rule_with_unbound_var_strict () =
+  let env, g = fresh () in
+  let x = Graph.input g ~name:"x" (f32 [ 4 ]) in
+  Graph.set_outputs g [ Graph.add g Std_ops.relu [ x ] ];
+  match Pass.run_result (bad_program env) g with
+  | Ok _ -> Alcotest.fail "strict mode accepted an unbound rule variable"
+  | Error (e, stats) ->
+      (match e with
+      | Pass.Rule_failed { rule; _ } ->
+          Alcotest.(check string) "names the rule" "bad" rule
+      | e -> Alcotest.failf "unexpected error: %s" (Pass.error_message e));
+      checkb "stats report the fatal error" true (stats.Pass.fatal = Some e);
       Alcotest.(check (list string)) "graph still valid" [] (Graph.validate g)
-  | _ -> Alcotest.fail "unbound rule variable accepted"
 
 let test_pass_on_empty_program_is_identity () =
   let env, g = fresh () in
@@ -155,7 +191,9 @@ let () =
       ( "engine",
         [
           Alcotest.test_case "unbound rule variable" `Quick
-            test_rule_with_unbound_var_raises;
+            test_rule_with_unbound_var_is_contained;
+          Alcotest.test_case "unbound rule variable (strict)" `Quick
+            test_rule_with_unbound_var_strict;
           Alcotest.test_case "empty program" `Quick
             test_pass_on_empty_program_is_identity;
           Alcotest.test_case "empty graph" `Quick test_pass_on_empty_graph;

@@ -20,6 +20,9 @@ let f2 = F.f2
 
 let entry ?(rules = []) name pattern = { Program.pname = name; pattern; rules }
 
+let rw_exn ~name lhs rhs =
+  match Saturate.rw ~name lhs rhs with Ok r -> r | Error e -> failwith e
+
 let rule name ~pattern ?guard rhs = Rule.make ?guard ~name ~pattern rhs
 
 (* gg(x) -> x *)
@@ -94,10 +97,10 @@ let test_saturation_dominates_both_strategies () =
   let t = g1 (f2 a b) in
   let rules =
     [
-      Saturate.rw ~name:"r1"
+      rw_exn ~name:"r1"
         (P.app "f" [ P.var "x"; P.const "b" ])
         (Saturate.Tapp ("g", [ Saturate.Tvar "x" ]));
-      Saturate.rw ~name:"r2"
+      rw_exn ~name:"r2"
         (P.app "g" [ P.app "f" [ P.var "x"; P.const "b" ] ])
         (Saturate.Tvar "x");
     ]
@@ -115,7 +118,7 @@ let test_saturation_dominates_both_strategies () =
    terms *)
 let prop_confluent_rules_agree =
   let gg_rw =
-    Saturate.rw ~name:"gg"
+    rw_exn ~name:"gg"
       (P.app "g" [ P.app "g" [ P.var "x" ] ])
       (Saturate.Tvar "x")
   in
