@@ -1,6 +1,6 @@
 # Convenience targets; everything is plain dune underneath.
 
-.PHONY: all build test check bench figures examples doc clean
+.PHONY: all build test check serve-smoke bench figures examples doc clean
 
 all: build
 
@@ -11,7 +11,8 @@ test:
 	dune runtest
 
 # the pre-commit gate: formatting (when ocamlformat is available), the
-# full test suite, and a quick bench smoke run over the engine comparison
+# full test suite, a quick bench smoke run over the engine comparison,
+# and the end-to-end serving smoke
 check:
 	@if command -v ocamlformat >/dev/null 2>&1; then \
 	  dune build @fmt || exit 1; \
@@ -20,6 +21,22 @@ check:
 	fi
 	dune runtest
 	dune exec bench/main.exe -- fig12 fig13 --quick
+	$(MAKE) serve-smoke
+
+# end-to-end serving smoke: background a 4-worker server, drive it with
+# 4 concurrent clients, require zero protocol errors and a warm cache,
+# then tear the server down. Finishes in seconds.
+serve-smoke: build
+	@SOCK=/tmp/pypmc-smoke-$$$$.sock; \
+	./_build/default/bin/pypmc.exe serve --socket $$SOCK --workers 4 & \
+	SRV=$$!; \
+	for i in $$(seq 1 100); do [ -S $$SOCK ] && break; sleep 0.1; done; \
+	./_build/default/bin/pypmc.exe load --socket $$SOCK \
+	  --clients 4 --requests 200 --seed 1 --min-hits 1; \
+	RC=$$?; \
+	kill $$SRV 2>/dev/null; wait $$SRV 2>/dev/null; \
+	rm -f $$SOCK; \
+	exit $$RC
 
 # regenerate every figure of the paper's evaluation + micro/ablation benches
 bench:

@@ -248,9 +248,23 @@ let fault_points_of_names names =
           exit 1)
     names
 
+(* --stats-json: machine-readable pass stats, to a file or stdout. *)
+let write_stats_json dest stats =
+  match dest with
+  | None -> ()
+  | Some "-" -> print_endline (Pass.stats_json stats)
+  | Some path ->
+      let oc = open_out_bin path in
+      Fun.protect
+        ~finally:(fun () -> close_out_noerr oc)
+        (fun () ->
+          output_string oc (Pass.stats_json stats);
+          output_char oc '\n');
+      Printf.printf "wrote %s\n" path
+
 let optimize_cmd =
   let run model opt patterns engine verbose dot debug trace fuel deadline
-      fault_seed fault_rate fault_points strict quarantine_after =
+      fault_seed fault_rate fault_points strict quarantine_after stats_json =
     if debug then (
       Logs.set_reporter (Logs.format_reporter ());
       Logs.Src.set_level Pass.log_src (Some Logs.Debug));
@@ -279,6 +293,7 @@ let optimize_cmd =
             | Ok stats -> stats
             | Error (e, stats) ->
                 Format.printf "%a@." Pass.pp_stats stats;
+                write_stats_json stats_json stats;
                 Printf.eprintf "pypmc: fatal pass error: %s\n"
                   (Pass.error_message e);
                 exit 1
@@ -286,6 +301,7 @@ let optimize_cmd =
             Pass.run ~engine ?fuel ?deadline_s:deadline ?quarantine_after
               ~inject program g)
     in
+    write_stats_json stats_json stats;
     (* [Engine_unavailable] is fatal under either policy: there was no
        engine to run the pass with. *)
     (match stats.Pass.fatal with
@@ -366,11 +382,17 @@ let optimize_cmd =
                  before a pattern is quarantined for the rest of the pass \
                  (default 5).")
   in
+  let stats_json =
+    Arg.(value & opt (some string) None & info [ "stats-json" ] ~docv:"FILE"
+           ~doc:"Write the pass statistics as JSON to $(docv) ($(b,-) for \
+                 stdout): engine, counters, timings, per-pattern breakdown, \
+                 structured errors.")
+  in
   Cmd.v
     (Cmd.info "optimize" ~doc:"Run the rewrite pass over a zoo model")
     Term.(const run $ model $ opt_arg $ patterns_arg $ engine_arg $ verbose
           $ dot $ debug $ trace $ fuel $ deadline $ fault_seed $ fault_rate
-          $ fault_points $ strict $ quarantine_after)
+          $ fault_points $ strict $ quarantine_after $ stats_json)
 
 (* ------------------------------------------------------------------ *)
 (* trace                                                               *)
@@ -648,6 +670,139 @@ let fuzz_cmd =
     Term.(const run $ seed $ budget $ props $ list)
 
 (* ------------------------------------------------------------------ *)
+(* serve / load                                                        *)
+(* ------------------------------------------------------------------ *)
+
+let socket_arg =
+  Cmdliner.Arg.(
+    value & opt string "/tmp/pypmc.sock"
+    & info [ "socket" ] ~docv:"PATH" ~doc:"Unix-domain socket path.")
+
+let serve_cmd =
+  let run socket workers queue_bound cache_mb debug =
+    if debug then (
+      Logs.set_reporter (Logs.format_reporter ());
+      Logs.Src.set_level Server.log_src (Some Logs.Debug));
+    let cfg =
+      {
+        Server.socket_path = socket;
+        workers;
+        queue_bound;
+        cache_bytes = cache_mb * 1024 * 1024;
+      }
+    in
+    Printf.printf
+      "pypmc serve: %s — %d worker(s), queue bound %d, %d MiB cache\n%!"
+      socket workers queue_bound cache_mb;
+    Server.run cfg
+  in
+  let workers =
+    Arg.(value & opt int 4 & info [ "workers" ] ~docv:"N"
+           ~doc:"Worker domains; each compiles its own plan trie once and \
+                 reuses it for every request.")
+  in
+  let queue_bound =
+    Arg.(value & opt int 64 & info [ "queue-bound" ] ~docv:"N"
+           ~doc:"Jobs queued before admission control answers \
+                 $(b,Overloaded) instead of queueing more work.")
+  in
+  let cache_mb =
+    Arg.(value & opt int 64 & info [ "cache-mb" ] ~docv:"MB"
+           ~doc:"Result-cache byte bound, in MiB.")
+  in
+  let debug =
+    Arg.(value & flag & info [ "debug" ] ~doc:"Log connection lifecycle.")
+  in
+  Cmd.v
+    (Cmd.info "serve"
+       ~doc:
+         "Run the resident optimization service: a Unix-socket server with \
+          a domain worker pool and a content-addressed result cache")
+    Term.(const run $ socket_arg $ workers $ queue_bound $ cache_mb $ debug)
+
+let load_cmd =
+  let run socket clients requests seed opt engine variants fault_seed
+      fault_rate fault_points min_hits =
+    (match fault_points with
+    | [] -> ()
+    | names -> ignore (fault_points_of_names names));
+    let options =
+      {
+        Protocol.default_options with
+        Protocol.engine;
+        fault_seed = Option.value fault_seed ~default:0;
+        fault_rate = (if fault_seed = None then 0. else fault_rate);
+        fault_points;
+      }
+    in
+    let r =
+      try
+        Load.run ~socket ~clients ~requests ~seed ~program:opt ~variants
+          ~options ()
+      with Unix.Unix_error (e, fn, _) ->
+        Printf.eprintf "pypmc load: %s: %s (is the server running?)\n" fn
+          (Unix.error_message e);
+        exit 1
+    in
+    Format.printf "%a@." Load.pp r;
+    if r.Load.protocol_errors > 0 then (
+      Printf.eprintf "pypmc load: %d protocol error(s)\n" r.Load.protocol_errors;
+      exit 1);
+    if r.Load.cached < min_hits then (
+      Printf.eprintf "pypmc load: %d cache hit(s), expected at least %d\n"
+        r.Load.cached min_hits;
+      exit 1)
+  in
+  let clients =
+    Arg.(value & opt int 4 & info [ "clients" ] ~docv:"N"
+           ~doc:"Client domains, each with its own connection.")
+  in
+  let requests =
+    Arg.(value & opt int 100 & info [ "requests" ] ~docv:"M"
+           ~doc:"Total requests, split across the clients.")
+  in
+  let seed =
+    Arg.(value & opt int 0 & info [ "seed" ] ~docv:"S"
+           ~doc:"Workload seed; the request mix is deterministic in it.")
+  in
+  let engine =
+    Arg.(value & opt (enum [ ("naive", "naive"); ("index", "index");
+                             ("plan", "plan") ]) "plan"
+         & info [ "engine" ] ~docv:"ENGINE" ~doc:"Matching engine to request.")
+  in
+  let variants =
+    Arg.(value & opt int 4 & info [ "variants" ] ~docv:"K"
+           ~doc:"Distinct graphs per client — the cache-miss pressure knob: \
+                 low values measure the cache, high values the workers.")
+  in
+  let fault_seed =
+    Arg.(value & opt (some int) None & info [ "fault-seed" ] ~docv:"SEED"
+           ~doc:"Ask the server to inject deterministic faults into each \
+                 request's pass (resilience drill).")
+  in
+  let fault_rate =
+    Arg.(value & opt float 0.25 & info [ "fault-rate" ] ~docv:"RATE"
+           ~doc:"Fault-point fire probability (with $(b,--fault-seed)).")
+  in
+  let fault_points =
+    Arg.(value & opt (list string) [] & info [ "fault-points" ] ~docv:"POINTS"
+           ~doc:"Comma-separated fault points to arm (default: all).")
+  in
+  let min_hits =
+    Arg.(value & opt int 0 & info [ "min-hits" ] ~docv:"N"
+           ~doc:"Exit nonzero unless at least $(docv) responses were served \
+                 from the cache (CI smoke assertion).")
+  in
+  Cmd.v
+    (Cmd.info "load"
+       ~doc:
+         "Drive a running server with concurrent clients and report \
+          throughput, latency percentiles and cache hit rate")
+    Term.(const run $ socket_arg $ clients $ requests $ seed $ opt_arg
+          $ engine $ variants $ fault_seed $ fault_rate $ fault_points
+          $ min_hits)
+
+(* ------------------------------------------------------------------ *)
 
 let () =
   let default = Term.(ret (const (`Help (`Pager, None)))) in
@@ -656,4 +811,4 @@ let () =
        (Cmd.group ~default
           (Cmd.info "pypmc" ~version:"1.0.0"
              ~doc:"PyPM pattern compiler and graph optimizer")
-          [ parse_cmd; compile_cmd; match_cmd; zoo_cmd; optimize_cmd; trace_cmd; simplify_cmd; query_cmd; partition_cmd; fuzz_cmd ]))
+          [ parse_cmd; compile_cmd; match_cmd; zoo_cmd; optimize_cmd; trace_cmd; simplify_cmd; query_cmd; partition_cmd; fuzz_cmd; serve_cmd; load_cmd ]))

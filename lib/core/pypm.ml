@@ -27,7 +27,11 @@
     - {!Ast}, {!Elaborate}, {!Dsl}: the frontend AST, its elaboration to
       the core calculus, and the OCaml combinator embedding;
     - {!Lexer}, {!Parser}, {!Surface}: the textual surface language;
-    - {!Codec}: the portable serialized pattern-binary format;
+    - {!Codec}, {!Protocol}: the portable serialized pattern-binary and
+      graph formats, and the serve wire protocol;
+    - {!Cache}, {!Pool}, {!Server}, {!Load}: the resident optimization
+      service — content-addressed result cache, domain worker pool,
+      Unix-socket server, and the load harness;
     - {!Rng}, {!Transformer}, {!Vision}, {!Zoo}: the synthetic benchmark
       model suites;
     - {!Srng}, {!Fuzz}: the splittable PRNG and the differential fuzzing
@@ -80,6 +84,11 @@ module Lexer = Pypm_surface.Lexer
 module Parser = Pypm_surface.Parser
 module Surface = Pypm_surface.Surface
 module Codec = Pypm_serialize.Codec
+module Protocol = Pypm_serialize.Protocol
+module Cache = Pypm_serve.Cache
+module Pool = Pypm_serve.Pool
+module Server = Pypm_serve.Server
+module Load = Pypm_serve.Load
 module Rng = Pypm_models.Rng
 module Transformer = Pypm_models.Transformer
 module Vision = Pypm_models.Vision

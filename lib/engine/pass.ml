@@ -596,27 +596,73 @@ let run_plan rc ~max_rewrites plan pctxs g =
   traverse ()
 
 (* ------------------------------------------------------------------ *)
+(* Prepared engines                                                    *)
+(* ------------------------------------------------------------------ *)
+
+(* The reusable, run-independent part of an engine: the program, the
+   requested engine, and — for [Plan] — the compiled shared trie (or the
+   compilation failure, replayed to the ladder on every run). Everything
+   per-run (breakers, stats, fault schedules) stays out of this record,
+   so one [prepared] serves any number of concurrent-free sequential runs
+   — the serve worker pool holds one per (program, engine) and skips plan
+   compilation on every request after the first. *)
+type prepared = {
+  p_program : Program.t;
+  p_engine : engine;
+  p_plan : (Plan.t, string) result option; (* [Some] iff engine is Plan *)
+}
+
+let prepare ?engine ?(indexed = false) (program : Program.t) =
+  let e = resolve_engine engine indexed in
+  let p_plan =
+    match e with
+    | Plan ->
+        Some
+          (match compile_plan program with
+          | plan -> Ok plan
+          | exception exn -> Error (Printexc.to_string exn))
+    | Index | Naive -> None
+  in
+  { p_program = program; p_engine = e; p_plan }
+
+let prepared_engine p = p.p_engine
+let prepared_program p = p.p_program
+
+(* ------------------------------------------------------------------ *)
 (* Engine degradation ladder                                           *)
 (* ------------------------------------------------------------------ *)
 
-type prepared = Scan of ectx list | Planned of Plan.t * plan_entry list
+type runnable = Scan of ectx list | Planned of Plan.t * plan_entry list
 
 let next_down = function Plan -> Some Index | Index -> Some Naive | Naive -> None
 
-(* Prepare the requested engine, degrading Plan → Index → Naive on a
-   preparation failure (a plan-compilation exception, or an injected
-   fault) with a warn event instead of dying. If even Naive cannot be
-   prepared (injection only), the pass has no engine: fatal. *)
-let prepare_engine rc (program : Program.t) slots e =
+(* Instantiate the prepared engine for one run, degrading Plan → Index →
+   Naive on a preparation failure (a plan-compilation exception recorded
+   at prepare time, or an injected fault) with a warn event instead of
+   dying. The injection check runs per-run even when the plan itself is
+   cached: fault schedules describe runs, not programs. If even Naive
+   cannot be prepared (injection only), the pass has no engine: fatal. *)
+let prepare_engine rc (p : prepared) slots =
+  let program = p.p_program in
   let prep e =
     if Inject.fires rc.rinject Inject.Plan_compile then
       Error "injected fault: engine preparation failed"
     else
       match e with
       | Plan -> (
-          match compile_plan program with
-          | plan -> Ok (Planned (plan, plan_contexts plan program slots))
-          | exception exn -> Error (Printexc.to_string exn))
+          let compiled =
+            match p.p_plan with
+            | Some r -> r
+            | None -> (
+                (* prepared for a simpler engine but degraded upward never
+                   happens; this arm only serves direct [Plan] requests *)
+                match compile_plan program with
+                | plan -> Ok plan
+                | exception exn -> Error (Printexc.to_string exn))
+          in
+          match compiled with
+          | Ok plan -> Ok (Planned (plan, plan_contexts plan program slots))
+          | Error reason -> Error reason)
       | Index -> Ok (Scan (contexts ~indexed:true program slots))
       | Naive -> Ok (Scan (contexts ~indexed:false program slots))
   in
@@ -642,7 +688,7 @@ let prepare_engine rc (program : Program.t) slots e =
               Some (Engine_unavailable { engine = engine_name e; reason });
             raise Aborted)
   in
-  ladder e
+  ladder p.p_engine
 
 (* ------------------------------------------------------------------ *)
 (* Entry points                                                        *)
@@ -675,17 +721,17 @@ let finalize (program : Program.t) agg stats =
   stats.errors <- List.rev stats.errors;
   stats.provenance <- List.rev stats.provenance
 
-let run ?engine ?(indexed = false) ?(check_types = true) ?(fuel = 200_000)
+let run_prepared ?(check_types = true) ?(fuel = 200_000)
     ?(max_rewrites = 10_000) ?deadline_s ?(quarantine_after = 5)
-    ?(inject = Inject.none) ?(on_error = `Quarantine) (program : Program.t) g =
+    ?(inject = Inject.none) ?(on_error = `Quarantine) (p : prepared) g =
+  let program = p.p_program in
   let stats = fresh_stats program in
   let agg = Obs.Agg.create () in
-  let requested = resolve_engine engine indexed in
-  stats.engine_used <- engine_name requested;
+  stats.engine_used <- engine_name p.p_engine;
   Obs.emit
     (Obs.Pass_begin
        {
-         engine = engine_name requested;
+         engine = engine_name p.p_engine;
          patterns = List.length program.Program.entries;
        });
   let t_start = now () in
@@ -703,7 +749,7 @@ let run ?engine ?(indexed = false) ?(check_types = true) ?(fuel = 200_000)
   let slots = entry_slots ~quarantine_after program stats in
   Obs.with_sink (Obs.Agg.sink agg) (fun () ->
       try
-        match prepare_engine rc program slots requested with
+        match prepare_engine rc p slots with
         | Scan ctxs -> run_scan rc ~max_rewrites ctxs g
         | Planned (plan, pctxs) -> run_plan rc ~max_rewrites plan pctxs g
       with Aborted -> ());
@@ -713,6 +759,13 @@ let run ?engine ?(indexed = false) ?(check_types = true) ?(fuel = 200_000)
     (Obs.Pass_end
        { rewrites = stats.total_rewrites; iterations = stats.iterations });
   stats
+
+let run ?engine ?indexed ?check_types ?fuel ?max_rewrites ?deadline_s
+    ?quarantine_after ?inject ?on_error (program : Program.t) g =
+  run_prepared ?check_types ?fuel ?max_rewrites ?deadline_s ?quarantine_after
+    ?inject ?on_error
+    (prepare ?engine ?indexed program)
+    g
 
 (* [run] with the strict error policy, surfacing the fatal error as a
    [result] for callers (the CLI) that must report it structurally. *)
@@ -836,3 +889,65 @@ let pp_stats ppf s =
         (if ps.quarantined then " QUARANTINED" else ""))
     s.per_pattern;
   Format.fprintf ppf "@]"
+
+(* ------------------------------------------------------------------ *)
+(* JSON rendering                                                      *)
+(* ------------------------------------------------------------------ *)
+
+let stats_json (s : stats) =
+  let buf = Buffer.create 1024 in
+  let str v = "\"" ^ Obs.json_escape v ^ "\"" in
+  let fld k v = Buffer.add_string buf (Printf.sprintf "\"%s\":%s" k v) in
+  let sep () = Buffer.add_char buf ',' in
+  Buffer.add_char buf '{';
+  fld "engine" (str s.engine_used);
+  sep ();
+  fld "iterations" (string_of_int s.iterations);
+  sep ();
+  fld "nodes_visited" (string_of_int s.nodes_visited);
+  sep ();
+  fld "total_rewrites" (string_of_int s.total_rewrites);
+  sep ();
+  fld "type_rejections" (string_of_int s.type_rejections);
+  sep ();
+  fld "fuel_exhausted" (string_of_int s.fuel_exhausted);
+  sep ();
+  fld "cycle_rejections" (string_of_int s.cycle_rejections);
+  sep ();
+  fld "rolled_back" (string_of_int s.rolled_back);
+  sep ();
+  fld "quarantined" (string_of_int s.quarantined);
+  sep ();
+  fld "collected" (string_of_int s.collected);
+  sep ();
+  fld "wall_time_s" (Printf.sprintf "%.6f" s.wall_time);
+  sep ();
+  fld "plan_time_s" (Printf.sprintf "%.6f" s.plan_time);
+  sep ();
+  fld "reached_fixpoint" (string_of_bool s.reached_fixpoint);
+  sep ();
+  fld "deadline_hit" (string_of_bool s.deadline_hit);
+  sep ();
+  fld "errors"
+    ("["
+    ^ String.concat "," (List.map (fun e -> str (error_message e)) s.errors)
+    ^ "]");
+  sep ();
+  fld "fatal"
+    (match s.fatal with None -> "null" | Some e -> str (error_message e));
+  sep ();
+  fld "rewrites_applied" (string_of_int (List.length s.provenance));
+  sep ();
+  Buffer.add_string buf "\"per_pattern\":[";
+  List.iteri
+    (fun i (ps : pattern_stats) ->
+      if i > 0 then sep ();
+      Buffer.add_string buf
+        (Printf.sprintf
+           "{\"name\":%s,\"attempts\":%d,\"skipped\":%d,\"plan_pruned\":%d,\"matches\":%d,\"rewrites\":%d,\"fuel_exhausted\":%d,\"guard_rejections\":%d,\"rolled_back\":%d,\"quarantined\":%b,\"match_time_s\":%.6f}"
+           (str ps.ps_name) ps.attempts ps.skipped ps.plan_pruned ps.matches
+           ps.rewrites ps.fuel_exhausted ps.guard_rejections ps.rolled_back
+           ps.quarantined ps.match_time))
+    s.per_pattern;
+  Buffer.add_string buf "]}";
+  Buffer.contents buf

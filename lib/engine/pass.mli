@@ -199,6 +199,51 @@ val log_src : Logs.src
 
     [run] does not raise on rule or engine failures; every failure mode
     is a stats field. *)
+
+(** {1 Prepared engines}
+
+    A {!prepared} value is the run-independent half of an engine: the
+    program, the engine choice, and — for {!Plan} — the compiled shared
+    trie (or its compilation failure, replayed to the degradation ladder
+    on every run). Preparing once and calling {!run_prepared} many times
+    amortizes plan compilation across runs; the serve worker pool holds
+    one prepared engine per (program, engine) pair so the trie is built
+    once per worker, not once per request.
+
+    A [prepared] value is immutable and safe to reuse across sequential
+    runs on the same domain. Breakers, stats and fault schedules are
+    created fresh inside every {!run_prepared} call. *)
+
+type prepared
+
+(** [prepare ?engine ?indexed program] resolves the engine exactly like
+    {!run} and compiles the plan eagerly when the engine is {!Plan}. A
+    plan-compilation failure is {e not} raised here; it is stored and
+    drives the degradation ladder on each subsequent run. *)
+val prepare : ?engine:engine -> ?indexed:bool -> Program.t -> prepared
+
+(** The engine that was requested at prepare time (the ladder may still
+    step down during a run; see [stats.engine_used]). *)
+val prepared_engine : prepared -> engine
+
+val prepared_program : prepared -> Program.t
+
+(** [run_prepared ... p g] is {!run} with the engine-preparation work
+    (plan compilation) reused from [p]. Per-run state — circuit breakers,
+    stats records, the fault-injection schedule — is fresh on every call,
+    and the [?inject] [Plan_compile] point is still consulted per run. *)
+val run_prepared :
+  ?check_types:bool ->
+  ?fuel:int ->
+  ?max_rewrites:int ->
+  ?deadline_s:float ->
+  ?quarantine_after:int ->
+  ?inject:Pypm_resilience.Resilience.Inject.schedule ->
+  ?on_error:[ `Quarantine | `Fail ] ->
+  prepared ->
+  Graph.t ->
+  stats
+
 val run :
   ?engine:engine ->
   ?indexed:bool ->
@@ -246,3 +291,9 @@ val matches_of :
   (string * (int * Subst.t * Fsubst.t) list) list
 
 val pp_stats : Format.formatter -> stats -> unit
+
+(** [stats_json s] renders the full stats record — totals, resilience
+    counters, structured errors, per-pattern breakdown — as one JSON
+    object. This is what [pypmc optimize --stats-json] emits and what the
+    serve protocol carries in every response body. *)
+val stats_json : stats -> string

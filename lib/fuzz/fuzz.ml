@@ -11,6 +11,7 @@ module Lexer = Pypm_surface.Lexer
 module Ast = Pypm_dsl.Ast
 module Elaborate = Pypm_dsl.Elaborate
 module Inject = Pypm_resilience.Resilience.Inject
+module Std_ops = Pypm_patterns.Std_ops
 
 type verdict = Pass | Discard | Fail of string
 
@@ -406,6 +407,65 @@ let codec_wire n =
       Fail (Printf.sprintf "varint roundtrip: put %d, got %d" n n')
     else Pass
 
+(* Graph codec: a generated well-typed graph survives encode / decode
+   with an identical structural fingerprint (node ids and symbol uids are
+   not preserved — isomorphism is the contract), and the decoder is total
+   on mangled buffers: truncations and bit flips yield [Error], never an
+   exception. The decode side mirrors the server: a fresh [Std_ops]
+   environment extended by the decls travelling in the wire decl table. *)
+let codec_graph_roundtrip (r : Gen.graph_recipe) =
+  let _env, g, _prog = Gen.build r in
+  let fp = fingerprint g in
+  let bytes = Codec.Graphs.encode g in
+  let decode bytes =
+    let fresh = Std_ops.make () in
+    Codec.Graphs.decode_into ~sg:fresh.Std_ops.sg ~infer:fresh.Std_ops.infer
+      bytes
+  in
+  match decode bytes with
+  | Error m -> Fail ("decode failed on encoder output: " ^ m)
+  | Ok g2 -> (
+      let fp2 = fingerprint g2 in
+      if not (String.equal fp2 fp) then
+        Fail
+          (Printf.sprintf
+             "decoded graph is not isomorphic to the original\n\
+              before: %s\nafter:  %s" fp fp2)
+      else if not (String.equal (Codec.Graphs.encode g2) bytes) then
+        Fail "re-encoding the decoded graph is not byte-identical"
+      else
+        (* mangled buffers: decode must answer [Error] without raising
+           (an escaped exception is caught by [protect] and fails the
+           property with its backtrace) *)
+        let n = String.length bytes in
+        let rng = Srng.create ~seed:((r.Gen.gr_seed * 31) + 7) in
+        let truncations =
+          List.filter (fun k -> k < n) [ 0; 1; n / 4; n / 2; n - 1 ]
+        in
+        let mangled =
+          List.map (fun k -> String.sub bytes 0 k) truncations
+          @ List.init 8 (fun _ ->
+                let i = Srng.int rng n in
+                let bit = Srng.int rng 8 in
+                let b = Bytes.of_string bytes in
+                Bytes.set b i
+                  (Char.chr (Char.code (Bytes.get b i) lxor (1 lsl bit)));
+                Bytes.to_string b)
+        in
+        match
+          List.find_map
+            (fun bad ->
+              if String.equal bad bytes then None
+              else match decode bad with Ok _ -> Some bad | Error _ -> None)
+            mangled
+        with
+        | Some bad ->
+            Fail
+              (Printf.sprintf
+                 "a mangled buffer (%d bytes, original %d) decoded \
+                  successfully" (String.length bad) n)
+        | None -> Pass)
+
 (* ------------------------------------------------------------------ *)
 (* Frontend properties                                                 *)
 (* ------------------------------------------------------------------ *)
@@ -598,6 +658,14 @@ let props : prop list =
             check = codec_wire;
             show = string_of_int;
           };
+      };
+    Prop
+      {
+        name = "codec-graph-roundtrip";
+        doc = "graph encode / decode preserves the structural fingerprint; \
+               mangled buffers decode to errors, never exceptions";
+        cost = 40;
+        case = recipe_case codec_graph_roundtrip;
       };
     Prop
       {

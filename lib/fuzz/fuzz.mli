@@ -24,6 +24,10 @@
     - [codec_roundtrip]: encode / decode / re-encode of random programs is
       byte-identical;
     - [codec_wire]: varint and zigzag primitives round-trip any [int];
+    - [codec_graph_roundtrip]: a random well-typed graph survives
+      {!Pypm_serialize.Codec.Graphs} encode / decode with its structural
+      fingerprint intact, and truncated or bit-flipped buffers decode to
+      [Error] — never an exception;
     - [surface_roundtrip]: pretty-printing a random frontend AST, re-parsing
       and re-elaborating yields alpha-equivalent patterns and equal rules;
     - [lex_parse_total]: hostile input never escapes {!Pypm_surface.Surface.parse}

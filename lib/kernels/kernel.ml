@@ -15,12 +15,20 @@ let make ?(efficiency = 0.85) ?(launches = 1)
     ?(intermediate_bytes = no_intermediate) ~flops kname =
   { kname; flops; efficiency; launches; intermediate_bytes }
 
+(* The registry is process-global and [Std_ops.make] re-registers specs on
+   every call; server workers and load-harness clients build environments
+   from their own domains, so all access goes through one mutex (a bare
+   Hashtbl.replace race can corrupt the table). *)
 let registry : (Symbol.t, spec) Hashtbl.t = Hashtbl.create 32
+let registry_mutex = Mutex.create ()
+let locked f = Mutex.protect registry_mutex f
 
-let register spec = Hashtbl.replace registry spec.kname spec
-let find name = Hashtbl.find_opt registry name
-let mem name = Hashtbl.mem registry name
-let registered () = Hashtbl.fold (fun k _ acc -> k :: acc) registry []
+let register spec = locked (fun () -> Hashtbl.replace registry spec.kname spec)
+let find name = locked (fun () -> Hashtbl.find_opt registry name)
+let mem name = locked (fun () -> Hashtbl.mem registry name)
+
+let registered () =
+  locked (fun () -> Hashtbl.fold (fun k _ acc -> k :: acc) registry [])
 
 let innermost_dim (ty : Ty.t) =
   match List.rev ty.shape with d :: _ -> d | [] -> 1

@@ -22,6 +22,11 @@ type kind =
   | Engine_degraded of { from_ : string; to_ : string; reason : string }
   | Fault_injected of { point : string }
   | Deadline_hit of { budget_s : float }
+  | Cache_hit of { key : string }
+  | Cache_miss of { key : string }
+  | Cache_evicted of { key : string; bytes : int }
+  | Request_served of { id : int; cached : bool }
+  | Request_shed of { id : int }
 
 type event = { ts : float; dur : float; node : int; kind : kind }
 
@@ -34,36 +39,69 @@ let set_clock f = clock := f
 let now () = !clock ()
 
 (* ------------------------------------------------------------------ *)
+(* Per-domain state                                                    *)
+(*                                                                     *)
+(* The ring buffer and the sink list are domain-local: the serve worker *)
+(* pool runs one rewrite pass per domain, and each pass attaches its    *)
+(* own aggregator sink. A process-global sink list would interleave     *)
+(* events from unrelated passes (corrupting every worker's stats) and   *)
+(* race on the list itself. Domain.DLS gives each domain an isolated    *)
+(* ring + sinks at no cost to the single-domain CLI paths.              *)
+(* ------------------------------------------------------------------ *)
+
+type sink = event -> unit
+
+type dstate = {
+  mutable ring_cap : int;
+  mutable ring : event option array;
+  mutable ring_next : int; (* next write position *)
+  mutable ring_len : int;
+  mutable next_sink_id : int;
+  mutable sinks : (int * sink) list;
+}
+
+let dstate_key =
+  Domain.DLS.new_key (fun () ->
+      {
+        ring_cap = 4096;
+        ring = Array.make 4096 None;
+        ring_next = 0;
+        ring_len = 0;
+        next_sink_id = 0;
+        sinks = [];
+      })
+
+let st () = Domain.DLS.get dstate_key
+
+(* ------------------------------------------------------------------ *)
 (* Ring buffer: always on, fixed cost per event                        *)
 (* ------------------------------------------------------------------ *)
 
-let ring_cap = ref 4096
-let ring : event option array ref = ref (Array.make !ring_cap None)
-let ring_next = ref 0 (* next write position *)
-let ring_len = ref 0
-
-let ring_push e =
-  !ring.(!ring_next) <- Some e;
-  ring_next := (!ring_next + 1) mod !ring_cap;
-  if !ring_len < !ring_cap then incr ring_len
+let ring_push d e =
+  d.ring.(d.ring_next) <- Some e;
+  d.ring_next <- (d.ring_next + 1) mod d.ring_cap;
+  if d.ring_len < d.ring_cap then d.ring_len <- d.ring_len + 1
 
 let ring_reset () =
-  Array.fill !ring 0 !ring_cap None;
-  ring_next := 0;
-  ring_len := 0
+  let d = st () in
+  Array.fill d.ring 0 d.ring_cap None;
+  d.ring_next <- 0;
+  d.ring_len <- 0
 
 let set_ring_capacity n =
   if n <= 0 then invalid_arg "Obs.set_ring_capacity: capacity must be > 0";
-  ring_cap := n;
-  ring := Array.make n None;
-  ring_next := 0;
-  ring_len := 0
+  let d = st () in
+  d.ring_cap <- n;
+  d.ring <- Array.make n None;
+  d.ring_next <- 0;
+  d.ring_len <- 0
 
 let recent ?limit () =
-  let len = match limit with Some l -> min l !ring_len | None -> !ring_len in
-  let first = (!ring_next - len + !ring_cap * 2) mod !ring_cap in
+  let d = st () in
+  let len = match limit with Some l -> min l d.ring_len | None -> d.ring_len in
+  let first = (d.ring_next - len + (d.ring_cap * 2)) mod d.ring_cap in
   List.init len (fun i ->
-      match !ring.((first + i) mod !ring_cap) with
+      match d.ring.((first + i) mod d.ring_cap) with
       | Some e -> e
       | None -> assert false)
 
@@ -71,25 +109,24 @@ let recent ?limit () =
 (* Sinks                                                               *)
 (* ------------------------------------------------------------------ *)
 
-type sink = event -> unit
-
-let next_sink_id = ref 0
-let sinks : (int * sink) list ref = ref []
-
 let add_sink s =
-  let id = !next_sink_id in
-  incr next_sink_id;
-  sinks := (id, s) :: !sinks;
-  fun () -> sinks := List.filter (fun (i, _) -> i <> id) !sinks
+  let d = st () in
+  let id = d.next_sink_id in
+  d.next_sink_id <- id + 1;
+  d.sinks <- (id, s) :: d.sinks;
+  fun () ->
+    let d = st () in
+    d.sinks <- List.filter (fun (i, _) -> i <> id) d.sinks
 
 let with_sink s f =
   let detach = add_sink s in
   Fun.protect ~finally:detach f
 
 let emit ?(node = -1) ?(dur = 0.) kind =
+  let d = st () in
   let e = { ts = now (); dur; node; kind } in
-  ring_push e;
-  match !sinks with
+  ring_push d e;
+  match d.sinks with
   | [] -> ()
   | ss -> List.iter (fun (_, s) -> s e) ss
 
@@ -212,7 +249,8 @@ module Agg = struct
         p.cycle_rejects <- p.cycle_rejects + 1
     | Matcher_fuel _ | Plan_walk _ | Replace _ | Gc _ | Iteration _
     | Pass_begin _ | Pass_end _ | Quarantined _ | Engine_degraded _
-    | Fault_injected _ | Deadline_hit _ ->
+    | Fault_injected _ | Deadline_hit _ | Cache_hit _ | Cache_miss _
+    | Cache_evicted _ | Request_served _ | Request_shed _ ->
         ()
 
   let find t name = Hashtbl.find_opt t.table name
@@ -376,6 +414,15 @@ let describe = function
       ( "deadline",
         "resilience",
         [ ("budget_ms", `I (int_of_float (budget_s *. 1000.))) ] )
+  | Cache_hit { key } -> ("cache-hit", "serve", [ ("key", `S key) ])
+  | Cache_miss { key } -> ("cache-miss", "serve", [ ("key", `S key) ])
+  | Cache_evicted { key; bytes } ->
+      ("cache-evict", "serve", [ ("key", `S key); ("bytes", `I bytes) ])
+  | Request_served { id; cached } ->
+      ( "request-served",
+        "serve",
+        [ ("id", `I id); ("cached", `S (string_of_bool cached)) ] )
+  | Request_shed { id } -> ("request-shed", "serve", [ ("id", `I id) ])
 
 module Chrome = struct
   let args_json args node =

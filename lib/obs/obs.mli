@@ -72,6 +72,14 @@ type kind =
       (** a deterministic fault-injection point fired (testing only) *)
   | Deadline_hit of { budget_s : float }
       (** the pass stopped at its wall-clock budget with partial stats *)
+  | Cache_hit of { key : string }
+      (** the serve result cache answered a request without running a pass *)
+  | Cache_miss of { key : string }
+  | Cache_evicted of { key : string; bytes : int }
+      (** LRU eviction to stay under the cache's byte bound *)
+  | Request_served of { id : int; cached : bool }
+  | Request_shed of { id : int }
+      (** admission control rejected the request (queue at bound) *)
 
 type event = {
   ts : float;  (** absolute seconds (Unix epoch) at emission *)
@@ -90,7 +98,11 @@ val set_clock : (unit -> float) -> unit
 
 val now : unit -> float
 
-(** {1 The ring buffer (always on)} *)
+(** {1 The ring buffer (always on)}
+
+    The ring and the attachable sinks below are {e domain-local}: each
+    OCaml domain (e.g. a serve worker) observes only its own events, so
+    concurrent passes never interleave their streams. *)
 
 (** Most recent events, oldest first. [limit] caps the result length. *)
 val recent : ?limit:int -> unit -> event list
@@ -204,3 +216,7 @@ end
 
 val pp_kind : Format.formatter -> kind -> unit
 val pp_event : Format.formatter -> event -> unit
+
+(** Escape a string for embedding in a JSON string literal (used by the
+    Chrome writer; exported for other JSON emitters in the tree). *)
+val json_escape : string -> string

@@ -90,11 +90,14 @@ let fallback_names t =
 (* Execution                                                           *)
 (* ------------------------------------------------------------------ *)
 
-let steps_last = ref 0
-let steps_cum = ref 0
-let last_steps () = !steps_last
-let cumulative_steps () = !steps_cum
-let reset_cumulative_steps () = steps_cum := 0
+(* Per-domain, like [Matcher.visits]: the serve worker pool walks plans
+   from several domains at once, and each domain's pass reads its own
+   step totals. *)
+let steps_last_key = Domain.DLS.new_key (fun () -> ref 0)
+let steps_cum_key = Domain.DLS.new_key (fun () -> ref 0)
+let last_steps () = !(Domain.DLS.get steps_last_key)
+let cumulative_steps () = !(Domain.DLS.get steps_cum_key)
+let reset_cumulative_steps () = Domain.DLS.get steps_cum_key := 0
 
 let rec sub t = function
   | [] -> Some t
@@ -140,6 +143,7 @@ let eval interp subject theta phi (ins : Skeleton.instr) =
 
 let match_node t ~interp subject =
   let t0 = Pypm_obs.Obs.now () in
+  let steps_last = Domain.DLS.get steps_last_key in
   steps_last := 0;
   let best_idx = Array.make (max t.n_slots 1) max_int in
   let best_wit = Array.make (max t.n_slots 1) None in
@@ -160,6 +164,7 @@ let match_node t ~interp subject =
       node.edges
   in
   go t.root Subst.empty Fsubst.empty;
+  let steps_cum = Domain.DLS.get steps_cum_key in
   steps_cum := !steps_cum + !steps_last;
   let res = ref [] in
   for slot = t.n_slots - 1 downto 0 do

@@ -4,15 +4,19 @@ open Pypm_pattern
 exception Out_of_fuel_exc
 exception Stuck_exc
 
-let visits = ref 0
-let last_visits () = !visits
+(* Per-domain: the server's worker pool runs one matcher per domain, and a
+   shared counter would mix their visit totals (and lose increments). Each
+   domain sees its own matcher's work, which is what the pass stats mean. *)
+let visits_key = Domain.DLS.new_key (fun () -> ref 0)
+let visits () = Domain.DLS.get visits_key
+let last_visits () = !(visits ())
 
 (* Cumulative pattern-node visits across calls; the engine-comparison
    benches (FIG12/13 with --engine) read this to total the matcher work a
    whole pass performed. *)
-let cumulative = ref 0
-let cumulative_visits () = !cumulative
-let reset_cumulative_visits () = cumulative := 0
+let cumulative_key = Domain.DLS.new_key (fun () -> ref 0)
+let cumulative_visits () = !(Domain.DLS.get cumulative_key)
+let reset_cumulative_visits () = Domain.DLS.get cumulative_key := 0
 
 (* The success continuation returns [Some] to commit to a witness and [None]
    to ask the current choice point to try its next alternative. Raising
@@ -21,6 +25,8 @@ let reset_cumulative_visits () = cumulative := 0
 let search ~interp ~(policy : Outcome.Policy.t) ~fuel ~theta ~phi p t :
     (Subst.t * Fsubst.t) option =
   let remaining = ref fuel in
+  (* one DLS lookup per search, not per visit: the counters are hot *)
+  let visits = visits () and cumulative = Domain.DLS.get cumulative_key in
   let spend () =
     incr visits;
     incr cumulative;
@@ -88,12 +94,12 @@ let search ~interp ~(policy : Outcome.Policy.t) ~fuel ~theta ~phi p t :
 
 let matches_at ~interp ?(policy = Outcome.Policy.Backtrack)
     ?(fuel = 1_000_000) ~theta ~phi p t : Outcome.t =
-  visits := 0;
+  visits () := 0;
   match search ~interp ~policy ~fuel ~theta ~phi p t with
   | Some (theta, phi) -> Matched (theta, phi)
   | None -> No_match
   | exception Out_of_fuel_exc ->
-      Pypm_obs.Obs.emit (Pypm_obs.Obs.Matcher_fuel { visits = !visits });
+      Pypm_obs.Obs.emit (Pypm_obs.Obs.Matcher_fuel { visits = !(visits ()) });
       Out_of_fuel
   | exception Stuck_exc -> Stuck
 

@@ -89,6 +89,37 @@ let get_bool c =
   | 1 -> true
   | v -> fail c "bad boolean byte %d" v
 
+(* A list length that cannot be satisfied by the remaining input is
+   corruption; rejecting it here keeps a bit-flipped length byte from
+   turning into a multi-gigabyte [List.init]. Every element costs at
+   least one byte, so [remaining] is a sound bound. *)
+let get_count c =
+  let n = get_varint c in
+  if n > String.length c.bytes - c.off then
+    fail c "implausible count %d (only %d byte(s) left)" n
+      (String.length c.bytes - c.off);
+  n
+
+let get_listc c get =
+  let n = get_count c in
+  List.init n (fun _ -> get c)
+
+(* IEEE-754 bits as 8 raw little-endian bytes: varints live in OCaml's
+   63-bit int, which cannot carry all 64 float bits. *)
+let put_f64 buf v =
+  let bits = Int64.bits_of_float v in
+  for i = 0 to 7 do
+    put_u8 buf
+      (Int64.to_int (Int64.logand (Int64.shift_right_logical bits (8 * i)) 0xFFL))
+  done
+
+let get_f64 c =
+  let bits = ref 0L in
+  for i = 0 to 7 do
+    bits := Int64.logor !bits (Int64.shift_left (Int64.of_int (get_u8 c)) (8 * i))
+  done;
+  Int64.float_of_bits !bits
+
 (* ------------------------------------------------------------------ *)
 (* Guard expressions                                                   *)
 (* ------------------------------------------------------------------ *)
@@ -526,13 +557,242 @@ let of_file path =
     ~finally:(fun () -> close_in_noerr ic)
     (fun () -> decode (really_input_string ic (in_channel_length ic)))
 
+(* ------------------------------------------------------------------ *)
+(* Computation graphs                                                  *)
+(* ------------------------------------------------------------------ *)
+
+module Graphs = struct
+  module G = Pypm_graph.Graph
+  module Ty = Pypm_tensor.Ty
+  module Dtype = Pypm_tensor.Dtype
+
+  let magic = "PYPG"
+  let version = 1
+
+  let put_ty buf (ty : Ty.t) =
+    put_string buf (Dtype.to_string ty.Ty.dtype);
+    put_list buf put_varint ty.Ty.shape
+
+  let get_ty c : Ty.t =
+    let ds = get_string c in
+    match Dtype.of_string ds with
+    | None -> fail c "unknown dtype %S" ds
+    | Some dtype ->
+        let shape = get_listc c get_varint in
+        Ty.make dtype shape
+
+  let put_ty_opt buf = function
+    | None -> put_bool buf false
+    | Some ty ->
+        put_bool buf true;
+        put_ty buf ty
+
+  let get_ty_opt c = if get_bool c then Some (get_ty c) else None
+
+  (* A leaf's operator symbol is ["<base>%<uid>"]; only the base survives
+     the wire. The decoder mints a fresh symbol from it, so node identity
+     is not preserved across a round trip — but the isomorphism-invariant
+     fingerprint is, which is what cache keys and the fuzzer compare. *)
+  let base_name (op : Pypm_term.Symbol.t) =
+    match String.rindex_opt (op :> string) '%' with
+    | Some i -> String.sub (op :> string) 0 i
+    | None -> (op :> string)
+
+  (* Node tags *)
+  let t_input = 0
+  and t_opaque = 1
+  and t_const = 2
+  and t_op = 3
+
+  let encode g =
+    let payload = Buffer.create 1024 in
+    let live = G.live_nodes g in
+    let sg = G.signature g in
+    let index : (int, int) Hashtbl.t = Hashtbl.create 64 in
+    List.iteri (fun i (n : G.node) -> Hashtbl.replace index n.G.id i) live;
+    let classify (n : G.node) =
+      let cls = Option.value ~default:"" (Signature.op_class sg n.G.op) in
+      if n.G.inputs = [] && (cls = "input" || cls = "opaque") then
+        `Leaf (cls = "input")
+      else if cls = "const" && G.constant_value n <> None then `Const
+      else `Op
+    in
+    (* operator declarations referenced by operator nodes, shipped once *)
+    let seen : (Pypm_term.Symbol.t, unit) Hashtbl.t = Hashtbl.create 16 in
+    let decls =
+      List.filter_map
+        (fun (n : G.node) ->
+          match classify n with
+          | `Op when not (Hashtbl.mem seen n.G.op) -> (
+              Hashtbl.replace seen n.G.op ();
+              match Signature.find sg n.G.op with
+              | Some d -> Some d
+              | None -> encode_fail "operator %s is not declared" (n.G.op :> string))
+          | _ -> None)
+        live
+    in
+    put_list payload put_decl decls;
+    put_list payload
+      (fun buf (n : G.node) ->
+        match classify n with
+        | `Leaf is_input ->
+            put_u8 buf (if is_input then t_input else t_opaque);
+            put_string buf (base_name n.G.op);
+            (match n.G.ty with
+            | Some ty -> put_ty buf ty
+            | None -> encode_fail "leaf %%%d has no type" n.G.id)
+        | `Const ->
+            put_u8 buf t_const;
+            (match n.G.ty with
+            | Some ty -> put_string buf (Dtype.to_string ty.Ty.dtype)
+            | None -> put_string buf (Dtype.to_string Dtype.F32));
+            put_signed buf (List.assoc "value_x1000" n.G.attrs)
+        | `Op ->
+            put_u8 buf t_op;
+            put_string buf (n.G.op :> string);
+            put_list buf
+              (fun buf (k, v) ->
+                put_string buf k;
+                put_signed buf v)
+              n.G.attrs;
+            put_list buf
+              (fun buf (i : G.node) ->
+                match Hashtbl.find_opt index i.G.id with
+                | Some idx -> put_varint buf idx
+                | None ->
+                    encode_fail "node %%%d reads dead node %%%d" n.G.id i.G.id)
+              n.G.inputs;
+            put_ty_opt buf n.G.ty)
+      live;
+    put_list payload
+      (fun buf (o : G.node) ->
+        match Hashtbl.find_opt index o.G.id with
+        | Some idx -> put_varint buf idx
+        | None -> encode_fail "output %%%d is not live" o.G.id)
+      (G.outputs g);
+    let payload = Buffer.contents payload in
+    let out = Buffer.create (String.length payload + 24) in
+    Buffer.add_string out magic;
+    put_varint out version;
+    put_varint out (fnv1a payload);
+    put_varint out (String.length payload);
+    Buffer.add_string out payload;
+    Buffer.contents out
+
+  let decode_into ~sg ~infer bytes =
+    let c = { bytes; off = 0 } in
+    match
+      let m = if String.length bytes >= 4 then String.sub bytes 0 4 else "" in
+      if m <> magic then fail c "bad magic (not a PyPM graph binary)";
+      c.off <- 4;
+      let v = get_varint c in
+      if v <> version then fail c "unsupported graph format version %d" v;
+      let checksum = get_varint c in
+      let len = get_varint c in
+      if c.off + len <> String.length bytes then fail c "payload length mismatch";
+      if fnv1a (String.sub bytes c.off len) <> checksum then
+        fail c "checksum mismatch";
+      let decls = get_listc c get_decl in
+      List.iter
+        (fun (name, arity, output_arity, op_class, attrs) ->
+          try
+            ignore
+              (Signature.declare sg ~output_arity ~op_class ~attrs ~arity name)
+          with Invalid_argument msg -> fail c "conflicting declaration: %s" msg)
+        decls;
+      let g = G.create ~sg ~infer () in
+      let n_nodes = get_count c in
+      let nodes = Array.make (max n_nodes 1) None in
+      for i = 0 to n_nodes - 1 do
+        let node =
+          match get_u8 c with
+          | t when t = t_input || t = t_opaque -> (
+              let name = get_string c in
+              let ty = get_ty c in
+              try
+                if t = t_input then G.input g ~name ty
+                else G.opaque g ~name ty
+              with Invalid_argument msg -> fail c "leaf %d: %s" i msg)
+          | t when t = t_const -> (
+              let ds = get_string c in
+              let stored = get_signed c in
+              match Dtype.of_string ds with
+              | None -> fail c "constant %d: unknown dtype %S" i ds
+              | Some dtype -> (
+                  try G.constant g ~dtype (float_of_int stored /. 1000.)
+                  with Invalid_argument msg -> fail c "constant %d: %s" i msg))
+          | t when t = t_op -> (
+              let op = get_string c in
+              let attrs =
+                get_listc c (fun c ->
+                    let k = get_string c in
+                    let v = get_signed c in
+                    (k, v))
+              in
+              let inputs =
+                get_listc c (fun c ->
+                    let idx = get_varint c in
+                    if idx >= i then
+                      fail c "node %d reads forward reference %d" i idx;
+                    match nodes.(idx) with
+                    | Some n -> n
+                    | None -> fail c "node %d reads undecoded slot %d" i idx)
+              in
+              let ty = get_ty_opt c in
+              try
+                match ty with
+                | Some ty -> G.add_with_ty g op ~attrs ~ty inputs
+                | None -> G.add g op ~attrs inputs
+              with Invalid_argument msg -> fail c "node %d (%s): %s" i op msg)
+          | t -> fail c "bad node tag %d" t
+        in
+        nodes.(i) <- Some node
+      done;
+      let outs =
+        get_listc c (fun c ->
+            let idx = get_varint c in
+            if idx >= n_nodes then fail c "output index %d out of range" idx;
+            match nodes.(idx) with
+            | Some n -> n
+            | None -> fail c "output index %d undecoded" idx)
+      in
+      if c.off <> String.length bytes then fail c "trailing bytes";
+      G.set_outputs g outs;
+      (match G.validate g with
+      | [] -> ()
+      | vs -> fail c "decoded graph fails validation: %s" (String.concat "; " vs));
+      g
+    with
+    | g -> Ok g
+    | exception Corrupt (off, msg) ->
+        Error (Printf.sprintf "corrupt graph binary at byte %d: %s" off msg)
+
+  let decode bytes =
+    decode_into ~sg:(Signature.create ())
+      ~infer:(Pypm_tensor.Infer.create ())
+      bytes
+end
+
 module Wire = struct
   type nonrec cursor = cursor
 
   let cursor bytes = { bytes; off = 0 }
   let offset c = c.off
+  let remaining c = String.length c.bytes - c.off
+  let put_u8 = put_u8
+  let get_u8 = get_u8
   let put_varint = put_varint
   let get_varint = get_varint
   let put_signed = put_signed
   let get_signed = get_signed
+  let put_bool = put_bool
+  let get_bool = get_bool
+  let put_string = put_string
+  let get_string = get_string
+  let put_f64 = put_f64
+  let get_f64 = get_f64
+  let put_list = put_list
+  let get_list = get_listc
+  let get_count = get_count
+  let fnv1a = fnv1a
 end

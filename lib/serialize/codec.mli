@@ -40,14 +40,60 @@ val to_file : string -> Pypm_engine.Program.t -> unit
 
 val of_file : string -> (Pypm_engine.Program.t, string) result
 
-(** The wire-level integer primitives, exposed so differential and
-    round-trip tests (the fuzzer's zigzag property, the min_int/max_int
-    regression) can exercise them directly. *)
+(** {1 Computation graphs}
+
+    The graph binary format (magic ["PYPG"]), same envelope as the
+    program format: version, FNV-1a checksum, length-prefixed payload.
+    The payload ships the operator declarations the graph's operator
+    nodes reference, then the live nodes in topological order (inputs
+    referenced by index), then the output indices.
+
+    Leaves travel as their {e base name} (the prefix of the operator
+    symbol before the uid suffix) plus their type; the decoder mints
+    fresh symbols. Node ids and symbol uids are therefore {e not}
+    preserved — the isomorphism-invariant fingerprint
+    ([Pypm_fuzz.Fuzz.fingerprint]) is, which is what result caching and
+    the round-trip fuzz property compare.
+
+    Decoding is total: corrupt input (truncation, bit flips, implausible
+    lengths, forward references, validation failures) yields [Error]
+    with a byte offset, never an exception. *)
+module Graphs : sig
+  val version : int
+
+  (** Raises {!Encode_error} on a graph the format cannot represent
+      (an undeclared operator, an untyped leaf, a dead output). *)
+  val encode : Pypm_graph.Graph.t -> string
+
+  (** [decode_into ~sg ~infer bytes] rebuilds the graph against an
+      existing signature and inference registry (the serve worker's
+      environment); shipped declarations are merged into [sg]. *)
+  val decode_into :
+    sg:Signature.t ->
+    infer:Pypm_tensor.Infer.t ->
+    string ->
+    (Pypm_graph.Graph.t, string) result
+
+  (** [decode bytes] rebuilds into a fresh signature and an empty
+      inference registry (decoded operator nodes keep their shipped
+      types; nothing is re-inferred). *)
+  val decode : string -> (Pypm_graph.Graph.t, string) result
+end
+
+(** The wire-level primitives, exposed so the serve protocol and the
+    differential / round-trip tests (the fuzzer's zigzag property, the
+    min_int/max_int regression) can build on them directly. *)
 module Wire : sig
   type cursor
 
   val cursor : string -> cursor
   val offset : cursor -> int
+
+  (** Bytes left after the cursor. *)
+  val remaining : cursor -> int
+
+  val put_u8 : Buffer.t -> int -> unit
+  val get_u8 : cursor -> int
 
   (** Unsigned LEB128; raises [Invalid_argument] on negative input. *)
   val put_varint : Buffer.t -> int -> unit
@@ -58,4 +104,32 @@ module Wire : sig
   val put_signed : Buffer.t -> int -> unit
 
   val get_signed : cursor -> int
+  val put_bool : Buffer.t -> bool -> unit
+  val get_bool : cursor -> bool
+
+  (** Length-prefixed bytes. *)
+  val put_string : Buffer.t -> string -> unit
+
+  val get_string : cursor -> string
+
+  (** IEEE-754 bits as 8 raw little-endian bytes (varints cannot carry
+      all 64 float bits through OCaml's 63-bit int). *)
+  val put_f64 : Buffer.t -> float -> unit
+
+  val get_f64 : cursor -> float
+  val put_list : Buffer.t -> (Buffer.t -> 'a -> unit) -> 'a list -> unit
+
+  (** Counted list read; rejects lengths the remaining input cannot
+      satisfy (a bit-flipped length byte must not drive allocation). *)
+  val get_list : cursor -> (cursor -> 'a) -> 'a list
+
+  (** A plausibility-checked count (see {!get_list}). *)
+  val get_count : cursor -> int
+
+  val fnv1a : string -> int
 end
+
+(** Raised internally by decoders on corrupt input and caught before the
+    API boundary; exposed so {!Wire}-based decoders (the serve protocol)
+    can fail the same way. Carries the byte offset and a message. *)
+exception Corrupt of int * string

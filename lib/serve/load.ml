@@ -1,0 +1,182 @@
+module Protocol = Pypm_serialize.Protocol
+module Codec = Pypm_serialize.Codec
+module Std_ops = Pypm_patterns.Std_ops
+module Transformer = Pypm_models.Transformer
+module Obs = Pypm_obs.Obs
+
+type result = {
+  requests : int;
+  ok : int;
+  cached : int;
+  overloaded : int;
+  protocol_errors : int;
+  pass_fatals : int;
+  wall_s : float;
+  throughput : float;
+  p50_ms : float;
+  p95_ms : float;
+  p99_ms : float;
+  hit_rate : float;
+}
+
+(* Per-client outcome tallies, merged after the join. *)
+type tally = {
+  mutable t_ok : int;
+  mutable t_cached : int;
+  mutable t_over : int;
+  mutable t_perr : int;
+  mutable t_fatal : int;
+  mutable t_lat : float list;  (* seconds per answered request *)
+}
+
+let fresh_tally () =
+  { t_ok = 0; t_cached = 0; t_over = 0; t_perr = 0; t_fatal = 0; t_lat = [] }
+
+(* The request mix: a small pool of distinct model graphs per client,
+   cycled deterministically from the seed. Distinct clients build the
+   same configurations against their own environments — different fresh
+   symbols, identical fingerprints — so cross-client cache hits are part
+   of what the harness measures. *)
+let graph_pool ~seed ~variants =
+  let env = Std_ops.make () in
+  List.init variants (fun i ->
+      let gelu =
+        if (seed + i) mod 2 = 0 then Transformer.Div_two else Transformer.Mul_half
+      in
+      let cfg =
+        Transformer.config
+          ~layers:(1 + (i mod 3))
+          ~hidden:64 ~heads:4 ~seq:16 ~batch:1
+          ~activation:(Transformer.Act_gelu gelu)
+          ~seed:(seed + i)
+          (Printf.sprintf "load-%d-%d" seed i)
+      in
+      Codec.Graphs.encode (Transformer.build env cfg))
+
+let write_all fd s =
+  let n = String.length s in
+  let rec go off =
+    if off < n then
+      let w = Unix.write_substring fd s off (n - off) in
+      go (off + w)
+  in
+  go 0
+
+(* One client: a blocking request/response loop on its own connection.
+   Send, await the matching frame, record the verdict; [Overloaded] is
+   retried a few times with a tiny backoff (shed is flow control, not
+   failure). *)
+let client ~socket ~seed ~requests ~program ~variants ~options tally =
+  let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+  Fun.protect ~finally:(fun () -> try Unix.close fd with Unix.Unix_error _ -> ())
+  @@ fun () ->
+  Unix.connect fd (Unix.ADDR_UNIX socket);
+  let pool = graph_pool ~seed ~variants in
+  let n_pool = List.length pool in
+  let reader = Protocol.Reader.create () in
+  let buf = Bytes.create 65536 in
+  let rec read_response () =
+    match Protocol.Reader.next reader with
+    | `Frame payload -> Protocol.decode_response payload
+    | `Error msg -> Error msg
+    | `Await -> (
+        match Unix.read fd buf 0 (Bytes.length buf) with
+        | 0 -> Error "connection closed mid-response"
+        | n ->
+            Protocol.Reader.feed reader (Bytes.sub_string buf 0 n);
+            read_response ())
+  in
+  for i = 0 to requests - 1 do
+    let graph = List.nth pool (i mod n_pool) in
+    let req =
+      Protocol.Optimize
+        { id = i; program = Protocol.Named program; options; graph }
+    in
+    let rec attempt tries =
+      let t0 = Obs.now () in
+      write_all fd (Protocol.frame (Protocol.encode_request req));
+      match read_response () with
+      | Ok (Protocol.Result { cached; body; _ }) ->
+          tally.t_lat <- (Obs.now () -. t0) :: tally.t_lat;
+          tally.t_ok <- tally.t_ok + 1;
+          if cached then tally.t_cached <- tally.t_cached + 1;
+          (* a response that does not decode back to an outcome counts
+             as a protocol error even though the frame arrived *)
+          (match Protocol.decode_outcome body with
+          | Ok o -> if o.Protocol.fatal <> None then tally.t_fatal <- tally.t_fatal + 1
+          | Error _ -> tally.t_perr <- tally.t_perr + 1)
+      | Ok (Protocol.Overloaded _) ->
+          tally.t_over <- tally.t_over + 1;
+          if tries < 20 then begin
+            Unix.sleepf 0.002;
+            attempt (tries + 1)
+          end
+      | Ok (Protocol.Bad_request _ | Protocol.Server_error _)
+      | Ok (Protocol.Stats_report _) | Error _ ->
+          tally.t_perr <- tally.t_perr + 1
+    in
+    attempt 0
+  done
+
+let percentile sorted p =
+  match Array.length sorted with
+  | 0 -> 0.
+  | n ->
+      let idx = int_of_float (Float.of_int (n - 1) *. p /. 100.) in
+      sorted.(idx)
+
+let run ~socket ~clients ~requests ~seed ?(program = "both") ?(variants = 4)
+    ?(options = Protocol.default_options) () =
+  if clients <= 0 then invalid_arg "Load.run: clients must be > 0";
+  if requests <= 0 then invalid_arg "Load.run: requests must be > 0";
+  (* [requests] is the total; split as evenly as the count allows *)
+  let share i = (requests / clients) + (if i < requests mod clients then 1 else 0) in
+  let t0 = Obs.now () in
+  let workers =
+    List.init clients (fun i ->
+        let tally = fresh_tally () in
+        let d =
+          Domain.spawn (fun () ->
+              client ~socket ~seed:(seed + (1000 * i)) ~requests:(share i)
+                ~program ~variants ~options tally;
+              tally)
+        in
+        d)
+  in
+  let tallies = List.map Domain.join workers in
+  let wall_s = Obs.now () -. t0 in
+  let ok = List.fold_left (fun a t -> a + t.t_ok) 0 tallies in
+  let cached = List.fold_left (fun a t -> a + t.t_cached) 0 tallies in
+  let overloaded = List.fold_left (fun a t -> a + t.t_over) 0 tallies in
+  let protocol_errors = List.fold_left (fun a t -> a + t.t_perr) 0 tallies in
+  let pass_fatals = List.fold_left (fun a t -> a + t.t_fatal) 0 tallies in
+  let lats =
+    Array.of_list (List.concat_map (fun t -> t.t_lat) tallies)
+  in
+  Array.sort compare lats;
+  {
+    requests;
+    ok;
+    cached;
+    overloaded;
+    protocol_errors;
+    pass_fatals;
+    wall_s;
+    throughput = (if wall_s > 0. then float_of_int ok /. wall_s else 0.);
+    p50_ms = percentile lats 50. *. 1000.;
+    p95_ms = percentile lats 95. *. 1000.;
+    p99_ms = percentile lats 99. *. 1000.;
+    hit_rate =
+      (if ok > 0 then float_of_int cached /. float_of_int ok else 0.);
+  }
+
+let pp ppf r =
+  Format.fprintf ppf
+    "@[<v>load: %d request(s), %d ok (%d cached, %.0f%% hit rate), %d \
+     overload retr%s, %d protocol error(s), %d pass fatal(s)@,\
+     wall %.3f s, %.1f req/s@,\
+     latency p50 %.2f ms, p95 %.2f ms, p99 %.2f ms@]"
+    r.requests r.ok r.cached (r.hit_rate *. 100.) r.overloaded
+    (if r.overloaded = 1 then "y" else "ies")
+    r.protocol_errors r.pass_fatals r.wall_s r.throughput r.p50_ms r.p95_ms
+    r.p99_ms

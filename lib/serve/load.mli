@@ -1,0 +1,48 @@
+(** The load harness ([pypmc load]).
+
+    Spawns N client domains against a running server. Each client opens
+    its own connection, builds a small pool of transformer graphs
+    deterministically from its seed, and issues blocking
+    request/response rounds. Distinct clients build the same model
+    configurations against their own environments — different fresh
+    symbols, identical fingerprints — so cross-client cache hits are
+    part of what the harness measures. [Overloaded] answers are retried
+    with a small backoff (shedding is flow control, not failure) and
+    counted. *)
+
+type result = {
+  requests : int;  (** total requested *)
+  ok : int;  (** [Result] responses received *)
+  cached : int;  (** ... of which answered from the cache *)
+  overloaded : int;  (** overload retries observed *)
+  protocol_errors : int;
+      (** undecodable frames/bodies, unexpected response kinds,
+          [Bad_request], [Server_error] *)
+  pass_fatals : int;  (** outcomes whose pass ended with [fatal] *)
+  wall_s : float;
+  throughput : float;  (** ok responses per second *)
+  p50_ms : float;
+  p95_ms : float;
+  p99_ms : float;
+  hit_rate : float;  (** cached / ok *)
+}
+
+(** [run ~socket ~clients ~requests ~seed ()] — [requests] is the total
+    across all clients, split evenly. [program] is the server-side
+    pattern set name (default ["both"]); [variants] is the number of
+    distinct graphs each client cycles through (default 4) — the
+    cache-miss pressure knob: low values measure the cache, high values
+    measure the workers; [options] defaults to
+    {!Pypm_serialize.Protocol.default_options} (plan engine). *)
+val run :
+  socket:string ->
+  clients:int ->
+  requests:int ->
+  seed:int ->
+  ?program:string ->
+  ?variants:int ->
+  ?options:Pypm_serialize.Protocol.options ->
+  unit ->
+  result
+
+val pp : Format.formatter -> result -> unit

@@ -1,0 +1,75 @@
+(* A bounded multi-producer multi-consumer job queue feeding a fixed set
+   of worker domains. Submission never blocks: past the bound the job is
+   refused ([`Overloaded]) and the caller sheds it — admission control
+   belongs to the caller, latency to the queue. *)
+
+type 'job t = {
+  mutex : Mutex.t;
+  nonempty : Condition.t;
+  queue : 'job Queue.t;
+  bound : int;
+  mutable stopping : bool;
+  mutable domains : unit Domain.t list;
+}
+
+let worker_loop t handle =
+  let rec next () =
+    let job =
+      Mutex.protect t.mutex (fun () ->
+          while Queue.is_empty t.queue && not t.stopping do
+            Condition.wait t.nonempty t.mutex
+          done;
+          if Queue.is_empty t.queue then None else Some (Queue.pop t.queue))
+    in
+    match job with
+    | None -> () (* stopping and drained *)
+    | Some job ->
+        (* A handler that escapes with an exception must not take the
+           worker down — the pool would silently lose capacity. Handlers
+           do their own error reporting; this is the backstop. *)
+        (try handle job with _ -> ());
+        next ()
+  in
+  next ()
+
+let create ~workers ~queue_bound setup =
+  if workers <= 0 then invalid_arg "Pool.create: workers must be > 0";
+  if queue_bound <= 0 then invalid_arg "Pool.create: queue_bound must be > 0";
+  let t =
+    {
+      mutex = Mutex.create ();
+      nonempty = Condition.create ();
+      queue = Queue.create ();
+      bound = queue_bound;
+      stopping = false;
+      domains = [];
+    }
+  in
+  t.domains <-
+    List.init workers (fun wid ->
+        Domain.spawn (fun () ->
+            (* [setup] runs on the worker domain so domain-local state
+               (obs rings, matcher counters) and the worker's engine
+               context live where the jobs run *)
+            let handle = setup wid in
+            worker_loop t handle));
+  t
+
+let submit t job =
+  Mutex.protect t.mutex (fun () ->
+      if t.stopping then `Overloaded
+      else if Queue.length t.queue >= t.bound then `Overloaded
+      else begin
+        Queue.push job t.queue;
+        Condition.signal t.nonempty;
+        `Accepted
+      end)
+
+let queue_length t = Mutex.protect t.mutex (fun () -> Queue.length t.queue)
+
+let shutdown t =
+  Mutex.protect t.mutex (fun () ->
+      t.stopping <- true;
+      Condition.broadcast t.nonempty);
+  List.iter Domain.join t.domains;
+  t.domains <- []

@@ -1,0 +1,26 @@
+(** A fixed pool of worker domains behind a bounded job queue.
+
+    Submission is non-blocking admission control: a queue at its bound
+    refuses the job ([`Overloaded]) instead of queueing unbounded work —
+    the server surfaces that to the client as an explicit overload
+    response rather than silently growing latency. *)
+
+type 'job t
+
+(** [create ~workers ~queue_bound setup] spawns [workers] domains. Each
+    domain calls [setup wid] {e on itself} to build its job handler, so
+    per-worker state (the prepared engine, domain-local observability)
+    is created where the jobs will run. A handler exception is contained
+    by the pool (the worker survives); handlers should report their own
+    errors. Raises [Invalid_argument] on non-positive sizes. *)
+val create : workers:int -> queue_bound:int -> (int -> 'job -> unit) -> 'job t
+
+(** [submit t job] enqueues and wakes a worker, or refuses when the
+    queue is at its bound (or the pool is shutting down). *)
+val submit : 'job t -> 'job -> [ `Accepted | `Overloaded ]
+
+val queue_length : 'job t -> int
+
+(** Drain the queue, stop the workers, join their domains. Idempotent
+    in effect; jobs already queued are still processed. *)
+val shutdown : 'job t -> unit

@@ -1,0 +1,407 @@
+module Obs = Pypm_obs.Obs
+module Pass = Pypm_engine.Pass
+module Program = Pypm_engine.Program
+module Codec = Pypm_serialize.Codec
+module Protocol = Pypm_serialize.Protocol
+module Std_ops = Pypm_patterns.Std_ops
+module Corpus = Pypm_patterns.Corpus
+module Inject = Pypm_resilience.Resilience.Inject
+module Signature = Pypm_term.Signature
+
+let log_src = Logs.Src.create "pypm.serve" ~doc:"PyPM optimization service"
+
+module Log = (val Logs.src_log log_src)
+
+type config = {
+  socket_path : string;
+  workers : int;
+  queue_bound : int;
+  cache_bytes : int;
+}
+
+let default_config ~socket_path =
+  { socket_path; workers = 4; queue_bound = 64; cache_bytes = 64 * 1024 * 1024 }
+
+(* ------------------------------------------------------------------ *)
+(* Connections                                                         *)
+(* ------------------------------------------------------------------ *)
+
+(* Responses are written by whichever domain produced them — workers for
+   results, the accept loop for sheds and protocol errors — so each
+   connection carries a write mutex: frames from concurrent requests on
+   one connection must not interleave mid-frame. *)
+type conn = {
+  fd : Unix.file_descr;
+  reader : Protocol.Reader.t;
+  wmutex : Mutex.t;
+  mutable alive : bool;
+  mutable pending : int;
+      (* jobs in flight for this connection; the fd is closed only when
+         this reaches 0 after death — otherwise a worker's late response
+         could land on a recycled descriptor belonging to a new client *)
+  mutable closed : bool;
+}
+
+let close_fd_once conn =
+  if not conn.closed then begin
+    conn.closed <- true;
+    try Unix.close conn.fd with Unix.Unix_error _ -> ()
+  end
+
+let retain conn =
+  Mutex.protect conn.wmutex (fun () -> conn.pending <- conn.pending + 1)
+
+let release conn =
+  Mutex.protect conn.wmutex (fun () ->
+      conn.pending <- conn.pending - 1;
+      if (not conn.alive) && conn.pending = 0 then close_fd_once conn)
+
+let write_all fd s =
+  let n = String.length s in
+  let rec go off =
+    if off < n then
+      let w = Unix.write_substring fd s off (n - off) in
+      go (off + w)
+  in
+  go 0
+
+let send conn resp =
+  Mutex.protect conn.wmutex (fun () ->
+      if conn.alive && not conn.closed then
+        try write_all conn.fd (Protocol.frame (Protocol.encode_response resp))
+        with Unix.Unix_error _ | Sys_error _ ->
+          (* client went away; the accept loop reaps the fd *)
+          conn.alive <- false)
+
+(* ------------------------------------------------------------------ *)
+(* Shared state                                                        *)
+(* ------------------------------------------------------------------ *)
+
+type shared = {
+  cache : Cache.t;
+  served : int Atomic.t;
+  shed : int Atomic.t;
+  errs : int Atomic.t;
+  t0 : float;
+  n_workers : int;
+}
+
+let server_stats sh : Protocol.server_stats =
+  let cs = Cache.stats sh.cache in
+  {
+    Protocol.served = Atomic.get sh.served;
+    shed = Atomic.get sh.shed;
+    errors = Atomic.get sh.errs;
+    cache_hits = cs.Cache.hits;
+    cache_misses = cs.Cache.misses;
+    cache_evictions = cs.Cache.evictions;
+    cache_entries = cs.Cache.entries;
+    cache_bytes = cs.Cache.bytes;
+    workers = sh.n_workers;
+    uptime_s = Obs.now () -. sh.t0;
+  }
+
+(* ------------------------------------------------------------------ *)
+(* Worker context                                                      *)
+(* ------------------------------------------------------------------ *)
+
+(* One per worker domain, built on that domain: the operator environment
+   and a cache of prepared engines keyed by (program, engine) — the plan
+   trie is compiled once per worker, not once per request. *)
+type wctx = {
+  env : Std_ops.env;
+  prepared : (string, Pass.prepared) Hashtbl.t;
+}
+
+type job = {
+  jconn : conn;
+  jid : int;
+  jprogram : Protocol.program_spec;
+  joptions : Protocol.options;
+  jgraph : string;
+}
+
+let engine_of_string = function
+  | "naive" -> Some Pass.Naive
+  | "index" -> Some Pass.Index
+  | "plan" -> Some Pass.Plan
+  | _ -> None
+
+let named_program env = function
+  | "none" -> Some (Program.make ~sg:env.Std_ops.sg [])
+  | "fmha" -> Some (Corpus.fmha_program env.Std_ops.sg)
+  | "epilog" -> Some (Corpus.epilog_program env.Std_ops.sg)
+  | "both" -> Some (Corpus.both_program env.Std_ops.sg)
+  | "full" -> Some (Corpus.full_program env.Std_ops.sg)
+  | _ -> None
+
+exception Reject of Protocol.response
+
+let reject_bad id reason = raise (Reject (Protocol.Bad_request { id; reason }))
+
+(* The request's content key: program identity x option block x the
+   isomorphism-invariant graph fingerprint. Fingerprint, not bytes: two
+   clients encoding the same model mint different fresh-symbol uids and
+   node ids, but fingerprint-equal graphs get the same optimization, so
+   they share a cache line. *)
+let cache_key ~program_key ~options ~fingerprint =
+  Digest.to_hex
+    (Digest.string
+       (String.concat "\x00"
+          [ program_key; Protocol.options_fingerprint options; fingerprint ]))
+
+let prepared_for wctx ~program_key ~engine ~(program : Protocol.program_spec)
+    ~id =
+  let slot = program_key ^ "#" ^ Pass.engine_name engine in
+  match Hashtbl.find_opt wctx.prepared slot with
+  | Some p -> p
+  | None ->
+      let prog =
+        match program with
+        | Protocol.Named name -> (
+            match named_program wctx.env name with
+            | Some p -> p
+            | None ->
+                reject_bad id
+                  (Printf.sprintf
+                     "unknown pattern set %S (none|fmha|epilog|both|full)" name))
+        | Protocol.Inline bytes -> (
+            match Codec.decode_into ~sg:wctx.env.Std_ops.sg bytes with
+            | Ok p -> p
+            | Error msg -> reject_bad id ("pattern binary: " ^ msg))
+      in
+      let p = Pass.prepare ~engine prog in
+      Hashtbl.replace wctx.prepared slot p;
+      p
+
+let inject_of_options ~id (o : Protocol.options) =
+  if o.Protocol.fault_rate <= 0. then Inject.none
+  else
+    let points =
+      match o.Protocol.fault_points with
+      | [] -> None
+      | names ->
+          Some
+            (List.map
+               (fun n ->
+                 match Inject.point_of_name n with
+                 | Some p -> p
+                 | None ->
+                     reject_bad id (Printf.sprintf "unknown fault point %S" n))
+               names)
+    in
+    Inject.seeded ?points ~seed:o.Protocol.fault_seed
+      ~rate:o.Protocol.fault_rate ()
+
+let handle_job sh wctx (j : job) =
+  Fun.protect ~finally:(fun () -> release j.jconn) @@ fun () ->
+  let t0 = Obs.now () in
+  let o = j.joptions in
+  match
+    let engine =
+      match engine_of_string o.Protocol.engine with
+      | Some e -> e
+      | None ->
+          reject_bad j.jid
+            (Printf.sprintf "unknown engine %S (naive|index|plan)"
+               o.Protocol.engine)
+    in
+    let program_key =
+      match j.jprogram with
+      | Protocol.Named n -> "named:" ^ n
+      | Protocol.Inline bytes -> "inline:" ^ Digest.to_hex (Digest.string bytes)
+    in
+    let prepared = prepared_for wctx ~program_key ~engine ~program:j.jprogram ~id:j.jid in
+    (* Per-request signature copy: graph decode declares the graph's
+       fresh leaf symbols, and those must not accumulate in the worker's
+       long-lived signature, request after request. *)
+    let sg = Signature.copy wctx.env.Std_ops.sg in
+    let g =
+      match
+        Codec.Graphs.decode_into ~sg ~infer:wctx.env.Std_ops.infer j.jgraph
+      with
+      | Ok g -> g
+      | Error msg -> reject_bad j.jid ("graph: " ^ msg)
+    in
+    let fingerprint = Pypm_fuzz.Fuzz.fingerprint g in
+    let key = cache_key ~program_key ~options:o ~fingerprint in
+    match Cache.find sh.cache key with
+    | Some body ->
+        Protocol.Result
+          { id = j.jid; cached = true; service_s = Obs.now () -. t0; body }
+    | None ->
+        let inject = inject_of_options ~id:j.jid o in
+        let stats =
+          Pass.run_prepared ~check_types:o.Protocol.check_types
+            ~fuel:o.Protocol.fuel ~max_rewrites:o.Protocol.max_rewrites
+            ?deadline_s:o.Protocol.deadline_s
+            ~quarantine_after:o.Protocol.quarantine_after ~inject
+            ~on_error:(if o.Protocol.strict then `Fail else `Quarantine)
+            prepared g
+        in
+        let out_graph = Codec.Graphs.encode g in
+        let body =
+          Protocol.encode_outcome
+            {
+              Protocol.graph = out_graph;
+              stats_json = Pass.stats_json stats;
+              errors = stats.Pass.errors;
+              fatal = stats.Pass.fatal;
+            }
+        in
+        Cache.add sh.cache key body;
+        Protocol.Result
+          { id = j.jid; cached = false; service_s = Obs.now () -. t0; body }
+  with
+  | Protocol.Result { cached; _ } as resp ->
+      Atomic.incr sh.served;
+      Obs.emit (Obs.Request_served { id = j.jid; cached });
+      send j.jconn resp
+  | resp ->
+      (* non-Result leaks only via bugs; count it as an error anyway *)
+      Atomic.incr sh.errs;
+      send j.jconn resp
+  | exception Reject resp ->
+      Atomic.incr sh.errs;
+      send j.jconn resp
+  | exception exn ->
+      (* the catch-all that keeps a worker alive through anything a
+         request can throw (encode errors, injected chaos); the client
+         gets a structured failure and the next request proceeds *)
+      Atomic.incr sh.errs;
+      Log.warn (fun m ->
+          m "request %d failed: %s" j.jid (Printexc.to_string exn));
+      send j.jconn
+        (Protocol.Server_error { id = j.jid; reason = Printexc.to_string exn })
+
+(* ------------------------------------------------------------------ *)
+(* Accept loop                                                        *)
+(* ------------------------------------------------------------------ *)
+
+let handle_frame sh pool conn payload =
+  match Protocol.decode_request payload with
+  | Error msg ->
+      Atomic.incr sh.errs;
+      send conn (Protocol.Bad_request { id = 0; reason = msg })
+  | Ok (Protocol.Stats { id }) ->
+      send conn (Protocol.Stats_report { id; stats = server_stats sh })
+  | Ok (Protocol.Optimize { id; program; options; graph }) -> (
+      let job =
+        { jconn = conn; jid = id; jprogram = program; joptions = options;
+          jgraph = graph }
+      in
+      retain conn;
+      match Pool.submit pool job with
+      | `Accepted -> ()
+      | `Overloaded ->
+          Atomic.incr sh.shed;
+          Obs.emit (Obs.Request_shed { id });
+          send conn (Protocol.Overloaded { id });
+          release conn)
+
+let run ?(on_ready = fun () -> ()) ?(stop = fun () -> false) (cfg : config) =
+  (try Sys.set_signal Sys.sigpipe Sys.Signal_ignore
+   with Invalid_argument _ -> ());
+  let sh =
+    {
+      cache = Cache.create ~max_bytes:cfg.cache_bytes;
+      served = Atomic.make 0;
+      shed = Atomic.make 0;
+      errs = Atomic.make 0;
+      t0 = Obs.now ();
+      n_workers = cfg.workers;
+    }
+  in
+  let pool =
+    Pool.create ~workers:cfg.workers ~queue_bound:cfg.queue_bound (fun wid ->
+        ignore wid;
+        let wctx = { env = Std_ops.make (); prepared = Hashtbl.create 8 } in
+        fun job -> handle_job sh wctx job)
+  in
+  let listen_fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+  (try Unix.unlink cfg.socket_path with Unix.Unix_error _ -> ());
+  Unix.bind listen_fd (Unix.ADDR_UNIX cfg.socket_path);
+  Unix.listen listen_fd 64;
+  Log.info (fun m ->
+      m "serving on %s: %d worker(s), queue bound %d, %d-byte cache"
+        cfg.socket_path cfg.workers cfg.queue_bound cfg.cache_bytes);
+  on_ready ();
+  let conns : (Unix.file_descr, conn) Hashtbl.t = Hashtbl.create 16 in
+  let close_conn (c : conn) =
+    Hashtbl.remove conns c.fd;
+    Mutex.protect c.wmutex (fun () ->
+        c.alive <- false;
+        if c.pending = 0 then close_fd_once c)
+  in
+  let buf = Bytes.create 65536 in
+  let rec loop () =
+    if not (stop ()) then begin
+      let fds = listen_fd :: Hashtbl.fold (fun fd _ acc -> fd :: acc) conns [] in
+      let readable =
+        match Unix.select fds [] [] 0.2 with
+        | r, _, _ -> r
+        | exception Unix.Unix_error (Unix.EINTR, _, _) -> []
+      in
+      List.iter
+        (fun fd ->
+          if fd = listen_fd then begin
+            match Unix.accept listen_fd with
+            | cfd, _ ->
+                Hashtbl.replace conns cfd
+                  {
+                    fd = cfd;
+                    reader = Protocol.Reader.create ();
+                    wmutex = Mutex.create ();
+                    alive = true;
+                    pending = 0;
+                    closed = false;
+                  }
+            | exception Unix.Unix_error _ -> ()
+          end
+          else
+            match Hashtbl.find_opt conns fd with
+            | None -> ()
+            | Some conn -> (
+                match Unix.read fd buf 0 (Bytes.length buf) with
+                | 0 -> close_conn conn
+                | n ->
+                    Protocol.Reader.feed conn.reader
+                      (Bytes.sub_string buf 0 n);
+                    let rec drain () =
+                      match Protocol.Reader.next conn.reader with
+                      | `Frame payload ->
+                          handle_frame sh pool conn payload;
+                          drain ()
+                      | `Await -> ()
+                      | `Error msg ->
+                          (* oversize or mangled framing is sticky: no
+                             frame boundary to resync on *)
+                          Atomic.incr sh.errs;
+                          send conn
+                            (Protocol.Bad_request { id = 0; reason = msg });
+                          close_conn conn
+                    in
+                    drain ()
+                | exception Unix.Unix_error ((Unix.ECONNRESET | Unix.EPIPE), _, _)
+                  ->
+                    close_conn conn
+                | exception Unix.Unix_error (Unix.EINTR, _, _) -> ()))
+        readable;
+      (* reap connections whose writes failed *)
+      Hashtbl.iter
+        (fun _ c -> if not c.alive then close_conn c)
+        (Hashtbl.copy conns);
+      loop ()
+    end
+  in
+  Fun.protect
+    ~finally:(fun () ->
+      (* drain queued jobs before tearing connections down so in-flight
+         requests still answer *)
+      Pool.shutdown pool;
+      (try Unix.close listen_fd with Unix.Unix_error _ -> ());
+      Hashtbl.iter
+        (fun _ c -> Mutex.protect c.wmutex (fun () -> close_fd_once c))
+        conns;
+      try Unix.unlink cfg.socket_path with Unix.Unix_error _ -> ())
+    loop

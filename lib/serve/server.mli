@@ -1,0 +1,42 @@
+(** The resident optimization service.
+
+    A Unix-domain-socket server that accepts {!Pypm_serialize.Protocol}
+    frames and runs rewrite passes on a {!Pool} of worker domains. The
+    moving parts:
+
+    - {e accept loop} (the calling domain): [select] over the listen
+      socket and every connection, incremental deframing, request
+      decode, admission control — a full queue answers [Overloaded]
+      immediately instead of queueing unbounded work;
+    - {e workers}: each worker domain owns a full operator environment
+      and a cache of {!Pypm_engine.Pass.prepared} engines keyed by
+      (program, engine), so the plan trie is compiled once per worker,
+      not once per request;
+    - {e result cache} ({!Cache}): content-addressed by (program,
+      options, graph fingerprint); a warm response body is
+      byte-identical to the cold one;
+    - {e resilience}: request faults — undecodable bytes, unknown
+      engines or pattern sets, injected faults, anything a pass can
+      throw — become structured error responses on the same connection;
+      the server and the connection both survive.
+
+    Responses may be written by any domain; per-connection write mutexes
+    keep concurrent frames from interleaving. *)
+
+type config = {
+  socket_path : string;
+  workers : int;  (** worker domains (>= 1) *)
+  queue_bound : int;  (** jobs queued before shedding *)
+  cache_bytes : int;  (** result-cache byte bound *)
+}
+
+(** 4 workers, queue bound 64, 64 MiB cache. *)
+val default_config : socket_path:string -> config
+
+(** [run ?on_ready ?stop cfg] binds, listens, serves. Blocks until
+    [stop ()] returns true (polled a few times per second); [on_ready]
+    fires once the socket accepts connections — the in-process test
+    hook. Removes the socket file on exit. *)
+val run : ?on_ready:(unit -> unit) -> ?stop:(unit -> bool) -> config -> unit
+
+val log_src : Logs.src

@@ -8,8 +8,10 @@ let pp = Format.pp_print_string
 module Map = Map.Make (String)
 module Set = Set.Make (String)
 
-let counter = ref 0
+(* Atomic: graphs are built concurrently by server workers and load-harness
+   clients (OCaml 5 domains); a torn increment would mint duplicate
+   "fresh" symbols and silently alias unrelated graph inputs. *)
+let counter = Atomic.make 0
 
 let fresh ?(prefix = "sym") () =
-  incr counter;
-  Printf.sprintf "%s%%%d" prefix !counter
+  Printf.sprintf "%s%%%d" prefix (Atomic.fetch_and_add counter 1 + 1)
