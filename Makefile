@@ -1,6 +1,6 @@
 # Convenience targets; everything is plain dune underneath.
 
-.PHONY: all build test check serve-smoke bench figures examples doc clean
+.PHONY: all build test check serve-smoke bench-smoke bench figures examples doc clean
 
 all: build
 
@@ -11,8 +11,9 @@ test:
 	dune runtest
 
 # the pre-commit gate: formatting (when ocamlformat is available), the
-# full test suite, a quick bench smoke run over the engine comparison,
-# and the end-to-end serving smoke
+# full test suite, a quick bench smoke run over the engine comparison
+# with its machine-readable trajectory checked, and the end-to-end
+# serving smoke
 check:
 	@if command -v ocamlformat >/dev/null 2>&1; then \
 	  dune build @fmt || exit 1; \
@@ -20,8 +21,27 @@ check:
 	  echo "ocamlformat not installed; skipping format check"; \
 	fi
 	dune runtest
-	dune exec bench/main.exe -- fig12 fig13 --quick
+	$(MAKE) bench-smoke
 	$(MAKE) serve-smoke
+
+# quick fig12/fig13 runs that also emit the perf-trajectory JSON
+# (BENCH_fig12.json / BENCH_fig13.json, format in doc/parallel.md), then
+# assert the files parse and the domain sweep agreed with sequential
+# matching. Deliberately no speedup assertion: CI cores are not a perf
+# lab (read "speedup" against "cores" in the JSON instead).
+bench-smoke: build
+	dune exec bench/main.exe -- fig12 fig13 --quick --json BENCH.json
+	@python3 -c "\
+	import json, sys; \
+	ok = True; \
+	files = ['BENCH_fig12.json', 'BENCH_fig13.json']; \
+	datas = [json.load(open(f)) for f in files]; \
+	[sys.exit('%s: parallel sweep disagreed with sequential matching' % f) \
+	   for f, d in zip(files, datas) if not d['parallel_agrees']]; \
+	[sys.exit('%s: empty domain sweep' % f) \
+	   for f, d in zip(files, datas) if not d['engines'] \
+	   or any(not e['sweep'] for e in d['engines'])]; \
+	print('bench-smoke: %s ok (cores=%d)' % (', '.join(files), datas[0]['cores']))"
 
 # end-to-end serving smoke: background a 4-worker server, drive it with
 # 4 concurrent clients, require zero protocol errors and a warm cache,

@@ -16,7 +16,12 @@
                                      figure tables, and all three for the
                                      engine-comparison section of
                                      fig12/fig13)
-     --quick                      -- smoke mode: first 3 models per suite *)
+     --quick                      -- smoke mode: first 3 models per suite
+     --json PATH                  -- fig12/fig13: also write the figure's
+                                     machine-readable trajectory (engine x
+                                     domain-count matcher totals) to PATH;
+                                     the figure name is inserted before the
+                                     extension unless already present *)
 
 open Pypm
 
@@ -41,6 +46,37 @@ let rec take n = function
   | _ -> []
 
 let suite_models models = if !quick then take 3 models else models
+
+(* Durations come from the monotonic clock: gettimeofday is subject to
+   NTP slews and steps, which turn a benchmark row into noise. *)
+let time_s f =
+  let t0 = Obs.monotonic () in
+  let r = f () in
+  (r, Obs.monotonic () -. t0)
+
+(* --json PATH: write the figure's machine-readable trajectory. When the
+   path does not already name the figure, it is inserted before the
+   extension, so one --json BENCH.json serves fig12 and fig13 both. *)
+let json_path : string option ref = ref None
+
+let contains_sub s sub =
+  let n = String.length s and m = String.length sub in
+  let rec go i = i + m <= n && (String.sub s i m = sub || go (i + 1)) in
+  m = 0 || go 0
+
+let json_file_for ~figure =
+  match !json_path with
+  | None -> None
+  | Some p ->
+      let fig = String.lowercase_ascii figure in
+      if contains_sub (String.lowercase_ascii (Filename.basename p)) fig then
+        Some p
+      else
+        let ext = Filename.extension p in
+        let base =
+          if ext = "" then p else Filename.remove_extension p
+        in
+        Some (Printf.sprintf "%s_%s%s" base fig ext)
 
 (* ------------------------------------------------------------------ *)
 (* Compile configurations (paper: four ways per model)                 *)
@@ -310,6 +346,159 @@ let suite_trace ~figure models =
         path (Obs.Collector.length c) m.Zoo.mname stats.Pass.total_rewrites
         (List.length stats.Pass.provenance)
 
+(* Matcher-phase scaling: the same match_only workload (both families at
+   every node of every model), per engine, per domain count. Times come
+   from [time_s] around the whole call (best of two runs per cell);
+   matches/attempts come from the per-pattern stats — NOT from the
+   domain-local matcher visit counters, which undercount across domains. *)
+let domain_counts = [ 1; 2; 4 ]
+
+type sweep_row = {
+  sw_engine : string;
+  sw_domains : int;
+  sw_s : float;
+  sw_matches : int;
+  sw_attempts : int;
+}
+
+let domain_sweep models =
+  Printf.printf
+    "\n   matcher-phase domain sweep (match_only, both families, all \
+     models):\n";
+  Printf.printf "   engine   domains        ms    matches   attempts\n";
+  let rows =
+    List.concat_map
+      (fun engine ->
+        List.map
+          (fun domains ->
+            let total_s = ref 0.
+            and matches = ref 0
+            and attempts = ref 0 in
+            (* one team per domain count, reused across every model:
+               spawning domains costs milliseconds and is not the phase
+               being measured *)
+            let team = if domains > 1 then Some (Team.create ~shards:domains) else None in
+            Fun.protect
+              ~finally:(fun () -> Option.iter Team.shutdown team)
+              (fun () ->
+                List.iter
+                  (fun (m : Zoo.model) ->
+                    let env, g = m.Zoo.build () in
+                    let prog = Corpus.both_program env.Std_ops.sg in
+                    let once () =
+                      snd
+                        (time_s (fun () ->
+                             Pass.match_only ~engine ~domains ?team prog g))
+                    in
+                    let t = Float.min (once ()) (once ()) in
+                    let stats = Pass.match_only ~engine ~domains ?team prog g in
+                    total_s := !total_s +. t;
+                    List.iter
+                      (fun (ps : Pass.pattern_stats) ->
+                        matches := !matches + ps.Pass.matches;
+                        attempts := !attempts + ps.Pass.attempts)
+                      stats.Pass.per_pattern)
+                  models);
+            let row =
+              {
+                sw_engine = engine_name engine;
+                sw_domains = domains;
+                sw_s = !total_s;
+                sw_matches = !matches;
+                sw_attempts = !attempts;
+              }
+            in
+            Printf.printf "   %-8s %7d %9.1f %10d %10d\n" row.sw_engine
+              row.sw_domains (row.sw_s *. 1e3) row.sw_matches row.sw_attempts;
+            row)
+          domain_counts)
+      (engines_selected ())
+  in
+  (* every domain count must find exactly the same matches *)
+  let agrees =
+    List.for_all
+      (fun e ->
+        match
+          List.filter (fun r -> r.sw_engine = engine_name e) rows
+        with
+        | [] -> true
+        | r0 :: rest ->
+            List.for_all (fun r -> r.sw_matches = r0.sw_matches) rest)
+      (engines_selected ())
+  in
+  let speedup engine =
+    let of_d d =
+      List.find_opt
+        (fun r -> r.sw_engine = engine_name engine && r.sw_domains = d)
+        rows
+    in
+    match (of_d 1, of_d (List.fold_left max 1 domain_counts)) with
+    | Some a, Some b when b.sw_s > 0. -> Some (a.sw_s /. b.sw_s)
+    | _ -> None
+  in
+  List.iter
+    (fun e ->
+      match speedup e with
+      | Some s ->
+          Printf.printf "   %-8s matcher-phase speedup at %d domains: %.2fx\n"
+            (engine_name e)
+            (List.fold_left max 1 domain_counts)
+            s
+      | None -> ())
+    (engines_selected ());
+  Printf.printf "   parallel totals %s sequential totals\n"
+    (if agrees then "agree with" else "DISAGREE with");
+  (rows, agrees)
+
+let write_bench_json ~figure ~suite ~models ~max_pass (rows, agrees) =
+  match json_file_for ~figure with
+  | None -> ()
+  | Some path ->
+      let buf = Buffer.create 4096 in
+      let engines = engines_selected () in
+      Buffer.add_string buf
+        (Printf.sprintf
+           "{\"figure\":\"%s\",\"suite\":\"%s\",\"quick\":%b,\"models\":%d,\"cores\":%d,\n"
+           (String.lowercase_ascii figure)
+           suite !quick (List.length models)
+           (Domain.recommended_domain_count ()));
+      Buffer.add_string buf
+        (Printf.sprintf "\"max_full_pass_s\":%.6f,\"parallel_agrees\":%b,\n"
+           max_pass agrees);
+      Buffer.add_string buf "\"engines\":[";
+      List.iteri
+        (fun i e ->
+          if i > 0 then Buffer.add_string buf ",";
+          let ename = engine_name e in
+          let erows = List.filter (fun r -> r.sw_engine = ename) rows in
+          let find_d d = List.find_opt (fun r -> r.sw_domains = d) erows in
+          let dmax = List.fold_left max 1 domain_counts in
+          let speedup =
+            match (find_d 1, find_d dmax) with
+            | Some a, Some b when b.sw_s > 0. -> a.sw_s /. b.sw_s
+            | _ -> 0.
+          in
+          Buffer.add_string buf
+            (Printf.sprintf "\n{\"engine\":\"%s\",\"speedup\":%.3f,\"sweep\":["
+               ename speedup);
+          List.iteri
+            (fun j r ->
+              if j > 0 then Buffer.add_string buf ",";
+              Buffer.add_string buf
+                (Printf.sprintf
+                   "\n  \
+                    {\"domains\":%d,\"total_s\":%.6f,\"matches\":%d,\"attempts\":%d}"
+                   r.sw_domains r.sw_s r.sw_matches r.sw_attempts))
+            erows;
+          Buffer.add_string buf "]}")
+        engines;
+      Buffer.add_string buf "]}\n";
+      let oc = open_out_bin path in
+      Fun.protect
+        ~finally:(fun () -> close_out_noerr oc)
+        (fun () -> Buffer.output_buffer oc buf);
+      Printf.printf "   wrote %s\n" path
+
 let compile_cost_figure ~figure ~suite models =
   Printf.printf "== %s: %s pattern-matching compile-time cost ==\n" figure
     suite;
@@ -366,6 +555,8 @@ let compile_cost_figure ~figure ~suite models =
     !max_pass;
   engine_comparison models;
   engine_agreement models;
+  let sweep = domain_sweep models in
+  write_bench_json ~figure ~suite ~models ~max_pass:!max_pass sweep;
   suite_trace ~figure models;
   print_newline ()
 
@@ -498,11 +689,6 @@ let micro () =
 (* ABLATION: design choices called out in DESIGN.md                    *)
 (* ------------------------------------------------------------------ *)
 
-let time_s f =
-  let t0 = Unix.gettimeofday () in
-  let r = f () in
-  (r, Unix.gettimeofday () -. t0)
-
 let ablation () =
   Printf.printf "== ABLATION: pass and matcher design choices ==\n";
   (* 1. root-head indexing: skip patterns whose root operator cannot match
@@ -613,6 +799,12 @@ let () =
         parse acc rest
     | "--engine" :: [] ->
         Printf.eprintf "--engine needs an argument (naive|index|plan)\n";
+        exit 2
+    | "--json" :: p :: rest ->
+        json_path := Some p;
+        parse acc rest
+    | "--json" :: [] ->
+        Printf.eprintf "--json needs a file argument\n";
         exit 2
     | a :: rest -> parse (a :: acc) rest
   in

@@ -235,6 +235,15 @@ let engine_arg =
             $(b,index) (root-head prefilter), or $(b,plan) (shared \
             matching plan with incremental re-matching).")
 
+(* Shared by optimize/bench/load: matching domains per pass. *)
+let domains_arg =
+  Cmdliner.Arg.(
+    value & opt int 1 & info [ "domains" ] ~docv:"N"
+      ~doc:"Shard the matching phase of every pass iteration across $(docv) \
+            domains. Firing order, provenance and the final graph are \
+            byte-identical to the sequential pass; 1 (the default) keeps \
+            the sequential path. Fault injection forces 1.")
+
 let fault_points_of_names names =
   List.map
     (fun n ->
@@ -263,8 +272,9 @@ let write_stats_json dest stats =
       Printf.printf "wrote %s\n" path
 
 let optimize_cmd =
-  let run model opt patterns engine verbose dot debug trace fuel deadline
-      fault_seed fault_rate fault_points strict quarantine_after stats_json =
+  let run model opt patterns engine domains verbose dot debug trace fuel
+      deadline fault_seed fault_rate fault_points strict quarantine_after
+      stats_json =
     if debug then (
       Logs.set_reporter (Logs.format_reporter ());
       Logs.Src.set_level Pass.log_src (Some Logs.Debug));
@@ -287,7 +297,7 @@ let optimize_cmd =
       with_trace trace (fun () ->
           if strict then
             match
-              Pass.run_result ~engine ?fuel ?deadline_s:deadline
+              Pass.run_result ~engine ~domains ?fuel ?deadline_s:deadline
                 ?quarantine_after ~inject program g
             with
             | Ok stats -> stats
@@ -298,8 +308,8 @@ let optimize_cmd =
                   (Pass.error_message e);
                 exit 1
           else
-            Pass.run ~engine ?fuel ?deadline_s:deadline ?quarantine_after
-              ~inject program g)
+            Pass.run ~engine ~domains ?fuel ?deadline_s:deadline
+              ?quarantine_after ~inject program g)
     in
     write_stats_json stats_json stats;
     (* [Engine_unavailable] is fatal under either policy: there was no
@@ -390,9 +400,10 @@ let optimize_cmd =
   in
   Cmd.v
     (Cmd.info "optimize" ~doc:"Run the rewrite pass over a zoo model")
-    Term.(const run $ model $ opt_arg $ patterns_arg $ engine_arg $ verbose
-          $ dot $ debug $ trace $ fuel $ deadline $ fault_seed $ fault_rate
-          $ fault_points $ strict $ quarantine_after $ stats_json)
+    Term.(const run $ model $ opt_arg $ patterns_arg $ engine_arg
+          $ domains_arg $ verbose $ dot $ debug $ trace $ fuel $ deadline
+          $ fault_seed $ fault_rate $ fault_points $ strict
+          $ quarantine_after $ stats_json)
 
 (* ------------------------------------------------------------------ *)
 (* trace                                                               *)
@@ -721,7 +732,7 @@ let serve_cmd =
     Term.(const run $ socket_arg $ workers $ queue_bound $ cache_mb $ debug)
 
 let load_cmd =
-  let run socket clients requests seed opt engine variants fault_seed
+  let run socket clients requests seed opt engine domains variants fault_seed
       fault_rate fault_points min_hits =
     (match fault_points with
     | [] -> ()
@@ -730,6 +741,7 @@ let load_cmd =
       {
         Protocol.default_options with
         Protocol.engine;
+        domains;
         fault_seed = Option.value fault_seed ~default:0;
         fault_rate = (if fault_seed = None then 0. else fault_rate);
         fault_points;
@@ -799,8 +811,8 @@ let load_cmd =
          "Drive a running server with concurrent clients and report \
           throughput, latency percentiles and cache hit rate")
     Term.(const run $ socket_arg $ clients $ requests $ seed $ opt_arg
-          $ engine $ variants $ fault_seed $ fault_rate $ fault_points
-          $ min_hits)
+          $ engine $ domains_arg $ variants $ fault_seed $ fault_rate
+          $ fault_points $ min_hits)
 
 (* ------------------------------------------------------------------ *)
 

@@ -4,6 +4,7 @@ module Plan = Pypm_plan.Plan
 module Obs = Pypm_obs.Obs
 module Breaker = Pypm_resilience.Resilience.Breaker
 module Inject = Pypm_resilience.Resilience.Inject
+module Team = Pypm_parallel.Team
 
 type engine = Naive | Index | Plan
 
@@ -60,6 +61,7 @@ type stats = {
   mutable reached_fixpoint : bool;
   mutable deadline_hit : bool;
   mutable engine_used : string;
+  mutable domains_used : int;
   mutable errors : error list;
   mutable fatal : error option;
   mutable provenance : Obs.Provenance.step list;
@@ -82,6 +84,7 @@ let fresh_stats (program : Program.t) =
     reached_fixpoint = false;
     deadline_hit = false;
     engine_used = "";
+    domains_used = 1;
     errors = [];
     fatal = None;
     provenance = [];
@@ -114,7 +117,10 @@ let log_src = Logs.Src.create "pypm.pass" ~doc:"PyPM rewrite pass"
 
 module Log = (val Logs.src_log log_src)
 
-let now = Obs.now
+(* Durations and deadlines use the monotonic clock: wall time (Obs.now,
+   which stamps event timestamps) can jump under NTP slew and once
+   produced a negative match_time. The two clocks are not comparable. *)
+let now = Obs.monotonic
 
 (* ------------------------------------------------------------------ *)
 (* Run context: configuration plus the abort channel                   *)
@@ -691,6 +697,381 @@ let prepare_engine rc (p : prepared) slots =
   ladder p.p_engine
 
 (* ------------------------------------------------------------------ *)
+(* Sharded matching: intra-pass parallelism                            *)
+(*                                                                     *)
+(* The sequential pass is "match everywhere, fire the first witness,   *)
+(* restart": within one iteration the graph is immutable until exactly *)
+(* one rule fires. That makes the matching half embarrassingly         *)
+(* parallel — per (node, entry) it is a pure function of the node's    *)
+(* term view — as long as the *decisions* (which witness fires, which  *)
+(* breaker strikes) are replayed in the sequential order. So:          *)
+(*                                                                     *)
+(*   1. the candidate worklist (live-topo order; dirty-filtered under  *)
+(*      Plan) is cut into contiguous blocks;                           *)
+(*   2. each block is split into one contiguous slice per domain;      *)
+(*      workers match their slice read-only against a per-domain term  *)
+(*      view and a start-of-block snapshot of the breaker state,       *)
+(*      reporting speculative outcomes (witness / fuel-out) per entry  *)
+(*      in entry order, plus their domain-local obs events;            *)
+(*   3. the arbiter (calling domain) replays outcomes in node order —  *)
+(*      skipping entries whose breaker is tripped at consumption time, *)
+(*      striking on fuel-outs, firing witnesses with the sequential    *)
+(*      [fire] — and ends the iteration at the first successful fire.  *)
+(*                                                                     *)
+(* Quarantine filtering at consumption time is what makes this exact:  *)
+(* breaker strikes are monotone within a pass, so an entry the arbiter *)
+(* skips is precisely an entry the sequential scanner would have       *)
+(* skipped at that point, and matching one speculatively changed       *)
+(* nothing the fire decision can observe. Firing order, provenance and *)
+(* the final graph are therefore byte-identical to the sequential      *)
+(* pass; only speculative match *counts* (per-pattern attempts beyond  *)
+(* the fire point) may exceed the sequential ones. Fault-injection     *)
+(* schedules are consumed in query order, so an active schedule forces *)
+(* the sequential path (see [run_prepared]).                           *)
+(* ------------------------------------------------------------------ *)
+
+(* Speculative per-entry outcome computed by a shard worker. *)
+type spec =
+  | Sw_witness of Pypm_term.Subst.t * Pypm_term.Fsubst.t
+  | Sw_fuel_out
+
+type shard_report = {
+  sr_events : Obs.event list; (* worker-domain events, emission order *)
+  sr_specs : (int * spec) list array; (* per slice node, entry order *)
+  sr_walk : float; (* seconds inside the shared plan's trie walk *)
+  sr_elapsed : float; (* monotonic seconds spent in the slice *)
+}
+
+(* Worker-side mirror of [try_match]: same prefilter, same matcher call,
+   same events — but the outcome is reported, not acted on. Strikes,
+   quarantine and firing belong to the arbiter. [tripped] is the
+   start-of-block breaker snapshot: a tripped entry is skipped exactly
+   like the sequential scanner skips it (silently). *)
+let spec_match ~fuel ~tripped view ei (c : ectx) (node : Graph.node) =
+  let pname = c.entry.Program.pname in
+  if tripped.(ei) then None
+  else
+    match c.heads with
+    | Some heads when not (Pypm_term.Symbol.Set.mem node.Graph.op heads) ->
+        Obs.emit ~node:node.Graph.id
+          (Obs.Pruned { pattern = pname; via = Obs.Head_index });
+        None
+    | _ -> (
+        let t = Term_view.term_of view node in
+        let interp = Term_view.interp view in
+        let t0 = now () in
+        let outcome =
+          Matcher.matches ~interp ~policy:Outcome.Policy.Backtrack ~fuel
+            c.entry.Program.pattern t
+        in
+        let dur = now () -. t0 in
+        let obs_outcome =
+          match outcome with
+          | Outcome.Matched _ -> Obs.Matched
+          | Outcome.No_match -> Obs.No_match
+          | Outcome.Stuck -> Obs.Stuck
+          | Outcome.Out_of_fuel -> Obs.Out_of_fuel
+        in
+        Obs.emit ~node:node.Graph.id ~dur
+          (Obs.Match_attempt
+             {
+               pattern = pname;
+               outcome = obs_outcome;
+               visits = Matcher.last_visits ();
+             });
+        match outcome with
+        | Outcome.Matched (theta, phi) -> Some (Sw_witness (theta, phi))
+        | Outcome.Out_of_fuel ->
+            Obs.emit ~node:node.Graph.id
+              (Obs.Fuel_exhausted { pattern = pname; fuel });
+            Some Sw_fuel_out
+        | Outcome.No_match | Outcome.Stuck -> None)
+
+(* All entries at one node, scan style (Naive/Index), in entry order. *)
+let spec_scan_node ~fuel ~tripped ~ectxs view node =
+  let acc = ref [] in
+  Array.iteri
+    (fun ei c ->
+      match spec_match ~fuel ~tripped view ei c node with
+      | Some s -> acc := (ei, s) :: !acc
+      | None -> ())
+    ectxs;
+  List.rev !acc
+
+(* All entries at one node through the shared plan, mirroring
+   [plan_match_at]: one trie walk covers the compiled patterns, fallback
+   entries run the backtracking matcher behind their prefilter. *)
+let spec_plan_node ~fuel ~tripped ~walk ~plan ~pctxs view (node : Graph.node) =
+  let t = Term_view.term_of view node in
+  let interp = Term_view.interp view in
+  let t0 = now () in
+  let results = Plan.match_node plan ~interp t in
+  walk := !walk +. (now () -. t0);
+  let acc = ref [] in
+  Array.iteri
+    (fun ei pe ->
+      match pe with
+      | Trie c ->
+          if not tripped.(ei) then begin
+            let pname = c.entry.Program.pname in
+            match List.assoc_opt pname results with
+            | Some (theta, phi) ->
+                Obs.emit ~node:node.Graph.id (Obs.Plan_match { pattern = pname });
+                acc := (ei, Sw_witness (theta, phi)) :: !acc
+            | None ->
+                Obs.emit ~node:node.Graph.id
+                  (Obs.Pruned { pattern = pname; via = Obs.Plan_trie })
+          end
+      | Backtrack c -> (
+          match spec_match ~fuel ~tripped view ei c node with
+          | Some s -> acc := (ei, s) :: !acc
+          | None -> ()))
+    pctxs;
+  List.rev !acc
+
+(* One shard's slice of a block. Shard 0 runs on the calling domain,
+   whose sinks (the pass's aggregator) are already attached, so it emits
+   directly and returns no events; workers capture their domain-local
+   stream into a collector for the arbiter to [Obs.replay]. *)
+let shard_slice ~shard specs_at (nodes : Graph.node array) lo hi =
+  let t0 = now () in
+  let walk = ref 0. in
+  let work () = Array.init (hi - lo) (fun k -> specs_at ~walk nodes.(lo + k)) in
+  if shard = 0 then
+    let sp = work () in
+    { sr_events = []; sr_specs = sp; sr_walk = !walk; sr_elapsed = now () -. t0 }
+  else
+    let coll = Obs.Collector.create () in
+    let sp = Obs.with_sink (Obs.Collector.sink coll) work in
+    {
+      sr_events = Obs.Collector.events coll;
+      sr_specs = sp;
+      sr_walk = !walk;
+      sr_elapsed = now () -. t0;
+    }
+
+let spec_witnesses (r : shard_report) =
+  Array.fold_left
+    (fun a specs ->
+      a
+      + List.length
+          (List.filter (function _, Sw_witness _ -> true | _ -> false) specs))
+    0 r.sr_specs
+
+(* Cut [b0, b1) into one contiguous slice per shard. *)
+let shard_bounds ~shards b0 b1 =
+  let len = b1 - b0 in
+  let chunk = (len + shards - 1) / shards in
+  Array.init shards (fun i ->
+      let lo = b0 + (i * chunk) in
+      if lo >= b1 then (b1, b1) else (lo, min b1 (lo + chunk)))
+
+let run_sharded rc ~team ~max_rewrites runnable g =
+  let stats = rc.rstats in
+  let domains = Team.shards team in
+  let ectxs, plan_parts =
+    match runnable with
+    | Scan ctxs -> (Array.of_list ctxs, None)
+    | Planned (plan, pctxs) ->
+        let pa = Array.of_list pctxs in
+        (Array.map (function Trie c | Backtrack c -> c) pa, Some (plan, pa))
+  in
+  let n_entries = Array.length ectxs in
+  let tripped = Array.make (max n_entries 1) false in
+  let refresh_tripped () =
+    Array.iteri
+      (fun ei (c : ectx) -> tripped.(ei) <- Breaker.tripped c.breaker)
+      ectxs
+  in
+  (* Same work-queue as [run_plan]: under Plan only dirty nodes are
+     candidates; the full-traversal engines rescan everything. *)
+  let dirty =
+    match plan_parts with
+    | None -> None
+    | Some _ ->
+        let d : (int, unit) Hashtbl.t = Hashtbl.create 512 in
+        List.iter
+          (fun (n : Graph.node) -> Hashtbl.replace d n.Graph.id ())
+          (Graph.live_nodes g);
+        Some d
+  in
+  let fuel = rc.rfuel in
+  (* Mirror the sequential scanner's view memoization. When the graph
+     holds structurally equal duplicate nodes, [Term_view.node_of]
+     resolves a witness term to whichever duplicate was registered
+     first — so which node a rule variable rewires to depends on the
+     [term_of] call ORDER, not just the set of calls. The sequential
+     scan registers every node where at least one live entry survives
+     the head prefilter (plan candidates always walk the trie), in
+     worklist order; the arbiter must do exactly the same as it
+     consumes, or a firing can splice in the wrong duplicate and break
+     byte-identity. *)
+  let register_like_sequential view (node : Graph.node) =
+    let attempted =
+      match plan_parts with
+      | Some _ -> true
+      | None ->
+          Array.exists
+            (fun (c : ectx) ->
+              (not (Breaker.tripped c.breaker))
+              &&
+              match c.heads with
+              | Some heads -> Pypm_term.Symbol.Set.mem node.Graph.op heads
+              | None -> true)
+            ectxs
+    in
+    if attempted then
+      ignore (Term_view.term_of view node : Pypm_term.Term.t)
+  in
+  (* Replay one block's outcomes in node order; returns the replacement
+     root if a fire ended the iteration. [views.(0)] is the arbiter's
+     own view; witnesses are fired out of it, never out of a worker's. *)
+  let consume_block (views : Term_view.t array) (nodes : Graph.node array)
+      bounds reports =
+    let main_view = views.(0) in
+    (* A witness substitution binds the worker view's term copies. Both
+       views resolve term -> node through a table whose [equal] leads
+       with physical equality; firing with foreign copies would push
+       every guard/instantiation lookup onto the structural path, which
+       unfolds the shared DAG — exponential on transformer-shaped
+       graphs. Rebinding through the worker's [node_of] (a physical
+       hit) and the arbiter's memoized [term_of] keeps every downstream
+       lookup on the fast path, exactly like the sequential scan firing
+       out of its own view — and lets structural duplicates resolve by
+       the arbiter view's registration order, as sequential would. *)
+    let localize worker_view theta =
+      Pypm_term.Subst.of_list
+        (List.map
+           (fun (x, t) ->
+             match Term_view.node_of worker_view t with
+             | Some n -> (x, Term_view.term_of main_view n)
+             | None -> (x, t))
+           (Pypm_term.Subst.bindings theta))
+    in
+    let fired = ref None in
+    let replayed = ref 0 and discarded = ref 0 in
+    let fired_n = ref 0 in
+    let emit_merged () =
+      Obs.emit
+        (Obs.Shard_merged
+           { fired = !fired_n; replayed = !replayed; discarded = !discarded })
+    in
+    (try
+       Array.iteri
+         (fun i (r : shard_report) ->
+           let lo, _ = bounds.(i) in
+           Array.iteri
+             (fun k specs ->
+               let node = nodes.(lo + k) in
+               if !fired <> None then
+                 discarded := !discarded + List.length specs
+               else begin
+                 check_deadline rc;
+                 stats.nodes_visited <- stats.nodes_visited + 1;
+                 register_like_sequential main_view node;
+                 let node_root = ref None in
+                 List.iter
+                   (fun (ei, s) ->
+                     if !node_root <> None then incr discarded
+                     else begin
+                       incr replayed;
+                       let c = ectxs.(ei) in
+                       if Breaker.tripped c.breaker then incr discarded
+                       else
+                         match s with
+                         | Sw_fuel_out -> strike rc c
+                         | Sw_witness (theta, phi) -> (
+                             let theta = localize views.(i) theta in
+                             let before_last_id =
+                               match dirty with
+                               | Some _ -> last_node_id g
+                               | None -> -1
+                             in
+                             match fire rc g main_view c node theta phi with
+                             | Some new_root ->
+                                 node_root := Some new_root;
+                                 incr fired_n;
+                                 Option.iter
+                                   (fun d ->
+                                     mark_dirty_region g d ~before_last_id
+                                       new_root)
+                                   dirty
+                             | None -> ())
+                     end)
+                   specs;
+                 match !node_root with
+                 | Some nr -> fired := Some nr
+                 | None ->
+                     Option.iter
+                       (fun d -> Hashtbl.remove d node.Graph.id)
+                       dirty
+               end)
+             r.sr_specs)
+         reports
+     with Aborted ->
+       emit_merged ();
+       raise Aborted);
+    emit_merged ();
+    !fired
+  in
+  let rec iterate () =
+    stats.iterations <- stats.iterations + 1;
+    Obs.emit (Obs.Iteration { n = stats.iterations });
+    (* Per-domain views: term-view memo tables are not thread-safe, and
+       the team pins shard i to one domain, so views.(i) is only ever
+       touched by that domain within this iteration. *)
+    let views = Array.init domains (fun _ -> Term_view.create g) in
+    let specs_at i ~walk node =
+      match plan_parts with
+      | None -> spec_scan_node ~fuel ~tripped ~ectxs views.(i) node
+      | Some (plan, pctxs) ->
+          spec_plan_node ~fuel ~tripped ~walk ~plan ~pctxs views.(i) node
+    in
+    let nodes =
+      let live = Graph.live_nodes g in
+      Array.of_list
+        (match dirty with
+        | None -> live
+        | Some d ->
+            List.filter (fun (n : Graph.node) -> Hashtbl.mem d n.Graph.id) live)
+    in
+    let total = Array.length nodes in
+    (* Blocks bound the speculation wasted past a fire: at most one block
+       of matching is thrown away per iteration. *)
+    let block = max (8 * domains) 32 in
+    let fired = ref None in
+    let b0 = ref 0 in
+    while !fired = None && !b0 < total do
+      let b1 = min total (!b0 + block) in
+      let bounds = shard_bounds ~shards:domains !b0 b1 in
+      refresh_tripped ();
+      Obs.emit (Obs.Shard_dispatch { domains; candidates = b1 - !b0 });
+      let reports =
+        Team.run team (fun i ->
+            let lo, hi = bounds.(i) in
+            shard_slice ~shard:i (specs_at i) nodes lo hi)
+      in
+      Array.iteri
+        (fun i (r : shard_report) ->
+          if i > 0 then Obs.replay r.sr_events;
+          stats.plan_time <- stats.plan_time +. r.sr_walk;
+          let lo, hi = bounds.(i) in
+          Obs.emit ~dur:r.sr_elapsed
+            (Obs.Shard_matched
+               { domain = i; nodes = hi - lo; witnesses = spec_witnesses r }))
+        reports;
+      fired := consume_block views nodes bounds reports;
+      b0 := b1
+    done;
+    match !fired with
+    | Some _ ->
+        stats.collected <- stats.collected + Graph.gc g;
+        if stats.total_rewrites < max_rewrites then iterate ()
+    | None -> stats.reached_fixpoint <- true
+  in
+  iterate ()
+
+(* ------------------------------------------------------------------ *)
 (* Entry points                                                        *)
 (* ------------------------------------------------------------------ *)
 
@@ -723,10 +1104,22 @@ let finalize (program : Program.t) agg stats =
 
 let run_prepared ?(check_types = true) ?(fuel = 200_000)
     ?(max_rewrites = 10_000) ?deadline_s ?(quarantine_after = 5)
-    ?(inject = Inject.none) ?(on_error = `Quarantine) (p : prepared) g =
+    ?(inject = Inject.none) ?(on_error = `Quarantine) ?(domains = 1) ?team
+    (p : prepared) g =
   let program = p.p_program in
   let stats = fresh_stats program in
   let agg = Obs.Agg.create () in
+  (* A fault schedule is a seeded stream consumed in query order; sharded
+     matching would permute the queries, so an active schedule pins the
+     pass to the sequential path. A borrowed [team] sets the domain count
+     (spawning a team costs milliseconds — callers running many passes
+     should reuse one); it too is bypassed under active injection. *)
+  let domains =
+    if Inject.is_active inject then 1
+    else
+      match team with Some t -> Team.shards t | None -> max 1 domains
+  in
+  stats.domains_used <- domains;
   stats.engine_used <- engine_name p.p_engine;
   Obs.emit
     (Obs.Pass_begin
@@ -749,9 +1142,19 @@ let run_prepared ?(check_types = true) ?(fuel = 200_000)
   let slots = entry_slots ~quarantine_after program stats in
   Obs.with_sink (Obs.Agg.sink agg) (fun () ->
       try
-        match prepare_engine rc p slots with
-        | Scan ctxs -> run_scan rc ~max_rewrites ctxs g
-        | Planned (plan, pctxs) -> run_plan rc ~max_rewrites plan pctxs g
+        let runnable = prepare_engine rc p slots in
+        if domains = 1 then
+          match runnable with
+          | Scan ctxs -> run_scan rc ~max_rewrites ctxs g
+          | Planned (plan, pctxs) -> run_plan rc ~max_rewrites plan pctxs g
+        else
+          match team with
+          | Some team -> run_sharded rc ~team ~max_rewrites runnable g
+          | None ->
+              let team = Team.create ~shards:domains in
+              Fun.protect
+                ~finally:(fun () -> Team.shutdown team)
+                (fun () -> run_sharded rc ~team ~max_rewrites runnable g)
       with Aborted -> ());
   stats.wall_time <- now () -. t_start;
   finalize program agg stats;
@@ -761,32 +1164,37 @@ let run_prepared ?(check_types = true) ?(fuel = 200_000)
   stats
 
 let run ?engine ?indexed ?check_types ?fuel ?max_rewrites ?deadline_s
-    ?quarantine_after ?inject ?on_error (program : Program.t) g =
+    ?quarantine_after ?inject ?on_error ?domains ?team (program : Program.t) g
+    =
   run_prepared ?check_types ?fuel ?max_rewrites ?deadline_s ?quarantine_after
-    ?inject ?on_error
+    ?inject ?on_error ?domains ?team
     (prepare ?engine ?indexed program)
     g
 
 (* [run] with the strict error policy, surfacing the fatal error as a
    [result] for callers (the CLI) that must report it structurally. *)
 let run_result ?engine ?indexed ?check_types ?fuel ?max_rewrites ?deadline_s
-    ?quarantine_after ?inject program g =
+    ?quarantine_after ?inject ?domains ?team program g =
   let stats =
     run ?engine ?indexed ?check_types ?fuel ?max_rewrites ?deadline_s
-      ?quarantine_after ?inject ~on_error:`Fail program g
+      ?quarantine_after ?inject ?domains ?team ~on_error:`Fail program g
   in
   match stats.fatal with Some e -> Error (e, stats) | None -> Ok stats
 
 let provenance stats = stats.provenance
 
-let match_only ?engine ?(indexed = false) ?(fuel = 200_000)
-    (program : Program.t) g =
+let match_only ?engine ?(indexed = false) ?(fuel = 200_000) ?(domains = 1)
+    ?team (program : Program.t) g =
   let stats = fresh_stats program in
   let agg = Obs.Agg.create () in
   let t_start = now () in
   stats.iterations <- 1;
   let e = resolve_engine engine indexed in
+  let domains =
+    match team with Some t -> Team.shards t | None -> max 1 domains
+  in
   stats.engine_used <- engine_name e;
+  stats.domains_used <- domains;
   let rc =
     {
       rstats = stats;
@@ -802,27 +1210,82 @@ let match_only ?engine ?(indexed = false) ?(fuel = 200_000)
     entry_slots ~quarantine_after:max_int
       program stats
   in
-  let view = Term_view.create g in
   Obs.with_sink (Obs.Agg.sink agg) (fun () ->
-      match e with
-      | Plan ->
-          let plan = compile_plan program in
-          let pctxs = plan_contexts plan program slots in
-          List.iter
-            (fun node ->
-              ignore
-                (plan_match_at rc ~plan ~pctxs view node
-                   ~on_match:(fun _ _ -> None)))
-            (Graph.live_nodes g)
-      | (Naive | Index) as e ->
-          let ctxs = contexts ~indexed:(e = Index) program slots in
-          List.iter
-            (fun node ->
-              stats.nodes_visited <- stats.nodes_visited + 1;
-              List.iter
-                (fun c -> ignore (try_match rc view c node))
-                ctxs)
-            (Graph.live_nodes g));
+      if domains = 1 then
+        let view = Term_view.create g in
+        match e with
+        | Plan ->
+            let plan = compile_plan program in
+            let pctxs = plan_contexts plan program slots in
+            List.iter
+              (fun node ->
+                ignore
+                  (plan_match_at rc ~plan ~pctxs view node
+                     ~on_match:(fun _ _ -> None)))
+              (Graph.live_nodes g)
+        | (Naive | Index) as e ->
+            let ctxs = contexts ~indexed:(e = Index) program slots in
+            List.iter
+              (fun node ->
+                stats.nodes_visited <- stats.nodes_visited + 1;
+                List.iter
+                  (fun c -> ignore (try_match rc view c node))
+                  ctxs)
+              (Graph.live_nodes g)
+      else begin
+        (* Sharded matching without firing: one round over all live
+           nodes. The sequential match_only has no short-circuit — every
+           entry is matched at every node — so the parallel split does
+           identical work and yields identical per-pattern totals. *)
+        let tripped =
+          (* quarantine_after is max_int here: no breaker ever trips *)
+          Array.make (max (List.length program.Program.entries) 1) false
+        in
+        let specs_at =
+          match e with
+          | Plan ->
+              let plan = compile_plan program in
+              let pctxs = Array.of_list (plan_contexts plan program slots) in
+              fun view ~walk node ->
+                spec_plan_node ~fuel ~tripped ~walk ~plan ~pctxs view node
+          | (Naive | Index) as e ->
+              let ectxs =
+                Array.of_list (contexts ~indexed:(e = Index) program slots)
+              in
+              fun view ~walk node ->
+                ignore walk;
+                spec_scan_node ~fuel ~tripped ~ectxs view node
+        in
+        let nodes = Array.of_list (Graph.live_nodes g) in
+        let total = Array.length nodes in
+        let bounds = shard_bounds ~shards:domains 0 total in
+        let views = Array.init domains (fun _ -> Term_view.create g) in
+        Obs.emit (Obs.Shard_dispatch { domains; candidates = total });
+        let round team =
+          Team.run team (fun i ->
+              let lo, hi = bounds.(i) in
+              shard_slice ~shard:i (specs_at views.(i)) nodes lo hi)
+        in
+        let reports =
+          match team with
+          | Some team -> round team
+          | None ->
+              let team = Team.create ~shards:domains in
+              Fun.protect
+                ~finally:(fun () -> Team.shutdown team)
+                (fun () -> round team)
+        in
+        Array.iteri
+          (fun i (r : shard_report) ->
+            if i > 0 then Obs.replay r.sr_events;
+            stats.plan_time <- stats.plan_time +. r.sr_walk;
+            let lo, hi = bounds.(i) in
+            Obs.emit ~dur:r.sr_elapsed
+              (Obs.Shard_matched
+                 { domain = i; nodes = hi - lo; witnesses = spec_witnesses r }))
+          reports;
+        stats.nodes_visited <- total
+      end);
   stats.reached_fixpoint <- true;
   stats.wall_time <- now () -. t_start;
   finalize program agg stats;
@@ -852,9 +1315,12 @@ let matches_of ?(fuel = 200_000) (program : Program.t) g =
 let pp_stats ppf s =
   Format.fprintf ppf
     "@[<v>pass: %d iteration(s), %d nodes visited, %d rewrites, %d collected, \
-     %.3f s (%s engine)%s%s%s@,"
+     %.3f s (%s engine%s)%s%s%s@,"
     s.iterations s.nodes_visited s.total_rewrites s.collected s.wall_time
     s.engine_used
+    (if s.domains_used > 1 then
+       Printf.sprintf ", %d domains" s.domains_used
+     else "")
     (if s.plan_time > 0. then
        Printf.sprintf " (%.4f s in the shared plan)" s.plan_time
      else "")
@@ -901,6 +1367,8 @@ let stats_json (s : stats) =
   let sep () = Buffer.add_char buf ',' in
   Buffer.add_char buf '{';
   fld "engine" (str s.engine_used);
+  sep ();
+  fld "domains" (string_of_int s.domains_used);
   sep ();
   fld "iterations" (string_of_int s.iterations);
   sep ();

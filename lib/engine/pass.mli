@@ -145,6 +145,9 @@ type stats = {
   mutable engine_used : string;
       (** the engine that actually ran — differs from the requested one
           when the degradation ladder stepped down *)
+  mutable domains_used : int;
+      (** domains the matching phase ran on (1 = the sequential path; an
+          active fault-injection schedule forces 1) *)
   mutable errors : error list;
       (** contained rule errors, in occurrence order (policy
           [`Quarantine]) *)
@@ -198,7 +201,29 @@ val log_src : Logs.src
       stops the pass at the first error.
 
     [run] does not raise on rule or engine failures; every failure mode
-    is a stats field. *)
+    is a stats field.
+
+    {2 Intra-pass parallelism}
+
+    [domains] (default 1) shards the matching phase of every iteration
+    across that many OCaml domains (see [doc/parallel.md]). Workers match
+    their contiguous slice of the candidate worklist read-only against
+    per-domain term views; a deterministic arbiter on the calling domain
+    replays the speculative outcomes in node order — skipping quarantined
+    entries at consumption time, striking on fuel exhaustion, firing the
+    first surviving witness — so firing order, rewrite provenance and the
+    final graph are {e byte-identical} to the sequential pass (the
+    [parallel-pass-agreement] fuzz property checks this). Speculative
+    per-pattern counters (attempts/matches past the fire point) may
+    exceed the sequential ones, and [plan_time] aggregates walk time
+    across domains (CPU seconds, not wall). An active [?inject] schedule
+    forces [domains = 1]: its fault stream is consumed in query order.
+
+    [team] lends an existing {!Pypm_parallel.Team} instead of spawning
+    one per call; its shard count overrides [domains]. Spawning and
+    joining domains costs milliseconds — callers running many passes
+    (benchmarks, serve workers) should create one team and reuse it. The
+    pass never shuts a borrowed team down. *)
 
 (** {1 Prepared engines}
 
@@ -240,6 +265,8 @@ val run_prepared :
   ?quarantine_after:int ->
   ?inject:Pypm_resilience.Resilience.Inject.schedule ->
   ?on_error:[ `Quarantine | `Fail ] ->
+  ?domains:int ->
+  ?team:Pypm_parallel.Team.t ->
   prepared ->
   Graph.t ->
   stats
@@ -254,6 +281,8 @@ val run :
   ?quarantine_after:int ->
   ?inject:Pypm_resilience.Resilience.Inject.schedule ->
   ?on_error:[ `Quarantine | `Fail ] ->
+  ?domains:int ->
+  ?team:Pypm_parallel.Team.t ->
   Program.t ->
   Graph.t ->
   stats
@@ -271,16 +300,29 @@ val run_result :
   ?deadline_s:float ->
   ?quarantine_after:int ->
   ?inject:Pypm_resilience.Resilience.Inject.schedule ->
+  ?domains:int ->
+  ?team:Pypm_parallel.Team.t ->
   Program.t ->
   Graph.t ->
   (stats, error * stats) result
 
-(** [match_only ?engine ?indexed ?fuel program graph] runs the matching
-    half only: counts matches of every pattern at every node without firing
-    any rule. Returns the stats (rewrites stay 0). This is the figure 12/13
-    measurement: the cost of running the matcher over a model. *)
+(** [match_only ?engine ?indexed ?fuel ?domains program graph] runs the
+    matching half only: counts matches of every pattern at every node
+    without firing any rule. Returns the stats (rewrites stay 0). This is
+    the figure 12/13 measurement: the cost of running the matcher over a
+    model. [domains] shards the node list across that many domains in one
+    round; since [match_only] has no firing short-circuit, the parallel
+    split does identical matching work and produces identical per-pattern
+    totals. *)
 val match_only :
-  ?engine:engine -> ?indexed:bool -> ?fuel:int -> Program.t -> Graph.t -> stats
+  ?engine:engine ->
+  ?indexed:bool ->
+  ?fuel:int ->
+  ?domains:int ->
+  ?team:Pypm_parallel.Team.t ->
+  Program.t ->
+  Graph.t ->
+  stats
 
 (** [matches_of ?fuel program graph] lists, per pattern, the node ids whose
     subtree matched, with the witness substitutions. No rewriting. *)

@@ -278,6 +278,63 @@ let engines_agree recipe =
                   else Pass)
           | _ -> Discard)
 
+(* The tentpole determinism claim, adversarially: for every engine and
+   domain count, the sharded pass must be indistinguishable from the
+   sequential one — same final fingerprint, same rewrite count, same
+   provenance step sequence. Fuel exhaustion discards the case (the
+   sequential scanner strikes at scan time, the arbiter at replay time,
+   so a fuel-starved run may quarantine at different points). *)
+let parallel_pass_agreement recipe =
+  let provenance_digest (stats : Pass.stats) =
+    List.map
+      (fun (p : Pypm_obs.Obs.Provenance.step) ->
+        ( p.Pypm_obs.Obs.Provenance.seq,
+          p.Pypm_obs.Obs.Provenance.pattern,
+          p.Pypm_obs.Obs.Provenance.rule,
+          p.Pypm_obs.Obs.Provenance.matched_root,
+          p.Pypm_obs.Obs.Provenance.replacement_root ))
+      (Pass.provenance stats)
+  in
+  let full engine domains =
+    let _env, g, prog = Gen.build recipe in
+    let stats = Pass.run ~engine ~domains prog g in
+    if stats.Pass.fuel_exhausted > 0 then None
+    else
+      Some
+        (stats.Pass.total_rewrites, fingerprint g, provenance_digest stats)
+  in
+  let rec check_engines = function
+    | [] -> Pass
+    | (engine, ename) :: rest -> (
+        match full engine 1 with
+        | None -> Discard
+        | Some ((rw1, fp1, _prov1) as seq) ->
+            let rec check_domains = function
+              | [] -> check_engines rest
+              | k :: ks -> (
+                  match full engine k with
+                  | None -> Discard
+                  | Some ((rwk, fpk, provk) as par) ->
+                      if par = seq then check_domains ks
+                      else if rwk <> rw1 then
+                        Fail
+                          (Printf.sprintf
+                             "%s: rewrites differ at domains=%d: %d vs %d"
+                             ename k rw1 rwk)
+                      else if fpk <> fp1 then
+                        Fail
+                          (Printf.sprintf
+                             "%s: final graphs differ at domains=%d" ename k)
+                      else
+                        Fail
+                          (Printf.sprintf
+                             "%s: provenance differs at domains=%d (%d steps)"
+                             ename k (List.length provk)))
+            in
+            check_domains [ 2; 4 ])
+  in
+  check_engines engine_names
+
 let graph_validate recipe =
   let _env, g, prog = Gen.build recipe in
   match Graph.validate g with
@@ -611,6 +668,14 @@ let props : prop list =
         doc = "naive/index/plan engines: same matches, rewrites and graphs";
         cost = 100;
         case = recipe_case engines_agree;
+      };
+    Prop
+      {
+        name = "parallel-pass-agreement";
+        doc = "sharded pass (domains 2/4) = sequential pass: same \
+               fingerprint, rewrites and provenance, every engine";
+        cost = 150;
+        case = recipe_case parallel_pass_agreement;
       };
     Prop
       {

@@ -15,6 +15,10 @@
       identical per-pattern match counts, perform the same number of
       rewrites and produce isomorphic graphs on random well-typed
       transformer-style workloads — and the rewritten graph validates;
+    - [parallel_pass_agreement]: for every engine, [Pass.run ~domains:k]
+      (k in 2, 4) produces the same final-graph fingerprint, rewrite
+      count and provenance step sequence as the sequential pass — the
+      determinism contract of the sharded matching phase;
     - [crash_safety]: under any seeded fault-injection schedule
       ({!Pypm_resilience.Resilience.Inject}) the pass neither raises nor
       leaves an invalid graph, on every engine;

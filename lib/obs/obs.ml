@@ -27,16 +27,28 @@ type kind =
   | Cache_evicted of { key : string; bytes : int }
   | Request_served of { id : int; cached : bool }
   | Request_shed of { id : int }
+  | Shard_dispatch of { domains : int; candidates : int }
+  | Shard_matched of { domain : int; nodes : int; witnesses : int }
+  | Shard_merged of { fired : int; replayed : int; discarded : int }
 
 type event = { ts : float; dur : float; node : int; kind : kind }
 
 (* ------------------------------------------------------------------ *)
-(* Clock                                                               *)
+(* Clocks                                                              *)
+(*                                                                     *)
+(* Two clocks on purpose: trace timestamps want wall-clock time (so    *)
+(* traces from different processes line up), while durations and       *)
+(* deadlines want a clock that cannot jump backwards under NTP slew.   *)
 (* ------------------------------------------------------------------ *)
+
+external monotonic_raw : unit -> float = "pypm_obs_monotonic_s"
 
 let clock = ref Unix.gettimeofday
 let set_clock f = clock := f
 let now () = !clock ()
+let mono_clock = ref monotonic_raw
+let set_monotonic_clock f = mono_clock := f
+let monotonic () = !mono_clock ()
 
 (* ------------------------------------------------------------------ *)
 (* Per-domain state                                                    *)
@@ -129,6 +141,20 @@ let emit ?(node = -1) ?(dur = 0.) kind =
   match d.sinks with
   | [] -> ()
   | ss -> List.iter (fun (_, s) -> s e) ss
+
+(* Deliver events that were stamped on another domain (a shard worker's
+   collector) into this domain's ring and sinks, preserving their
+   original timestamps. The sharded pass uses this so one pass still
+   yields one coherent event stream on the calling domain. *)
+let replay events =
+  let d = st () in
+  List.iter
+    (fun e ->
+      ring_push d e;
+      match d.sinks with
+      | [] -> ()
+      | ss -> List.iter (fun (_, s) -> s e) ss)
+    events
 
 (* ------------------------------------------------------------------ *)
 (* Collector                                                           *)
@@ -250,7 +276,8 @@ module Agg = struct
     | Matcher_fuel _ | Plan_walk _ | Replace _ | Gc _ | Iteration _
     | Pass_begin _ | Pass_end _ | Quarantined _ | Engine_degraded _
     | Fault_injected _ | Deadline_hit _ | Cache_hit _ | Cache_miss _
-    | Cache_evicted _ | Request_served _ | Request_shed _ ->
+    | Cache_evicted _ | Request_served _ | Request_shed _
+    | Shard_dispatch _ | Shard_matched _ | Shard_merged _ ->
         ()
 
   let find t name = Hashtbl.find_opt t.table name
@@ -423,6 +450,26 @@ let describe = function
         "serve",
         [ ("id", `I id); ("cached", `S (string_of_bool cached)) ] )
   | Request_shed { id } -> ("request-shed", "serve", [ ("id", `I id) ])
+  | Shard_dispatch { domains; candidates } ->
+      ( "shard-dispatch",
+        "parallel",
+        [ ("domains", `I domains); ("candidates", `I candidates) ] )
+  | Shard_matched { domain; nodes; witnesses } ->
+      ( "shard-matched",
+        "parallel",
+        [
+          ("domain", `I domain);
+          ("nodes", `I nodes);
+          ("witnesses", `I witnesses);
+        ] )
+  | Shard_merged { fired; replayed; discarded } ->
+      ( "shard-merged",
+        "parallel",
+        [
+          ("fired", `I fired);
+          ("replayed", `I replayed);
+          ("discarded", `I discarded);
+        ] )
 
 module Chrome = struct
   let args_json args node =

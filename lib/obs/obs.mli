@@ -80,6 +80,16 @@ type kind =
   | Request_served of { id : int; cached : bool }
   | Request_shed of { id : int }
       (** admission control rejected the request (queue at bound) *)
+  | Shard_dispatch of { domains : int; candidates : int }
+      (** the sharded pass split [candidates] worklist nodes across
+          [domains] domains for one matching round *)
+  | Shard_matched of { domain : int; nodes : int; witnesses : int }
+      (** one shard finished its read-only matching slice; [dur] is the
+          shard's wall time inside the round *)
+  | Shard_merged of { fired : int; replayed : int; discarded : int }
+      (** the arbiter consumed a round: [fired] rules applied, [replayed]
+          witnesses inspected, [discarded] speculative witnesses dropped
+          (beyond the first fire or quarantined at consumption) *)
 
 type event = {
   ts : float;  (** absolute seconds (Unix epoch) at emission *)
@@ -92,11 +102,26 @@ type event = {
 
 val emit : ?node:int -> ?dur:float -> kind -> unit
 
+(** [replay events] delivers already-stamped events (captured on another
+    domain, e.g. by a shard worker's {!Collector}) to {e this} domain's
+    ring and sinks, preserving their original timestamps and order. *)
+val replay : event list -> unit
+
 (** The clock events are stamped with; defaults to [Unix.gettimeofday].
-    Replaceable for deterministic tests. *)
+    Replaceable for deterministic tests. Use for {e timestamps} only —
+    wall time can jump backwards. *)
 val set_clock : (unit -> float) -> unit
 
 val now : unit -> float
+
+(** Monotonic clock for measuring {e durations} and deadlines: seconds
+    from an arbitrary origin, never decreasing. Backed by
+    [clock_gettime(CLOCK_MONOTONIC)] (wall-clock fallback on platforms
+    without it). Not comparable with {!now}. *)
+val monotonic : unit -> float
+
+(** Replace {!monotonic} for deterministic tests. *)
+val set_monotonic_clock : (unit -> float) -> unit
 
 (** {1 The ring buffer (always on)}
 

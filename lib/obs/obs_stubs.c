@@ -1,0 +1,30 @@
+/* Monotonic clock for duration measurement.
+ *
+ * OCaml 5.1's bundled Unix library exposes no clock_gettime binding, and
+ * the tree takes no external packages, so the one POSIX call is bound
+ * here. CLOCK_MONOTONIC never jumps backwards under NTP slew or manual
+ * clock changes, which gettimeofday (the trace-timestamp clock) can. */
+
+#include <caml/mlvalues.h>
+#include <caml/alloc.h>
+#include <caml/memory.h>
+
+#include <time.h>
+#include <sys/time.h>
+
+CAMLprim value pypm_obs_monotonic_s(value unit)
+{
+  CAMLparam1(unit);
+#if defined(CLOCK_MONOTONIC)
+  struct timespec ts;
+  if (clock_gettime(CLOCK_MONOTONIC, &ts) == 0)
+    CAMLreturn(caml_copy_double((double)ts.tv_sec + (double)ts.tv_nsec * 1e-9));
+#endif
+  /* Fallback for platforms without CLOCK_MONOTONIC: wall clock. Worse
+   * (not monotonic) but never wrong by more than the wall clock is. */
+  {
+    struct timeval tv;
+    gettimeofday(&tv, NULL);
+    CAMLreturn(caml_copy_double((double)tv.tv_sec + (double)tv.tv_usec * 1e-6));
+  }
+}

@@ -32,7 +32,7 @@ let worker_loop t handle =
   in
   next ()
 
-let create ~workers ~queue_bound setup =
+let create ?(teardown = fun _ -> ()) ~workers ~queue_bound setup =
   if workers <= 0 then invalid_arg "Pool.create: workers must be > 0";
   if queue_bound <= 0 then invalid_arg "Pool.create: queue_bound must be > 0";
   let t =
@@ -50,9 +50,13 @@ let create ~workers ~queue_bound setup =
         Domain.spawn (fun () ->
             (* [setup] runs on the worker domain so domain-local state
                (obs rings, matcher counters) and the worker's engine
-               context live where the jobs run *)
+               context live where the jobs run; [teardown] runs on the
+               same domain after the loop drains, so worker-held
+               resources (a cached {!Team}) are released at shutdown *)
             let handle = setup wid in
-            worker_loop t handle));
+            Fun.protect
+              ~finally:(fun () -> try teardown wid with _ -> ())
+              (fun () -> worker_loop t handle)));
   t
 
 let submit t job =

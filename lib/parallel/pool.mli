@@ -12,8 +12,16 @@ type 'job t
     per-worker state (the prepared engine, domain-local observability)
     is created where the jobs will run. A handler exception is contained
     by the pool (the worker survives); handlers should report their own
-    errors. Raises [Invalid_argument] on non-positive sizes. *)
-val create : workers:int -> queue_bound:int -> (int -> 'job -> unit) -> 'job t
+    errors. [teardown wid] (default: nothing) runs on the worker domain
+    after its loop drains at {!shutdown} — the place to release
+    worker-held resources such as a cached {!Team}; its exceptions are
+    swallowed. Raises [Invalid_argument] on non-positive sizes. *)
+val create :
+  ?teardown:(int -> unit) ->
+  workers:int ->
+  queue_bound:int ->
+  (int -> 'job -> unit) ->
+  'job t
 
 (** [submit t job] enqueues and wakes a worker, or refuses when the
     queue is at its bound (or the pool is shutting down). *)

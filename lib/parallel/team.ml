@@ -1,0 +1,107 @@
+(* A persistent fork/join team. Tasks for one round are installed under
+   the mutex as pre-packed [unit -> unit] closures (the polymorphism of
+   [run] lives in the closures' environment, not in the channel), the
+   generation counter is bumped, and every worker runs exactly the task
+   at its own index — shard [i] is pinned to domain [i] for the team's
+   whole lifetime, which lets callers keep per-shard state (compiled
+   plans, domain-local rings) where the shard runs. The final mutex
+   acquisition of the join publishes every task's writes to the caller. *)
+
+type t = {
+  m : Mutex.t;
+  work_cv : Condition.t; (* workers: a new generation is ready *)
+  done_cv : Condition.t; (* caller: a worker finished its task *)
+  mutable gen : int;
+  mutable tasks : (unit -> unit) array; (* length shards - 1, worker i runs slot i *)
+  mutable completed : int;
+  mutable stopping : bool;
+  mutable domains : unit Domain.t list;
+  n_shards : int;
+}
+
+let shards t = t.n_shards
+
+let worker t i =
+  let rec loop last_gen =
+    let next =
+      Mutex.protect t.m (fun () ->
+          while t.gen = last_gen && not t.stopping do
+            Condition.wait t.work_cv t.m
+          done;
+          if t.stopping then None else Some (t.gen, t.tasks.(i)))
+    in
+    match next with
+    | None -> ()
+    | Some (gen, task) ->
+        (* Exceptions were already packed into the closure by [run]; a
+           raise escaping here would be a bug in this module, and must
+           not deadlock the caller's join. *)
+        (try task () with _ -> ());
+        Mutex.protect t.m (fun () ->
+            t.completed <- t.completed + 1;
+            Condition.signal t.done_cv);
+        loop gen
+  in
+  loop 0
+
+let create ~shards =
+  if shards <= 0 then invalid_arg "Team.create: shards must be > 0";
+  let t =
+    {
+      m = Mutex.create ();
+      work_cv = Condition.create ();
+      done_cv = Condition.create ();
+      gen = 0;
+      tasks = [||];
+      completed = 0;
+      stopping = false;
+      domains = [];
+      n_shards = shards;
+    }
+  in
+  t.domains <-
+    List.init (shards - 1) (fun i -> Domain.spawn (fun () -> worker t i));
+  t
+
+let run (type a) t (f : int -> a) : a array =
+  let n = t.n_shards in
+  if n = 1 then [| f 0 |]
+  else begin
+    let results : a option array = Array.make n None in
+    let errors : exn option array = Array.make n None in
+    let pack i () =
+      match f i with
+      | v -> results.(i) <- Some v
+      | exception e -> errors.(i) <- Some e
+    in
+    Mutex.protect t.m (fun () ->
+        if t.stopping then invalid_arg "Team.run: team is shut down";
+        t.tasks <- Array.init (n - 1) (fun i -> pack (i + 1));
+        t.completed <- 0;
+        t.gen <- t.gen + 1;
+        Condition.broadcast t.work_cv);
+    pack 0 ();
+    Mutex.protect t.m (fun () ->
+        while t.completed < n - 1 do
+          Condition.wait t.done_cv t.m
+        done);
+    Array.iter (function Some e -> raise e | None -> ()) errors;
+    Array.map
+      (function
+        | Some v -> v
+        | None -> assert false (* no result and no exception is impossible *))
+      results
+  end
+
+let shutdown t =
+  let joinable =
+    Mutex.protect t.m (fun () ->
+        if t.stopping then []
+        else begin
+          t.stopping <- true;
+          Condition.broadcast t.work_cv;
+          t.domains
+        end)
+  in
+  List.iter Domain.join joinable;
+  t.domains <- []

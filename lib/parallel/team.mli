@@ -1,0 +1,42 @@
+(** A persistent fork/join team of domains for round-based data
+    parallelism.
+
+    Where {!Pool} is a fire-and-forget job queue (requests flow in, results
+    flow out through side effects), a team is {e synchronous}: every
+    {!run} call splits one unit of work into [shards] tasks, executes them
+    concurrently, and joins before returning — the caller sees an array of
+    results in shard order, with all memory effects of the tasks visible
+    (the join synchronizes through the team's mutex).
+
+    Guarantees the rewrite pass's determinism argument leans on:
+
+    - shard [i] of every round runs on the {e same} domain for the team's
+      lifetime (shard 0 on the calling domain), so per-shard state built
+      on first use — compiled plans, domain-local observability rings —
+      stays where its work runs;
+    - {!run} returns results indexed by shard, independent of completion
+      order;
+    - a task exception does not kill its domain: it is captured and
+      re-raised on the caller after every other shard of the round has
+      finished. *)
+
+type t
+
+(** [create ~shards] builds a team that executes [shards] tasks per
+    round: [shards - 1] worker domains plus the calling domain. Raises
+    [Invalid_argument] when [shards <= 0]. [create ~shards:1] spawns
+    nothing and {!run} degenerates to a plain call. *)
+val create : shards:int -> t
+
+val shards : t -> int
+
+(** [run t f] evaluates [f i] for every shard [i] in [0 .. shards-1]
+    concurrently ([f 0] on the calling domain) and returns the results in
+    shard order. If any task raised, the first such exception (lowest
+    shard index) is re-raised after the round has fully joined. Not
+    reentrant: [f] must not call {!run} on the same team. *)
+val run : t -> (int -> 'a) -> 'a array
+
+(** Stop and join the worker domains. Idempotent. Subsequent {!run}
+    calls raise [Invalid_argument]. *)
+val shutdown : t -> unit

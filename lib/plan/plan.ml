@@ -142,7 +142,7 @@ let eval interp subject theta phi (ins : Skeleton.instr) =
   | Check_fbound f -> if Fsubst.mem f phi then Some (theta, phi) else None
 
 let match_node t ~interp subject =
-  let t0 = Pypm_obs.Obs.now () in
+  let t0 = Pypm_obs.Obs.monotonic () in
   let steps_last = Domain.DLS.get steps_last_key in
   steps_last := 0;
   let best_idx = Array.make (max t.n_slots 1) max_int in
@@ -173,7 +173,7 @@ let match_node t ~interp subject =
     | None -> ()
   done;
   Pypm_obs.Obs.emit
-    ~dur:(Pypm_obs.Obs.now () -. t0)
+    ~dur:(Pypm_obs.Obs.monotonic () -. t0)
     (Pypm_obs.Obs.Plan_walk
        { steps = !steps_last; hits = List.length !res });
   !res

@@ -1,7 +1,10 @@
 module W = Codec.Wire
 module Pass = Pypm_engine.Pass
 
-let version = 1
+(* v2 added [options.domains] (intra-pass parallelism). The option block
+   has no per-field framing, so the addition is a wire break: v1 peers
+   get a structured "unsupported protocol version" error, not garbage. *)
+let version = 2
 
 (* Each message payload leads with a magic+version pair so a client
    talking to the wrong service (or the wrong protocol revision) gets a
@@ -23,6 +26,7 @@ type options = {
   fault_seed : int;
   fault_rate : float;
   fault_points : string list;
+  domains : int;  (* matching domains per pass; 1 = sequential *)
 }
 
 let default_options =
@@ -37,6 +41,7 @@ let default_options =
     fault_seed = 0;
     fault_rate = 0.;
     fault_points = [];
+    domains = 1;
   }
 
 let put_options buf (o : options) =
@@ -53,7 +58,8 @@ let put_options buf (o : options) =
   W.put_bool buf o.strict;
   W.put_varint buf o.fault_seed;
   W.put_f64 buf o.fault_rate;
-  W.put_list buf W.put_string o.fault_points
+  W.put_list buf W.put_string o.fault_points;
+  W.put_varint buf o.domains
 
 let get_options c : options =
   let engine = W.get_string c in
@@ -66,6 +72,7 @@ let get_options c : options =
   let fault_seed = W.get_varint c in
   let fault_rate = W.get_f64 c in
   let fault_points = W.get_list c W.get_string in
+  let domains = W.get_varint c in
   {
     engine;
     fuel;
@@ -77,6 +84,7 @@ let get_options c : options =
     fault_seed;
     fault_rate;
     fault_points;
+    domains;
   }
 
 (* The cache key's option component: the encoded option block itself.

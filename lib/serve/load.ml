@@ -93,11 +93,13 @@ let client ~socket ~seed ~requests ~program ~variants ~options tally =
         { id = i; program = Protocol.Named program; options; graph }
     in
     let rec attempt tries =
-      let t0 = Obs.now () in
+      (* monotonic: a wall-clock step (NTP) mid-request would otherwise
+         produce a negative or wildly wrong latency sample *)
+      let t0 = Obs.monotonic () in
       write_all fd (Protocol.frame (Protocol.encode_request req));
       match read_response () with
       | Ok (Protocol.Result { cached; body; _ }) ->
-          tally.t_lat <- (Obs.now () -. t0) :: tally.t_lat;
+          tally.t_lat <- (Obs.monotonic () -. t0) :: tally.t_lat;
           tally.t_ok <- tally.t_ok + 1;
           if cached then tally.t_cached <- tally.t_cached + 1;
           (* a response that does not decode back to an outcome counts
@@ -118,12 +120,17 @@ let client ~socket ~seed ~requests ~program ~variants ~options tally =
     attempt 0
   done
 
+(* Ceiling-based nearest-rank on the (n-1)-scaled rank. The previous
+   truncating version picked too low an index on exact-boundary sample
+   counts — p99 of 100 sorted samples selected index 98 (the 99th
+   smallest) instead of index 99. *)
 let percentile sorted p =
   match Array.length sorted with
   | 0 -> 0.
   | n ->
-      let idx = int_of_float (Float.of_int (n - 1) *. p /. 100.) in
-      sorted.(idx)
+      let rank = Float.of_int (n - 1) *. p /. 100. in
+      let idx = int_of_float (Float.ceil rank) in
+      sorted.(max 0 (min (n - 1) idx))
 
 let run ~socket ~clients ~requests ~seed ?(program = "both") ?(variants = 4)
     ?(options = Protocol.default_options) () =
@@ -131,7 +138,7 @@ let run ~socket ~clients ~requests ~seed ?(program = "both") ?(variants = 4)
   if requests <= 0 then invalid_arg "Load.run: requests must be > 0";
   (* [requests] is the total; split as evenly as the count allows *)
   let share i = (requests / clients) + (if i < requests mod clients then 1 else 0) in
-  let t0 = Obs.now () in
+  let t0 = Obs.monotonic () in
   let workers =
     List.init clients (fun i ->
         let tally = fresh_tally () in
@@ -144,7 +151,7 @@ let run ~socket ~clients ~requests ~seed ?(program = "both") ?(variants = 4)
         d)
   in
   let tallies = List.map Domain.join workers in
-  let wall_s = Obs.now () -. t0 in
+  let wall_s = Obs.monotonic () -. t0 in
   let ok = List.fold_left (fun a t -> a + t.t_ok) 0 tallies in
   let cached = List.fold_left (fun a t -> a + t.t_cached) 0 tallies in
   let overloaded = List.fold_left (fun a t -> a + t.t_over) 0 tallies in
@@ -153,7 +160,13 @@ let run ~socket ~clients ~requests ~seed ?(program = "both") ?(variants = 4)
   let lats =
     Array.of_list (List.concat_map (fun t -> t.t_lat) tallies)
   in
-  Array.sort compare lats;
+  (* Float.compare, not polymorphic compare: the latter is a structural
+     comparison that happens to work on boxed floats but is slower and
+     easy to break by changing the element type. Float.compare is also
+     total on NaN (NaN sorts first); latencies are differences of two
+     monotonic-clock reads and can never be NaN, so the order of the
+     percentile array is the numeric order either way. *)
+  Array.sort Float.compare lats;
   {
     requests;
     ok;

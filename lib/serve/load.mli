@@ -46,3 +46,9 @@ val run :
   result
 
 val pp : Format.formatter -> result -> unit
+
+(** [percentile sorted p] is the ceiling-based nearest-rank percentile of
+    an ascending-sorted array: element at index [ceil ((n-1) * p / 100)],
+    0 for an empty array. Exposed for the unit tests pinning
+    p50/p95/p99. *)
+val percentile : float array -> float -> float

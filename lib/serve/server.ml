@@ -1,4 +1,6 @@
 module Obs = Pypm_obs.Obs
+module Pool = Pypm_parallel.Pool
+module Team = Pypm_parallel.Team
 module Pass = Pypm_engine.Pass
 module Program = Pypm_engine.Program
 module Codec = Pypm_serialize.Codec
@@ -98,7 +100,7 @@ let server_stats sh : Protocol.server_stats =
     cache_entries = cs.Cache.entries;
     cache_bytes = cs.Cache.bytes;
     workers = sh.n_workers;
-    uptime_s = Obs.now () -. sh.t0;
+    uptime_s = Obs.monotonic () -. sh.t0;
   }
 
 (* ------------------------------------------------------------------ *)
@@ -107,11 +109,30 @@ let server_stats sh : Protocol.server_stats =
 
 (* One per worker domain, built on that domain: the operator environment
    and a cache of prepared engines keyed by (program, engine) — the plan
-   trie is compiled once per worker, not once per request. *)
+   trie is compiled once per worker, not once per request. [team] is the
+   worker's lent-out shard team for [domains > 1] requests, spawned
+   lazily and reused across requests (domain spawn/teardown costs
+   milliseconds — per-request teams would dwarf small passes); only the
+   owning worker domain ever touches it, and the pool's teardown hook
+   shuts it down. *)
 type wctx = {
   env : Std_ops.env;
   prepared : (string, Pass.prepared) Hashtbl.t;
+  mutable team : Team.t option;
 }
+
+(* Reuse the cached team when the requested shard count matches;
+   otherwise replace it. Sequential requests bypass the team entirely. *)
+let team_for (wctx : wctx) domains =
+  if domains <= 1 then None
+  else
+    match wctx.team with
+    | Some t when Team.shards t = domains -> Some t
+    | prev ->
+        Option.iter Team.shutdown prev;
+        let t = Team.create ~shards:domains in
+        wctx.team <- Some t;
+        Some t
 
 type job = {
   jconn : conn;
@@ -195,7 +216,7 @@ let inject_of_options ~id (o : Protocol.options) =
 
 let handle_job sh wctx (j : job) =
   Fun.protect ~finally:(fun () -> release j.jconn) @@ fun () ->
-  let t0 = Obs.now () in
+  let t0 = Obs.monotonic () in
   let o = j.joptions in
   match
     let engine =
@@ -228,15 +249,20 @@ let handle_job sh wctx (j : job) =
     match Cache.find sh.cache key with
     | Some body ->
         Protocol.Result
-          { id = j.jid; cached = true; service_s = Obs.now () -. t0; body }
+          { id = j.jid; cached = true; service_s = Obs.monotonic () -. t0; body }
     | None ->
         let inject = inject_of_options ~id:j.jid o in
+        (* clamp: the client chose the count, the server pays for the
+           domains — and each worker may hold its own cached team *)
+        let domains = max 1 (min 64 o.Protocol.domains) in
         let stats =
           Pass.run_prepared ~check_types:o.Protocol.check_types
             ~fuel:o.Protocol.fuel ~max_rewrites:o.Protocol.max_rewrites
             ?deadline_s:o.Protocol.deadline_s
             ~quarantine_after:o.Protocol.quarantine_after ~inject
             ~on_error:(if o.Protocol.strict then `Fail else `Quarantine)
+            ~domains
+            ?team:(team_for wctx domains)
             prepared g
         in
         let out_graph = Codec.Graphs.encode g in
@@ -251,7 +277,7 @@ let handle_job sh wctx (j : job) =
         in
         Cache.add sh.cache key body;
         Protocol.Result
-          { id = j.jid; cached = false; service_s = Obs.now () -. t0; body }
+          { id = j.jid; cached = false; service_s = Obs.monotonic () -. t0; body }
   with
   | Protocol.Result { cached; _ } as resp ->
       Atomic.incr sh.served;
@@ -308,14 +334,26 @@ let run ?(on_ready = fun () -> ()) ?(stop = fun () -> false) (cfg : config) =
       served = Atomic.make 0;
       shed = Atomic.make 0;
       errs = Atomic.make 0;
-      t0 = Obs.now ();
+      t0 = Obs.monotonic ();
       n_workers = cfg.workers;
     }
   in
   let pool =
-    Pool.create ~workers:cfg.workers ~queue_bound:cfg.queue_bound (fun wid ->
-        ignore wid;
-        let wctx = { env = Std_ops.make (); prepared = Hashtbl.create 8 } in
+    (* [wctxs] is written by [setup] and read by [teardown], both of
+       which run on the owning worker's domain — no cross-domain access. *)
+    let wctxs = Array.make cfg.workers None in
+    Pool.create ~workers:cfg.workers ~queue_bound:cfg.queue_bound
+      ~teardown:(fun wid ->
+        Option.iter
+          (fun (w : wctx) ->
+            Option.iter Team.shutdown w.team;
+            w.team <- None)
+          wctxs.(wid))
+      (fun wid ->
+        let wctx =
+          { env = Std_ops.make (); prepared = Hashtbl.create 8; team = None }
+        in
+        wctxs.(wid) <- Some wctx;
         fun job -> handle_job sh wctx job)
   in
   let listen_fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in

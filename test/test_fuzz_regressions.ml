@@ -8,6 +8,7 @@
 
 open Pypm
 module Fz = Pypm_fuzz.Fuzz
+module Gen = Pypm_fuzz.Gen
 module Srng = Pypm_fuzz.Srng
 module Alpha = Pypm_fuzz.Alpha
 
@@ -276,6 +277,46 @@ let test_alpha_absorbs_fresh_names () =
   checkb "alpha-equivalent" true (Alpha.equal p1 p2)
 
 (* ------------------------------------------------------------------ *)
+(* Sharded-pass determinism                                            *)
+(* ------------------------------------------------------------------ *)
+
+(* Caught by parallel-pass-agreement (replay: --seed 120 --budget 1).
+   The generated graph holds two structurally equal [Exp] nodes; the
+   sharded arbiter memoized only the matched node's subtree into its
+   term view, so [Term_view.node_of] resolved the rule-variable binding
+   to a different duplicate than the sequential scan registered first,
+   and the replacement spliced in an unshared node: same provenance,
+   different final fingerprint. The arbiter now replays the sequential
+   scanner's registration order (every surviving candidate, in worklist
+   order); this pins the exact recipe that exposed the gap. *)
+let test_sharded_duplicate_node_resolution () =
+  let recipe = { Gen.gr_seed = 672008; gr_nodes = 19; gr_pats = 3 } in
+  let run domains =
+    let _env, g, prog = Gen.build recipe in
+    let stats = Pass.run ~engine:Pass.Index ~domains prog g in
+    let prov =
+      List.map
+        (fun (s : Obs.Provenance.step) ->
+          ( s.Obs.Provenance.seq,
+            s.Obs.Provenance.pattern,
+            s.Obs.Provenance.rule,
+            s.Obs.Provenance.matched_root,
+            s.Obs.Provenance.replacement_root ))
+        (Pass.provenance stats)
+    in
+    (stats.Pass.total_rewrites, Fz.fingerprint g, prov)
+  in
+  let rw1, fp1, prov1 = run 1 in
+  List.iter
+    (fun domains ->
+      let rw, fp, prov = run domains in
+      checki (Printf.sprintf "rewrites at domains=%d" domains) rw1 rw;
+      checks (Printf.sprintf "fingerprint at domains=%d" domains) fp1 fp;
+      checkb (Printf.sprintf "provenance at domains=%d" domains) true
+        (prov = prov1))
+    [ 2; 4 ]
+
+(* ------------------------------------------------------------------ *)
 (* Fuzzer smoke                                                        *)
 (* ------------------------------------------------------------------ *)
 
@@ -343,6 +384,11 @@ let () =
           Alcotest.test_case "unit cases" `Quick test_alpha;
           Alcotest.test_case "absorbs elaboration freshness" `Quick
             test_alpha_absorbs_fresh_names;
+        ] );
+      ( "sharded",
+        [
+          Alcotest.test_case "duplicate-node resolution" `Quick
+            test_sharded_duplicate_node_resolution;
         ] );
       ( "fuzz",
         [

@@ -1,0 +1,210 @@
+(* Intra-pass parallelism: the Team fork/join primitive, and the sharded
+   pass's determinism guarantee — Pass.run ~domains:k must produce the
+   same final graph fingerprint, rewrite count and provenance order as
+   the sequential pass, on every engine. *)
+
+open Pypm
+
+let checki = Alcotest.(check int)
+let checkb = Alcotest.(check bool)
+
+(* ------------------------------------------------------------------ *)
+(* Team                                                                *)
+(* ------------------------------------------------------------------ *)
+
+let test_team_run_order () =
+  let t = Team.create ~shards:4 in
+  Fun.protect ~finally:(fun () -> Team.shutdown t) @@ fun () ->
+  checki "shards" 4 (Team.shards t);
+  let r = Team.run t (fun i -> i * 10) in
+  Alcotest.(check (list int)) "shard order" [ 0; 10; 20; 30 ] (Array.to_list r);
+  (* reusable round after round, results stay indexed by shard *)
+  for round = 1 to 5 do
+    let r = Team.run t (fun i -> (round * 100) + i) in
+    Array.iteri (fun i v -> checki "round result" ((round * 100) + i) v) r
+  done
+
+let test_team_single_shard () =
+  let t = Team.create ~shards:1 in
+  let r = Team.run t (fun i -> i + 41) in
+  Alcotest.(check (list int)) "degenerate" [ 41 ] (Array.to_list r);
+  Team.shutdown t;
+  Team.shutdown t (* idempotent *)
+
+exception Boom of int
+
+let test_team_exception () =
+  let t = Team.create ~shards:3 in
+  Fun.protect ~finally:(fun () -> Team.shutdown t) @@ fun () ->
+  let finished = Array.make 3 false in
+  (match
+     Team.run t (fun i ->
+         if i = 1 then raise (Boom i);
+         finished.(i) <- true)
+   with
+  | _ -> Alcotest.fail "expected Boom"
+  | exception Boom 1 -> ());
+  (* the round joined fully: the other shards ran to completion *)
+  checkb "shard 0 finished" true finished.(0);
+  checkb "shard 2 finished" true finished.(2);
+  (* and the team survives for the next round *)
+  let r = Team.run t (fun i -> i) in
+  checki "still alive" 3 (Array.length r)
+
+let test_team_shutdown_rejects_run () =
+  let t = Team.create ~shards:2 in
+  Team.shutdown t;
+  match Team.run t (fun i -> i) with
+  | _ -> Alcotest.fail "expected Invalid_argument"
+  | exception Invalid_argument _ -> ()
+
+(* ------------------------------------------------------------------ *)
+(* Sharded pass = sequential pass                                      *)
+(* ------------------------------------------------------------------ *)
+
+let provenance_digest (s : Pass.stats) =
+  List.map
+    (fun (p : Obs.Provenance.step) ->
+      ( p.Obs.Provenance.seq,
+        p.Obs.Provenance.pattern,
+        p.Obs.Provenance.rule,
+        p.Obs.Provenance.matched_root,
+        p.Obs.Provenance.replacement_root ))
+    (Pass.provenance s)
+
+let engines = [ Pass.Naive; Pass.Index; Pass.Plan ]
+
+let test_run_parity () =
+  List.iter
+    (fun (m : Zoo.model) ->
+      List.iter
+        (fun engine ->
+          let run domains =
+            let env, g = m.Zoo.build () in
+            let stats =
+              Pass.run ~engine ~domains (Corpus.both_program env.Std_ops.sg) g
+            in
+            (stats, Fuzz.fingerprint g)
+          in
+          let s1, f1 = run 1 in
+          List.iter
+            (fun domains ->
+              let sk, fk = run domains in
+              if fk <> f1 then
+                Alcotest.failf "%s/%s: fingerprint differs at domains=%d"
+                  m.Zoo.mname (Pass.engine_name engine) domains;
+              if sk.Pass.total_rewrites <> s1.Pass.total_rewrites then
+                Alcotest.failf "%s/%s: rewrites differ at domains=%d (%d vs %d)"
+                  m.Zoo.mname (Pass.engine_name engine) domains
+                  sk.Pass.total_rewrites s1.Pass.total_rewrites;
+              if provenance_digest sk <> provenance_digest s1 then
+                Alcotest.failf "%s/%s: provenance differs at domains=%d"
+                  m.Zoo.mname (Pass.engine_name engine) domains;
+              checki "domains recorded" domains sk.Pass.domains_used;
+              checkb "fixpoint" true sk.Pass.reached_fixpoint)
+            [ 2; 4 ])
+        engines)
+    [
+      Option.get (Zoo.find "bert-mini");
+      Option.get (Zoo.find "gpt2-micro");
+      Option.get (Zoo.find "resnet10-ish");
+      Option.get (Zoo.find "clip-pico");
+    ]
+
+(* The full-program corpus exercises guards, fallback patterns and
+   rollbacks; parity must hold there too. *)
+let test_run_parity_full_corpus () =
+  let m = Option.get (Zoo.find "bert-mini") in
+  List.iter
+    (fun engine ->
+      let run domains =
+        let env, g = m.Zoo.build () in
+        let stats =
+          Pass.run ~engine ~domains (Corpus.full_program env.Std_ops.sg) g
+        in
+        (stats.Pass.total_rewrites, Fuzz.fingerprint g, provenance_digest stats)
+      in
+      let r1 = run 1 and r4 = run 4 in
+      if r1 <> r4 then
+        Alcotest.failf "full corpus: domains=4 diverged on %s"
+          (Pass.engine_name engine))
+    engines
+
+(* match_only has no firing short-circuit, so the parallel split does
+   identical matching work: per-pattern totals must be exactly equal. *)
+let test_match_only_parity () =
+  let m = Option.get (Zoo.find "gpt2-micro") in
+  List.iter
+    (fun engine ->
+      let measure domains =
+        let env, g = m.Zoo.build () in
+        Pass.match_only ~engine ~domains (Corpus.both_program env.Std_ops.sg) g
+      in
+      let s1 = measure 1 and s4 = measure 4 in
+      checki "nodes visited" s1.Pass.nodes_visited s4.Pass.nodes_visited;
+      List.iter2
+        (fun (a : Pass.pattern_stats) (b : Pass.pattern_stats) ->
+          checki ("matches " ^ a.Pass.ps_name) a.Pass.matches b.Pass.matches;
+          checki ("attempts " ^ a.Pass.ps_name) a.Pass.attempts b.Pass.attempts;
+          checki ("skipped " ^ a.Pass.ps_name) a.Pass.skipped b.Pass.skipped;
+          checki
+            ("plan_pruned " ^ a.Pass.ps_name)
+            a.Pass.plan_pruned b.Pass.plan_pruned)
+        s1.Pass.per_pattern s4.Pass.per_pattern)
+    engines
+
+(* An active fault schedule consumes its stream in query order, which
+   sharding would permute: the pass must fall back to one domain. *)
+let test_inject_forces_sequential () =
+  let m = Option.get (Zoo.find "bert-tiny") in
+  let env, g = m.Zoo.build () in
+  let inject =
+    Pypm.Resilience.Inject.seeded ~seed:42 ~rate:0.5 ()
+  in
+  let stats =
+    Pass.run ~engine:Pass.Plan ~domains:4 ~inject
+      (Corpus.both_program env.Std_ops.sg)
+      g
+  in
+  checki "forced sequential" 1 stats.Pass.domains_used
+
+let test_stats_json_domains () =
+  let m = Option.get (Zoo.find "bert-tiny") in
+  let env, g = m.Zoo.build () in
+  let stats =
+    Pass.run ~engine:Pass.Plan ~domains:2 (Corpus.both_program env.Std_ops.sg) g
+  in
+  let json = Pass.stats_json stats in
+  checkb "stats_json carries domains" true
+    (let needle = "\"domains\":2" in
+     let rec find i =
+       i + String.length needle <= String.length json
+       && (String.sub json i (String.length needle) = needle || find (i + 1))
+     in
+     find 0)
+
+let () =
+  Alcotest.run "parallel"
+    [
+      ( "team",
+        [
+          Alcotest.test_case "run order + reuse" `Quick test_team_run_order;
+          Alcotest.test_case "single shard" `Quick test_team_single_shard;
+          Alcotest.test_case "task exception" `Quick test_team_exception;
+          Alcotest.test_case "shutdown rejects run" `Quick
+            test_team_shutdown_rejects_run;
+        ] );
+      ( "pass-parity",
+        [
+          Alcotest.test_case "run: zoo x engines x domains" `Quick
+            test_run_parity;
+          Alcotest.test_case "run: full corpus" `Quick
+            test_run_parity_full_corpus;
+          Alcotest.test_case "match_only: identical totals" `Quick
+            test_match_only_parity;
+          Alcotest.test_case "inject forces sequential" `Quick
+            test_inject_forces_sequential;
+          Alcotest.test_case "stats_json domains" `Quick
+            test_stats_json_domains;
+        ] );
+    ]

@@ -459,6 +459,36 @@ let test_server_cache_eviction_bound () =
   | r -> Alcotest.failf "unexpected response %d" (Protocol.response_id r)
 
 (* ------------------------------------------------------------------ *)
+(* Load: latency percentiles                                           *)
+(* ------------------------------------------------------------------ *)
+
+let checkf msg = Alcotest.(check (float 0.0)) msg
+
+(* Ceiling-based nearest rank: the reported percentile is an observed
+   latency that at least p%% of samples do not exceed. The old truncating
+   rank under-reported the tail — p99 of 100 samples picked index 98. *)
+let test_percentile_known_arrays () =
+  let hundred = Array.init 100 (fun i -> float_of_int (i + 1)) in
+  checkf "p50 of 1..100" 51. (Load.percentile hundred 50.);
+  checkf "p95 of 1..100" 96. (Load.percentile hundred 95.);
+  checkf "p99 of 1..100" 100. (Load.percentile hundred 99.);
+  checkf "p0 is the min" 1. (Load.percentile hundred 0.);
+  checkf "p100 is the max" 100. (Load.percentile hundred 100.);
+  let four = [| 10.; 20.; 30.; 40. |] in
+  checkf "p25 of four" 20. (Load.percentile four 25.);
+  checkf "p50 of four" 30. (Load.percentile four 50.);
+  checkf "p95 of four" 40. (Load.percentile four 95.);
+  checkf "p99 of four" 40. (Load.percentile four 99.)
+
+let test_percentile_degenerate () =
+  checkf "empty" 0. (Load.percentile [||] 99.);
+  let one = [| 7.5 |] in
+  checkf "singleton p50" 7.5 (Load.percentile one 50.);
+  checkf "singleton p99" 7.5 (Load.percentile one 99.);
+  (* ranks never escape the array even for out-of-range p *)
+  let two = [| 1.; 2. |] in
+  checkf "p > 100 clamps to max" 2. (Load.percentile two 250.);
+  checkf "p < 0 clamps to min" 1. (Load.percentile two (-10.))
 
 let () =
   Alcotest.run "serve"
@@ -503,5 +533,12 @@ let () =
             `Quick test_server_sheds_past_queue_bound;
           Alcotest.test_case "result-cache eviction respects its bound" `Quick
             test_server_cache_eviction_bound;
+        ] );
+      ( "load",
+        [
+          Alcotest.test_case "percentiles pinned on known arrays" `Quick
+            test_percentile_known_arrays;
+          Alcotest.test_case "percentile degenerate inputs" `Quick
+            test_percentile_degenerate;
         ] );
     ]
