@@ -1,6 +1,6 @@
 # Convenience targets; everything is plain dune underneath.
 
-.PHONY: all build test check serve-smoke bench-smoke bench figures examples doc clean
+.PHONY: all build test check serve-smoke bench-smoke egraph-smoke bench figures examples doc clean
 
 all: build
 
@@ -22,6 +22,7 @@ check:
 	fi
 	dune runtest
 	$(MAKE) bench-smoke
+	$(MAKE) egraph-smoke
 	$(MAKE) serve-smoke
 
 # quick fig12/fig13 runs that also emit the perf-trajectory JSON
@@ -42,6 +43,15 @@ bench-smoke: build
 	   for f, d in zip(files, datas) if not d['engines'] \
 	   or any(not e['sweep'] for e in d['engines'])]; \
 	print('bench-smoke: %s ok (cores=%d)' % (', '.join(files), datas[0]['cores']))"
+
+# saturation-vs-greedy agreement gate: compile every zoo model with the
+# Plan and Egraph engines and assert the egraph engine never degrades and
+# is never costlier than Plan on the same model (its contract — the
+# saturation post-phase commits only strict improvements). --quick keeps
+# the pre-commit gate to the first handful of models; CI runs the full
+# sweep.
+egraph-smoke: build
+	dune exec bench/egraph_smoke.exe -- --quick
 
 # end-to-end serving smoke: background a 4-worker server, drive it with
 # 4 concurrent clients, require zero protocol errors and a warm cache,

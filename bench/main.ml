@@ -11,11 +11,13 @@
      dune exec bench/main.exe -- ablation -- pass/matcher design ablations
 
    Options:
-     --engine naive/index/plan    -- pin the matching engine (default: run
-                                     the paper's naive engine for the
-                                     figure tables, and all three for the
-                                     engine-comparison section of
-                                     fig12/fig13)
+     --engine naive/index/plan/egraph -- pin the matching engine (default:
+                                     run the paper's naive engine for the
+                                     figure tables, and naive/index/plan
+                                     for the engine-comparison section of
+                                     fig12/fig13; egraph is opt-in there
+                                     since its saturation post-phase can
+                                     change the final graph)
      --quick                      -- smoke mode: first 3 models per suite
      --json PATH                  -- fig12/fig13: also write the figure's
                                      machine-readable trajectory (engine x
@@ -35,6 +37,7 @@ let engine_name = function
   | Pass.Naive -> "naive"
   | Pass.Index -> "index"
   | Pass.Plan -> "plan"
+  | Pass.Egraph -> "egraph"
 
 let engines_selected () =
   match !engine_filter with
@@ -793,12 +796,14 @@ let () =
            | "naive" -> Some Pass.Naive
            | "index" -> Some Pass.Index
            | "plan" -> Some Pass.Plan
+           | "egraph" -> Some Pass.Egraph
            | _ ->
-               Printf.eprintf "unknown engine %S (naive|index|plan)\n" e;
+               Printf.eprintf "unknown engine %S (naive|index|plan|egraph)\n"
+                 e;
                exit 2);
         parse acc rest
     | "--engine" :: [] ->
-        Printf.eprintf "--engine needs an argument (naive|index|plan)\n";
+        Printf.eprintf "--engine needs an argument (naive|index|plan|egraph)\n";
         exit 2
     | "--json" :: p :: rest ->
         json_path := Some p;

@@ -227,13 +227,20 @@ let patterns_arg =
 let engine_arg =
   let e =
     Cmdliner.Arg.enum
-      [ ("naive", Pass.Naive); ("index", Pass.Index); ("plan", Pass.Plan) ]
+      [
+        ("naive", Pass.Naive);
+        ("index", Pass.Index);
+        ("plan", Pass.Plan);
+        ("egraph", Pass.Egraph);
+      ]
   in
   Cmdliner.Arg.(
     value & opt e Pass.Naive & info [ "engine" ] ~docv:"ENGINE"
       ~doc:"Matching engine: $(b,naive) (every pattern at every node), \
-            $(b,index) (root-head prefilter), or $(b,plan) (shared \
-            matching plan with incremental re-matching).")
+            $(b,index) (root-head prefilter), $(b,plan) (shared matching \
+            plan with incremental re-matching), or $(b,egraph) (the plan \
+            machinery plus a cost-guided equality-saturation post-phase \
+            that commits only strict cost improvements).")
 
 (* Shared by optimize/bench/load: matching domains per pass. *)
 let domains_arg =
@@ -517,39 +524,6 @@ let query_cmd =
 (* simplify                                                            *)
 (* ------------------------------------------------------------------ *)
 
-(* Convert an engine rule to a saturation rewrite when possible: simple
-   pattern, unguarded rule, attribute-free template. *)
-let saturate_rules_of_program (program : Program.t) =
-  let rec rhs_of = function
-    | Rule.Rvar x -> Some (Saturate.Tvar x)
-    | Rule.Rapp (op, rs) ->
-        Option.map (fun rs -> Saturate.Tapp (op, rs)) (rhs_list rs)
-    | Rule.Rfapp (f, rs) ->
-        Option.map (fun rs -> Saturate.Tfapp (f, rs)) (rhs_list rs)
-    | Rule.Rapp_attrs _ | Rule.Rcopy_attrs _ | Rule.Rlit _ -> None
-  and rhs_list rs =
-    let converted = List.filter_map rhs_of rs in
-    if List.length converted = List.length rs then Some converted else None
-  in
-  List.concat_map
-    (fun (e : Program.entry) ->
-      match Ematch.supported e.Program.pattern with
-      | Error _ -> []
-      | Ok () ->
-          List.filter_map
-            (fun (r : Rule.t) ->
-              if r.Rule.guard = Guard.True then
-                Option.bind (rhs_of r.Rule.rhs) (fun rhs ->
-                    (* [rw] validates (template vars bound, pattern
-                       e-matchable); a rule it rejects is just not usable
-                       as a saturation rewrite. *)
-                    Result.to_option
-                      (Saturate.rw ~name:r.Rule.rule_name e.Program.pattern
-                         rhs))
-              else None)
-            e.Program.rules)
-    program.Program.entries
-
 let simplify_cmd =
   let run path term_src =
     let env = Std_ops.make () in
@@ -572,7 +546,11 @@ let simplify_cmd =
     Format.printf "outermost: %a  (%d step(s)%s)@." Pypm.Term.pp outer
       s2.Term_rewrite.steps
       (if s2.Term_rewrite.normal_form then "" else ", budget hit");
-    let rules = saturate_rules_of_program program in
+    (* [~guards:false]: [simplify] works on bare ground terms, with no
+       graph witnesses to evaluate guards against — guarded rules are
+       skipped rather than failing closed on every match. *)
+    let conv = Eqsat.rules_of_program ~guards:false program in
+    let rules = conv.Eqsat.crules in
     if rules = [] then
       print_endline
         "saturation: skipped (no rule is expressible as a simple rewrite)"
@@ -580,9 +558,7 @@ let simplify_cmd =
       let best, stats = Saturate.simplify ~rules t in
       Format.printf "saturation: %a  (%a; %d of %d rule(s) usable)@."
         Pypm.Term.pp best Saturate.pp_stats stats (List.length rules)
-        (List.fold_left
-           (fun acc (e : Program.entry) -> acc + List.length e.Program.rules)
-           0 program.Program.entries)
+        (List.length rules + List.length conv.Eqsat.cskipped)
     end
   in
   let path =
@@ -779,7 +755,7 @@ let load_cmd =
   in
   let engine =
     Arg.(value & opt (enum [ ("naive", "naive"); ("index", "index");
-                             ("plan", "plan") ]) "plan"
+                             ("plan", "plan"); ("egraph", "egraph") ]) "plan"
          & info [ "engine" ] ~docv:"ENGINE" ~doc:"Matching engine to request.")
   in
   let variants =

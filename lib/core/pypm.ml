@@ -17,9 +17,10 @@
     - {!Graph}, {!Term_view}: the DLCB-style computation-graph IR;
     - {!Resilience}: transaction journal re-export, per-pattern circuit
       breakers, and deterministic fault injection for the pass;
-    - {!Rule}, {!Program}, {!Pass}, {!Partition}: rewrite rules and the
-      greedy rewrite pass (section 2.4), directed graph partitioning
-      (section 4.2);
+    - {!Rule}, {!Program}, {!Pass}, {!Eqsat}, {!Partition}: rewrite rules,
+      the greedy rewrite pass (section 2.4), the cost-guided
+      equality-saturation post-phase behind [Pass.run ~engine:Egraph],
+      and directed graph partitioning (section 4.2);
     - {!Kernel}, {!Cost}, {!Exec}: the library-kernel registry and the GPU
       cost model / execution simulator;
     - {!Std_ops}, {!Corpus}: the tensor operator vocabulary and the paper's
@@ -70,6 +71,7 @@ module Resilience = Pypm_resilience.Resilience
 module Rule = Pypm_engine.Rule
 module Program = Pypm_engine.Program
 module Pass = Pypm_engine.Pass
+module Eqsat = Pypm_engine.Eqsat
 module Term_rewrite = Pypm_engine.Term_rewrite
 module Partition = Pypm_engine.Partition
 module Kernel = Pypm_kernels.Kernel

@@ -14,7 +14,20 @@ type t = {
   (* class id -> (parent enode, parent class) uses, for congruence repair *)
   uses : (id, (enode * id) list) Hashtbl.t;
   mutable dirty : id list;  (* classes whose uses need recanonicalizing *)
+  mutable touched : id list;
+      (* classes created or merged since the last [take_touched]: the
+         change log dirty-class-driven rematching consumes *)
 }
+
+(* Typed comparator over canonicalized e-node views. The polymorphic
+   [compare] happened to order these correctly while [Symbol.t] is a bare
+   string, but it compares representations, not meanings — the same latent
+   hazard PR 6 fixed in [Load.percentile]. Pin the intended order:
+   operator first ([Symbol.compare]), then children ids left to right. *)
+let compare_enode_view (op1, cs1) (op2, cs2) =
+  match Symbol.compare op1 op2 with
+  | 0 -> List.compare Int.compare cs1 cs2
+  | c -> c
 
 let create () =
   {
@@ -24,6 +37,7 @@ let create () =
     members = Hashtbl.create 64;
     uses = Hashtbl.create 64;
     dirty = [];
+    touched = [];
   }
 
 let rec find g x =
@@ -60,6 +74,7 @@ let add g op children =
       Hashtbl.replace g.memo e id;
       Hashtbl.replace g.members id [ e ];
       List.iter (fun c -> record_use g c (e, id)) e.children;
+      g.touched <- id :: g.touched;
       id
 
 let rec add_term g t = add g (Term.head t) (List.map (add_term g) (Term.args t))
@@ -84,6 +99,7 @@ let union g a b =
     Hashtbl.replace g.uses root (u_child @ u_root);
     Hashtbl.remove g.uses child;
     g.dirty <- root :: g.dirty;
+    g.touched <- root :: g.touched;
     (root, true)
   end
 
@@ -136,33 +152,63 @@ let nodes_of g id =
   |> List.map (fun e ->
          let e = canonicalize g e in
          (e.op, e.children))
-  |> List.sort_uniq compare
+  |> List.sort_uniq compare_enode_view
 
 let classes g =
   List.init g.n Fun.id
   |> List.filter (fun i -> find g i = i && Hashtbl.mem g.members i)
+
+let created g = g.n
+
+(* Canonical ids of the classes an e-node of [id]'s class appears under —
+   the upward step dirty-driven rematching follows. *)
+let parents_of g id =
+  let id = find g id in
+  Option.value ~default:[] (Hashtbl.find_opt g.uses id)
+  |> List.map (fun (_, cid) -> find g cid)
+  |> List.sort_uniq Int.compare
+
+let take_touched g =
+  let t = g.touched in
+  g.touched <- [];
+  List.sort_uniq Int.compare (List.map (find g) t)
 
 let class_count g = List.length (classes g)
 
 let node_count g =
   List.fold_left (fun acc c -> acc + List.length (nodes_of g c)) 0 (classes g)
 
-(* Bottom-up cost fixpoint, then top-down reconstruction. *)
-let extract g ~cost root =
+(* Bottom-up cost fixpoint: the cheapest known (total cost, e-node) per
+   canonical class. The fixpoint only ever assigns costs built from
+   already-costed children, so cyclic e-classes with no base term simply
+   never enter the table — extraction terminates on any e-graph. The
+   per-e-node [cost] callback runs once per e-node (memoized across
+   sweeps: an e-node's own cost does not depend on the fixpoint state,
+   only its children's totals do). *)
+let extract_dag g ~cost root =
   let root = find g root in
+  let all = classes g in
+  let members =
+    List.map
+      (fun cls ->
+        ( cls,
+          List.map (fun (op, children) -> (op, children, cost cls op children))
+            (nodes_of g cls) ))
+      all
+  in
   let best : (id, float * (Symbol.t * id list)) Hashtbl.t = Hashtbl.create 32 in
   let cost_of c = Option.map fst (Hashtbl.find_opt best (find g c)) in
   let changed = ref true in
   while !changed do
     changed := false;
     List.iter
-      (fun cls ->
+      (fun (cls, nodes) ->
         List.iter
-          (fun (op, children) ->
+          (fun (op, children, own) ->
             let child_costs = List.map cost_of children in
             if List.for_all Option.is_some child_costs then
               let total =
-                cost op
+                own
                 +. List.fold_left (fun a c -> a +. Option.get c) 0. child_costs
               in
               match Hashtbl.find_opt best cls with
@@ -170,20 +216,45 @@ let extract g ~cost root =
               | _ ->
                   Hashtbl.replace best cls (total, (op, children));
                   changed := true)
-          (nodes_of g cls))
-      (classes g)
+          nodes)
+      members
   done;
-  let rec build cls =
-    match Hashtbl.find_opt best (find g cls) with
-    | None -> None
-    | Some (_, (op, children)) ->
-        let args = List.map build children in
-        if List.for_all Option.is_some args then
-          Some (Term.app op (List.map Option.get args))
-        else None
-  in
-  build root
+  if Hashtbl.mem best root then Some best else None
 
+(* Top-down reconstruction over the choice table. [build] is memoized per
+   class: the chosen e-nodes form a DAG, and rebuilding shared children
+   once keeps extraction linear (and the resulting term physically
+   shared, which downstream term tables rely on). NOTE: on graphs with
+   heavy sharing the term is small in memory but its tree unfolding is
+   exponential — callers that go on to compare or hash it against terms
+   from another DAG (no physical sharing between them) pay that
+   unfolding. Graph-level callers should work from {!extract_dag}'s
+   choice table directly instead. *)
+let extract_enode g ~cost root =
+  match extract_dag g ~cost root with
+  | None -> None
+  | Some best ->
+      let memo : (id, Term.t option) Hashtbl.t = Hashtbl.create 32 in
+      let rec build cls =
+        let cls = find g cls in
+        match Hashtbl.find_opt memo cls with
+        | Some r -> r
+        | None ->
+            let r =
+              match Hashtbl.find_opt best cls with
+              | None -> None
+              | Some (_, (op, children)) ->
+                  let args = List.map build children in
+                  if List.for_all Option.is_some args then
+                    Some (Term.app op (List.map Option.get args))
+                  else None
+            in
+            Hashtbl.replace memo cls r;
+            r
+      in
+      build (find g root)
+
+let extract g ~cost root = extract_enode g ~cost:(fun _ op _ -> cost op) root
 let size_cost _ = 1.
 
 let pp ppf g =

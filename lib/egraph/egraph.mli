@@ -45,11 +45,31 @@ val rebuild : t -> int
 (** [equiv g a b] after rebuild: do [a] and [b] denote the same class? *)
 val equiv : t -> id -> id -> bool
 
-(** E-nodes of a class (canonicalized): operator and child classes. *)
+(** E-nodes of a class (canonicalized): operator and child classes, in
+    {!compare_enode_view} order with duplicates removed. *)
 val nodes_of : t -> id -> (Symbol.t * id list) list
+
+(** Typed comparator over the [(op, children)] views {!nodes_of} returns:
+    operator first ({!Pypm_term.Symbol.compare}), then children ids. The
+    polymorphic [compare] would order these by representation — the same
+    latent hazard PR 6 fixed in [Load.percentile]. *)
+val compare_enode_view : Symbol.t * id list -> Symbol.t * id list -> int
 
 (** All canonical class ids. *)
 val classes : t -> id list
+
+(** Total classes ever created (monotone; merged classes still count).
+    Growth between two reads means new e-nodes were added. *)
+val created : t -> int
+
+(** Canonical ids of the classes whose e-nodes use [id] as a child — one
+    upward step of the congruence [uses] relation. *)
+val parents_of : t -> id -> id list
+
+(** Drain the change log: canonical ids of classes created or merged
+    since the previous call (or since creation). Dirty-class-driven
+    rematching seeds its affected set from this. *)
+val take_touched : t -> id list
 
 (** Counts, for saturation stopping criteria and reporting. *)
 val class_count : t -> int
@@ -58,8 +78,35 @@ val node_count : t -> int
 
 (** [extract g ~cost id] picks the cheapest term of the class: [cost op]
     is the per-operator cost (children costs are added). Returns [None] if
-    the class has no finite-cost term (cyclic without base). *)
+    the class has no finite-cost term (cyclic without base); extraction
+    terminates on any e-graph, cyclic classes included. *)
 val extract : t -> cost:(Symbol.t -> float) -> id -> Term.t option
+
+(** [extract_enode g ~cost id] is {!extract} with e-node granularity: the
+    cost of choosing [(op, children)] inside class [cls] is
+    [cost cls op children] — enough context to look up class types and
+    charge a real kernel cost model. The reconstruction is memoized per
+    class, so shared subterms are built once and returned physically
+    shared. Beware that the {e tree unfolding} of the returned term is
+    exponential on heavily shared DAGs: comparing or hashing it against a
+    term from another DAG pays that unfolding. Callers splicing back into
+    a graph should use {!extract_dag} and build nodes from the choice
+    table instead. *)
+val extract_enode :
+  t -> cost:(id -> Symbol.t -> id list -> float) -> id -> Term.t option
+
+(** [extract_dag g ~cost id] is the cost fixpoint behind {!extract_enode}
+    without the term reconstruction: for every canonical class that has at
+    least one finite-DAG term, the cheapest [(total cost, (op, children))]
+    choice, where children are canonical class ids and [total] includes
+    the children's totals. [None] when [id]'s class has no extractable
+    term at all. The [cost] callback runs once per e-node. Keys are
+    canonical class ids — callers must {!find} before lookup. *)
+val extract_dag :
+  t ->
+  cost:(id -> Symbol.t -> id list -> float) ->
+  id ->
+  (id, float * (Symbol.t * id list)) Hashtbl.t option
 
 (** Uniform cost 1 per operator: extraction by term size. *)
 val size_cost : Symbol.t -> float

@@ -6,22 +6,35 @@ type env = { classes : Egraph.id Symbol.Map.t; ops : Symbol.t Symbol.Map.t }
 
 let empty_env = { classes = Symbol.Map.empty; ops = Symbol.Map.empty }
 
-let rec supported (p : P.t) =
+(* [guards:true] admits [Guarded] nodes for callers that supply a guard
+   evaluator (the e-graph engine evaluates guards on per-class witness
+   terms); the default keeps the historical contract — a guard needs a
+   concrete witness term, which a bare e-class does not determine. *)
+let rec supported_gen ~guards (p : P.t) =
   match p with
   | P.Var _ -> Ok ()
   | P.App (_, ps) | P.Fapp (_, ps) ->
       List.fold_left
-        (fun acc q -> Result.bind acc (fun () -> supported q))
+        (fun acc q -> Result.bind acc (fun () -> supported_gen ~guards q))
         (Ok ()) ps
-  | P.Alt (a, b) -> Result.bind (supported a) (fun () -> supported b)
-  | P.Guarded _ -> Error "guards need a concrete witness term"
+  | P.Alt (a, b) ->
+      Result.bind (supported_gen ~guards a) (fun () -> supported_gen ~guards b)
+  | P.Guarded (q, _) ->
+      if guards then supported_gen ~guards q
+      else Error "guards need a concrete witness term"
   | P.Exists _ | P.Exists_f _ -> Error "existentials need a concrete witness"
   | P.Constr _ -> Error "match constraints need a concrete witness"
   | P.Mu _ | P.Call _ -> Error "recursive patterns are not e-matchable here"
 
+let supported p = supported_gen ~guards:false p
+let supported_guarded p = supported_gen ~guards:true p
+
 (* All-solutions backtracking, collecting assignments. Only called on
-   patterns [supported] has accepted. *)
-let matches_in_checked g p cls =
+   patterns the relevant [supported] check has accepted, so a [Guarded]
+   node can only appear when [guard] was supplied. The guard runs in the
+   success continuation of its subpattern, when every variable the
+   subpattern binds is in scope. *)
+let matches_in_checked ?guard g p cls =
   let out = ref [] in
   let rec go (p : P.t) cls env (sk : env -> unit) =
     let cls = Egraph.find g cls in
@@ -51,6 +64,10 @@ let matches_in_checked g p cls =
     | P.Alt (a, b) ->
         go a cls env sk;
         go b cls env sk
+    | P.Guarded (q, gd) -> (
+        match guard with
+        | Some ok -> go q cls env (fun env -> if ok gd env then sk env)
+        | None -> assert false)
     | _ -> assert false
   and go_args ps cs env sk =
     match (ps, cs) with
@@ -61,17 +78,33 @@ let matches_in_checked g p cls =
   go p cls empty_env (fun env -> out := env :: !out);
   List.rev !out
 
-let matches_in g p cls =
-  match supported p with
-  | Error _ as e -> e
-  | Ok () -> Ok (matches_in_checked g p cls)
+let check ?guard p =
+  match guard with None -> supported p | Some _ -> supported_guarded p
 
-let matches g p =
-  match supported p with
+let matches_in ?guard g p cls =
+  match check ?guard p with
+  | Error _ as e -> e
+  | Ok () -> Ok (matches_in_checked ?guard g p cls)
+
+let matches ?guard g p =
+  match check ?guard p with
   | Error _ as e -> e
   | Ok () ->
       Ok
         (List.concat_map
            (fun cls ->
-             List.map (fun env -> (cls, env)) (matches_in_checked g p cls))
+             List.map
+               (fun env -> (cls, env))
+               (matches_in_checked ?guard g p cls))
            (Egraph.classes g))
+
+(* Root-restricted enumeration for dirty-class-driven rematching: like
+   [matches] but only over the given candidate root classes. Assumes the
+   pattern already passed [check] — the saturation loop validates once per
+   rule, not once per round. *)
+let matches_at ?guard g p roots =
+  List.concat_map
+    (fun cls ->
+      let cls = Egraph.find g cls in
+      List.map (fun env -> (cls, env)) (matches_in_checked ?guard g p cls))
+    roots

@@ -4,9 +4,12 @@
     applications, function variables, and alternates — against an e-graph,
     binding variables to e-class ids (the paper's related-work comparison:
     de Moura & Bjorner's E-matching is "a subset of PyPM's matching
-    algorithm"). Guards, existentials, match constraints and recursion are
+    algorithm"). Existentials, match constraints and recursion are
     rejected: those require a concrete witness term, which an e-class does
-    not determine. *)
+    not determine. Guards are rejected by default for the same reason, but
+    callers that can evaluate a guard against a per-class witness (the
+    e-graph engine in [Pass]) may pass a [?guard] evaluator and use the
+    {!supported_guarded} subset instead. *)
 
 open Pypm_term
 
@@ -20,16 +23,40 @@ val empty_env : env
     otherwise. *)
 val supported : Pypm_pattern.Pattern.t -> (unit, string) result
 
+(** Like {!supported} but additionally admits [Guarded] nodes — for
+    callers that will supply a [?guard] evaluator to the matching
+    functions. *)
+val supported_guarded : Pypm_pattern.Pattern.t -> (unit, string) result
+
 (** [matches_in g p cls] enumerates every assignment under which some term
     of [cls] matches [p]. Nonlinear variables require e-class equality.
     [Error reason] on patterns outside the supported subset (the
-    {!supported} check, folded in). *)
+    {!supported} check, folded in — {!supported_guarded} when [?guard] is
+    given). The evaluator is called in the success continuation of the
+    guarded subpattern, with every variable it binds in scope; returning
+    [false] prunes that assignment. *)
 val matches_in :
-  Egraph.t -> Pypm_pattern.Pattern.t -> Egraph.id -> (env list, string) result
+  ?guard:(Pypm_pattern.Guard.t -> env -> bool) ->
+  Egraph.t ->
+  Pypm_pattern.Pattern.t ->
+  Egraph.id ->
+  (env list, string) result
 
 (** [matches g p] enumerates (class, assignment) pairs over the whole
     e-graph. [Error reason] on unsupported patterns. *)
 val matches :
+  ?guard:(Pypm_pattern.Guard.t -> env -> bool) ->
   Egraph.t ->
   Pypm_pattern.Pattern.t ->
   ((Egraph.id * env) list, string) result
+
+(** [matches_at g p roots] is {!matches} restricted to the given candidate
+    root classes — the dirty-class-driven rematching entry point. Assumes
+    [p] already passed the relevant [supported] check; the saturation loop
+    validates once per rule, not once per round. *)
+val matches_at :
+  ?guard:(Pypm_pattern.Guard.t -> env -> bool) ->
+  Egraph.t ->
+  Pypm_pattern.Pattern.t ->
+  Egraph.id list ->
+  (Egraph.id * env) list

@@ -1,6 +1,12 @@
 open Pypm_term
+open Pypm_pattern
 
-type rw = { rw_name : string; lhs : Pypm_pattern.Pattern.t; rhs : rhs }
+type rw = {
+  rw_name : string;
+  lhs : Pypm_pattern.Pattern.t;
+  rhs : rhs;
+  rw_guard : Guard.t;
+}
 
 and rhs =
   | Tvar of string
@@ -24,8 +30,17 @@ let rec rhs_vars = function
         (Symbol.Set.empty, Symbol.Set.singleton fv)
         args
 
-let rw ~name lhs rhs =
-  match Ematch.supported lhs with
+let rw ~name ?guard lhs rhs =
+  let supported =
+    (* A rule constructed with [?guard] opts into the guarded subset: its
+       guards (rule-level and pattern-embedded) are evaluated by the
+       [?guard_eval] the runner supplies. Without it, guards stay
+       unsupported — there is no witness to evaluate them on. *)
+    match guard with
+    | Some _ -> Ematch.supported_guarded lhs
+    | None -> Ematch.supported lhs
+  in
+  match supported with
   | Error e -> Error (Printf.sprintf "rewrite %s: %s" name e)
   | Ok () ->
       let vs, fs = rhs_vars rhs in
@@ -47,16 +62,33 @@ let rw ~name lhs rhs =
               pattern"
              name
              (Symbol.Set.min_elt unbound_f))
-      else Ok { rw_name = name; lhs; rhs }
+      else
+        Ok
+          {
+            rw_name = name;
+            lhs;
+            rhs;
+            rw_guard = Option.value ~default:Guard.True guard;
+          }
+
+type stop_reason = Saturated | Iter_limit | Node_limit | Class_limit | Deadline
 
 type stats = {
   iterations : int;
   applications : int;
   skipped_applications : int;
   saturated : bool;
+  stop_reason : stop_reason;
   final_classes : int;
   final_nodes : int;
 }
+
+let stop_reason_name = function
+  | Saturated -> "saturated"
+  | Iter_limit -> "iter_limit"
+  | Node_limit -> "node_limit"
+  | Class_limit -> "class_limit"
+  | Deadline -> "deadline"
 
 let ( let* ) = Result.bind
 
@@ -86,45 +118,106 @@ let rec instantiate g (env : Ematch.env) = function
           Ok (Egraph.add g op cs)
       | None -> Error fv)
 
-let run g rules ?(iter_limit = 30) () =
+(* Upward closure of the touched classes through the [uses] relation: a
+   change inside class [d] can only create new matches rooted at [d] or at
+   a class whose pattern walk reaches [d] — i.e. an ancestor. Sorted for
+   determinism. *)
+let affected g seeds =
+  let seen : (Egraph.id, unit) Hashtbl.t = Hashtbl.create 64 in
+  let rec go id =
+    let id = Egraph.find g id in
+    if not (Hashtbl.mem seen id) then begin
+      Hashtbl.replace seen id ();
+      List.iter go (Egraph.parents_of g id)
+    end
+  in
+  List.iter go seeds;
+  Hashtbl.fold (fun k () acc -> k :: acc) seen [] |> List.sort Int.compare
+
+let truncate n xs =
+  if n < 0 then xs
+  else
+    let rec go k = function
+      | [] -> []
+      | _ when k = 0 -> []
+      | x :: xs -> x :: go (k - 1) xs
+    in
+    go n xs
+
+let run g rules ?(iter_limit = 30) ?(node_limit = max_int)
+    ?(class_limit = max_int) ?(match_limit = -1)
+    ?(deadline = fun () -> false) ?guard_eval ?on_iteration ?on_union () =
+  (* Without an evaluator, only trivially-true guards pass: guarded rules
+     fail closed rather than firing unsoundly. *)
+  let eval =
+    match guard_eval with
+    | Some f -> f
+    | None -> fun gd _ -> Guard.equal gd Guard.True
+  in
   let applications = ref 0 and skipped = ref 0 in
+  (* [i] counts rounds already executed. Budgets are checked {e before} a
+     round; a round that runs to completion is always counted, so
+     [iterations] = rounds executed and [saturated] is true iff the last
+     executed round changed nothing — the limit/fixpoint distinction is
+     exact even when they coincide. *)
   let rec loop i =
-    if i >= iter_limit then (i, false)
+    if deadline () then (i, Deadline)
+    else if Egraph.class_count g > class_limit then (i, Class_limit)
+    else if Egraph.node_count g > node_limit then (i, Node_limit)
+    else if i >= iter_limit then (i, Iter_limit)
     else begin
-      (* collect all matches first (matching against a mutating e-graph
-         would be order-dependent), then apply *)
+      Option.iter (fun f -> f (i + 1)) on_iteration;
+      (* Seed this round's candidate roots from the change log: round one
+         scans every class (the log only holds the initial population);
+         later rounds rematch just the upward closure of what changed. *)
+      let touched = Egraph.take_touched g in
+      let roots = if i = 0 then Egraph.classes g else affected g touched in
+      (* Collect all matches first (matching against a mutating e-graph
+         would be order-dependent), then apply. *)
+      let interrupted = ref false in
       let matches =
         List.concat_map
           (fun r ->
-            (* [rw] validated the lhs, so [Ematch.matches] cannot reject
-               it; an [Error] here would mean the pattern was swapped out
-               behind the smart constructor. *)
-            match Ematch.matches g r.lhs with
-            | Ok ms -> List.map (fun (cls, env) -> (r, cls, env)) ms
-            | Error _ -> [])
+            if !interrupted || deadline () then (
+              interrupted := true;
+              [])
+            else
+              Ematch.matches_at ~guard:eval g r.lhs roots
+              |> truncate match_limit
+              |> List.map (fun (cls, env) -> (r, cls, env)))
           rules
       in
-      let changed = ref false in
-      List.iter
-        (fun (r, cls, env) ->
-          match instantiate g env r.rhs with
-          | Error _ -> incr skipped
-          | Ok rhs_cls ->
-              let _, merged = Egraph.union g cls rhs_cls in
-              if merged then (
-                incr applications;
-                changed := true))
-        matches;
-      ignore (Egraph.rebuild g);
-      if !changed then loop (i + 1) else (i + 1, true)
+      if !interrupted then (i, Deadline)
+      else begin
+        let unions = ref 0 in
+        let created0 = Egraph.created g in
+        List.iter
+          (fun (r, cls, env) ->
+            if not (eval r.rw_guard env) then ()
+            else
+              match instantiate g env r.rhs with
+              | Error _ -> incr skipped
+              | Ok rhs_cls ->
+                  let _, merged = Egraph.union g cls rhs_cls in
+                  if merged then begin
+                    incr applications;
+                    incr unions;
+                    Option.iter (fun f -> f r.rw_name) on_union
+                  end)
+          matches;
+        ignore (Egraph.rebuild g);
+        let changed = !unions > 0 || Egraph.created g > created0 in
+        if changed then loop (i + 1) else (i + 1, Saturated)
+      end
     end
   in
-  let iterations, saturated = loop 0 in
+  let iterations, stop_reason = loop 0 in
   {
     iterations;
     applications = !applications;
     skipped_applications = !skipped;
-    saturated;
+    saturated = stop_reason = Saturated;
+    stop_reason;
     final_classes = Egraph.class_count g;
     final_nodes = Egraph.node_count g;
   }
@@ -144,5 +237,5 @@ let pp_stats ppf s =
     (if s.skipped_applications > 0 then
        Printf.sprintf " (%d skipped)" s.skipped_applications
      else "")
-    (if s.saturated then "saturated" else "iteration limit")
+    (stop_reason_name s.stop_reason)
     s.final_classes s.final_nodes

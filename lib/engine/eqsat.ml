@@ -1,0 +1,353 @@
+open Pypm_term
+open Pypm_pattern
+open Pypm_graph
+open Pypm_tensor
+module E = Pypm_egraph.Egraph
+module Ematch = Pypm_egraph.Ematch
+module Saturate = Pypm_egraph.Saturate
+module Cost = Pypm_kernels.Cost
+module Exec = Pypm_kernels.Exec
+module Obs = Pypm_obs.Obs
+
+(* ------------------------------------------------------------------ *)
+(* Rule conversion: Program.t rules -> Saturate rewrites               *)
+(* ------------------------------------------------------------------ *)
+
+type conversion = {
+  crules : Saturate.rw list;
+  cskipped : (string * string) list;
+}
+
+let ( let* ) = Result.bind
+
+let rec template_of (rhs : Rule.rhs) : (Saturate.rhs, string) result =
+  match rhs with
+  | Rule.Rvar x -> Ok (Saturate.Tvar x)
+  | Rule.Rapp (op, args) ->
+      let* args = templates_of args in
+      Ok (Saturate.Tapp (op, args))
+  | Rule.Rfapp (fv, args) ->
+      let* args = templates_of args in
+      Ok (Saturate.Tfapp (fv, args))
+  | Rule.Rlit v -> Ok (Saturate.Tapp (Graph.lit_symbol v, []))
+  | Rule.Rapp_attrs _ -> Error "attributed template: attrs do not survive terms"
+  | Rule.Rcopy_attrs _ ->
+      Error "attribute-copying template: attrs do not survive terms"
+
+and templates_of = function
+  | [] -> Ok []
+  | r :: rs ->
+      let* t = template_of r in
+      let* ts = templates_of rs in
+      Ok (t :: ts)
+
+let rules_of_program ?(guards = true) (p : Program.t) =
+  let crules = ref [] and cskipped = ref [] in
+  List.iter
+    (fun (e : Program.entry) ->
+      List.iter
+        (fun (r : Rule.t) ->
+          let name = e.Program.pname ^ "/" ^ r.Rule.rule_name in
+          let converted =
+            let* rhs = template_of r.Rule.rhs in
+            if guards then Saturate.rw ~name ~guard:r.Rule.guard e.pattern rhs
+            else if Guard.equal r.Rule.guard Guard.True then
+              Saturate.rw ~name e.pattern rhs
+            else Error "guarded rule with guard evaluation disabled"
+          in
+          match converted with
+          | Ok rw -> crules := rw :: !crules
+          | Error reason -> cskipped := (name, reason) :: !cskipped)
+        e.Program.rules)
+    p.Program.entries;
+  { crules = List.rev !crules; cskipped = List.rev !cskipped }
+
+(* ------------------------------------------------------------------ *)
+(* Budgets and outcome                                                 *)
+(* ------------------------------------------------------------------ *)
+
+type budgets = {
+  iter_limit : int;
+  node_limit : int;
+  class_limit : int;
+  match_limit : int;
+}
+
+let default_budgets =
+  { iter_limit = 12; node_limit = 20_000; class_limit = 10_000;
+    match_limit = 2_000 }
+[@@ocamlformat "disable"]
+
+type outcome = {
+  rules_used : int;
+  rules_skipped : int;
+  sat : Saturate.stats;
+  extracted : int;
+  spliced : int;
+  splices_rejected : int;
+  cost_before : float;
+  cost_after : float;
+  collected : int;
+}
+
+(* ------------------------------------------------------------------ *)
+(* The saturation phase                                                *)
+(* ------------------------------------------------------------------ *)
+
+let phase ?(device = Cost.a6000) ?(budgets = default_budgets)
+    ?(deadline = fun () -> false) (program : Program.t) g =
+  let conv = rules_of_program ~guards:true program in
+  if conv.crules = [] then Error "no egraph-convertible rules in the program"
+  else if Graph.outputs g = [] then Error "graph has no outputs"
+  else begin
+    let view = Term_view.create g in
+    let eg = E.create () in
+    (* Per-class context carried alongside the e-graph: a witness term
+       (for guard evaluation through the view's interp), the tensor type
+       and attrs (for the kernel cost model). Keyed by canonical class id;
+       re-keyed through [find] at the start of every saturation round,
+       since unions move canonical roots. *)
+    let witness : (E.id, Term.t) Hashtbl.t = Hashtbl.create 256 in
+    let class_ty : (E.id, Ty.t option) Hashtbl.t = Hashtbl.create 256 in
+    let class_attrs : (E.id, (string * int) list) Hashtbl.t =
+      Hashtbl.create 64
+    in
+    let cls_of_node : (int, E.id) Hashtbl.t = Hashtbl.create 256 in
+    List.iter
+      (fun (n : Graph.node) ->
+        let cs =
+          List.map
+            (fun (i : Graph.node) -> Hashtbl.find cls_of_node i.Graph.id)
+            n.Graph.inputs
+        in
+        let c = E.add eg n.Graph.op cs in
+        Hashtbl.replace cls_of_node n.Graph.id c;
+        if not (Hashtbl.mem witness c) then
+          Hashtbl.replace witness c (Term_view.term_of view n);
+        if not (Hashtbl.mem class_ty c) then begin
+          Hashtbl.replace class_ty c n.Graph.ty;
+          if n.Graph.attrs <> [] then Hashtbl.replace class_attrs c n.attrs
+        end)
+      (Graph.live_nodes g);
+    let rekey tbl =
+      let bs = Hashtbl.fold (fun k v acc -> (k, v) :: acc) tbl [] in
+      Hashtbl.reset tbl;
+      (* descending sort, so the binding with the smallest original id wins
+         the final [replace] — deterministic, and it prefers the original
+         graph's witness over a derived class's when classes merged *)
+      List.sort (fun (a, _) (b, _) -> Int.compare b a) bs
+      |> List.iter (fun (k, v) -> Hashtbl.replace tbl (E.find eg k) v)
+    in
+    let interp = Term_view.interp view in
+    let guard_eval gd (env : Ematch.env) =
+      (* Bind each matched class to its witness term and evaluate the guard
+         exactly as the destructive engines would on that witness. A class
+         with no witness (derived during saturation, never re-keyed onto a
+         graph node) fails closed: the guard cannot be verified. *)
+      match
+        Symbol.Map.fold
+          (fun x c acc ->
+            match Hashtbl.find_opt witness (E.find eg c) with
+            | Some t -> Subst.add x t acc
+            | None -> raise_notrace Exit)
+          env.Ematch.classes Subst.empty
+      with
+      | exception Exit -> false
+      | theta ->
+          let phi =
+            Symbol.Map.fold
+              (fun f op acc -> Fsubst.add f op acc)
+              env.Ematch.ops Fsubst.empty
+          in
+          Guard.eval interp theta phi gd = Some true
+    in
+    let sat =
+      Saturate.run eg conv.crules ~iter_limit:budgets.iter_limit
+        ~node_limit:budgets.node_limit ~class_limit:budgets.class_limit
+        ~match_limit:budgets.match_limit ~deadline ~guard_eval
+        ~on_iteration:(fun i ->
+          rekey witness;
+          rekey class_ty;
+          rekey class_attrs;
+          Obs.emit
+            (Obs.Sat_iteration
+               { n = i; classes = E.class_count eg; nodes = E.node_count eg }))
+        ~on_union:(fun rule -> Obs.emit (Obs.Sat_union { rule }))
+        ()
+    in
+    rekey witness;
+    rekey class_ty;
+    rekey class_attrs;
+    (* Type the classes saturation derived: a class whose chosen e-node has
+       fully-typed children gets the inference registry's verdict, to a
+       fixpoint. Classes that stay untyped are charged infinite cost below,
+       so extraction only ever chooses terms the cost model understands. *)
+    let infer = Graph.inference g in
+    let changed = ref true in
+    while !changed do
+      changed := false;
+      List.iter
+        (fun cls ->
+          if not (Hashtbl.mem class_ty cls) then
+            List.iter
+              (fun (op, children) ->
+                if not (Hashtbl.mem class_ty cls) then
+                  let tys =
+                    List.map
+                      (fun c -> Hashtbl.find_opt class_ty (E.find eg c))
+                      children
+                  in
+                  if
+                    List.for_all
+                      (function Some (Some _) -> true | _ -> false)
+                      tys
+                  then
+                    let tys =
+                      List.map
+                        (function Some (Some t) -> t | _ -> assert false)
+                        tys
+                    in
+                    match Infer.infer infer op ~attrs:[] tys with
+                    | Ok ty ->
+                        Hashtbl.replace class_ty cls (Some ty);
+                        changed := true
+                    | Error _ -> ())
+              (E.nodes_of eg cls))
+        (E.classes eg)
+    done;
+    let cost cls op children =
+      match Hashtbl.find_opt class_ty (E.find eg cls) with
+      | None -> Float.infinity
+      | Some out ->
+          let ins =
+            List.map
+              (fun c ->
+                Option.join (Hashtbl.find_opt class_ty (E.find eg c)))
+              children
+          in
+          let attrs =
+            Option.value ~default:[]
+              (Hashtbl.find_opt class_attrs (E.find eg cls))
+          in
+          Cost.op_cost device g op ~ins ~out ~attrs
+    in
+    let cost_before = Exec.graph_cost device g in
+    let extracted = ref 0 and spliced = ref 0 and rejected = ref 0 in
+    (* Canonical class -> its (smallest-id) original graph node, for node
+       reuse while splicing. Built once, after saturation settled the
+       union-find. *)
+    let node_of_cls : (E.id, Graph.node) Hashtbl.t = Hashtbl.create 256 in
+    List.iter
+      (fun (n : Graph.node) ->
+        match Hashtbl.find_opt cls_of_node n.Graph.id with
+        | None -> ()
+        | Some c -> (
+            let c = E.find eg c in
+            match Hashtbl.find_opt node_of_cls c with
+            | Some (m : Graph.node) when m.Graph.id <= n.Graph.id -> ()
+            | _ -> Hashtbl.replace node_of_cls c n))
+      (Graph.live_nodes g);
+    (* Materialize the chosen representative of a class as graph nodes,
+       straight off the choice table — never through [Term.t], whose tree
+       unfolding is exponential on shared DAGs. A class whose choice is
+       exactly its original node (same operator, every child built back
+       to that node's own input) reuses the node, so unchanged regions
+       splice to themselves. Memoized per canonical class; runs inside
+       the caller's transaction, [Graph.add] typing rejections surface as
+       [Error]. *)
+    let build_choice best c0 =
+      let memo : (E.id, Graph.node) Hashtbl.t = Hashtbl.create 64 in
+      let rec go c =
+        let c = E.find eg c in
+        match Hashtbl.find_opt memo c with
+        | Some n -> n
+        | None ->
+            let op, children =
+              match Hashtbl.find_opt best c with
+              | Some (_, choice) -> choice
+              | None ->
+                  (* unreachable: the fixpoint only chooses costed
+                     children *)
+                  invalid_arg "eqsat: chosen class has no extraction"
+            in
+            let args = List.map go children in
+            let n =
+              match Hashtbl.find_opt node_of_cls c with
+              | Some (orig : Graph.node)
+                when Symbol.equal orig.Graph.op op
+                     && List.compare_lengths orig.Graph.inputs args = 0
+                     && List.for_all2
+                          (fun (i : Graph.node) b -> i == b)
+                          orig.Graph.inputs args ->
+                  orig
+              | _ -> Graph.add g op args
+            in
+            Hashtbl.replace memo c n;
+            n
+      in
+      match go c0 with
+      | n -> Ok n
+      | exception Invalid_argument msg -> Error msg
+    in
+    (* Splice per output, transactionally, committing only strict
+       whole-graph cost improvements: the phase never worsens the graph it
+       was handed, so [engine:Egraph] is never costlier than the greedy
+       result it post-processes. *)
+    List.iter
+      (fun (out_node : Graph.node) ->
+        if not (deadline ()) then
+          match Hashtbl.find_opt cls_of_node out_node.Graph.id with
+          | None -> ()
+          | Some c0 -> (
+              let c0 = E.find eg c0 in
+              match E.extract_dag eg ~cost c0 with
+              | None -> ()
+              | Some best -> (
+                  incr extracted;
+                  let before = Exec.graph_cost device g in
+                  let sp = Graph.Txn.begin_ g in
+                  let reject () =
+                    ignore (Graph.Txn.rollback g sp);
+                    incr rejected
+                  in
+                  match build_choice best c0 with
+                  | Error _ -> reject ()
+                  | Ok new_root when new_root == out_node ->
+                      (* extraction chose the graph as it stands *)
+                      ignore (Graph.Txn.rollback g sp)
+                  | Ok new_root -> (
+                      match
+                        Graph.try_replace g ~old_root:out_node ~new_root
+                      with
+                      | Error `Cycle -> reject ()
+                      | Ok () ->
+                          let after = Exec.graph_cost device g in
+                          let accepted = after < before in
+                          Obs.emit
+                            (Obs.Sat_extract
+                               {
+                                 output = out_node.Graph.id;
+                                 before_cost = before;
+                                 after_cost = after;
+                                 accepted;
+                               });
+                          if accepted then begin
+                            Graph.Txn.commit g sp;
+                            incr spliced
+                          end
+                          else reject ()))))
+      (Graph.outputs g);
+    let collected = if !spliced > 0 then Graph.gc g else 0 in
+    Ok
+      {
+        rules_used = List.length conv.crules;
+        rules_skipped = List.length conv.cskipped;
+        sat;
+        extracted = !extracted;
+        spliced = !spliced;
+        splices_rejected = !rejected;
+        cost_before;
+        cost_after = Exec.graph_cost device g;
+        collected;
+      }
+  end

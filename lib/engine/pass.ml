@@ -6,9 +6,13 @@ module Breaker = Pypm_resilience.Resilience.Breaker
 module Inject = Pypm_resilience.Resilience.Inject
 module Team = Pypm_parallel.Team
 
-type engine = Naive | Index | Plan
+type engine = Naive | Index | Plan | Egraph
 
-let engine_name = function Naive -> "naive" | Index -> "index" | Plan -> "plan"
+let engine_name = function
+  | Naive -> "naive"
+  | Index -> "index"
+  | Plan -> "plan"
+  | Egraph -> "egraph"
 
 (* ------------------------------------------------------------------ *)
 (* Structured pass errors                                              *)
@@ -65,6 +69,19 @@ type stats = {
   mutable errors : error list;
   mutable fatal : error option;
   mutable provenance : Obs.Provenance.step list;
+  (* Equality-saturation post-phase counters; all zero / "" unless the
+     [Egraph] engine ran its phase. *)
+  mutable sat_iterations : int;
+  mutable sat_unions : int;
+  mutable sat_skipped_rules : int;
+  mutable sat_classes : int;
+  mutable sat_nodes : int;
+  mutable sat_extracted : int;
+  mutable sat_spliced : int;
+  mutable sat_rejected : int;
+  mutable sat_stop : string;
+  mutable sat_cost_before : float;
+  mutable sat_cost_after : float;
   per_pattern : pattern_stats list;
 }
 
@@ -88,6 +105,17 @@ let fresh_stats (program : Program.t) =
     errors = [];
     fatal = None;
     provenance = [];
+    sat_iterations = 0;
+    sat_unions = 0;
+    sat_skipped_rules = 0;
+    sat_classes = 0;
+    sat_nodes = 0;
+    sat_extracted = 0;
+    sat_spliced = 0;
+    sat_rejected = 0;
+    sat_stop = "";
+    sat_cost_before = 0.;
+    sat_cost_after = 0.;
     per_pattern =
       List.map
         (fun (e : Program.entry) ->
@@ -615,14 +643,16 @@ let run_plan rc ~max_rewrites plan pctxs g =
 type prepared = {
   p_program : Program.t;
   p_engine : engine;
-  p_plan : (Plan.t, string) result option; (* [Some] iff engine is Plan *)
+  p_plan : (Plan.t, string) result option;
+      (* [Some] iff engine is [Plan] or [Egraph] (which runs the plan
+         machinery for its greedy phase) *)
 }
 
 let prepare ?engine ?(indexed = false) (program : Program.t) =
   let e = resolve_engine engine indexed in
   let p_plan =
     match e with
-    | Plan ->
+    | Plan | Egraph ->
         Some
           (match compile_plan program with
           | plan -> Ok plan
@@ -640,7 +670,11 @@ let prepared_program p = p.p_program
 
 type runnable = Scan of ectx list | Planned of Plan.t * plan_entry list
 
-let next_down = function Plan -> Some Index | Index -> Some Naive | Naive -> None
+let next_down = function
+  | Egraph -> Some Plan
+  | Plan -> Some Index
+  | Index -> Some Naive
+  | Naive -> None
 
 (* Instantiate the prepared engine for one run, degrading Plan → Index →
    Naive on a preparation failure (a plan-compilation exception recorded
@@ -654,21 +688,30 @@ let prepare_engine rc (p : prepared) slots =
     if Inject.fires rc.rinject Inject.Plan_compile then
       Error "injected fault: engine preparation failed"
     else
+      let planned () =
+        let compiled =
+          match p.p_plan with
+          | Some r -> r
+          | None -> (
+              (* prepared for a simpler engine but degraded upward never
+                 happens; this arm only serves direct requests *)
+              match compile_plan program with
+              | plan -> Ok plan
+              | exception exn -> Error (Printexc.to_string exn))
+        in
+        match compiled with
+        | Ok plan -> Ok (Planned (plan, plan_contexts plan program slots))
+        | Error reason -> Error reason
+      in
       match e with
-      | Plan -> (
-          let compiled =
-            match p.p_plan with
-            | Some r -> r
-            | None -> (
-                (* prepared for a simpler engine but degraded upward never
-                   happens; this arm only serves direct [Plan] requests *)
-                match compile_plan program with
-                | plan -> Ok plan
-                | exception exn -> Error (Printexc.to_string exn))
-          in
-          match compiled with
-          | Ok plan -> Ok (Planned (plan, plan_contexts plan program slots))
-          | Error reason -> Error reason)
+      | Egraph ->
+          (* The e-graph engine is the plan machinery plus a saturation
+             post-phase; without a single convertible rule the phase would
+             be a no-op, so degrade to Plan and say why. *)
+          if (Eqsat.rules_of_program program).Eqsat.crules = [] then
+            Error "no egraph-convertible rules in the program"
+          else planned ()
+      | Plan -> planned ()
       | Index -> Ok (Scan (contexts ~indexed:true program slots))
       | Naive -> Ok (Scan (contexts ~indexed:false program slots))
   in
@@ -1141,21 +1184,54 @@ let run_prepared ?(check_types = true) ?(fuel = 200_000)
   in
   let slots = entry_slots ~quarantine_after program stats in
   Obs.with_sink (Obs.Agg.sink agg) (fun () ->
-      try
-        let runnable = prepare_engine rc p slots in
-        if domains = 1 then
-          match runnable with
-          | Scan ctxs -> run_scan rc ~max_rewrites ctxs g
-          | Planned (plan, pctxs) -> run_plan rc ~max_rewrites plan pctxs g
-        else
-          match team with
-          | Some team -> run_sharded rc ~team ~max_rewrites runnable g
-          | None ->
-              let team = Team.create ~shards:domains in
-              Fun.protect
-                ~finally:(fun () -> Team.shutdown team)
-                (fun () -> run_sharded rc ~team ~max_rewrites runnable g)
-      with Aborted -> ());
+      (try
+         let runnable = prepare_engine rc p slots in
+         if domains = 1 then
+           match runnable with
+           | Scan ctxs -> run_scan rc ~max_rewrites ctxs g
+           | Planned (plan, pctxs) -> run_plan rc ~max_rewrites plan pctxs g
+         else
+           match team with
+           | Some team -> run_sharded rc ~team ~max_rewrites runnable g
+           | None ->
+               let team = Team.create ~shards:domains in
+               Fun.protect
+                 ~finally:(fun () -> Team.shutdown team)
+                 (fun () -> run_sharded rc ~team ~max_rewrites runnable g)
+       with Aborted -> ());
+      (* The e-graph engine's saturation post-phase: runs after the greedy
+         pass (never instead of it) and commits only strict whole-graph
+         cost improvements, so the result is never costlier than the Plan
+         engine's on the same input. Skipped when the pass already aborted
+         (deadline, fatal) or the ladder degraded below Egraph. The
+         remaining wall-clock budget becomes the phase's polled anytime
+         deadline: it never raises, it stops saturating. *)
+      if
+        stats.fatal = None
+        && (not stats.deadline_hit)
+        && String.equal stats.engine_used (engine_name Egraph)
+      then begin
+        let deadline () =
+          match rc.rdeadline with Some d -> now () > d | None -> false
+        in
+        match Eqsat.phase ~deadline program g with
+        | Error _ -> ()
+        | Ok (o : Eqsat.outcome) ->
+            stats.sat_iterations <- o.sat.Pypm_egraph.Saturate.iterations;
+            stats.sat_unions <- o.sat.applications;
+            stats.sat_skipped_rules <- o.rules_skipped;
+            stats.sat_classes <- o.sat.final_classes;
+            stats.sat_nodes <- o.sat.final_nodes;
+            stats.sat_extracted <- o.extracted;
+            stats.sat_spliced <- o.spliced;
+            stats.sat_rejected <- o.splices_rejected;
+            stats.sat_stop <-
+              Pypm_egraph.Saturate.stop_reason_name o.sat.stop_reason;
+            stats.sat_cost_before <- o.cost_before;
+            stats.sat_cost_after <- o.cost_after;
+            stats.total_rewrites <- stats.total_rewrites + o.spliced;
+            stats.collected <- stats.collected + o.collected
+      end);
   stats.wall_time <- now () -. t_start;
   finalize program agg stats;
   Obs.emit
@@ -1214,7 +1290,9 @@ let match_only ?engine ?(indexed = false) ?(fuel = 200_000) ?(domains = 1)
       if domains = 1 then
         let view = Term_view.create g in
         match e with
-        | Plan ->
+        | Plan | Egraph ->
+            (* matching is phase-free: the e-graph engine matches exactly
+               as Plan does *)
             let plan = compile_plan program in
             let pctxs = plan_contexts plan program slots in
             List.iter
@@ -1243,7 +1321,7 @@ let match_only ?engine ?(indexed = false) ?(fuel = 200_000) ?(domains = 1)
         in
         let specs_at =
           match e with
-          | Plan ->
+          | Plan | Egraph ->
               let plan = compile_plan program in
               let pctxs = Array.of_list (plan_contexts plan program slots) in
               fun view ~walk node ->
@@ -1336,6 +1414,17 @@ let pp_stats ppf s =
       "  WARNING: %d match attempt(s) ran out of fuel — these are not \
        no-matches; the pass may have missed rewrites (raise ~fuel)@,"
       s.fuel_exhausted;
+  if s.sat_stop <> "" then
+    Format.fprintf ppf
+      "  egraph: %d round(s), %d union(s), %d/%d/%d \
+       extracted/spliced/rejected, %d classes / %d nodes, stop=%s, cost \
+       %.3e -> %.3e s%s@,"
+      s.sat_iterations s.sat_unions s.sat_extracted s.sat_spliced
+      s.sat_rejected s.sat_classes s.sat_nodes s.sat_stop s.sat_cost_before
+      s.sat_cost_after
+      (if s.sat_skipped_rules > 0 then
+         Printf.sprintf " (%d rule(s) not convertible)" s.sat_skipped_rules
+       else "");
   (match s.fatal with
   | Some e -> Format.fprintf ppf "  FATAL: %a@," pp_error e
   | None -> ());
@@ -1405,6 +1494,18 @@ let stats_json (s : stats) =
     (match s.fatal with None -> "null" | Some e -> str (error_message e));
   sep ();
   fld "rewrites_applied" (string_of_int (List.length s.provenance));
+  (* The egraph object appears only when the saturation post-phase ran;
+     non-egraph responses keep their pre-egraph shape (and size — the serve
+     result cache charges by encoded bytes). *)
+  if s.sat_stop <> "" then begin
+    sep ();
+    Buffer.add_string buf
+      (Printf.sprintf
+         "\"egraph\":{\"iterations\":%d,\"unions\":%d,\"skipped_rules\":%d,\"classes\":%d,\"nodes\":%d,\"extracted\":%d,\"spliced\":%d,\"rejected\":%d,\"stop\":%s,\"cost_before_s\":%.9f,\"cost_after_s\":%.9f}"
+         s.sat_iterations s.sat_unions s.sat_skipped_rules s.sat_classes
+         s.sat_nodes s.sat_extracted s.sat_spliced s.sat_rejected
+         (str s.sat_stop) s.sat_cost_before s.sat_cost_after)
+  end;
   sep ();
   Buffer.add_string buf "\"per_pattern\":[";
   List.iteri

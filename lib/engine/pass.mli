@@ -8,7 +8,7 @@
 
     [run] implements exactly that, with instrumentation: per-pattern match
     attempts, matches, rewrites, and matcher wall-clock time — the data
-    behind figures 12 and 13 — and a choice of three {e matching engines}:
+    behind figures 12 and 13 — and a choice of four {e matching engines}:
 
     - {!Naive}: the paper's implementation — every pattern is tried at
       every node with the backtracking matcher.
@@ -27,6 +27,17 @@
       outcome depends only on its term view. The rewrite sequence — and
       hence the final graph — is identical to the full-traversal engines'
       (checked in [test/test_plan.ml]).
+    - {!Egraph}: the Plan machinery followed by one cost-guided
+      equality-saturation post-phase ({!Eqsat.phase}): the program's
+      convertible rules saturate an e-graph over the greedy result under
+      node/class/iteration budgets, each output's cheapest equivalent
+      under the {!Pypm_kernels.Cost} model is extracted, and splices are
+      committed transactionally only on strict whole-graph cost
+      improvement — so the result is never costlier than {!Plan}'s on the
+      same graph, by construction. The phase recovers rewrites the greedy
+      order destroyed (the paper's phase-ordering weakness). Counters
+      land in the [sat_*] stats fields; [?deadline_s] bounds the phase
+      like the rest of the pass.
 
     {2 Resilience}
 
@@ -47,8 +58,9 @@
       rule errors, cycle rejections) trips its circuit breaker after
       [?quarantine_after] strikes and is skipped for the rest of the pass;
     - {e degradation ladder} — if the requested engine cannot be prepared
-      (plan compilation fails), the pass degrades Plan → Index → Naive
-      with a warn event instead of dying;
+      (plan compilation fails, or no rule converts to a saturation
+      rewrite), the pass degrades Egraph → Plan → Index → Naive with a
+      warn event instead of dying;
     - {e deadline} — [?deadline_s] bounds the pass's wall-clock time;
       on expiry the pass stops where it is and returns partial stats with
       [reached_fixpoint = false] and [deadline_hit = true];
@@ -60,7 +72,7 @@
 open Pypm_term
 open Pypm_graph
 
-type engine = Naive | Index | Plan
+type engine = Naive | Index | Plan | Egraph
 
 val engine_name : engine -> string
 
@@ -157,6 +169,28 @@ type stats = {
   mutable provenance : Pypm_obs.Obs.Provenance.step list;
       (** the rewrite provenance log: one step per fired rule, in firing
           order — what [pypmc trace] replays *)
+  mutable sat_iterations : int;
+      (** saturation rounds the {!Egraph} post-phase executed; all
+          [sat_*] fields stay zero / [""] unless that phase ran *)
+  mutable sat_unions : int;  (** equalities added by saturation rewrites *)
+  mutable sat_skipped_rules : int;
+      (** program rules that could not be converted to saturation
+          rewrites (attributed templates, witness-needing patterns) *)
+  mutable sat_classes : int;  (** e-classes when saturation stopped *)
+  mutable sat_nodes : int;  (** e-nodes when saturation stopped *)
+  mutable sat_extracted : int;
+      (** graph outputs extraction produced a candidate term for *)
+  mutable sat_spliced : int;
+      (** splices committed (strict whole-graph cost improvement) *)
+  mutable sat_rejected : int;
+      (** splices rolled back (no improvement, build failure, or cycle) *)
+  mutable sat_stop : string;
+      (** why saturation stopped ({!Pypm_egraph.Saturate.stop_reason_name}:
+          "saturated", "iter_limit", "node_limit", "class_limit",
+          "deadline"); [""] when the phase did not run *)
+  mutable sat_cost_before : float;
+      (** simulated whole-graph seconds before the post-phase *)
+  mutable sat_cost_after : float;  (** ... and after; never greater *)
   per_pattern : pattern_stats list;
 }
 

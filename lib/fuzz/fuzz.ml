@@ -12,6 +12,8 @@ module Ast = Pypm_dsl.Ast
 module Elaborate = Pypm_dsl.Elaborate
 module Inject = Pypm_resilience.Resilience.Inject
 module Std_ops = Pypm_patterns.Std_ops
+module Cost = Pypm_kernels.Cost
+module Exec = Pypm_kernels.Exec
 
 type verdict = Pass | Discard | Fail of string
 
@@ -162,11 +164,22 @@ let plan_first_witness (p, t) =
 (* Engine differential properties                                      *)
 (* ------------------------------------------------------------------ *)
 
+(* Total order on attribute bindings. Typed on purpose: polymorphic
+   [compare] over the pair happens to work while attr values are plain
+   ints, but it is a fingerprint hazard — any future attr payload with
+   functional or cyclic components would make it raise, and its ordering
+   is not a stated part of the representation. The fingerprint must sort
+   with a comparator whose order is defined by this module. *)
+let compare_attr ((ka : string), (va : int)) (kb, vb) =
+  match String.compare ka kb with 0 -> Int.compare va vb | c -> c
+
 (* Structural fingerprint of the live graph, independent of node ids and
    of the global uid counter behind input symbols: uid suffixes are
    relabelled in order of first appearance in a DFS from the outputs, and
    shared subgraphs are emitted once then referenced by visit index (the
-   fingerprint sees the DAG, not its exponential tree unfolding). *)
+   fingerprint sees the DAG, not its exponential tree unfolding). Attrs
+   are emitted in [compare_attr] order, so the fingerprint is invariant
+   under attribute insertion order. *)
 let fingerprint g =
   ignore (Graph.gc g);
   let uids = Hashtbl.create 32 in
@@ -194,7 +207,7 @@ let fingerprint g =
         Buffer.add_string buf (canon_sym n.Graph.op);
         List.iter
           (fun (k, v) -> Buffer.add_string buf (Printf.sprintf "{%s=%d}" k v))
-          (List.sort compare n.Graph.attrs);
+          (List.sort compare_attr n.Graph.attrs);
         (match n.Graph.inputs with
         | [] -> ()
         | inputs ->
@@ -334,6 +347,44 @@ let parallel_pass_agreement recipe =
             check_domains [ 2; 4 ])
   in
   check_engines engine_names
+
+(* The egraph engine's contract: [~engine:Egraph] is the plan engine plus
+   a cost-guided equality-saturation post-phase whose splices come only
+   from the program's own rules (rewrite-reachable by construction) and
+   commit only on strict whole-graph cost improvement. So on the same
+   recipe it must leave a valid graph never costlier than the plan
+   engine's result under the kernel cost model — and when the post-phase
+   splices nothing, a graph isomorphic to the plan engine's. Both runs
+   rebuild the recipe from scratch ([Gen.build] is deterministic), so the
+   comparison is on identical inputs. *)
+let egraph_pass_agreement recipe =
+  let device = Cost.a6000 in
+  let run engine =
+    let _env, g, prog = Gen.build recipe in
+    let stats = Pass.run ~engine prog g in
+    if stats.Pass.fuel_exhausted > 0 then None else Some (g, stats)
+  in
+  match (run Pass.Plan, run Pass.Egraph) with
+  | None, _ | _, None -> Discard
+  | Some (gp, _), Some (ge, estats) -> (
+      match Graph.validate ge with
+      | _ :: _ as errs ->
+          Fail
+            ("egraph engine left an invalid graph: " ^ String.concat "; " errs)
+      | [] ->
+          let cp = Exec.graph_cost device gp
+          and ce = Exec.graph_cost device ge in
+          if ce > cp +. (1e-9 *. Float.max 1.0 cp) then
+            Fail
+              (Printf.sprintf
+                 "egraph result costlier than plan: %.9fs vs %.9fs (ran as \
+                  %s, stop %S, spliced %d)"
+                 ce cp estats.Pass.engine_used estats.Pass.sat_stop
+                 estats.Pass.sat_spliced)
+          else if
+            estats.Pass.sat_spliced = 0 && fingerprint ge <> fingerprint gp
+          then Fail "post-phase spliced nothing yet the graphs differ"
+          else Pass)
 
 let graph_validate recipe =
   let _env, g, prog = Gen.build recipe in
@@ -676,6 +727,14 @@ let props : prop list =
                fingerprint, rewrites and provenance, every engine";
         cost = 150;
         case = recipe_case parallel_pass_agreement;
+      };
+    Prop
+      {
+        name = "egraph-pass-agreement";
+        doc = "egraph engine: valid graph, never costlier than plan's, \
+               isomorphic to it when the post-phase splices nothing";
+        cost = 120;
+        case = recipe_case egraph_pass_agreement;
       };
     Prop
       {

@@ -40,20 +40,24 @@ type work = {
 
 let zero_work = { flops = 0.; bytes = 0.; launches = 0.; efficiency = 1. }
 
-let io_bytes (n : Graph.node) =
-  let input_bytes =
-    List.fold_left
-      (fun acc (i : Graph.node) ->
-        acc +. match i.ty with Some ty -> float_of_int (Ty.size_bytes ty) | None -> 0.)
-      0. n.inputs
-  in
-  let out_bytes =
-    match n.ty with Some ty -> float_of_int (Ty.size_bytes ty) | None -> 0.
-  in
-  input_bytes +. out_bytes
+(* The core of the model is type-level: an operator, its input/output
+   types, and its attributes determine the work. Node-level entry points
+   project a [Graph.node] down to that; the e-graph engine calls the
+   type-level entry points directly, on e-classes that have no node. *)
 
-let out_nelems (n : Graph.node) =
-  match n.ty with Some ty -> float_of_int (Ty.nelems ty) | None -> 0.
+let bytes_of_ty = function
+  | Some ty -> float_of_int (Ty.size_bytes ty)
+  | None -> 0.
+
+let io_bytes_tys (ins : Ty.t option list) (out : Ty.t option) =
+  List.fold_left (fun acc t -> acc +. bytes_of_ty t) (bytes_of_ty out) ins
+
+let out_nelems_ty = function
+  | Some ty -> float_of_int (Ty.nelems ty)
+  | None -> 0.
+
+let node_tys (n : Graph.node) =
+  (List.map (fun (i : Graph.node) -> i.ty) n.inputs, n.ty)
 
 (* Naive-implementation efficiencies by operator family. Hand-tuned library
    kernels carry their own (higher) efficiency in their spec. *)
@@ -62,75 +66,76 @@ let naive_eff_conv = 0.50
 let naive_eff_pointwise = 0.90
 let jit_fused_eff = 0.75
 
-let input_tys (n : Graph.node) =
-  List.filter_map (fun (i : Graph.node) -> i.ty) n.inputs
-
-let class_work g (n : Graph.node) cls =
-  let bytes = io_bytes n in
+let class_work_tys cls ~(ins : Ty.t option list) ~(out : Ty.t option) ~attrs =
+  let bytes = io_bytes_tys ins out in
+  let known = List.filter_map Fun.id ins in
   let one flops efficiency = { flops; bytes; launches = 1.; efficiency } in
   match cls with
   | "input" | "const" -> zero_work
-  | "opaque" when n.inputs = [] -> zero_work
+  | "opaque" when ins = [] -> zero_work
   | "matmul" | "linear" -> (
-      match (input_tys n, n.ty) with
-      | ins, Some out -> one (Kernel.matmul_flops ins out) naive_eff_matmul
+      match (known, out) with
+      | tys, Some o -> one (Kernel.matmul_flops tys o) naive_eff_matmul
       | _ -> { zero_work with launches = 1. })
   | "conv" -> (
-      match (input_tys n, n.ty) with
-      | (_ :: (w : Ty.t) :: _), Some out ->
+      match (known, out) with
+      | (_ :: (w : Ty.t) :: _), Some o ->
           let kernel_work =
             match w.shape with
             | [ _o; c; kh; kw ] -> float_of_int (c * kh * kw)
             | _ -> 1.
           in
-          one (2. *. float_of_int (Ty.nelems out) *. kernel_work)
-            naive_eff_conv
+          one (2. *. float_of_int (Ty.nelems o) *. kernel_work) naive_eff_conv
       | _ -> { zero_work with launches = 1. })
   | "softmax" ->
       (* multi-pass: max, exp-sum, divide *)
       {
-        flops = 5. *. out_nelems n;
-        bytes = 3. *. io_bytes n;
+        flops = 5. *. out_nelems_ty out;
+        bytes = 3. *. bytes;
         launches = 1.;
         efficiency = naive_eff_pointwise;
       }
   | "transpose" | "layout" ->
       (* pure data movement *)
       one 0. 1.
-  | "reduce" | "pool" -> one (out_nelems n *. 4.) naive_eff_pointwise
+  | "reduce" | "pool" -> one (out_nelems_ty out *. 4.) naive_eff_pointwise
   | "unary_pointwise" | "binary_pointwise" | "nary_pointwise" ->
-      one (out_nelems n) naive_eff_pointwise
+      one (out_nelems_ty out) naive_eff_pointwise
   | "fused" ->
       (* JIT-fused region: interior flops recorded at fuse time; traffic is
          region inputs + output only; one launch. *)
       let flops =
-        match List.assoc_opt "flops" n.attrs with
+        match List.assoc_opt "flops" attrs with
         | Some f -> float_of_int f
-        | None -> out_nelems n
+        | None -> out_nelems_ty out
       in
       { flops; bytes; launches = 1.; efficiency = jit_fused_eff }
   | _ ->
-      ignore g;
       (* unknown but typed compute: charge pointwise-ish work *)
-      one (out_nelems n) naive_eff_pointwise
+      one (out_nelems_ty out) naive_eff_pointwise
 
-let node_work g (n : Graph.node) =
-  match Kernel.find n.op with
+let op_work g op ~(ins : Ty.t option list) ~(out : Ty.t option) ~attrs =
+  match Kernel.find op with
   | Some spec -> (
-      match n.ty with
-      | Some out ->
-          let ins = input_tys n in
+      match out with
+      | Some o ->
+          let known = List.filter_map Fun.id ins in
           {
-            flops = spec.Kernel.flops ins out;
-            bytes = io_bytes n +. spec.Kernel.intermediate_bytes ins out;
+            flops = spec.Kernel.flops known o;
+            bytes =
+              io_bytes_tys ins out +. spec.Kernel.intermediate_bytes known o;
             launches = float_of_int spec.Kernel.launches;
             efficiency = spec.Kernel.efficiency;
           }
       | None -> { zero_work with launches = 1. })
   | None -> (
-      match Signature.op_class (Graph.signature g) n.op with
-      | Some cls -> class_work g n cls
+      match Signature.op_class (Graph.signature g) op with
+      | Some cls -> class_work_tys cls ~ins ~out ~attrs
       | None -> { zero_work with launches = 1. })
+
+let node_work g (n : Graph.node) =
+  let ins, out = node_tys n in
+  op_work g n.op ~ins ~out ~attrs:n.attrs
 
 let peak device (dtype : Dtype.t) =
   match dtype with
@@ -147,11 +152,13 @@ let seconds device ~dtype w =
     let memory = w.bytes /. device.mem_bw in
     (w.launches *. device.launch_overhead) +. Float.max compute memory
 
-let node_cost device g n =
-  let dtype =
-    match n.Graph.ty with Some ty -> ty.Ty.dtype | None -> Dtype.F32
-  in
-  seconds device ~dtype (node_work g n)
+let op_cost device g op ~ins ~out ~attrs =
+  let dtype = match out with Some ty -> ty.Ty.dtype | None -> Dtype.F32 in
+  seconds device ~dtype (op_work g op ~ins ~out ~attrs)
+
+let node_cost device g (n : Graph.node) =
+  let ins, out = node_tys n in
+  op_cost device g n.op ~ins ~out ~attrs:n.attrs
 
 let flops_of_nodes g ns =
   List.fold_left (fun acc n -> acc +. (node_work g n).flops) 0. ns

@@ -41,16 +41,38 @@ type work = {
 
 val zero_work : work
 
-(** [node_work g n] classifies a node by (1) the kernel registry, (2) fused
-    region attributes, (3) its operator class. Inputs/constants cost
-    nothing; untyped (opaque) compute nodes are charged a nominal
-    launch. *)
+(** [op_work g op ~ins ~out ~attrs] is the type-level core of the model:
+    classifies [op] by (1) the kernel registry, (2) fused region
+    attributes, (3) its operator class, charging work determined entirely
+    by the input/output types. Inputs/constants cost nothing; untyped
+    (opaque) compute is charged a nominal launch. The e-graph engine costs
+    e-classes through this — they have types but no node. *)
+val op_work :
+  Graph.t ->
+  Pypm_term.Symbol.t ->
+  ins:Ty.t option list ->
+  out:Ty.t option ->
+  attrs:(string * int) list ->
+  work
+
+(** [node_work g n] is {!op_work} on a materialized node. *)
 val node_work : Graph.t -> Graph.node -> work
 
 (** [seconds device ~dtype w] is the roofline time of [w]. *)
 val seconds : device -> dtype:Dtype.t -> work -> float
 
-(** [node_cost device g n] combines {!node_work} and {!seconds}. *)
+(** [op_cost device g op ~ins ~out ~attrs] combines {!op_work} and
+    {!seconds} (dtype taken from [out], F32 when untyped). *)
+val op_cost :
+  device ->
+  Graph.t ->
+  Pypm_term.Symbol.t ->
+  ins:Ty.t option list ->
+  out:Ty.t option ->
+  attrs:(string * int) list ->
+  float
+
+(** [node_cost device g n] is {!op_cost} on a materialized node. *)
 val node_cost : device -> Graph.t -> Graph.node -> float
 
 (** [flops_of_nodes g ns] sums naive flops over nodes; used to annotate

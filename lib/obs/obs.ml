@@ -30,6 +30,14 @@ type kind =
   | Shard_dispatch of { domains : int; candidates : int }
   | Shard_matched of { domain : int; nodes : int; witnesses : int }
   | Shard_merged of { fired : int; replayed : int; discarded : int }
+  | Sat_iteration of { n : int; classes : int; nodes : int }
+  | Sat_union of { rule : string }
+  | Sat_extract of {
+      output : int;
+      before_cost : float;
+      after_cost : float;
+      accepted : bool;
+    }
 
 type event = { ts : float; dur : float; node : int; kind : kind }
 
@@ -277,7 +285,8 @@ module Agg = struct
     | Pass_begin _ | Pass_end _ | Quarantined _ | Engine_degraded _
     | Fault_injected _ | Deadline_hit _ | Cache_hit _ | Cache_miss _
     | Cache_evicted _ | Request_served _ | Request_shed _
-    | Shard_dispatch _ | Shard_matched _ | Shard_merged _ ->
+    | Shard_dispatch _ | Shard_matched _ | Shard_merged _ | Sat_iteration _
+    | Sat_union _ | Sat_extract _ ->
         ()
 
   let find t name = Hashtbl.find_opt t.table name
@@ -469,6 +478,20 @@ let describe = function
           ("fired", `I fired);
           ("replayed", `I replayed);
           ("discarded", `I discarded);
+        ] )
+  | Sat_iteration { n; classes; nodes } ->
+      ( "sat-iteration",
+        "egraph",
+        [ ("n", `I n); ("classes", `I classes); ("nodes", `I nodes) ] )
+  | Sat_union { rule } -> ("sat-union " ^ rule, "egraph", [ ("rule", `S rule) ])
+  | Sat_extract { output; before_cost; after_cost; accepted } ->
+      ( "sat-extract",
+        "egraph",
+        [
+          ("output", `I output);
+          ("before_cost_ns", `I (int_of_float (before_cost *. 1e9)));
+          ("after_cost_ns", `I (int_of_float (after_cost *. 1e9)));
+          ("accepted", `S (string_of_bool accepted));
         ] )
 
 module Chrome = struct

@@ -90,6 +90,20 @@ type kind =
       (** the arbiter consumed a round: [fired] rules applied, [replayed]
           witnesses inspected, [discarded] speculative witnesses dropped
           (beyond the first fire or quarantined at consumption) *)
+  | Sat_iteration of { n : int; classes : int; nodes : int }
+      (** an equality-saturation round is starting: 1-based round number
+          and the e-graph's class/node counts at that point *)
+  | Sat_union of { rule : string }
+      (** a saturation rewrite added one equality (a union) *)
+  | Sat_extract of {
+      output : int;
+      before_cost : float;
+      after_cost : float;
+      accepted : bool;
+    }
+      (** cost-guided extraction proposed a splice for the graph output
+          [output]; [accepted] iff the transactional splice committed
+          (it only does when the whole-graph cost strictly improves) *)
 
 type event = {
   ts : float;  (** absolute seconds (Unix epoch) at emission *)

@@ -16,7 +16,7 @@ let magic = "PMRP"
 (* ------------------------------------------------------------------ *)
 
 type options = {
-  engine : string;  (* "naive" | "index" | "plan" *)
+  engine : string;  (* "naive" | "index" | "plan" | "egraph" *)
   fuel : int;
   max_rewrites : int;
   deadline_s : float option;

@@ -23,7 +23,7 @@ val version : int
 (** {1 Pass options} *)
 
 type options = {
-  engine : string;  (** ["naive"] | ["index"] | ["plan"] *)
+  engine : string;  (** ["naive"] | ["index"] | ["plan"] | ["egraph"] *)
   fuel : int;
   max_rewrites : int;
   deadline_s : float option;

@@ -146,6 +146,7 @@ let engine_of_string = function
   | "naive" -> Some Pass.Naive
   | "index" -> Some Pass.Index
   | "plan" -> Some Pass.Plan
+  | "egraph" -> Some Pass.Egraph
   | _ -> None
 
 let named_program env = function
@@ -224,7 +225,7 @@ let handle_job sh wctx (j : job) =
       | Some e -> e
       | None ->
           reject_bad j.jid
-            (Printf.sprintf "unknown engine %S (naive|index|plan)"
+            (Printf.sprintf "unknown engine %S (naive|index|plan|egraph)"
                o.Protocol.engine)
     in
     let program_key =

@@ -88,6 +88,50 @@ let test_extract_respects_cost () =
   | Some t -> Alcotest.(check string) "cheapest" "f(a, a)" (Term.to_string t)
   | None -> Alcotest.fail "no extraction"
 
+(* Pin the intended e-node view order directly. The polymorphic [compare]
+   this replaced happened to agree while [Symbol.t] is a bare string; these
+   assertions are against the contract, so a representation change that
+   breaks the order breaks the test, not just downstream determinism. *)
+let test_enode_view_order () =
+  let module E = Egraph in
+  checkb "operator-major" true (E.compare_enode_view ("a", [ 9; 9 ]) ("b", []) < 0);
+  checkb "children left-to-right" true
+    (E.compare_enode_view ("f", [ 1; 2 ]) ("f", [ 1; 3 ]) < 0);
+  checkb "prefix orders first" true
+    (E.compare_enode_view ("f", [ 1 ]) ("f", [ 1; 0 ]) < 0);
+  checki "equal views" 0 (E.compare_enode_view ("f", [ 1; 2 ]) ("f", [ 1; 2 ]));
+  let g = E.create () in
+  let ca = E.add_term g a in
+  let cb = E.add_term g b in
+  let cf = E.add g "f" [ ca; cb ] in
+  let cg = E.add g "g" [ ca ] in
+  ignore (E.union g cf cg);
+  ignore (E.rebuild g);
+  let views = E.nodes_of g cf in
+  checki "merged class keeps both enodes" 2 (List.length views);
+  checkb "nodes_of is sorted by compare_enode_view" true
+    (List.sort E.compare_enode_view views = views)
+
+(* After a ~ g(a) the class contains an e-node whose child is the class
+   itself. Extraction must terminate (the cost fixpoint never assigns a
+   cost built from an uncosted child) and pick the base term. *)
+let test_extract_cyclic_terminates () =
+  let g = Egraph.create () in
+  let ca = Egraph.add_term g a in
+  let cga = Egraph.add_term g (g1 a) in
+  ignore (Egraph.union g ca cga);
+  ignore (Egraph.rebuild g);
+  (match Egraph.extract g ~cost:Egraph.size_cost ca with
+  | Some t ->
+      Alcotest.(check string) "base term beats the cycle" "a" (Term.to_string t)
+  | None -> Alcotest.fail "cyclic class with a base term must extract");
+  match Egraph.extract_dag g ~cost:(fun _ _ _ -> 1.) ca with
+  | None -> Alcotest.fail "extract_dag found nothing"
+  | Some best ->
+      let total, (op, _) = Hashtbl.find best (Egraph.find g ca) in
+      Alcotest.(check string) "choice table picks the base enode" "a" op;
+      Alcotest.(check (float 1e-9)) "total cost of the base" 1.0 total
+
 (* ------------------------------------------------------------------ *)
 (* E-matching                                                          *)
 (* ------------------------------------------------------------------ *)
@@ -213,7 +257,81 @@ let test_iter_limit_reported () =
   in
   let _, stats = Saturate.simplify ~rules:[ diverge ] ~iter_limit:3 (f2 a b) in
   checkb "hit the limit" true (not stats.Saturate.saturated);
-  checki "iterations" 3 stats.Saturate.iterations
+  checki "iterations" 3 stats.Saturate.iterations;
+  Alcotest.(check string)
+    "stop reason is the budget, not a fixpoint claim" "iter_limit"
+    (Saturate.stop_reason_name stats.Saturate.stop_reason)
+
+(* The limit/fixpoint distinction is exact: a run whose final round changes
+   nothing reports [Saturated] even when that round is the iteration
+   limit's last — reaching the budget is not the same as being stopped by
+   it. *)
+let test_limit_vs_fixpoint_exact () =
+  let rec tower n = if n = 0 then a else g1 (tower (n - 1)) in
+  let _, s = Saturate.simplify ~rules:[ tower_rule ] ~iter_limit:2 (tower 2) in
+  checkb "fixpoint proven at the boundary" true s.Saturate.saturated;
+  Alcotest.(check string)
+    "stop reason" "saturated"
+    (Saturate.stop_reason_name s.Saturate.stop_reason);
+  checki "both rounds executed" 2 s.Saturate.iterations
+
+(* A disjunctive pattern whose branches bind different variables: matches
+   through the branch that leaves a template variable unbound are skipped
+   and counted, never fatal, and never block the fixpoint claim. *)
+let test_skipped_disjunctive () =
+  let partial =
+    rw_exn ~name:"partial"
+      (P.alt (P.app "f" [ P.var "x"; P.var "y" ]) (P.app "g" [ P.var "x" ]))
+      (Saturate.Tapp ("f", [ Saturate.Tvar "x"; Saturate.Tvar "y" ]))
+  in
+  let g = Egraph.create () in
+  let _ = Egraph.add_term g (g1 a) in
+  let stats = Saturate.run g [ partial ] () in
+  checki "no union performed" 0 stats.Saturate.applications;
+  checkb "partial bindings counted as skipped" true
+    (stats.Saturate.skipped_applications >= 1);
+  checkb "still reaches a fixpoint" true stats.Saturate.saturated
+
+(* ------------------------------------------------------------------ *)
+(* Eqsat: the graph-level saturation phase                             *)
+(* ------------------------------------------------------------------ *)
+
+(* End-to-end over the graph IR: saturate under a program rule that
+   strictly cheapens the output (softmax is multi-pass under the kernel
+   cost model, relu a single pointwise sweep), extract, splice, and
+   commit. Exercises the full phase: lowering, witness-typed cost,
+   choice-table extraction, transactional splice. *)
+let test_eqsat_phase_improves () =
+  let e = Std_ops.make () in
+  let g = Graph.create ~sg:e.Std_ops.sg ~infer:e.Std_ops.infer () in
+  let x = Graph.input g ~name:"x" (Ty.make Dtype.F32 [ 64; 64 ]) in
+  let sm = Graph.add g Std_ops.softmax [ x ] in
+  Graph.set_outputs g [ sm ];
+  let program =
+    Program.make ~sg:e.Std_ops.sg
+      [
+        {
+          Program.pname = "SM";
+          pattern = P.app Std_ops.softmax [ P.var "x" ];
+          rules =
+            [
+              Rule.make ~name:"cheaper" ~pattern:"SM"
+                (Rule.Rapp (Std_ops.relu, [ Rule.Rvar "x" ]));
+            ];
+        };
+      ]
+  in
+  match Eqsat.phase program g with
+  | Error e -> Alcotest.fail e
+  | Ok o ->
+      checki "one splice committed" 1 o.Eqsat.spliced;
+      checkb "whole-graph cost strictly improved" true
+        (o.Eqsat.cost_after < o.Eqsat.cost_before);
+      (match Graph.outputs g with
+      | [ out ] ->
+          Alcotest.(check string) "output rewritten" Std_ops.relu out.Graph.op
+      | _ -> Alcotest.fail "one output expected");
+      checkb "graph still validates" true (Graph.validate g = [])
 
 (* property: saturation + extraction never increases term size under the
    shrinking rule set, and the result is stable (idempotent) *)
@@ -247,6 +365,10 @@ let () =
           Alcotest.test_case "extract smallest" `Quick test_extract_smallest;
           Alcotest.test_case "extract respects cost" `Quick
             test_extract_respects_cost;
+          Alcotest.test_case "enode view order pinned" `Quick
+            test_enode_view_order;
+          Alcotest.test_case "cyclic extraction terminates" `Quick
+            test_extract_cyclic_terminates;
         ] );
       ( "ematch",
         [
@@ -269,7 +391,16 @@ let () =
           Alcotest.test_case "growing rule saturates" `Quick
             test_growing_rule_saturates;
           Alcotest.test_case "iteration limit" `Quick test_iter_limit_reported;
+          Alcotest.test_case "limit vs fixpoint exact" `Quick
+            test_limit_vs_fixpoint_exact;
+          Alcotest.test_case "disjunctive partial bindings skipped" `Quick
+            test_skipped_disjunctive;
           prop_simplify_shrinks;
           prop_hashcons_stable;
+        ] );
+      ( "eqsat",
+        [
+          Alcotest.test_case "graph phase commits an improvement" `Quick
+            test_eqsat_phase_improves;
         ] );
     ]

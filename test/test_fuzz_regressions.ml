@@ -317,6 +317,31 @@ let test_sharded_duplicate_node_resolution () =
     [ 2; 4 ]
 
 (* ------------------------------------------------------------------ *)
+(* Fingerprint stability                                               *)
+(* ------------------------------------------------------------------ *)
+
+(* [Fz.fingerprint] sorts each node's attributes so the hash is a function
+   of the graph, not of attribute insertion order. The sort used the
+   polymorphic [compare] on [(string * int)] pairs — correct today only
+   because the representation happens to order that way; it now uses a
+   typed comparator. Pin the observable contract: two graphs differing
+   only in attr insertion order fingerprint identically. *)
+let test_fingerprint_attr_order () =
+  let build attrs =
+    let e = Std_ops.make () in
+    let g = Graph.create ~sg:e.Std_ops.sg ~infer:e.Std_ops.infer () in
+    let x = Graph.input g ~name:"x" (Ty.make Dtype.F32 [ 2; 2 ]) in
+    let n = Graph.add g Std_ops.relu ~attrs [ x ] in
+    Graph.set_outputs g [ n ];
+    Fz.fingerprint g
+  in
+  checks "attr insertion order is invisible"
+    (build [ ("alpha", 1); ("beta", 2); ("gamma", 3) ])
+    (build [ ("gamma", 3); ("beta", 2); ("alpha", 1) ]);
+  checkb "attr values still distinguish" true
+    (build [ ("alpha", 1) ] <> build [ ("alpha", 2) ])
+
+(* ------------------------------------------------------------------ *)
 (* Fuzzer smoke                                                        *)
 (* ------------------------------------------------------------------ *)
 
@@ -389,6 +414,11 @@ let () =
         [
           Alcotest.test_case "duplicate-node resolution" `Quick
             test_sharded_duplicate_node_resolution;
+        ] );
+      ( "fingerprint",
+        [
+          Alcotest.test_case "attr order invisible" `Quick
+            test_fingerprint_attr_order;
         ] );
       ( "fuzz",
         [
