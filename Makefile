@@ -1,6 +1,6 @@
 # Convenience targets; everything is plain dune underneath.
 
-.PHONY: all build test check serve-smoke bench-smoke egraph-smoke bench figures examples doc clean
+.PHONY: all build test check serve-smoke chaos-smoke bench-smoke egraph-smoke bench figures examples doc clean
 
 all: build
 
@@ -24,6 +24,7 @@ check:
 	$(MAKE) bench-smoke
 	$(MAKE) egraph-smoke
 	$(MAKE) serve-smoke
+	$(MAKE) chaos-smoke
 
 # quick fig12/fig13 runs that also emit the perf-trajectory JSON
 # (BENCH_fig12.json / BENCH_fig13.json, format in doc/parallel.md), then
@@ -63,6 +64,30 @@ serve-smoke: build
 	for i in $$(seq 1 100); do [ -S $$SOCK ] && break; sleep 0.1; done; \
 	./_build/default/bin/pypmc.exe load --socket $$SOCK \
 	  --clients 4 --requests 200 --seed 1 --min-hits 1; \
+	RC=$$?; \
+	kill $$SRV 2>/dev/null; wait $$SRV 2>/dev/null; \
+	rm -f $$SOCK; \
+	exit $$RC
+
+# self-healing smoke: 500 seeded wire-fault schedules (torn/corrupt/
+# stalled/disconnected frames, poison-pill crash drills, pipelined
+# bursts) must produce zero property violations; then SIGTERM the server
+# (graceful drain — it exits on its own), restart it on the same socket,
+# and require a clean warm load against the successor.
+chaos-smoke: build
+	@SOCK=/tmp/pypmc-chaos-$$$$.sock; \
+	./_build/default/bin/pypmc.exe serve --socket $$SOCK --workers 2 & \
+	SRV=$$!; \
+	for i in $$(seq 1 100); do [ -S $$SOCK ] && break; sleep 0.1; done; \
+	./_build/default/bin/pypmc.exe chaos --socket $$SOCK \
+	  --schedules 500 --seed 42 || { kill $$SRV 2>/dev/null; exit 1; }; \
+	kill $$SRV 2>/dev/null; wait $$SRV 2>/dev/null; \
+	if [ -e $$SOCK ]; then echo "drained server left its socket behind"; exit 1; fi; \
+	./_build/default/bin/pypmc.exe serve --socket $$SOCK --workers 2 & \
+	SRV=$$!; \
+	for i in $$(seq 1 100); do [ -S $$SOCK ] && break; sleep 0.1; done; \
+	./_build/default/bin/pypmc.exe load --socket $$SOCK \
+	  --clients 2 --requests 50 --seed 2 --min-hits 1; \
 	RC=$$?; \
 	kill $$SRV 2>/dev/null; wait $$SRV 2>/dev/null; \
 	rm -f $$SOCK; \

@@ -666,7 +666,8 @@ let socket_arg =
     & info [ "socket" ] ~docv:"PATH" ~doc:"Unix-domain socket path.")
 
 let serve_cmd =
-  let run socket workers queue_bound cache_mb debug =
+  let run socket workers queue_bound cache_mb job_deadline drain_timeout
+      restart_budget max_frame_mb debug =
     if debug then (
       Logs.set_reporter (Logs.format_reporter ());
       Logs.Src.set_level Server.log_src (Some Logs.Debug));
@@ -676,12 +677,22 @@ let serve_cmd =
         workers;
         queue_bound;
         cache_bytes = cache_mb * 1024 * 1024;
+        max_frame_bytes = max_frame_mb * 1024 * 1024;
+        job_deadline_s =
+          (if job_deadline <= 0. then None else Some job_deadline);
+        drain_timeout_s = drain_timeout;
+        restart_budget;
       }
     in
     Printf.printf
       "pypmc serve: %s — %d worker(s), queue bound %d, %d MiB cache\n%!"
       socket workers queue_bound cache_mb;
-    Server.run cfg
+    (* [signals]: SIGTERM/SIGINT drain gracefully; a second signal exits *)
+    match Server.run ~signals:true cfg with
+    | Ok () -> ()
+    | Error msg ->
+        Printf.eprintf "pypmc serve: %s\n" msg;
+        exit 1
   in
   let workers =
     Arg.(value & opt int 4 & info [ "workers" ] ~docv:"N"
@@ -697,6 +708,27 @@ let serve_cmd =
     Arg.(value & opt int 64 & info [ "cache-mb" ] ~docv:"MB"
            ~doc:"Result-cache byte bound, in MiB.")
   in
+  let job_deadline =
+    Arg.(value & opt float 300. & info [ "job-deadline" ] ~docv:"SECONDS"
+           ~doc:"Admission-to-completion budget per request; the watchdog \
+                 answers $(b,Deadline_exceeded) past it. 0 disables.")
+  in
+  let drain_timeout =
+    Arg.(value & opt float 5. & info [ "drain-timeout" ] ~docv:"SECONDS"
+           ~doc:"How long a graceful drain (SIGTERM/SIGINT) waits for \
+                 in-flight requests before answering them \
+                 $(b,Deadline_exceeded) and exiting.")
+  in
+  let restart_budget =
+    Arg.(value & opt int 10_000 & info [ "restart-budget" ] ~docv:"N"
+           ~doc:"Lifetime worker restarts the supervisor will perform \
+                 before letting crashed workers stay down.")
+  in
+  let max_frame_mb =
+    Arg.(value & opt int 64 & info [ "max-frame-mb" ] ~docv:"MB"
+           ~doc:"Largest request frame accepted, in MiB; bigger length \
+                 prefixes are rejected before allocation.")
+  in
   let debug =
     Arg.(value & flag & info [ "debug" ] ~doc:"Log connection lifecycle.")
   in
@@ -704,12 +736,15 @@ let serve_cmd =
     (Cmd.info "serve"
        ~doc:
          "Run the resident optimization service: a Unix-socket server with \
-          a domain worker pool and a content-addressed result cache")
-    Term.(const run $ socket_arg $ workers $ queue_bound $ cache_mb $ debug)
+          a supervised domain worker pool, per-job deadline watchdog, \
+          graceful drain and a content-addressed result cache")
+    Term.(const run $ socket_arg $ workers $ queue_bound $ cache_mb
+          $ job_deadline $ drain_timeout $ restart_budget $ max_frame_mb
+          $ debug)
 
 let load_cmd =
   let run socket clients requests seed opt engine domains variants fault_seed
-      fault_rate fault_points min_hits =
+      fault_rate fault_points timeout min_hits =
     (match fault_points with
     | [] -> ()
     | names -> ignore (fault_points_of_names names));
@@ -726,7 +761,7 @@ let load_cmd =
     let r =
       try
         Load.run ~socket ~clients ~requests ~seed ~program:opt ~variants
-          ~options ()
+          ~options ~request_timeout_s:timeout ()
       with Unix.Unix_error (e, fn, _) ->
         Printf.eprintf "pypmc load: %s: %s (is the server running?)\n" fn
           (Unix.error_message e);
@@ -776,6 +811,11 @@ let load_cmd =
     Arg.(value & opt (list string) [] & info [ "fault-points" ] ~docv:"POINTS"
            ~doc:"Comma-separated fault points to arm (default: all).")
   in
+  let timeout =
+    Arg.(value & opt float 30. & info [ "timeout" ] ~docv:"SECONDS"
+           ~doc:"Per-request send-to-answer timeout; past it the connection \
+                 is abandoned and the request retried on a fresh one.")
+  in
   let min_hits =
     Arg.(value & opt int 0 & info [ "min-hits" ] ~docv:"N"
            ~doc:"Exit nonzero unless at least $(docv) responses were served \
@@ -788,7 +828,46 @@ let load_cmd =
           throughput, latency percentiles and cache hit rate")
     Term.(const run $ socket_arg $ clients $ requests $ seed $ opt_arg
           $ engine $ domains_arg $ variants $ fault_seed $ fault_rate
-          $ fault_points $ min_hits)
+          $ fault_points $ timeout $ min_hits)
+
+(* ------------------------------------------------------------------ *)
+(* chaos                                                               *)
+(* ------------------------------------------------------------------ *)
+
+let chaos_cmd =
+  let run socket schedules seed rate =
+    let r =
+      try Chaos.run ~schedules ~seed ~rate ~socket ()
+      with Unix.Unix_error (e, fn, _) ->
+        Printf.eprintf "pypmc chaos: %s: %s (is the server running?)\n" fn
+          (Unix.error_message e);
+        exit 1
+    in
+    Format.printf "%a@." Chaos.pp r;
+    if r.Chaos.violations <> [] then exit 1
+  in
+  let schedules =
+    Arg.(value & opt int 100 & info [ "schedules" ] ~docv:"N"
+           ~doc:"Seeded fault schedules to run; each is one connection's \
+                 worth of requests with wire faults applied.")
+  in
+  let seed =
+    Arg.(value & opt int 42 & info [ "seed" ] ~docv:"S"
+           ~doc:"Master seed; every fault choice and position derives from \
+                 it, so a failing run replays exactly.")
+  in
+  let rate =
+    Arg.(value & opt float 0.25 & info [ "rate" ] ~docv:"RATE"
+           ~doc:"Per-point wire-fault fire probability per frame.")
+  in
+  Cmd.v
+    (Cmd.info "chaos"
+       ~doc:
+         "Hammer a running server with seeded wire-level faults — torn, \
+          corrupt, stalled and disconnected frames, poison-pill crash \
+          drills, pipelined bursts — and verify it never crashes, never \
+          interleaves frames, and answers deterministically")
+    Term.(const run $ socket_arg $ schedules $ seed $ rate)
 
 (* ------------------------------------------------------------------ *)
 
@@ -799,4 +878,4 @@ let () =
        (Cmd.group ~default
           (Cmd.info "pypmc" ~version:"1.0.0"
              ~doc:"PyPM pattern compiler and graph optimizer")
-          [ parse_cmd; compile_cmd; match_cmd; zoo_cmd; optimize_cmd; trace_cmd; simplify_cmd; query_cmd; partition_cmd; fuzz_cmd; serve_cmd; load_cmd ]))
+          [ parse_cmd; compile_cmd; match_cmd; zoo_cmd; optimize_cmd; trace_cmd; simplify_cmd; query_cmd; partition_cmd; fuzz_cmd; serve_cmd; load_cmd; chaos_cmd ]))

@@ -92,6 +92,7 @@ module Pool = Pypm_parallel.Pool
 module Team = Pypm_parallel.Team
 module Server = Pypm_serve.Server
 module Load = Pypm_serve.Load
+module Chaos = Pypm_serve.Chaos
 module Rng = Pypm_models.Rng
 module Transformer = Pypm_models.Transformer
 module Vision = Pypm_models.Vision

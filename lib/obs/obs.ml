@@ -27,6 +27,8 @@ type kind =
   | Cache_evicted of { key : string; bytes : int }
   | Request_served of { id : int; cached : bool }
   | Request_shed of { id : int }
+  | Worker_restarted of { worker : int; restarts : int }
+  | Job_poisoned of { id : int }
   | Shard_dispatch of { domains : int; candidates : int }
   | Shard_matched of { domain : int; nodes : int; witnesses : int }
   | Shard_merged of { fired : int; replayed : int; discarded : int }
@@ -285,6 +287,7 @@ module Agg = struct
     | Pass_begin _ | Pass_end _ | Quarantined _ | Engine_degraded _
     | Fault_injected _ | Deadline_hit _ | Cache_hit _ | Cache_miss _
     | Cache_evicted _ | Request_served _ | Request_shed _
+    | Worker_restarted _ | Job_poisoned _
     | Shard_dispatch _ | Shard_matched _ | Shard_merged _ | Sat_iteration _
     | Sat_union _ | Sat_extract _ ->
         ()
@@ -459,6 +462,11 @@ let describe = function
         "serve",
         [ ("id", `I id); ("cached", `S (string_of_bool cached)) ] )
   | Request_shed { id } -> ("request-shed", "serve", [ ("id", `I id) ])
+  | Worker_restarted { worker; restarts } ->
+      ( "worker-restarted",
+        "serve",
+        [ ("worker", `I worker); ("restarts", `I restarts) ] )
+  | Job_poisoned { id } -> ("job-poisoned", "serve", [ ("id", `I id) ])
   | Shard_dispatch { domains; candidates } ->
       ( "shard-dispatch",
         "parallel",

@@ -80,6 +80,12 @@ type kind =
   | Request_served of { id : int; cached : bool }
   | Request_shed of { id : int }
       (** admission control rejected the request (queue at bound) *)
+  | Worker_restarted of { worker : int; restarts : int }
+      (** the pool supervisor replaced a crashed worker domain;
+          [restarts] is the pool-lifetime restart count after this one *)
+  | Job_poisoned of { id : int }
+      (** a request crashed two workers in a row and was quarantined
+          with a structured [Worker_crashed] response instead of retried *)
   | Shard_dispatch of { domains : int; candidates : int }
       (** the sharded pass split [candidates] worklist nodes across
           [domains] domains for one matching round *)

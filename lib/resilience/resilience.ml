@@ -42,9 +42,26 @@ module Inject = struct
     | Fuel_cut
     | Replace_cycle
     | Plan_compile
+    | Worker_crash
+    | Serve_stall
+    | Wire_partial
+    | Wire_corrupt
+    | Wire_stall
+    | Wire_disconnect
+
+  exception Injected_crash of string
 
   let all_points =
-    [ Instantiate_fail; Guard_raise; Fuel_cut; Replace_cycle; Plan_compile ]
+    [
+      Instantiate_fail;
+      Guard_raise;
+      Fuel_cut;
+      Replace_cycle;
+      Plan_compile;
+      Worker_crash;
+    ]
+
+  let wire_points = [ Wire_partial; Wire_corrupt; Wire_stall; Wire_disconnect ]
 
   let point_name = function
     | Instantiate_fail -> "instantiate-fail"
@@ -52,6 +69,12 @@ module Inject = struct
     | Fuel_cut -> "fuel-cut"
     | Replace_cycle -> "replace-cycle"
     | Plan_compile -> "plan-compile"
+    | Worker_crash -> "worker-crash"
+    | Serve_stall -> "serve-stall"
+    | Wire_partial -> "wire-partial"
+    | Wire_corrupt -> "wire-corrupt"
+    | Wire_stall -> "wire-stall"
+    | Wire_disconnect -> "wire-disconnect"
 
   let point_of_name = function
     | "instantiate-fail" -> Some Instantiate_fail
@@ -59,6 +82,12 @@ module Inject = struct
     | "fuel-cut" -> Some Fuel_cut
     | "replace-cycle" -> Some Replace_cycle
     | "plan-compile" -> Some Plan_compile
+    | "worker-crash" -> Some Worker_crash
+    | "serve-stall" -> Some Serve_stall
+    | "wire-partial" -> Some Wire_partial
+    | "wire-corrupt" -> Some Wire_corrupt
+    | "wire-stall" -> Some Wire_stall
+    | "wire-disconnect" -> Some Wire_disconnect
     | _ -> None
 
   (* SplitMix64 step, same constants as the fuzzer's Srng: the schedule is
@@ -131,4 +160,10 @@ module Inject = struct
 
   let fired s = s.fired
   let queried s = s.queried
+
+  (* The next uniform draw from the schedule's stream, independent of any
+     point's arming. The chaos harness uses it to pick fault positions
+     (which byte to corrupt, where to tear a frame) and the load client to
+     jitter its backoff — all deterministic replays of the seed. *)
+  let roll s = next_unit s
 end

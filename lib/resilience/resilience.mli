@@ -63,15 +63,42 @@ module Inject : sig
       - [Replace_cycle]: the replacement is treated as if it would close
         a cycle;
       - [Plan_compile]: engine preparation fails, exercising the
-        degradation ladder. *)
+        degradation ladder;
+      - [Worker_crash]: a serve worker domain dies mid-job, exercising
+        the pool supervisor (restart, retry, poison-pill quarantine);
+      - [Serve_stall]: the worker stalls mid-job long enough to trip the
+        server's per-job deadline watchdog;
+      - [Wire_partial], [Wire_corrupt], [Wire_stall], [Wire_disconnect]:
+        client-side wire chaos — torn frames, flipped bytes, mid-frame
+        delays and mid-request disconnects, driven through the
+        {!Pypm_serve.Chaos} fd wrapper. *)
   type point =
     | Instantiate_fail
     | Guard_raise
     | Fuel_cut
     | Replace_cycle
     | Plan_compile
+    | Worker_crash
+    | Serve_stall
+    | Wire_partial
+    | Wire_corrupt
+    | Wire_stall
+    | Wire_disconnect
 
+  (** Raised by the serve layer when a [Worker_crash] fault fires; the
+      worker's catch-all deliberately re-raises it so the exception
+      escapes the job handler and kills the worker domain, exactly like
+      an unanticipated crash would. *)
+  exception Injected_crash of string
+
+  (** The default arming: the five pass-level points plus [Worker_crash].
+      [Serve_stall] (slow by design) and the wire points (client-side)
+      must be armed by name. *)
   val all_points : point list
+
+  (** The client-side wire fault points, for the chaos harness. *)
+  val wire_points : point list
+
   val point_name : point -> string
   val point_of_name : string -> point option
 
@@ -104,4 +131,10 @@ module Inject : sig
 
   (** Armed queries made so far. *)
   val queried : schedule -> int
+
+  (** The next uniform draw in [[0, 1)] from the schedule's stream,
+      independent of arming — deterministic side-band randomness for the
+      chaos harness (fault positions) and the load client (backoff
+      jitter). *)
+  val roll : schedule -> float
 end

@@ -1,10 +1,13 @@
 module W = Codec.Wire
 module Pass = Pypm_engine.Pass
 
-(* v2 added [options.domains] (intra-pass parallelism). The option block
-   has no per-field framing, so the addition is a wire break: v1 peers
-   get a structured "unsupported protocol version" error, not garbage. *)
-let version = 2
+(* v2 added [options.domains] (intra-pass parallelism). v3 added the
+   [Health] probe and the self-healing responses ([Deadline_exceeded],
+   [Draining], [Worker_crashed], [Health_report]). Option blocks have no
+   per-field framing and response tags must mean the same thing on both
+   sides, so each addition is a wire break: old peers get a structured
+   "unsupported protocol version" error, not garbage. *)
+let version = 3
 
 (* Each message payload leads with a magic+version pair so a client
    talking to the wrong service (or the wrong protocol revision) gets a
@@ -148,6 +151,7 @@ type request =
       graph : string;
     }
   | Stats of { id : int }
+  | Health of { id : int }
 
 type outcome = {
   graph : string;
@@ -169,19 +173,37 @@ type server_stats = {
   uptime_s : float;
 }
 
+type health = {
+  status : string;  (* "ok" | "draining" *)
+  uptime_s : float;
+  workers_alive : int;
+  workers_total : int;
+  restarts : int;
+  poisoned : int;
+  inflight : int;
+}
+
 type response =
   | Result of { id : int; cached : bool; service_s : float; body : string }
   | Stats_report of { id : int; stats : server_stats }
   | Overloaded of { id : int }
   | Bad_request of { id : int; reason : string }
   | Server_error of { id : int; reason : string }
+  | Deadline_exceeded of { id : int; elapsed_s : float }
+  | Draining of { id : int }
+  | Worker_crashed of { id : int; reason : string }
+  | Health_report of { id : int; health : health }
 
 let response_id = function
   | Result { id; _ }
   | Stats_report { id; _ }
   | Overloaded { id }
   | Bad_request { id; _ }
-  | Server_error { id; _ } ->
+  | Server_error { id; _ }
+  | Deadline_exceeded { id; _ }
+  | Draining { id }
+  | Worker_crashed { id; _ }
+  | Health_report { id; _ } ->
       id
 
 (* ------------------------------------------------------------------ *)
@@ -257,6 +279,9 @@ let encode_request (r : request) =
       W.put_string buf graph
   | Stats { id } ->
       W.put_u8 buf 1;
+      W.put_varint buf id
+  | Health { id } ->
+      W.put_u8 buf 2;
       W.put_varint buf id);
   Buffer.contents buf
 
@@ -281,6 +306,7 @@ let decode_request bytes =
           let graph = W.get_string c in
           Optimize { id; program; options; graph }
       | 1 -> Stats { id = W.get_varint c }
+      | 2 -> Health { id = W.get_varint c }
       | t ->
           raise
             (Codec.Corrupt (W.offset c, Printf.sprintf "bad request tag %d" t))
@@ -326,7 +352,28 @@ let encode_response (r : response) =
   | Server_error { id; reason } ->
       W.put_u8 buf 4;
       W.put_varint buf id;
-      W.put_string buf reason);
+      W.put_string buf reason
+  | Deadline_exceeded { id; elapsed_s } ->
+      W.put_u8 buf 5;
+      W.put_varint buf id;
+      W.put_f64 buf elapsed_s
+  | Draining { id } ->
+      W.put_u8 buf 6;
+      W.put_varint buf id
+  | Worker_crashed { id; reason } ->
+      W.put_u8 buf 7;
+      W.put_varint buf id;
+      W.put_string buf reason
+  | Health_report { id; health } ->
+      W.put_u8 buf 8;
+      W.put_varint buf id;
+      W.put_string buf health.status;
+      W.put_f64 buf health.uptime_s;
+      W.put_varint buf health.workers_alive;
+      W.put_varint buf health.workers_total;
+      W.put_varint buf health.restarts;
+      W.put_varint buf health.poisoned;
+      W.put_varint buf health.inflight);
   Buffer.contents buf
 
 let decode_response bytes =
@@ -379,6 +426,38 @@ let decode_response bytes =
           let id = W.get_varint c in
           let reason = W.get_string c in
           Server_error { id; reason }
+      | 5 ->
+          let id = W.get_varint c in
+          let elapsed_s = W.get_f64 c in
+          Deadline_exceeded { id; elapsed_s }
+      | 6 -> Draining { id = W.get_varint c }
+      | 7 ->
+          let id = W.get_varint c in
+          let reason = W.get_string c in
+          Worker_crashed { id; reason }
+      | 8 ->
+          let id = W.get_varint c in
+          let status = W.get_string c in
+          let uptime_s = W.get_f64 c in
+          let workers_alive = W.get_varint c in
+          let workers_total = W.get_varint c in
+          let restarts = W.get_varint c in
+          let poisoned = W.get_varint c in
+          let inflight = W.get_varint c in
+          Health_report
+            {
+              id;
+              health =
+                {
+                  status;
+                  uptime_s;
+                  workers_alive;
+                  workers_total;
+                  restarts;
+                  poisoned;
+                  inflight;
+                };
+            }
       | t ->
           raise
             (Codec.Corrupt (W.offset c, Printf.sprintf "bad response tag %d" t))
@@ -459,7 +538,12 @@ module Reader = struct
                   r.vacc <- r.vacc lor ((b land 0x7f) lsl r.vshift);
                   r.vshift <- r.vshift + 7;
                   if b land 0x80 = 0 then
-                    if r.vacc > r.max_frame then begin
+                    (* [vacc < 0]: the 9th varint byte can shift bits past
+                       the sign (0x40 lsl 56 = 2^62 wraps to min_int), and a
+                       negative "length" would sail under the max_frame
+                       check into Buffer.sub — reject it as the absurd
+                       frame it is. *)
+                    if r.vacc < 0 || r.vacc > r.max_frame then begin
                       r.dead <-
                         Some
                           (Printf.sprintf "frame of %d bytes exceeds the %d limit"

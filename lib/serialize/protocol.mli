@@ -61,6 +61,9 @@ type request =
       graph : string;  (** {!Codec.Graphs.encode} bytes *)
     }
   | Stats of { id : int }
+  | Health of { id : int }
+      (** liveness/readiness probe; answered inline by the accept loop
+          even while the server is draining. Added in protocol v3. *)
 
 (** What one optimization produced; travels as the [Result] body. *)
 type outcome = {
@@ -83,6 +86,17 @@ type server_stats = {
   uptime_s : float;
 }
 
+(** The health probe's answer: supervision and drain state at a glance. *)
+type health = {
+  status : string;  (** ["ok"] or ["draining"] *)
+  uptime_s : float;
+  workers_alive : int;  (** workers currently able to take jobs *)
+  workers_total : int;  (** configured worker count *)
+  restarts : int;  (** supervisor worker restarts since boot *)
+  poisoned : int;  (** jobs answered [Worker_crashed] since boot *)
+  inflight : int;  (** jobs admitted but not yet answered *)
+}
+
 type response =
   | Result of {
       id : int;
@@ -95,6 +109,18 @@ type response =
       (** admission control shed the request; retry later *)
   | Bad_request of { id : int; reason : string }
   | Server_error of { id : int; reason : string }
+  | Deadline_exceeded of { id : int; elapsed_s : float }
+      (** the per-job watchdog reaped the request: it spent [elapsed_s]
+          seconds from admission without completing. The job's eventual
+          result (if any) is discarded. Added in protocol v3. *)
+  | Draining of { id : int }
+      (** the server is shutting down gracefully and no longer admits
+          optimization work; reconnect and retry against its successor.
+          Added in protocol v3. *)
+  | Worker_crashed of { id : int; reason : string }
+      (** the request crashed two worker domains in a row and was
+          quarantined as a poison pill. Added in protocol v3. *)
+  | Health_report of { id : int; health : health }  (** v3 *)
 
 val response_id : response -> int
 
@@ -116,7 +142,9 @@ val frame : string -> string
 (** Incremental deframer: feed raw socket bytes, pull complete frames.
     Frames split anywhere — including inside the length varint — resume
     cleanly on the next feed. A frame larger than [max_frame] (default
-    64 MiB) is a sticky protocol error. *)
+    64 MiB) is a sticky protocol error, as is a length varint that
+    overflows the int range — both are rejected {e before} any
+    allocation of the claimed size is attempted. *)
 module Reader : sig
   type t
 

@@ -1,0 +1,454 @@
+module Protocol = Pypm_serialize.Protocol
+module Codec = Pypm_serialize.Codec
+module Std_ops = Pypm_patterns.Std_ops
+module Transformer = Pypm_models.Transformer
+module Obs = Pypm_obs.Obs
+module Inject = Pypm_resilience.Resilience.Inject
+
+type report = {
+  schedules : int;
+  requests : int;
+  ok : int;
+  faults : int;
+  structured : int;
+  closes : int;
+  desyncs : int;
+  crash_drills : int;
+  bursts : int;
+  violations : string list;
+}
+
+let pp ppf r =
+  Format.fprintf ppf
+    "@[<v>chaos: %d schedule(s), %d request(s): %d ok, %d wire fault(s) \
+     (%d structured answer(s), %d close(s), %d desync(s))@,\
+     %d crash drill(s), %d pipelined burst(s), %d violation(s)%s@]"
+    r.schedules r.requests r.ok r.faults r.structured r.closes r.desyncs
+    r.crash_drills r.bursts
+    (List.length r.violations)
+    (if r.violations = [] then ""
+     else ":\n  " ^ String.concat "\n  " r.violations)
+
+(* ------------------------------------------------------------------ *)
+(* Chaos client plumbing                                               *)
+(* ------------------------------------------------------------------ *)
+
+exception Await_timeout
+exception Closed
+
+type cconn = { fd : Unix.file_descr; reader : Protocol.Reader.t }
+
+let connect socket =
+  let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+  (try Unix.connect fd (Unix.ADDR_UNIX socket)
+   with e ->
+     (try Unix.close fd with Unix.Unix_error _ -> ());
+     raise e);
+  { fd; reader = Protocol.Reader.create () }
+
+let disconnect c = try Unix.close c.fd with Unix.Unix_error _ -> ()
+
+let write_all fd s =
+  let n = String.length s in
+  let rec go off =
+    if off < n then
+      let w = Unix.write_substring fd s off (n - off) in
+      go (off + w)
+  in
+  go 0
+
+(* Read one response frame under a deadline. [Await_timeout] is not a
+   property violation by itself: a torn or length-corrupted frame
+   legitimately leaves the server awaiting bytes that will never come —
+   the client abandons the desynchronized connection. [Closed] is the
+   server's sticky-error close: clean, expected, counted. *)
+let read_response c ~timeout_s =
+  let deadline = Obs.monotonic () +. timeout_s in
+  let buf = Bytes.create 65536 in
+  let rec go () =
+    match Protocol.Reader.next c.reader with
+    | `Frame payload -> Protocol.decode_response payload
+    | `Error msg -> Error ("client-side frame error: " ^ msg)
+    | `Await ->
+        let remaining = deadline -. Obs.monotonic () in
+        if remaining <= 0. then raise Await_timeout;
+        let readable =
+          match Unix.select [ c.fd ] [] [] remaining with
+          | r, _, _ -> r
+          | exception Unix.Unix_error (Unix.EINTR, _, _) -> []
+        in
+        if readable = [] then raise Await_timeout;
+        (match Unix.read c.fd buf 0 (Bytes.length buf) with
+        | 0 -> raise Closed
+        | n -> Protocol.Reader.feed c.reader (Bytes.sub_string buf 0 n)
+        | exception Unix.Unix_error ((Unix.ECONNRESET | Unix.EPIPE), _, _) ->
+            raise Closed);
+        go ()
+  in
+  go ()
+
+(* The wire-fault application point: what a hostile client or a flaky
+   transport does to one outbound frame. The fault choice and every
+   position within the frame come from the schedule's deterministic
+   stream, so a failing seed replays exactly. *)
+type applied = Intact | Torn | Corrupted | Disconnected
+
+let cut_point sched s =
+  (* at least 1 byte so the server definitely commits to the frame, and
+     strictly short so the frame is genuinely torn *)
+  let n = String.length s in
+  1 + int_of_float (Inject.roll sched *. float_of_int (max 1 (n - 1)))
+
+let send_frame sched c payload =
+  let frame = Protocol.frame payload in
+  if Inject.fires sched Inject.Wire_disconnect then begin
+    let cut = min (String.length frame - 1) (cut_point sched frame) in
+    (try write_all c.fd (String.sub frame 0 cut)
+     with Unix.Unix_error _ -> ());
+    disconnect c;
+    Disconnected
+  end
+  else if Inject.fires sched Inject.Wire_partial then begin
+    let cut = min (String.length frame - 1) (cut_point sched frame) in
+    (try write_all c.fd (String.sub frame 0 cut)
+     with Unix.Unix_error _ -> ());
+    Torn
+  end
+  else if Inject.fires sched Inject.Wire_corrupt then begin
+    let b = Bytes.of_string frame in
+    let pos = int_of_float (Inject.roll sched *. float_of_int (Bytes.length b)) in
+    let pos = min (Bytes.length b - 1) pos in
+    let flip = 1 + int_of_float (Inject.roll sched *. 254.) in
+    Bytes.set b pos (Char.chr (Char.code (Bytes.get b pos) lxor flip));
+    (try write_all c.fd (Bytes.to_string b) with Unix.Unix_error _ -> ());
+    Corrupted
+  end
+  else if Inject.fires sched Inject.Wire_stall then begin
+    let half = String.length frame / 2 in
+    (try
+       write_all c.fd (String.sub frame 0 half);
+       Unix.sleepf 0.005;
+       write_all c.fd (String.sub frame half (String.length frame - half))
+     with Unix.Unix_error _ -> ());
+    Intact
+  end
+  else begin
+    (try write_all c.fd frame with Unix.Unix_error _ -> ());
+    Intact
+  end
+
+(* ------------------------------------------------------------------ *)
+(* The property harness                                                *)
+(* ------------------------------------------------------------------ *)
+
+type st = {
+  mutable requests : int;
+  mutable ok : int;
+  mutable faults : int;
+  mutable structured : int;
+  mutable closes : int;
+  mutable desyncs : int;
+  mutable crash_drills : int;
+  mutable bursts : int;
+  mutable violations : string list;
+  (* variant -> the Result body every later answer must match byte for
+     byte: the determinism half of the property (warm == cold == every
+     schedule) *)
+  expected : (int, string) Hashtbl.t;
+}
+
+let violate st fmt =
+  Printf.ksprintf
+    (fun msg -> if List.length st.violations < 50 then
+        st.violations <- msg :: st.violations)
+    fmt
+
+let graphs ~variants =
+  let env = Std_ops.make () in
+  Array.init variants (fun i ->
+      let cfg =
+        Transformer.config ~layers:1 ~hidden:32 ~heads:2 ~seq:8 ~batch:1
+          ~activation:(Transformer.Act_gelu Transformer.Div_two)
+          ~seed:(9000 + i)
+          (Printf.sprintf "chaos-%d" i)
+      in
+      Codec.Graphs.encode (Transformer.build env cfg))
+
+let optimize ~id ~variant ~graphs ?(options = Protocol.default_options) () =
+  ( Protocol.encode_request
+      (Protocol.Optimize
+         {
+           id;
+           program = Protocol.Named "both";
+           options;
+           graph = graphs.(variant);
+         }),
+    variant )
+
+(* Answer bookkeeping for an intact request that must be served. *)
+let check_result st ~who ~id ~variant resp =
+  match resp with
+  | Ok (Protocol.Result { id = rid; body; _ }) ->
+      if rid <> id then
+        violate st "%s: response id %d for request id %d" who rid id;
+      (match Hashtbl.find_opt st.expected variant with
+      | None -> Hashtbl.replace st.expected variant body
+      | Some prior ->
+          if not (String.equal prior body) then
+            violate st "%s: variant %d result body diverged across schedules"
+              who variant);
+      st.ok <- st.ok + 1
+  | Ok (Protocol.Overloaded _ | Protocol.Draining _) ->
+      (* flow control: legal, just not countable as served *)
+      st.structured <- st.structured + 1
+  | Ok other ->
+      violate st "%s: unexpected response %d to a clean optimize" who
+        (Protocol.response_id other)
+  | Error msg -> violate st "%s: undecodable response: %s" who msg
+
+(* One fresh-connection clean request that must be served: the liveness
+   probe run after every fault event — if the fault hurt the server,
+   this is where it shows. *)
+let clean_roundtrip st ~who ~socket ~graphs ~variant ~id =
+  match connect socket with
+  | exception Unix.Unix_error (e, _, _) ->
+      violate st "%s: server not accepting connections: %s" who
+        (Unix.error_message e)
+  | c ->
+      Fun.protect ~finally:(fun () -> disconnect c) @@ fun () ->
+      let payload, _ = optimize ~id ~variant ~graphs () in
+      st.requests <- st.requests + 1;
+      (try write_all c.fd (Protocol.frame payload)
+       with Unix.Unix_error (e, _, _) ->
+         violate st "%s: write to live server failed: %s" who
+           (Unix.error_message e));
+      (match read_response c ~timeout_s:10. with
+      | resp -> check_result st ~who ~id ~variant resp
+      | exception Await_timeout ->
+          violate st "%s: clean request %d timed out" who id
+      | exception Closed ->
+          violate st "%s: server closed a clean connection" who)
+
+(* A faulted request: any decodable response or a clean close is
+   acceptable; a response that fails to decode, or a crash of the
+   server, is not. *)
+let faulted_followup st ~who c =
+  (* short: a local server that will answer does so in well under this;
+     a desynchronized one never will, and 500-schedule sweeps cannot
+     afford to wait long to learn that *)
+  match read_response c ~timeout_s:0.1 with
+  | Ok _ -> st.structured <- st.structured + 1
+  | Error msg -> violate st "%s: mangled server response: %s" who msg
+  | exception Await_timeout -> st.desyncs <- st.desyncs + 1
+  | exception Closed -> st.closes <- st.closes + 1
+
+(* The poison-pill drill: a request whose options arm the worker-crash
+   point at rate 1.0 must crash two workers, come back as a structured
+   [Worker_crashed], and leave the server able to serve the very next
+   request on the same connection. *)
+let crash_drill st ~socket ~graphs ~schedule_i =
+  let who = Printf.sprintf "schedule %d (crash drill)" schedule_i in
+  st.crash_drills <- st.crash_drills + 1;
+  match connect socket with
+  | exception Unix.Unix_error (e, _, _) ->
+      violate st "%s: connect failed: %s" who (Unix.error_message e)
+  | c -> (
+      Fun.protect ~finally:(fun () -> disconnect c) @@ fun () ->
+      let options =
+        {
+          Protocol.default_options with
+          fault_seed = schedule_i;
+          fault_rate = 1.0;
+          fault_points = [ "worker-crash" ];
+        }
+      in
+      let payload, _ =
+        optimize ~id:7001 ~variant:(schedule_i mod 2) ~graphs ~options ()
+      in
+      st.requests <- st.requests + 1;
+      write_all c.fd (Protocol.frame payload);
+      (match read_response c ~timeout_s:10. with
+      | Ok (Protocol.Worker_crashed { id = 7001; _ }) -> ()
+      | Ok other ->
+          violate st "%s: expected Worker_crashed, got response %d" who
+            (Protocol.response_id other)
+      | Error msg -> violate st "%s: undecodable response: %s" who msg
+      | exception Await_timeout ->
+          violate st "%s: poison pill never answered" who
+      | exception Closed -> violate st "%s: connection closed" who);
+      (* the same connection must serve again: supervision restarted the
+         crashed workers *)
+      let payload, variant =
+        optimize ~id:7002 ~variant:((schedule_i + 1) mod 2) ~graphs ()
+      in
+      st.requests <- st.requests + 1;
+      write_all c.fd (Protocol.frame payload);
+      (match read_response c ~timeout_s:10. with
+      | resp -> check_result st ~who ~id:7002 ~variant resp
+      | exception Await_timeout ->
+          violate st "%s: post-crash request timed out" who
+      | exception Closed ->
+          violate st "%s: connection closed after poison pill" who);
+      (* and the supervisor must admit to the restarts *)
+      write_all c.fd
+        (Protocol.frame (Protocol.encode_request (Protocol.Health { id = 7003 })));
+      match read_response c ~timeout_s:10. with
+      | Ok (Protocol.Health_report { id = 7003; health }) ->
+          if health.Protocol.restarts < 1 then
+            violate st "%s: health reports no restarts after a poison pill" who;
+          if health.Protocol.poisoned < 1 then
+            violate st "%s: health reports no poisoned jobs" who
+      | Ok other ->
+          violate st "%s: expected Health_report, got response %d" who
+            (Protocol.response_id other)
+      | Error msg -> violate st "%s: undecodable health: %s" who msg
+      | exception Await_timeout -> violate st "%s: health timed out" who
+      | exception Closed -> violate st "%s: closed during health" who)
+
+(* The interleaving drill: several requests pipelined back-to-back on
+   one connection; every answer must be a whole, decodable frame and the
+   answer ids a permutation of the request ids — a torn or interleaved
+   server write fails both. *)
+let burst st ~socket ~graphs ~schedule_i =
+  let who = Printf.sprintf "schedule %d (burst)" schedule_i in
+  st.bursts <- st.bursts + 1;
+  match connect socket with
+  | exception Unix.Unix_error (e, _, _) ->
+      violate st "%s: connect failed: %s" who (Unix.error_message e)
+  | c ->
+      Fun.protect ~finally:(fun () -> disconnect c) @@ fun () ->
+      let n = 4 in
+      let sent =
+        List.init n (fun k ->
+            let id = 8000 + k in
+            let payload, variant =
+              optimize ~id ~variant:(k mod Array.length graphs) ~graphs ()
+            in
+            st.requests <- st.requests + 1;
+            write_all c.fd (Protocol.frame payload);
+            (id, variant))
+      in
+      let answered = Hashtbl.create n in
+      (try
+         for _ = 1 to n do
+           match read_response c ~timeout_s:10. with
+           | Ok resp -> Hashtbl.replace answered (Protocol.response_id resp) resp
+           | Error msg -> violate st "%s: undecodable response: %s" who msg
+         done
+       with
+      | Await_timeout -> violate st "%s: burst response timed out" who
+      | Closed -> violate st "%s: connection closed mid-burst" who);
+      List.iter
+        (fun (id, variant) ->
+          match Hashtbl.find_opt answered id with
+          | None -> violate st "%s: request %d never answered" who id
+          | Some resp -> check_result st ~who ~id ~variant (Ok resp))
+        sent
+
+(* One wire-fault schedule: a connection's worth of requests, each
+   frame passed through the fault point. *)
+let wire_schedule st ~socket ~graphs ~seed ~rate ~schedule_i =
+  let who = Printf.sprintf "schedule %d" schedule_i in
+  let sched =
+    Inject.seeded ~points:Inject.wire_points
+      ~seed:(seed + (7919 * schedule_i))
+      ~rate ()
+  in
+  let conn = ref None in
+  let ensure_conn () =
+    match !conn with
+    | Some c -> c
+    | None ->
+        let c = connect socket in
+        conn := Some c;
+        c
+  in
+  let drop_conn () =
+    (match !conn with Some c -> disconnect c | None -> ());
+    conn := None
+  in
+  Fun.protect ~finally:drop_conn @@ fun () ->
+  for k = 0 to 3 do
+    let id = (100 * schedule_i) + k in
+    let variant = k mod Array.length graphs in
+    let payload, _ = optimize ~id ~variant ~graphs () in
+    st.requests <- st.requests + 1;
+    match
+      let c = ensure_conn () in
+      (c, send_frame sched c payload)
+    with
+    | exception Unix.Unix_error (e, _, _) ->
+        violate st "%s: connect failed: %s" who (Unix.error_message e)
+    | _, Disconnected ->
+        st.faults <- st.faults + 1;
+        conn := None;
+        (* the fault must have cost only this connection *)
+        clean_roundtrip st ~who:(who ^ " (post-disconnect)") ~socket ~graphs
+          ~variant ~id:(id + 50)
+    | c, Torn ->
+        st.faults <- st.faults + 1;
+        (* complete the tear with a fresh frame: its bytes land inside
+           the torn frame's claimed payload, producing garbage the
+           server must answer or close on — never crash on *)
+        (try
+           write_all c.fd
+             (Protocol.frame
+                (Protocol.encode_request (Protocol.Health { id = id + 51 })))
+         with Unix.Unix_error _ -> ());
+        faulted_followup st ~who:(who ^ " (torn)") c;
+        drop_conn ()
+    | c, Corrupted ->
+        st.faults <- st.faults + 1;
+        faulted_followup st ~who:(who ^ " (corrupt)") c;
+        drop_conn ()
+    | c, Intact -> (
+        match read_response c ~timeout_s:10. with
+        | resp -> check_result st ~who ~id ~variant resp
+        | exception Await_timeout ->
+            violate st "%s: intact request %d timed out" who id
+        | exception Closed ->
+            violate st "%s: server closed on an intact frame" who)
+  done
+
+let run ?(schedules = 100) ?(seed = 42) ?(rate = 0.25) ~socket () =
+  let graphs = graphs ~variants:2 in
+  let st =
+    {
+      requests = 0;
+      ok = 0;
+      faults = 0;
+      structured = 0;
+      closes = 0;
+      desyncs = 0;
+      crash_drills = 0;
+      bursts = 0;
+      violations = [];
+      expected = Hashtbl.create 4;
+    }
+  in
+  (* prime the expected bodies with one clean cold request per variant
+     so every later comparison — cached or not — is against the cold
+     answer *)
+  Array.iteri
+    (fun v _ ->
+      clean_roundtrip st ~who:"prime" ~socket ~graphs ~variant:v ~id:(9100 + v))
+    graphs;
+  for i = 0 to schedules - 1 do
+    wire_schedule st ~socket ~graphs ~seed ~rate ~schedule_i:i;
+    if i mod 10 = 3 then crash_drill st ~socket ~graphs ~schedule_i:i;
+    if i mod 7 = 5 then burst st ~socket ~graphs ~schedule_i:i
+  done;
+  (* parting shot: the server must still be fully live *)
+  clean_roundtrip st ~who:"final" ~socket ~graphs ~variant:0 ~id:9999;
+  {
+    schedules;
+    requests = st.requests;
+    ok = st.ok;
+    faults = st.faults;
+    structured = st.structured;
+    closes = st.closes;
+    desyncs = st.desyncs;
+    crash_drills = st.crash_drills;
+    bursts = st.bursts;
+    violations = List.rev st.violations;
+  }

@@ -1,0 +1,55 @@
+(** Wire-level chaos harness ([pypmc chaos]).
+
+    Hammers a running server with deterministic, seeded fault
+    {e schedules} — each schedule is one connection's worth of requests
+    with faults applied to outbound frames at positions drawn from the
+    schedule's stream, so a failing seed replays exactly:
+
+    - {e torn frames} ([wire-partial]): a prefix of the frame followed
+      by another frame, whose bytes complete the tear as garbage;
+    - {e corrupt frames} ([wire-corrupt]): one byte flipped anywhere,
+      length prefix included;
+    - {e stalls} ([wire-stall]): the frame split around a pause —
+      intact, so the answer must still be valid;
+    - {e mid-request disconnects} ([wire-disconnect]): a prefix then an
+      abrupt close.
+
+    Interleaved with the wire schedules: {e crash drills} (a poison-pill
+    request armed with the [worker-crash] point must come back
+    [Worker_crashed], the same connection must serve the next request,
+    and the health probe must report the restarts) and {e pipelined
+    bursts} (back-to-back requests whose answers must all arrive whole,
+    ids a permutation of those sent).
+
+    The property checked, accumulated in [violations] (empty = holds):
+    the server never crashes or stops accepting; every response frame
+    decodes; intact requests are answered with matching ids; [Result]
+    bodies for the same graph are byte-identical across all schedules
+    (warm = cold = every seed); faulted connections end in a structured
+    answer, a clean close, or a client-abandoned desync — nothing
+    else. *)
+
+type report = {
+  schedules : int;
+  requests : int;  (** requests attempted, faulted and clean *)
+  ok : int;  (** valid, body-checked [Result] answers *)
+  faults : int;  (** frames a wire fault was applied to *)
+  structured : int;  (** structured non-[Result] answers observed *)
+  closes : int;  (** clean server closes after mangled input *)
+  desyncs : int;
+      (** faulted connections the server legitimately kept awaiting
+          (e.g. a tear inside the length prefix), abandoned by the
+          client *)
+  crash_drills : int;
+  bursts : int;
+  violations : string list;  (** empty iff the chaos property held *)
+}
+
+val pp : Format.formatter -> report -> unit
+
+(** [run ~socket ()] drives [schedules] (default 100) seeded fault
+    schedules at per-point rate [rate] (default 0.25) against the server
+    at [socket]. Deterministic in [seed] (default 42) apart from
+    latency. *)
+val run :
+  ?schedules:int -> ?seed:int -> ?rate:float -> socket:string -> unit -> report

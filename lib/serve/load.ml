@@ -3,6 +3,7 @@ module Codec = Pypm_serialize.Codec
 module Std_ops = Pypm_patterns.Std_ops
 module Transformer = Pypm_models.Transformer
 module Obs = Pypm_obs.Obs
+module Inject = Pypm_resilience.Resilience.Inject
 
 type result = {
   requests : int;
@@ -11,6 +12,11 @@ type result = {
   overloaded : int;
   protocol_errors : int;
   pass_fatals : int;
+  worker_crashes : int;
+  deadlines : int;
+  drained : int;
+  reconnects : int;
+  timeouts : int;
   wall_s : float;
   throughput : float;
   p50_ms : float;
@@ -26,11 +32,28 @@ type tally = {
   mutable t_over : int;
   mutable t_perr : int;
   mutable t_fatal : int;
+  mutable t_crash : int;
+  mutable t_dead : int;
+  mutable t_drain : int;
+  mutable t_reconn : int;
+  mutable t_timeout : int;
   mutable t_lat : float list;  (* seconds per answered request *)
 }
 
 let fresh_tally () =
-  { t_ok = 0; t_cached = 0; t_over = 0; t_perr = 0; t_fatal = 0; t_lat = [] }
+  {
+    t_ok = 0;
+    t_cached = 0;
+    t_over = 0;
+    t_perr = 0;
+    t_fatal = 0;
+    t_crash = 0;
+    t_dead = 0;
+    t_drain = 0;
+    t_reconn = 0;
+    t_timeout = 0;
+    t_lat = [];
+  }
 
 (* The request mix: a small pool of distinct model graphs per client,
    cycled deterministically from the seed. Distinct clients build the
@@ -62,29 +85,75 @@ let write_all fd s =
   in
   go 0
 
+(* Jittered exponential backoff for sheds, drains and transient socket
+   failures: base * 2^k, capped, scaled by a uniform draw in [0.5, 1.0)
+   from the client's deterministic stream — clients that shed together
+   must not retry together. *)
+let backoff_s rng k =
+  let exp = Float.min 0.1 (0.002 *. Float.pow 2. (Float.of_int k)) in
+  exp *. (0.5 +. (0.5 *. Inject.roll rng))
+
+exception Request_timeout
+exception Conn_lost of string
+
 (* One client: a blocking request/response loop on its own connection.
-   Send, await the matching frame, record the verdict; [Overloaded] is
-   retried a few times with a tiny backoff (shed is flow control, not
-   failure). *)
-let client ~socket ~seed ~requests ~program ~variants ~options tally =
-  let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
-  Fun.protect ~finally:(fun () -> try Unix.close fd with Unix.Unix_error _ -> ())
-  @@ fun () ->
-  Unix.connect fd (Unix.ADDR_UNIX socket);
+   Send, await the matching frame under a per-request timeout, record
+   the verdict. [Overloaded]/[Draining] answers are retried with
+   jittered backoff (shed and drain are flow control, not failure); a
+   broken or timed-out socket is abandoned and reconnected — the server
+   may have crashed, drained away, or been restarted underneath us. *)
+let client ~socket ~seed ~requests ~program ~variants ~options ~timeout_s tally =
+  let rng = Inject.seeded ~seed:(seed + 0x5eed) ~rate:0. () in
+  let fd = ref None in
+  let reader = ref (Protocol.Reader.create ()) in
+  let buf = Bytes.create 65536 in
+  let close_conn () =
+    (match !fd with
+    | Some f -> ( try Unix.close f with Unix.Unix_error _ -> ())
+    | None -> ());
+    fd := None
+  in
+  let connect () =
+    match !fd with
+    | Some f -> f
+    | None ->
+        let f = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+        (match Unix.connect f (Unix.ADDR_UNIX socket) with
+        | () -> ()
+        | exception Unix.Unix_error (e, _, _) ->
+            (try Unix.close f with Unix.Unix_error _ -> ());
+            raise (Conn_lost (Unix.error_message e)));
+        (* a fresh connection means a fresh deframer: bytes buffered
+           from the dead one would desynchronize every later frame *)
+        reader := Protocol.Reader.create ();
+        fd := Some f;
+        f
+  in
+  Fun.protect ~finally:close_conn @@ fun () ->
   let pool = graph_pool ~seed ~variants in
   let n_pool = List.length pool in
-  let reader = Protocol.Reader.create () in
-  let buf = Bytes.create 65536 in
-  let rec read_response () =
-    match Protocol.Reader.next reader with
-    | `Frame payload -> Protocol.decode_response payload
-    | `Error msg -> Error msg
-    | `Await -> (
-        match Unix.read fd buf 0 (Bytes.length buf) with
-        | 0 -> Error "connection closed mid-response"
-        | n ->
-            Protocol.Reader.feed reader (Bytes.sub_string buf 0 n);
-            read_response ())
+  let read_response f ~deadline =
+    let rec go () =
+      match Protocol.Reader.next !reader with
+      | `Frame payload -> Protocol.decode_response payload
+      | `Error msg -> raise (Conn_lost msg)
+      | `Await ->
+          let remaining = deadline -. Obs.monotonic () in
+          if remaining <= 0. then raise Request_timeout;
+          let readable =
+            match Unix.select [ f ] [] [] remaining with
+            | r, _, _ -> r
+            | exception Unix.Unix_error (Unix.EINTR, _, _) -> []
+          in
+          if readable = [] then raise Request_timeout;
+          (match Unix.read f buf 0 (Bytes.length buf) with
+          | 0 -> raise (Conn_lost "connection closed mid-response")
+          | n -> Protocol.Reader.feed !reader (Bytes.sub_string buf 0 n)
+          | exception Unix.Unix_error (e, _, _) ->
+              raise (Conn_lost (Unix.error_message e)));
+          go ()
+    in
+    go ()
   in
   for i = 0 to requests - 1 do
     let graph = List.nth pool (i mod n_pool) in
@@ -93,11 +162,23 @@ let client ~socket ~seed ~requests ~program ~variants ~options tally =
         { id = i; program = Protocol.Named program; options; graph }
     in
     let rec attempt tries =
+      let retry () =
+        if tries < 25 then begin
+          Unix.sleepf (backoff_s rng tries);
+          attempt (tries + 1)
+        end
+      in
       (* monotonic: a wall-clock step (NTP) mid-request would otherwise
          produce a negative or wildly wrong latency sample *)
       let t0 = Obs.monotonic () in
-      write_all fd (Protocol.frame (Protocol.encode_request req));
-      match read_response () with
+      match
+        let f = connect () in
+        (match write_all f (Protocol.frame (Protocol.encode_request req)) with
+        | () -> ()
+        | exception Unix.Unix_error (e, _, _) ->
+            raise (Conn_lost (Unix.error_message e)));
+        read_response f ~deadline:(t0 +. timeout_s)
+      with
       | Ok (Protocol.Result { cached; body; _ }) ->
           tally.t_lat <- (Obs.monotonic () -. t0) :: tally.t_lat;
           tally.t_ok <- tally.t_ok + 1;
@@ -109,13 +190,36 @@ let client ~socket ~seed ~requests ~program ~variants ~options tally =
           | Error _ -> tally.t_perr <- tally.t_perr + 1)
       | Ok (Protocol.Overloaded _) ->
           tally.t_over <- tally.t_over + 1;
-          if tries < 20 then begin
-            Unix.sleepf 0.002;
-            attempt (tries + 1)
-          end
-      | Ok (Protocol.Bad_request _ | Protocol.Server_error _)
-      | Ok (Protocol.Stats_report _) | Error _ ->
+          retry ()
+      | Ok (Protocol.Draining _) ->
+          (* drain is flow control too: back off and retry — by the
+             bounded-retry horizon a successor server may be accepting *)
+          tally.t_drain <- tally.t_drain + 1;
+          close_conn ();
+          retry ()
+      | Ok (Protocol.Worker_crashed _) ->
+          (* the request is quarantined as a poison pill; retrying it
+             would just crash another worker *)
+          tally.t_crash <- tally.t_crash + 1
+      | Ok (Protocol.Deadline_exceeded _) ->
+          (* terminal: the server gave up on this job; a retry would eat
+             another full deadline *)
+          tally.t_dead <- tally.t_dead + 1
+      | Ok
+          ( Protocol.Bad_request _ | Protocol.Server_error _
+          | Protocol.Stats_report _ | Protocol.Health_report _ )
+      | Error _ ->
           tally.t_perr <- tally.t_perr + 1
+      | exception Request_timeout ->
+          (* the response may still arrive on this connection and would
+             then answer the wrong request — abandon the socket *)
+          tally.t_timeout <- tally.t_timeout + 1;
+          close_conn ();
+          retry ()
+      | exception Conn_lost _ ->
+          tally.t_reconn <- tally.t_reconn + 1;
+          close_conn ();
+          retry ()
     in
     attempt 0
   done
@@ -133,9 +237,11 @@ let percentile sorted p =
       sorted.(max 0 (min (n - 1) idx))
 
 let run ~socket ~clients ~requests ~seed ?(program = "both") ?(variants = 4)
-    ?(options = Protocol.default_options) () =
+    ?(options = Protocol.default_options) ?(request_timeout_s = 30.) () =
   if clients <= 0 then invalid_arg "Load.run: clients must be > 0";
   if requests <= 0 then invalid_arg "Load.run: requests must be > 0";
+  if request_timeout_s <= 0. then
+    invalid_arg "Load.run: request_timeout_s must be > 0";
   (* [requests] is the total; split as evenly as the count allows *)
   let share i = (requests / clients) + (if i < requests mod clients then 1 else 0) in
   let t0 = Obs.monotonic () in
@@ -145,18 +251,16 @@ let run ~socket ~clients ~requests ~seed ?(program = "both") ?(variants = 4)
         let d =
           Domain.spawn (fun () ->
               client ~socket ~seed:(seed + (1000 * i)) ~requests:(share i)
-                ~program ~variants ~options tally;
+                ~program ~variants ~options ~timeout_s:request_timeout_s tally;
               tally)
         in
         d)
   in
   let tallies = List.map Domain.join workers in
   let wall_s = Obs.monotonic () -. t0 in
-  let ok = List.fold_left (fun a t -> a + t.t_ok) 0 tallies in
-  let cached = List.fold_left (fun a t -> a + t.t_cached) 0 tallies in
-  let overloaded = List.fold_left (fun a t -> a + t.t_over) 0 tallies in
-  let protocol_errors = List.fold_left (fun a t -> a + t.t_perr) 0 tallies in
-  let pass_fatals = List.fold_left (fun a t -> a + t.t_fatal) 0 tallies in
+  let sum f = List.fold_left (fun a t -> a + f t) 0 tallies in
+  let ok = sum (fun t -> t.t_ok) in
+  let cached = sum (fun t -> t.t_cached) in
   let lats =
     Array.of_list (List.concat_map (fun t -> t.t_lat) tallies)
   in
@@ -171,9 +275,14 @@ let run ~socket ~clients ~requests ~seed ?(program = "both") ?(variants = 4)
     requests;
     ok;
     cached;
-    overloaded;
-    protocol_errors;
-    pass_fatals;
+    overloaded = sum (fun t -> t.t_over);
+    protocol_errors = sum (fun t -> t.t_perr);
+    pass_fatals = sum (fun t -> t.t_fatal);
+    worker_crashes = sum (fun t -> t.t_crash);
+    deadlines = sum (fun t -> t.t_dead);
+    drained = sum (fun t -> t.t_drain);
+    reconnects = sum (fun t -> t.t_reconn);
+    timeouts = sum (fun t -> t.t_timeout);
     wall_s;
     throughput = (if wall_s > 0. then float_of_int ok /. wall_s else 0.);
     p50_ms = percentile lats 50. *. 1000.;
@@ -187,9 +296,11 @@ let pp ppf r =
   Format.fprintf ppf
     "@[<v>load: %d request(s), %d ok (%d cached, %.0f%% hit rate), %d \
      overload retr%s, %d protocol error(s), %d pass fatal(s)@,\
+     resilience: %d worker crash(es), %d deadline(s), %d drain \
+     answer(s), %d reconnect(s), %d timeout(s)@,\
      wall %.3f s, %.1f req/s@,\
      latency p50 %.2f ms, p95 %.2f ms, p99 %.2f ms@]"
     r.requests r.ok r.cached (r.hit_rate *. 100.) r.overloaded
     (if r.overloaded = 1 then "y" else "ies")
-    r.protocol_errors r.pass_fatals r.wall_s r.throughput r.p50_ms r.p95_ms
-    r.p99_ms
+    r.protocol_errors r.pass_fatals r.worker_crashes r.deadlines r.drained
+    r.reconnects r.timeouts r.wall_s r.throughput r.p50_ms r.p95_ms r.p99_ms

@@ -3,12 +3,19 @@
     Spawns N client domains against a running server. Each client opens
     its own connection, builds a small pool of transformer graphs
     deterministically from its seed, and issues blocking
-    request/response rounds. Distinct clients build the same model
-    configurations against their own environments — different fresh
-    symbols, identical fingerprints — so cross-client cache hits are
-    part of what the harness measures. [Overloaded] answers are retried
-    with a small backoff (shedding is flow control, not failure) and
-    counted. *)
+    request/response rounds under a per-request timeout. Distinct
+    clients build the same model configurations against their own
+    environments — different fresh symbols, identical fingerprints — so
+    cross-client cache hits are part of what the harness measures.
+
+    Flow-control answers ([Overloaded], [Draining]) and transient socket
+    failures (broken connection, per-request timeout) are retried with
+    jittered exponential backoff — jittered from the client's
+    deterministic stream, so clients that shed together do not retry
+    together; a broken socket is abandoned and reconnected, which rides
+    out a server crash-restart or drain-handover. [Worker_crashed] and
+    [Deadline_exceeded] are terminal structured answers: counted
+    separately, never retried, and {e not} protocol errors. *)
 
 type result = {
   requests : int;  (** total requested *)
@@ -19,6 +26,11 @@ type result = {
       (** undecodable frames/bodies, unexpected response kinds,
           [Bad_request], [Server_error] *)
   pass_fatals : int;  (** outcomes whose pass ended with [fatal] *)
+  worker_crashes : int;  (** [Worker_crashed] answers (poison pills) *)
+  deadlines : int;  (** [Deadline_exceeded] answers (watchdog reaps) *)
+  drained : int;  (** [Draining] answers observed before retrying *)
+  reconnects : int;  (** connections abandoned after a socket failure *)
+  timeouts : int;  (** requests that hit the per-request timeout *)
   wall_s : float;
   throughput : float;  (** ok responses per second *)
   p50_ms : float;
@@ -33,7 +45,10 @@ type result = {
     distinct graphs each client cycles through (default 4) — the
     cache-miss pressure knob: low values measure the cache, high values
     measure the workers; [options] defaults to
-    {!Pypm_serialize.Protocol.default_options} (plan engine). *)
+    {!Pypm_serialize.Protocol.default_options} (plan engine);
+    [request_timeout_s] (default 30) bounds each send-to-answer round,
+    after which the connection is abandoned and the request retried on a
+    fresh one. *)
 val run :
   socket:string ->
   clients:int ->
@@ -42,6 +57,7 @@ val run :
   ?program:string ->
   ?variants:int ->
   ?options:Pypm_serialize.Protocol.options ->
+  ?request_timeout_s:float ->
   unit ->
   result
 

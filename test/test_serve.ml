@@ -132,6 +132,7 @@ let test_protocol_request_roundtrip () =
           graph = "";
         };
       Protocol.Stats { id = 9 };
+      Protocol.Health { id = 10 };
     ]
 
 let test_protocol_response_roundtrip () =
@@ -156,6 +157,18 @@ let test_protocol_response_roundtrip () =
       Protocol.Overloaded { id = 3 };
       Protocol.Bad_request { id = 4; reason = "no such engine" };
       Protocol.Server_error { id = 5; reason = "boom" };
+      Protocol.Deadline_exceeded { id = 6; elapsed_s = 2.5 };
+      Protocol.Draining { id = 7 };
+      Protocol.Worker_crashed { id = 8; reason = "Injected_crash" };
+      Protocol.Health_report
+        {
+          id = 9;
+          health =
+            {
+              Protocol.status = "draining"; uptime_s = 12.5; workers_alive = 3;
+              workers_total = 4; restarts = 2; poisoned = 1; inflight = 5;
+            };
+        };
     ]
   [@@ocamlformat "disable"]
 
@@ -241,6 +254,32 @@ let test_reader_oversize_sticky () =
   | `Error _ -> ()
   | `Frame _ | `Await -> Alcotest.fail "reader error is not sticky"
 
+(* Regression: a 9-byte length varint whose last byte lands bits in the
+   sign position (8 continuation bytes then 0x40: 0x40 lsl 56 wraps to
+   min_int) made the accumulated "length" negative, which sailed under
+   the [> max_frame] check and reached [Buffer.sub] as an
+   [Invalid_argument] escaping into the accept loop. It must be a
+   structured sticky error instead — before any allocation. *)
+let test_reader_varint_overflow_rejected () =
+  let r = Protocol.Reader.create () in
+  Protocol.Reader.feed r (String.make 8 '\x80' ^ "\x40");
+  (match Protocol.Reader.next r with
+  | `Error _ -> ()
+  | `Frame _ -> Alcotest.fail "negative frame length produced a frame"
+  | `Await -> Alcotest.fail "negative frame length left the reader awaiting");
+  (* a merely-huge positive length is rejected just the same *)
+  let r2 = Protocol.Reader.create () in
+  Protocol.Reader.feed r2 "\xff\xff\xff\xff\x7f";
+  (match Protocol.Reader.next r2 with
+  | `Error _ -> ()
+  | `Frame _ | `Await -> Alcotest.fail "absurd frame length not rejected");
+  (* and a varint that never terminates dies at the shift bound *)
+  let r3 = Protocol.Reader.create () in
+  Protocol.Reader.feed r3 (String.make 12 '\xff');
+  match Protocol.Reader.next r3 with
+  | `Error _ -> ()
+  | `Frame _ | `Await -> Alcotest.fail "over-long varint not rejected"
+
 (* ------------------------------------------------------------------ *)
 (* In-process server                                                   *)
 (* ------------------------------------------------------------------ *)
@@ -248,10 +287,25 @@ let test_reader_oversize_sticky () =
 let test_socket name = Filename.concat (Filename.get_temp_dir_name ())
     (Printf.sprintf "pypm-test-%s-%d.sock" name (Unix.getpid ()))
 
-(* Run [f client_fd] against a live server; shuts the server down and
-   joins its domain afterwards even if [f] fails. *)
-let with_server ?(workers = 2) ?(queue_bound = 64) ?(cache_bytes = 1 lsl 20)
-    name f =
+let test_config ?(workers = 2) ?(queue_bound = 64) ?(cache_bytes = 1 lsl 20)
+    ?(job_deadline_s = Some 300.) ?(drain_timeout_s = 5.)
+    ?(restart_budget = 10_000) socket_path =
+  {
+    Server.socket_path;
+    workers;
+    queue_bound;
+    cache_bytes;
+    max_frame_bytes = 1 lsl 20;
+    job_deadline_s;
+    drain_timeout_s;
+    restart_budget;
+  }
+
+(* Run [f socket_path] against a live server; shuts the server down and
+   joins its domain afterwards even if [f] fails, and asserts the run
+   itself ended [Ok]. *)
+let with_server_path ?workers ?queue_bound ?cache_bytes ?job_deadline_s
+    ?drain_timeout_s ?restart_budget name f =
   let socket_path = test_socket name in
   let stopping = Atomic.make false in
   let ready = Atomic.make false in
@@ -260,18 +314,29 @@ let with_server ?(workers = 2) ?(queue_bound = 64) ?(cache_bytes = 1 lsl 20)
         Server.run
           ~on_ready:(fun () -> Atomic.set ready true)
           ~stop:(fun () -> Atomic.get stopping)
-          { Server.socket_path; workers; queue_bound; cache_bytes })
+          (test_config ?workers ?queue_bound ?cache_bytes ?job_deadline_s
+             ?drain_timeout_s ?restart_budget socket_path))
   in
   Fun.protect
     ~finally:(fun () ->
       Atomic.set stopping true;
-      Domain.join srv)
+      match Domain.join srv with
+      | Ok () -> ()
+      | Error msg -> Alcotest.fail ("server exited with: " ^ msg))
   @@ fun () ->
   let deadline = Unix.gettimeofday () +. 10. in
   while (not (Atomic.get ready)) && Unix.gettimeofday () < deadline do
     Unix.sleepf 0.005
   done;
   checkb "server came up" true (Atomic.get ready);
+  f socket_path
+
+(* Same, handing [f] one connected client fd. *)
+let with_server ?workers ?queue_bound ?cache_bytes ?job_deadline_s
+    ?drain_timeout_s ?restart_budget name f =
+  with_server_path ?workers ?queue_bound ?cache_bytes ?job_deadline_s
+    ?drain_timeout_s ?restart_budget name
+  @@ fun socket_path ->
   let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
   Fun.protect
     ~finally:(fun () -> try Unix.close fd with Unix.Unix_error _ -> ())
@@ -459,6 +524,328 @@ let test_server_cache_eviction_bound () =
   | r -> Alcotest.failf "unexpected response %d" (Protocol.response_id r)
 
 (* ------------------------------------------------------------------ *)
+(* Supervision, watchdog, drain, health                                *)
+(* ------------------------------------------------------------------ *)
+
+let test_server_health_probe () =
+  with_server "health" @@ fun fd ->
+  let reader = Protocol.Reader.create () in
+  match roundtrip reader fd (Protocol.Health { id = 42 }) with
+  | Protocol.Health_report { id; health } ->
+      checki "echoes the id" 42 id;
+      checks "status ok" "ok" health.Protocol.status;
+      checki "all workers alive" 2 health.Protocol.workers_alive;
+      checki "worker total" 2 health.Protocol.workers_total;
+      checki "no restarts yet" 0 health.Protocol.restarts;
+      checki "nothing poisoned" 0 health.Protocol.poisoned;
+      checki "nothing in flight" 0 health.Protocol.inflight;
+      checkb "uptime sane" true (health.Protocol.uptime_s >= 0.)
+  | r -> Alcotest.failf "unexpected response %d" (Protocol.response_id r)
+
+(* The supervision tentpole end-to-end: a poison-pill request crashes a
+   worker, is retried, crashes the replacement's sibling, and comes back
+   as a structured [Worker_crashed] — while the supervisor restarts the
+   dead workers and the very same connection keeps serving. *)
+let test_server_worker_crash_restart () =
+  with_server "crash" @@ fun fd ->
+  let reader = Protocol.Reader.create () in
+  let opts =
+    {
+      Protocol.default_options with
+      Protocol.fault_seed = 3;
+      fault_rate = 1.0;
+      fault_points = [ "worker-crash" ];
+    }
+  in
+  (match
+     roundtrip reader fd (optimize ~id:1 ~options:opts (encoded_test_graph ()))
+   with
+  | Protocol.Worker_crashed { id; reason } ->
+      checki "poison pill echoes the id" 1 id;
+      checkb "reason is populated" true (String.length reason > 0)
+  | r -> Alcotest.failf "unexpected response %d" (Protocol.response_id r));
+  (* same connection, clean request: supervision must have restarted the
+     crashed workers *)
+  (match roundtrip reader fd (optimize ~id:2 (encoded_test_graph ())) with
+  | Protocol.Result { id; _ } -> checki "post-crash request served" 2 id
+  | r -> Alcotest.failf "unexpected response %d" (Protocol.response_id r));
+  match roundtrip reader fd (Protocol.Health { id = 3 }) with
+  | Protocol.Health_report { health; _ } ->
+      checkb "restarts recorded" true (health.Protocol.restarts >= 1);
+      checki "one poisoned job" 1 health.Protocol.poisoned;
+      checki "workers recovered" 2 health.Protocol.workers_alive
+  | r -> Alcotest.failf "unexpected response %d" (Protocol.response_id r)
+
+(* Restart budget exhausted: the lone worker dies, cannot come back, the
+   stranded job is failed closed and later submissions shed. *)
+let test_server_restart_budget_exhausted () =
+  with_server ~workers:1 ~restart_budget:0 "budget" @@ fun fd ->
+  let reader = Protocol.Reader.create () in
+  let opts =
+    {
+      Protocol.default_options with
+      Protocol.fault_seed = 5;
+      fault_rate = 1.0;
+      fault_points = [ "worker-crash" ];
+    }
+  in
+  (match
+     roundtrip reader fd (optimize ~id:1 ~options:opts (encoded_test_graph ()))
+   with
+  | Protocol.Worker_crashed { id; _ } -> checki "job failed closed" 1 id
+  | r -> Alcotest.failf "unexpected response %d" (Protocol.response_id r));
+  (* no worker left, no budget: admission refuses rather than accepting
+     work that can never run *)
+  (match roundtrip reader fd (optimize ~id:2 (encoded_test_graph ())) with
+  | Protocol.Overloaded { id } -> checki "submission shed" 2 id
+  | r -> Alcotest.failf "unexpected response %d" (Protocol.response_id r));
+  match roundtrip reader fd (Protocol.Health { id = 3 }) with
+  | Protocol.Health_report { health; _ } ->
+      checki "no workers alive" 0 health.Protocol.workers_alive;
+      checki "no restarts granted" 0 health.Protocol.restarts
+  | r -> Alcotest.failf "unexpected response %d" (Protocol.response_id r)
+
+(* The deadline watchdog: a stalled job is reaped with
+   [Deadline_exceeded] near the configured budget, not after the stall
+   ends — and the worker's late completion is discarded, not re-sent. *)
+let test_server_deadline_watchdog () =
+  with_server ~job_deadline_s:(Some 0.2) "watchdog" @@ fun fd ->
+  let reader = Protocol.Reader.create () in
+  let opts =
+    {
+      Protocol.default_options with
+      Protocol.fault_seed = 7;
+      fault_rate = 1.0;
+      fault_points = [ "serve-stall" ];
+    }
+  in
+  let t0 = Unix.gettimeofday () in
+  (match
+     roundtrip reader fd (optimize ~id:1 ~options:opts (encoded_test_graph ()))
+   with
+  | Protocol.Deadline_exceeded { id; elapsed_s } ->
+      checki "reap echoes the id" 1 id;
+      checkb "elapsed reflects the deadline" true (elapsed_s >= 0.2);
+      (* the stall is 0.75 s; the reap must not have waited it out *)
+      checkb "reaped before the stall ended" true
+        (Unix.gettimeofday () -. t0 < 0.7)
+  | r -> Alcotest.failf "unexpected response %d" (Protocol.response_id r));
+  (* the stalled worker eventually finishes its discarded job and the
+     connection serves on *)
+  match roundtrip reader fd (optimize ~id:2 (encoded_test_graph ())) with
+  | Protocol.Result { id; _ } -> checki "post-reap request served" 2 id
+  | r -> Alcotest.failf "unexpected response %d" (Protocol.response_id r)
+
+(* Graceful drain: with a job in flight, the drain hook flips; new work
+   is answered [Draining], health reports draining, the in-flight job
+   still completes, and the server exits on its own — no stop signal. *)
+let test_server_graceful_drain () =
+  let socket_path = test_socket "drain" in
+  let ready = Atomic.make false in
+  let drain = Atomic.make false in
+  let srv =
+    Domain.spawn (fun () ->
+        Server.run
+          ~on_ready:(fun () -> Atomic.set ready true)
+          ~drain:(fun () -> Atomic.get drain)
+          (test_config ~drain_timeout_s:5. socket_path))
+  in
+  let deadline = Unix.gettimeofday () +. 10. in
+  while (not (Atomic.get ready)) && Unix.gettimeofday () < deadline do
+    Unix.sleepf 0.005
+  done;
+  checkb "server came up" true (Atomic.get ready);
+  let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+  Fun.protect
+    ~finally:(fun () -> try Unix.close fd with Unix.Unix_error _ -> ())
+  @@ fun () ->
+  Unix.connect fd (Unix.ADDR_UNIX socket_path);
+  let reader = Protocol.Reader.create () in
+  (* hold the server open across the drain with a stalled in-flight job *)
+  let stall =
+    {
+      Protocol.default_options with
+      Protocol.fault_seed = 9;
+      fault_rate = 1.0;
+      fault_points = [ "serve-stall" ];
+    }
+  in
+  write_all fd
+    (Protocol.frame
+       (Protocol.encode_request
+          (optimize ~id:1 ~options:stall (encoded_test_graph ()))));
+  Unix.sleepf 0.15;
+  (* a worker holds job 1 now *)
+  Atomic.set drain true;
+  Unix.sleepf 0.3;
+  (* the loop has noticed: new optimize work is refused... *)
+  write_all fd
+    (Protocol.frame
+       (Protocol.encode_request (optimize ~id:2 (encoded_test_graph ()))));
+  (* ...while health is still answered *)
+  write_all fd
+    (Protocol.frame (Protocol.encode_request (Protocol.Health { id = 3 })));
+  let seen_draining = ref false
+  and seen_health = ref false
+  and seen_result = ref false in
+  for _ = 1 to 3 do
+    match read_response reader fd with
+    | Protocol.Draining { id } ->
+        checki "draining echoes the id" 2 id;
+        seen_draining := true
+    | Protocol.Health_report { id; health } ->
+        checki "health echoes the id" 3 id;
+        checks "status draining" "draining" health.Protocol.status;
+        seen_health := true
+    | Protocol.Result { id; _ } ->
+        checki "the in-flight job still completed" 1 id;
+        seen_result := true
+    | r -> Alcotest.failf "unexpected response %d" (Protocol.response_id r)
+  done;
+  checkb "optimize during drain answered Draining" true !seen_draining;
+  checkb "health during drain answered" true !seen_health;
+  checkb "in-flight job served during drain" true !seen_result;
+  (* the server exits by itself once in-flight work is gone *)
+  match Domain.join srv with
+  | Ok () -> ()
+  | Error msg -> Alcotest.fail ("drain exit: " ^ msg)
+
+(* ------------------------------------------------------------------ *)
+(* Startup probe                                                       *)
+(* ------------------------------------------------------------------ *)
+
+let test_server_stale_socket_reclaimed () =
+  let socket_path = test_socket "stale" in
+  (* leave a stale socket file behind, as a crashed server would: bound,
+     never unlinked, nobody listening *)
+  let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+  Unix.bind fd (Unix.ADDR_UNIX socket_path);
+  Unix.close fd;
+  checkb "stale socket file exists" true (Sys.file_exists socket_path);
+  (* the server must reclaim it and come up *)
+  with_server "stale" @@ fun live_fd ->
+  let reader = Protocol.Reader.create () in
+  match roundtrip reader live_fd (Protocol.Health { id = 1 }) with
+  | Protocol.Health_report _ -> ()
+  | r -> Alcotest.failf "unexpected response %d" (Protocol.response_id r)
+
+let test_server_live_socket_refused () =
+  with_server_path "live" @@ fun socket_path ->
+  (* a second server on the same path must refuse with a structured
+     error — and must NOT unlink the live server's socket *)
+  (match Server.run ~stop:(fun () -> true) (test_config socket_path) with
+  | Error msg ->
+      checkb "error names the conflict" true
+        (String.length msg > 0
+        && String.lowercase_ascii msg |> fun m ->
+           let has sub =
+             let n = String.length m and k = String.length sub in
+             let rec go i = i + k <= n && (String.sub m i k = sub || go (i + 1)) in
+             go 0
+           in
+           has "already" || has "in use")
+  | Ok () -> Alcotest.fail "second server started on a live socket");
+  (* the first server is unharmed *)
+  let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+  Fun.protect
+    ~finally:(fun () -> try Unix.close fd with Unix.Unix_error _ -> ())
+  @@ fun () ->
+  Unix.connect fd (Unix.ADDR_UNIX socket_path);
+  let reader = Protocol.Reader.create () in
+  match roundtrip reader fd (Protocol.Health { id = 1 }) with
+  | Protocol.Health_report _ -> ()
+  | r -> Alcotest.failf "unexpected response %d" (Protocol.response_id r)
+
+let test_server_nonsocket_path_refused () =
+  let path = test_socket "notsock" in
+  let oc = open_out path in
+  output_string oc "precious user data";
+  close_out oc;
+  Fun.protect ~finally:(fun () -> try Sys.remove path with Sys_error _ -> ())
+  @@ fun () ->
+  (match Server.run ~stop:(fun () -> true) (test_config path) with
+  | Error _ -> ()
+  | Ok () -> Alcotest.fail "server started over a regular file");
+  (* and the file was not unlinked *)
+  checkb "non-socket file untouched" true (Sys.file_exists path)
+
+(* ------------------------------------------------------------------ *)
+(* Adversarial wire input                                              *)
+(* ------------------------------------------------------------------ *)
+
+(* A request frame truncated at every byte boundary, each on its own
+   connection that then vanishes: the server must survive every prefix
+   and keep serving. *)
+let test_server_truncation_every_boundary () =
+  with_server "trunc" @@ fun fd ->
+  let socket_path = test_socket "trunc" in
+  let frame =
+    Protocol.frame
+      (Protocol.encode_request (optimize ~id:1 (encoded_test_graph ())))
+  in
+  let n = String.length frame in
+  for cut = 0 to n - 1 do
+    let c = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+    (match Unix.connect c (Unix.ADDR_UNIX socket_path) with
+    | () ->
+        (try write_all c (String.sub frame 0 cut)
+         with Unix.Unix_error _ -> ());
+        (try Unix.close c with Unix.Unix_error _ -> ())
+    | exception Unix.Unix_error (e, _, _) ->
+        (try Unix.close c with Unix.Unix_error _ -> ());
+        Alcotest.failf "connect refused at cut %d: %s" cut
+          (Unix.error_message e))
+  done;
+  (* the server took no damage from any prefix *)
+  let reader = Protocol.Reader.create () in
+  match roundtrip reader fd (optimize ~id:2 (encoded_test_graph ())) with
+  | Protocol.Result { id; _ } -> checki "server survived every prefix" 2 id
+  | r -> Alcotest.failf "unexpected response %d" (Protocol.response_id r)
+
+(* Clients that send a whole request and hang up before the answer: the
+   worker's write hits EPIPE on a dead peer. No crash, no fd leak that
+   would poison later connections, and stats still count the work. *)
+let test_server_client_vanishes_before_answer () =
+  with_server "vanish" @@ fun fd ->
+  let socket_path = test_socket "vanish" in
+  for i = 0 to 7 do
+    let c = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+    Unix.connect c (Unix.ADDR_UNIX socket_path);
+    let g = encoded_test_graph ~name:(Printf.sprintf "gone%d" i) () in
+    write_all c (Protocol.frame (Protocol.encode_request (optimize ~id:i g)));
+    Unix.close c
+  done;
+  (* give the workers time to compute into the dead sockets *)
+  Unix.sleepf 0.5;
+  let reader = Protocol.Reader.create () in
+  (match roundtrip reader fd (optimize ~id:100 (encoded_test_graph ())) with
+  | Protocol.Result { id; _ } -> checki "server survived EPIPE writes" 100 id
+  | r -> Alcotest.failf "unexpected response %d" (Protocol.response_id r));
+  match roundtrip reader fd (Protocol.Health { id = 101 }) with
+  | Protocol.Health_report { health; _ } ->
+      (* every admitted job must have been retired: no leaked pending
+         refcounts masquerading as in-flight work *)
+      checki "no stuck in-flight jobs" 0 health.Protocol.inflight
+  | r -> Alcotest.failf "unexpected response %d" (Protocol.response_id r)
+
+(* ------------------------------------------------------------------ *)
+(* Chaos                                                               *)
+(* ------------------------------------------------------------------ *)
+
+let test_chaos_property () =
+  with_server_path ~workers:2 "chaos" @@ fun socket_path ->
+  let r = Chaos.run ~schedules:25 ~seed:11 ~socket:socket_path () in
+  (match r.Chaos.violations with
+  | [] -> ()
+  | v ->
+      Alcotest.failf "%d chaos violation(s):\n  %s" (List.length v)
+        (String.concat "\n  " v));
+  checkb "wire faults were exercised" true (r.Chaos.faults > 0);
+  checkb "clean requests were served" true (r.Chaos.ok > 0);
+  checkb "crash drills ran" true (r.Chaos.crash_drills > 0);
+  checkb "bursts ran" true (r.Chaos.bursts > 0)
+
+(* ------------------------------------------------------------------ *)
 (* Load: latency percentiles                                           *)
 (* ------------------------------------------------------------------ *)
 
@@ -520,6 +907,8 @@ let () =
             test_reader_any_split;
           Alcotest.test_case "oversize frames are a sticky error" `Quick
             test_reader_oversize_sticky;
+          Alcotest.test_case "length-varint overflow rejected pre-allocation"
+            `Quick test_reader_varint_overflow_rejected;
         ] );
       ( "server",
         [
@@ -534,6 +923,35 @@ let () =
           Alcotest.test_case "result-cache eviction respects its bound" `Quick
             test_server_cache_eviction_bound;
         ] );
+      ( "supervision",
+        [
+          Alcotest.test_case "health probe" `Quick test_server_health_probe;
+          Alcotest.test_case "worker crash, restart, poison pill" `Quick
+            test_server_worker_crash_restart;
+          Alcotest.test_case "restart budget exhaustion fails closed" `Quick
+            test_server_restart_budget_exhausted;
+          Alcotest.test_case "deadline watchdog reaps stuck jobs" `Quick
+            test_server_deadline_watchdog;
+          Alcotest.test_case "graceful drain" `Quick test_server_graceful_drain;
+        ] );
+      ( "startup",
+        [
+          Alcotest.test_case "stale socket reclaimed" `Quick
+            test_server_stale_socket_reclaimed;
+          Alcotest.test_case "live socket refused" `Quick
+            test_server_live_socket_refused;
+          Alcotest.test_case "non-socket path refused, file untouched" `Quick
+            test_server_nonsocket_path_refused;
+        ] );
+      ( "adversarial",
+        [
+          Alcotest.test_case "truncation at every byte boundary" `Quick
+            test_server_truncation_every_boundary;
+          Alcotest.test_case "client vanishes before the answer" `Quick
+            test_server_client_vanishes_before_answer;
+        ] );
+      ( "chaos",
+        [ Alcotest.test_case "wire-fault property" `Slow test_chaos_property ] );
       ( "load",
         [
           Alcotest.test_case "percentiles pinned on known arrays" `Quick
