@@ -1,6 +1,6 @@
 # Convenience targets; everything is plain dune underneath.
 
-.PHONY: all build test check serve-smoke chaos-smoke bench-smoke egraph-smoke bench figures examples doc clean
+.PHONY: all build test check serve-smoke chaos-smoke bench-smoke egraph-smoke lint-smoke bench figures examples doc clean
 
 all: build
 
@@ -21,6 +21,7 @@ check:
 	  echo "ocamlformat not installed; skipping format check"; \
 	fi
 	dune runtest
+	$(MAKE) lint-smoke
 	$(MAKE) bench-smoke
 	$(MAKE) egraph-smoke
 	$(MAKE) serve-smoke
@@ -44,6 +45,31 @@ bench-smoke: build
 	   for f, d in zip(files, datas) if not d['engines'] \
 	   or any(not e['sweep'] for e in d['engines'])]; \
 	print('bench-smoke: %s ok (cores=%d)' % (', '.join(files), datas[0]['cores']))"
+
+# static-analysis gate: lint the shipped pattern sets. The example file
+# must come back clean; the full built-in corpus must exit 0 (its one
+# known finding — the MulOne/MulZero overlap — is warning-severity) and
+# the JSON findings must keep the documented schema (doc/analysis.md).
+# A deliberately dead library must be rejected with a nonzero exit.
+lint-smoke: build
+	./_build/default/bin/pypmc.exe lint examples/patterns.pypm
+	./_build/default/bin/pypmc.exe lint --opt full
+	@./_build/default/bin/pypmc.exe lint --opt full --json | python3 -c "\
+	import json, sys; \
+	ds = json.load(sys.stdin); \
+	keys = {'severity', 'kind', 'patterns', 'explanation'}; \
+	bad = [d for d in ds if not keys <= set(d)]; \
+	sys.exit('lint-smoke: missing fields in %r' % bad) if bad else None; \
+	sys.exit('lint-smoke: corpus lint must be warnings only') \
+	  if any(d['severity'] == 'error' for d in ds) else None; \
+	print('lint-smoke: corpus json ok (%d finding(s))' % len(ds))"
+	@TMP=$$(mktemp -t lint-smoke-XXXXXX.pypm); \
+	printf 'op Relu(x) class "unary_pointwise";\n\npattern Dead(x) {\n  assert x.size < 1;\n  return Relu(x);\n}\n' > $$TMP; \
+	if ./_build/default/bin/pypmc.exe lint $$TMP >/dev/null 2>&1; then \
+	  echo "lint-smoke: dead library was not rejected"; rm -f $$TMP; exit 1; \
+	else \
+	  echo "lint-smoke: dead library rejected (nonzero exit) ok"; rm -f $$TMP; \
+	fi
 
 # saturation-vs-greedy agreement gate: compile every zoo model with the
 # Plan and Egraph engines and assert the egraph engine never degrades and

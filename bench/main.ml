@@ -381,6 +381,9 @@ let domain_sweep models =
                spawning domains costs milliseconds and is not the phase
                being measured *)
             let team = if domains > 1 then Some (Team.create ~shards:domains) else None in
+            let config =
+              Pass.Config.override ~engine ~domains ?team Pass.Config.default
+            in
             Fun.protect
               ~finally:(fun () -> Option.iter Team.shutdown team)
               (fun () ->
@@ -391,10 +394,10 @@ let domain_sweep models =
                     let once () =
                       snd
                         (time_s (fun () ->
-                             Pass.match_only ~engine ~domains ?team prog g))
+                             Pass.match_only_cfg ~config prog g))
                     in
                     let t = Float.min (once ()) (once ()) in
-                    let stats = Pass.match_only ~engine ~domains ?team prog g in
+                    let stats = Pass.match_only_cfg ~config prog g in
                     total_s := !total_s +. t;
                     List.iter
                       (fun (ps : Pass.pattern_stats) ->

@@ -300,13 +300,14 @@ let optimize_cmd =
           in
           Resilience.Inject.seeded ~points ~seed ~rate:fault_rate ()
     in
+    let config =
+      Pass.Config.override ~engine ~domains ?fuel ?deadline_s:deadline
+        ?quarantine_after ~inject Pass.Config.default
+    in
     let stats =
       with_trace trace (fun () ->
           if strict then
-            match
-              Pass.run_result ~engine ~domains ?fuel ?deadline_s:deadline
-                ?quarantine_after ~inject program g
-            with
+            match Pass.run_result_cfg ~config program g with
             | Ok stats -> stats
             | Error (e, stats) ->
                 Format.printf "%a@." Pass.pp_stats stats;
@@ -314,9 +315,7 @@ let optimize_cmd =
                 Printf.eprintf "pypmc: fatal pass error: %s\n"
                   (Pass.error_message e);
                 exit 1
-          else
-            Pass.run ~engine ~domains ?fuel ?deadline_s:deadline
-              ?quarantine_after ~inject program g)
+          else Pass.run_cfg ~config program g)
     in
     write_stats_json stats_json stats;
     (* [Engine_unavailable] is fatal under either policy: there was no
@@ -411,6 +410,52 @@ let optimize_cmd =
           $ domains_arg $ verbose $ dot $ debug $ trace $ fuel $ deadline
           $ fault_seed $ fault_rate $ fault_points $ strict
           $ quarantine_after $ stats_json)
+
+(* ------------------------------------------------------------------ *)
+(* lint                                                                *)
+(* ------------------------------------------------------------------ *)
+
+let lint_cmd =
+  let run opt patterns file json no_overlaps =
+    let env = Std_ops.make () in
+    let patterns = match file with Some _ -> file | None -> patterns in
+    let program = resolve_program env opt patterns in
+    (* Well-formedness first: analysis assumes a wf program. *)
+    (match Wf.errors (Program.check program) with
+    | [] -> ()
+    | errs ->
+        List.iter (Format.eprintf "%a@." Wf.pp_diagnostic) errs;
+        exit 1);
+    let diags = Analysis.lint ~overlaps:(not no_overlaps) program in
+    if json then print_endline (Analysis.to_json diags)
+    else if diags = [] then
+      Printf.printf "%d patterns, no findings\n"
+        (List.length (Program.pattern_names program))
+    else List.iter (Format.printf "%a@." Analysis.pp_diagnostic) diags;
+    if Analysis.errors diags <> [] then exit 1
+  in
+  let json =
+    Arg.(value & flag & info [ "json" ]
+           ~doc:"Emit the findings as a JSON array instead of text.")
+  in
+  let no_overlaps =
+    Arg.(value & flag & info [ "no-overlaps" ]
+           ~doc:"Skip the pairwise overlap-witness search (the only \
+                 quadratic check); dead patterns, shadowed alternates, \
+                 subsumption and guard satisfiability still run.")
+  in
+  let file =
+    Arg.(value & pos 0 (some file) None & info [] ~docv:"FILE"
+           ~doc:"Pattern source (.pypm) or pattern binary (.bin) to lint; \
+                 shorthand for $(b,--patterns).")
+  in
+  Cmd.v
+    (Cmd.info "lint"
+       ~doc:"Statically analyze a pattern library: dead patterns, \
+             shadowed alternates, subsumed and overlapping patterns, \
+             unsatisfiable guards. Exits nonzero on error-severity \
+             findings.")
+    Term.(const run $ opt_arg $ patterns_arg $ file $ json $ no_overlaps)
 
 (* ------------------------------------------------------------------ *)
 (* trace                                                               *)
@@ -878,4 +923,4 @@ let () =
        (Cmd.group ~default
           (Cmd.info "pypmc" ~version:"1.0.0"
              ~doc:"PyPM pattern compiler and graph optimizer")
-          [ parse_cmd; compile_cmd; match_cmd; zoo_cmd; optimize_cmd; trace_cmd; simplify_cmd; query_cmd; partition_cmd; fuzz_cmd; serve_cmd; load_cmd; chaos_cmd ]))
+          [ parse_cmd; compile_cmd; match_cmd; zoo_cmd; lint_cmd; optimize_cmd; trace_cmd; simplify_cmd; query_cmd; partition_cmd; fuzz_cmd; serve_cmd; load_cmd; chaos_cmd ]))

@@ -1,0 +1,1067 @@
+open Pypm_term
+open Pypm_pattern
+open Pypm_engine
+module S = Skeleton
+
+(* ------------------------------------------------------------------ *)
+(* Interval reasoning over attribute arithmetic                        *)
+(* ------------------------------------------------------------------ *)
+
+(* An interval over the integers; [None] bounds are infinite. Attribute
+   values are naturals, but [Sub] can take expressions negative. *)
+type iv = { lo : int option; hi : int option }
+
+let top = { lo = None; hi = None }
+let point n = { lo = Some n; hi = Some n }
+
+(* What an attribute can evaluate to, when it evaluates at all. The
+   structural [size]/[depth] are at least 1 by construction of [Term.t];
+   [output_arity] is at least 1 by the signature's contract; [rank] is
+   bounded by the dims the tensor interpretation exposes (dim0..dim7).
+   Everything else is some natural. *)
+let attr_iv = function
+  | "size" | "depth" | "output_arity" -> { lo = Some 1; hi = None }
+  | "rank" -> { lo = Some 0; hi = Some 8 }
+  | _ -> { lo = Some 0; hi = None }
+
+let map2 f a b = match (a, b) with Some x, Some y -> Some (f x y) | _ -> None
+
+let rec expr_iv (e : Guard.expr) =
+  match e with
+  | Const n -> point n
+  | Var_attr (_, a) | Term_attr (_, a) | Fvar_attr (_, a) | Sym_attr (_, a) ->
+      attr_iv a
+  | Add (a, b) ->
+      let x = expr_iv a and y = expr_iv b in
+      { lo = map2 ( + ) x.lo y.lo; hi = map2 ( + ) x.hi y.hi }
+  | Sub (a, b) ->
+      let x = expr_iv a and y = expr_iv b in
+      { lo = map2 ( - ) x.lo y.hi; hi = map2 ( - ) x.hi y.lo }
+  | Mul (a, b) -> (
+      let x = expr_iv a and y = expr_iv b in
+      (* only the all-nonnegative case; anything signed goes to top *)
+      match (x.lo, y.lo) with
+      | Some lx, Some ly when lx >= 0 && ly >= 0 ->
+          { lo = Some (lx * ly); hi = map2 ( * ) x.hi y.hi }
+      | _ -> top)
+  | Mod (a, b) -> (
+      let x = expr_iv a and y = expr_iv b in
+      (* defined only for a nonzero divisor; [a mod b] with a >= 0, b >= 1
+         lies in [0, min (a, b - 1)] *)
+      match (x.lo, y.lo) with
+      | Some lx, Some ly when lx >= 0 && ly >= 1 ->
+          let hi =
+            match (x.hi, y.hi) with
+            | Some ha, Some hb -> Some (min ha (hb - 1))
+            | Some ha, None -> Some ha
+            | None, Some hb -> Some (hb - 1)
+            | None, None -> None
+          in
+          { lo = Some 0; hi }
+      | _ -> top)
+
+let rec expr_equal (a : Guard.expr) (b : Guard.expr) =
+  match (a, b) with
+  | Const n, Const m -> n = m
+  | Var_attr (x, s), Var_attr (y, t) -> String.equal x y && String.equal s t
+  | Term_attr (u, s), Term_attr (v, t) -> Term.equal u v && String.equal s t
+  | Fvar_attr (x, s), Fvar_attr (y, t) -> String.equal x y && String.equal s t
+  | Sym_attr (x, s), Sym_attr (y, t) ->
+      Symbol.equal x y && String.equal s t
+  | Add (a1, a2), Add (b1, b2)
+  | Sub (a1, a2), Sub (b1, b2)
+  | Mul (a1, a2), Mul (b1, b2)
+  | Mod (a1, a2), Mod (b1, b2) -> expr_equal a1 b1 && expr_equal a2 b2
+  | _ -> false
+
+type verdict = [ `Unsat | `Valid | `Unknown ]
+
+(* Three-valued comparison verdicts on the evaluable domain: a verdict
+   only speaks about substitutions under which the guard evaluates, which
+   is exactly what soundness needs — failure to evaluate fails the match
+   just like [`Unsat] does. *)
+let v_not = function `Unsat -> `Valid | `Valid -> `Unsat | `Unknown -> `Unknown
+
+let v_and a b =
+  match (a, b) with
+  | `Unsat, _ | _, `Unsat -> `Unsat
+  | `Valid, `Valid -> `Valid
+  | _ -> `Unknown
+
+let v_or a b =
+  match (a, b) with
+  | `Valid, _ | _, `Valid -> `Valid
+  | `Unsat, `Unsat -> `Unsat
+  | _ -> `Unknown
+
+let lt_always a b = match (a.hi, b.lo) with Some h, Some l -> h < l | _ -> false
+let le_always a b =
+  match (a.hi, b.lo) with Some h, Some l -> h <= l | _ -> false
+
+let rec guard_status (g : Guard.t) : verdict =
+  match g with
+  | True -> `Valid
+  | False -> `Unsat
+  | Eq (a, b) ->
+      if expr_equal a b then `Valid
+      else
+        let x = expr_iv a and y = expr_iv b in
+        if lt_always x y || lt_always y x then `Unsat
+        else if
+          match (x.lo, x.hi, y.lo, y.hi) with
+          | Some l1, Some h1, Some l2, Some h2 -> l1 = h1 && l2 = h2 && l1 = l2
+          | _ -> false
+        then `Valid
+        else `Unknown
+  | Ne (a, b) -> v_not (guard_status (Eq (a, b)))
+  | Lt (a, b) ->
+      if expr_equal a b then `Unsat
+      else
+        let x = expr_iv a and y = expr_iv b in
+        if lt_always x y then `Valid
+        else if le_always y x then `Unsat
+        else `Unknown
+  | Le (a, b) ->
+      if expr_equal a b then `Valid
+      else
+        let x = expr_iv a and y = expr_iv b in
+        if le_always x y then `Valid
+        else if lt_always y x then `Unsat
+        else `Unknown
+  | And (a, b) -> v_and (guard_status a) (guard_status b)
+  | Or (a, b) -> v_or (guard_status a) (guard_status b)
+  | Not a -> v_not (guard_status a)
+
+(* ------------------------------------------------------------------ *)
+(* Canonicalized branches                                              *)
+(* ------------------------------------------------------------------ *)
+
+let path_str p = String.concat "." (List.map string_of_int p)
+let canon_var p = "v@" ^ path_str p
+let canon_fvar p = "F@" ^ path_str p
+
+(* A skeleton branch with every variable renamed to its first binding
+   position, so branches of different patterns become comparable. *)
+type cbranch = {
+  orig : S.branch;
+  instrs : S.instr list;  (** canonicalized *)
+  var_paths : (string, S.path list) Hashtbl.t;
+      (** canonical var -> all its binding paths, in order *)
+  fvar_paths : (string, S.path list) Hashtbl.t;
+  bind_class : (string, string) Hashtbl.t;  (** path_str -> canonical var *)
+  fbind_class : (string, string) Hashtbl.t;
+  guards : Guard.t list;  (** canonicalized *)
+  guard_names : Symbol.Set.t;  (** canonical names mentioned by guards *)
+  unsat : string option;  (** why this branch can never succeed, if so *)
+}
+
+(* [None] when the branch cannot be canonicalized faithfully (a name used
+   both as a term and as a function variable would collide in
+   [Guard.rename]'s single namespace). *)
+let canonicalize (b : S.branch) : cbranch option =
+  let vmap = Hashtbl.create 8 and fmap = Hashtbl.create 4 in
+  List.iter
+    (fun (i : S.instr) ->
+      match i with
+      | Bind_var (p, x) ->
+          if not (Hashtbl.mem vmap x) then Hashtbl.add vmap x (canon_var p)
+      | Bind_fvar (p, f) ->
+          if not (Hashtbl.mem fmap f) then Hashtbl.add fmap f (canon_fvar p)
+      | _ -> ())
+    b.instrs;
+  let clash =
+    Hashtbl.fold (fun x _ acc -> acc || Hashtbl.mem fmap x) vmap false
+  in
+  if clash then None
+  else begin
+    let ren n =
+      match Hashtbl.find_opt vmap n with
+      | Some c -> c
+      | None -> (
+          match Hashtbl.find_opt fmap n with Some c -> c | None -> n)
+    in
+    let var_paths = Hashtbl.create 8 and fvar_paths = Hashtbl.create 4 in
+    let bind_class = Hashtbl.create 8 and fbind_class = Hashtbl.create 4 in
+    let push tbl c p =
+      Hashtbl.replace tbl c (Option.value (Hashtbl.find_opt tbl c) ~default:[] @ [ p ])
+    in
+    let guards = ref [] and guard_names = ref Symbol.Set.empty in
+    let unsat = ref None in
+    let bound = Hashtbl.create 8 in
+    let instrs =
+      List.map
+        (fun (i : S.instr) : S.instr ->
+          match i with
+          | Bind_var (p, x) ->
+              let c = ren x in
+              push var_paths c p;
+              Hashtbl.replace bind_class (path_str p) c;
+              Hashtbl.replace bound c ();
+              Bind_var (p, c)
+          | Bind_fvar (p, f) ->
+              let c = ren f in
+              push fvar_paths c p;
+              Hashtbl.replace fbind_class (path_str p) c;
+              Hashtbl.replace bound c ();
+              Bind_fvar (p, c)
+          | Check_bound x ->
+              let c = ren x in
+              if (not (Hashtbl.mem bound c)) && !unsat = None then
+                unsat :=
+                  Some
+                    (Printf.sprintf
+                       "existential %s is checked before any occurrence \
+                        binds it" x);
+              Check_bound c
+          | Check_fbound f ->
+              let c = ren f in
+              if (not (Hashtbl.mem bound c)) && !unsat = None then
+                unsat :=
+                  Some
+                    (Printf.sprintf
+                       "function existential %s is checked before any \
+                        occurrence binds it" f);
+              Check_fbound c
+          | Check_guard g ->
+              let g = Guard.rename ren g in
+              guards := g :: !guards;
+              guard_names :=
+                Symbol.Set.union !guard_names
+                  (Symbol.Set.union (Guard.vars g) (Guard.fvars g));
+              Check_guard g
+          | Check_head _ | Check_arity _ -> i)
+        b.instrs
+    in
+    let guards = List.rev !guards in
+    (match !unsat with
+    | Some _ -> ()
+    | None -> (
+        (* a guard naming a variable the branch never binds can never
+           evaluate; under backtrack semantics (the production matcher's
+           default) an unevaluable guard fails the match, so the branch is
+           dead *)
+        match
+          Symbol.Set.elements !guard_names
+          |> List.find_opt (fun n -> not (Hashtbl.mem bound n))
+        with
+        | Some n ->
+            unsat :=
+              Some
+                (Printf.sprintf
+                   "a guard mentions %s, which the branch never binds, so \
+                    the guard can never evaluate" n)
+        | None -> (
+            match guard_status (Guard.conj guards) with
+            | `Unsat ->
+                unsat :=
+                  Some "its guards are unsatisfiable over the attribute ranges"
+            | _ -> ())));
+    Some
+      {
+        orig = b;
+        instrs;
+        var_paths;
+        fvar_paths;
+        bind_class;
+        fbind_class;
+        guards;
+        guard_names = !guard_names;
+        unsat = !unsat;
+      }
+  end
+
+(* Does success of [b] guarantee the subject has a node at [p]?  Yes when
+   [b] itself touches [p], or checks the arity of [p]'s parent to be wide
+   enough. The root always exists. *)
+let path_exists_in (b : cbranch) (p : S.path) =
+  (match p with [] -> true | _ -> false)
+  || List.exists
+       (fun (i : S.instr) ->
+         match i with
+         | Check_head (q, _, _) | Check_arity (q, _) | Bind_var (q, _)
+         | Bind_fvar (q, _) ->
+             S.path_equal p q
+         | _ -> false)
+       b.instrs
+  ||
+  let rec split acc = function
+    | [ last ] -> Some (List.rev acc, last)
+    | x :: rest -> split (x :: acc) rest
+    | [] -> None
+  in
+  match split [] p with
+  | None -> false
+  | Some (parent, idx) ->
+      List.exists
+        (fun (i : S.instr) ->
+          match i with
+          | Check_head (q, _, n) | Check_arity (q, n) ->
+              S.path_equal parent q && idx < n
+          | _ -> false)
+        b.instrs
+
+(* [`Valid] only says "true whenever it evaluates"; to discharge a guard
+   as always-true we additionally need evaluation to be guaranteed. We
+   assume only the structural attributes [size] and [depth] are total
+   (defined on every term by every interp in this tree); the guard must
+   mention nothing else, every variable it mentions must be bound by the
+   branch itself, and [Sub]/[Mod] are excluded (undefined on negative
+   results / zero divisors). *)
+let guard_evaluates ~var_ok (g : Guard.t) =
+  let total_attr a = String.equal a "size" || String.equal a "depth" in
+  let rec expr_ok (e : Guard.expr) =
+    match e with
+    | Guard.Const _ -> true
+    | Guard.Var_attr (x, a) -> total_attr a && var_ok x
+    | Guard.Term_attr (_, a) -> total_attr a
+    | Guard.Fvar_attr _ | Guard.Sym_attr _ -> false
+    | Guard.Add (e1, e2) | Guard.Mul (e1, e2) -> expr_ok e1 && expr_ok e2
+    | Guard.Sub _ | Guard.Mod _ -> false
+  in
+  let rec go (g : Guard.t) =
+    match g with
+    | Guard.True | Guard.False -> true
+    | Guard.Eq (a, b) | Guard.Ne (a, b) | Guard.Lt (a, b) | Guard.Le (a, b)
+      ->
+        expr_ok a && expr_ok b
+    | Guard.And (a, b) | Guard.Or (a, b) -> go a && go b
+    | Guard.Not a -> go a
+  in
+  go g
+
+let guard_always_evaluates (b : cbranch) =
+  guard_evaluates ~var_ok:(Hashtbl.mem b.var_paths)
+
+(* [cimplies gen spec]: success of [spec] on a subject implies success of
+   [gen] on the same subject — the cross-pattern subsumption workhorse.
+   Every constraint of [gen] must be discharged by constraints [spec]
+   guarantees. Sound, not complete. *)
+let cimplies (gen : cbranch) (spec : cbranch) =
+  gen.unsat = None
+  &&
+  (* all binding paths of canonical var [c] in [spec]'s class structure
+     collapse to one class *)
+  let same_class class_tbl paths =
+    match paths with
+    | [] -> true
+    | p0 :: rest -> (
+        match Hashtbl.find_opt class_tbl (path_str p0) with
+        | None -> false
+        | Some c0 ->
+            List.for_all
+              (fun p ->
+                match Hashtbl.find_opt class_tbl (path_str p) with
+                | Some c -> String.equal c c0
+                | None -> false)
+              rest)
+  in
+  let implied (i : S.instr) =
+    match i with
+    | Check_head (p, f, n) ->
+        List.exists (S.instr_equal (Check_head (p, f, n))) spec.instrs
+    | Check_arity (p, n) ->
+        List.exists
+          (fun (j : S.instr) ->
+            match j with
+            | Check_arity (q, m) | Check_head (q, _, m) ->
+                S.path_equal p q && n = m
+            | _ -> false)
+          spec.instrs
+    | Bind_var (p, c) ->
+        let paths =
+          Option.value (Hashtbl.find_opt gen.var_paths c) ~default:[ p ]
+        in
+        let constrained =
+          List.length paths > 1 || Symbol.Set.mem c gen.guard_names
+        in
+        if constrained then same_class spec.bind_class paths
+        else path_exists_in spec p
+    | Bind_fvar (p, c) ->
+        let paths =
+          Option.value (Hashtbl.find_opt gen.fvar_paths c) ~default:[ p ]
+        in
+        let constrained =
+          List.length paths > 1 || Symbol.Set.mem c gen.guard_names
+        in
+        if constrained then same_class spec.fbind_class paths
+        else path_exists_in spec p
+    | Check_bound _ | Check_fbound _ ->
+        (* [gen] is satisfiable, so the check's variable is bound by an
+           earlier instruction of [gen] itself; once the binds are
+           implied, the check adds nothing. *)
+        true
+    | Check_guard g -> (
+        match guard_status g with
+        | `Valid when guard_always_evaluates gen g -> true
+        | _ ->
+            (* rename [gen]'s canonical names to [spec]'s through the
+               shared binding positions, then look for a literally equal
+               guard of [spec] *)
+            let ok = ref true in
+            let to_spec n =
+              let first tbl =
+                match Hashtbl.find_opt tbl n with
+                | Some (p :: _) -> Some p
+                | _ -> None
+              in
+              let cls path tbl =
+                match Hashtbl.find_opt tbl (path_str path) with
+                | Some c -> c
+                | None ->
+                    ok := false;
+                    n
+              in
+              match first gen.var_paths with
+              | Some p -> cls p spec.bind_class
+              | None -> (
+                  match first gen.fvar_paths with
+                  | Some p -> cls p spec.fbind_class
+                  | None -> n)
+            in
+            let g' = Guard.rename to_spec g in
+            !ok && List.exists (Guard.equal g') spec.guards)
+  in
+  List.for_all implied gen.instrs
+
+(* ------------------------------------------------------------------ *)
+(* Pattern-level subsumption                                           *)
+(* ------------------------------------------------------------------ *)
+
+let cbranches p =
+  match S.extract p with
+  | None -> None
+  | Some bs ->
+      let cs = List.filter_map canonicalize bs in
+      if List.length cs = List.length bs then Some cs else None
+
+let subsumes_c (ps : cbranch list) (qs : cbranch list) =
+  let live_q = List.filter (fun c -> c.unsat = None) qs in
+  let live_p = List.filter (fun c -> c.unsat = None) ps in
+  if
+    List.for_all
+      (fun bq -> List.exists (fun bp -> cimplies bp bq) live_p)
+      live_q
+  then `Yes
+  else `Unknown
+
+let subsumes p q =
+  match (cbranches p, cbranches q) with
+  | Some ps, Some qs -> subsumes_c ps qs
+  | _ -> `Unknown
+
+(* ------------------------------------------------------------------ *)
+(* Witness construction                                                *)
+(* ------------------------------------------------------------------ *)
+
+(* Build a term satisfying the structural constraints of a set of branches
+   at once: merge their head/arity constraints, force subterm equality for
+   every (function-)variable bound at several positions, close under
+   congruence, and concretize — filling unconstrained positions with a
+   nullary operator from the signature. The result is a {e candidate}:
+   callers must verify it with the matcher before reporting it. *)
+
+module Uf = struct
+  (* union-find over path strings *)
+  type t = (string, string) Hashtbl.t
+
+  let create () : t = Hashtbl.create 32
+
+  let rec find (t : t) x =
+    match Hashtbl.find_opt t x with
+    | None | Some "" -> x
+    | Some p ->
+        let r = find t p in
+        if not (String.equal r p) then Hashtbl.replace t x r;
+        r
+
+  let union t a b =
+    let ra = find t a and rb = find t b in
+    if not (String.equal ra rb) then Hashtbl.replace t ra rb
+
+  let ensure t x = if not (Hashtbl.mem t x) then Hashtbl.replace t x ""
+end
+
+exception No_witness
+
+let build_witness ~sg (branches : cbranch list) : Term.t option =
+  let uf = Uf.create () in
+  (* path_str -> path, for every path we have seen *)
+  let paths : (string, S.path) Hashtbl.t = Hashtbl.create 32 in
+  let heads : (string, Symbol.t * int) Hashtbl.t = Hashtbl.create 16 in
+  let arities : (string, int) Hashtbl.t = Hashtbl.create 16 in
+  let touch p =
+    let k = path_str p in
+    if not (Hashtbl.mem paths k) then Hashtbl.replace paths k p;
+    Uf.ensure uf k;
+    k
+  in
+  try
+    (* 1. structural constraints *)
+    List.iter
+      (fun b ->
+        List.iter
+          (fun (i : S.instr) ->
+            match i with
+            | S.Check_head (p, f, n) ->
+                let k = touch p in
+                (match Hashtbl.find_opt heads k with
+                | Some (g, _) when not (Symbol.equal f g) -> raise No_witness
+                | _ -> ());
+                Hashtbl.replace heads k (f, n)
+            | S.Check_arity (p, n) ->
+                let k = touch p in
+                (match Hashtbl.find_opt arities k with
+                | Some m when m <> n -> raise No_witness
+                | _ -> ());
+                Hashtbl.replace arities k n
+            | S.Bind_var (p, _) | S.Bind_fvar (p, _) -> ignore (touch p)
+            | _ -> ())
+          b.instrs)
+      branches;
+    ignore (touch []);
+    (* 2. equality classes from repeated binds (head equality for function
+       variables is over-approximated by full subterm equality) *)
+    List.iter
+      (fun b ->
+        let unify_paths tbl =
+          Hashtbl.iter
+            (fun _ ps ->
+              match List.map touch ps with
+              | k0 :: rest -> List.iter (fun k -> Uf.union uf k0 k) rest
+              | [] -> ())
+            tbl
+        in
+        unify_paths b.var_paths;
+        unify_paths b.fvar_paths)
+      branches;
+    (* 3. congruence closure: members of one class must have pairwise-equal
+       children, so corresponding child paths join too. Each round may
+       surface new paths; cap the work to stay total. *)
+    let arity_of k =
+      match Hashtbl.find_opt heads k with
+      | Some (_, n) -> Some n
+      | None -> Hashtbl.find_opt arities k
+    in
+    let changed = ref true and rounds = ref 0 in
+    while !changed do
+      changed := false;
+      incr rounds;
+      if !rounds > 64 || Hashtbl.length paths > 4096 then raise No_witness;
+      (* occurs check: a class holding a path and a strict ancestor would
+         denote an infinite term *)
+      let members = Hashtbl.create 16 in
+      Hashtbl.iter
+        (fun k p ->
+          let r = Uf.find uf k in
+          Hashtbl.replace members r
+            (p :: Option.value (Hashtbl.find_opt members r) ~default:[]))
+        paths;
+      Hashtbl.iter
+        (fun _ ps ->
+          List.iter
+            (fun p ->
+              List.iter
+                (fun q ->
+                  let rec prefix a b =
+                    match (a, b) with
+                    | [], _ :: _ -> true
+                    | x :: a', y :: b' -> x = y && prefix a' b'
+                    | _ -> false
+                  in
+                  if prefix p q then raise No_witness)
+                ps)
+            ps)
+        members;
+      (* propagate constraints and child unions across each class *)
+      Hashtbl.iter
+        (fun r ps ->
+          match ps with
+          | [] | [ _ ] -> ()
+          | p0 :: rest ->
+              ignore r;
+              let n =
+                List.fold_left
+                  (fun acc p ->
+                    match arity_of (path_str p) with
+                    | Some n -> (
+                        match acc with
+                        | Some m when m <> n -> raise No_witness
+                        | _ -> Some n)
+                    | None -> acc)
+                  None ps
+              in
+              let head =
+                List.fold_left
+                  (fun acc p ->
+                    match Hashtbl.find_opt heads (path_str p) with
+                    | Some (f, n) -> (
+                        match acc with
+                        | Some (g, _) when not (Symbol.equal f g) ->
+                            raise No_witness
+                        | _ -> Some (f, n))
+                    | None -> acc)
+                  None ps
+              in
+              List.iter
+                (fun p ->
+                  let k = path_str p in
+                  (match head with
+                  | Some hd when Hashtbl.find_opt heads k <> Some hd ->
+                      Hashtbl.replace heads k hd;
+                      changed := true
+                  | _ -> ());
+                  match n with
+                  | Some n when Hashtbl.find_opt arities k <> Some n ->
+                      Hashtbl.replace arities k n;
+                      changed := true
+                  | _ -> ())
+                ps;
+              (* join corresponding children for every child index any
+                 member mentions *)
+              let child_idxs = Hashtbl.create 4 in
+              Hashtbl.iter
+                (fun _ q ->
+                  List.iter
+                    (fun p ->
+                      let lp = List.length p in
+                      if
+                        List.length q = lp + 1
+                        && S.path_equal p
+                             (List.filteri (fun i _ -> i < lp) q)
+                      then
+                        Hashtbl.replace child_idxs (List.nth q lp) ())
+                    ps)
+                paths;
+              Hashtbl.iter
+                (fun i () ->
+                  let k0 = touch (p0 @ [ i ]) in
+                  List.iter
+                    (fun p ->
+                      let k = touch (p @ [ i ]) in
+                      if
+                        not
+                          (String.equal (Uf.find uf k) (Uf.find uf k0))
+                      then begin
+                        Uf.union uf k0 k;
+                        changed := true
+                      end)
+                    rest)
+                child_idxs)
+        members
+    done;
+    (* 4. concretize top-down, one term per class *)
+    let filler_const =
+      match
+        List.find_opt (fun (d : Signature.decl) -> d.arity = 0) (Signature.decls sg)
+      with
+      | Some d -> Term.const d.name
+      | None -> Term.const "_"
+    in
+    let memo : (string, Term.t) Hashtbl.t = Hashtbl.create 16 in
+    let rec build depth p =
+      if depth > 64 then raise No_witness;
+      let k = path_str p in
+      Uf.ensure uf k;
+      let r = Uf.find uf k in
+      match Hashtbl.find_opt memo r with
+      | Some t -> t
+      | None ->
+          let t =
+            match Hashtbl.find_opt heads r with
+            | Some (f, n) ->
+                Term.app f (List.init n (fun i -> build (depth + 1) (p @ [ i ])))
+            | None -> (
+                match Hashtbl.find_opt arities r with
+                | Some n ->
+                    Term.app
+                      ("_f" ^ string_of_int n)
+                      (List.init n (fun i -> build (depth + 1) (p @ [ i ])))
+                | None -> filler_const)
+          in
+          Hashtbl.replace memo r t;
+          t
+    in
+    (* constraints were propagated to every member, so the representative
+       carries them; look them up through the representative *)
+    Hashtbl.iter
+      (fun k p ->
+        let r = Uf.find uf k in
+        ignore p;
+        (match Hashtbl.find_opt heads k with
+        | Some hd when not (Hashtbl.mem heads r) -> Hashtbl.replace heads r hd
+        | _ -> ());
+        match Hashtbl.find_opt arities k with
+        | Some n when not (Hashtbl.mem arities r) -> Hashtbl.replace arities r n
+        | _ -> ())
+      paths;
+    Some (build 0 [])
+  with No_witness -> None
+
+let verified_witness ~sg ~interp (pats : Pattern.t list)
+    (branches : cbranch list) : Term.t option =
+  match build_witness ~sg branches with
+  | None -> None
+  | Some t ->
+      if
+        List.for_all
+          (fun p ->
+            Pypm_semantics.Outcome.is_matched
+              (Pypm_semantics.Matcher.matches ~interp p t))
+          pats
+      then Some t
+      else None
+
+let overlap_witness ~sg ~interp p q =
+  match (cbranches p, cbranches q) with
+  | Some ps, Some qs ->
+      let live = List.filter (fun c -> c.unsat = None) in
+      let rec first_pair = function
+        | [] -> None
+        | bp :: rest -> (
+            let rec try_qs = function
+              | [] -> None
+              | bq :: qrest -> (
+                  match verified_witness ~sg ~interp [ p; q ] [ bp; bq ] with
+                  | Some t -> Some t
+                  | None -> try_qs qrest)
+            in
+            match try_qs (live qs) with
+            | Some t -> Some t
+            | None -> first_pair rest)
+      in
+      first_pair (live ps)
+  | _ -> None
+
+(* ------------------------------------------------------------------ *)
+(* Diagnostics                                                         *)
+(* ------------------------------------------------------------------ *)
+
+type kind =
+  | Dead_pattern
+  | Dead_branch
+  | Shadowed_branch
+  | Subsumed_pattern
+  | Overlapping_patterns
+  | Unsat_guard
+  | Vacuous_guard
+
+type diagnostic = {
+  severity : Wf.severity;
+  kind : kind;
+  patterns : string list;
+  witness : Term.t option;
+  explanation : string;
+}
+
+let kind_name = function
+  | Dead_pattern -> "dead-pattern"
+  | Dead_branch -> "dead-branch"
+  | Shadowed_branch -> "shadowed-branch"
+  | Subsumed_pattern -> "subsumed-pattern"
+  | Overlapping_patterns -> "overlapping-patterns"
+  | Unsat_guard -> "unsat-guard"
+  | Vacuous_guard -> "vacuous-guard"
+
+let errors ds = List.filter (fun d -> d.severity = Wf.Error) ds
+let warnings ds = List.filter (fun d -> d.severity = Wf.Warning) ds
+
+(* Guard scan: every guard of every pattern, [Mu] bodies and match
+   constraints included — interval reasoning needs no skeleton. *)
+let scan_guards add pname (p : Pattern.t) =
+  let report where g =
+    match guard_status g with
+    | `Unsat ->
+        add
+          {
+            severity = Wf.Error;
+            kind = Unsat_guard;
+            patterns = [ pname ];
+            witness = None;
+            explanation =
+              Printf.sprintf
+                "%s: guard %s can never hold, so the guarded subpattern \
+                 never matches"
+                where (Guard.to_string g);
+          }
+    | `Valid -> (
+        (* "never filters" also needs guaranteed evaluation: a [`Valid]
+           guard over a partial attribute still filters terms on which the
+           attribute is undefined *)
+        match g with
+        | True -> ()
+        | _ when not (guard_evaluates ~var_ok:(fun _ -> true) g) -> ()
+        | _ ->
+            add
+              {
+                severity = Wf.Warning;
+                kind = Vacuous_guard;
+                patterns = [ pname ];
+                witness = None;
+                explanation =
+                  Printf.sprintf
+                    "%s: guard %s is true whenever it evaluates — it never \
+                     filters"
+                    where (Guard.to_string g);
+              })
+    | `Unknown -> ()
+  in
+  let rec go (p : Pattern.t) =
+    match p with
+    | Var _ | Call _ -> ()
+    | App (_, ps) | Fapp (_, ps) -> List.iter go ps
+    | Alt (a, b) -> go a; go b
+    | Guarded (p1, g) ->
+        report ("pattern " ^ pname) g;
+        go p1
+    | Exists (_, p1) | Exists_f (_, p1) -> go p1
+    | Constr (a, b, _) -> go a; go b
+    | Mu (m, _) -> go m.body
+  in
+  go p
+
+let scan_rule_guard add pname (r : Rule.t) =
+  match guard_status r.guard with
+  | `Unsat ->
+      add
+        {
+          severity = Wf.Error;
+          kind = Unsat_guard;
+          patterns = [ pname ];
+          witness = None;
+          explanation =
+            Printf.sprintf
+              "rule %s: guard %s can never hold, so the rule never fires"
+              r.rule_name
+              (Guard.to_string r.guard);
+        }
+  | `Valid -> (
+      match r.guard with
+      | True -> ()
+      | g when not (guard_evaluates ~var_ok:(fun _ -> true) g) -> ()
+      | g ->
+          add
+            {
+              severity = Wf.Warning;
+              kind = Vacuous_guard;
+              patterns = [ pname ];
+              witness = None;
+              explanation =
+                Printf.sprintf
+                  "rule %s: guard %s is true whenever it evaluates — it \
+                   never filters"
+                  r.rule_name (Guard.to_string g);
+            })
+  | `Unknown -> ()
+
+let lint ?interp ?(overlaps = true) (prog : Program.t) =
+  let interp =
+    match interp with
+    | Some i -> i
+    | None -> Pypm_tensor.Attrs.structural ~sg:prog.sg
+  in
+  let rev = ref [] in
+  let add d = rev := d :: !rev in
+  (* per-pattern: guards, branch reachability, shadowing *)
+  let compiled =
+    List.map
+      (fun (e : Program.entry) ->
+        scan_guards add e.pname e.pattern;
+        List.iter (scan_rule_guard add e.pname) e.rules;
+        let cs = cbranches e.pattern in
+        (match cs with
+        | None -> ()
+        | Some cs ->
+            let n = List.length cs in
+            let dead = List.filter (fun c -> c.unsat <> None) cs in
+            if List.length dead = n then
+              add
+                {
+                  severity = Wf.Error;
+                  kind = Dead_pattern;
+                  patterns = [ e.pname ];
+                  witness = None;
+                  explanation =
+                    (match dead with
+                    | { unsat = Some why; _ } :: _ ->
+                        "no alternate can ever match: " ^ why
+                    | _ -> "no alternate can ever match");
+                }
+            else begin
+              if n > 1 then
+                List.iter
+                  (fun c ->
+                    match c.unsat with
+                    | Some why ->
+                        add
+                          {
+                            severity = Wf.Warning;
+                            kind = Dead_branch;
+                            patterns = [ e.pname ];
+                            witness = None;
+                            explanation =
+                              Printf.sprintf
+                                "alternate #%d can never match: %s"
+                                c.orig.b_index why;
+                          }
+                    | None -> ())
+                  cs;
+              (* shadowing under ordered alternates: a live arm implied by
+                 an earlier live arm can never yield the first witness *)
+              let seen = ref [] in
+              List.iter
+                (fun c ->
+                  (if c.unsat = None then
+                     match
+                       List.find_opt (fun e' -> cimplies e' c) !seen
+                     with
+                     | Some earlier ->
+                         let witness =
+                           verified_witness ~sg:prog.sg ~interp
+                             [ e.pattern ] [ c ]
+                         in
+                         add
+                           {
+                             severity = Wf.Warning;
+                             kind = Shadowed_branch;
+                             patterns = [ e.pname ];
+                             witness;
+                             explanation =
+                               Printf.sprintf
+                                 "alternate #%d is shadowed by alternate \
+                                  #%d: every term it matches is already \
+                                  matched earlier"
+                                 c.orig.b_index earlier.orig.b_index;
+                           }
+                     | None -> ());
+                  if c.unsat = None then seen := !seen @ [ c ])
+                cs
+            end);
+        (e, cs))
+      prog.entries
+  in
+  (* pairwise: an earlier pattern subsuming a later one makes the later
+     one redundant under the pass's in-order trial; any other verified
+     overlap is reported informationally *)
+  let rec pairs = function
+    | [] -> ()
+    | (e1, Some cs1) :: rest ->
+        List.iter
+          (fun (e2, cs2) ->
+            match cs2 with
+            | None -> ()
+            | Some cs2 when List.exists (fun c -> c.unsat = None) cs2 -> (
+                (* a pattern with no live branch is already Dead_pattern;
+                   vacuous subsumption of it would only add noise *)
+                let e1n = (e1 : Program.entry).pname
+                and e2n = (e2 : Program.entry).pname in
+                match subsumes_c cs1 cs2 with
+                | `Yes ->
+                    let witness =
+                      overlap_witness ~sg:prog.sg ~interp e1.pattern
+                        e2.pattern
+                    in
+                    add
+                      {
+                        severity = Wf.Warning;
+                        kind = Subsumed_pattern;
+                        patterns = [ e1n; e2n ];
+                        witness;
+                        explanation =
+                          Printf.sprintf
+                            "%s matches every term %s matches; %s is tried \
+                             first, making %s redundant"
+                            e1n e2n e1n e2n;
+                      }
+                | `Unknown ->
+                    if overlaps then
+                      match
+                        overlap_witness ~sg:prog.sg ~interp e1.pattern
+                          e2.pattern
+                      with
+                      | Some t ->
+                          add
+                            {
+                              severity = Wf.Warning;
+                              kind = Overlapping_patterns;
+                              patterns = [ e1n; e2n ];
+                              witness = Some t;
+                              explanation =
+                                Printf.sprintf
+                                  "%s and %s both match the witness term"
+                                  e1n e2n;
+                            }
+                      | None -> ())
+            | Some _ -> ())
+          rest;
+        pairs rest
+    | (_, None) :: rest -> pairs rest
+  in
+  pairs compiled;
+  List.rev !rev
+
+(* ------------------------------------------------------------------ *)
+(* Rendering                                                           *)
+(* ------------------------------------------------------------------ *)
+
+let pp_diagnostic ppf d =
+  let sev = match d.severity with Wf.Error -> "error" | Wf.Warning -> "warning" in
+  Format.fprintf ppf "@[<hov 2>%s[%s]@ %s:@ %s" sev (kind_name d.kind)
+    (String.concat ", " d.patterns)
+    d.explanation;
+  (match d.witness with
+  | Some t -> Format.fprintf ppf "@ (witness: %a)" Term.pp t
+  | None -> ());
+  Format.fprintf ppf "@]"
+
+let wf_lint prog =
+  List.map
+    (fun d ->
+      {
+        Wf.severity = d.severity;
+        message = Format.asprintf "%a" pp_diagnostic d;
+      })
+    (lint prog)
+
+let json_escape s =
+  let b = Buffer.create (String.length s + 8) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string b "\\\""
+      | '\\' -> Buffer.add_string b "\\\\"
+      | '\n' -> Buffer.add_string b "\\n"
+      | '\t' -> Buffer.add_string b "\\t"
+      | c when Char.code c < 0x20 ->
+          Buffer.add_string b (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char b c)
+    s;
+  Buffer.contents b
+
+let to_json ds =
+  let b = Buffer.create 256 in
+  Buffer.add_string b "[";
+  List.iteri
+    (fun i d ->
+      if i > 0 then Buffer.add_string b ",";
+      Buffer.add_string b "{\"severity\":\"";
+      Buffer.add_string b
+        (match d.severity with Wf.Error -> "error" | Wf.Warning -> "warning");
+      Buffer.add_string b "\",\"kind\":\"";
+      Buffer.add_string b (kind_name d.kind);
+      Buffer.add_string b "\",\"patterns\":[";
+      List.iteri
+        (fun j p ->
+          if j > 0 then Buffer.add_string b ",";
+          Buffer.add_string b ("\"" ^ json_escape p ^ "\""))
+        d.patterns;
+      Buffer.add_string b "]";
+      (match d.witness with
+      | Some t ->
+          Buffer.add_string b
+            (",\"witness\":\"" ^ json_escape (Term.to_string t) ^ "\"")
+      | None -> ());
+      Buffer.add_string b
+        (",\"explanation\":\"" ^ json_escape d.explanation ^ "\"}"))
+    ds;
+  Buffer.add_string b "]";
+  Buffer.contents b

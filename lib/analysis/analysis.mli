@@ -1,0 +1,118 @@
+(** Static analysis of pattern libraries: the semantics put to work.
+
+    The formal semantics makes pattern libraries objects one can reason
+    about {e before} running them. This module decides, over the decidable
+    fragment and fails open to "unknown" elsewhere:
+
+    - {b subsumption} — pattern [P] matches every term [Q] matches, via
+      {!Pypm_pattern.Skeleton} branch-string inclusion after canonicalizing
+      variable names to their first binding position, plus a symbolic check
+      on guards;
+    - {b overlap} — a concrete witness term matched by both patterns,
+      constructed by intersecting skeleton constraints and {e verified} by
+      running the production matcher on both patterns (only verified
+      witnesses are ever reported);
+    - {b unreachability / shadowing} under ordered-alternate semantics —
+      an alternate arm subsumed by an earlier arm of the same pattern, or
+      intrinsically unsatisfiable (unbindable existential, contradictory
+      guard), with a shadowing witness where one can be built;
+    - {b guard satisfiability} for the attribute-comparison fragment, by
+      interval reasoning over natural-valued attributes (tensor dims,
+      ranks, structural size/depth), flagging guards that are vacuously
+      false (the guarded pattern can never match) or vacuously true (the
+      guard never filters).
+
+    Soundness contract: every {e definite} verdict ([`Unsat], [`Valid],
+    [`Yes], a [Dead_*] diagnostic, an overlap witness) is justified by the
+    semantics; anything outside the analyzed fragment — [Mu], [Constr],
+    free calls, wide alternates, opaque guards — yields no diagnostic
+    rather than a wrong one. The [lint-soundness] fuzz property checks the
+    contract against the enumeration oracle and the matcher. *)
+
+open Pypm_term
+open Pypm_pattern
+open Pypm_engine
+
+(** {1 Guard satisfiability} *)
+
+(** Three-valued verdict on the evaluable domain of a guard: [`Unsat]
+    means no substitution under any attribute interpretation consistent
+    with the attribute ranges can make the guard true (evaluation failure
+    also fails the match, so an [`Unsat] guarded pattern never matches);
+    [`Valid] means the guard is true whenever it evaluates (it never
+    filters beyond attribute definedness); [`Unknown] otherwise. *)
+type verdict = [ `Unsat | `Valid | `Unknown ]
+
+(** [guard_status g] by interval analysis. Attribute ranges: structural
+    [size]/[depth] and declared [output_arity] are at least 1, [rank] is
+    0..8 (dims are [dim0]..[dim7]), everything else is an arbitrary
+    natural. *)
+val guard_status : Guard.t -> verdict
+
+(** {1 Pattern relations} *)
+
+(** [subsumes p q] is [`Yes] when [p] matches every term [q] matches.
+    [`Unknown] when the relation cannot be established (including
+    whenever either pattern falls outside the decision fragment). *)
+val subsumes : Pattern.t -> Pattern.t -> [ `Yes | `Unknown ]
+
+(** [overlap_witness ~sg ~interp p q] builds a term matched by both
+    patterns by intersecting their skeleton constraints, or [None]. A
+    returned term has been verified with [Matcher.matches] against both
+    patterns under [interp]; overlaps whose witnesses cannot be
+    constructed (or verified under [interp]) are silently missed. *)
+val overlap_witness :
+  sg:Signature.t -> interp:Guard.interp -> Pattern.t -> Pattern.t ->
+  Term.t option
+
+(** {1 Linting} *)
+
+type kind =
+  | Dead_pattern  (** no satisfiable branch: the pattern can never match *)
+  | Dead_branch  (** an alternate arm that is unsatisfiable on its own *)
+  | Shadowed_branch
+      (** an alternate arm subsumed by an earlier arm: under ordered
+          alternates it can never produce the first witness *)
+  | Subsumed_pattern
+      (** an earlier pattern matches everything this one matches *)
+  | Overlapping_patterns  (** two patterns share a verified witness term *)
+  | Unsat_guard
+      (** a guard that can never hold: the guarded subpattern never
+          matches *)
+  | Vacuous_guard  (** a guard that never filters (true whenever defined) *)
+
+type diagnostic = {
+  severity : Wf.severity;
+  kind : kind;
+  patterns : string list;  (** pattern names involved, program order *)
+  witness : Term.t option;
+      (** for shadowing/overlap: a verified term exhibiting the issue *)
+  explanation : string;
+}
+
+(** [lint ?interp ?overlaps prog] analyzes the whole program: guard scan
+    (every guard in every pattern and rule, including inside [Mu] bodies),
+    per-pattern branch reachability, and pairwise subsumption/overlap over
+    decision-fragment patterns. [interp] defaults to
+    [Attrs.structural ~sg:prog.sg] and is used only to verify witnesses;
+    [overlaps:false] (default [true]) skips the pairwise overlap report
+    (subsumption and shadowing are still checked). Diagnostics come out in
+    program order, errors before warnings within a pattern. *)
+val lint :
+  ?interp:Guard.interp -> ?overlaps:bool -> Program.t -> diagnostic list
+
+val errors : diagnostic list -> diagnostic list
+val warnings : diagnostic list -> diagnostic list
+
+(** [lint] rendered into the {!Pypm_pattern.Wf} diagnostic shape — the
+    form [Program.make ~lint] accepts. Witnesses are printed into the
+    message. *)
+val wf_lint : Program.t -> Wf.diagnostic list
+
+val kind_name : kind -> string
+val pp_diagnostic : Format.formatter -> diagnostic -> unit
+
+(** JSON array of diagnostics:
+    [{"severity","kind","patterns","witness"?,"explanation"}]. Stable
+    field order; the lint-smoke CI job checks this schema. *)
+val to_json : diagnostic list -> string

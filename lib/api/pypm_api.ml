@@ -1,0 +1,31 @@
+module Program = Pypm_engine.Program
+module Pass = Pypm_engine.Pass
+module Analysis = Pypm_analysis.Analysis
+module Config = Pypm_engine.Pass.Config
+
+let env () = Pypm_patterns.Std_ops.make ()
+
+let parse ~sg src =
+  match Pypm_surface.Surface.load ~sg src with
+  | Ok p -> Ok p
+  | Error e -> Error (Format.asprintf "%a" Pypm_surface.Surface.pp_error e)
+
+let load ~sg path =
+  if Filename.check_suffix path ".bin" then
+    let ic = open_in_bin path in
+    let bytes =
+      Fun.protect
+        ~finally:(fun () -> close_in_noerr ic)
+        (fun () -> really_input_string ic (in_channel_length ic))
+    in
+    Pypm_serialize.Codec.decode_into ~sg bytes
+  else
+    match Pypm_surface.Surface.load_file ~sg path with
+    | Ok p -> Ok p
+    | Error e -> Error (Format.asprintf "%a" Pypm_surface.Surface.pp_error e)
+
+let lint ?overlaps prog = Analysis.lint ?overlaps prog
+let prepare ?config prog = Pass.prepare_cfg ?config prog
+let run ?config prepared g = Pass.run_prepared_cfg ?config prepared g
+let optimize ?config prog g = Pass.run_cfg ?config prog g
+let stats_json = Pass.stats_json

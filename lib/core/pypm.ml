@@ -9,6 +9,9 @@
       and branch-string extraction for the pattern-set compiler;
     - {!Plan}: the pattern-set compiler — the whole library as one shared
       discrimination trie with prefix sharing and hoisted guards;
+    - {!Analysis}: the static pattern-library linter — subsumption,
+      overlap witnesses, shadowing under ordered-alternate semantics, and
+      guard satisfiability over the attribute-interval fragment;
     - {!Declarative}, {!Derivation}, {!Machine}, {!Matcher}, {!Enumerate},
       {!Outcome}: the two semantics (figures 16-18), proof objects, the
       production matcher and the all-witness oracle;
@@ -48,6 +51,7 @@ module Pattern = Pypm_pattern.Pattern
 module Skeleton = Pypm_pattern.Skeleton
 module Wf = Pypm_pattern.Wf
 module Plan = Pypm_plan.Plan
+module Analysis = Pypm_analysis.Analysis
 module Obs = Pypm_obs.Obs
 module Outcome = Pypm_semantics.Outcome
 module Declarative = Pypm_semantics.Declarative
@@ -100,3 +104,7 @@ module Multimodal = Pypm_models.Multimodal
 module Zoo = Pypm_models.Zoo
 module Srng = Pypm_fuzz.Srng
 module Fuzz = Pypm_fuzz.Fuzz
+
+(** The stable embedding surface (parse → lint → prepare → run →
+    stats_json) — start here when embedding the optimizer. *)
+module Api = Pypm_api

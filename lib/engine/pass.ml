@@ -15,6 +15,67 @@ let engine_name = function
   | Egraph -> "egraph"
 
 (* ------------------------------------------------------------------ *)
+(* Run configuration                                                   *)
+(* ------------------------------------------------------------------ *)
+
+(* One record for the knobs every entry point of the [run] family used to
+   copy as eleven optional arguments. The labelled entry points survive as
+   thin shims over the [*_cfg] forms; callers outside lib/engine build a
+   [Config.t] (usually [{ Config.default with ... }]) and pass that one
+   value around instead of re-threading each field. *)
+module Config = struct
+  type t = {
+    engine : engine option;
+        (** [None]: fall back to [indexed]'s Naive/Index choice *)
+    indexed : bool;
+    check_types : bool;
+    fuel : int;
+    max_rewrites : int;
+    deadline_s : float option;
+    quarantine_after : int;
+    inject : Inject.schedule;
+    on_error : [ `Quarantine | `Fail ];
+    domains : int;
+    team : Team.t option;
+  }
+
+  let default =
+    {
+      engine = None;
+      indexed = false;
+      check_types = true;
+      fuel = 200_000;
+      max_rewrites = 10_000;
+      deadline_s = None;
+      quarantine_after = 5;
+      inject = Inject.none;
+      on_error = `Quarantine;
+      domains = 1;
+      team = None;
+    }
+
+  (* Fold a shim's optional arguments over a base configuration; an
+     omitted argument keeps the base's value. *)
+  let override ?engine ?indexed ?check_types ?fuel ?max_rewrites ?deadline_s
+      ?quarantine_after ?inject ?on_error ?domains ?team base =
+    let v opt dflt = Option.value opt ~default:dflt in
+    {
+      engine = (match engine with Some _ as e -> e | None -> base.engine);
+      indexed = v indexed base.indexed;
+      check_types = v check_types base.check_types;
+      fuel = v fuel base.fuel;
+      max_rewrites = v max_rewrites base.max_rewrites;
+      deadline_s =
+        (match deadline_s with Some _ as d -> d | None -> base.deadline_s);
+      quarantine_after = v quarantine_after base.quarantine_after;
+      inject = v inject base.inject;
+      on_error = v on_error base.on_error;
+      domains = v domains base.domains;
+      team = (match team with Some _ as t -> t | None -> base.team);
+    }
+end
+
+(* ------------------------------------------------------------------ *)
 (* Structured pass errors                                              *)
 (* ------------------------------------------------------------------ *)
 
@@ -66,6 +127,10 @@ type stats = {
   mutable deadline_hit : bool;
   mutable engine_used : string;
   mutable domains_used : int;
+  mutable engine_requested : string;
+  mutable cfg_check_types : bool;
+  mutable cfg_fuel : int;
+  mutable cfg_max_rewrites : int;
   mutable errors : error list;
   mutable fatal : error option;
   mutable provenance : Obs.Provenance.step list;
@@ -102,6 +167,10 @@ let fresh_stats (program : Program.t) =
     deadline_hit = false;
     engine_used = "";
     domains_used = 1;
+    engine_requested = "";
+    cfg_check_types = true;
+    cfg_fuel = 0;
+    cfg_max_rewrites = 0;
     errors = [];
     fatal = None;
     provenance = [];
@@ -1145,10 +1214,9 @@ let finalize (program : Program.t) agg stats =
   stats.errors <- List.rev stats.errors;
   stats.provenance <- List.rev stats.provenance
 
-let run_prepared ?(check_types = true) ?(fuel = 200_000)
-    ?(max_rewrites = 10_000) ?deadline_s ?(quarantine_after = 5)
-    ?(inject = Inject.none) ?(on_error = `Quarantine) ?(domains = 1) ?team
-    (p : prepared) g =
+let run_prepared_cfg ?(config = Config.default) (p : prepared) g =
+  let { Config.check_types; fuel; max_rewrites; deadline_s; quarantine_after;
+        inject; on_error; domains; team; _ } = config in
   let program = p.p_program in
   let stats = fresh_stats program in
   let agg = Obs.Agg.create () in
@@ -1164,6 +1232,10 @@ let run_prepared ?(check_types = true) ?(fuel = 200_000)
   in
   stats.domains_used <- domains;
   stats.engine_used <- engine_name p.p_engine;
+  stats.engine_requested <- engine_name p.p_engine;
+  stats.cfg_check_types <- check_types;
+  stats.cfg_fuel <- fuel;
+  stats.cfg_max_rewrites <- max_rewrites;
   Obs.emit
     (Obs.Pass_begin
        {
@@ -1183,9 +1255,13 @@ let run_prepared ?(check_types = true) ?(fuel = 200_000)
     }
   in
   let slots = entry_slots ~quarantine_after program stats in
+  let used_plan = ref None in
   Obs.with_sink (Obs.Agg.sink agg) (fun () ->
       (try
          let runnable = prepare_engine rc p slots in
+         (match runnable with
+         | Planned (plan, _) -> used_plan := Some plan
+         | Scan _ -> ());
          if domains = 1 then
            match runnable with
            | Scan ctxs -> run_scan rc ~max_rewrites ctxs g
@@ -1234,33 +1310,70 @@ let run_prepared ?(check_types = true) ?(fuel = 200_000)
       end);
   stats.wall_time <- now () -. t_start;
   finalize program agg stats;
+  (* Static subsumption pruning: branches the plan compiler dropped
+     because an earlier branch of the same pattern subsumes them. They
+     join the dynamic per-pattern [plan_pruned] counter AFTER [finalize]
+     (which overwrites the record from the event aggregator). *)
+  (match !used_plan with
+  | Some plan ->
+      List.iter
+        (fun (name, n) ->
+          match find_pattern_stats stats name with
+          | Some ps -> ps.plan_pruned <- ps.plan_pruned + n
+          | None -> ())
+        (Plan.pruned plan)
+  | None -> ());
   Obs.emit
     (Obs.Pass_end
        { rewrites = stats.total_rewrites; iterations = stats.iterations });
   stats
 
+(* The labelled entry points survive as thin shims: no call site breaks,
+   new callers pass one [Config.t]. *)
+let run_prepared ?check_types ?fuel ?max_rewrites ?deadline_s
+    ?quarantine_after ?inject ?on_error ?domains ?team p g =
+  run_prepared_cfg
+    ~config:
+      (Config.override ?check_types ?fuel ?max_rewrites ?deadline_s
+         ?quarantine_after ?inject ?on_error ?domains ?team Config.default)
+    p g
+
+let prepare_cfg ?(config = Config.default) program =
+  prepare ?engine:config.Config.engine ~indexed:config.Config.indexed program
+
+let run_cfg ?(config = Config.default) (program : Program.t) g =
+  run_prepared_cfg ~config (prepare_cfg ~config program) g
+
 let run ?engine ?indexed ?check_types ?fuel ?max_rewrites ?deadline_s
     ?quarantine_after ?inject ?on_error ?domains ?team (program : Program.t) g
     =
-  run_prepared ?check_types ?fuel ?max_rewrites ?deadline_s ?quarantine_after
-    ?inject ?on_error ?domains ?team
-    (prepare ?engine ?indexed program)
-    g
+  run_cfg
+    ~config:
+      (Config.override ?engine ?indexed ?check_types ?fuel ?max_rewrites
+         ?deadline_s ?quarantine_after ?inject ?on_error ?domains ?team
+         Config.default)
+    program g
+
+let run_result_cfg ?(config = Config.default) program g =
+  let stats =
+    run_cfg ~config:{ config with Config.on_error = `Fail } program g
+  in
+  match stats.fatal with Some e -> Error (e, stats) | None -> Ok stats
 
 (* [run] with the strict error policy, surfacing the fatal error as a
    [result] for callers (the CLI) that must report it structurally. *)
 let run_result ?engine ?indexed ?check_types ?fuel ?max_rewrites ?deadline_s
     ?quarantine_after ?inject ?domains ?team program g =
-  let stats =
-    run ?engine ?indexed ?check_types ?fuel ?max_rewrites ?deadline_s
-      ?quarantine_after ?inject ?domains ?team ~on_error:`Fail program g
-  in
-  match stats.fatal with Some e -> Error (e, stats) | None -> Ok stats
+  run_result_cfg
+    ~config:
+      (Config.override ?engine ?indexed ?check_types ?fuel ?max_rewrites
+         ?deadline_s ?quarantine_after ?inject ?domains ?team Config.default)
+    program g
 
 let provenance stats = stats.provenance
 
-let match_only ?engine ?(indexed = false) ?(fuel = 200_000) ?(domains = 1)
-    ?team (program : Program.t) g =
+let match_only_cfg ?(config = Config.default) (program : Program.t) g =
+  let { Config.engine; indexed; fuel; domains; team; _ } = config in
   let stats = fresh_stats program in
   let agg = Obs.Agg.create () in
   let t_start = now () in
@@ -1271,6 +1384,11 @@ let match_only ?engine ?(indexed = false) ?(fuel = 200_000) ?(domains = 1)
   in
   stats.engine_used <- engine_name e;
   stats.domains_used <- domains;
+  stats.engine_requested <- engine_name e;
+  stats.cfg_check_types <- true;
+  stats.cfg_fuel <- fuel;
+  stats.cfg_max_rewrites <- 0;
+  let used_plan = ref None in
   let rc =
     {
       rstats = stats;
@@ -1294,6 +1412,7 @@ let match_only ?engine ?(indexed = false) ?(fuel = 200_000) ?(domains = 1)
             (* matching is phase-free: the e-graph engine matches exactly
                as Plan does *)
             let plan = compile_plan program in
+            used_plan := Some plan;
             let pctxs = plan_contexts plan program slots in
             List.iter
               (fun node ->
@@ -1323,6 +1442,7 @@ let match_only ?engine ?(indexed = false) ?(fuel = 200_000) ?(domains = 1)
           match e with
           | Plan | Egraph ->
               let plan = compile_plan program in
+              used_plan := Some plan;
               let pctxs = Array.of_list (plan_contexts plan program slots) in
               fun view ~walk node ->
                 spec_plan_node ~fuel ~tripped ~walk ~plan ~pctxs view node
@@ -1367,7 +1487,22 @@ let match_only ?engine ?(indexed = false) ?(fuel = 200_000) ?(domains = 1)
   stats.reached_fixpoint <- true;
   stats.wall_time <- now () -. t_start;
   finalize program agg stats;
+  (match !used_plan with
+  | Some plan ->
+      List.iter
+        (fun (name, n) ->
+          match find_pattern_stats stats name with
+          | Some ps -> ps.plan_pruned <- ps.plan_pruned + n
+          | None -> ())
+        (Plan.pruned plan)
+  | None -> ());
   stats
+
+let match_only ?engine ?indexed ?fuel ?domains ?team (program : Program.t) g =
+  match_only_cfg
+    ~config:
+      (Config.override ?engine ?indexed ?fuel ?domains ?team Config.default)
+    program g
 
 let matches_of ?(fuel = 200_000) (program : Program.t) g =
   let view = Term_view.create g in
@@ -1458,6 +1593,14 @@ let stats_json (s : stats) =
   fld "engine" (str s.engine_used);
   sep ();
   fld "domains" (string_of_int s.domains_used);
+  sep ();
+  (* the run's configuration, so archived stats (BENCH_*.json, serve
+     responses) are self-describing: what was asked for vs what ran *)
+  Buffer.add_string buf
+    (Printf.sprintf
+       "\"config\":{\"engine_requested\":%s,\"engine_used\":%s,\"fuel\":%d,\"max_rewrites\":%d,\"check_types\":%b,\"domains\":%d}"
+       (str s.engine_requested) (str s.engine_used) s.cfg_fuel
+       s.cfg_max_rewrites s.cfg_check_types s.domains_used);
   sep ();
   fld "iterations" (string_of_int s.iterations);
   sep ();

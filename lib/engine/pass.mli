@@ -76,6 +76,50 @@ type engine = Naive | Index | Plan | Egraph
 
 val engine_name : engine -> string
 
+(** One value for the knobs the [run] family used to take as eleven
+    loose optional arguments. Build with a record update over
+    {!Config.default} and hand the same value to [prepare_cfg] /
+    [run_cfg] / [run_prepared_cfg] / [match_only_cfg]; the labelled
+    entry points below remain as thin shims over these. *)
+module Config : sig
+  type t = {
+    engine : engine option;
+        (** [None]: fall back to [indexed]'s Naive/Index choice, exactly
+            like omitting [?engine] *)
+    indexed : bool;
+    check_types : bool;
+    fuel : int;  (** per-match visit budget (default 200_000) *)
+    max_rewrites : int;  (** divergence backstop (default 10_000) *)
+    deadline_s : float option;  (** anytime wall-clock budget *)
+    quarantine_after : int;  (** breaker strikes (default 5) *)
+    inject : Pypm_resilience.Resilience.Inject.schedule;
+    on_error : [ `Quarantine | `Fail ];
+    domains : int;  (** matching-phase shards (default 1) *)
+    team : Pypm_parallel.Team.t option;
+        (** borrowed team; its shard count overrides [domains] *)
+  }
+
+  (** The defaults every labelled entry point has always used. *)
+  val default : t
+
+  (** [override ?engine ... base] is [base] with the given arguments
+      replaced — the bridge the labelled shims use. *)
+  val override :
+    ?engine:engine ->
+    ?indexed:bool ->
+    ?check_types:bool ->
+    ?fuel:int ->
+    ?max_rewrites:int ->
+    ?deadline_s:float ->
+    ?quarantine_after:int ->
+    ?inject:Pypm_resilience.Resilience.Inject.schedule ->
+    ?on_error:[ `Quarantine | `Fail ] ->
+    ?domains:int ->
+    ?team:Pypm_parallel.Team.t ->
+    t ->
+    t
+end
+
 (** Structured pass errors. A rule that misbehaves produces one of these
     instead of an exception; under the default [`Quarantine] policy they
     accumulate in [stats.errors] while the pass continues, under [`Fail]
@@ -108,9 +152,11 @@ type pattern_stats = {
           the root-head index under [Index], the fallback prefilter under
           [Plan]; always 0 under [Naive] *)
   mutable plan_pruned : int;
-      (** nodes where the shared plan rejected this (compiled) pattern
-          without running the backtracking matcher; always 0 under [Naive]
-          and [Index] *)
+      (** pruning credited to the shared plan: nodes where the trie walk
+          rejected this (compiled) pattern without running the
+          backtracking matcher, plus the pattern's branches the compiler
+          dropped statically because an earlier branch subsumes them
+          ([Plan.pruned]); always 0 under [Naive] and [Index] *)
   mutable matches : int;  (** successful matches (rules may still not fire) *)
   mutable rewrites : int;  (** rules fired *)
   mutable fuel_exhausted : int;
@@ -160,6 +206,13 @@ type stats = {
   mutable domains_used : int;
       (** domains the matching phase ran on (1 = the sequential path; an
           active fault-injection schedule forces 1) *)
+  mutable engine_requested : string;
+      (** the engine the configuration asked for, before any degradation
+          — compare with [engine_used] *)
+  mutable cfg_check_types : bool;  (** the run's [check_types] setting *)
+  mutable cfg_fuel : int;  (** the run's per-match fuel budget *)
+  mutable cfg_max_rewrites : int;
+      (** the run's rewrite backstop (0 for [match_only]) *)
   mutable errors : error list;
       (** contained rule errors, in occurrence order (policy
           [`Quarantine]) *)
@@ -281,11 +334,27 @@ type prepared
     drives the degradation ladder on each subsequent run. *)
 val prepare : ?engine:engine -> ?indexed:bool -> Program.t -> prepared
 
+(** [prepare] driven by a configuration's [engine]/[indexed] fields. *)
+val prepare_cfg : ?config:Config.t -> Program.t -> prepared
+
 (** The engine that was requested at prepare time (the ladder may still
     step down during a run; see [stats.engine_used]). *)
 val prepared_engine : prepared -> engine
 
 val prepared_program : prepared -> Program.t
+
+(** The configuration-first entry points. [?config] defaults to
+    {!Config.default}; a [Config.t] with [engine]/[indexed] set is only
+    consulted by [run_cfg]/[prepare_cfg] ([run_prepared_cfg] runs whatever
+    engine [p] was prepared for). *)
+val run_prepared_cfg : ?config:Config.t -> prepared -> Graph.t -> stats
+
+val run_cfg : ?config:Config.t -> Program.t -> Graph.t -> stats
+
+val run_result_cfg :
+  ?config:Config.t -> Program.t -> Graph.t -> (stats, error * stats) result
+
+val match_only_cfg : ?config:Config.t -> Program.t -> Graph.t -> stats
 
 (** [run_prepared ... p g] is {!run} with the engine-preparation work
     (plan compilation) reused from [p]. Per-run state — circuit breakers,

@@ -7,7 +7,7 @@ type t = { sg : Signature.t; entries : entry list }
 (* Pattern names key the per-pattern statistics, the serialized form, and
    the plan's result slots; a duplicate would silently alias all three, so
    reject it at construction. *)
-let make ~sg entries =
+let make ?lint ~sg entries =
   let seen = Hashtbl.create 16 in
   List.iter
     (fun (e : entry) ->
@@ -20,7 +20,18 @@ let make ~sg entries =
              e.pname);
       Hashtbl.add seen e.pname ())
     entries;
-  { sg; entries }
+  let t = { sg; entries } in
+  (match lint with
+  | None -> ()
+  | Some linter -> (
+      match Wf.errors (linter t) with
+      | [] -> ()
+      | errs ->
+          invalid_arg
+            (Printf.sprintf "Program.make: lint rejected the program:\n%s"
+               (String.concat "\n"
+                  (List.map (fun (d : Wf.diagnostic) -> d.Wf.message) errs)))));
+  t
 
 let entry t name =
   List.find_opt (fun e -> String.equal e.pname name) t.entries

@@ -20,8 +20,21 @@ type t = { sg : Signature.t; entries : entry list }
 
 (** Builds a program. Raises [Invalid_argument] if two entries share a
     [pname]: names key per-pattern statistics, head-index entries and plan
-    result slots, so a duplicate would silently alias them. *)
-val make : sg:Signature.t -> entry list -> t
+    result slots, so a duplicate would silently alias them.
+
+    [?lint] is an opt-in admission check: the built program is handed to
+    it, and any [Wf.Error]-severity diagnostic it returns raises
+    [Invalid_argument] with the rendered messages (warnings are
+    tolerated). Pass [Pypm_analysis.Analysis.wf_lint] to reject programs
+    with dead patterns or unsatisfiable guards at construction time
+    instead of paying for them on every pass. ([Program] cannot depend on
+    the analysis library — it is downstream — hence the function
+    parameter rather than a baked-in call.) *)
+val make :
+  ?lint:(t -> Pypm_pattern.Wf.diagnostic list) ->
+  sg:Signature.t ->
+  entry list ->
+  t
 
 val entry : t -> string -> entry option
 val pattern_names : t -> string list

@@ -11,6 +11,7 @@ module Lexer = Pypm_surface.Lexer
 module Ast = Pypm_dsl.Ast
 module Elaborate = Pypm_dsl.Elaborate
 module Inject = Pypm_resilience.Resilience.Inject
+module Analysis = Pypm_analysis.Analysis
 module Std_ops = Pypm_patterns.Std_ops
 module Cost = Pypm_kernels.Cost
 module Exec = Pypm_kernels.Exec
@@ -683,6 +684,112 @@ let recipe_case check =
     show = show_recipe;
   }
 
+(* ------------------------------------------------------------------ *)
+(* Static-analysis properties                                          *)
+(* ------------------------------------------------------------------ *)
+
+(* lint-soundness: every verdict {!Pypm_analysis.Analysis} commits to is
+   checked against a dynamic authority on the same program:
+
+   - [Dead_pattern] claims the pattern matches nothing: the backtracking
+     matcher must fail on a stream of random probe terms, and the
+     (complete) enumeration oracle must find no witness on any of them;
+   - every shadowing / subsumption / overlap witness term must actually be
+     matched by each pattern the diagnostic names;
+   - [Analysis.subsumes p q = `Yes] claims p matches everything q does: on
+     the probe stream, a q-match implies a p-match.
+
+   The probe stream is derived deterministically from the program text, so
+   a failure replays from the case seed alone. *)
+let lint_soundness prog =
+  let probe_rng = Srng.create ~seed:(Hashtbl.hash (show_program prog)) in
+  let probes = List.init 40 (fun _ -> Gen.term probe_rng) in
+  let matched p t = Outcome.is_matched (Matcher.matches ~interp ~fuel p t) in
+  match Analysis.lint ~interp prog with
+  | exception e -> Fail ("lint raised: " ^ Printexc.to_string e)
+  | diags -> (
+      let entry_pattern name =
+        match Program.entry prog name with
+        | Some e -> e.Program.pattern
+        | None -> failwith ("diagnostic names unknown pattern " ^ name)
+      in
+      let check_diag (d : Analysis.diagnostic) =
+        match d.Analysis.kind with
+        | Analysis.Dead_pattern ->
+            (* claimed: no term matches, under any alternate *)
+            List.concat_map
+              (fun name ->
+                let p = entry_pattern name in
+                List.filter_map
+                  (fun t ->
+                    if matched p t then
+                      Some
+                        (Printf.sprintf "%s flagged dead but matches %s" name
+                           (Term.to_string t))
+                    else
+                      let r = Enumerate.all ~interp ~fuel p t in
+                      if r.Enumerate.complete && r.Enumerate.witnesses <> []
+                      then
+                        Some
+                          (Printf.sprintf
+                             "%s flagged dead but the oracle matches %s" name
+                             (Term.to_string t))
+                      else None)
+                  probes)
+              d.Analysis.patterns
+        | Analysis.Shadowed_branch | Analysis.Subsumed_pattern
+        | Analysis.Overlapping_patterns -> (
+            match d.Analysis.witness with
+            | None -> []
+            | Some w ->
+                List.filter_map
+                  (fun name ->
+                    if matched (entry_pattern name) w then None
+                    else
+                      Some
+                        (Printf.sprintf
+                           "%s witness %s does not match pattern %s"
+                           (Analysis.kind_name d.Analysis.kind)
+                           (Term.to_string w) name))
+                  d.Analysis.patterns)
+        (* [Unsat_guard] may sit inside one alternate arm or a [Mu] body;
+           it makes that guard dead, not the whole pattern — nothing to
+           cross-check dynamically. [Dead_branch] speaks about one arm,
+           which the matcher cannot be asked about in isolation. *)
+        | Analysis.Dead_branch | Analysis.Unsat_guard
+        | Analysis.Vacuous_guard ->
+            []
+      in
+      let witness_failures = List.concat_map check_diag diags in
+      (* subsumption spot-check over every ordered pattern pair *)
+      let pats =
+        List.map (fun (e : Program.entry) -> (e.pname, e.pattern))
+          prog.Program.entries
+      in
+      let subsumption_failures =
+        List.concat_map
+          (fun (ni, pi) ->
+            List.concat_map
+              (fun (nj, pj) ->
+                if ni == nj || Analysis.subsumes pi pj <> `Yes then []
+                else
+                  List.filter_map
+                    (fun t ->
+                      if matched pj t && not (matched pi t) then
+                        Some
+                          (Printf.sprintf
+                             "%s subsumes %s, but %s matches only the \
+                              subsumed pattern"
+                             ni nj (Term.to_string t))
+                      else None)
+                    probes)
+              pats)
+          pats
+      in
+      match witness_failures @ subsumption_failures with
+      | [] -> Pass
+      | msgs -> Fail (String.concat "; " msgs))
+
 let props : prop list =
   [
     Prop
@@ -756,6 +863,21 @@ let props : prop list =
         doc = "failing every instantiate leaves the graph fingerprint intact";
         cost = 30;
         case = recipe_case rollback_exact;
+      };
+    Prop
+      {
+        name = "lint-soundness";
+        doc = "static lint verdicts hold dynamically: dead patterns never \
+               match (matcher + oracle), witnesses re-match, subsumption \
+               is extensional on probe terms";
+        cost = 8;
+        case =
+          {
+            gen = Gen.core_program;
+            shrink = Shrink.core_program;
+            check = lint_soundness;
+            show = show_program;
+          };
       };
     Prop
       {

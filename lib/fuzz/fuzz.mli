@@ -30,6 +30,12 @@
     - [rollback_exact]: a schedule failing every instantiation leaves the
       graph's structural fingerprint (and live node count) unchanged —
       every attempted firing rolled back exactly;
+    - [lint_soundness]: every committed static-analysis verdict holds
+      dynamically — patterns flagged dead never match random probe terms
+      (backtracking matcher and enumeration oracle agree), every
+      shadowing / subsumption / overlap witness term re-matches the
+      patterns its diagnostic names, and [Analysis.subsumes p q = `Yes]
+      is extensional on the probe stream (a q-match is a p-match);
     - [codec_roundtrip]: encode / decode / re-encode of random programs is
       byte-identical;
     - [codec_wire]: varint and zigzag primitives round-trip any [int];

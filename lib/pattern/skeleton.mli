@@ -48,7 +48,22 @@ type branch = {
   instrs : instr list;
 }
 
+val path_equal : path -> path -> bool
 val instr_equal : instr -> instr -> bool
+
+(** [instr_implies a b] holds when every subject/binding state passing [a]
+    also passes [b]: equality, plus a head check implying the arity check
+    at the same path. *)
+val instr_implies : instr -> instr -> bool
+
+(** [branch_subsumes b1 b2]: [b1] succeeds on every subject [b2] succeeds
+    on — each of [b1]'s instructions is implied by one of [b2]'s. A branch
+    is a conjunction, so instruction order is irrelevant to the outcome.
+    Sound, not complete; variable names are compared literally (the
+    static-analysis layer canonicalizes them before cross-pattern
+    comparisons, the plan compiler compares branches of one pattern where
+    names already agree). *)
+val branch_subsumes : branch -> branch -> bool
 
 (** [extract ?max_branches p] is the ordered branch list of [p], or [None]
     if [p] falls outside the decision fragment ([mu], [Call], match

@@ -19,6 +19,8 @@ type t = {
   n_slots : int;
   branch_count : int;
   instr_total : int;
+  pruned_counts : (string * int) list;
+      (** per compiled pattern: branches dropped by subsumption pruning *)
 }
 
 (* ------------------------------------------------------------------ *)
@@ -41,16 +43,39 @@ let rec insert node instrs accept =
       in
       insert child rest accept
 
-let compile ?(max_branches = 128) entries =
+(* Drop branches subsumed by an earlier KEPT branch of the same pattern.
+   Sound for first-witness semantics: if branch [j < i] succeeds whenever
+   branch [i] does, then [i] can never be the lowest-index success, so
+   removing it leaves [match_node]'s result (lowest succeeding b_index and
+   its bindings) unchanged on every subject. Comparing only against kept
+   branches is conservative — a kept subsumer of a pruned branch also
+   subsumes whatever that branch would have pruned transitively. *)
+let prune_branches branches =
+  let kept =
+    List.fold_left
+      (fun kept (b : Skeleton.branch) ->
+        if List.exists (fun k -> Skeleton.branch_subsumes k b) kept then kept
+        else b :: kept)
+      [] branches
+  in
+  List.rev kept
+
+let compile ?(max_branches = 128) ?(prune_subsumed = true) entries =
   let root = { edges = []; accepts = [] } in
   let slot = ref 0 in
   let instr_total = ref 0 and branch_count = ref 0 in
   let rev_names = ref [] in
+  let rev_pruned = ref [] in
   let all_kinds =
     List.map
       (fun (name, p) ->
         match Skeleton.extract ~max_branches p with
         | Some branches ->
+            let kept =
+              if prune_subsumed then prune_branches branches else branches
+            in
+            let dropped = List.length branches - List.length kept in
+            if dropped > 0 then rev_pruned := (name, dropped) :: !rev_pruned;
             let s = !slot in
             incr slot;
             rev_names := name :: !rev_names;
@@ -59,8 +84,8 @@ let compile ?(max_branches = 128) entries =
                 instr_total := !instr_total + List.length b.instrs;
                 incr branch_count;
                 insert root b.instrs (s, b.b_index))
-              branches;
-            (name, Compiled (List.length branches))
+              kept;
+            (name, Compiled (List.length kept))
         | None -> (name, Fallback (Pattern.root_heads p)))
       entries
   in
@@ -71,10 +96,12 @@ let compile ?(max_branches = 128) entries =
     n_slots = !slot;
     branch_count = !branch_count;
     instr_total = !instr_total;
+    pruned_counts = List.rev !rev_pruned;
   }
 
 let kinds t = t.all_kinds
 let kind t name = List.assoc_opt name t.all_kinds
+let pruned t = t.pruned_counts
 
 let compiled_names t =
   List.filter_map

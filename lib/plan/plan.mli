@@ -36,9 +36,15 @@ type entry_kind =
       (** run the backtracking matcher; [Some heads] = only at nodes whose
           operator is in [heads], [None] = at every node *)
 
-(** [compile ?max_branches entries] builds the shared plan for the named
-    patterns, in order. *)
-val compile : ?max_branches:int -> (string * Pattern.t) list -> t
+(** [compile ?max_branches ?prune_subsumed entries] builds the shared plan
+    for the named patterns, in order. With [prune_subsumed] (default [true])
+    a branch subsumed by an earlier kept branch of the {e same} pattern
+    ({!Skeleton.branch_subsumes}) is dropped before insertion: it can never
+    be the lowest-index success, so [match_node] results are identical with
+    pruning on or off — only the trie is smaller. Per-pattern drop counts
+    are reported by {!pruned}. *)
+val compile :
+  ?max_branches:int -> ?prune_subsumed:bool -> (string * Pattern.t) list -> t
 
 (** The kind each pattern compiled to, in input order. *)
 val kinds : t -> (string * entry_kind) list
@@ -46,6 +52,11 @@ val kinds : t -> (string * entry_kind) list
 val kind : t -> string -> entry_kind option
 val compiled_names : t -> string list
 val fallback_names : t -> string list
+
+(** Patterns that lost branches to subsumption pruning, with the number of
+    branches dropped; empty when compiled with [~prune_subsumed:false] or
+    when nothing was prunable. *)
+val pruned : t -> (string * int) list
 
 (** [match_node plan ~interp t] walks the trie once against [t] and returns,
     for each compiled pattern that matches at the root of [t], its first

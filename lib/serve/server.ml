@@ -243,6 +243,26 @@ let prepared_for wctx ~program_key ~engine ~(program : Protocol.program_spec)
             | Ok p -> p
             | Error msg -> reject_bad id ("pattern binary: " ^ msg))
       in
+      (* Admission lint: a program with dead patterns or unsatisfiable
+         guards is a structured Bad_request at admission time, not a
+         runtime surprise billed to every request. Warnings pass;
+         overlap search is skipped — only error-severity findings can
+         reject, and they never come from the overlap report. The verdict
+         is amortized with the prepared engine: one lint per
+         (program, engine) slot per worker. *)
+      (match
+         Pypm_analysis.Analysis.(errors (lint ~overlaps:false prog))
+       with
+      | [] -> ()
+      | errs ->
+          reject_bad id
+            ("program rejected by lint: "
+            ^ String.concat "; "
+                (List.map
+                   (fun d ->
+                     Format.asprintf "%a"
+                       Pypm_analysis.Analysis.pp_diagnostic d)
+                   errs)));
       let p = Pass.prepare ~engine prog in
       Hashtbl.replace wctx.prepared slot p;
       p
@@ -326,16 +346,22 @@ let handle_job sh wctx (j : job) =
           (* clamp: the client chose the count, the server pays for the
              domains — and each worker may hold its own cached team *)
           let domains = max 1 (min 64 o.Protocol.domains) in
-          let stats =
-            Pass.run_prepared ~check_types:o.Protocol.check_types
-              ~fuel:o.Protocol.fuel ~max_rewrites:o.Protocol.max_rewrites
-              ?deadline_s:o.Protocol.deadline_s
-              ~quarantine_after:o.Protocol.quarantine_after ~inject
-              ~on_error:(if o.Protocol.strict then `Fail else `Quarantine)
-              ~domains
-              ?team:(team_for wctx domains)
-              prepared g
+          (* the option block folded into one pass configuration *)
+          let config =
+            {
+              Pass.Config.default with
+              Pass.Config.check_types = o.Protocol.check_types;
+              fuel = o.Protocol.fuel;
+              max_rewrites = o.Protocol.max_rewrites;
+              deadline_s = o.Protocol.deadline_s;
+              quarantine_after = o.Protocol.quarantine_after;
+              inject;
+              on_error = (if o.Protocol.strict then `Fail else `Quarantine);
+              domains;
+              team = team_for wctx domains;
+            }
           in
+          let stats = Pass.run_prepared_cfg ~config prepared g in
           let out_graph = Codec.Graphs.encode g in
           let body =
             Protocol.encode_outcome
